@@ -1,0 +1,76 @@
+// Ablation: the four Alg. 2 loss terms (§V-C, "why does DCO-3D work").
+//
+// Runs the DCO optimizer on the LDPC benchmark with each loss term removed
+// in turn and reports the routed overflow/WL of the best candidate each
+// variant finds. Expected shape: the full objective (and congestion+cutsize)
+// improve on the baseline; congestion-only over-concentrates without the
+// regularizers; no-congestion is essentially a no-op (nothing drives
+// movement) — the paper's argument that congestion must be CO-optimized with
+// placement-quality objectives.
+//
+//   ./bench_ablation_losses [scale] [layouts] [epochs]
+
+#include "bench_common.hpp"
+#include "place/legalize.hpp"
+
+using namespace dco3d;
+using namespace dco3d::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig bcfg = BenchConfig::from_args(argc, argv);
+  const DesignSpec spec = spec_for(DesignKind::kLdpc, bcfg.scale);
+  const Netlist design = generate_design(spec);
+  std::printf("== loss-term ablation on %s (%zu cells) ==\n", spec.name.c_str(),
+              design.num_cells());
+
+  const FlowConfig fcfg = make_flow_config(spec, bcfg, design);
+  const Predictor predictor = train_for_design(design, spec, bcfg, fcfg.router);
+  const Placement3D pl0 =
+      place_pseudo3d(design, fcfg.place_params, fcfg.seed, false);
+
+  auto route_of = [&](const Placement3D& p) {
+    Placement3D legal = p;
+    legalize_all(design, legal, fcfg.place_params);
+    const GCellGrid grid(legal.outline, bcfg.map_hw, bcfg.map_hw);
+    return global_route(design, legal, grid, fcfg.router);
+  };
+  const RouteResult base = route_of(pl0);
+  std::printf("\n%-22s %10s %10s %8s %6s\n", "variant", "overflow", "WL(um)",
+              "moves", "win?");
+  std::printf("%-22s %10.0f %10.0f %8s %6s\n", "Pin3D baseline",
+              base.total_overflow, base.wirelength, "-", "-");
+
+  struct Variant {
+    const char* name;
+    float a, b, g, d;
+  };
+  const Variant variants[] = {
+      {"full objective", 2.0f, 0.5f, 1.5f, 10.0f},
+      {"w/o displacement", 0.0f, 0.5f, 1.5f, 10.0f},
+      {"w/o overlap", 2.0f, 0.0f, 1.5f, 10.0f},
+      {"w/o cutsize", 2.0f, 0.5f, 0.0f, 10.0f},
+      {"w/o congestion", 2.0f, 0.5f, 1.5f, 0.0f},
+      {"congestion only", 0.0f, 0.0f, 0.0f, 10.0f},
+  };
+  for (const Variant& v : variants) {
+    DcoConfig dcfg;
+    dcfg.grid_nx = dcfg.grid_ny = bcfg.map_hw;
+    dcfg.restarts = 1;
+    dcfg.max_iter = 60;
+    dcfg.alpha_disp = v.a;
+    dcfg.beta_ovlp = v.b;
+    dcfg.gamma_cut = v.g;
+    dcfg.delta_cong = v.d;
+    dcfg.router = fcfg.router;
+    dcfg.legalize_params = fcfg.place_params;
+    const DcoResult r = run_dco(design, pl0, predictor, fcfg.timing, dcfg);
+    const RouteResult rr = route_of(r.placement);
+    std::printf("%-22s %10.0f %10.0f %8zu %6s\n", v.name, rr.total_overflow,
+                rr.wirelength, r.cells_moved_tier,
+                rr.total_overflow < base.total_overflow ? "yes" : "no");
+  }
+  std::printf("\n(the trial-route gate keeps every variant from committing a\n"
+              " regression; variants that cannot find improvements return the\n"
+              " input placement and match the baseline row)\n");
+  return 0;
+}

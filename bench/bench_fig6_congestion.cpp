@@ -1,0 +1,60 @@
+// Fig. 6 reproduction: post-route congestion maps of both dies, Pin-3D vs
+// DCO-3D, on the LDPC benchmark — rendered as ASCII heat maps plus hotspot
+// statistics. The paper's visual: DCO-3D's maps show fewer and weaker
+// hotspots at similar wirelength.
+//
+//   ./bench_fig6_congestion [scale] [layouts] [epochs]
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+using namespace dco3d;
+using namespace dco3d::bench;
+
+int main(int argc, char** argv) {
+  const BenchConfig bcfg = BenchConfig::from_args(argc, argv);
+  const DesignSpec spec = spec_for(DesignKind::kLdpc, bcfg.scale);
+  const Netlist design = generate_design(spec);
+  std::printf("== Fig. 6: post-route congestion, Pin3D vs DCO-3D (%s) ==\n",
+              spec.name.c_str());
+
+  const FlowConfig fcfg = make_flow_config(spec, bcfg, design);
+  const FlowResult base = run_pin3d_flow(design, fcfg);
+  const Predictor predictor = train_for_design(design, spec, bcfg, fcfg.router);
+  const FlowResult ours = run_dco_flow(design, predictor, fcfg, bcfg);
+
+  const auto ny = static_cast<std::size_t>(fcfg.grid_ny);
+  const auto nx = static_cast<std::size_t>(fcfg.grid_nx);
+
+  auto stats = [&](const RouteResult& r, const char* name) {
+    for (int die = 0; die < 2; ++die) {
+      double total = 0.0;
+      std::size_t hot = 0;
+      for (float v : r.congestion[die]) {
+        total += v;
+        if (v > 0.0f) ++hot;
+      }
+      std::printf("%-14s die %-6s: overflow mass %8.1f  hot tiles %4zu  max "
+                  "%6.2f\n",
+                  name, die ? "top" : "bottom", total, hot,
+                  max_of(r.congestion[die]));
+    }
+  };
+  stats(base.final_route, "Pin3D");
+  stats(ours.final_route, "DCO-3D");
+
+  std::printf("\ntotal overflow: Pin3D %.0f -> DCO-3D %.0f (%.1f%% better)\n",
+              base.signoff.overflow, ours.signoff.overflow,
+              pct_gain(base.signoff.overflow, ours.signoff.overflow));
+  std::printf("routed WL:      Pin3D %.0f -> DCO-3D %.0f um (%+.1f%%)\n",
+              base.signoff.wirelength_um, ours.signoff.wirelength_um,
+              -pct_gain(base.signoff.wirelength_um, ours.signoff.wirelength_um));
+
+  for (int die = 0; die < 2; ++die) {
+    std::printf("\nPin3D congestion, %s die:\n%s", die ? "top" : "bottom",
+                ascii_heatmap(base.final_route.congestion[die], ny, nx).c_str());
+    std::printf("\nDCO-3D congestion, %s die:\n%s", die ? "top" : "bottom",
+                ascii_heatmap(ours.final_route.congestion[die], ny, nx).c_str());
+  }
+  return 0;
+}

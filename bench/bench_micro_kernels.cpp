@@ -1,0 +1,233 @@
+// Engineering micro-benchmarks (google-benchmark): throughput of the kernels
+// the DCO loop and the flow spend their time in — RUDY scatter, hard and
+// soft feature maps (forward + Eq. 6 backward), UNet forward/backward, GCN
+// forward, the global router, STA, FM partitioning, and legalization.
+// These are not paper figures; they document the cost model of the library.
+
+#include <benchmark/benchmark.h>
+
+#include "core/features.hpp"
+#include "core/losses.hpp"
+#include "grid/soft_maps.hpp"
+#include "nn/gcn.hpp"
+#include "nn/optimizer.hpp"
+#include "place/fm_partitioner.hpp"
+#include "place/quadratic.hpp"
+#include "place/legalize.hpp"
+#include "place/placer3d.hpp"
+#include "route/router.hpp"
+#include "timing/sta.hpp"
+
+namespace dco3d {
+namespace {
+
+/// Shared fixture state (built once).
+struct State {
+  Netlist design;
+  Placement3D placement;
+  GCellGrid grid;
+
+  explicit State(std::size_t cells)
+      : design(generate_design([&] {
+          DesignSpec s = spec_for(DesignKind::kLdpc, 0.02);
+          s.target_cells = cells;
+          return s;
+        }())),
+        placement(place_pseudo3d(design, PlacementParams{}, 3, false)),
+        grid(placement.outline, 48, 48) {}
+};
+
+State& state1k() {
+  static State s(1000);
+  return s;
+}
+
+void BM_RudyScatter(benchmark::State& st) {
+  State& s = state1k();
+  std::vector<float> map(static_cast<std::size_t>(s.grid.num_tiles()), 0.0f);
+  for (auto _ : st) {
+    for (const Net& net : s.design.nets())
+      add_net_rudy(map, s.grid, net_bbox(net, s.placement), 1.0);
+    benchmark::DoNotOptimize(map.data());
+  }
+  st.SetItemsProcessed(static_cast<std::int64_t>(st.iterations()) *
+                       static_cast<std::int64_t>(s.design.num_nets()));
+}
+BENCHMARK(BM_RudyScatter);
+
+void BM_HardFeatureMaps(benchmark::State& st) {
+  State& s = state1k();
+  for (auto _ : st) {
+    FeatureMaps fm = compute_feature_maps(s.design, s.placement, s.grid);
+    benchmark::DoNotOptimize(fm.die[0].data().data());
+  }
+}
+BENCHMARK(BM_HardFeatureMaps);
+
+void BM_SoftMapsForward(benchmark::State& st) {
+  State& s = state1k();
+  const auto n = static_cast<std::int64_t>(s.design.num_cells());
+  nn::Tensor tx({n}), ty({n}), tz({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    tx[i] = static_cast<float>(s.placement.xy[static_cast<std::size_t>(i)].x);
+    ty[i] = static_cast<float>(s.placement.xy[static_cast<std::size_t>(i)].y);
+    tz[i] = 0.5f;
+  }
+  nn::Var x = nn::make_leaf(tx), y = nn::make_leaf(ty), z = nn::make_leaf(tz);
+  for (auto _ : st) {
+    SoftMaps maps = soft_feature_maps(s.design, s.grid, x, y, z);
+    benchmark::DoNotOptimize(maps.stacked->value.data().data());
+  }
+}
+BENCHMARK(BM_SoftMapsForward);
+
+void BM_SoftMapsForwardBackward(benchmark::State& st) {
+  State& s = state1k();
+  const auto n = static_cast<std::int64_t>(s.design.num_cells());
+  nn::Tensor tx({n}), ty({n}), tz({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    tx[i] = static_cast<float>(s.placement.xy[static_cast<std::size_t>(i)].x);
+    ty[i] = static_cast<float>(s.placement.xy[static_cast<std::size_t>(i)].y);
+    tz[i] = 0.5f;
+  }
+  for (auto _ : st) {
+    nn::Var x = nn::make_leaf(tx, true), y = nn::make_leaf(ty, true),
+            z = nn::make_leaf(tz, true);
+    SoftMaps maps = soft_feature_maps(s.design, s.grid, x, y, z);
+    nn::Var loss = nn::sum(maps.stacked);
+    nn::backward(loss);
+    benchmark::DoNotOptimize(x->grad.data().data());
+  }
+}
+BENCHMARK(BM_SoftMapsForwardBackward);
+
+void BM_UNetForward(benchmark::State& st) {
+  Rng rng(1);
+  nn::UNetConfig cfg;
+  cfg.base_channels = 8;
+  cfg.depth = 2;
+  nn::SiameseUNet model(cfg, rng);
+  nn::Tensor f({1, 7, 48, 48});
+  for (std::int64_t i = 0; i < f.numel(); ++i)
+    i % 3 ? f[i] = 0.3f : f[i] = 0.7f;
+  for (auto _ : st) {
+    auto [t, b] = model.forward(nn::make_leaf(f), nn::make_leaf(f));
+    benchmark::DoNotOptimize(t->value.data().data());
+    benchmark::DoNotOptimize(b->value.data().data());
+  }
+}
+BENCHMARK(BM_UNetForward);
+
+void BM_UNetTrainStep(benchmark::State& st) {
+  Rng rng(1);
+  nn::UNetConfig cfg;
+  cfg.base_channels = 8;
+  cfg.depth = 2;
+  nn::SiameseUNet model(cfg, rng);
+  nn::Adam adam(model.parameters(), 1e-3f);
+  nn::Tensor f({1, 7, 48, 48}, 0.4f);
+  nn::Tensor l({1, 1, 48, 48}, 0.6f);
+  for (auto _ : st) {
+    auto [t, b] = model.forward(nn::make_leaf(f), nn::make_leaf(f));
+    nn::Var loss = nn::siamese_loss(t, nn::make_leaf(l), b, nn::make_leaf(l));
+    adam.zero_grad();
+    nn::backward(loss);
+    adam.step();
+    benchmark::DoNotOptimize(loss->value[0]);
+  }
+}
+BENCHMARK(BM_UNetTrainStep);
+
+void BM_GcnForward(benchmark::State& st) {
+  State& s = state1k();
+  Rng rng(2);
+  auto adj = std::make_shared<const nn::Csr>(nn::normalized_adjacency(
+      static_cast<std::int64_t>(s.design.num_cells()), s.design.cell_graph_edges()));
+  nn::GcnStack stack(kGnnFeatureDim, 32, 3, rng);
+  TimingConfig tcfg;
+  nn::Var features =
+      nn::make_leaf(build_gnn_features(s.design, s.placement, tcfg));
+  for (auto _ : st) {
+    nn::Var out = stack.forward(adj, features);
+    benchmark::DoNotOptimize(out->value.data().data());
+  }
+}
+BENCHMARK(BM_GcnForward);
+
+void BM_GlobalRoute(benchmark::State& st) {
+  State& s = state1k();
+  for (auto _ : st) {
+    RouteResult r = global_route(s.design, s.placement, s.grid);
+    benchmark::DoNotOptimize(r.total_overflow);
+  }
+  st.SetItemsProcessed(static_cast<std::int64_t>(st.iterations()) *
+                       static_cast<std::int64_t>(s.design.num_nets()));
+}
+BENCHMARK(BM_GlobalRoute);
+
+void BM_Sta(benchmark::State& st) {
+  State& s = state1k();
+  TimingConfig cfg;
+  for (auto _ : st) {
+    TimingResult t = run_sta(s.design, s.placement, cfg);
+    benchmark::DoNotOptimize(t.tns_ps);
+  }
+  st.SetItemsProcessed(static_cast<std::int64_t>(st.iterations()) *
+                       static_cast<std::int64_t>(s.design.num_cells()));
+}
+BENCHMARK(BM_Sta);
+
+void BM_FmPartition(benchmark::State& st) {
+  State& s = state1k();
+  for (auto _ : st) {
+    Placement3D pl = s.placement;
+    FmConfig cfg;
+    benchmark::DoNotOptimize(partition_tiers(s.design, pl, cfg));
+  }
+}
+BENCHMARK(BM_FmPartition);
+
+void BM_Legalize(benchmark::State& st) {
+  State& s = state1k();
+  PlacementParams params;
+  for (auto _ : st) {
+    Placement3D pl = s.placement;
+    LegalizeStats stats = legalize_all(s.design, pl, params);
+    benchmark::DoNotOptimize(stats.total_displacement);
+  }
+}
+BENCHMARK(BM_Legalize);
+
+void BM_QuadraticPlace(benchmark::State& st) {
+  State& s = state1k();
+  const MovableIndex idx = MovableIndex::build(s.design);
+  for (auto _ : st) {
+    Placement3D pl = s.placement;
+    solve_quadratic(s.design, pl, idx, {}, nullptr, 0.0, 1);
+    benchmark::DoNotOptimize(pl.xy.data());
+  }
+}
+BENCHMARK(BM_QuadraticPlace);
+
+void BM_OverlapLoss(benchmark::State& st) {
+  State& s = state1k();
+  const auto n = static_cast<std::int64_t>(s.design.num_cells());
+  nn::Tensor tx({n}), ty({n}), tz({n}, 0.5f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    tx[i] = static_cast<float>(s.placement.xy[static_cast<std::size_t>(i)].x);
+    ty[i] = static_cast<float>(s.placement.xy[static_cast<std::size_t>(i)].y);
+  }
+  for (auto _ : st) {
+    nn::Var x = nn::make_leaf(tx, true), y = nn::make_leaf(ty, true),
+            z = nn::make_leaf(tz, true);
+    nn::Var l = overlap_loss(s.design, x, y, z, s.placement.outline, 24, 24, 0.7);
+    nn::backward(l);
+    benchmark::DoNotOptimize(l->value[0]);
+  }
+}
+BENCHMARK(BM_OverlapLoss);
+
+}  // namespace
+}  // namespace dco3d
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Design explorer: structural statistics of the six synthetic benchmark
+// families — fanout distribution, logic depth, connectivity locality, and
+// sequential ratio — the properties that drive their different congestion
+// behavior (LDPC's global bipartite structure vs VGA's local raster
+// pipeline, etc.).
+//
+//   ./examples/design_explorer [scale]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <queue>
+#include <vector>
+
+#include "netlist/generators.hpp"
+#include "util/stats.hpp"
+
+using namespace dco3d;
+
+namespace {
+
+struct DesignStats {
+  std::size_t cells = 0, nets = 0, ios = 0, macros = 0, registers = 0;
+  double avg_fanout = 0.0;
+  std::size_t max_fanout = 0;
+  std::size_t comb_depth = 0;       // longest register-to-register level count
+  double graph_locality = 0.0;      // mean |id distance| of edges, normalized
+};
+
+DesignStats analyze(const Netlist& nl) {
+  DesignStats s;
+  s.cells = nl.num_cells();
+  s.nets = nl.num_nets();
+  s.ios = nl.num_ios();
+  for (std::size_t i = 0; i < nl.num_cells(); ++i) {
+    const auto id = static_cast<CellId>(i);
+    if (nl.is_macro(id)) ++s.macros;
+    if (nl.is_sequential(id)) ++s.registers;
+  }
+
+  double fan_sum = 0.0;
+  for (const Net& net : nl.nets()) {
+    fan_sum += static_cast<double>(net.sinks.size());
+    s.max_fanout = std::max(s.max_fanout, net.sinks.size());
+  }
+  s.avg_fanout = fan_sum / static_cast<double>(std::max<std::size_t>(s.nets, 1));
+
+  // Logic depth via longest-path levelization over combinational arcs
+  // (launch points are level 0; cycles break at visited cells).
+  std::vector<int> level(nl.num_cells(), 0);
+  std::vector<int> indeg(nl.num_cells(), 0);
+  auto is_launch = [&](CellId c) {
+    return nl.is_sequential(c) || nl.is_io(c) || nl.is_macro(c);
+  };
+  for (const Net& net : nl.nets()) {
+    if (net.is_clock) continue;
+    for (const PinRef& p : net.sinks)
+      if (!is_launch(p.cell)) ++indeg[static_cast<std::size_t>(p.cell)];
+  }
+  std::queue<CellId> ready;
+  for (std::size_t i = 0; i < nl.num_cells(); ++i) {
+    const auto id = static_cast<CellId>(i);
+    if (is_launch(id) || indeg[i] == 0) ready.push(id);
+  }
+  std::vector<bool> done(nl.num_cells(), false);
+  // Driving-net lookup.
+  std::vector<NetId> out_net(nl.num_cells(), -1);
+  for (std::size_t ni = 0; ni < nl.num_nets(); ++ni)
+    out_net[static_cast<std::size_t>(nl.net(static_cast<NetId>(ni)).driver.cell)] =
+        static_cast<NetId>(ni);
+  while (!ready.empty()) {
+    const CellId c = ready.front();
+    ready.pop();
+    const auto ci = static_cast<std::size_t>(c);
+    if (done[ci]) continue;
+    done[ci] = true;
+    s.comb_depth = std::max<std::size_t>(s.comb_depth,
+                                         static_cast<std::size_t>(level[ci]));
+    if (out_net[ci] < 0) continue;
+    const Net& net = nl.net(out_net[ci]);
+    if (net.is_clock) continue;
+    for (const PinRef& p : net.sinks) {
+      const auto pi = static_cast<std::size_t>(p.cell);
+      if (is_launch(p.cell) || done[pi]) continue;
+      level[pi] = std::max(level[pi], level[ci] + 1);
+      if (--indeg[pi] == 0) ready.push(p.cell);
+    }
+  }
+
+  // Locality proxy: cells are created cluster-by-cluster, so the id distance
+  // of an edge approximates structural distance; normalize by design size.
+  const auto edges = nl.cell_graph_edges();
+  double dist_sum = 0.0;
+  for (auto [u, v] : edges) dist_sum += std::abs(static_cast<double>(u - v));
+  s.graph_locality =
+      1.0 - dist_sum / (static_cast<double>(edges.size()) *
+                        static_cast<double>(std::max<std::size_t>(s.cells, 1)));
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.04;
+  std::printf("== benchmark family structure (scale %.3f) ==\n\n", scale);
+  std::printf("%-8s %7s %7s %5s %7s %5s %9s %8s %7s %9s\n", "design", "cells",
+              "nets", "IOs", "regs", "macro", "avgFanout", "maxFan", "depth",
+              "locality");
+  for (DesignKind kind : kAllDesigns) {
+    const DesignSpec spec = spec_for(kind, scale);
+    const Netlist nl = generate_design(spec);
+    const DesignStats s = analyze(nl);
+    std::printf("%-8s %7zu %7zu %5zu %7zu %5zu %9.2f %8zu %7zu %9.3f\n",
+                spec.name.c_str(), s.cells, s.nets, s.ios, s.registers,
+                s.macros, s.avg_fanout, s.max_fanout, s.comb_depth,
+                s.graph_locality);
+  }
+  std::printf(
+      "\nreading the table:\n"
+      "  * LDPC: shallow + global (low locality, big XOR fanouts) — the\n"
+      "    routing-congestion stress pattern the paper features in Fig. 6/7.\n"
+      "  * ECG: deepest pipelines (MAC chains), strong locality.\n"
+      "  * Rocket: broadcast-heavy (register-file/stall fanouts).\n"
+      "  * VGA: most local (raster line buffers), mux-dominated.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Refresh the measured-results section of EXPERIMENTS.md from bench_output.txt.
+
+Run after `for b in build/bench/*; do $b; done | tee bench_output.txt`:
+
+    python3 scripts/update_experiments.py
+
+Extracts the Table III block (everything from the table header to its summary
+line) and splices it into EXPERIMENTS.md at the TABLE3_RESULTS marker.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def main() -> int:
+    bench = (ROOT / "bench_output.txt").read_text()
+    exp_path = ROOT / "EXPERIMENTS.md"
+    exp = exp_path.read_text()
+
+    m = re.search(
+        r"== Table III.*?== summary: DCO-3D wins[^\n]*\n", bench, re.DOTALL
+    )
+    if not m:
+        print("Table III block not found in bench_output.txt", file=sys.stderr)
+        return 1
+    block = "```\n" + m.group(0).rstrip() + "\n```"
+
+    marker = "<!-- TABLE3_RESULTS -->"
+    if marker in exp:
+        exp = exp.replace(marker, block)
+    else:
+        # Already substituted once: replace the previous code block following
+        # the Table III heading.
+        exp = re.sub(
+            r"(## Table III[^\n]*\n(?:.*?\n)*?)```\n== Table III.*?```",
+            lambda mm: mm.group(1) + block,
+            exp,
+            flags=re.DOTALL,
+        )
+    exp_path.write_text(exp)
+    print("EXPERIMENTS.md updated")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

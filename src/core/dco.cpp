@@ -1,0 +1,163 @@
+#include "core/dco.hpp"
+
+#include <limits>
+#include <memory>
+
+#include "core/features.hpp"
+#include "core/losses.hpp"
+#include "grid/feature_maps.hpp"
+#include "grid/soft_maps.hpp"
+#include "nn/optimizer.hpp"
+#include "flow/cts.hpp"
+#include "place/legalize.hpp"
+#include "nn/ops.hpp"
+#include "util/logging.hpp"
+
+namespace dco3d {
+
+namespace {
+
+/// Predicted post-route congestion of a concrete (hard) placement: the
+/// predictor applied exactly as at inference time. Used to select which DCO
+/// iterate to commit — soft-map losses drive the gradients, but committing
+/// is decided on in-distribution hard maps, and the initial placement is
+/// always a candidate, so DCO never returns a placement the predictor
+/// scores worse than its input.
+double hard_predicted_congestion(const Netlist& netlist, const Placement3D& pl,
+                                 const GCellGrid& grid,
+                                 const Predictor& predictor) {
+  FeatureMaps fm = compute_feature_maps(netlist, pl, grid);
+  auto [c_top, c_bot] = predictor.model->forward(
+      nn::make_leaf(predictor.normalize_features(fm.die[1])),
+      nn::make_leaf(predictor.normalize_features(fm.die[0])));
+  auto rms = [](const nn::Tensor& t) {
+    double s = 0.0;
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+      s += static_cast<double>(t[i]) * t[i];
+    return std::sqrt(s / static_cast<double>(t.numel()));
+  };
+  return 0.5 * (rms(c_top->value) + rms(c_bot->value));
+}
+
+/// Trial-global-route score of a hard placement candidate (total overflow,
+/// with wirelength as a tie-breaker at equal overflow). The trial replays
+/// the downstream flow the candidate will actually see — CTS buses included
+/// — so the committed placement wins where it counts, post-route.
+double trial_route_score(const Netlist& netlist, const Placement3D& pl,
+                         const GCellGrid& grid, const DcoConfig& cfg) {
+  Netlist work = netlist;  // CTS inserts buffers/clock nets on a copy
+  Placement3D legal = pl;
+  run_cts(work, legal);
+  legalize_all(work, legal, cfg.legalize_params);
+  const RouteResult r = global_route(work, legal, grid, cfg.router);
+  return r.total_overflow + 1e-5 * r.wirelength;
+}
+
+}  // namespace
+
+DcoResult run_dco(const Netlist& netlist, const Placement3D& initial,
+                  const Predictor& predictor, const TimingConfig& timing_cfg,
+                  const DcoConfig& cfg) {
+  Rng rng(cfg.seed);
+  DcoResult res;
+  res.placement = initial;
+
+  // Node features (Table II) from the initial placement; the netlist graph
+  // and features stay fixed while the GNN's weights are optimized.
+  nn::Var features = nn::make_leaf(build_gnn_features(netlist, initial, timing_cfg));
+  const GCellGrid grid(initial.outline, cfg.grid_nx, cfg.grid_ny);
+  auto edges = std::make_shared<const std::vector<std::pair<std::int64_t, std::int64_t>>>(
+      netlist.cell_graph_edges());
+
+  nn::Tensor x0({static_cast<std::int64_t>(netlist.num_cells())});
+  nn::Tensor y0(x0.shape());
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    x0[static_cast<std::int64_t>(ci)] = static_cast<float>(initial.xy[ci].x);
+    y0[static_cast<std::int64_t>(ci)] = static_cast<float>(initial.xy[ci].y);
+  }
+
+  // Candidate selection state: score the initial placement first.
+  auto score_of = [&](const Placement3D& pl) {
+    return cfg.select_by_route
+               ? trial_route_score(netlist, pl, grid, cfg)
+               : hard_predicted_congestion(netlist, pl, grid, predictor);
+  };
+  double best_score = score_of(initial);
+  const double initial_score = best_score;
+  bool improved = false;
+
+  for (int restart = 0; restart < std::max(cfg.restarts, 1); ++restart) {
+    GnnSpreader spreader(netlist, initial, cfg.spreader, rng);
+    nn::Adam adam(spreader.parameters(), cfg.lr);
+    double best_loss_seen = std::numeric_limits<double>::infinity();
+    int stall = 0;
+
+    auto consider = [&](const SpreaderOutput& out, int iter) {
+      Placement3D cand = initial;
+      spreader.commit(out, cand);
+      const double score = score_of(cand);
+      if (score < best_score - 1e-6) {
+        best_score = score;
+        res.best_iter = iter;
+        res.placement = std::move(cand);
+        improved = true;
+      }
+    };
+
+    for (int iter = 0; iter < cfg.max_iter; ++iter) {
+      SpreaderOutput out = spreader.forward(features);
+
+      SoftMaps maps = soft_feature_maps(netlist, grid, out.x, out.y, out.z);
+      nn::Var l_cong = congestion_loss(predictor, maps);
+      nn::Var l_disp = displacement_loss(out.x, out.y, x0, y0, initial.outline);
+      nn::Var l_ovlp = overlap_loss(netlist, out.x, out.y, out.z, initial.outline,
+                                    cfg.overlap_bins, cfg.overlap_bins,
+                                    cfg.overlap_target_util);
+      nn::Var l_cut = cutsize_loss(out.z, edges);
+
+      nn::Var total = nn::add(
+          nn::add(nn::mul_scalar(l_disp, cfg.alpha_disp),
+                  nn::mul_scalar(l_ovlp, cfg.beta_ovlp)),
+          nn::add(nn::mul_scalar(l_cut, cfg.gamma_cut),
+                  nn::mul_scalar(l_cong, cfg.delta_cong)));
+
+      DcoIterate it;
+      it.iter = iter;
+      it.total = total->value[0];
+      it.disp = l_disp->value[0];
+      it.ovlp = l_ovlp->value[0];
+      it.cut = l_cut->value[0];
+      it.cong = l_cong->value[0];
+      res.trace.push_back(it);
+      log_debug("dco r", restart, " iter ", iter, " total=", it.total,
+                " cong=", it.cong, " ovlp=", it.ovlp, " cut=", it.cut,
+                " disp=", it.disp);
+
+      // Periodically evaluate the hard-committed candidate.
+      if (iter % cfg.eval_every == 0 || iter + 1 == cfg.max_iter)
+        consider(out, iter);
+
+      if (it.total < best_loss_seen - cfg.convergence_eps) {
+        best_loss_seen = it.total;
+        stall = 0;
+      } else if (++stall >= cfg.patience) {
+        consider(out, iter);
+        break;  // converged / plateaued
+      }
+
+      adam.zero_grad();
+      nn::backward(total);
+      adam.step();
+    }
+  }
+  res.best_loss = best_score;
+  res.initial_score = initial_score;
+  res.improved = improved;
+  // res.placement already holds the best candidate (or the initial
+  // placement when no iterate scored better).
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci)
+    if (res.placement.tier[ci] != initial.tier[ci]) ++res.cells_moved_tier;
+  return res;
+}
+
+}  // namespace dco3d

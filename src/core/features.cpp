@@ -1,0 +1,67 @@
+#include "core/features.hpp"
+
+#include <cmath>
+
+namespace dco3d {
+
+nn::Tensor build_gnn_features(const Netlist& netlist, const Placement3D& placement,
+                              const TimingConfig& timing_cfg) {
+  const auto n = static_cast<std::int64_t>(netlist.num_cells());
+  const TimingResult t = run_sta(netlist, placement, timing_cfg);
+
+  // Driving-net index per cell.
+  std::vector<NetId> out_net(netlist.num_cells(), -1);
+  for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni)
+    out_net[static_cast<std::size_t>(
+        netlist.net(static_cast<NetId>(ni)).driver.cell)] = static_cast<NetId>(ni);
+
+  nn::Tensor f({n, kGnnFeatureDim});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto ci = static_cast<std::size_t>(i);
+    const auto id = static_cast<CellId>(i);
+    const CellType& ct = netlist.cell_type(id);
+    f.at(i, 0) = static_cast<float>(t.cell_slack[ci]);
+    f.at(i, 1) = static_cast<float>(t.cell_out_slew[ci]);
+    f.at(i, 2) = static_cast<float>(t.cell_in_slew[ci]);
+    f.at(i, 3) = out_net[ci] >= 0
+                     ? static_cast<float>(
+                           t.net_switch_mw[static_cast<std::size_t>(out_net[ci])])
+                     : 0.0f;
+    const double f_ghz = 1000.0 / timing_cfg.clock_period_ps;
+    f.at(i, 4) = static_cast<float>(timing_cfg.activity * ct.internal_energy *
+                                    f_ghz * 1e-3);
+    f.at(i, 5) = static_cast<float>(ct.leakage * 1e-6);
+    f.at(i, 6) = static_cast<float>(ct.width);
+    f.at(i, 7) = static_cast<float>(ct.height);
+    f.at(i, 8) = static_cast<float>((placement.xy[ci].x - placement.outline.xlo) /
+                                    placement.outline.width());
+    f.at(i, 9) = static_cast<float>((placement.xy[ci].y - placement.outline.ylo) /
+                                    placement.outline.height());
+    f.at(i, 10) = placement.tier[ci] ? 1.0f : -1.0f;
+  }
+
+  // Z-score normalize the Table-II columns (0..7) over movable cells.
+  for (std::int64_t c = 0; c < 8; ++c) {
+    double mean = 0.0, count = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (!netlist.is_movable(static_cast<CellId>(i))) continue;
+      mean += f.at(i, c);
+      count += 1.0;
+    }
+    if (count < 1.0) continue;
+    mean /= count;
+    double var = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (!netlist.is_movable(static_cast<CellId>(i))) continue;
+      const double d = f.at(i, c) - mean;
+      var += d * d;
+    }
+    const double stddev = std::sqrt(var / count);
+    const double inv = stddev > 1e-9 ? 1.0 / stddev : 0.0;
+    for (std::int64_t i = 0; i < n; ++i)
+      f.at(i, c) = static_cast<float>((f.at(i, c) - mean) * inv);
+  }
+  return f;
+}
+
+}  // namespace dco3d

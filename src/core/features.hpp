@@ -1,0 +1,31 @@
+#pragma once
+// GNN node features (Table II): worst slack, worst output/input slew,
+// driving-net switching power, internal power, leakage, width, height —
+// computed by our STA/power substitute — plus position/tier encodings that
+// let the spreader condition on the initial 3D placement.
+
+#include "netlist/netlist.hpp"
+#include "nn/tensor.hpp"
+#include "timing/sta.hpp"
+
+namespace dco3d {
+
+inline constexpr std::int64_t kGnnFeatureDim = 11;
+
+/// Build the [N, 11] feature matrix. Columns:
+///   0 wst slack      (Table II)
+///   1 wst output slew(Table II)
+///   2 wst input slew (Table II)
+///   3 drv net power  (Table II)
+///   4 int power      (Table II)
+///   5 leakage        (Table II)
+///   6 width          (Table II)
+///   7 height         (Table II)
+///   8 x / die width   (position encoding)
+///   9 y / die height  (position encoding)
+///  10 tier in {-1,+1} (initial assignment encoding)
+/// All Table-II columns are z-score normalized over movable cells.
+nn::Tensor build_gnn_features(const Netlist& netlist, const Placement3D& placement,
+                              const TimingConfig& timing_cfg);
+
+}  // namespace dco3d

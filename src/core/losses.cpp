@@ -1,0 +1,253 @@
+#include "core/losses.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "nn/ops.hpp"
+
+namespace dco3d {
+
+nn::Var displacement_loss(const nn::Var& x, const nn::Var& y,
+                          const nn::Tensor& x0, const nn::Tensor& y0,
+                          const Rect& outline) {
+  nn::Var x0v = nn::make_leaf(x0);
+  nn::Var y0v = nn::make_leaf(y0);
+  nn::Var dx = nn::mul_scalar(nn::sub(x, x0v), static_cast<float>(1.0 / outline.width()));
+  nn::Var dy = nn::mul_scalar(nn::sub(y, y0v), static_cast<float>(1.0 / outline.height()));
+  return nn::add(nn::mean_op(nn::square(dx)), nn::mean_op(nn::square(dy)));
+}
+
+nn::Var cutsize_loss(
+    const nn::Var& z,
+    std::shared_ptr<const std::vector<std::pair<std::int64_t, std::int64_t>>> edges) {
+  assert(edges);
+  const auto n = static_cast<std::size_t>(z->value.numel());
+  auto zs = z->value.data();
+
+  // Degrees.
+  auto degree = std::make_shared<std::vector<double>>(n, 0.0);
+  for (auto [u, v] : *edges) {
+    (*degree)[static_cast<std::size_t>(u)] += 1.0;
+    (*degree)[static_cast<std::size_t>(v)] += 1.0;
+  }
+
+  double cut = 0.0, deg_t = 0.0, deg_b = 0.0;
+  for (auto [u, v] : *edges) {
+    const double zu = std::clamp(static_cast<double>(zs[static_cast<std::size_t>(u)]), 0.0, 1.0);
+    const double zv = std::clamp(static_cast<double>(zs[static_cast<std::size_t>(v)]), 0.0, 1.0);
+    cut += zu * (1.0 - zv) + zv * (1.0 - zu);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double zi = std::clamp(static_cast<double>(zs[i]), 0.0, 1.0);
+    deg_t += (*degree)[i] * zi;
+    deg_b += (*degree)[i] * (1.0 - zi);
+  }
+  constexpr double kEps = 1e-6;
+  deg_t = std::max(deg_t, kEps);
+  deg_b = std::max(deg_b, kEps);
+  const double loss = cut / deg_t + cut / deg_b;
+
+  auto backward = [edges, degree, cut, deg_t, deg_b](nn::Node& node) {
+    nn::Node& pz = *node.parents[0];
+    if (!pz.requires_grad) return;
+    pz.ensure_grad();
+    const float g = node.grad[0];
+    auto zs = pz.value.data();
+    auto gz = pz.grad.data();
+    const double inv = 1.0 / deg_t + 1.0 / deg_b;
+    // d(cut)/dz_i = sum_{j in N(i)} (1 - 2 z_j); accumulate per edge.
+    std::vector<double> dcut(degree->size(), 0.0);
+    for (auto [u, v] : *edges) {
+      const double zu = std::clamp(static_cast<double>(zs[static_cast<std::size_t>(u)]), 0.0, 1.0);
+      const double zv = std::clamp(static_cast<double>(zs[static_cast<std::size_t>(v)]), 0.0, 1.0);
+      dcut[static_cast<std::size_t>(u)] += 1.0 - 2.0 * zv;
+      dcut[static_cast<std::size_t>(v)] += 1.0 - 2.0 * zu;
+    }
+    for (std::size_t i = 0; i < degree->size(); ++i) {
+      const double d_deg = (*degree)[i];
+      // d(1/degT)/dz_i = -deg_i/degT^2 ; d(1/degB)/dz_i = +deg_i/degB^2.
+      const double term = dcut[i] * inv +
+                          cut * (-d_deg / (deg_t * deg_t) + d_deg / (deg_b * deg_b));
+      gz[i] += g * static_cast<float>(term);
+    }
+  };
+  return nn::make_node(nn::Tensor::scalar(static_cast<float>(loss)), {z},
+                       std::move(backward));
+}
+
+double bell_potential(double d, double wb, double wv) {
+  d = std::abs(d);
+  const double r1 = wb + wv * 0.5;
+  const double r2 = 2.0 * wb + wv * 0.5;
+  if (d <= r1) {
+    const double a = 4.0 / ((wv + 2.0 * wb) * (wv + 4.0 * wb));
+    return 1.0 - a * d * d;
+  }
+  if (d <= r2) {
+    const double b = 2.0 / (wb * (wv + 4.0 * wb));
+    return b * (d - r2) * (d - r2);
+  }
+  return 0.0;
+}
+
+double bell_potential_grad(double d, double wb, double wv) {
+  const double sign = d >= 0 ? 1.0 : -1.0;
+  d = std::abs(d);
+  const double r1 = wb + wv * 0.5;
+  const double r2 = 2.0 * wb + wv * 0.5;
+  if (d <= r1) {
+    const double a = 4.0 / ((wv + 2.0 * wb) * (wv + 4.0 * wb));
+    return sign * (-2.0 * a * d);
+  }
+  if (d <= r2) {
+    const double b = 2.0 / (wb * (wv + 4.0 * wb));
+    return sign * (2.0 * b * (d - r2));
+  }
+  return 0.0;
+}
+
+nn::Var overlap_loss(const Netlist& netlist, const nn::Var& x, const nn::Var& y,
+                     const nn::Var& z, const Rect& outline, int bins_x,
+                     int bins_y, double target_util) {
+  const auto n = static_cast<std::size_t>(netlist.num_cells());
+  assert(x->value.numel() == static_cast<std::int64_t>(n));
+  const double wv_x = outline.width() / bins_x;
+  const double wv_y = outline.height() / bins_y;
+  const double bin_area = wv_x * wv_y;
+  const std::size_t n_bins = static_cast<std::size_t>(bins_x) * bins_y;
+
+  auto xs = x->value.data();
+  auto ys = y->value.data();
+  auto zs = z->value.data();
+
+  // Forward: accumulate per-die smoothed densities.
+  std::vector<double> density[2];
+  density[0].assign(n_bins, 0.0);
+  density[1].assign(n_bins, 0.0);
+
+  struct CellGeom {
+    double cx, cy, wb_x, wb_y, c_norm, zt;
+    int b0x, b1x, b0y, b1y;
+    bool active;
+  };
+  auto geoms = std::make_shared<std::vector<CellGeom>>(n);
+
+  auto bin_center_x = [&](int b) { return outline.xlo + (b + 0.5) * wv_x; };
+  auto bin_center_y = [&](int b) { return outline.ylo + (b + 0.5) * wv_y; };
+
+  for (std::size_t ci = 0; ci < n; ++ci) {
+    CellGeom& g = (*geoms)[ci];
+    const auto id = static_cast<CellId>(ci);
+    const CellType& t = netlist.cell_type(id);
+    g.active = netlist.is_movable(id) && t.area() > 0.0;
+    if (!g.active) continue;
+    g.wb_x = std::max(t.width * 0.5, 1e-6);
+    g.wb_y = std::max(t.height * 0.5, 1e-6);
+    g.cx = xs[ci] + t.width * 0.5;
+    g.cy = ys[ci] + t.height * 0.5;
+    g.zt = std::clamp(static_cast<double>(zs[ci]), 0.0, 1.0);
+    const double rx = 2.0 * g.wb_x + wv_x * 0.5;
+    const double ry = 2.0 * g.wb_y + wv_y * 0.5;
+    g.b0x = std::clamp(static_cast<int>((g.cx - rx - outline.xlo) / wv_x), 0, bins_x - 1);
+    g.b1x = std::clamp(static_cast<int>((g.cx + rx - outline.xlo) / wv_x), 0, bins_x - 1);
+    g.b0y = std::clamp(static_cast<int>((g.cy - ry - outline.ylo) / wv_y), 0, bins_y - 1);
+    g.b1y = std::clamp(static_cast<int>((g.cy + ry - outline.ylo) / wv_y), 0, bins_y - 1);
+    // Normalize so total potential mass equals cell area (c_v of Eq. 10).
+    double raw = 0.0;
+    for (int bx = g.b0x; bx <= g.b1x; ++bx)
+      for (int by = g.b0y; by <= g.b1y; ++by)
+        raw += bell_potential(g.cx - bin_center_x(bx), g.wb_x, wv_x) *
+               bell_potential(g.cy - bin_center_y(by), g.wb_y, wv_y);
+    g.c_norm = raw > 1e-12 ? t.area() / raw : 0.0;
+    for (int bx = g.b0x; bx <= g.b1x; ++bx) {
+      const double px = bell_potential(g.cx - bin_center_x(bx), g.wb_x, wv_x);
+      for (int by = g.b0y; by <= g.b1y; ++by) {
+        const double py = bell_potential(g.cy - bin_center_y(by), g.wb_y, wv_y);
+        const auto bi = static_cast<std::size_t>(by) * bins_x + bx;
+        density[0][bi] += g.c_norm * px * py * (1.0 - g.zt);
+        density[1][bi] += g.c_norm * px * py * g.zt;
+      }
+    }
+  }
+
+  // Penalty: mean squared utilization excess over both dies.
+  double loss = 0.0;
+  auto excess = std::make_shared<std::vector<double>>(2 * n_bins, 0.0);
+  for (int die = 0; die < 2; ++die) {
+    for (std::size_t bi = 0; bi < n_bins; ++bi) {
+      const double rho = density[die][bi] / bin_area;
+      const double e = std::max(rho - target_util, 0.0);
+      (*excess)[static_cast<std::size_t>(die) * n_bins + bi] = e;
+      loss += e * e;
+    }
+  }
+  loss /= static_cast<double>(2 * n_bins);
+
+  auto backward = [geoms, excess, outline, bins_x, bins_y, wv_x, wv_y, bin_area,
+                   n_bins](nn::Node& node) {
+    nn::Node& px_node = *node.parents[0];
+    nn::Node& py_node = *node.parents[1];
+    nn::Node& pz_node = *node.parents[2];
+    const float g = node.grad[0];
+    const double scale = 2.0 / (static_cast<double>(2 * n_bins) * bin_area);
+
+    auto bin_center_x = [&](int b) { return outline.xlo + (b + 0.5) * wv_x; };
+    auto bin_center_y = [&](int b) { return outline.ylo + (b + 0.5) * wv_y; };
+
+    std::vector<double> gx(geoms->size(), 0.0), gy(geoms->size(), 0.0),
+        gz(geoms->size(), 0.0);
+    for (std::size_t ci = 0; ci < geoms->size(); ++ci) {
+      const CellGeom& geo = (*geoms)[ci];
+      if (!geo.active || geo.c_norm == 0.0) continue;
+      for (int bx = geo.b0x; bx <= geo.b1x; ++bx) {
+        const double dx = geo.cx - bin_center_x(bx);
+        const double pxv = bell_potential(dx, geo.wb_x, wv_x);
+        const double dpx = bell_potential_grad(dx, geo.wb_x, wv_x);
+        for (int by = geo.b0y; by <= geo.b1y; ++by) {
+          const double dy = geo.cy - bin_center_y(by);
+          const double pyv = bell_potential(dy, geo.wb_y, wv_y);
+          const double dpy = bell_potential_grad(dy, geo.wb_y, wv_y);
+          const auto bi = static_cast<std::size_t>(by) * bins_x + bx;
+          const double e_bot = (*excess)[bi];
+          const double e_top = (*excess)[n_bins + bi];
+          const double w_mix = e_bot * (1.0 - geo.zt) + e_top * geo.zt;
+          gx[ci] += scale * w_mix * geo.c_norm * dpx * pyv;
+          gy[ci] += scale * w_mix * geo.c_norm * pxv * dpy;
+          gz[ci] += scale * (e_top - e_bot) * geo.c_norm * pxv * pyv;
+        }
+      }
+    }
+    auto flush = [g](nn::Node& p, const std::vector<double>& vec) {
+      if (!p.requires_grad) return;
+      p.ensure_grad();
+      auto dst = p.grad.data();
+      for (std::size_t i = 0; i < vec.size(); ++i)
+        dst[i] += g * static_cast<float>(vec[i]);
+    };
+    flush(px_node, gx);
+    flush(py_node, gy);
+    flush(pz_node, gz);
+  };
+
+  return nn::make_node(nn::Tensor::scalar(static_cast<float>(loss)), {x, y, z},
+                       std::move(backward));
+}
+
+nn::Var congestion_loss(const nn::SiameseUNet& model, const SoftMaps& maps) {
+  auto [c_top, c_bot] = model.forward(maps.top(), maps.bottom());
+  nn::Var zero_t = nn::make_leaf(nn::Tensor(c_top->value.shape()));
+  nn::Var zero_b = nn::make_leaf(nn::Tensor(c_bot->value.shape()));
+  return nn::siamese_loss(c_top, zero_t, c_bot, zero_b);
+}
+
+nn::Var congestion_loss(const Predictor& predictor, const SoftMaps& maps) {
+  auto [c_top, c_bot] =
+      predictor.model->forward(predictor.normalize_features(maps.top()),
+                               predictor.normalize_features(maps.bottom()));
+  nn::Var zero_t = nn::make_leaf(nn::Tensor(c_top->value.shape()));
+  nn::Var zero_b = nn::make_leaf(nn::Tensor(c_bot->value.shape()));
+  return nn::siamese_loss(c_top, zero_t, c_bot, zero_b);
+}
+
+}  // namespace dco3d

@@ -1,0 +1,57 @@
+#pragma once
+// The differentiable loss functions of §IV:
+//   * displacement loss (Eq. 11) — keep cells near their optimized 2D spots,
+//   * cutsize loss (Eq. 7) — normalized expected cut under soft z,
+//   * overlap loss (Eq. 8-10) — bell-shaped smoothed density,
+//   * congestion loss — RMS of the Siamese UNet's predicted congestion.
+
+#include <memory>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "grid/soft_maps.hpp"
+#include "netlist/netlist.hpp"
+#include "nn/autograd.hpp"
+#include "nn/unet.hpp"
+
+namespace dco3d {
+
+/// Displacement loss (Eq. 11): sum_i (x_i - x_i^o)^2 + (y_i - y_i^o)^2,
+/// normalized by cell count and die dimensions so weights are scale-free.
+nn::Var displacement_loss(const nn::Var& x, const nn::Var& y,
+                          const nn::Tensor& x0, const nn::Tensor& y0,
+                          const Rect& outline);
+
+/// Soft cutsize loss (Eq. 7) over the cell graph: the expected number of cut
+/// edges normalized by the expected per-die connectivity,
+///   L = cut/deg(T) + cut/deg(B),
+/// with cut = sum_(u,v) [z_u(1-z_v) + z_v(1-z_u)], deg(T) = sum_u deg_u z_u.
+/// Implemented as a custom autograd node with analytic gradients in z.
+nn::Var cutsize_loss(const nn::Var& z,
+                     std::shared_ptr<const std::vector<std::pair<std::int64_t, std::int64_t>>> edges);
+
+/// Overlap (density) loss, Eq. (8)-(10): per-die bin densities accumulated
+/// through the bell-shaped potentials p_x p_y with the paper's a, b smoothing
+/// constants; the penalty is the mean squared excess over `target_util`.
+/// Differentiable in x, y (through the potentials) and z (tier weights).
+nn::Var overlap_loss(const Netlist& netlist, const nn::Var& x, const nn::Var& y,
+                     const nn::Var& z, const Rect& outline, int bins_x,
+                     int bins_y, double target_util);
+
+/// Congestion loss: Eq. (4) against an all-zero target — the RMS of the
+/// predicted post-route congestion of both dies, backpropagated through the
+/// frozen Siamese UNet and the soft feature maps (Eq. 5/6 chain).
+nn::Var congestion_loss(const nn::SiameseUNet& model, const SoftMaps& maps);
+
+/// Same, but routed through a trained Predictor so the soft maps receive the
+/// per-channel input normalization the model was trained with.
+nn::Var congestion_loss(const Predictor& predictor, const SoftMaps& maps);
+
+/// The bell-shaped 1D potential of Eq. (8) with smoothing constants of
+/// Eq. (9); exposed for unit tests. `d` is the center-to-center distance,
+/// `wb` the block (cell) width, `wv` the bin width.
+double bell_potential(double d, double wb, double wv);
+/// Its derivative with respect to d.
+double bell_potential_grad(double d, double wb, double wv);
+
+}  // namespace dco3d

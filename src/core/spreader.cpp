@@ -1,0 +1,88 @@
+#include "core/spreader.hpp"
+
+#include <algorithm>
+
+#include "core/features.hpp"
+#include "nn/ops.hpp"
+
+namespace dco3d {
+
+GnnSpreader::GnnSpreader(const Netlist& netlist, const Placement3D& initial,
+                         const SpreaderConfig& cfg, Rng& rng)
+    : netlist_(netlist),
+      cfg_(cfg),
+      gcn_(kGnnFeatureDim, cfg.hidden, 3, rng),
+      outline_(initial.outline) {
+  adj_ = std::make_shared<const nn::Csr>(nn::normalized_adjacency(
+      static_cast<std::int64_t>(netlist.num_cells()), netlist.cell_graph_edges()));
+
+  const auto n = static_cast<std::int64_t>(netlist.num_cells());
+  x0_ = nn::Tensor({n});
+  y0_ = nn::Tensor({n});
+  mask_ = nn::Tensor({n});
+  fixed_tier_ = nn::Tensor({n});
+  tier_bias_ = nn::Tensor({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto ci = static_cast<std::size_t>(i);
+    const auto id = static_cast<CellId>(i);
+    x0_[i] = static_cast<float>(initial.xy[ci].x);
+    y0_[i] = static_cast<float>(initial.xy[ci].y);
+    const bool movable = netlist.is_movable(id);
+    mask_[i] = movable ? 1.0f : 0.0f;
+    fixed_tier_[i] = initial.tier[ci] ? 1.0f : 0.0f;
+    // Bias the soft z toward the initial FM assignment so optimization
+    // starts from the Pin-3D tier partition rather than 50/50.
+    tier_bias_[i] = initial.tier[ci] ? 1.2f : -1.2f;
+  }
+}
+
+SpreaderOutput GnnSpreader::forward(const nn::Var& features) const {
+  nn::Var out = gcn_.forward(adj_, features);  // [N, 3]
+
+  nn::Var mask = nn::make_leaf(mask_);
+  nn::Var x0 = nn::make_leaf(x0_);
+  nn::Var y0 = nn::make_leaf(y0_);
+
+  const auto max_dx = static_cast<float>(cfg_.max_disp_frac * outline_.width());
+  const auto max_dy = static_cast<float>(cfg_.max_disp_frac * outline_.height());
+
+  // dx, dy: bounded by tanh; zeroed on fixed cells via the mask.
+  nn::Var dx = nn::mul(nn::mul_scalar(nn::tanh_op(nn::select_column(out, 0)), max_dx), mask);
+  nn::Var dy = nn::mul(nn::mul_scalar(nn::tanh_op(nn::select_column(out, 1)), max_dy), mask);
+
+  SpreaderOutput so;
+  so.x = nn::add(x0, dx);
+  so.y = nn::add(y0, dy);
+
+  if (cfg_.freeze_tier) {
+    // 2D ablation: every cell keeps its input tier (hard 0/1 z).
+    so.z = nn::make_leaf(fixed_tier_);
+    return so;
+  }
+  // z: sigmoid with an initial-tier logit bias; fixed cells pinned hard.
+  nn::Var z_soft =
+      nn::sigmoid(nn::add(nn::select_column(out, 2), nn::make_leaf(tier_bias_)));
+  nn::Var z_masked = nn::mul(z_soft, mask);
+  // (1 - mask) * fixed_tier for the pinned cells.
+  nn::Tensor inv_mask(mask_.shape());
+  for (std::int64_t i = 0; i < inv_mask.numel(); ++i)
+    inv_mask[i] = (1.0f - mask_[i]) * fixed_tier_[i];
+  so.z = nn::add(z_masked, nn::make_leaf(inv_mask));
+  return so;
+}
+
+void GnnSpreader::commit(const SpreaderOutput& out, Placement3D& placement) const {
+  const auto n = static_cast<std::size_t>(netlist_.num_cells());
+  for (std::size_t ci = 0; ci < n; ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (!netlist_.is_movable(id)) continue;
+    placement.xy[ci].x = std::clamp(static_cast<double>(out.x->value[static_cast<std::int64_t>(ci)]),
+                                    outline_.xlo, outline_.xhi);
+    placement.xy[ci].y = std::clamp(static_cast<double>(out.y->value[static_cast<std::int64_t>(ci)]),
+                                    outline_.ylo, outline_.yhi);
+    // Hard tier assignment: z >= 0.5 -> top die (§IV-A).
+    placement.tier[ci] = out.z->value[static_cast<std::int64_t>(ci)] >= 0.5f ? 1 : 0;
+  }
+}
+
+}  // namespace dco3d

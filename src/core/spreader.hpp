@@ -1,0 +1,61 @@
+#pragma once
+// GNN-based 3D cell spreader (§IV-A): three shared-weight GCN layers over
+// the netlist graph predict, per cell, a bounded (dx, dy) refinement of the
+// 2D position and a soft tier probability z in [0, 1] (probability of the
+// top die). Optimizing the GNN's weights instead of raw per-cell coordinates
+// keeps the parameter count independent of design size and lets connected
+// cells move coherently.
+
+#include <memory>
+
+#include "netlist/netlist.hpp"
+#include "nn/gcn.hpp"
+
+namespace dco3d {
+
+struct SpreaderConfig {
+  std::int64_t hidden = 32;
+  double max_disp_frac = 0.12;  // max |dx| as a fraction of die width
+  // Ablation switch: freeze tier assignments at their input values, reducing
+  // DCO to 2D spreading (used by bench_ablation_z to quantify the paper's
+  // z-dimension contribution).
+  bool freeze_tier = false;
+};
+
+/// Decoded spreader output: differentiable coordinate vectors over all cells.
+/// Fixed cells (IOs, macros) are pinned to their original position and hard
+/// tier via masking, so no gradient moves them.
+struct SpreaderOutput {
+  nn::Var x;  // [N] absolute x
+  nn::Var y;  // [N] absolute y
+  nn::Var z;  // [N] soft top-die probability
+};
+
+class GnnSpreader {
+ public:
+  GnnSpreader(const Netlist& netlist, const Placement3D& initial,
+              const SpreaderConfig& cfg, Rng& rng);
+
+  /// Forward pass: GNN over (adjacency, features) -> decoded coordinates.
+  SpreaderOutput forward(const nn::Var& features) const;
+
+  std::vector<nn::Var> parameters() const { return gcn_.parameters(); }
+  const std::shared_ptr<const nn::Csr>& adjacency() const { return adj_; }
+
+  /// Write the hard assignment (z >= 0.5 -> top die) of an output back into
+  /// a placement, clamping positions into the outline.
+  void commit(const SpreaderOutput& out, Placement3D& placement) const;
+
+ private:
+  const Netlist& netlist_;
+  SpreaderConfig cfg_;
+  nn::GcnStack gcn_;
+  std::shared_ptr<const nn::Csr> adj_;
+  nn::Tensor x0_, y0_;      // initial positions
+  nn::Tensor mask_;         // 1 for movable cells
+  nn::Tensor fixed_tier_;   // hard z for fixed cells
+  nn::Tensor tier_bias_;    // +/- logit bias toward the initial tier
+  Rect outline_;
+};
+
+}  // namespace dco3d

@@ -1,0 +1,163 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "grid/feature_maps.hpp"
+#include "nn/ops.hpp"
+#include "util/stats.hpp"
+
+namespace dco3d {
+
+namespace {
+
+nn::Tensor scaled(const nn::Tensor& t, float s) {
+  nn::Tensor out = t;
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] *= s;
+  return out;
+}
+
+/// Forward one sample and return the Eq. (4) loss node. Features must
+/// already be normalized.
+nn::Var sample_loss(const nn::SiameseUNet& model, const nn::Tensor& f_top,
+                    const nn::Tensor& f_bot, const nn::Tensor& l_top,
+                    const nn::Tensor& l_bot) {
+  auto [p_top, p_bot] = model.forward(nn::make_leaf(f_top), nn::make_leaf(f_bot));
+  return nn::siamese_loss(p_top, nn::make_leaf(l_top), p_bot, nn::make_leaf(l_bot));
+}
+
+}  // namespace
+
+nn::Tensor Predictor::normalize_features(const nn::Tensor& f) const {
+  assert(f.rank() == 4 && f.dim(1) == kNumFeatureChannels);
+  nn::Tensor out = f;
+  const auto hw = static_cast<std::int64_t>(f.dim(2) * f.dim(3));
+  for (std::int64_t c = 0; c < kNumFeatureChannels; ++c) {
+    const float inv = 1.0f / std::max(feature_scale[c], 1e-9f);
+    for (std::int64_t i = 0; i < hw; ++i) out[c * hw + i] *= inv;
+  }
+  return out;
+}
+
+nn::Var Predictor::normalize_features(const nn::Var& f) const {
+  assert(f->value.rank() == 4 && f->value.dim(1) == kNumFeatureChannels);
+  nn::Tensor scale(f->value.shape());
+  const auto hw = static_cast<std::int64_t>(f->value.dim(2) * f->value.dim(3));
+  for (std::int64_t c = 0; c < kNumFeatureChannels; ++c) {
+    const float inv = 1.0f / std::max(feature_scale[c], 1e-9f);
+    for (std::int64_t i = 0; i < hw; ++i) scale[c * hw + i] = inv;
+  }
+  return nn::mul(f, nn::make_leaf(scale));
+}
+
+void Predictor::predict(const DataSample& sample, nn::Tensor out[2]) const {
+  auto [p_top, p_bot] =
+      model->forward(nn::make_leaf(normalize_features(sample.features[1])),
+                     nn::make_leaf(normalize_features(sample.features[0])));
+  out[1] = scaled(p_top->value, label_scale);
+  out[0] = scaled(p_bot->value, label_scale);
+}
+
+Predictor train_predictor(const std::vector<DataSample>& dataset,
+                          const TrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  Predictor pred;
+
+  // Auto label scale: normalize targets to O(1).
+  float lmax = 1e-6f;
+  for (const DataSample& s : dataset)
+    for (int die = 0; die < 2; ++die)
+      for (std::int64_t i = 0; i < s.labels[die].numel(); ++i)
+        lmax = std::max(lmax, s.labels[die][i]);
+  pred.label_scale = cfg.label_scale > 0.0f ? cfg.label_scale : lmax;
+  const float inv_scale = 1.0f / pred.label_scale;
+
+  // Per-channel input scale: the max magnitude of each feature channel over
+  // the whole dataset.
+  pred.feature_scale = nn::Tensor({kNumFeatureChannels}, 1e-6f);
+  for (const DataSample& s : dataset) {
+    for (int die = 0; die < 2; ++die) {
+      const auto hw = static_cast<std::int64_t>(s.features[die].dim(2) *
+                                                s.features[die].dim(3));
+      for (std::int64_t c = 0; c < kNumFeatureChannels; ++c)
+        for (std::int64_t i = 0; i < hw; ++i)
+          pred.feature_scale[c] = std::max(
+              pred.feature_scale[c], std::abs(s.features[die][c * hw + i]));
+    }
+  }
+
+  nn::UNetConfig ucfg = cfg.unet;
+  ucfg.in_channels = kNumFeatureChannels;
+  ucfg.out_channels = 1;
+  pred.model = std::make_shared<nn::SiameseUNet>(ucfg, rng);
+  nn::Adam adam(pred.model->parameters(), cfg.lr);
+
+  std::vector<const DataSample*> train, test;
+  split_dataset(dataset, cfg.test_fraction, train, test);
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    // Shuffle training order each epoch.
+    std::vector<const DataSample*> order = train;
+    rng.shuffle(order);
+
+    double train_loss = 0.0;
+    for (const DataSample* s : order) {
+      nn::Tensor f_top = pred.normalize_features(s->features[1]);
+      nn::Tensor f_bot = pred.normalize_features(s->features[0]);
+      nn::Tensor l_top = scaled(s->labels[1], inv_scale);
+      nn::Tensor l_bot = scaled(s->labels[0], inv_scale);
+      if (cfg.augment) {
+        // One random dihedral transform per step (the full 8x set is swept
+        // across epochs), applied consistently to both dies.
+        const int which = static_cast<int>(rng.uniform_int(0, 7));
+        f_top = augment_dihedral(f_top, which);
+        f_bot = augment_dihedral(f_bot, which);
+        l_top = augment_dihedral(l_top, which);
+        l_bot = augment_dihedral(l_bot, which);
+      }
+      nn::Var loss = sample_loss(*pred.model, f_top, f_bot, l_top, l_bot);
+      train_loss += loss->value[0];
+      adam.zero_grad();
+      nn::backward(loss);
+      adam.step();
+    }
+    train_loss /= std::max<std::size_t>(order.size(), 1);
+
+    double test_loss = 0.0;
+    for (const DataSample* s : test) {
+      nn::Var loss = sample_loss(*pred.model,
+                                 pred.normalize_features(s->features[1]),
+                                 pred.normalize_features(s->features[0]),
+                                 scaled(s->labels[1], inv_scale),
+                                 scaled(s->labels[0], inv_scale));
+      test_loss += loss->value[0];
+    }
+    test_loss /= std::max<std::size_t>(test.size(), 1);
+    pred.curve.push_back({epoch, train_loss, test_loss});
+  }
+  return pred;
+}
+
+EvalStats evaluate_predictor(const Predictor& predictor,
+                             const std::vector<const DataSample*>& samples) {
+  EvalStats ev;
+  for (const DataSample* s : samples) {
+    nn::Tensor out[2];
+    predictor.predict(*s, out);
+    for (int die = 0; die < 2; ++die) {
+      const auto h = static_cast<std::size_t>(s->labels[die].dim(2));
+      const auto w = static_cast<std::size_t>(s->labels[die].dim(3));
+      ev.nrmse.push_back(
+          static_cast<float>(nrmse(out[die].data(), s->labels[die].data())));
+      ev.ssim.push_back(
+          static_cast<float>(ssim(out[die].data(), s->labels[die].data(), h, w)));
+    }
+  }
+  ev.frac_nrmse_below_02 = fraction_below(ev.nrmse, 0.2);
+  ev.frac_ssim_above_07 = fraction_above(ev.ssim, 0.7);
+  ev.frac_ssim_above_08 = fraction_above(ev.ssim, 0.8);
+  return ev;
+}
+
+}  // namespace dco3d

@@ -1,0 +1,110 @@
+#include "flow/cts.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+namespace dco3d {
+
+namespace {
+
+struct SinkRef {
+  CellId cell;
+  Point pos;
+  int tier;
+};
+
+Point centroid(const std::vector<SinkRef>& sinks) {
+  Point c{0.0, 0.0};
+  for (const SinkRef& s : sinks) c = c + s.pos;
+  const double n = std::max<double>(static_cast<double>(sinks.size()), 1.0);
+  return {c.x / n, c.y / n};
+}
+
+int majority_tier(const std::vector<SinkRef>& sinks) {
+  int t1 = 0;
+  for (const SinkRef& s : sinks) t1 += s.tier;
+  return (2 * t1 > static_cast<int>(sinks.size())) ? 1 : 0;
+}
+
+}  // namespace
+
+CtsResult run_cts(Netlist& netlist, Placement3D& placement, const CtsConfig& cfg) {
+  CtsResult res;
+
+  // Collect clock sinks: sequential cells (registers); macros are clocked
+  // too in our model.
+  std::vector<SinkRef> sinks;
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (netlist.is_sequential(id) || netlist.is_macro(id))
+      sinks.push_back({id, placement.xy[ci], placement.tier[ci]});
+  }
+  res.skew_ps.assign(netlist.num_cells(), 0.0);
+  if (sinks.empty()) return res;
+
+  const CellTypeId buf_type =
+      netlist.library().find(CellFunction::kBuf, cfg.buffer_drive);
+  assert(buf_type >= 0);
+  const CellType& buf = netlist.library().type(buf_type);
+
+  // Recursive geometric bisection, alternating cut axis. Each node becomes a
+  // buffer at its sink centroid; leaves drive the registers directly.
+  std::size_t buffer_counter = 0;
+  std::function<CellId(std::vector<SinkRef>, bool, std::size_t, double)> build =
+      [&](std::vector<SinkRef> group, bool cut_x, std::size_t level,
+          double arrival) -> CellId {
+    res.levels = std::max(res.levels, level + 1);
+    const Point c = centroid(group);
+    const int tier = majority_tier(group);
+    const CellId bid = netlist.add_cell("cts_buf_" + std::to_string(buffer_counter++),
+                                        buf_type);
+    ++res.buffers_inserted;
+    placement.xy.push_back(c);
+    placement.tier.push_back(tier);
+    res.skew_ps.push_back(0.0);
+
+    const double my_arrival = arrival + cfg.buffer_delay_ps;
+
+    Net net;
+    net.name = "clk_" + std::to_string(bid);
+    net.is_clock = true;
+    net.driver = {bid, {buf.width, buf.height * 0.5}};
+
+    if (group.size() <= cfg.max_sinks_per_leaf) {
+      for (const SinkRef& s : group) {
+        net.sinks.push_back({s.cell, Point{0.0, 0.0}});
+        const double sk =
+            my_arrival + cfg.wire_delay_per_um * manhattan(c, s.pos);
+        res.skew_ps[static_cast<std::size_t>(s.cell)] = sk;
+        res.max_skew_ps = std::max(res.max_skew_ps, sk);
+      }
+    } else {
+      std::sort(group.begin(), group.end(), [cut_x](const SinkRef& a, const SinkRef& b) {
+        return cut_x ? a.pos.x < b.pos.x : a.pos.y < b.pos.y;
+      });
+      const std::size_t mid = group.size() / 2;
+      std::vector<SinkRef> left(group.begin(), group.begin() + mid);
+      std::vector<SinkRef> right(group.begin() + mid, group.end());
+      auto recurse = [&](std::vector<SinkRef> half) {
+        const Point hc = centroid(half);
+        const double child_arrival =
+            my_arrival + cfg.wire_delay_per_um * manhattan(c, hc);
+        const CellId child =
+            build(std::move(half), !cut_x, level + 1, child_arrival);
+        net.sinks.push_back({child, Point{0.0, buf.height * 0.5}});
+      };
+      recurse(std::move(left));
+      recurse(std::move(right));
+    }
+    netlist.add_net(std::move(net));
+    return bid;
+  };
+
+  build(std::move(sinks), /*cut_x=*/true, 0, 0.0);
+  netlist.invalidate_cache();
+  return res;
+}
+
+}  // namespace dco3d

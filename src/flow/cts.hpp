@@ -1,0 +1,38 @@
+#pragma once
+// Clock-tree synthesis — substitute for ICC2's 3D CTS step in the Pin-3D
+// flow (Fig. 1). Builds a recursive-bisection buffered clock tree over all
+// sequential cells (both dies, F2F-bonded so the tree can hop tiers),
+// inserting real buffer cells and clock nets into the netlist so that the
+// clock network contributes to routing congestion, wirelength, and power
+// exactly like signal logic. Returns the per-register insertion-delay skew
+// consumed by STA.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "timing/sta.hpp"
+
+namespace dco3d {
+
+struct CtsConfig {
+  std::size_t max_sinks_per_leaf = 12;
+  double buffer_delay_ps = 9.0;     // per tree level
+  double wire_delay_per_um = 0.04;  // ps/um along tree branches
+  int buffer_drive = 4;             // BUF_X4 for tree nodes
+};
+
+struct CtsResult {
+  // Per-cell clock arrival offset (ps); non-sequential cells hold 0.
+  std::vector<double> skew_ps;
+  std::size_t buffers_inserted = 0;
+  std::size_t levels = 0;
+  double max_skew_ps = 0.0;
+};
+
+/// Run CTS: mutates netlist (buffer cells + clock nets) and placement
+/// (buffer locations). The returned skew vector is sized to the *new* cell
+/// count.
+CtsResult run_cts(Netlist& netlist, Placement3D& placement,
+                  const CtsConfig& cfg = {});
+
+}  // namespace dco3d

@@ -1,0 +1,16 @@
+#include "flow/metrics.hpp"
+
+#include <cstdio>
+
+namespace dco3d {
+
+std::string StageMetrics::row(const std::string& label) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-16s %9.0f %8.2f %8.0f %8.0f %10.2f %12.1f %9.2f %12.1f",
+                label.c_str(), overflow, ovf_gcell_pct, h_overflow, v_overflow,
+                wns_ps, tns_ps, power_mw, wirelength_um);
+  return buf;
+}
+
+}  // namespace dco3d

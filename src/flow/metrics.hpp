@@ -1,0 +1,21 @@
+#pragma once
+// Stage metrics matching the Table III columns.
+
+#include <string>
+
+namespace dco3d {
+
+struct StageMetrics {
+  double overflow = 0.0;       // total routing overflow
+  double ovf_gcell_pct = 0.0;  // % of GCells with overflow
+  double h_overflow = 0.0;
+  double v_overflow = 0.0;
+  double wns_ps = 0.0;         // setup WNS (negative = violating)
+  double tns_ps = 0.0;         // setup TNS
+  double power_mw = 0.0;       // total power
+  double wirelength_um = 0.0;  // routed WL
+
+  std::string row(const std::string& label) const;
+};
+
+}  // namespace dco3d

@@ -1,0 +1,59 @@
+#pragma once
+// The Pin-3D flow driver (Fig. 1): 3D placement -> [optional placement
+// optimizer hook, where DCO-3D plugs in] -> CTS -> post-CTS optimization ->
+// global routing -> signoff timing closure. Produces the two evaluation
+// stages of Table III ("after 3D placement optimization" and "after signoff
+// optimization").
+
+#include <functional>
+
+#include "flow/cts.hpp"
+#include "flow/metrics.hpp"
+#include "flow/signoff.hpp"
+#include "netlist/generators.hpp"
+#include "place/placer3d.hpp"
+#include "route/router.hpp"
+#include "timing/sta.hpp"
+
+namespace dco3d {
+
+/// Hook invoked between 3D global placement and CTS; DCO-3D's differentiable
+/// cell spreading runs here (Fig. 1, red boxes). Receives the netlist and
+/// the un-legalized global placement to refine in place.
+using PlacementOptimizer = std::function<void(const Netlist&, Placement3D&)>;
+
+struct FlowConfig {
+  PlacementParams place_params;
+  TimingConfig timing;
+  RouterConfig router;
+  CtsConfig cts;
+  SignoffConfig signoff;
+  int grid_nx = 64;
+  int grid_ny = 64;
+  std::uint64_t seed = 1;
+};
+
+struct FlowResult {
+  Placement3D placement;        // final (post-CTS, legalized) placement
+  Placement3D global_placement; // placement fed to CTS (post optimizer hook)
+  StageMetrics after_place;     // Table III left block
+  StageMetrics signoff;         // Table III right block
+  RouteResult final_route;
+  CtsResult cts;
+  SignoffResult signoff_detail;
+  GCellGrid grid;
+};
+
+/// Run the full flow on a working copy of the design. The netlist is copied
+/// internally because CTS and signoff sizing mutate it.
+FlowResult run_pin3d_flow(const Netlist& design, const FlowConfig& cfg,
+                          const PlacementOptimizer& optimizer = nullptr);
+
+/// Flow-level metric collection: route + STA on the current state.
+StageMetrics measure_stage(const Netlist& netlist, const Placement3D& placement,
+                           const GCellGrid& grid, const TimingConfig& timing_cfg,
+                           const RouterConfig& router_cfg,
+                           const std::vector<double>* skew = nullptr,
+                           RouteResult* route_out = nullptr);
+
+}  // namespace dco3d

@@ -1,0 +1,131 @@
+#include "flow/signoff.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+
+namespace dco3d {
+
+std::vector<double> detour_factors(const Netlist& netlist,
+                                   const Placement3D& placement,
+                                   const RouteResult& route,
+                                   double overflow_penalty) {
+  std::vector<double> scale(netlist.num_nets(), 1.0);
+  if (route.net_routed_wl.empty()) return scale;
+  for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
+    const Net& net = netlist.net(static_cast<NetId>(ni));
+    const double hpwl = net_hpwl(net, placement);
+    double s = 1.0;
+    if (hpwl > 1e-9 && ni < route.net_routed_wl.size())
+      s = std::max(route.net_routed_wl[ni] / hpwl, 1.0);
+    if (ni < route.net_overflow_crossings.size())
+      s *= 1.0 + overflow_penalty * route.net_overflow_crossings[ni];
+    scale[ni] = std::min(s, 4.0);  // cap pathological single-net detours
+  }
+  return scale;
+}
+
+SignoffResult run_signoff(Netlist& netlist, const Placement3D& placement,
+                          const RouteResult& route, const TimingConfig& timing_cfg,
+                          std::vector<double>& skew_ps, const SignoffConfig& cfg) {
+  SignoffResult res;
+  res.net_length_scale =
+      detour_factors(netlist, placement, route, cfg.detour_overflow_penalty);
+
+  // Track the best netlist/skew state so an ECO step that regresses timing
+  // is rolled back (real signoff engines are similarly monotone).
+  auto snapshot_types = [&]() {
+    std::vector<CellTypeId> types(netlist.num_cells());
+    for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci)
+      types[ci] = netlist.cell(static_cast<CellId>(ci)).type;
+    return types;
+  };
+  std::vector<CellTypeId> best_types = snapshot_types();
+  std::vector<double> best_skew = skew_ps;
+  double best_tns = -std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < cfg.max_iterations; ++iter) {
+    TimingResult t =
+        run_sta(netlist, placement, timing_cfg, &skew_ps, &res.net_length_scale);
+    res.timing = t;
+    if (t.tns_ps > best_tns) {
+      best_tns = t.tns_ps;
+      best_types = snapshot_types();
+      best_skew = skew_ps;
+    } else if (iter > 0) {
+      break;  // regressed or plateaued; best state is restored below
+    }
+    if (t.violating_endpoints == 0 && !cfg.enable_low_power_recovery) break;
+
+    // Gate sizing: upsize drivers on violating paths. Work on the worst
+    // cells first; cap per-iteration changes so sizing converges.
+    std::vector<CellId> order;
+    for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+      const auto id = static_cast<CellId>(ci);
+      if (netlist.is_io(id) || netlist.is_macro(id)) continue;
+      if (t.cell_slack[ci] < cfg.upsize_slack_threshold_ps) order.push_back(id);
+    }
+    std::sort(order.begin(), order.end(), [&](CellId a, CellId b) {
+      return t.cell_slack[static_cast<std::size_t>(a)] <
+             t.cell_slack[static_cast<std::size_t>(b)];
+    });
+    const std::size_t budget = std::max<std::size_t>(order.size() / 2, 64);
+    std::size_t changed = 0;
+    for (CellId id : order) {
+      if (changed >= budget) break;
+      const CellTypeId up = netlist.library().upsize(netlist.cell(id).type);
+      if (up >= 0) {
+        netlist.cell(id).type = up;
+        ++res.upsized;
+        ++changed;
+      }
+    }
+
+    // Low-power recovery: downsize cells with comfortable slack.
+    if (cfg.enable_low_power_recovery) {
+      for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+        const auto id = static_cast<CellId>(ci);
+        if (netlist.is_io(id) || netlist.is_macro(id)) continue;
+        if (t.cell_slack[ci] > cfg.downsize_slack_margin_ps) {
+          const CellTypeId dn = netlist.library().downsize(netlist.cell(id).type);
+          if (dn >= 0) {
+            netlist.cell(id).type = dn;
+            ++res.downsized;
+          }
+        }
+      }
+    }
+
+    // Useful skew (concurrent clock & data): retard the capture clock of
+    // violating registers within the budget.
+    if (cfg.enable_useful_skew && !skew_ps.empty()) {
+      for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+        const auto id = static_cast<CellId>(ci);
+        if (!netlist.is_sequential(id)) continue;
+        const double slack = t.cell_slack[ci];
+        if (slack < 0.0) {
+          const double adj = std::min(-slack * 0.5, cfg.useful_skew_budget_ps);
+          skew_ps[ci] += adj;
+          ++res.skewed;
+        }
+      }
+    }
+  }
+
+  // Restore the best state seen (unless low-power recovery deliberately
+  // trades slack for power, in which case keep the final state).
+  {
+    TimingResult final_t =
+        run_sta(netlist, placement, timing_cfg, &skew_ps, &res.net_length_scale);
+    if (final_t.tns_ps < best_tns && !cfg.enable_low_power_recovery) {
+      for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci)
+        netlist.cell(static_cast<CellId>(ci)).type = best_types[ci];
+      skew_ps = best_skew;
+    }
+  }
+  res.timing = run_sta(netlist, placement, timing_cfg, &skew_ps,
+                       &res.net_length_scale);
+  return res;
+}
+
+}  // namespace dco3d

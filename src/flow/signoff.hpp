@@ -1,0 +1,52 @@
+#pragma once
+// Post-route signoff optimization — substitute for ICC2's post-CTS
+// optimization and timing-closure ("signoff") steps in the Pin-3D flow.
+//
+// The optimizer iterates STA with routed-detour-aware net lengths and:
+//   * upsizes cells on violating paths (drive-strength ladder walks),
+//   * downsizes comfortably-positive-slack cells when low-power is enabled,
+//   * applies useful skew (flow.enable_ccd) by retarding capture clocks of
+//     violating registers within a skew budget.
+//
+// Congestion couples in through the per-net detour factors: nets routed
+// through overflowed GCells are lengthened, so congested designs burn more
+// ECO effort and close worse — the end-of-flow effect Table III measures.
+
+#include "netlist/netlist.hpp"
+#include "route/router.hpp"
+#include "timing/sta.hpp"
+
+namespace dco3d {
+
+struct SignoffConfig {
+  int max_iterations = 4;
+  double upsize_slack_threshold_ps = 0.0;   // fix cells below this slack
+  double downsize_slack_margin_ps = 80.0;   // only downsize above this
+  bool enable_low_power_recovery = false;
+  bool enable_useful_skew = false;          // flow.enable_ccd
+  double useful_skew_budget_ps = 15.0;
+  double detour_overflow_penalty = 0.03;    // extra detour per overflowed edge
+};
+
+struct SignoffResult {
+  TimingResult timing;      // final STA
+  std::size_t upsized = 0;
+  std::size_t downsized = 0;
+  std::size_t skewed = 0;
+  std::vector<double> net_length_scale;  // final detour factors
+};
+
+/// Compute per-net detour factors from a routing result: routed length over
+/// HPWL, inflated further for overflowed-edge crossings (ECO detours).
+std::vector<double> detour_factors(const Netlist& netlist,
+                                   const Placement3D& placement,
+                                   const RouteResult& route,
+                                   double overflow_penalty);
+
+/// Run the signoff loop. Mutates netlist (cell sizing) and `skew_ps` when
+/// useful skew is enabled.
+SignoffResult run_signoff(Netlist& netlist, const Placement3D& placement,
+                          const RouteResult& route, const TimingConfig& timing_cfg,
+                          std::vector<double>& skew_ps, const SignoffConfig& cfg);
+
+}  // namespace dco3d

@@ -1,0 +1,182 @@
+#include "grid/feature_maps.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dco3d {
+
+double rudy_factor(const Rect& bbox, const GCellGrid& grid) {
+  const double w = std::max(bbox.width(), grid.tile_width());
+  const double h = std::max(bbox.height(), grid.tile_height());
+  return 1.0 / w + 1.0 / h;
+}
+
+void add_net_rudy(std::span<float> map, const GCellGrid& grid, const Rect& bbox,
+                  double w) {
+  if (w == 0.0) return;
+  const double k = rudy_factor(bbox, grid) * w / grid.tile_area();
+  const int m0 = grid.col_of(bbox.xlo);
+  const int m1 = grid.col_of(bbox.xhi);
+  const int n0 = grid.row_of(bbox.ylo);
+  const int n1 = grid.row_of(bbox.yhi);
+  for (int n = n0; n <= n1; ++n) {
+    for (int m = m0; m <= m1; ++m) {
+      const double ov = grid.tile_rect(m, n).overlap_area(bbox);
+      // Degenerate (zero-width or zero-height) boxes still occupy their tile
+      // row/column; approximate their overlap by the clipped 1D extent times
+      // one tile dimension so single-point nets land in exactly one tile.
+      double area = ov;
+      if (area <= 0.0) {
+        const Rect t = grid.tile_rect(m, n);
+        const double wx = std::min(t.xhi, bbox.xhi) - std::max(t.xlo, bbox.xlo);
+        const double wy = std::min(t.yhi, bbox.yhi) - std::max(t.ylo, bbox.ylo);
+        if (wx < 0 || wy < 0) continue;
+        area = std::max(wx, 0.0) * grid.tile_height() +
+               std::max(wy, 0.0) * grid.tile_width();
+        if (area == 0.0) area = grid.tile_area();  // true point net
+      }
+      map[static_cast<std::size_t>(grid.index(m, n))] += static_cast<float>(k * area);
+    }
+  }
+}
+
+FeatureMaps compute_feature_maps(const Netlist& netlist,
+                                 const Placement3D& placement,
+                                 const GCellGrid& grid) {
+  const std::int64_t H = grid.ny(), W = grid.nx();
+  FeatureMaps fm;
+  fm.die[0] = nn::Tensor({1, kNumFeatureChannels, H, W});
+  fm.die[1] = nn::Tensor({1, kNumFeatureChannels, H, W});
+
+  auto channel = [&](int die, FeatureChannel ch) {
+    auto span = fm.die[die].data();
+    return span.subspan(static_cast<std::size_t>(ch * H * W),
+                        static_cast<std::size_t>(H * W));
+  };
+
+  const double tile_area = grid.tile_area();
+
+  // Cell density + macro blockage: area overlap per tile.
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    const CellType& t = netlist.cell_type(id);
+    if (t.area() <= 0.0) continue;
+    const Point p = placement.xy[ci];
+    const Rect cell_rect{p.x, p.y, p.x + t.width, p.y + t.height};
+    const int die = placement.tier[ci] ? 1 : 0;
+    auto dst = channel(die, netlist.is_macro(id) ? kMacroBlockage : kCellDensity);
+    const int m0 = grid.col_of(cell_rect.xlo);
+    const int m1 = grid.col_of(cell_rect.xhi);
+    const int n0 = grid.row_of(cell_rect.ylo);
+    const int n1 = grid.row_of(cell_rect.yhi);
+    for (int n = n0; n <= n1; ++n) {
+      for (int m = m0; m <= m1; ++m) {
+        const double ov = grid.tile_rect(m, n).overlap_area(cell_rect);
+        if (ov > 0.0)
+          dst[static_cast<std::size_t>(grid.index(m, n))] +=
+              static_cast<float>(ov / tile_area);
+      }
+    }
+  }
+
+  // Net-based maps.
+  for (const Net& net : netlist.nets()) {
+    const Rect bbox = net_bbox(net, placement);
+    const bool is3d = is_3d_net(net, placement);
+    const double kf = rudy_factor(bbox, grid);
+
+    if (is3d) {
+      // 3D nets: demand lands on both dies, scaled by 0.5 for the extra
+      // resources of the second die (§III-B1).
+      add_net_rudy(channel(0, kRudy3D), grid, bbox, 0.5);
+      add_net_rudy(channel(1, kRudy3D), grid, bbox, 0.5);
+    } else {
+      const int die = placement.tier[static_cast<std::size_t>(net.driver.cell)] ? 1 : 0;
+      add_net_rudy(channel(die, kRudy2D), grid, bbox, 1.0);
+    }
+
+    // Pin-based maps: PinRUDY (Eq. 3) and raw pin density.
+    auto add_pin = [&](const PinRef& pin) {
+      const Point pos = placement.pin_position(pin);
+      const std::size_t tile = static_cast<std::size_t>(grid.tile_of(pos));
+      const int die = placement.tier[static_cast<std::size_t>(pin.cell)] ? 1 : 0;
+      channel(die, kPinDensity)[tile] += static_cast<float>(1.0 / tile_area);
+      channel(die, is3d ? kPinRudy3D : kPinRudy2D)[tile] += static_cast<float>(kf);
+    };
+    add_pin(net.driver);
+    for (const PinRef& s : net.sinks) add_pin(s);
+  }
+
+  return fm;
+}
+
+nn::Tensor resize_nearest(const nn::Tensor& t, std::int64_t new_h, std::int64_t new_w) {
+  assert(t.rank() == 3 || t.rank() == 4);
+  const bool has_batch = t.rank() == 4;
+  const std::int64_t N = has_batch ? t.dim(0) : 1;
+  const std::int64_t C = t.dim(has_batch ? 1 : 0);
+  const std::int64_t H = t.dim(has_batch ? 2 : 1);
+  const std::int64_t W = t.dim(has_batch ? 3 : 2);
+  nn::Shape out_shape = has_batch ? nn::Shape{N, C, new_h, new_w}
+                                  : nn::Shape{C, new_h, new_w};
+  nn::Tensor out(out_shape);
+  auto src = t.data();
+  auto dst = out.data();
+  for (std::int64_t n = 0; n < N; ++n) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      const std::int64_t src_base = (n * C + c) * H * W;
+      const std::int64_t dst_base = (n * C + c) * new_h * new_w;
+      for (std::int64_t y = 0; y < new_h; ++y) {
+        const std::int64_t sy = std::min(y * H / new_h, H - 1);
+        for (std::int64_t x = 0; x < new_w; ++x) {
+          const std::int64_t sx = std::min(x * W / new_w, W - 1);
+          dst[static_cast<std::size_t>(dst_base + y * new_w + x)] =
+              src[static_cast<std::size_t>(src_base + sy * W + sx)];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+nn::Tensor augment_dihedral(const nn::Tensor& t, int which) {
+  assert(t.rank() == 4);
+  assert(which >= 0 && which < 8);
+  const std::int64_t N = t.dim(0), C = t.dim(1), H = t.dim(2), W = t.dim(3);
+  const int rot = which & 3;
+  const bool flip = (which & 4) != 0;
+  if (rot % 2 == 1) assert(H == W && "90/270 rotations require square maps");
+  nn::Tensor out(t.shape());
+  for (std::int64_t n = 0; n < N; ++n) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      for (std::int64_t y = 0; y < H; ++y) {
+        for (std::int64_t x = 0; x < W; ++x) {
+          std::int64_t sy = y, sx = x;
+          if (flip) sx = W - 1 - sx;  // horizontal flip first
+          // Inverse rotation: output(y,x) samples the rotated source.
+          std::int64_t ry = sy, rx = sx;
+          switch (rot) {
+            case 0: break;
+            case 1:  // 90 deg CCW output = source rotated; inverse: (y,x)->(x, H-1-y)
+              ry = sx;
+              rx = H - 1 - sy;
+              break;
+            case 2:
+              ry = H - 1 - sy;
+              rx = W - 1 - sx;
+              break;
+            case 3:
+              ry = W - 1 - sx;
+              rx = sy;
+              break;
+          }
+          out.at(n, c, y, x) = t.at(n, c, ry, rx);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dco3d

@@ -1,0 +1,65 @@
+#pragma once
+// Feature-map generation for 3D placements (§III-B1, Fig. 2) and the
+// nearest-neighbor resize pipeline (§III-B3).
+//
+// Seven per-die maps feed the Siamese UNet:
+//   0 cell density    — cell area in bin / bin area
+//   1 pin density     — pins per unit bin area
+//   2 2D RUDY         — Eq. (2) over single-die nets
+//   3 3D RUDY         — Eq. (2) over multi-die nets, scaled by 0.5
+//   4 2D PinRUDY      — Eq. (3) over single-die nets
+//   5 3D PinRUDY      — Eq. (3) over multi-die nets
+//   6 macro blockage  — macro area in bin / bin area
+
+#include <utility>
+
+#include "grid/gcell_grid.hpp"
+#include "netlist/netlist.hpp"
+#include "nn/tensor.hpp"
+
+namespace dco3d {
+
+inline constexpr std::int64_t kNumFeatureChannels = 7;
+
+enum FeatureChannel : std::int64_t {
+  kCellDensity = 0,
+  kPinDensity = 1,
+  kRudy2D = 2,
+  kRudy3D = 3,
+  kPinRudy2D = 4,
+  kPinRudy3D = 5,
+  kMacroBlockage = 6,
+};
+
+/// Per-die feature stacks, each a [1, 7, ny, nx] tensor (NCHW) ready for the
+/// predictor. Index 0 = bottom die, 1 = top die.
+struct FeatureMaps {
+  nn::Tensor die[2];
+};
+
+/// Compute the hard (non-differentiable) feature maps of a placement; used
+/// for dataset construction and inference.
+FeatureMaps compute_feature_maps(const Netlist& netlist,
+                                 const Placement3D& placement,
+                                 const GCellGrid& grid);
+
+/// RUDY contribution factor of a net bbox, (1/w + 1/h), with both dimensions
+/// clamped below by the tile dimensions so degenerate (single-tile) nets do
+/// not produce unbounded demand — the standard RUDY guard.
+double rudy_factor(const Rect& bbox, const GCellGrid& grid);
+
+/// Scatter one net's RUDY (Eq. 2) into `map` (size ny*nx) with weight `w`.
+void add_net_rudy(std::span<float> map, const GCellGrid& grid, const Rect& bbox,
+                  double w);
+
+/// Nearest-neighbor resize of a [C, H, W] or [N, C, H, W] tensor to
+/// (new_h, new_w), preserving pixel magnitudes in both directions (§III-B3).
+nn::Tensor resize_nearest(const nn::Tensor& t, std::int64_t new_h, std::int64_t new_w);
+
+/// The eight dihedral augmentations of §III-B3: rotations by 0/90/180/270
+/// degrees plus horizontal flips of each. `which` in [0, 8): bit 2 selects
+/// flip, bits 0-1 the rotation. Works on [N, C, H, W] tensors (square spatial
+/// dims required for 90/270 rotations).
+nn::Tensor augment_dihedral(const nn::Tensor& t, int which);
+
+}  // namespace dco3d

@@ -1,0 +1,63 @@
+#pragma once
+// GCell grid: the routing-bin tessellation of the die outline used for all
+// feature maps, congestion labels, and the global router. Tile (m, n) means
+// column m (x), row n (y), matching the paper's (m, n) indexing; maps are
+// stored row-major as index = n * nx + m.
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/geometry.hpp"
+
+namespace dco3d {
+
+class GCellGrid {
+ public:
+  GCellGrid() = default;
+  GCellGrid(Rect outline, int nx, int ny) : outline_(outline), nx_(nx), ny_(ny) {
+    assert(nx > 0 && ny > 0);
+    assert(outline.width() > 0 && outline.height() > 0);
+  }
+
+  const Rect& outline() const { return outline_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  std::int64_t num_tiles() const { return static_cast<std::int64_t>(nx_) * ny_; }
+
+  double tile_width() const { return outline_.width() / nx_; }
+  double tile_height() const { return outline_.height() / ny_; }
+  double tile_area() const { return tile_width() * tile_height(); }
+
+  Rect tile_rect(int m, int n) const {
+    assert(m >= 0 && m < nx_ && n >= 0 && n < ny_);
+    const double x0 = outline_.xlo + m * tile_width();
+    const double y0 = outline_.ylo + n * tile_height();
+    return {x0, y0, x0 + tile_width(), y0 + tile_height()};
+  }
+
+  std::int64_t index(int m, int n) const {
+    assert(m >= 0 && m < nx_ && n >= 0 && n < ny_);
+    return static_cast<std::int64_t>(n) * nx_ + m;
+  }
+
+  /// Column containing x (clamped into range).
+  int col_of(double x) const {
+    const auto m = static_cast<int>((x - outline_.xlo) / tile_width());
+    return std::clamp(m, 0, nx_ - 1);
+  }
+  /// Row containing y (clamped into range).
+  int row_of(double y) const {
+    const auto n = static_cast<int>((y - outline_.ylo) / tile_height());
+    return std::clamp(n, 0, ny_ - 1);
+  }
+
+  /// Tile of a point (clamped).
+  std::int64_t tile_of(Point p) const { return index(col_of(p.x), row_of(p.y)); }
+
+ private:
+  Rect outline_{0, 0, 1, 1};
+  int nx_ = 1;
+  int ny_ = 1;
+};
+
+}  // namespace dco3d

@@ -1,0 +1,292 @@
+#include "grid/soft_maps.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+namespace dco3d {
+
+namespace {
+
+struct NetGeom {
+  Rect bbox;          // effective bbox (clamped below to tile dims)
+  bool clamped_x = false;
+  bool clamped_y = false;
+  std::size_t argmin_x = 0, argmax_x = 0, argmin_y = 0, argmax_y = 0;  // pin idx
+  double k = 0.0;     // 1/w + 1/h on the effective bbox
+  double prod_top = 1.0, prod_bot = 1.0;
+};
+
+struct PinPos {
+  CellId cell;
+  double px, py;  // absolute pin position
+  double z;       // soft top-die probability of the owning cell
+};
+
+/// Gather pins of a net with positions/z from the coordinate vectors.
+void collect_pins(const Net& net, std::span<const float> x, std::span<const float> y,
+                  std::span<const float> z, std::vector<PinPos>& pins) {
+  pins.clear();
+  auto add = [&](const PinRef& p) {
+    const auto c = static_cast<std::size_t>(p.cell);
+    pins.push_back({p.cell, x[c] + p.offset.x, y[c] + p.offset.y,
+                    std::clamp(static_cast<double>(z[c]), 0.0, 1.0)});
+  };
+  add(net.driver);
+  for (const PinRef& s : net.sinks) add(s);
+}
+
+NetGeom net_geometry(const std::vector<PinPos>& pins, const GCellGrid& grid) {
+  NetGeom g;
+  double xl = pins[0].px, xh = pins[0].px, yl = pins[0].py, yh = pins[0].py;
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    const auto& p = pins[i];
+    if (p.px < xl) { xl = p.px; g.argmin_x = i; }
+    if (p.px > xh) { xh = p.px; g.argmax_x = i; }
+    if (p.py < yl) { yl = p.py; g.argmin_y = i; }
+    if (p.py > yh) { yh = p.py; g.argmax_y = i; }
+    g.prod_top *= p.z;
+    g.prod_bot *= 1.0 - p.z;
+  }
+  const double tw = grid.tile_width(), th = grid.tile_height();
+  if (xh - xl < tw) {
+    const double pad = (tw - (xh - xl)) * 0.5;
+    xl -= pad;
+    xh += pad;
+    g.clamped_x = true;
+  }
+  if (yh - yl < th) {
+    const double pad = (th - (yh - yl)) * 0.5;
+    yl -= pad;
+    yh += pad;
+    g.clamped_y = true;
+  }
+  g.bbox = {xl, yl, xh, yh};
+  g.k = 1.0 / (xh - xl) + 1.0 / (yh - yl);
+  return g;
+}
+
+}  // namespace
+
+SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
+                           const nn::Var& x, const nn::Var& y, const nn::Var& z) {
+  const auto N = static_cast<std::size_t>(netlist.num_cells());
+  assert(x->value.numel() == static_cast<std::int64_t>(N));
+  assert(y->value.numel() == static_cast<std::int64_t>(N));
+  assert(z->value.numel() == static_cast<std::int64_t>(N));
+  const std::int64_t H = grid.ny(), W = grid.nx();
+  const double A = grid.tile_area();
+
+  nn::Tensor out({1, 2 * kNumFeatureChannels, H, W});
+  auto channel = [&](nn::Tensor& t, int die, FeatureChannel ch) {
+    return t.data().subspan(
+        static_cast<std::size_t>((die * kNumFeatureChannels + ch) * H * W),
+        static_cast<std::size_t>(H * W));
+  };
+
+  auto xs = x->value.data();
+  auto ys = y->value.data();
+  auto zs = z->value.data();
+
+  // --- cell density & macro blockage ---
+  for (std::size_t ci = 0; ci < N; ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    const CellType& t = netlist.cell_type(id);
+    if (t.area() <= 0.0) continue;
+    const double zc = std::clamp(static_cast<double>(zs[ci]), 0.0, 1.0);
+    const Rect r{xs[ci], ys[ci], xs[ci] + t.width, ys[ci] + t.height};
+    const FeatureChannel ch = netlist.is_macro(id) ? kMacroBlockage : kCellDensity;
+    auto bot = channel(out, 0, ch);
+    auto top = channel(out, 1, ch);
+    const int m0 = grid.col_of(r.xlo), m1 = grid.col_of(r.xhi);
+    const int n0 = grid.row_of(r.ylo), n1 = grid.row_of(r.yhi);
+    for (int n = n0; n <= n1; ++n)
+      for (int m = m0; m <= m1; ++m) {
+        const double ov = grid.tile_rect(m, n).overlap_area(r);
+        if (ov <= 0.0) continue;
+        const auto ti = static_cast<std::size_t>(grid.index(m, n));
+        bot[ti] += static_cast<float>((1.0 - zc) * ov / A);
+        top[ti] += static_cast<float>(zc * ov / A);
+      }
+  }
+
+  // --- net-driven maps ---
+  std::vector<PinPos> pins;
+  for (const Net& net : netlist.nets()) {
+    collect_pins(net, xs, ys, zs, pins);
+    const NetGeom g = net_geometry(pins, grid);
+    const double w3d = std::max(1.0 - g.prod_top - g.prod_bot, 0.0);
+
+    // RUDY channels.
+    add_net_rudy(channel(out, 0, kRudy2D), grid, g.bbox, g.prod_bot);
+    add_net_rudy(channel(out, 1, kRudy2D), grid, g.bbox, g.prod_top);
+    add_net_rudy(channel(out, 0, kRudy3D), grid, g.bbox, 0.5 * w3d);
+    add_net_rudy(channel(out, 1, kRudy3D), grid, g.bbox, 0.5 * w3d);
+
+    // Pin channels.
+    for (const PinPos& p : pins) {
+      const auto ti = static_cast<std::size_t>(grid.tile_of({p.px, p.py}));
+      channel(out, 0, kPinDensity)[ti] += static_cast<float>((1.0 - p.z) / A);
+      channel(out, 1, kPinDensity)[ti] += static_cast<float>(p.z / A);
+      channel(out, 0, kPinRudy2D)[ti] += static_cast<float>(g.k * g.prod_bot);
+      channel(out, 1, kPinRudy2D)[ti] += static_cast<float>(g.k * g.prod_top);
+      channel(out, 0, kPinRudy3D)[ti] += static_cast<float>(g.k * (1.0 - p.z) * w3d);
+      channel(out, 1, kPinRudy3D)[ti] += static_cast<float>(g.k * p.z * w3d);
+    }
+  }
+
+  // --- custom backward: Eq. (6) subgradients ---
+  const Netlist* nlp = &netlist;
+  auto backward = [nlp, grid, H, W, A](nn::Node& node) {
+    const auto n_cells = static_cast<std::size_t>(nlp->num_cells());
+    nn::Node& px = *node.parents[0];
+    nn::Node& py = *node.parents[1];
+    nn::Node& pz = *node.parents[2];
+    std::vector<double> gx(n_cells, 0.0), gy(n_cells, 0.0), gz(n_cells, 0.0);
+
+    auto gch = [&](int die, FeatureChannel ch) {
+      return node.grad.data().subspan(
+          static_cast<std::size_t>((die * kNumFeatureChannels + ch) * H * W),
+          static_cast<std::size_t>(H * W));
+    };
+    auto xs = px.value.data();
+    auto ys = py.value.data();
+    auto zs = pz.value.data();
+
+    // Cell density: z gradient through tier weighting.
+    if (pz.requires_grad) {
+      auto gb = gch(0, kCellDensity);
+      auto gt = gch(1, kCellDensity);
+      for (std::size_t ci = 0; ci < n_cells; ++ci) {
+        const auto id = static_cast<CellId>(ci);
+        const CellType& t = nlp->cell_type(id);
+        if (t.area() <= 0.0 || nlp->is_macro(id)) continue;
+        const Rect r{xs[ci], ys[ci], xs[ci] + t.width, ys[ci] + t.height};
+        const int m0 = grid.col_of(r.xlo), m1 = grid.col_of(r.xhi);
+        const int n0 = grid.row_of(r.ylo), n1 = grid.row_of(r.yhi);
+        for (int n = n0; n <= n1; ++n)
+          for (int m = m0; m <= m1; ++m) {
+            const double ov = grid.tile_rect(m, n).overlap_area(r);
+            if (ov <= 0.0) continue;
+            const auto ti = static_cast<std::size_t>(grid.index(m, n));
+            gz[ci] += (gt[ti] - gb[ti]) * ov / A;
+          }
+      }
+    }
+
+    std::vector<PinPos> pins;
+    auto gb2 = gch(0, kRudy2D), gt2 = gch(1, kRudy2D);
+    auto gb3 = gch(0, kRudy3D), gt3 = gch(1, kRudy3D);
+    auto gbp2 = gch(0, kPinRudy2D), gtp2 = gch(1, kPinRudy2D);
+    auto gbp3 = gch(0, kPinRudy3D), gtp3 = gch(1, kPinRudy3D);
+    auto gbpd = gch(0, kPinDensity), gtpd = gch(1, kPinDensity);
+
+    for (const Net& net : nlp->nets()) {
+      collect_pins(net, xs, ys, zs, pins);
+      const NetGeom g = net_geometry(pins, grid);
+      const double w3d = std::max(1.0 - g.prod_top - g.prod_bot, 0.0);
+      const Rect& bb = g.bbox;
+      const int m0 = grid.col_of(bb.xlo), m1 = grid.col_of(bb.xhi);
+      const int n0 = grid.row_of(bb.ylo), n1 = grid.row_of(bb.yhi);
+      const double w = bb.width(), h = bb.height();
+
+      // Accumulate per-class tile-weighted grads for the RUDY channels, plus
+      // the position gradient of the extreme pins (Eq. 6).
+      double a_top2 = 0.0, a_bot2 = 0.0, a_3d = 0.0;
+      double gxh = 0.0, gxl = 0.0, gyh = 0.0, gyl = 0.0;
+      const bool want_pos = (px.requires_grad || py.requires_grad);
+      for (int n = n0; n <= n1; ++n) {
+        for (int m = m0; m <= m1; ++m) {
+          const Rect tr = grid.tile_rect(m, n);
+          const double ov = tr.overlap_area(bb);
+          if (ov <= 0.0) continue;
+          const auto ti = static_cast<std::size_t>(grid.index(m, n));
+          const double c = g.k * ov / A;
+          a_top2 += gt2[ti] * c;
+          a_bot2 += gb2[ti] * c;
+          a_3d += (gt3[ti] + gb3[ti]) * 0.5 * c;
+          if (!want_pos) continue;
+          // Total upstream weight on this tile's RUDY value for this net.
+          const double t_w = gt2[ti] * g.prod_top + gb2[ti] * g.prod_bot +
+                             (gt3[ti] + gb3[ti]) * 0.5 * w3d;
+          if (t_w == 0.0) continue;
+          const double wx = std::min(tr.xhi, bb.xhi) - std::max(tr.xlo, bb.xlo);
+          const double hy = std::min(tr.yhi, bb.yhi) - std::max(tr.ylo, bb.ylo);
+          if (!g.clamped_x) {
+            // d(1/w)/dx_h = -1/w^2; edge term when the bbox's right/left edge
+            // lies inside this tile (delta_ih / delta_il of Eq. 6).
+            const double dk = -ov / (w * w * A);
+            gxh += t_w * dk;
+            gxl -= t_w * dk;
+            if (bb.xhi >= tr.xlo && bb.xhi < tr.xhi) gxh += t_w * g.k * hy / A;
+            if (bb.xlo > tr.xlo && bb.xlo <= tr.xhi) gxl -= t_w * g.k * hy / A;
+          }
+          if (!g.clamped_y) {
+            const double dk = -ov / (h * h * A);
+            gyh += t_w * dk;
+            gyl -= t_w * dk;
+            if (bb.yhi >= tr.ylo && bb.yhi < tr.yhi) gyh += t_w * g.k * wx / A;
+            if (bb.ylo > tr.ylo && bb.ylo <= tr.yhi) gyl -= t_w * g.k * wx / A;
+          }
+        }
+      }
+      if (want_pos) {
+        gx[static_cast<std::size_t>(pins[g.argmax_x].cell)] += gxh;
+        gx[static_cast<std::size_t>(pins[g.argmin_x].cell)] += gxl;
+        gy[static_cast<std::size_t>(pins[g.argmax_y].cell)] += gyh;
+        gy[static_cast<std::size_t>(pins[g.argmin_y].cell)] += gyl;
+      }
+
+      if (!pz.requires_grad) continue;
+
+      // Pin-channel sums shared across all z_i of this net.
+      double s_t2 = 0.0, s_b2 = 0.0, s_3z = 0.0;
+      for (const PinPos& p : pins) {
+        const auto ti = static_cast<std::size_t>(grid.tile_of({p.px, p.py}));
+        s_t2 += gtp2[ti] * g.k;
+        s_b2 += gbp2[ti] * g.k;
+        s_3z += gtp3[ti] * g.k * p.z + gbp3[ti] * g.k * (1.0 - p.z);
+      }
+
+      // Per-pin z gradients with excluded products.
+      for (std::size_t i = 0; i < pins.size(); ++i) {
+        const PinPos& pi = pins[i];
+        double pt_excl = 1.0, pb_excl = 1.0;
+        for (std::size_t q = 0; q < pins.size(); ++q) {
+          if (q == i) continue;
+          pt_excl *= pins[q].z;
+          pb_excl *= 1.0 - pins[q].z;
+        }
+        const double d3d = pb_excl - pt_excl;  // d(w3d)/dz_i
+        double gzi = 0.0;
+        // RUDY channels.
+        gzi += a_top2 * pt_excl - a_bot2 * pb_excl + a_3d * d3d;
+        // 2D PinRUDY (every pin's contribution carries the full product).
+        gzi += s_t2 * pt_excl - s_b2 * pb_excl;
+        // 3D PinRUDY: own-pin direct term + shared w3d term.
+        const auto ti = static_cast<std::size_t>(grid.tile_of({pi.px, pi.py}));
+        gzi += (gtp3[ti] - gbp3[ti]) * g.k * w3d + s_3z * d3d;
+        // Pin density.
+        gzi += (gtpd[ti] - gbpd[ti]) / A;
+        gz[static_cast<std::size_t>(pi.cell)] += gzi;
+      }
+    }
+
+    auto flush = [](nn::Node& p, const std::vector<double>& g) {
+      if (!p.requires_grad) return;
+      p.ensure_grad();
+      auto dst = p.grad.data();
+      for (std::size_t i = 0; i < g.size(); ++i) dst[i] += static_cast<float>(g[i]);
+    };
+    flush(px, gx);
+    flush(py, gy);
+    flush(pz, gz);
+  };
+
+  SoftMaps result;
+  result.stacked = nn::make_node(std::move(out), {x, y, z}, std::move(backward));
+  return result;
+}
+
+}  // namespace dco3d

@@ -1,0 +1,50 @@
+#pragma once
+// Differentiable ("soft") feature-map generation for the DCO loop (§IV-A).
+//
+// Given per-cell positions x, y and soft tier probabilities z (probability of
+// the TOP die), produces the 7-channel feature stacks of both dies as one
+// autograd node, so the congestion loss can be backpropagated through the
+// Siamese UNet into cell coordinates (Eq. 5).
+//
+// Tier softness follows the paper exactly: a net's 2D contribution is
+// weighted by prod_p z_p (top) or prod_p (1-z_p) (bottom); its 3D
+// contribution by 1 - prod z - prod (1-z).
+//
+// The backward implements the custom subgradients of Eq. (6):
+//  * RUDY channels propagate gradients to x/y through the net bounding box —
+//    only the cells holding the extreme (argmin/argmax) pins receive a
+//    position gradient (the Kronecker delta_ih - delta_il term) — and to z
+//    through the tier-weight products.
+//  * Pin-level and density channels propagate gradients to z only; their
+//    position dependence is a step function of the containing tile, whose
+//    subgradient we take as zero (cell spreading in x/y is driven by the
+//    RUDY channels and the overlap loss, as in the paper).
+//  * Where a bbox dimension is clamped below by the tile size, the clamp's
+//    subgradient zeroes that axis' position gradient.
+
+#include "grid/feature_maps.hpp"
+#include "grid/gcell_grid.hpp"
+#include "netlist/netlist.hpp"
+#include "nn/autograd.hpp"
+#include "nn/ops.hpp"
+
+namespace dco3d {
+
+/// Result of soft map generation: a single [1, 14, H, W] node (channels
+/// 0..6 = bottom die, 7..13 = top die) plus convenience slices.
+struct SoftMaps {
+  nn::Var stacked;
+
+  nn::Var bottom() const { return nn::slice_channels(stacked, 0, kNumFeatureChannels); }
+  nn::Var top() const {
+    return nn::slice_channels(stacked, kNumFeatureChannels, 2 * kNumFeatureChannels);
+  }
+};
+
+/// Build soft feature maps. x, y, z are [N] vectors over all cells (N =
+/// netlist.num_cells()); fixed cells should carry their hard coordinates and
+/// a hard z of 0/1. Gradients flow into whichever of x/y/z require grad.
+SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
+                           const nn::Var& x, const nn::Var& y, const nn::Var& z);
+
+}  // namespace dco3d

@@ -1,0 +1,40 @@
+#pragma once
+// Plain-text interchange format for designs and placements, in the spirit of
+// the Bookshelf format: human-readable, diff-able, versioned. Lets users
+// persist generated benchmarks, exchange placements between tools, and debug
+// flows offline.
+//
+// Format (one logical record per line, '#' comments allowed):
+//   dco3d-design v1
+//   libcell <name> <function> <drive> <inputs> <w> <h> <cap> <res> <delay> <leak> <energy>
+//   cell <name> <type-name> <fixed 0|1>
+//   net <name> <weight> <is_clock 0|1> <driver-cell> <ox> <oy> [<sink-cell> <ox> <oy>]...
+//
+//   dco3d-placement v1
+//   outline <xlo> <ylo> <xhi> <yhi>
+//   place <cell-index> <x> <y> <tier>
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace dco3d {
+
+/// Serialize a netlist (library + cells + nets). Throws std::runtime_error
+/// on stream failure.
+void write_design(std::ostream& os, const Netlist& netlist);
+void write_design_file(const std::string& path, const Netlist& netlist);
+
+/// Parse a netlist. Throws std::runtime_error with a line number on any
+/// syntax error or dangling reference.
+Netlist read_design(std::istream& is);
+Netlist read_design_file(const std::string& path);
+
+/// Serialize / parse a placement for a design with `num_cells` cells.
+void write_placement(std::ostream& os, const Placement3D& placement);
+void write_placement_file(const std::string& path, const Placement3D& placement);
+Placement3D read_placement(std::istream& is, std::size_t num_cells);
+Placement3D read_placement_file(const std::string& path, std::size_t num_cells);
+
+}  // namespace dco3d

@@ -1,0 +1,110 @@
+#include "io/model_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace dco3d {
+
+namespace {
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("model_io: " + what);
+}
+}  // namespace
+
+void save_predictor(std::ostream& os, const Predictor& predictor,
+                    const nn::UNetConfig& cfg) {
+  if (!predictor.model) fail("predictor has no model");
+  os << "dco3d-predictor v1\n";
+  os << "unet " << cfg.in_channels << ' ' << cfg.out_channels << ' '
+     << cfg.base_channels << ' ' << cfg.depth << '\n';
+  os << std::setprecision(std::numeric_limits<float>::max_digits10);
+  os << "label_scale " << predictor.label_scale << '\n';
+  os << "feature_scale";
+  for (std::int64_t i = 0; i < predictor.feature_scale.numel(); ++i)
+    os << ' ' << predictor.feature_scale[i];
+  os << '\n';
+  const auto params = predictor.model->parameters();
+  os << "params " << params.size() << '\n';
+  for (const nn::Var& p : params) {
+    os << "tensor";
+    os << ' ' << p->value.rank();
+    for (std::size_t d = 0; d < p->value.rank(); ++d) os << ' ' << p->value.dim(d);
+    os << '\n';
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      os << p->value[i];
+      os << (i + 1 == p->value.numel() ? '\n' : ' ');
+    }
+  }
+  if (!os) fail("write failed");
+}
+
+void save_predictor_file(const std::string& path, const Predictor& predictor,
+                         const nn::UNetConfig& cfg) {
+  std::ofstream os(path);
+  if (!os) fail("cannot open " + path);
+  save_predictor(os, predictor, cfg);
+}
+
+Predictor load_predictor(std::istream& is) {
+  std::string line, tag;
+  if (!std::getline(is, line) || line.rfind("dco3d-predictor v1", 0) != 0)
+    fail("missing 'dco3d-predictor v1' header");
+
+  nn::UNetConfig cfg;
+  is >> tag;
+  if (tag != "unet") fail("expected 'unet'");
+  is >> cfg.in_channels >> cfg.out_channels >> cfg.base_channels >> cfg.depth;
+  if (!is) fail("malformed unet config");
+
+  Predictor pred;
+  is >> tag;
+  if (tag != "label_scale") fail("expected 'label_scale'");
+  is >> pred.label_scale;
+
+  is >> tag;
+  if (tag != "feature_scale") fail("expected 'feature_scale'");
+  pred.feature_scale = nn::Tensor({kNumFeatureChannels});
+  for (std::int64_t i = 0; i < kNumFeatureChannels; ++i)
+    is >> pred.feature_scale[i];
+  if (!is) fail("malformed feature_scale");
+
+  std::size_t n_params = 0;
+  is >> tag >> n_params;
+  if (tag != "params") fail("expected 'params'");
+
+  // Reconstruct the architecture (weights are overwritten below, so the RNG
+  // seed is irrelevant).
+  Rng rng(1);
+  pred.model = std::make_shared<nn::SiameseUNet>(cfg, rng);
+  const auto params = pred.model->parameters();
+  if (params.size() != n_params)
+    fail("parameter count mismatch: file has " + std::to_string(n_params) +
+         ", architecture has " + std::to_string(params.size()));
+
+  for (nn::Var p : params) {
+    is >> tag;
+    if (tag != "tensor") fail("expected 'tensor'");
+    std::size_t rank = 0;
+    is >> rank;
+    nn::Shape shape(rank);
+    for (std::size_t d = 0; d < rank; ++d) is >> shape[d];
+    if (!is) fail("malformed tensor header");
+    if (shape != p->value.shape())
+      fail("tensor shape mismatch: file " + nn::shape_str(shape) +
+           " vs model " + nn::shape_str(p->value.shape()));
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) is >> p->value[i];
+    if (!is) fail("truncated tensor data");
+  }
+  return pred;
+}
+
+Predictor load_predictor_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) fail("cannot open " + path);
+  return load_predictor(is);
+}
+
+}  // namespace dco3d

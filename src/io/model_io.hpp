@@ -1,0 +1,25 @@
+#pragma once
+// Checkpointing for trained congestion predictors: UNet architecture config,
+// per-channel feature scales, label scale, and every parameter tensor, in a
+// versioned text format (floats serialized with max_digits10, so round-trips
+// are bit-exact for float32).
+
+#include <iosfwd>
+#include <string>
+
+#include "core/trainer.hpp"
+
+namespace dco3d {
+
+/// Serialize a trained predictor. Throws std::runtime_error on failure.
+void save_predictor(std::ostream& os, const Predictor& predictor,
+                    const nn::UNetConfig& cfg);
+void save_predictor_file(const std::string& path, const Predictor& predictor,
+                         const nn::UNetConfig& cfg);
+
+/// Load a predictor. Reconstructs the SiameseUNet from the stored config and
+/// copies the weights in; throws on version/shape mismatch.
+Predictor load_predictor(std::istream& is);
+Predictor load_predictor_file(const std::string& path);
+
+}  // namespace dco3d

@@ -1,0 +1,116 @@
+#include "netlist/library.hpp"
+
+#include <cassert>
+
+namespace dco3d {
+
+namespace {
+
+CellType make(const std::string& name, CellFunction f, int drive, int inputs,
+              double width, double cap, double res, double delay, double leak,
+              double energy) {
+  CellType t;
+  t.name = name;
+  t.function = f;
+  t.drive = drive;
+  t.num_inputs = inputs;
+  t.width = width;
+  t.height = 0.15;
+  t.input_cap = cap;
+  t.drive_res = res;
+  t.intrinsic_delay = delay;
+  t.leakage = leak;
+  t.internal_energy = energy;
+  return t;
+}
+
+}  // namespace
+
+Library Library::make_default() {
+  Library lib;
+  // Values scale sensibly with drive: width and caps up, resistance down.
+  // width(um), cap(fF), res(kOhm), delay(ps), leak(nW), energy(fJ)
+  auto& T = lib.types_;
+  T.push_back(make("INV_X1", CellFunction::kInv, 1, 1, 0.054, 0.60, 6.0, 4.0, 1.2, 0.08));
+  T.push_back(make("INV_X2", CellFunction::kInv, 2, 1, 0.081, 1.15, 3.1, 3.6, 2.3, 0.15));
+  T.push_back(make("INV_X4", CellFunction::kInv, 4, 1, 0.135, 2.25, 1.6, 3.3, 4.5, 0.29));
+  T.push_back(make("INV_X8", CellFunction::kInv, 8, 1, 0.243, 4.40, 0.85, 3.1, 8.8, 0.56));
+  T.push_back(make("BUF_X1", CellFunction::kBuf, 1, 1, 0.081, 0.62, 5.6, 7.8, 1.8, 0.14));
+  T.push_back(make("BUF_X2", CellFunction::kBuf, 2, 1, 0.108, 1.18, 2.9, 7.1, 3.4, 0.26));
+  T.push_back(make("BUF_X4", CellFunction::kBuf, 4, 1, 0.162, 2.30, 1.5, 6.6, 6.5, 0.50));
+  T.push_back(make("BUF_X8", CellFunction::kBuf, 8, 1, 0.297, 4.50, 0.80, 6.2, 12.4, 0.97));
+  T.push_back(make("NAND2_X1", CellFunction::kNand2, 1, 2, 0.081, 0.68, 6.5, 5.2, 1.9, 0.11));
+  T.push_back(make("NAND2_X2", CellFunction::kNand2, 2, 2, 0.122, 1.30, 3.4, 4.7, 3.6, 0.21));
+  T.push_back(make("NAND2_X4", CellFunction::kNand2, 4, 2, 0.203, 2.55, 1.75, 4.4, 7.0, 0.40));
+  T.push_back(make("NOR2_X1", CellFunction::kNor2, 1, 2, 0.081, 0.70, 7.2, 5.6, 2.0, 0.12));
+  T.push_back(make("NOR2_X2", CellFunction::kNor2, 2, 2, 0.122, 1.34, 3.7, 5.1, 3.8, 0.22));
+  T.push_back(make("NOR2_X4", CellFunction::kNor2, 4, 2, 0.203, 2.62, 1.9, 4.8, 7.4, 0.42));
+  T.push_back(make("AND2_X1", CellFunction::kAnd2, 1, 2, 0.108, 0.64, 6.2, 8.3, 2.4, 0.16));
+  T.push_back(make("AND2_X2", CellFunction::kAnd2, 2, 2, 0.149, 1.22, 3.2, 7.6, 4.6, 0.30));
+  T.push_back(make("OR2_X1", CellFunction::kOr2, 1, 2, 0.108, 0.66, 6.4, 8.6, 2.5, 0.17));
+  T.push_back(make("OR2_X2", CellFunction::kOr2, 2, 2, 0.149, 1.26, 3.3, 7.9, 4.8, 0.31));
+  T.push_back(make("XOR2_X1", CellFunction::kXor2, 1, 2, 0.149, 0.92, 7.8, 9.4, 3.3, 0.24));
+  T.push_back(make("XOR2_X2", CellFunction::kXor2, 2, 2, 0.216, 1.78, 4.0, 8.6, 6.3, 0.46));
+  T.push_back(make("AOI21_X1", CellFunction::kAoi21, 1, 3, 0.122, 0.74, 7.5, 6.4, 2.6, 0.15));
+  T.push_back(make("AOI21_X2", CellFunction::kAoi21, 2, 3, 0.176, 1.42, 3.9, 5.9, 5.0, 0.28));
+  T.push_back(make("MUX2_X1", CellFunction::kMux2, 1, 3, 0.162, 0.88, 7.0, 9.8, 3.5, 0.25));
+  T.push_back(make("MUX2_X2", CellFunction::kMux2, 2, 3, 0.230, 1.70, 3.6, 9.0, 6.7, 0.47));
+  T.push_back(make("DFF_X1", CellFunction::kDff, 1, 1, 0.324, 0.78, 6.8, 22.0, 6.1, 0.62));
+  T.push_back(make("DFF_X2", CellFunction::kDff, 2, 1, 0.405, 1.50, 3.5, 20.5, 11.6, 1.15));
+  return lib;
+}
+
+CellTypeId Library::find(CellFunction f, int drive) const {
+  for (std::size_t i = 0; i < types_.size(); ++i)
+    if (types_[i].function == f && types_[i].drive == drive)
+      return static_cast<CellTypeId>(i);
+  return -1;
+}
+
+CellTypeId Library::smallest(CellFunction f) const {
+  CellTypeId best = -1;
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i].function != f) continue;
+    if (best < 0 || types_[i].drive < types_[static_cast<std::size_t>(best)].drive)
+      best = static_cast<CellTypeId>(i);
+  }
+  assert(best >= 0 && "function not present in library");
+  return best;
+}
+
+CellTypeId Library::upsize(CellTypeId id) const {
+  const CellType& t = type(id);
+  CellTypeId best = -1;
+  int best_drive = 0;
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    const CellType& c = types_[i];
+    if (c.function != t.function || c.drive <= t.drive) continue;
+    if (best < 0 || c.drive < best_drive) {
+      best = static_cast<CellTypeId>(i);
+      best_drive = c.drive;
+    }
+  }
+  return best;
+}
+
+CellTypeId Library::downsize(CellTypeId id) const {
+  const CellType& t = type(id);
+  CellTypeId best = -1;
+  int best_drive = 0;
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    const CellType& c = types_[i];
+    if (c.function != t.function || c.drive >= t.drive) continue;
+    if (best < 0 || c.drive > best_drive) {
+      best = static_cast<CellTypeId>(i);
+      best_drive = c.drive;
+    }
+  }
+  return best;
+}
+
+CellTypeId Library::add_type(CellType t) {
+  types_.push_back(std::move(t));
+  return static_cast<CellTypeId>(types_.size() - 1);
+}
+
+}  // namespace dco3d

@@ -1,0 +1,89 @@
+#pragma once
+// Synthetic "N3-class" standard-cell library.
+//
+// The paper's designs are synthesized onto a commercial 3nm PDK that we
+// cannot ship; this library substitutes a small set of representative cells
+// (inverters/buffers at several drive strengths, 2-input logic, AOI, XOR,
+// MUX, and a DFF) with self-consistent area / capacitance / delay / power
+// numbers in the right ballpark for a leading-edge node. The absolute values
+// only need to make STA and the power model *respond* to placement and
+// sizing the way a real signoff engine does; see DESIGN.md §"Scaling
+// substitutions".
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dco3d {
+
+/// Functional class of a cell; drives timing arcs and generator structure.
+enum class CellFunction {
+  kInv,
+  kBuf,
+  kNand2,
+  kNor2,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kAoi21,
+  kMux2,
+  kDff,     // sequential: clk->q arc, d/clk setup
+  kMacro,   // fixed block (SRAM-like); placed by floorplanning
+  kIoPad,   // boundary terminal
+};
+
+inline bool is_sequential(CellFunction f) { return f == CellFunction::kDff; }
+
+/// One library cell (a function at a drive strength).
+struct CellType {
+  std::string name;
+  CellFunction function = CellFunction::kInv;
+  int drive = 1;            // relative drive strength (X1, X2, X4, X8)
+  int num_inputs = 1;       // data inputs (excludes clock)
+  double width = 0.0;       // um
+  double height = 0.0;      // um (standard row height except macros)
+  double input_cap = 0.0;   // fF per input pin
+  double drive_res = 0.0;   // kOhm equivalent output resistance
+  double intrinsic_delay = 0.0;  // ps unloaded
+  double leakage = 0.0;     // nW
+  double internal_energy = 0.0;  // fJ per output toggle
+
+  double area() const { return width * height; }
+};
+
+using CellTypeId = std::int32_t;
+
+/// The cell library. Provides lookup by function+drive and sizing walks
+/// (next larger / smaller drive of the same function) for the signoff
+/// optimizer.
+class Library {
+ public:
+  /// Construct the default synthetic N3-like library.
+  static Library make_default();
+
+  const CellType& type(CellTypeId id) const { return types_[static_cast<std::size_t>(id)]; }
+  std::size_t size() const { return types_.size(); }
+
+  /// Find a cell by function and drive strength; returns -1 if absent.
+  CellTypeId find(CellFunction f, int drive) const;
+
+  /// Smallest-drive variant of a function (asserts the function exists).
+  CellTypeId smallest(CellFunction f) const;
+
+  /// Next larger drive of the same function, or -1 at the top of the ladder.
+  CellTypeId upsize(CellTypeId id) const;
+  /// Next smaller drive, or -1 at the bottom.
+  CellTypeId downsize(CellTypeId id) const;
+
+  /// Standard row height shared by all non-macro cells.
+  double row_height() const { return row_height_; }
+
+  /// Register an ad-hoc type (macros, IO pads); returns its id.
+  CellTypeId add_type(CellType t);
+
+ private:
+  std::vector<CellType> types_;
+  double row_height_ = 0.15;  // um
+};
+
+}  // namespace dco3d

@@ -1,0 +1,94 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace dco3d {
+
+double Netlist::total_movable_area() const {
+  double a = 0.0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const auto id = static_cast<CellId>(i);
+    if (is_movable(id)) a += cell_area(id);
+  }
+  return a;
+}
+
+std::size_t Netlist::num_ios() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    if (is_io(static_cast<CellId>(i))) ++n;
+  return n;
+}
+
+const std::vector<std::vector<NetId>>& Netlist::cell_nets() const {
+  if (cell_nets_.empty() && !cells_.empty()) {
+    cell_nets_.assign(cells_.size(), {});
+    for (std::size_t ni = 0; ni < nets_.size(); ++ni) {
+      const Net& net = nets_[ni];
+      auto touch = [&](CellId c) {
+        auto& v = cell_nets_[static_cast<std::size_t>(c)];
+        if (v.empty() || v.back() != static_cast<NetId>(ni))
+          v.push_back(static_cast<NetId>(ni));
+      };
+      touch(net.driver.cell);
+      for (const PinRef& s : net.sinks) touch(s.cell);
+    }
+  }
+  return cell_nets_;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> Netlist::cell_graph_edges() const {
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+  for (const Net& net : nets_) {
+    const CellId d = net.driver.cell;
+    for (const PinRef& s : net.sinks) {
+      if (s.cell == d) continue;
+      const auto a = static_cast<std::uint64_t>(std::min(d, s.cell));
+      const auto b = static_cast<std::uint64_t>(std::max(d, s.cell));
+      const std::uint64_t key = (a << 32) | b;
+      if (seen.insert(key).second)
+        edges.emplace_back(static_cast<std::int64_t>(a), static_cast<std::int64_t>(b));
+    }
+  }
+  return edges;
+}
+
+bool is_3d_net(const Net& net, const Placement3D& placement) {
+  const int t0 = placement.tier[static_cast<std::size_t>(net.driver.cell)];
+  for (const PinRef& s : net.sinks)
+    if (placement.tier[static_cast<std::size_t>(s.cell)] != t0) return true;
+  return false;
+}
+
+Rect net_bbox(const Net& net, const Placement3D& placement) {
+  BBox box;
+  box.add(placement.pin_position(net.driver));
+  for (const PinRef& s : net.sinks) box.add(placement.pin_position(s));
+  return box.rect;
+}
+
+double net_hpwl(const Net& net, const Placement3D& placement, double via_penalty) {
+  const Rect box = net_bbox(net, placement);
+  double wl = box.half_perimeter();
+  if (via_penalty > 0.0 && is_3d_net(net, placement)) wl += via_penalty;
+  return wl * net.weight;
+}
+
+double total_hpwl(const Netlist& netlist, const Placement3D& placement,
+                  double via_penalty) {
+  double wl = 0.0;
+  for (const Net& net : netlist.nets()) wl += net_hpwl(net, placement, via_penalty);
+  return wl;
+}
+
+std::size_t count_cut_nets(const Netlist& netlist, const Placement3D& placement) {
+  std::size_t n = 0;
+  for (const Net& net : netlist.nets())
+    if (is_3d_net(net, placement)) ++n;
+  return n;
+}
+
+}  // namespace dco3d

@@ -1,0 +1,144 @@
+#pragma once
+// Gate-level netlist data model: cells, nets (driver + sinks with pin
+// offsets), and the 3D placement state (x, y, tier) that every downstream
+// stage (feature maps, router, STA, DCO) operates on.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/library.hpp"
+#include "util/geometry.hpp"
+
+namespace dco3d {
+
+using CellId = std::int32_t;
+using NetId = std::int32_t;
+
+struct Cell {
+  std::string name;
+  CellTypeId type = 0;
+  bool fixed = false;  // IO pads and macros after floorplanning
+};
+
+/// A pin: a cell plus the pin's offset from the cell's lower-left corner.
+struct PinRef {
+  CellId cell = -1;
+  Point offset;  // um, relative to cell origin
+};
+
+struct Net {
+  std::string name;
+  PinRef driver;
+  std::vector<PinRef> sinks;
+  double weight = 1.0;
+  // Clock-tree nets (inserted by CTS) are excluded from data-path timing
+  // arcs but still consume routing resources and toggle every cycle.
+  bool is_clock = false;
+
+  std::size_t num_pins() const { return 1 + sinks.size(); }
+};
+
+/// The netlist: owns the library, cells, and nets. Construction goes through
+/// NetlistBuilder (generators.hpp) or direct mutation for tests.
+class Netlist {
+ public:
+  explicit Netlist(Library lib) : lib_(std::move(lib)) {}
+
+  const Library& library() const { return lib_; }
+  Library& library() { return lib_; }
+
+  CellId add_cell(std::string name, CellTypeId type, bool fixed = false) {
+    cells_.push_back({std::move(name), type, fixed});
+    return static_cast<CellId>(cells_.size() - 1);
+  }
+
+  NetId add_net(Net net) {
+    nets_.push_back(std::move(net));
+    return static_cast<NetId>(nets_.size() - 1);
+  }
+
+  std::size_t num_cells() const { return cells_.size(); }
+  std::size_t num_nets() const { return nets_.size(); }
+
+  const Cell& cell(CellId id) const { return cells_[static_cast<std::size_t>(id)]; }
+  Cell& cell(CellId id) { return cells_[static_cast<std::size_t>(id)]; }
+  const Net& net(NetId id) const { return nets_[static_cast<std::size_t>(id)]; }
+  Net& net(NetId id) { return nets_[static_cast<std::size_t>(id)]; }
+
+  const std::vector<Cell>& cells() const { return cells_; }
+  const std::vector<Net>& nets() const { return nets_; }
+
+  const CellType& cell_type(CellId id) const { return lib_.type(cell(id).type); }
+  double cell_area(CellId id) const { return cell_type(id).area(); }
+  bool is_macro(CellId id) const { return cell_type(id).function == CellFunction::kMacro; }
+  bool is_io(CellId id) const { return cell_type(id).function == CellFunction::kIoPad; }
+  bool is_sequential(CellId id) const {
+    return dco3d::is_sequential(cell_type(id).function);
+  }
+  /// Movable = not IO, not fixed (macros become fixed at floorplan).
+  bool is_movable(CellId id) const { return !cell(id).fixed && !is_io(id); }
+
+  /// Total area of movable standard cells.
+  double total_movable_area() const;
+
+  /// Count of IO pads.
+  std::size_t num_ios() const;
+
+  /// Per-cell list of incident nets (computed on demand, cached).
+  const std::vector<std::vector<NetId>>& cell_nets() const;
+  /// Invalidate the cached incidence (call after structural edits).
+  void invalidate_cache() { cell_nets_.clear(); }
+
+  /// Cell-to-cell undirected edges (star model: driver to each sink, deduped).
+  /// Used for the GCN adjacency (§IV-A) and the FM tier partitioner.
+  std::vector<std::pair<std::int64_t, std::int64_t>> cell_graph_edges() const;
+
+ private:
+  Library lib_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  mutable std::vector<std::vector<NetId>> cell_nets_;
+};
+
+/// 3D placement state: per-cell (x, y) in um plus a tier id (0 = bottom die,
+/// 1 = top die). Both dies share the same outline in a face-to-face stack.
+struct Placement3D {
+  std::vector<Point> xy;
+  std::vector<int> tier;
+  Rect outline;
+
+  static Placement3D make(std::size_t n, Rect outline_) {
+    Placement3D p;
+    p.xy.assign(n, outline_.center());
+    p.tier.assign(n, 0);
+    p.outline = outline_;
+    return p;
+  }
+
+  std::size_t size() const { return xy.size(); }
+
+  Point pin_position(const PinRef& pin) const {
+    return xy[static_cast<std::size_t>(pin.cell)] + pin.offset;
+  }
+};
+
+/// Classify a net: 2D if every pin sits on one die, 3D otherwise (§III-B1).
+bool is_3d_net(const Net& net, const Placement3D& placement);
+
+/// Bounding box over all pins of the net (both dies).
+Rect net_bbox(const Net& net, const Placement3D& placement);
+
+/// Half-perimeter wirelength of one net; 3D nets get `via_penalty` um added
+/// for the inter-die hop.
+double net_hpwl(const Net& net, const Placement3D& placement,
+                double via_penalty = 0.0);
+
+/// Total HPWL over the design.
+double total_hpwl(const Netlist& netlist, const Placement3D& placement,
+                  double via_penalty = 0.0);
+
+/// Number of nets spanning both dies (the cutsize of Eq. (7)).
+std::size_t count_cut_nets(const Netlist& netlist, const Placement3D& placement);
+
+}  // namespace dco3d

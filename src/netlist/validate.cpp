@@ -1,0 +1,134 @@
+#include "netlist/validate.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace dco3d {
+
+namespace {
+
+/// Union-find over cell ids for component counting.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+LintReport lint_netlist(const Netlist& netlist) {
+  LintReport rep;
+  const auto n_cells = static_cast<std::int64_t>(netlist.num_cells());
+
+  auto error = [&](const std::string& w) {
+    rep.issues.push_back({LintSeverity::kError, w});
+  };
+  auto warn = [&](const std::string& w) {
+    rep.issues.push_back({LintSeverity::kWarning, w});
+  };
+
+  std::vector<int> drives(netlist.num_cells(), 0);
+  std::vector<bool> touched(netlist.num_cells(), false);
+  UnionFind uf(netlist.num_cells());
+
+  for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
+    const Net& net = netlist.net(static_cast<NetId>(ni));
+    if (net.driver.cell < 0 || net.driver.cell >= n_cells) {
+      error("net '" + net.name + "': driver cell out of range");
+      continue;
+    }
+    ++drives[static_cast<std::size_t>(net.driver.cell)];
+    touched[static_cast<std::size_t>(net.driver.cell)] = true;
+    if (net.sinks.empty()) {
+      ++rep.empty_nets;
+      error("net '" + net.name + "' has no sinks");
+    }
+    if (net.weight < 0.0)
+      error("net '" + net.name + "' has negative weight");
+    bool self_loop = false;
+    for (const PinRef& s : net.sinks) {
+      if (s.cell < 0 || s.cell >= n_cells) {
+        error("net '" + net.name + "': sink cell out of range");
+        continue;
+      }
+      touched[static_cast<std::size_t>(s.cell)] = true;
+      uf.unite(static_cast<std::size_t>(net.driver.cell),
+               static_cast<std::size_t>(s.cell));
+      self_loop |= s.cell == net.driver.cell;
+    }
+    if (self_loop) {
+      ++rep.self_loop_nets;
+      warn("net '" + net.name + "' drives its own driver (self loop)");
+    }
+  }
+
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (drives[ci] > 1) {
+      ++rep.multi_driver_cells;
+      warn("cell '" + netlist.cell(id).name + "' drives " +
+           std::to_string(drives[ci]) +
+           " nets (timing model assumes one output net per cell)");
+    }
+    if (!touched[ci] && netlist.is_movable(id)) {
+      ++rep.dangling_cells;
+      warn("movable cell '" + netlist.cell(id).name + "' is on no net");
+    }
+  }
+
+  // Connected components over touched cells.
+  std::vector<std::size_t> roots;
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    if (!touched[ci]) continue;
+    const std::size_t r = uf.find(ci);
+    if (std::find(roots.begin(), roots.end(), r) == roots.end()) roots.push_back(r);
+  }
+  rep.components = roots.size();
+  if (rep.components > 1) {
+    // Measure the fraction outside the largest component.
+    std::vector<std::size_t> sizes(roots.size(), 0);
+    std::size_t total = 0;
+    for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+      if (!touched[ci]) continue;
+      const std::size_t r = uf.find(ci);
+      for (std::size_t k = 0; k < roots.size(); ++k)
+        if (roots[k] == r) ++sizes[k];
+      ++total;
+    }
+    std::size_t largest = 0;
+    for (std::size_t s : sizes) largest = std::max(largest, s);
+    const double stray =
+        1.0 - static_cast<double>(largest) / static_cast<double>(std::max<std::size_t>(total, 1));
+    if (stray > 0.05)
+      warn("connectivity is fragmented: " + std::to_string(rep.components) +
+           " components, " + std::to_string(static_cast<int>(stray * 100)) +
+           "% of cells outside the main component");
+  }
+
+  return rep;
+}
+
+std::string format_report(const LintReport& report) {
+  std::ostringstream ss;
+  ss << (report.ok() ? "OK" : "FAIL") << ": " << report.errors() << " errors, "
+     << report.warnings() << " warnings, " << report.components
+     << " connected component(s)\n";
+  for (const LintIssue& i : report.issues)
+    ss << (i.severity == LintSeverity::kError ? "  error: " : "  warning: ")
+       << i.what << '\n';
+  return ss.str();
+}
+
+}  // namespace dco3d

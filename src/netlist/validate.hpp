@@ -1,0 +1,55 @@
+#pragma once
+// Netlist validation / linting: structural invariants a well-formed design
+// must satisfy before entering the flow. Used by the CLI `check` command and
+// recommended after reading external design files.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace dco3d {
+
+enum class LintSeverity { kError, kWarning };
+
+struct LintIssue {
+  LintSeverity severity = LintSeverity::kError;
+  std::string what;
+};
+
+struct LintReport {
+  std::vector<LintIssue> issues;
+  // Summary statistics gathered during the walk.
+  std::size_t dangling_cells = 0;      // movable cells on no net
+  std::size_t multi_driver_cells = 0;  // cells driving more than one net
+  std::size_t self_loop_nets = 0;      // driver also appears as sink
+  std::size_t empty_nets = 0;          // nets with no sinks
+  std::size_t components = 0;          // connected components of the graph
+
+  bool ok() const {
+    for (const LintIssue& i : issues)
+      if (i.severity == LintSeverity::kError) return false;
+    return true;
+  }
+  std::size_t errors() const {
+    std::size_t n = 0;
+    for (const LintIssue& i : issues)
+      if (i.severity == LintSeverity::kError) ++n;
+    return n;
+  }
+  std::size_t warnings() const { return issues.size() - errors(); }
+};
+
+/// Validate structural invariants:
+///   errors:   out-of-range pin references, nets without sinks,
+///             negative net weights;
+///   warnings: dangling movable cells, cells driving multiple nets
+///             (our timing model assumes one output net per cell),
+///             self-loop nets, heavily fragmented connectivity
+///             (more than ~5% of cells in secondary components).
+LintReport lint_netlist(const Netlist& netlist);
+
+/// One-line-per-issue rendering.
+std::string format_report(const LintReport& report);
+
+}  // namespace dco3d

@@ -1,0 +1,74 @@
+#include "nn/autograd.hpp"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace dco3d::nn {
+
+namespace {
+
+// Iterative post-order DFS producing a reverse topological order
+// (root first after reversal).
+void topo_sort(const Var& root, std::vector<Node*>& order) {
+  std::unordered_set<const Node*> visited;
+  struct Frame {
+    Node* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (!root->requires_grad) return;
+  stack.push_back({root.get(), 0});
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Node* p = f.node->parents[f.next_parent++].get();
+      if (p && p->requires_grad && !visited.contains(p)) {
+        visited.insert(p);
+        stack.push_back({p, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void backward(const Var& root) {
+  assert(root);
+  assert(root->value.numel() == 1 && "backward() requires a scalar root");
+  if (!root->requires_grad) return;
+
+  std::vector<Node*> order;
+  topo_sort(root, order);
+
+  // Zero grads of interior nodes so stale values from a previous backward
+  // pass don't leak in; leaves (parameters) keep accumulating by design.
+  for (Node* n : order) {
+    if (!n->parents.empty()) {
+      n->ensure_grad();
+      n->grad.fill(0.0f);
+    } else {
+      n->ensure_grad();
+    }
+  }
+
+  root->grad[0] = 1.0f;
+  // order is post-order: root last. Walk from the back.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn) n->backward_fn(*n);
+  }
+}
+
+void zero_grad(const std::vector<Var>& params) {
+  for (const auto& p : params) {
+    if (!p) continue;
+    p->ensure_grad();
+    p->grad.fill(0.0f);
+  }
+}
+
+}  // namespace dco3d::nn

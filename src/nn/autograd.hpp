@@ -1,0 +1,79 @@
+#pragma once
+// Reverse-mode automatic differentiation over Tensor (tape-style dynamic
+// graph, like PyTorch's autograd). The DCO optimizer (Alg. 2) relies on
+// backpropagating through the Siamese UNet, the feature-map generation (with
+// the custom subgradient of Eq. (6)), and the GNN — all are expressed as
+// Node graphs built by the ops in nn/ops.hpp, nn/conv.hpp and grid/soft_maps.
+//
+// Usage:
+//   Var x = make_leaf(tensor, /*requires_grad=*/true);
+//   Var y = nn::relu(nn::matmul(w, x));
+//   backward(loss);             // loss must be a scalar (numel == 1)
+//   x->grad                      // dLoss/dx
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace dco3d::nn {
+
+struct Node;
+using Var = std::shared_ptr<Node>;
+
+/// One vertex of the dynamically built computation graph.
+struct Node {
+  Tensor value;
+  Tensor grad;  // allocated lazily by backward(); same shape as value
+  bool requires_grad = false;
+  std::vector<Var> parents;
+  /// Accumulates this node's grad into its parents' grads. May be empty for
+  /// leaves. Receives *this.
+  std::function<void(Node&)> backward_fn;
+
+  /// Ensure grad storage exists (zero-filled).
+  void ensure_grad() {
+    if (grad.numel() != value.numel()) grad = Tensor(value.shape());
+  }
+};
+
+/// Create a leaf node (input or trainable parameter).
+inline Var make_leaf(Tensor value, bool requires_grad = false) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  n->requires_grad = requires_grad;
+  return n;
+}
+
+/// Create an interior node from parents; requires_grad is inherited. This is
+/// the extension point used by custom differentiable components (e.g. the
+/// soft RUDY maps in grid/soft_maps.cpp implement Eq. (6) this way).
+inline Var make_node(Tensor value, std::vector<Var> parents,
+                     std::function<void(Node&)> backward_fn) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  n->parents = std::move(parents);
+  for (const auto& p : n->parents) {
+    if (p && p->requires_grad) {
+      n->requires_grad = true;
+      break;
+    }
+  }
+  if (n->requires_grad) n->backward_fn = std::move(backward_fn);
+  return n;
+}
+
+/// Run reverse-mode accumulation from `root` (a scalar). Seeds d(root)/d(root)
+/// = 1 and walks the graph in reverse topological order. Gradients accumulate
+/// (+=) into every reachable node with requires_grad; call zero_grad on
+/// parameters between steps.
+void backward(const Var& root);
+
+/// Zero the gradient buffers of the given nodes.
+void zero_grad(const std::vector<Var>& params);
+
+/// Detach: a fresh leaf sharing the value but cut from the graph.
+inline Var detach(const Var& v) { return make_leaf(v->value, false); }
+
+}  // namespace dco3d::nn

@@ -1,0 +1,246 @@
+#include "nn/conv.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace dco3d::nn {
+
+namespace {
+void accumulate(Var& p, const Tensor& g) {
+  if (!p->requires_grad) return;
+  p->ensure_grad();
+  auto dst = p->grad.data();
+  auto src = g.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+}
+}  // namespace
+
+Var conv2d(const Var& input, const Var& weight, const Var& bias,
+           std::int64_t stride, std::int64_t pad) {
+  assert(input->value.rank() == 4 && weight->value.rank() == 4);
+  const std::int64_t N = input->value.dim(0), Cin = input->value.dim(1);
+  const std::int64_t H = input->value.dim(2), W = input->value.dim(3);
+  const std::int64_t Cout = weight->value.dim(0), kh = weight->value.dim(2),
+                     kw = weight->value.dim(3);
+  assert(weight->value.dim(1) == Cin);
+  const std::int64_t Ho = (H + 2 * pad - kh) / stride + 1;
+  const std::int64_t Wo = (W + 2 * pad - kw) / stride + 1;
+  assert(Ho > 0 && Wo > 0);
+  if (bias) assert(bias->value.numel() == Cout);
+
+  Tensor out({N, Cout, Ho, Wo});
+  for (std::int64_t n = 0; n < N; ++n) {
+    for (std::int64_t co = 0; co < Cout; ++co) {
+      const float b = bias ? bias->value[co] : 0.0f;
+      for (std::int64_t ho = 0; ho < Ho; ++ho) {
+        for (std::int64_t wo = 0; wo < Wo; ++wo) {
+          float acc = b;
+          for (std::int64_t ci = 0; ci < Cin; ++ci) {
+            for (std::int64_t i = 0; i < kh; ++i) {
+              const std::int64_t hi = ho * stride + i - pad;
+              if (hi < 0 || hi >= H) continue;
+              for (std::int64_t j = 0; j < kw; ++j) {
+                const std::int64_t wi = wo * stride + j - pad;
+                if (wi < 0 || wi >= W) continue;
+                acc += input->value.at(n, ci, hi, wi) * weight->value.at(co, ci, i, j);
+              }
+            }
+          }
+          out.at(n, co, ho, wo) = acc;
+        }
+      }
+    }
+  }
+
+  std::vector<Var> parents{input, weight};
+  if (bias) parents.push_back(bias);
+  return make_node(std::move(out), std::move(parents),
+                   [N, Cin, H, W, Cout, kh, kw, Ho, Wo, stride, pad](Node& node) {
+    Node& in = *node.parents[0];
+    Node& wt = *node.parents[1];
+    const bool has_bias = node.parents.size() > 2;
+    Tensor gin(in.value.shape());
+    Tensor gwt(wt.value.shape());
+    Tensor gb = has_bias ? Tensor(node.parents[2]->value.shape()) : Tensor();
+    for (std::int64_t n = 0; n < N; ++n) {
+      for (std::int64_t co = 0; co < Cout; ++co) {
+        for (std::int64_t ho = 0; ho < Ho; ++ho) {
+          for (std::int64_t wo = 0; wo < Wo; ++wo) {
+            const float g = node.grad.at(n, co, ho, wo);
+            if (g == 0.0f) continue;
+            if (has_bias) gb[co] += g;
+            for (std::int64_t ci = 0; ci < Cin; ++ci) {
+              for (std::int64_t i = 0; i < kh; ++i) {
+                const std::int64_t hi = ho * stride + i - pad;
+                if (hi < 0 || hi >= H) continue;
+                for (std::int64_t j = 0; j < kw; ++j) {
+                  const std::int64_t wi = wo * stride + j - pad;
+                  if (wi < 0 || wi >= W) continue;
+                  gin.at(n, ci, hi, wi) += g * wt.value.at(co, ci, i, j);
+                  gwt.at(co, ci, i, j) += g * in.value.at(n, ci, hi, wi);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    accumulate(node.parents[0], gin);
+    accumulate(node.parents[1], gwt);
+    if (has_bias) accumulate(node.parents[2], gb);
+  });
+}
+
+Var conv_transpose2d(const Var& input, const Var& weight, const Var& bias,
+                     std::int64_t stride, std::int64_t pad) {
+  assert(input->value.rank() == 4 && weight->value.rank() == 4);
+  const std::int64_t N = input->value.dim(0), Cin = input->value.dim(1);
+  const std::int64_t H = input->value.dim(2), W = input->value.dim(3);
+  assert(weight->value.dim(0) == Cin);
+  const std::int64_t Cout = weight->value.dim(1), kh = weight->value.dim(2),
+                     kw = weight->value.dim(3);
+  const std::int64_t Ho = (H - 1) * stride + kh - 2 * pad;
+  const std::int64_t Wo = (W - 1) * stride + kw - 2 * pad;
+  assert(Ho > 0 && Wo > 0);
+  if (bias) assert(bias->value.numel() == Cout);
+
+  Tensor out({N, Cout, Ho, Wo});
+  if (bias) {
+    for (std::int64_t n = 0; n < N; ++n)
+      for (std::int64_t co = 0; co < Cout; ++co)
+        for (std::int64_t h = 0; h < Ho; ++h)
+          for (std::int64_t w = 0; w < Wo; ++w)
+            out.at(n, co, h, w) = bias->value[co];
+  }
+  for (std::int64_t n = 0; n < N; ++n) {
+    for (std::int64_t ci = 0; ci < Cin; ++ci) {
+      for (std::int64_t h = 0; h < H; ++h) {
+        for (std::int64_t w = 0; w < W; ++w) {
+          const float v = input->value.at(n, ci, h, w);
+          if (v == 0.0f) continue;
+          for (std::int64_t co = 0; co < Cout; ++co) {
+            for (std::int64_t i = 0; i < kh; ++i) {
+              const std::int64_t ho = h * stride + i - pad;
+              if (ho < 0 || ho >= Ho) continue;
+              for (std::int64_t j = 0; j < kw; ++j) {
+                const std::int64_t wo = w * stride + j - pad;
+                if (wo < 0 || wo >= Wo) continue;
+                out.at(n, co, ho, wo) += v * weight->value.at(ci, co, i, j);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<Var> parents{input, weight};
+  if (bias) parents.push_back(bias);
+  return make_node(std::move(out), std::move(parents),
+                   [N, Cin, H, W, Cout, kh, kw, Ho, Wo, stride, pad](Node& node) {
+    Node& in = *node.parents[0];
+    Node& wt = *node.parents[1];
+    const bool has_bias = node.parents.size() > 2;
+    Tensor gin(in.value.shape());
+    Tensor gwt(wt.value.shape());
+    Tensor gb = has_bias ? Tensor(node.parents[2]->value.shape()) : Tensor();
+    if (has_bias) {
+      for (std::int64_t n = 0; n < N; ++n)
+        for (std::int64_t co = 0; co < Cout; ++co)
+          for (std::int64_t h = 0; h < Ho; ++h)
+            for (std::int64_t w = 0; w < Wo; ++w) gb[co] += node.grad.at(n, co, h, w);
+    }
+    for (std::int64_t n = 0; n < N; ++n) {
+      for (std::int64_t ci = 0; ci < Cin; ++ci) {
+        for (std::int64_t h = 0; h < H; ++h) {
+          for (std::int64_t w = 0; w < W; ++w) {
+            float gi = 0.0f;
+            const float v = in.value.at(n, ci, h, w);
+            for (std::int64_t co = 0; co < Cout; ++co) {
+              for (std::int64_t i = 0; i < kh; ++i) {
+                const std::int64_t ho = h * stride + i - pad;
+                if (ho < 0 || ho >= Ho) continue;
+                for (std::int64_t j = 0; j < kw; ++j) {
+                  const std::int64_t wo = w * stride + j - pad;
+                  if (wo < 0 || wo >= Wo) continue;
+                  const float g = node.grad.at(n, co, ho, wo);
+                  gi += g * wt.value.at(ci, co, i, j);
+                  gwt.at(ci, co, i, j) += g * v;
+                }
+              }
+            }
+            gin.at(n, ci, h, w) = gi;
+          }
+        }
+      }
+    }
+    accumulate(node.parents[0], gin);
+    accumulate(node.parents[1], gwt);
+    if (has_bias) accumulate(node.parents[2], gb);
+  });
+}
+
+Var maxpool2x2(const Var& input) {
+  assert(input->value.rank() == 4);
+  const std::int64_t N = input->value.dim(0), C = input->value.dim(1);
+  const std::int64_t H = input->value.dim(2), W = input->value.dim(3);
+  assert(H % 2 == 0 && W % 2 == 0);
+  const std::int64_t Ho = H / 2, Wo = W / 2;
+  Tensor out({N, C, Ho, Wo});
+  // Remember argmax indices for the backward pass.
+  auto argmax = std::make_shared<std::vector<std::int64_t>>(
+      static_cast<std::size_t>(N * C * Ho * Wo));
+  for (std::int64_t n = 0; n < N; ++n) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      for (std::int64_t ho = 0; ho < Ho; ++ho) {
+        for (std::int64_t wo = 0; wo < Wo; ++wo) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t i = 0; i < 2; ++i) {
+            for (std::int64_t j = 0; j < 2; ++j) {
+              const std::int64_t hi = ho * 2 + i, wi = wo * 2 + j;
+              const float v = input->value.at(n, c, hi, wi);
+              if (v > best) {
+                best = v;
+                best_idx = ((n * C + c) * H + hi) * W + wi;
+              }
+            }
+          }
+          out.at(n, c, ho, wo) = best;
+          (*argmax)[static_cast<std::size_t>(((n * C + c) * Ho + ho) * Wo + wo)] = best_idx;
+        }
+      }
+    }
+  }
+  return make_node(std::move(out), {input}, [argmax](Node& node) {
+    if (!node.parents[0]->requires_grad) return;
+    Tensor gin(node.parents[0]->value.shape());
+    for (std::int64_t i = 0; i < node.grad.numel(); ++i)
+      gin[(*argmax)[static_cast<std::size_t>(i)]] += node.grad[i];
+    accumulate(node.parents[0], gin);
+  });
+}
+
+Var upsample_nearest2x(const Var& input) {
+  assert(input->value.rank() == 4);
+  const std::int64_t N = input->value.dim(0), C = input->value.dim(1);
+  const std::int64_t H = input->value.dim(2), W = input->value.dim(3);
+  Tensor out({N, C, H * 2, W * 2});
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = 0; c < C; ++c)
+      for (std::int64_t h = 0; h < H * 2; ++h)
+        for (std::int64_t w = 0; w < W * 2; ++w)
+          out.at(n, c, h, w) = input->value.at(n, c, h / 2, w / 2);
+  return make_node(std::move(out), {input}, [N, C, H, W](Node& node) {
+    if (!node.parents[0]->requires_grad) return;
+    Tensor gin({N, C, H, W});
+    for (std::int64_t n = 0; n < N; ++n)
+      for (std::int64_t c = 0; c < C; ++c)
+        for (std::int64_t h = 0; h < H * 2; ++h)
+          for (std::int64_t w = 0; w < W * 2; ++w)
+            gin.at(n, c, h / 2, w / 2) += node.grad.at(n, c, h, w);
+    accumulate(node.parents[0], gin);
+  });
+}
+
+}  // namespace dco3d::nn

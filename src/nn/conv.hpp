@@ -1,0 +1,27 @@
+#pragma once
+// Differentiable image ops for the Siamese UNet (Fig. 3): 2D convolution,
+// transposed convolution (decoder upsampling), max pooling (encoder
+// downsampling), and nearest-neighbor upsampling. All tensors are NCHW.
+
+#include "nn/autograd.hpp"
+
+namespace dco3d::nn {
+
+/// 2D convolution. input [N,Cin,H,W], weight [Cout,Cin,kh,kw], bias [Cout]
+/// (bias may be null). Output spatial size: (H + 2*pad - kh)/stride + 1.
+Var conv2d(const Var& input, const Var& weight, const Var& bias,
+           std::int64_t stride = 1, std::int64_t pad = 0);
+
+/// Transposed 2D convolution (a.k.a. deconvolution), the decoder's
+/// upsampling step. input [N,Cin,H,W], weight [Cin,Cout,kh,kw], bias [Cout]
+/// (may be null). Output spatial size: (H-1)*stride + kh - 2*pad.
+Var conv_transpose2d(const Var& input, const Var& weight, const Var& bias,
+                     std::int64_t stride = 2, std::int64_t pad = 0);
+
+/// 2x2 max pooling with stride 2 (requires even H and W).
+Var maxpool2x2(const Var& input);
+
+/// Nearest-neighbor 2x upsampling.
+Var upsample_nearest2x(const Var& input);
+
+}  // namespace dco3d::nn

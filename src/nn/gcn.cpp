@@ -1,0 +1,145 @@
+#include "nn/gcn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+#include "nn/ops.hpp"
+
+namespace dco3d::nn {
+
+Csr Csr::from_coo(std::int64_t rows, std::int64_t cols,
+                  const std::vector<std::int64_t>& r,
+                  const std::vector<std::int64_t>& c,
+                  const std::vector<float>& v) {
+  assert(r.size() == c.size() && c.size() == v.size());
+  // Sum duplicates via an ordered map keyed by (row, col).
+  std::map<std::pair<std::int64_t, std::int64_t>, float> entries;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    assert(r[i] >= 0 && r[i] < rows && c[i] >= 0 && c[i] < cols);
+    entries[{r[i], c[i]}] += v[i];
+  }
+  Csr m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.assign(static_cast<std::size_t>(rows) + 1, 0);
+  m.col_idx.reserve(entries.size());
+  m.values.reserve(entries.size());
+  for (const auto& [key, val] : entries) {
+    ++m.row_ptr[static_cast<std::size_t>(key.first) + 1];
+  }
+  for (std::int64_t i = 0; i < rows; ++i)
+    m.row_ptr[static_cast<std::size_t>(i) + 1] += m.row_ptr[static_cast<std::size_t>(i)];
+  for (const auto& [key, val] : entries) {
+    m.col_idx.push_back(key.second);
+    m.values.push_back(val);
+  }
+  return m;
+}
+
+Tensor Csr::multiply(const Tensor& x) const {
+  assert(x.rank() == 2 && x.dim(0) == cols);
+  const std::int64_t f = x.dim(1);
+  Tensor out({rows, f});
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const std::int64_t j = col_idx[static_cast<std::size_t>(k)];
+      const float a = values[static_cast<std::size_t>(k)];
+      for (std::int64_t ff = 0; ff < f; ++ff) out.at(i, ff) += a * x.at(j, ff);
+    }
+  }
+  return out;
+}
+
+Csr normalized_adjacency(std::int64_t n,
+                         const std::vector<std::pair<std::int64_t, std::int64_t>>& edges) {
+  std::vector<double> degree(static_cast<std::size_t>(n), 1.0);  // self loop
+  for (auto [u, v] : edges) {
+    assert(u >= 0 && u < n && v >= 0 && v < n);
+    if (u == v) continue;
+    degree[static_cast<std::size_t>(u)] += 1.0;
+    degree[static_cast<std::size_t>(v)] += 1.0;
+  }
+  std::vector<std::int64_t> r, c;
+  std::vector<float> v;
+  r.reserve(edges.size() * 2 + static_cast<std::size_t>(n));
+  c.reserve(r.capacity());
+  v.reserve(r.capacity());
+  auto norm = [&](std::int64_t i, std::int64_t j) {
+    return static_cast<float>(1.0 / std::sqrt(degree[static_cast<std::size_t>(i)] *
+                                              degree[static_cast<std::size_t>(j)]));
+  };
+  for (std::int64_t i = 0; i < n; ++i) {
+    r.push_back(i);
+    c.push_back(i);
+    v.push_back(norm(i, i));
+  }
+  for (auto [a, b] : edges) {
+    if (a == b) continue;
+    r.push_back(a);
+    c.push_back(b);
+    v.push_back(norm(a, b));
+    r.push_back(b);
+    c.push_back(a);
+    v.push_back(norm(b, a));
+  }
+  return Csr::from_coo(n, n, r, c, v);
+}
+
+Var spmm(const std::shared_ptr<const Csr>& a, const Var& x) {
+  assert(a);
+  Tensor out = a->multiply(x->value);
+  return make_node(std::move(out), {x}, [a](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    // A is symmetric, so dX = A^T * dOut = A * dOut.
+    Tensor g = a->multiply(n.grad);
+    n.parents[0]->ensure_grad();
+    auto dst = n.parents[0]->grad.data();
+    auto src = g.data();
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+  });
+}
+
+GcnLayer::GcnLayer(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(param(xavier_uniform({in_features, out_features}, in_features,
+                                   out_features, rng))),
+      bias_(param(Tensor({out_features}))) {}
+
+Var GcnLayer::forward(const std::shared_ptr<const Csr>& adj, const Var& h,
+                      bool apply_relu) const {
+  Var agg = spmm(adj, h);                  // Â H
+  Var lin = matmul(agg, weight_);          // Â H W
+  Var out = add_rowwise(lin, bias_);       // + b
+  return apply_relu ? relu(out) : out;
+}
+
+GcnStack::GcnStack(std::int64_t in_features, std::int64_t hidden,
+                   std::int64_t out_features, Rng& rng) {
+  layers_.emplace_back(in_features, hidden, rng);
+  layers_.emplace_back(hidden, hidden, rng);
+  layers_.emplace_back(hidden, out_features, rng);
+}
+
+Var GcnStack::forward(const std::shared_ptr<const Csr>& adj, const Var& features) const {
+  Var h = features;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const bool is_last = (i + 1 == layers_.size());
+    h = layers_[i].forward(adj, h, /*apply_relu=*/!is_last);
+  }
+  return h;
+}
+
+std::vector<Var> GcnStack::parameters() const {
+  std::vector<Var> out;
+  for (const auto& l : layers_) {
+    auto p = l.parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+}  // namespace dco3d::nn

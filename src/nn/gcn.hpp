@@ -1,0 +1,83 @@
+#pragma once
+// Graph Convolutional Network layers over a sparse adjacency (CSR), used by
+// the DCO-3D cell spreader (§IV-A): three GCN layers with weights shared
+// across all cells, operating on the netlist graph with Table-II features.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/autograd.hpp"
+#include "nn/init.hpp"
+#include "util/rng.hpp"
+
+namespace dco3d::nn {
+
+/// Compressed sparse row matrix (float values). For GCN use this stores the
+/// symmetrically normalized adjacency with self-loops,
+/// Â = D^{-1/2} (A + I) D^{-1/2}, which is symmetric — so the same structure
+/// serves as its own transpose in the backward pass.
+struct Csr {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<std::int64_t> row_ptr;  // size rows+1
+  std::vector<std::int64_t> col_idx;  // size nnz
+  std::vector<float> values;          // size nnz
+
+  std::int64_t nnz() const { return static_cast<std::int64_t>(col_idx.size()); }
+
+  /// Build from COO triplets (duplicates are summed). Triplets need not be
+  /// sorted.
+  static Csr from_coo(std::int64_t rows, std::int64_t cols,
+                      const std::vector<std::int64_t>& r,
+                      const std::vector<std::int64_t>& c,
+                      const std::vector<float>& v);
+
+  /// Dense multiply: Y = this * X, X is [cols, F].
+  Tensor multiply(const Tensor& x) const;
+};
+
+/// Build Â = D^{-1/2}(A+I)D^{-1/2} from an undirected edge list (pairs may
+/// appear once; both directions are inserted). `n` is the node count.
+Csr normalized_adjacency(std::int64_t n,
+                         const std::vector<std::pair<std::int64_t, std::int64_t>>& edges);
+
+/// Differentiable sparse-dense matmul: out = A * X. The adjacency is a
+/// constant (structure of the netlist does not change during optimization);
+/// only X carries gradient. `A` must be symmetric (true for Â).
+Var spmm(const std::shared_ptr<const Csr>& a, const Var& x);
+
+/// One GCN layer: H' = act(Â H W + b).
+class GcnLayer {
+ public:
+  GcnLayer(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+  /// Forward; `adj` is the shared normalized adjacency.
+  Var forward(const std::shared_ptr<const Csr>& adj, const Var& h, bool apply_relu) const;
+
+  std::vector<Var> parameters() const { return {weight_, bias_}; }
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+
+ private:
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  Var weight_;  // [in, out]
+  Var bias_;    // [out]
+};
+
+/// The 3-layer shared-weight GCN stack of §IV-A. Output dimension is 3:
+/// (dx, dy, z-logit); the interpretation lives in core/spreader.
+class GcnStack {
+ public:
+  GcnStack(std::int64_t in_features, std::int64_t hidden, std::int64_t out_features,
+           Rng& rng);
+
+  Var forward(const std::shared_ptr<const Csr>& adj, const Var& features) const;
+  std::vector<Var> parameters() const;
+
+ private:
+  std::vector<GcnLayer> layers_;
+};
+
+}  // namespace dco3d::nn

@@ -1,0 +1,34 @@
+#pragma once
+// Weight initialization helpers (Kaiming / Xavier) on the deterministic Rng.
+
+#include <cmath>
+
+#include "nn/autograd.hpp"
+#include "util/rng.hpp"
+
+namespace dco3d::nn {
+
+/// Kaiming-normal initialization for a tensor with given fan-in, suitable for
+/// layers followed by ReLU.
+inline Tensor kaiming_normal(Shape shape, std::int64_t fan_in, Rng& rng) {
+  Tensor t(std::move(shape));
+  const double std = std::sqrt(2.0 / static_cast<double>(std::max<std::int64_t>(fan_in, 1)));
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.normal(0.0, std));
+  return t;
+}
+
+/// Xavier-uniform initialization (tanh/sigmoid-friendly).
+inline Tensor xavier_uniform(Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                             Rng& rng) {
+  Tensor t(std::move(shape));
+  const double a = std::sqrt(6.0 / static_cast<double>(std::max<std::int64_t>(fan_in + fan_out, 1)));
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-a, a));
+  return t;
+}
+
+/// Trainable parameter leaf.
+inline Var param(Tensor t) { return make_leaf(std::move(t), /*requires_grad=*/true); }
+
+}  // namespace dco3d::nn

@@ -1,0 +1,388 @@
+#include "nn/ops.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace dco3d::nn {
+
+namespace {
+constexpr float kEps = 1e-12f;
+
+void accumulate(Var& p, const Tensor& g) {
+  if (!p->requires_grad) return;
+  p->ensure_grad();
+  auto dst = p->grad.data();
+  auto src = g.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+}
+}  // namespace
+
+Var add(const Var& a, const Var& b) {
+  assert(a->value.same_shape(b->value));
+  Tensor out(a->value.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = a->value[i] + b->value[i];
+  return make_node(std::move(out), {a, b}, [](Node& n) {
+    accumulate(n.parents[0], n.grad);
+    accumulate(n.parents[1], n.grad);
+  });
+}
+
+Var sub(const Var& a, const Var& b) {
+  assert(a->value.same_shape(b->value));
+  Tensor out(a->value.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = a->value[i] - b->value[i];
+  return make_node(std::move(out), {a, b}, [](Node& n) {
+    accumulate(n.parents[0], n.grad);
+    if (n.parents[1]->requires_grad) {
+      Tensor neg(n.grad.shape());
+      for (std::int64_t i = 0; i < neg.numel(); ++i) neg[i] = -n.grad[i];
+      accumulate(n.parents[1], neg);
+    }
+  });
+}
+
+Var mul(const Var& a, const Var& b) {
+  assert(a->value.same_shape(b->value));
+  Tensor out(a->value.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = a->value[i] * b->value[i];
+  return make_node(std::move(out), {a, b}, [](Node& n) {
+    if (n.parents[0]->requires_grad) {
+      Tensor g(n.grad.shape());
+      for (std::int64_t i = 0; i < g.numel(); ++i)
+        g[i] = n.grad[i] * n.parents[1]->value[i];
+      accumulate(n.parents[0], g);
+    }
+    if (n.parents[1]->requires_grad) {
+      Tensor g(n.grad.shape());
+      for (std::int64_t i = 0; i < g.numel(); ++i)
+        g[i] = n.grad[i] * n.parents[0]->value[i];
+      accumulate(n.parents[1], g);
+    }
+  });
+}
+
+Var div(const Var& a, const Var& b) {
+  assert(a->value.same_shape(b->value));
+  Tensor out(a->value.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i)
+    out[i] = a->value[i] / (b->value[i] + (b->value[i] >= 0 ? kEps : -kEps));
+  return make_node(std::move(out), {a, b}, [](Node& n) {
+    if (n.parents[0]->requires_grad) {
+      Tensor g(n.grad.shape());
+      for (std::int64_t i = 0; i < g.numel(); ++i) {
+        const float bv = n.parents[1]->value[i];
+        g[i] = n.grad[i] / (bv + (bv >= 0 ? kEps : -kEps));
+      }
+      accumulate(n.parents[0], g);
+    }
+    if (n.parents[1]->requires_grad) {
+      Tensor g(n.grad.shape());
+      for (std::int64_t i = 0; i < g.numel(); ++i) {
+        const float bv = n.parents[1]->value[i] + (n.parents[1]->value[i] >= 0 ? kEps : -kEps);
+        g[i] = -n.grad[i] * n.parents[0]->value[i] / (bv * bv);
+      }
+      accumulate(n.parents[1], g);
+    }
+  });
+}
+
+Var add_scalar(const Var& a, float s) {
+  Tensor out(a->value.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = a->value[i] + s;
+  return make_node(std::move(out), {a},
+                   [](Node& n) { accumulate(n.parents[0], n.grad); });
+}
+
+Var mul_scalar(const Var& a, float s) {
+  Tensor out(a->value.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = a->value[i] * s;
+  return make_node(std::move(out), {a}, [s](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor g(n.grad.shape());
+    for (std::int64_t i = 0; i < g.numel(); ++i) g[i] = n.grad[i] * s;
+    accumulate(n.parents[0], g);
+  });
+}
+
+Var relu(const Var& a) {
+  Tensor out(a->value.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i)
+    out[i] = a->value[i] > 0 ? a->value[i] : 0.0f;
+  return make_node(std::move(out), {a}, [](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor g(n.grad.shape());
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+      g[i] = n.parents[0]->value[i] > 0 ? n.grad[i] : 0.0f;
+    accumulate(n.parents[0], g);
+  });
+}
+
+Var leaky_relu(const Var& a, float slope) {
+  Tensor out(a->value.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i)
+    out[i] = a->value[i] > 0 ? a->value[i] : slope * a->value[i];
+  return make_node(std::move(out), {a}, [slope](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor g(n.grad.shape());
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+      g[i] = n.parents[0]->value[i] > 0 ? n.grad[i] : slope * n.grad[i];
+    accumulate(n.parents[0], g);
+  });
+}
+
+Var sigmoid(const Var& a) {
+  Tensor out(a->value.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i)
+    out[i] = 1.0f / (1.0f + std::exp(-a->value[i]));
+  return make_node(std::move(out), {a}, [](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor g(n.grad.shape());
+    for (std::int64_t i = 0; i < g.numel(); ++i) {
+      const float s = n.value[i];
+      g[i] = n.grad[i] * s * (1.0f - s);
+    }
+    accumulate(n.parents[0], g);
+  });
+}
+
+Var tanh_op(const Var& a) {
+  Tensor out(a->value.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = std::tanh(a->value[i]);
+  return make_node(std::move(out), {a}, [](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor g(n.grad.shape());
+    for (std::int64_t i = 0; i < g.numel(); ++i) {
+      const float t = n.value[i];
+      g[i] = n.grad[i] * (1.0f - t * t);
+    }
+    accumulate(n.parents[0], g);
+  });
+}
+
+Var square(const Var& a) {
+  Tensor out(a->value.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = a->value[i] * a->value[i];
+  return make_node(std::move(out), {a}, [](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor g(n.grad.shape());
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+      g[i] = 2.0f * n.grad[i] * n.parents[0]->value[i];
+    accumulate(n.parents[0], g);
+  });
+}
+
+Var sqrt_op(const Var& a) {
+  Tensor out(a->value.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i)
+    out[i] = std::sqrt(std::max(a->value[i], 0.0f));
+  return make_node(std::move(out), {a}, [](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor g(n.grad.shape());
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+      g[i] = n.grad[i] * 0.5f / std::max(n.value[i], 1e-6f);
+    accumulate(n.parents[0], g);
+  });
+}
+
+Var abs_op(const Var& a) {
+  Tensor out(a->value.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = std::abs(a->value[i]);
+  return make_node(std::move(out), {a}, [](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor g(n.grad.shape());
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+      g[i] = n.parents[0]->value[i] >= 0 ? n.grad[i] : -n.grad[i];
+    accumulate(n.parents[0], g);
+  });
+}
+
+Var clamp01_op(const Var& a) {
+  Tensor out(a->value.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i)
+    out[i] = std::clamp(a->value[i], 0.0f, 1.0f);
+  return make_node(std::move(out), {a}, [](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor g(n.grad.shape());
+    for (std::int64_t i = 0; i < g.numel(); ++i) {
+      const float v = n.parents[0]->value[i];
+      g[i] = (v > 0.0f && v < 1.0f) ? n.grad[i] : 0.0f;
+    }
+    accumulate(n.parents[0], g);
+  });
+}
+
+Var matmul(const Var& a, const Var& b) {
+  assert(a->value.rank() == 2 && b->value.rank() == 2);
+  const std::int64_t M = a->value.dim(0), K = a->value.dim(1), N = b->value.dim(1);
+  assert(b->value.dim(0) == K);
+  Tensor out({M, N});
+  for (std::int64_t i = 0; i < M; ++i) {
+    for (std::int64_t k = 0; k < K; ++k) {
+      const float av = a->value.at(i, k);
+      if (av == 0.0f) continue;
+      for (std::int64_t j = 0; j < N; ++j) out.at(i, j) += av * b->value.at(k, j);
+    }
+  }
+  return make_node(std::move(out), {a, b}, [M, K, N](Node& n) {
+    Node& pa = *n.parents[0];
+    Node& pb = *n.parents[1];
+    if (pa.requires_grad) {
+      // dA = dOut * B^T
+      Tensor g({M, K});
+      for (std::int64_t i = 0; i < M; ++i)
+        for (std::int64_t j = 0; j < N; ++j) {
+          const float gv = n.grad.at(i, j);
+          if (gv == 0.0f) continue;
+          for (std::int64_t k = 0; k < K; ++k) g.at(i, k) += gv * pb.value.at(k, j);
+        }
+      accumulate(n.parents[0], g);
+    }
+    if (pb.requires_grad) {
+      // dB = A^T * dOut
+      Tensor g({K, N});
+      for (std::int64_t i = 0; i < M; ++i)
+        for (std::int64_t k = 0; k < K; ++k) {
+          const float av = pa.value.at(i, k);
+          if (av == 0.0f) continue;
+          for (std::int64_t j = 0; j < N; ++j) g.at(k, j) += av * n.grad.at(i, j);
+        }
+      accumulate(n.parents[1], g);
+    }
+  });
+}
+
+Var add_rowwise(const Var& m, const Var& bias) {
+  assert(m->value.rank() == 2);
+  assert(bias->value.numel() == m->value.dim(1));
+  const std::int64_t M = m->value.dim(0), N = m->value.dim(1);
+  Tensor out({M, N});
+  for (std::int64_t i = 0; i < M; ++i)
+    for (std::int64_t j = 0; j < N; ++j)
+      out.at(i, j) = m->value.at(i, j) + bias->value[j];
+  return make_node(std::move(out), {m, bias}, [M, N](Node& n) {
+    accumulate(n.parents[0], n.grad);
+    if (n.parents[1]->requires_grad) {
+      Tensor g(n.parents[1]->value.shape());
+      for (std::int64_t i = 0; i < M; ++i)
+        for (std::int64_t j = 0; j < N; ++j) g[j] += n.grad.at(i, j);
+      accumulate(n.parents[1], g);
+    }
+  });
+}
+
+Var sum(const Var& a) {
+  double s = 0.0;
+  for (std::int64_t i = 0; i < a->value.numel(); ++i) s += a->value[i];
+  return make_node(Tensor::scalar(static_cast<float>(s)), {a}, [](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor g(n.parents[0]->value.shape(), n.grad[0]);
+    accumulate(n.parents[0], g);
+  });
+}
+
+Var mean_op(const Var& a) {
+  const auto n_elems = static_cast<float>(a->value.numel());
+  double s = 0.0;
+  for (std::int64_t i = 0; i < a->value.numel(); ++i) s += a->value[i];
+  return make_node(Tensor::scalar(static_cast<float>(s / n_elems)), {a},
+                   [n_elems](Node& n) {
+                     if (!n.parents[0]->requires_grad) return;
+                     Tensor g(n.parents[0]->value.shape(), n.grad[0] / n_elems);
+                     accumulate(n.parents[0], g);
+                   });
+}
+
+Var mse_loss(const Var& pred, const Var& target) {
+  return mean_op(square(sub(pred, target)));
+}
+
+Var rmse_loss(const Var& pred, const Var& target) {
+  return sqrt_op(mse_loss(pred, target));
+}
+
+Var concat_channels(const Var& a, const Var& b) {
+  assert(a->value.rank() == 4 && b->value.rank() == 4);
+  const std::int64_t N = a->value.dim(0), Ca = a->value.dim(1), Cb = b->value.dim(1);
+  const std::int64_t H = a->value.dim(2), W = a->value.dim(3);
+  assert(b->value.dim(0) == N && b->value.dim(2) == H && b->value.dim(3) == W);
+  Tensor out({N, Ca + Cb, H, W});
+  for (std::int64_t n = 0; n < N; ++n) {
+    for (std::int64_t c = 0; c < Ca; ++c)
+      for (std::int64_t h = 0; h < H; ++h)
+        for (std::int64_t w = 0; w < W; ++w)
+          out.at(n, c, h, w) = a->value.at(n, c, h, w);
+    for (std::int64_t c = 0; c < Cb; ++c)
+      for (std::int64_t h = 0; h < H; ++h)
+        for (std::int64_t w = 0; w < W; ++w)
+          out.at(n, Ca + c, h, w) = b->value.at(n, c, h, w);
+  }
+  return make_node(std::move(out), {a, b}, [N, Ca, Cb, H, W](Node& n) {
+    if (n.parents[0]->requires_grad) {
+      Tensor g({N, Ca, H, W});
+      for (std::int64_t i = 0; i < N; ++i)
+        for (std::int64_t c = 0; c < Ca; ++c)
+          for (std::int64_t h = 0; h < H; ++h)
+            for (std::int64_t w = 0; w < W; ++w)
+              g.at(i, c, h, w) = n.grad.at(i, c, h, w);
+      accumulate(n.parents[0], g);
+    }
+    if (n.parents[1]->requires_grad) {
+      Tensor g({N, Cb, H, W});
+      for (std::int64_t i = 0; i < N; ++i)
+        for (std::int64_t c = 0; c < Cb; ++c)
+          for (std::int64_t h = 0; h < H; ++h)
+            for (std::int64_t w = 0; w < W; ++w)
+              g.at(i, c, h, w) = n.grad.at(i, Ca + c, h, w);
+      accumulate(n.parents[1], g);
+    }
+  });
+}
+
+Var slice_channels(const Var& a, std::int64_t c0, std::int64_t c1) {
+  assert(a->value.rank() == 4);
+  const std::int64_t N = a->value.dim(0);
+  [[maybe_unused]] const std::int64_t C = a->value.dim(1);
+  const std::int64_t H = a->value.dim(2), W = a->value.dim(3);
+  assert(0 <= c0 && c0 < c1 && c1 <= C);
+  Tensor out({N, c1 - c0, H, W});
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t c = c0; c < c1; ++c)
+      for (std::int64_t h = 0; h < H; ++h)
+        for (std::int64_t w = 0; w < W; ++w)
+          out.at(n, c - c0, h, w) = a->value.at(n, c, h, w);
+  return make_node(std::move(out), {a}, [N, c0, c1, H, W](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor g(n.parents[0]->value.shape());
+    for (std::int64_t i = 0; i < N; ++i)
+      for (std::int64_t c = c0; c < c1; ++c)
+        for (std::int64_t h = 0; h < H; ++h)
+          for (std::int64_t w = 0; w < W; ++w)
+            g.at(i, c, h, w) = n.grad.at(i, c - c0, h, w);
+    accumulate(n.parents[0], g);
+  });
+}
+
+Var reshape(const Var& a, Shape new_shape) {
+  Tensor out = a->value.reshaped(std::move(new_shape));
+  return make_node(std::move(out), {a}, [](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    accumulate(n.parents[0], n.grad.reshaped(n.parents[0]->value.shape()));
+  });
+}
+
+Var select_column(const Var& m, std::int64_t c) {
+  assert(m->value.rank() == 2);
+  const std::int64_t N = m->value.dim(0);
+  [[maybe_unused]] const std::int64_t C = m->value.dim(1);
+  assert(c >= 0 && c < C);
+  Tensor out({N});
+  for (std::int64_t i = 0; i < N; ++i) out[i] = m->value.at(i, c);
+  return make_node(std::move(out), {m}, [N, c](Node& n) {
+    if (!n.parents[0]->requires_grad) return;
+    Tensor g(n.parents[0]->value.shape());
+    for (std::int64_t i = 0; i < N; ++i) g.at(i, c) = n.grad[i];
+    accumulate(n.parents[0], g);
+  });
+}
+
+}  // namespace dco3d::nn

@@ -1,0 +1,56 @@
+#pragma once
+// Differentiable tensor operations (elementwise math, matmul, reductions,
+// activations, losses, shape ops). All return new graph nodes; gradients are
+// defined in ops.cpp.
+
+#include "nn/autograd.hpp"
+
+namespace dco3d::nn {
+
+// ---- elementwise binary (shapes must match exactly) ----
+Var add(const Var& a, const Var& b);
+Var sub(const Var& a, const Var& b);
+Var mul(const Var& a, const Var& b);
+Var div(const Var& a, const Var& b);
+
+// ---- scalar variants ----
+Var add_scalar(const Var& a, float s);
+Var mul_scalar(const Var& a, float s);
+
+// ---- elementwise unary ----
+Var relu(const Var& a);
+Var leaky_relu(const Var& a, float slope = 0.01f);
+Var sigmoid(const Var& a);
+Var tanh_op(const Var& a);
+Var square(const Var& a);
+Var sqrt_op(const Var& a);  // clamps input below at eps for gradient stability
+Var abs_op(const Var& a);
+Var clamp01_op(const Var& a);  // clamp to [0,1]; zero gradient outside
+
+// ---- matrix ----
+/// [M,K] x [K,N] -> [M,N].
+Var matmul(const Var& a, const Var& b);
+/// Add a [N]-shaped bias row-wise to an [M,N] matrix.
+Var add_rowwise(const Var& m, const Var& bias);
+
+// ---- reductions (scalar results) ----
+Var sum(const Var& a);
+Var mean_op(const Var& a);
+
+// ---- losses ----
+/// Mean squared error over all elements (scalar).
+Var mse_loss(const Var& pred, const Var& target);
+/// Root-mean-squared Frobenius loss of Eq. (4): sqrt(mean((pred-target)^2)).
+Var rmse_loss(const Var& pred, const Var& target);
+
+// ---- shape ops ----
+/// Concatenate NCHW tensors along the channel axis (dim 1).
+Var concat_channels(const Var& a, const Var& b);
+/// Slice channels [c0, c1) of an NCHW tensor.
+Var slice_channels(const Var& a, std::int64_t c0, std::int64_t c1);
+/// View with a different shape (same element count, shared gradient flow).
+Var reshape(const Var& a, Shape new_shape);
+/// Extract column c of an [N,C] matrix as an [N] vector.
+Var select_column(const Var& m, std::int64_t c);
+
+}  // namespace dco3d::nn

@@ -1,0 +1,67 @@
+#include "nn/optimizer.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace dco3d::nn {
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    assert(p && p->requires_grad);
+    velocity_.emplace_back(p->value.shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = *params_[i];
+    p.ensure_grad();
+    auto v = velocity_[i].data();
+    auto g = p.grad.data();
+    auto x = p.value.data();
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      v[j] = momentum_ * v[j] + g[j];
+      x[j] -= lr_ * v[j];
+    }
+  }
+}
+
+void Sgd::zero_grad() { dco3d::nn::zero_grad(params_); }
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2, float eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    assert(p && p->requires_grad);
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = *params_[i];
+    p.ensure_grad();
+    auto m = m_[i].data();
+    auto v = v_[i].data();
+    auto g = p.grad.data();
+    auto x = p.value.data();
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      x[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::zero_grad() { dco3d::nn::zero_grad(params_); }
+
+}  // namespace dco3d::nn

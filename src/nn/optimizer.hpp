@@ -1,0 +1,49 @@
+#pragma once
+// First-order optimizers over parameter leaves (Var with requires_grad).
+// Adam drives both the Siamese-UNet training (Alg. 1) and the DCO GNN
+// optimization loop (Alg. 2).
+
+#include <vector>
+
+#include "nn/autograd.hpp"
+
+namespace dco3d::nn {
+
+/// Plain SGD with optional momentum.
+class Sgd {
+ public:
+  explicit Sgd(std::vector<Var> params, float lr, float momentum = 0.0f);
+
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  std::vector<Var> params_;
+  std::vector<Tensor> velocity_;
+  float lr_;
+  float momentum_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam {
+ public:
+  explicit Adam(std::vector<Var> params, float lr = 1e-3f, float beta1 = 0.9f,
+                float beta2 = 0.999f, float eps = 1e-8f);
+
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  const std::vector<Var>& params() const { return params_; }
+
+ private:
+  std::vector<Var> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  float lr_, beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace dco3d::nn

@@ -1,0 +1,111 @@
+#pragma once
+// Dense row-major float tensor. This is the storage type underneath the
+// autograd engine (nn/autograd.hpp); it deliberately supports only what the
+// paper's models need: elementwise math, 2D matmul, and NCHW image ops.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dco3d::nn {
+
+/// Shape of a tensor; up to 4 dimensions are used in practice (NCHW).
+using Shape = std::vector<std::int64_t>;
+
+inline std::int64_t shape_numel(const Shape& s) {
+  std::int64_t n = 1;
+  for (auto d : s) {
+    assert(d >= 0);
+    n *= d;
+  }
+  return n;
+}
+
+inline std::string shape_str(const Shape& s) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(s[i]);
+  }
+  return out + "]";
+}
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(Shape shape, float fill = 0.0f)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_numel(shape_)), fill) {}
+
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    assert(static_cast<std::int64_t>(data_.size()) == shape_numel(shape_));
+  }
+
+  static Tensor scalar(float v) { return Tensor({1}, {v}); }
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const {
+    assert(i < shape_.size());
+    return shape_[i];
+  }
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  float& operator[](std::int64_t i) {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float operator[](std::int64_t i) const {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// 2D indexed access (rank-2 tensors).
+  float& at(std::int64_t r, std::int64_t c) {
+    assert(rank() == 2);
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  float at(std::int64_t r, std::int64_t c) const {
+    assert(rank() == 2);
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+
+  /// 4D indexed access (NCHW tensors).
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    assert(rank() == 4);
+    return data_[static_cast<std::size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+  float at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+    assert(rank() == 4);
+    return data_[static_cast<std::size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Reinterpret with a new shape of identical element count.
+  Tensor reshaped(Shape new_shape) const {
+    assert(shape_numel(new_shape) == numel());
+    return Tensor(std::move(new_shape), data_);
+  }
+
+  bool same_shape(const Tensor& o) const { return shape_ == o.shape_; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace dco3d::nn

@@ -1,0 +1,144 @@
+#include "nn/unet.hpp"
+
+#include <cassert>
+
+#include "nn/init.hpp"
+
+namespace dco3d::nn {
+
+ConvBlock::ConvBlock(std::int64_t in_ch, std::int64_t out_ch, Rng& rng)
+    : w1_(param(kaiming_normal({out_ch, in_ch, 3, 3}, in_ch * 9, rng))),
+      b1_(param(Tensor({out_ch}))),
+      w2_(param(kaiming_normal({out_ch, out_ch, 3, 3}, out_ch * 9, rng))),
+      b2_(param(Tensor({out_ch}))) {}
+
+Var ConvBlock::forward(const Var& x) const {
+  Var h = relu(conv2d(x, w1_, b1_, /*stride=*/1, /*pad=*/1));
+  return relu(conv2d(h, w2_, b2_, /*stride=*/1, /*pad=*/1));
+}
+
+UNet::UNet(const UNetConfig& cfg, Rng& rng) : cfg_(cfg) {
+  assert(cfg.depth >= 1);
+  std::int64_t ch = cfg.base_channels;
+  std::int64_t in_ch = cfg.in_channels;
+  for (std::int64_t d = 0; d < cfg.depth; ++d) {
+    enc_blocks_.emplace_back(in_ch, ch, rng);
+    in_ch = ch;
+    ch *= 2;
+  }
+  bottleneck_ = std::make_unique<ConvBlock>(in_ch, ch, rng);
+
+  // Decoder mirrors the encoder. Up-convolution halves channels; the skip
+  // concat restores them before the decoder block.
+  std::int64_t up_in = ch;
+  for (std::int64_t d = cfg.depth - 1; d >= 0; --d) {
+    const std::int64_t skip_ch = up_in / 2;
+    up_w_.push_back(param(kaiming_normal({up_in, skip_ch, 2, 2}, up_in * 4, rng)));
+    up_b_.push_back(param(Tensor({skip_ch})));
+    dec_blocks_.emplace_back(skip_ch * 2, skip_ch, rng);
+    up_in = skip_ch;
+  }
+  final_w_ = param(kaiming_normal({cfg.out_channels, up_in, 1, 1}, up_in, rng));
+  final_b_ = param(Tensor({cfg.out_channels}));
+}
+
+std::int64_t UNet::bottleneck_channels() const {
+  std::int64_t ch = cfg_.base_channels;
+  for (std::int64_t d = 0; d < cfg_.depth; ++d) ch *= 2;
+  return ch;
+}
+
+EncoderOut UNet::encode(const Var& x) const {
+  assert(x->value.rank() == 4 && x->value.dim(1) == cfg_.in_channels);
+  EncoderOut out;
+  Var h = x;
+  for (const auto& block : enc_blocks_) {
+    h = block.forward(h);
+    out.skips.push_back(h);
+    h = maxpool2x2(h);
+  }
+  out.bottleneck = bottleneck_->forward(h);
+  return out;
+}
+
+Var UNet::decode(const Var& bottleneck, const std::vector<Var>& skips) const {
+  assert(skips.size() == static_cast<std::size_t>(cfg_.depth));
+  Var h = bottleneck;
+  for (std::int64_t d = 0; d < cfg_.depth; ++d) {
+    h = conv_transpose2d(h, up_w_[static_cast<std::size_t>(d)],
+                         up_b_[static_cast<std::size_t>(d)], /*stride=*/2);
+    const Var& skip = skips[static_cast<std::size_t>(cfg_.depth - 1 - d)];
+    h = concat_channels(skip, h);
+    h = dec_blocks_[static_cast<std::size_t>(d)].forward(h);
+  }
+  // Final 1x1 projection; leaky ReLU keeps predictions near-nonnegative
+  // without the dead-unit collapse a hard ReLU head is prone to.
+  return leaky_relu(conv2d(h, final_w_, final_b_), 0.01f);
+}
+
+Var UNet::forward(const Var& x) const {
+  EncoderOut e = encode(x);
+  return decode(e.bottleneck, e.skips);
+}
+
+std::vector<Var> UNet::parameters() const {
+  std::vector<Var> out;
+  auto append = [&out](std::vector<Var> v) {
+    out.insert(out.end(), v.begin(), v.end());
+  };
+  for (const auto& b : enc_blocks_) append(b.parameters());
+  append(bottleneck_->parameters());
+  for (std::size_t i = 0; i < up_w_.size(); ++i) {
+    out.push_back(up_w_[i]);
+    out.push_back(up_b_[i]);
+  }
+  for (const auto& b : dec_blocks_) append(b.parameters());
+  out.push_back(final_w_);
+  out.push_back(final_b_);
+  return out;
+}
+
+SiameseUNet::SiameseUNet(const UNetConfig& cfg, Rng& rng) : shared_(cfg, rng) {
+  const std::int64_t cb = shared_.bottleneck_channels();
+  comm_w_ = param(kaiming_normal({2 * cb, 2 * cb, 1, 1}, 2 * cb, rng));
+  comm_b_ = param(Tensor({2 * cb}));
+}
+
+std::pair<Var, Var> SiameseUNet::forward(const Var& f_top, const Var& f_bot) const {
+  // Shared-weight encoding of both dies.
+  EncoderOut e_top = shared_.encode(f_top);
+  EncoderOut e_bot = shared_.encode(f_bot);
+
+  Var z_top = e_top.bottleneck;
+  Var z_bot = e_bot.bottleneck;
+  if (shared_.config().communication) {
+    // Communication layer: concat bottlenecks -> pointwise conv -> split.
+    const std::int64_t cb = shared_.bottleneck_channels();
+    Var merged = concat_channels(e_top.bottleneck, e_bot.bottleneck);
+    Var mixed = relu(conv2d(merged, comm_w_, comm_b_));
+    z_top = slice_channels(mixed, 0, cb);
+    z_bot = slice_channels(mixed, cb, 2 * cb);
+  }
+
+  // Shared-weight decoding of both dies with their own skips.
+  Var c_top = shared_.decode(z_top, e_top.skips);
+  Var c_bot = shared_.decode(z_bot, e_bot.skips);
+  return {c_top, c_bot};
+}
+
+std::vector<Var> SiameseUNet::parameters() const {
+  std::vector<Var> out = shared_.parameters();
+  out.push_back(comm_w_);
+  out.push_back(comm_b_);
+  return out;
+}
+
+Var siamese_loss(const Var& pred_top, const Var& label_top, const Var& pred_bot,
+                 const Var& label_bot) {
+  // L = 1/2 * sum_d sqrt(mean((pred_d - label_d)^2))   [Eq. (4)]
+  Var l_top = rmse_loss(pred_top, label_top);
+  Var l_bot = rmse_loss(pred_bot, label_bot);
+  return mul_scalar(add(l_top, l_bot), 0.5f);
+}
+
+}  // namespace dco3d::nn

@@ -1,0 +1,100 @@
+#pragma once
+// UNet encoder/decoder and the customized Siamese 3D UNet of Fig. 3.
+//
+// The Siamese model runs a single shared-weight UNet over the feature maps of
+// both dies of the face-to-face 3D IC. Between encoder and decoder sits a
+// "communication layer": the bottleneck activations of both dies are
+// concatenated along channels, mixed by a pointwise (1x1) convolution, and
+// split back into two streams — this is how inter-die dependencies enter the
+// per-die congestion predictions.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/autograd.hpp"
+#include "nn/conv.hpp"
+#include "nn/ops.hpp"
+#include "util/rng.hpp"
+
+namespace dco3d::nn {
+
+/// Two 3x3 convs (same padding), each followed by ReLU.
+class ConvBlock {
+ public:
+  ConvBlock(std::int64_t in_ch, std::int64_t out_ch, Rng& rng);
+  Var forward(const Var& x) const;
+  std::vector<Var> parameters() const { return {w1_, b1_, w2_, b2_}; }
+
+ private:
+  Var w1_, b1_, w2_, b2_;
+};
+
+struct UNetConfig {
+  std::int64_t in_channels = 7;   // the 7 feature maps of §III-B1
+  std::int64_t out_channels = 1;  // congestion map
+  std::int64_t base_channels = 8;
+  std::int64_t depth = 2;  // number of down/up sampling stages
+  // Ablation switch: disable the inter-die communication layer, making the
+  // Siamese model two independent per-die predictions (bench_ablation_siamese
+  // quantifies what concurrent multi-die prediction buys).
+  bool communication = true;
+};
+
+/// Outputs of the encoder half: per-level skip activations plus the
+/// bottleneck tensor that feeds the communication layer.
+struct EncoderOut {
+  std::vector<Var> skips;
+  Var bottleneck;
+};
+
+/// Plain UNet. Exposes encode()/decode() separately so SiameseUNet can insert
+/// the inter-die communication layer at the bottleneck.
+class UNet {
+ public:
+  UNet(const UNetConfig& cfg, Rng& rng);
+
+  EncoderOut encode(const Var& x) const;
+  Var decode(const Var& bottleneck, const std::vector<Var>& skips) const;
+  /// Full single-die forward (encoder -> decoder, no communication).
+  Var forward(const Var& x) const;
+
+  std::vector<Var> parameters() const;
+  const UNetConfig& config() const { return cfg_; }
+  /// Channel count of the bottleneck tensor.
+  std::int64_t bottleneck_channels() const;
+
+ private:
+  UNetConfig cfg_;
+  std::vector<ConvBlock> enc_blocks_;
+  std::unique_ptr<ConvBlock> bottleneck_;
+  std::vector<Var> up_w_, up_b_;  // conv_transpose weights per level
+  std::vector<ConvBlock> dec_blocks_;
+  Var final_w_, final_b_;  // 1x1 projection to out_channels
+};
+
+/// The customized Siamese 3D UNet (Fig. 3): one shared UNet + pointwise
+/// communication convolution at the bottleneck.
+class SiameseUNet {
+ public:
+  SiameseUNet(const UNetConfig& cfg, Rng& rng);
+
+  /// Predict congestion maps for both dies. Inputs/outputs are NCHW with
+  /// N = 1 (the two dies travel through the *shared* network separately,
+  /// communicating only at the bottleneck).
+  std::pair<Var, Var> forward(const Var& f_top, const Var& f_bot) const;
+
+  std::vector<Var> parameters() const;
+  const UNetConfig& config() const { return shared_.config(); }
+
+ private:
+  UNet shared_;
+  Var comm_w_, comm_b_;  // pointwise conv: 2*Cb -> 2*Cb channels
+};
+
+/// Training loss of Alg. 1 / Eq. (4): mean over dies of the root-mean-squared
+/// Frobenius distance between prediction and label.
+Var siamese_loss(const Var& pred_top, const Var& label_top, const Var& pred_bot,
+                 const Var& label_bot);
+
+}  // namespace dco3d::nn

@@ -1,0 +1,62 @@
+#include "opt/bayesopt.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dco3d {
+
+BoResult bayes_optimize(const std::function<double(const PlacementParams&)>& objective,
+                        const BoConfig& cfg, Rng& rng) {
+  BoResult res;
+  res.best_objective = std::numeric_limits<double>::infinity();
+
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+
+  auto evaluate = [&](const PlacementParams& p) {
+    const double y = objective(p);
+    const auto enc = p.encode();
+    xs.emplace_back(enc.begin(), enc.end());
+    ys.push_back(y);
+    res.trace.push_back({p, y});
+    if (y < res.best_objective) {
+      res.best_objective = y;
+      res.best_params = p;
+    }
+  };
+
+  // Warm-up: Table-I random sampling (always includes the default config so
+  // BO never regresses below the stock flow).
+  evaluate(PlacementParams{});
+  for (int i = 1; i < cfg.init_samples; ++i) evaluate(PlacementParams::sample(rng));
+
+  for (int it = 0; it < cfg.iterations; ++it) {
+    GaussianProcess gp;
+    gp.fit(xs, ys);
+
+    double best_ei = -1.0;
+    PlacementParams best_cand;
+    for (int c = 0; c < cfg.candidates; ++c) {
+      // Mix pure exploration with perturbations of the incumbent.
+      PlacementParams cand;
+      if (rng.bernoulli(0.5)) {
+        cand = PlacementParams::sample(rng);
+      } else {
+        auto enc = res.best_params.encode();
+        for (double& v : enc) v = std::clamp(v + rng.normal(0.0, 0.15), 0.0, 1.0);
+        cand = PlacementParams::decode(enc);
+      }
+      const auto enc = cand.encode();
+      const auto pred = gp.predict({enc.begin(), enc.end()});
+      const double ei = expected_improvement(pred, res.best_objective, cfg.xi);
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_cand = cand;
+      }
+    }
+    evaluate(best_cand);
+  }
+  return res;
+}
+
+}  // namespace dco3d

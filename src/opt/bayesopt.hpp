@@ -1,0 +1,40 @@
+#pragma once
+// Bayesian optimization over the Table-I placement-parameter space — the
+// "Pin-3D + BO" baseline [19]: GP surrogate + expected-improvement
+// acquisition maximized by random candidate sampling in the encoded
+// [0,1]^16 space (mixed bool/enum/int/float knobs round-trip through
+// PlacementParams::encode/decode).
+
+#include <functional>
+#include <vector>
+
+#include "opt/gp.hpp"
+#include "place/params.hpp"
+#include "util/rng.hpp"
+
+namespace dco3d {
+
+struct BoConfig {
+  int init_samples = 6;   // random warm-up evaluations
+  int iterations = 10;    // BO steps after warm-up
+  int candidates = 512;   // EI candidates per step
+  double xi = 0.01;       // exploration margin
+};
+
+struct BoTracePoint {
+  PlacementParams params;
+  double objective = 0.0;
+};
+
+struct BoResult {
+  PlacementParams best_params;
+  double best_objective = 0.0;
+  std::vector<BoTracePoint> trace;  // in evaluation order
+};
+
+/// Minimize `objective` (e.g. routing overflow after placement) over the
+/// placement-parameter space. Deterministic given rng state.
+BoResult bayes_optimize(const std::function<double(const PlacementParams&)>& objective,
+                        const BoConfig& cfg, Rng& rng);
+
+}  // namespace dco3d

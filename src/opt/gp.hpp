@@ -1,0 +1,52 @@
+#pragma once
+// Gaussian-process regression with an RBF kernel — the surrogate model for
+// the "Pin-3D + BO" baseline [19], which tunes the Table-I placement knobs.
+
+#include <cstddef>
+#include <vector>
+
+namespace dco3d {
+
+/// GP over R^d with kernel k(a,b) = sf2 * exp(-||a-b||^2 / (2 l^2)) and
+/// observation noise sn2 on the diagonal. Fit cost is O(n^3) via Cholesky;
+/// n stays tiny (tens of trials) in BO.
+class GaussianProcess {
+ public:
+  struct Hyper {
+    double length_scale = 0.5;
+    double signal_var = 1.0;
+    double noise_var = 1e-4;
+  };
+
+  GaussianProcess() : hyper_(Hyper{0.5, 1.0, 1e-4}) {}
+  explicit GaussianProcess(Hyper hyper) : hyper_(hyper) {}
+
+  /// Fit to observations (normalizes y internally to zero mean, unit var).
+  void fit(std::vector<std::vector<double>> x, std::vector<double> y);
+
+  struct Prediction {
+    double mean = 0.0;
+    double var = 0.0;
+  };
+  Prediction predict(const std::vector<double>& x) const;
+
+  bool fitted() const { return !x_.empty(); }
+  std::size_t size() const { return x_.size(); }
+
+ private:
+  double kernel(const std::vector<double>& a, const std::vector<double>& b) const;
+
+  Hyper hyper_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> alpha_;          // K^-1 (y - mean)
+  std::vector<std::vector<double>> l_; // Cholesky factor of K
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+};
+
+/// Expected improvement (minimization) of a candidate given the incumbent
+/// best observed value; xi is the exploration margin.
+double expected_improvement(const GaussianProcess::Prediction& p, double best,
+                            double xi = 0.01);
+
+}  // namespace dco3d

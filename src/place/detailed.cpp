@@ -1,0 +1,161 @@
+#include "place/detailed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace dco3d {
+
+namespace {
+
+/// HPWL of all nets incident to one or two cells, given hypothetical x
+/// overrides. Only x matters for the moves in this pass (rows fix y).
+double incident_hpwl(const Netlist& nl, const Placement3D& pl,
+                     const std::vector<NetId>& nets, CellId a, double ax,
+                     CellId b = -1, double bx = 0.0) {
+  double total = 0.0;
+  for (NetId ni : nets) {
+    const Net& net = nl.net(ni);
+    double xlo = 1e300, xhi = -1e300, ylo = 1e300, yhi = -1e300;
+    auto visit = [&](const PinRef& p) {
+      double px = pl.xy[static_cast<std::size_t>(p.cell)].x;
+      if (p.cell == a) px = ax;
+      if (p.cell == b) px = bx;
+      px += p.offset.x;
+      const double py = pl.xy[static_cast<std::size_t>(p.cell)].y + p.offset.y;
+      xlo = std::min(xlo, px);
+      xhi = std::max(xhi, px);
+      ylo = std::min(ylo, py);
+      yhi = std::max(yhi, py);
+    };
+    visit(net.driver);
+    for (const PinRef& s : net.sinks) visit(s);
+    total += ((xhi - xlo) + (yhi - ylo)) * net.weight;
+  }
+  return total;
+}
+
+/// Merged, deduplicated incident-net list of one or two cells.
+std::vector<NetId> merged_nets(const Netlist& nl, CellId a, CellId b = -1) {
+  std::vector<NetId> nets = nl.cell_nets()[static_cast<std::size_t>(a)];
+  if (b >= 0) {
+    const auto& nb = nl.cell_nets()[static_cast<std::size_t>(b)];
+    nets.insert(nets.end(), nb.begin(), nb.end());
+  }
+  std::sort(nets.begin(), nets.end());
+  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  return nets;
+}
+
+/// Median of the x coordinates a cell's nets "want" it at — the optimal
+/// position of a single cell under HPWL (half-perimeter is convex piecewise
+/// linear; the median of the other-pin extents minimizes it; we use the
+/// simpler median-of-other-pins which is within the optimal plateau for
+/// typical fanouts).
+double desired_x(const Netlist& nl, const Placement3D& pl, CellId c) {
+  std::vector<double> xs;
+  for (NetId ni : nl.cell_nets()[static_cast<std::size_t>(c)]) {
+    const Net& net = nl.net(ni);
+    auto visit = [&](const PinRef& p) {
+      if (p.cell == c) return;
+      xs.push_back(pl.xy[static_cast<std::size_t>(p.cell)].x + p.offset.x);
+    };
+    visit(net.driver);
+    for (const PinRef& s : net.sinks) visit(s);
+  }
+  if (xs.empty()) return pl.xy[static_cast<std::size_t>(c)].x;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(xs.size() / 2),
+                   xs.end());
+  return xs[xs.size() / 2];
+}
+
+}  // namespace
+
+DetailedStats detailed_place(const Netlist& netlist, Placement3D& placement,
+                             const DetailedConfig& cfg) {
+  DetailedStats stats;
+  stats.hpwl_before = total_hpwl(netlist, placement);
+  netlist.cell_nets();  // build cache
+
+  // Bucket movable cells into rows per (tier, y).
+  std::map<std::pair<int, long long>, std::vector<CellId>> rows;
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (!netlist.is_movable(id)) continue;
+    const auto key = std::make_pair(
+        placement.tier[ci],
+        static_cast<long long>(std::llround(placement.xy[ci].y * 1e6)));
+    rows[key].push_back(id);
+  }
+
+  const double right_edge = placement.outline.xhi;
+  const double left_edge = placement.outline.xlo;
+
+  for (int pass = 0; pass < cfg.passes; ++pass) {
+    bool changed = false;
+    for (auto& [key, cells] : rows) {
+      std::sort(cells.begin(), cells.end(), [&](CellId a, CellId b) {
+        return placement.xy[static_cast<std::size_t>(a)].x <
+               placement.xy[static_cast<std::size_t>(b)].x;
+      });
+
+      // Slide pass: optimal x within the free interval around each cell.
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        const CellId c = cells[i];
+        const auto ci = static_cast<std::size_t>(c);
+        const double w = netlist.cell_type(c).width;
+        const double lo =
+            i == 0 ? left_edge
+                   : placement.xy[static_cast<std::size_t>(cells[i - 1])].x +
+                         netlist.cell_type(cells[i - 1]).width;
+        const double hi =
+            (i + 1 == cells.size()
+                 ? right_edge
+                 : placement.xy[static_cast<std::size_t>(cells[i + 1])].x) -
+            w;
+        if (hi < lo) continue;  // no slack
+        const double target = std::clamp(desired_x(netlist, placement, c), lo, hi);
+        if (std::abs(target - placement.xy[ci].x) < 1e-9) continue;
+        const auto nets = netlist.cell_nets()[ci];
+        const double before =
+            incident_hpwl(netlist, placement, nets, c, placement.xy[ci].x);
+        const double after = incident_hpwl(netlist, placement, nets, c, target);
+        if (after < before - 1e-12) {
+          placement.xy[ci].x = target;
+          ++stats.slides;
+          changed = true;
+        }
+      }
+
+      // Swap pass: exchange same-width neighbors when HPWL improves.
+      for (std::size_t i = 0; i + 1 < cells.size(); ++i) {
+        const CellId a = cells[i], b = cells[i + 1];
+        const double wa = netlist.cell_type(a).width;
+        const double wb = netlist.cell_type(b).width;
+        if (std::abs(wa - wb) > cfg.width_tol) continue;
+        const auto ai = static_cast<std::size_t>(a);
+        const auto bi = static_cast<std::size_t>(b);
+        const auto nets = merged_nets(netlist, a, b);
+        const double before = incident_hpwl(netlist, placement, nets, a,
+                                            placement.xy[ai].x, b,
+                                            placement.xy[bi].x);
+        const double after = incident_hpwl(netlist, placement, nets, a,
+                                           placement.xy[bi].x, b,
+                                           placement.xy[ai].x);
+        if (after < before - 1e-12) {
+          std::swap(placement.xy[ai].x, placement.xy[bi].x);
+          std::swap(cells[i], cells[i + 1]);
+          ++stats.swaps;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  stats.hpwl_after = total_hpwl(netlist, placement);
+  return stats;
+}
+
+}  // namespace dco3d

@@ -1,0 +1,35 @@
+#pragma once
+// Detailed placement refinement: legality-preserving wirelength recovery on
+// top of the Abacus-legalized placement — the classical post-legalization
+// pass commercial flows run before routing. Two local moves, iterated:
+//
+//   * slide: move a cell within the free interval between its row neighbors
+//     to its HPWL-optimal x (the median of its connected pins, clamped);
+//   * swap: exchange two same-width row neighbors when that lowers the
+//     total HPWL of their incident nets.
+//
+// Both preserve row alignment, non-overlap, and tier assignment exactly.
+
+#include "netlist/netlist.hpp"
+
+namespace dco3d {
+
+struct DetailedConfig {
+  int passes = 2;          // full slide+swap sweeps
+  double width_tol = 1e-9; // swap only cells whose widths match within this
+};
+
+struct DetailedStats {
+  std::size_t slides = 0;
+  std::size_t swaps = 0;
+  double hpwl_before = 0.0;
+  double hpwl_after = 0.0;
+};
+
+/// Refine a legalized placement in place. Returns move counts and the HPWL
+/// before/after (after <= before is guaranteed: every accepted move strictly
+/// improves the incident-net HPWL).
+DetailedStats detailed_place(const Netlist& netlist, Placement3D& placement,
+                             const DetailedConfig& cfg = {});
+
+}  // namespace dco3d

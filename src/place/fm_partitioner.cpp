@@ -1,0 +1,219 @@
+#include "place/fm_partitioner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace dco3d {
+
+std::size_t cut_size(const Netlist& netlist, const std::vector<int>& tiers) {
+  std::size_t cut = 0;
+  for (const Net& net : netlist.nets()) {
+    const int t0 = tiers[static_cast<std::size_t>(net.driver.cell)];
+    for (const PinRef& s : net.sinks) {
+      if (tiers[static_cast<std::size_t>(s.cell)] != t0) {
+        ++cut;
+        break;
+      }
+    }
+  }
+  return cut;
+}
+
+std::vector<int> seed_tiers_checkerboard(const Netlist& netlist,
+                                         const Placement3D& placement,
+                                         int bins) {
+  std::vector<int> tiers = placement.tier;
+  const Rect& ol = placement.outline;
+
+  // Bucket movable cells by bin.
+  std::vector<std::vector<CellId>> bucket(static_cast<std::size_t>(bins) * bins);
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (!netlist.is_movable(id)) continue;
+    const Point& p = placement.xy[ci];
+    const int bx = std::clamp(static_cast<int>((p.x - ol.xlo) / ol.width() * bins),
+                              0, bins - 1);
+    const int by = std::clamp(static_cast<int>((p.y - ol.ylo) / ol.height() * bins),
+                              0, bins - 1);
+    bucket[static_cast<std::size_t>(by) * bins + bx].push_back(id);
+  }
+
+  // Within each bin: sort by area descending and deal to the lighter side so
+  // both tiers get half the area of every neighborhood.
+  double area[2] = {0.0, 0.0};
+  for (auto& cells : bucket) {
+    std::sort(cells.begin(), cells.end(), [&](CellId a, CellId b) {
+      return netlist.cell_area(a) > netlist.cell_area(b);
+    });
+    for (CellId id : cells) {
+      const int t = area[0] <= area[1] ? 0 : 1;
+      tiers[static_cast<std::size_t>(id)] = t;
+      area[t] += netlist.cell_area(id);
+    }
+  }
+  return tiers;
+}
+
+namespace {
+
+struct FmState {
+  const Netlist& nl;
+  std::vector<int>& tiers;
+  std::vector<int> pins_in[2];  // per net: pin count on each tier
+  std::vector<bool> locked;
+  double area[2] = {0.0, 0.0};
+  double total_area = 0.0;
+
+  explicit FmState(const Netlist& netlist, std::vector<int>& t)
+      : nl(netlist), tiers(t) {
+    pins_in[0].assign(nl.num_nets(), 0);
+    pins_in[1].assign(nl.num_nets(), 0);
+    locked.assign(nl.num_cells(), false);
+    for (std::size_t ni = 0; ni < nl.num_nets(); ++ni) {
+      const Net& net = nl.net(static_cast<NetId>(ni));
+      auto count = [&](CellId c) { ++pins_in[tiers[static_cast<std::size_t>(c)]][ni]; };
+      count(net.driver.cell);
+      for (const PinRef& s : net.sinks) count(s.cell);
+    }
+    for (std::size_t ci = 0; ci < nl.num_cells(); ++ci) {
+      const auto id = static_cast<CellId>(ci);
+      if (!nl.is_movable(id)) continue;
+      const double a = nl.cell_area(id);
+      area[tiers[ci]] += a;
+      total_area += a;
+    }
+  }
+
+  /// FM gain of moving a cell: cut reduction (positive = fewer cut nets).
+  int gain(CellId id) const {
+    const int from = tiers[static_cast<std::size_t>(id)];
+    const int to = 1 - from;
+    int g = 0;
+    for (NetId ni : nl.cell_nets()[static_cast<std::size_t>(id)]) {
+      const Net& net = nl.net(ni);
+      int my_pins = 0;
+      auto count_self = [&](CellId c) {
+        if (c == id) ++my_pins;
+      };
+      count_self(net.driver.cell);
+      for (const PinRef& s : net.sinks) count_self(s.cell);
+      const int from_pins = pins_in[from][static_cast<std::size_t>(ni)];
+      const int to_pins = pins_in[to][static_cast<std::size_t>(ni)];
+      if (from_pins == my_pins && to_pins > 0) ++g;   // net becomes uncut
+      if (to_pins == 0) --g;                           // net becomes cut
+    }
+    return g;
+  }
+
+  void move(CellId id) {
+    const auto ci = static_cast<std::size_t>(id);
+    const int from = tiers[ci];
+    const int to = 1 - from;
+    for (NetId ni : nl.cell_nets()[ci]) {
+      const Net& net = nl.net(ni);
+      int my_pins = 0;
+      auto count_self = [&](CellId c) {
+        if (c == id) ++my_pins;
+      };
+      count_self(net.driver.cell);
+      for (const PinRef& s : net.sinks) count_self(s.cell);
+      pins_in[from][static_cast<std::size_t>(ni)] -= my_pins;
+      pins_in[to][static_cast<std::size_t>(ni)] += my_pins;
+    }
+    tiers[ci] = to;
+    const double a = nl.cell_area(id);
+    area[from] -= a;
+    area[to] += a;
+  }
+
+  bool balanced_after(CellId id, double tol) const {
+    const int from = tiers[static_cast<std::size_t>(id)];
+    const double a = nl.cell_area(id);
+    const double from_area = area[from] - a;
+    const double to_area = area[1 - from] + a;
+    return std::abs(from_area - to_area) <= tol * total_area;
+  }
+};
+
+}  // namespace
+
+std::size_t fm_refine(const Netlist& netlist, std::vector<int>& tiers,
+                      const FmConfig& cfg) {
+  netlist.cell_nets();  // build incidence cache
+  for (int pass = 0; pass < cfg.max_passes; ++pass) {
+    FmState st(netlist, tiers);
+
+    // Lazy max-heap of (gain, cell); entries are revalidated on pop.
+    using Entry = std::pair<int, CellId>;
+    std::priority_queue<Entry> heap;
+    std::vector<int> cached_gain(netlist.num_cells(), 0);
+    for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+      const auto id = static_cast<CellId>(ci);
+      if (!netlist.is_movable(id)) continue;
+      cached_gain[ci] = st.gain(id);
+      heap.push({cached_gain[ci], id});
+    }
+
+    std::vector<CellId> moved;
+    std::vector<int> gain_seq;
+    while (!heap.empty()) {
+      auto [g, id] = heap.top();
+      heap.pop();
+      const auto ci = static_cast<std::size_t>(id);
+      if (st.locked[ci]) continue;
+      if (g != cached_gain[ci]) continue;  // stale entry
+      const int fresh = st.gain(id);
+      if (fresh != g) {
+        cached_gain[ci] = fresh;
+        heap.push({fresh, id});
+        continue;
+      }
+      if (!st.balanced_after(id, cfg.balance_tol)) continue;
+
+      st.move(id);
+      st.locked[ci] = true;
+      moved.push_back(id);
+      gain_seq.push_back(g);
+      // Refresh gains of neighbors on touched nets.
+      for (NetId ni : netlist.cell_nets()[ci]) {
+        const Net& net = netlist.net(ni);
+        auto refresh = [&](CellId c) {
+          const auto cj = static_cast<std::size_t>(c);
+          if (st.locked[cj] || !netlist.is_movable(c)) return;
+          const int ng = st.gain(c);
+          if (ng != cached_gain[cj]) {
+            cached_gain[cj] = ng;
+            heap.push({ng, c});
+          }
+        };
+        refresh(net.driver.cell);
+        for (const PinRef& s : net.sinks) refresh(s.cell);
+      }
+    }
+
+    // Keep the best prefix of the move sequence; roll back the rest.
+    int best_sum = 0, run = 0;
+    std::size_t best_len = 0;
+    for (std::size_t i = 0; i < gain_seq.size(); ++i) {
+      run += gain_seq[i];
+      if (run > best_sum) {
+        best_sum = run;
+        best_len = i + 1;
+      }
+    }
+    for (std::size_t i = moved.size(); i > best_len; --i) st.move(moved[i - 1]);
+    if (best_sum <= 0) break;  // converged
+  }
+  return cut_size(netlist, tiers);
+}
+
+std::size_t partition_tiers(const Netlist& netlist, Placement3D& placement,
+                            const FmConfig& cfg) {
+  std::vector<int> tiers = seed_tiers_checkerboard(netlist, placement, cfg.bins);
+  const std::size_t cut = fm_refine(netlist, tiers, cfg);
+  placement.tier = std::move(tiers);
+  return cut;
+}
+
+}  // namespace dco3d

@@ -1,0 +1,43 @@
+#pragma once
+// Fiduccia–Mattheyses hypergraph bipartitioning for tier assignment.
+//
+// Pseudo-3D flows assign z-coordinates by partitioning the placed netlist
+// into two dies under an area-balance constraint while minimizing the number
+// of cut nets (each cut is a face-to-face bond pad). We seed FM with a
+// bin-based checkerboard partition of the 2D placement (so both dies inherit
+// a similar area distribution, as Pin-3D's bin-based assignment does) and
+// then run gain-bucket FM passes.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace dco3d {
+
+struct FmConfig {
+  double balance_tol = 0.03;  // allowed |areaTop - areaBot| / totalArea
+  int max_passes = 4;
+  int bins = 16;  // checkerboard seeding granularity
+};
+
+/// Compute an area-balanced, placement-aware initial tier assignment:
+/// cells are bucketed into bins by (x, y) and alternately assigned within
+/// each bin by descending area. Fixed cells keep placement.tier.
+std::vector<int> seed_tiers_checkerboard(const Netlist& netlist,
+                                         const Placement3D& placement,
+                                         int bins);
+
+/// Run FM passes on `tiers` (modified in place), minimizing cut nets under
+/// the balance constraint. Fixed cells never move. Returns the final cut.
+std::size_t fm_refine(const Netlist& netlist, std::vector<int>& tiers,
+                      const FmConfig& cfg);
+
+/// Convenience: seed + refine, writing tier assignments into placement.
+std::size_t partition_tiers(const Netlist& netlist, Placement3D& placement,
+                            const FmConfig& cfg);
+
+/// Number of nets spanning both parts under an assignment.
+std::size_t cut_size(const Netlist& netlist, const std::vector<int>& tiers);
+
+}  // namespace dco3d

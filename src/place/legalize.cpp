@@ -1,0 +1,228 @@
+#include "place/legalize.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace dco3d {
+
+namespace {
+
+// Abacus-style per-segment legalization [Spindler et al., "Abacus"]: cells
+// are inserted in ascending x; within a row segment they form clusters that
+// are optimally shifted (average of desired positions) and merged when they
+// collide, so cells can move left as well as right and no space is wasted.
+
+struct Cluster {
+  double x = 0.0;  // left edge
+  double w = 0.0;  // total width
+  double q = 0.0;  // sum over cells of (desired_x - offset_in_cluster)
+  double e = 0.0;  // weight (#cells)
+  std::size_t first_cell = 0;  // index into the segment's cell list
+};
+
+struct SegCell {
+  CellId id;
+  double desired_x;
+  double width;
+};
+
+/// One macro-free interval of a placement row.
+struct Segment {
+  double y = 0.0;
+  double xlo = 0.0;
+  double xhi = 0.0;
+  double used = 0.0;
+  std::vector<SegCell> cells;
+  std::vector<Cluster> clusters;
+
+  double width() const { return xhi - xlo; }
+
+  void place_cluster(Cluster& c) const {
+    c.x = std::clamp(c.q / c.e, xlo, std::max(xhi - c.w, xlo));
+  }
+
+  /// Insert a cell (called in globally ascending desired_x order).
+  void add(CellId id, double desired_x, double cell_width) {
+    cells.push_back({id, desired_x, cell_width});
+    Cluster nc;
+    nc.w = cell_width;
+    nc.q = desired_x;
+    nc.e = 1.0;
+    nc.first_cell = cells.size() - 1;
+    place_cluster(nc);
+    clusters.push_back(nc);
+    // Collapse overlapping clusters from the right.
+    while (clusters.size() >= 2) {
+      Cluster& prev = clusters[clusters.size() - 2];
+      Cluster& last = clusters.back();
+      if (prev.x + prev.w <= last.x + 1e-12) break;
+      // merge last into prev: offsets of last's cells grow by prev.w.
+      prev.q += last.q - last.e * prev.w;
+      prev.e += last.e;
+      prev.w += last.w;
+      clusters.pop_back();
+      place_cluster(clusters.back());
+    }
+    used += cell_width;
+  }
+
+};
+
+}  // namespace
+
+LegalizeStats legalize_tier(const Netlist& netlist, Placement3D& placement,
+                            int tier, const PlacementParams& params) {
+  LegalizeStats stats;
+  const Rect& ol = placement.outline;
+  const double rh = netlist.library().row_height();
+  const int n_rows = std::max(1, static_cast<int>(ol.height() / rh));
+
+  // Macro blockages on this tier.
+  std::vector<Rect> macros;
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (!netlist.is_macro(id) || placement.tier[ci] != tier) continue;
+    const CellType& t = netlist.cell_type(id);
+    macros.push_back({placement.xy[ci].x, placement.xy[ci].y,
+                      placement.xy[ci].x + t.width, placement.xy[ci].y + t.height});
+  }
+
+  // Build row segments (rows minus macro intervals).
+  std::vector<Segment> segments;
+  for (int r = 0; r < n_rows; ++r) {
+    const double y = ol.ylo + r * rh;
+    std::vector<std::pair<double, double>> blocks;
+    for (const Rect& m : macros)
+      if (y + rh > m.ylo && y < m.yhi)
+        blocks.emplace_back(std::max(m.xlo, ol.xlo), std::min(m.xhi, ol.xhi));
+    std::sort(blocks.begin(), blocks.end());
+    double cursor = ol.xlo;
+    auto push_segment = [&](double lo, double hi) {
+      if (hi - lo > 1e-9) {
+        Segment s;
+        s.y = y;
+        s.xlo = lo;
+        s.xhi = hi;
+        segments.push_back(std::move(s));
+      }
+    };
+    for (const auto& [blo, bhi] : blocks) {
+      push_segment(cursor, blo);
+      cursor = std::max(cursor, bhi);
+    }
+    push_segment(cursor, ol.xhi);
+  }
+  if (segments.empty()) return stats;
+
+  // Cells of this tier in ascending desired x (Abacus processing order).
+  std::vector<CellId> order;
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (netlist.is_movable(id) && placement.tier[ci] == tier) order.push_back(id);
+  }
+  std::sort(order.begin(), order.end(), [&](CellId a, CellId b) {
+    return placement.xy[static_cast<std::size_t>(a)].x <
+           placement.xy[static_cast<std::size_t>(b)].x;
+  });
+
+  const double window_y = (4 + params.displacement_threshold) * rh;
+  for (CellId id : order) {
+    const auto ci = static_cast<std::size_t>(id);
+    const CellType& t = netlist.cell_type(id);
+    const Point desired = placement.xy[ci];
+
+    // Pick the cheapest segment with remaining capacity; widen the search if
+    // everything within the displacement window is full.
+    auto seg_cost = [&](const Segment& s) {
+      double cx = std::clamp(desired.x, s.xlo, std::max(s.xhi - t.width, s.xlo));
+      return std::abs(cx - desired.x) + std::abs(s.y - desired.y) +
+             0.35 * s.used / std::max(s.width(), 1e-9);  // fill balancing
+    };
+    int best = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int pass = 0; pass < 2 && best < 0; ++pass) {
+      for (std::size_t si = 0; si < segments.size(); ++si) {
+        const Segment& s = segments[si];
+        if (pass == 0 && std::abs(s.y - desired.y) > window_y) continue;
+        if (s.used + t.width > s.width() + 1e-9) continue;
+        const double c = seg_cost(s);
+        if (c < best_cost) {
+          best_cost = c;
+          best = static_cast<int>(si);
+        }
+      }
+    }
+    if (best < 0) {
+      // Total overflow: drop into the emptiest segment regardless.
+      for (std::size_t si = 0; si < segments.size(); ++si)
+        if (best < 0 || segments[si].used / std::max(segments[si].width(), 1e-9) <
+                            segments[static_cast<std::size_t>(best)].used /
+                                std::max(segments[static_cast<std::size_t>(best)].width(), 1e-9))
+          best = static_cast<int>(si);
+    }
+    segments[static_cast<std::size_t>(best)].add(id, desired.x, t.width);
+  }
+
+  // Resolve final positions.
+  for (Segment& s : segments) {
+    std::size_t cell_idx = 0;
+    for (const Cluster& c : s.clusters) {
+      double x = c.x;
+      const auto count = static_cast<std::size_t>(c.e + 0.5);
+      for (std::size_t k = 0; k < count && cell_idx < s.cells.size(); ++k, ++cell_idx) {
+        const SegCell& sc = s.cells[cell_idx];
+        const auto ci = static_cast<std::size_t>(sc.id);
+        // Over-capacity fallback can produce clusters wider than the die;
+        // keep every cell inside the outline (overlap is then unavoidable
+        // but bounded, and routing/maps stay well-defined).
+        const double xc =
+            std::clamp(x, ol.xlo, std::max(ol.xhi - sc.width, ol.xlo));
+        const double disp = std::abs(xc - placement.xy[ci].x) +
+                            std::abs(s.y - placement.xy[ci].y);
+        placement.xy[ci] = {xc, s.y};
+        x += sc.width;
+        stats.total_displacement += disp;
+        stats.max_displacement = std::max(stats.max_displacement, disp);
+        ++stats.cells;
+      }
+    }
+  }
+  return stats;
+}
+
+LegalizeStats legalize_all(const Netlist& netlist, Placement3D& placement,
+                           const PlacementParams& params) {
+  LegalizeStats a = legalize_tier(netlist, placement, 0, params);
+  const LegalizeStats b = legalize_tier(netlist, placement, 1, params);
+  a.total_displacement += b.total_displacement;
+  a.max_displacement = std::max(a.max_displacement, b.max_displacement);
+  a.cells += b.cells;
+  return a;
+}
+
+double overlap_area_on_tier(const Netlist& netlist, const Placement3D& placement,
+                            int tier) {
+  std::vector<Rect> boxes;
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (!netlist.is_movable(id) || placement.tier[ci] != tier) continue;
+    const CellType& t = netlist.cell_type(id);
+    boxes.push_back({placement.xy[ci].x, placement.xy[ci].y,
+                     placement.xy[ci].x + t.width, placement.xy[ci].y + t.height});
+  }
+  std::sort(boxes.begin(), boxes.end(),
+            [](const Rect& a, const Rect& b) { return a.xlo < b.xlo; });
+  double total = 0.0;
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+      if (boxes[j].xlo >= boxes[i].xhi) break;
+      total += boxes[i].overlap_area(boxes[j]);
+    }
+  }
+  return total;
+}
+
+}  // namespace dco3d

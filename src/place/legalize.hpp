@@ -1,0 +1,34 @@
+#pragma once
+// Row-based legalization (Tetris-style greedy) per die: snaps standard cells
+// to placement rows, removes overlaps, and respects macro blockages. The
+// legalize.displacement_threshold knob of Table I bounds how far from its
+// global-placement location a cell may be moved vertically.
+
+#include "netlist/netlist.hpp"
+#include "place/params.hpp"
+
+namespace dco3d {
+
+struct LegalizeStats {
+  double total_displacement = 0.0;  // um, summed over legalized cells
+  double max_displacement = 0.0;
+  std::size_t cells = 0;
+};
+
+/// Legalize all movable cells of `tier` in place. Cells are processed in
+/// ascending x and packed into rows; each cell considers rows within
+/// (4 + displacement_threshold) rows of its desired y and picks the least
+/// total displacement. Fixed cells (macros) become blocked intervals.
+LegalizeStats legalize_tier(const Netlist& netlist, Placement3D& placement,
+                            int tier, const PlacementParams& params);
+
+/// Legalize both tiers; returns combined stats.
+LegalizeStats legalize_all(const Netlist& netlist, Placement3D& placement,
+                           const PlacementParams& params);
+
+/// Total pairwise overlap area between movable cells on a tier (0 when
+/// perfectly legal); diagnostic used by tests and the density bench.
+double overlap_area_on_tier(const Netlist& netlist, const Placement3D& placement,
+                            int tier);
+
+}  // namespace dco3d

@@ -1,0 +1,123 @@
+#include "place/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dco3d {
+
+PlacementParams PlacementParams::sample(Rng& rng) {
+  PlacementParams p;
+  p.pin_density_aware = rng.bernoulli(0.5);
+  p.target_routing_density = rng.uniform();
+  p.adv_node_cong_max_util = rng.uniform();
+  p.congestion_driven_max_util = rng.uniform();
+  p.cong_restruct_effort = static_cast<int>(rng.uniform_int(0, 4));
+  p.cong_restruct_iterations = static_cast<int>(rng.uniform_int(0, 10));
+  p.enhanced_low_power_effort = static_cast<int>(rng.uniform_int(0, 4));
+  p.low_power_placement = rng.bernoulli(0.5);
+  p.max_density = rng.uniform();
+  p.displacement_threshold = static_cast<int>(rng.uniform_int(0, 10));
+  p.two_pass = rng.bernoulli(0.5);
+  p.global_route_based = rng.bernoulli(0.5);
+  p.enable_ccd = rng.bernoulli(0.5);
+  p.initial_place_effort = static_cast<int>(rng.uniform_int(0, 2));
+  p.final_place_effort = static_cast<int>(rng.uniform_int(0, 2));
+  p.enable_irap = rng.bernoulli(0.5);
+  return p;
+}
+
+PlacementParams PlacementParams::congestion_focused() {
+  PlacementParams p;
+  p.pin_density_aware = true;
+  p.target_routing_density = 0.6;
+  p.adv_node_cong_max_util = 0.6;
+  p.congestion_driven_max_util = 0.6;
+  p.cong_restruct_effort = 4;
+  p.cong_restruct_iterations = 10;
+  p.max_density = 0.6;
+  p.initial_place_effort = 2;
+  p.final_place_effort = 2;
+  p.enable_irap = true;
+  return p;
+}
+
+std::array<double, 16> PlacementParams::encode() const {
+  return {
+      pin_density_aware ? 1.0 : 0.0,
+      target_routing_density,
+      adv_node_cong_max_util,
+      congestion_driven_max_util,
+      cong_restruct_effort / 4.0,
+      cong_restruct_iterations / 10.0,
+      enhanced_low_power_effort / 4.0,
+      low_power_placement ? 1.0 : 0.0,
+      max_density,
+      displacement_threshold / 10.0,
+      two_pass ? 1.0 : 0.0,
+      global_route_based ? 1.0 : 0.0,
+      enable_ccd ? 1.0 : 0.0,
+      initial_place_effort / 2.0,
+      final_place_effort / 2.0,
+      enable_irap ? 1.0 : 0.0,
+  };
+}
+
+PlacementParams PlacementParams::decode(const std::array<double, 16>& v) {
+  auto clamp01 = [](double x) { return std::clamp(x, 0.0, 1.0); };
+  auto to_int = [&](double x, int hi) {
+    return static_cast<int>(std::lround(clamp01(x) * hi));
+  };
+  PlacementParams p;
+  p.pin_density_aware = v[0] >= 0.5;
+  p.target_routing_density = clamp01(v[1]);
+  p.adv_node_cong_max_util = clamp01(v[2]);
+  p.congestion_driven_max_util = clamp01(v[3]);
+  p.cong_restruct_effort = to_int(v[4], 4);
+  p.cong_restruct_iterations = to_int(v[5], 10);
+  p.enhanced_low_power_effort = to_int(v[6], 4);
+  p.low_power_placement = v[7] >= 0.5;
+  p.max_density = clamp01(v[8]);
+  p.displacement_threshold = to_int(v[9], 10);
+  p.two_pass = v[10] >= 0.5;
+  p.global_route_based = v[11] >= 0.5;
+  p.enable_ccd = v[12] >= 0.5;
+  p.initial_place_effort = to_int(v[13], 2);
+  p.final_place_effort = to_int(v[14], 2);
+  p.enable_irap = v[15] >= 0.5;
+  return p;
+}
+
+std::string PlacementParams::summary() const {
+  std::ostringstream ss;
+  ss << "dens=" << max_density << " cong_eff=" << cong_restruct_effort
+     << " cong_it=" << cong_restruct_iterations
+     << " route_dens=" << target_routing_density
+     << " pda=" << pin_density_aware << " irap=" << enable_irap
+     << " eff=" << initial_place_effort << "/" << final_place_effort;
+  return ss.str();
+}
+
+const std::array<ParamInfo, 16>& param_table() {
+  static const std::array<ParamInfo, 16> t = {{
+      {"coarse.pin_density_aware", "bool"},
+      {"coarse.target_routing_density", "float"},
+      {"coarse.adv_node_cong_max_util", "float"},
+      {"coarse.congestion_driven_max_util", "float"},
+      {"coarse.cong_restruct_effort", "enum"},
+      {"coarse.cong_restruct_iterations", "int"},
+      {"coarse.enhanced_low_power_effort", "enum"},
+      {"coarse.low_power_placement", "bool"},
+      {"coarse.max_density", "float"},
+      {"legalize.displacement_threshold", "int"},
+      {"initial_place.two_pass", "bool"},
+      {"initial_drc.global_route_based", "bool"},
+      {"flow.enable_ccd", "bool"},
+      {"initial_place.effort", "enum"},
+      {"final_place.effort", "enum"},
+      {"flow.enable_irap", "bool"},
+  }};
+  return t;
+}
+
+}  // namespace dco3d

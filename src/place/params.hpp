@@ -1,0 +1,59 @@
+#pragma once
+// Placement parameters mirroring Table I of the paper. In the paper these are
+// Synopsys ICC2 app options sampled to build the training dataset (300
+// layouts per design) and searched by the Bayesian-optimization baseline;
+// here they steer the equivalent knobs of our analytic placer/flow.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dco3d {
+
+/// The 16 knobs of Table I with identical names, types, and ranges.
+struct PlacementParams {
+  bool pin_density_aware = false;            // coarse.pin_density_aware
+  double target_routing_density = 0.8;       // coarse.target_routing_density [0,1]
+  double adv_node_cong_max_util = 0.75;      // coarse.adv_node_cong_max_util [0,1]
+  double congestion_driven_max_util = 0.75;  // coarse.congestion_driven_max_util [0,1]
+  int cong_restruct_effort = 2;              // coarse.cong_restruct_effort [0,4]
+  int cong_restruct_iterations = 3;          // coarse.cong_restruct_iterations [0,10]
+  int enhanced_low_power_effort = 0;         // coarse.enhanced_low_power_effort [0,4]
+  bool low_power_placement = false;          // coarse.low_power_placement
+  double max_density = 0.8;                  // coarse.max_density [0,1]
+  int displacement_threshold = 5;            // legalize.displacement_threshold [0,10]
+  bool two_pass = false;                     // initial_place.two_pass
+  bool global_route_based = false;           // initial_drc.global_route_based
+  bool enable_ccd = false;                   // flow.enable_ccd
+  int initial_place_effort = 1;              // initial_place.effort [0,2]
+  int final_place_effort = 1;                // final_place.effort [0,2]
+  bool enable_irap = false;                  // flow.enable_irap
+
+  /// Uniform sample over the Table-I ranges (dataset construction, §III-A).
+  static PlacementParams sample(Rng& rng);
+
+  /// Congestion-focused preset: the "Pin-3D + Cong." baseline (ICC2
+  /// congestion-driven placement at the highest effort).
+  static PlacementParams congestion_focused();
+
+  /// Encode to a fixed-length numeric vector in [0,1]^16 (for the BO
+  /// surrogate over the mixed space).
+  std::array<double, 16> encode() const;
+  /// Inverse of encode (values are clamped/rounded into range).
+  static PlacementParams decode(const std::array<double, 16>& v);
+
+  /// Human-readable one-line summary.
+  std::string summary() const;
+};
+
+/// Knob metadata (name + type) in Table-I order, for reports.
+struct ParamInfo {
+  const char* name;
+  const char* type;
+};
+const std::array<ParamInfo, 16>& param_table();
+
+}  // namespace dco3d

@@ -1,0 +1,242 @@
+#include "place/placer3d.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "place/fm_partitioner.hpp"
+#include "place/legalize.hpp"
+#include "place/quadratic.hpp"
+#include "place/spreading.hpp"
+#include "timing/sta.hpp"
+#include "util/logging.hpp"
+
+namespace dco3d {
+
+Placement3D floorplan(const Netlist& netlist, const FloorplanConfig& cfg, Rng& rng) {
+  // Die area: each die carries half the movable area; macros live on their
+  // assigned die and consume area there. Size for the worst die.
+  double movable_area = netlist.total_movable_area();
+  double macro_area = 0.0;
+  std::vector<CellId> macros, ios;
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (netlist.is_macro(id)) {
+      macros.push_back(id);
+      macro_area += netlist.cell_area(id);
+    } else if (netlist.is_io(id)) {
+      ios.push_back(id);
+    }
+  }
+  const double per_die = movable_area * 0.5 + macro_area * 0.75;
+  const double die_area = std::max(per_die / cfg.utilization, 1e-6);
+  const double h = std::sqrt(die_area / cfg.aspect);
+  const double w = die_area / h;
+  // Snap height to whole placement rows.
+  const double rh = netlist.library().row_height();
+  const double hh = std::max(std::ceil(h / rh), 4.0) * rh;
+
+  Placement3D pl = Placement3D::make(netlist.num_cells(), Rect{0.0, 0.0, w, hh});
+
+  // IO ring: evenly spaced around the perimeter, alternating tiers.
+  const double perim = 2.0 * (w + hh);
+  for (std::size_t i = 0; i < ios.size(); ++i) {
+    const double d = perim * static_cast<double>(i) / static_cast<double>(ios.size());
+    Point p;
+    if (d < w)
+      p = {d, 0.0};
+    else if (d < w + hh)
+      p = {w, d - w};
+    else if (d < 2 * w + hh)
+      p = {w - (d - w - hh), hh};
+    else
+      p = {0.0, hh - (d - 2 * w - hh)};
+    pl.xy[static_cast<std::size_t>(ios[i])] = p;
+    pl.tier[static_cast<std::size_t>(ios[i])] = static_cast<int>(i % 2);
+  }
+
+  // Macros: corners, round-robin across tiers, inset from the edge.
+  for (std::size_t m = 0; m < macros.size(); ++m) {
+    const CellType& t = netlist.cell_type(macros[m]);
+    const double inset = 0.02 * std::min(w, hh);
+    Point p;
+    switch (m % 4) {
+      case 0: p = {inset, inset}; break;
+      case 1: p = {w - t.width - inset, inset}; break;
+      case 2: p = {inset, hh - t.height - inset}; break;
+      default: p = {w - t.width - inset, hh - t.height - inset}; break;
+    }
+    pl.xy[static_cast<std::size_t>(macros[m])] = p;
+    pl.tier[static_cast<std::size_t>(macros[m])] = static_cast<int>(m % 2);
+  }
+
+  // Movable cells: start near the center with a small jitter so the first
+  // quadratic solve is well conditioned.
+  const Point c = pl.outline.center();
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (!netlist.is_movable(id)) continue;
+    pl.xy[ci] = {c.x + rng.normal(0.0, 0.05 * w), c.y + rng.normal(0.0, 0.05 * hh)};
+    pl.xy[ci].x = std::clamp(pl.xy[ci].x, pl.outline.xlo, pl.outline.xhi);
+    pl.xy[ci].y = std::clamp(pl.xy[ci].y, pl.outline.ylo, pl.outline.yhi);
+    pl.tier[ci] = 0;
+  }
+  return pl;
+}
+
+GCellGrid make_grid(const Placement3D& placement, int nx, int ny) {
+  return GCellGrid(placement.outline, nx, ny);
+}
+
+namespace {
+
+/// Net weights derived from the power knobs: low-power modes weight
+/// high-fanout (high switching capacitance) nets more so they shorten.
+std::vector<double> make_net_weights(const Netlist& netlist,
+                                     const PlacementParams& params) {
+  std::vector<double> w(netlist.num_nets(), 1.0);
+  const double lp = (params.low_power_placement ? 0.3 : 0.0) +
+                    0.1 * params.enhanced_low_power_effort;
+  for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
+    const Net& net = netlist.net(static_cast<NetId>(ni));
+    w[ni] = net.weight;
+    if (lp > 0.0)
+      w[ni] *= 1.0 + lp * std::log2(1.0 + static_cast<double>(net.sinks.size()));
+  }
+  return w;
+}
+
+/// One global-placement phase: alternating quadratic solves and density
+/// spreading with growing anchor weights.
+void global_place_phase(const Netlist& netlist, Placement3D& pl,
+                        const MovableIndex& index,
+                        const std::vector<double>& net_weights,
+                        const PlacementParams& params, int rounds, int tier,
+                        double area_scale) {
+  SpreadConfig scfg;
+  scfg.target_util = std::clamp(params.max_density, 0.55, 0.9);
+  scfg.damping = 0.65;
+
+  // First unconstrained solve.
+  solve_quadratic(netlist, pl, index, net_weights, nullptr, 0.0, 2);
+
+  GCellGrid grid = make_grid(pl, 32, 32);
+  std::vector<double> inflation;
+  for (int r = 0; r < rounds; ++r) {
+    // Congestion-driven inflation (Table-I congestion knobs).
+    if (params.cong_restruct_effort > 0 || params.enable_irap) {
+      inflation = congestion_inflation(netlist, pl, grid, params);
+    } else {
+      inflation.clear();
+    }
+    // Pseudo-3D combined pass: both tiers share the outline, so halve areas.
+    if (area_scale != 1.0) {
+      if (inflation.empty()) inflation.assign(netlist.num_cells(), 1.0);
+      for (double& v : inflation) v *= area_scale;
+    }
+    std::vector<Point> target =
+        compute_spread_targets(netlist, pl, index, inflation, scfg, tier);
+    // Relative anchor weight, doubling per round (capped): early rounds let
+    // wirelength dominate, late rounds harden the density distribution.
+    const double alpha = std::min(0.05 * std::pow(2.0, r), 1.5);
+    solve_quadratic(netlist, pl, index, net_weights, &target, alpha, 2);
+  }
+}
+
+/// Timing-driven net reweighting: nets on critical paths get heavier weights
+/// so the quadratic solves shorten them. The strength is diluted by the
+/// congestion knobs — congestion-driven effort competes with timing-driven
+/// effort for the same placement budget, exactly the tradeoff commercial
+/// placers exhibit (and the reason the paper's "Pin-3D + Cong." and
+/// "Pin-3D + BO" baselines lose timing while fixing overflow).
+void apply_timing_weights(const Netlist& netlist, const Placement3D& pl,
+                          const PlacementParams& params,
+                          std::vector<double>& weights) {
+  const double strength =
+      1.8 / (1.0 + 0.6 * params.cong_restruct_effort +
+             0.05 * params.cong_restruct_iterations + (params.enable_irap ? 0.4 : 0.0));
+  if (strength <= 0.05) return;
+  TimingConfig tc;  // relative criticality only; the period cancels out
+  const TimingResult t = run_sta(netlist, pl, tc);
+  double lo = 1e18, hi = -1e18;
+  for (double s : t.cell_slack) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  if (hi - lo < 1e-9) return;
+  for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
+    const Net& net = netlist.net(static_cast<NetId>(ni));
+    if (net.is_clock) continue;
+    const double slack =
+        t.cell_slack[static_cast<std::size_t>(net.driver.cell)];
+    const double crit = (hi - slack) / (hi - lo);  // 1 = most critical
+    weights[ni] *= 1.0 + strength * crit * crit;
+  }
+}
+
+}  // namespace
+
+Placement3D place_pseudo3d(const Netlist& netlist, const PlacementParams& params,
+                           std::uint64_t seed, bool legalized) {
+  Rng rng(seed);
+  FloorplanConfig fcfg;
+  fcfg.utilization = std::clamp(params.max_density, 0.55, 0.85);
+  Placement3D pl = floorplan(netlist, fcfg, rng);
+
+  const std::vector<double> net_weights = make_net_weights(netlist, params);
+  const MovableIndex all = MovableIndex::build(netlist);
+
+  // Phase 1: combined shrunk-2D placement (cells at half area).
+  const int rounds1 = 3 + 2 * params.initial_place_effort;
+  global_place_phase(netlist, pl, all, net_weights, params, rounds1, /*tier=*/-1,
+                     /*area_scale=*/0.5);
+  if (params.two_pass) {
+    // Second pass re-solves from the spread state for a better WL/density
+    // tradeoff, as ICC2's two_pass does.
+    global_place_phase(netlist, pl, all, net_weights, params, 2, -1, 0.5);
+  }
+
+  // Phase 1.5: timing-driven reweighting + a short timing-driven solve.
+  std::vector<double> timed_weights = net_weights;
+  apply_timing_weights(netlist, pl, params, timed_weights);
+  global_place_phase(netlist, pl, all, timed_weights, params, 2, -1, 0.5);
+
+  // Phase 2: tier assignment (bin checkerboard + FM min-cut).
+  FmConfig fm;
+  fm.balance_tol = 0.03;
+  partition_tiers(netlist, pl, fm);
+
+  // Phase 3: per-die refinement.
+  const int rounds2 = 2 + params.final_place_effort;
+  for (int tier = 0; tier < 2; ++tier) {
+    std::vector<bool> on_tier(netlist.num_cells(), false);
+    for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci)
+      on_tier[ci] = netlist.is_movable(static_cast<CellId>(ci)) &&
+                    pl.tier[ci] == tier;
+    const MovableIndex idx = MovableIndex::build(netlist, &on_tier);
+    global_place_phase(netlist, pl, idx, timed_weights, params, rounds2, tier, 1.0);
+  }
+
+  // Optional incremental routability-aware pass (flow.enable_irap).
+  if (params.enable_irap) {
+    GCellGrid grid = make_grid(pl, 32, 32);
+    SpreadConfig scfg;
+    scfg.target_util = std::clamp(params.congestion_driven_max_util, 0.5, 0.9);
+    for (int tier = 0; tier < 2; ++tier) {
+      std::vector<bool> on_tier(netlist.num_cells(), false);
+      for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci)
+        on_tier[ci] = netlist.is_movable(static_cast<CellId>(ci)) &&
+                      pl.tier[ci] == tier;
+      const MovableIndex idx = MovableIndex::build(netlist, &on_tier);
+      auto inflation = congestion_inflation(netlist, pl, grid, params);
+      std::vector<Point> target =
+          compute_spread_targets(netlist, pl, idx, inflation, scfg, tier);
+      solve_quadratic(netlist, pl, idx, timed_weights, &target, 0.1, 1);
+    }
+  }
+
+  if (legalized) legalize_all(netlist, pl, params);
+  return pl;
+}
+
+}  // namespace dco3d

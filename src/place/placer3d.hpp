@@ -1,0 +1,42 @@
+#pragma once
+// Pseudo-3D global placement driver — our substitute for the ICC2-based
+// Pin-3D placement step. Pipeline:
+//
+//   floorplan (die outline, IO ring, macro corners)
+//     -> combined 2D analytic placement with both tiers sharing the outline
+//        (the "shrunk-2D" trick: movable areas are halved so two tiers fit)
+//     -> bin-based checkerboard tier seeding + FM min-cut refinement
+//     -> per-die analytic refinement with spreading
+//     -> row legalization per die
+//
+// Every Table-I knob (PlacementParams) steers the matching stage; sampling
+// the knobs yields the diverse layout dataset of §III-A.
+
+#include "grid/gcell_grid.hpp"
+#include "netlist/netlist.hpp"
+#include "place/params.hpp"
+#include "util/rng.hpp"
+
+namespace dco3d {
+
+struct FloorplanConfig {
+  double utilization = 0.7;   // per-die target utilization
+  double aspect = 1.0;        // width/height
+};
+
+/// Compute the shared die outline and place fixed cells: IO pads around the
+/// boundary (alternating tiers) and macros near the corners. Returns an
+/// initialized Placement3D with movable cells at the center.
+Placement3D floorplan(const Netlist& netlist, const FloorplanConfig& cfg, Rng& rng);
+
+/// Full pseudo-3D placement. Deterministic for a given (netlist, params,
+/// seed). `legalized` controls whether the final row-legalization runs (the
+/// DCO loop operates on the global placement *before* legalization).
+Placement3D place_pseudo3d(const Netlist& netlist, const PlacementParams& params,
+                           std::uint64_t seed, bool legalized = true);
+
+/// A GCell grid covering the placement outline with tiles sized so that the
+/// map resolution is `nx` x `ny`.
+GCellGrid make_grid(const Placement3D& placement, int nx, int ny);
+
+}  // namespace dco3d

@@ -1,0 +1,210 @@
+#include "place/quadratic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dco3d {
+
+void SpdSystem::add_edge(std::int32_t a, std::int32_t b, double w) {
+  assert(a != b);
+  if (a > b) std::swap(a, b);
+  diag[static_cast<std::size_t>(a)] += w;
+  diag[static_cast<std::size_t>(b)] += w;
+  off.emplace_back(a, b, w);
+}
+
+void SpdSystem::add_fixed(std::int32_t a, double w, double c) {
+  diag[static_cast<std::size_t>(a)] += w;
+  rhs[static_cast<std::size_t>(a)] += w * c;
+}
+
+void SpdSystem::multiply(const std::vector<double>& x, std::vector<double>& y) const {
+  const std::size_t n = size();
+  y.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) y[i] = diag[i] * x[i];
+  for (const auto& [i, j, w] : off) {
+    y[static_cast<std::size_t>(i)] -= w * x[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(j)] -= w * x[static_cast<std::size_t>(i)];
+  }
+}
+
+void SpdSystem::solve_cg(std::vector<double>& x, int max_iters, double tol) const {
+  const std::size_t n = size();
+  assert(x.size() == n);
+  std::vector<double> r(n), zvec(n), p(n), ap(n);
+  multiply(x, ap);
+  double rhs_norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = rhs[i] - ap[i];
+    rhs_norm += rhs[i] * rhs[i];
+  }
+  rhs_norm = std::sqrt(std::max(rhs_norm, 1e-30));
+  auto precond = [&](const std::vector<double>& v, std::vector<double>& out) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = v[i] / std::max(diag[i], 1e-12);
+  };
+  precond(r, zvec);
+  p = zvec;
+  double rz = 0.0;
+  for (std::size_t i = 0; i < n; ++i) rz += r[i] * zvec[i];
+  for (int it = 0; it < max_iters; ++it) {
+    double rnorm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rnorm += r[i] * r[i];
+    if (std::sqrt(rnorm) <= tol * rhs_norm) break;
+    multiply(p, ap);
+    double pap = 0.0;
+    for (std::size_t i = 0; i < n; ++i) pap += p[i] * ap[i];
+    if (pap <= 0.0) break;  // numerical safety
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    precond(r, zvec);
+    double rz_new = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rz_new += r[i] * zvec[i];
+    const double beta = rz_new / std::max(rz, 1e-30);
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = zvec[i] + beta * p[i];
+  }
+}
+
+MovableIndex MovableIndex::build(const Netlist& netlist,
+                                 const std::vector<bool>* include) {
+  MovableIndex m;
+  m.cell_to_idx.assign(netlist.num_cells(), -1);
+  for (std::size_t i = 0; i < netlist.num_cells(); ++i) {
+    const auto id = static_cast<CellId>(i);
+    if (!netlist.is_movable(id)) continue;
+    if (include && !(*include)[i]) continue;
+    m.cell_to_idx[i] = static_cast<std::int32_t>(m.idx_to_cell.size());
+    m.idx_to_cell.push_back(id);
+  }
+  return m;
+}
+
+namespace {
+
+struct AxisPin {
+  std::int32_t mov_idx;  // -1 if fixed for this solve
+  double coord;
+};
+
+}  // namespace
+
+SpdSystem build_b2b_system(const Netlist& netlist, const Placement3D& placement,
+                           Axis axis, const MovableIndex& index,
+                           const std::vector<double>& net_weights) {
+  SpdSystem sys(index.size());
+  std::vector<AxisPin> pins;
+  // Distance floor relative to the die: without it, clumped placements give
+  // near-singular 1/d weights that overpower any density anchor and the
+  // solve collapses back onto itself.
+  const double kMinDist =
+      0.002 * (placement.outline.width() + placement.outline.height());
+
+  for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
+    const Net& net = netlist.net(static_cast<NetId>(ni));
+    const double wnet = net_weights.empty() ? net.weight : net_weights[ni];
+    if (wnet <= 0.0 || net.num_pins() < 2) continue;
+
+    pins.clear();
+    auto add = [&](const PinRef& p) {
+      const Point pos = placement.pin_position(p);
+      const double c = (axis == Axis::kX) ? pos.x : pos.y;
+      pins.push_back({index.cell_to_idx[static_cast<std::size_t>(p.cell)], c});
+    };
+    add(net.driver);
+    for (const PinRef& s : net.sinks) add(s);
+
+    // Identify boundary pins on this axis.
+    std::size_t lo = 0, hi = 0;
+    for (std::size_t i = 1; i < pins.size(); ++i) {
+      if (pins[i].coord < pins[lo].coord) lo = i;
+      if (pins[i].coord > pins[hi].coord) hi = i;
+    }
+    if (lo == hi) hi = (lo + 1) % pins.size();
+
+    const double scale = wnet * 2.0 / static_cast<double>(pins.size() - 1);
+    auto connect = [&](std::size_t a, std::size_t b) {
+      if (a == b) return;
+      const AxisPin& pa = pins[a];
+      const AxisPin& pb = pins[b];
+      if (pa.mov_idx < 0 && pb.mov_idx < 0) return;
+      const double w = scale / std::max(std::abs(pa.coord - pb.coord), kMinDist);
+      if (pa.mov_idx >= 0 && pb.mov_idx >= 0) {
+        if (pa.mov_idx != pb.mov_idx) sys.add_edge(pa.mov_idx, pb.mov_idx, w);
+        // Same movable cell through two pins: no net force on the cell.
+      } else if (pa.mov_idx >= 0) {
+        sys.add_fixed(pa.mov_idx, w, pb.coord);
+      } else {
+        sys.add_fixed(pb.mov_idx, w, pa.coord);
+      }
+    };
+
+    // B2B: boundary-boundary plus every internal pin to both boundaries.
+    connect(lo, hi);
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      if (i == lo || i == hi) continue;
+      connect(i, lo);
+      connect(i, hi);
+    }
+  }
+  return sys;
+}
+
+void add_anchors(SpdSystem& system, const MovableIndex& index,
+                 const std::vector<Point>& target, Axis axis, double alpha) {
+  for (std::size_t k = 0; k < index.size(); ++k) {
+    const auto ci = static_cast<std::size_t>(index.idx_to_cell[k]);
+    const double c = (axis == Axis::kX) ? target[ci].x : target[ci].y;
+    system.add_fixed(static_cast<std::int32_t>(k), alpha, c);
+  }
+}
+
+void solve_quadratic(const Netlist& netlist, Placement3D& placement,
+                     const MovableIndex& index,
+                     const std::vector<double>& net_weights,
+                     const std::vector<Point>* anchor_target, double anchor_alpha,
+                     int b2b_rounds) {
+  if (index.size() == 0) return;
+  for (int round = 0; round < b2b_rounds; ++round) {
+    for (Axis axis : {Axis::kX, Axis::kY}) {
+      SpdSystem sys = build_b2b_system(netlist, placement, axis, index, net_weights);
+      if (anchor_target && anchor_alpha > 0.0) {
+        // Anchor strength is relative to the mean connectivity weight so the
+        // density force keeps pace with the wirelength force at any scale.
+        double mean_diag = 0.0;
+        for (double d : sys.diag) mean_diag += d;
+        mean_diag /= static_cast<double>(sys.size());
+        add_anchors(sys, index, *anchor_target, axis,
+                    anchor_alpha * std::max(mean_diag, 1e-9));
+      }
+      // Guard: cells with no connectivity keep their position via a weak
+      // self-anchor so the system stays non-singular.
+      for (std::size_t k = 0; k < index.size(); ++k) {
+        if (sys.diag[k] <= 0.0) {
+          const auto ci = static_cast<std::size_t>(index.idx_to_cell[k]);
+          const double c = (axis == Axis::kX) ? placement.xy[ci].x : placement.xy[ci].y;
+          sys.add_fixed(static_cast<std::int32_t>(k), 1.0, c);
+        }
+      }
+      std::vector<double> x(index.size());
+      for (std::size_t k = 0; k < index.size(); ++k) {
+        const auto ci = static_cast<std::size_t>(index.idx_to_cell[k]);
+        x[k] = (axis == Axis::kX) ? placement.xy[ci].x : placement.xy[ci].y;
+      }
+      sys.solve_cg(x);
+      const Rect& ol = placement.outline;
+      for (std::size_t k = 0; k < index.size(); ++k) {
+        const auto ci = static_cast<std::size_t>(index.idx_to_cell[k]);
+        if (axis == Axis::kX)
+          placement.xy[ci].x = std::clamp(x[k], ol.xlo, ol.xhi);
+        else
+          placement.xy[ci].y = std::clamp(x[k], ol.ylo, ol.yhi);
+      }
+    }
+  }
+}
+
+}  // namespace dco3d

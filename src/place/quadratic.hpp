@@ -1,0 +1,73 @@
+#pragma once
+// Quadratic (bound-to-bound) wirelength placement solver.
+//
+// This is the analytic global-placement engine underneath our ICC2
+// substitute: per-axis B2B net model [Spindler et al.] assembled into a
+// sparse SPD system solved by Jacobi-preconditioned conjugate gradient.
+// Fixed cells (IO pads, macros) enter as boundary terms; density spreading
+// (spreading.hpp) supplies anchor pseudo-nets between rounds.
+
+#include <tuple>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace dco3d {
+
+/// Sparse symmetric positive-definite system in "diagonal + off-diagonal
+/// triplets" form, sized over movable cells only.
+struct SpdSystem {
+  std::vector<double> diag;
+  std::vector<double> rhs;
+  // Off-diagonal entries (i, j, w) with i < j; the matrix value is -w.
+  std::vector<std::tuple<std::int32_t, std::int32_t, double>> off;
+
+  explicit SpdSystem(std::size_t n) : diag(n, 0.0), rhs(n, 0.0) {}
+  std::size_t size() const { return diag.size(); }
+
+  /// Add a two-pin connection of weight w between movable indices a and b.
+  void add_edge(std::int32_t a, std::int32_t b, double w);
+  /// Add a connection of weight w from movable index a to fixed coordinate c.
+  void add_fixed(std::int32_t a, double w, double c);
+
+  /// y = A * x.
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+  /// Solve A x = rhs by Jacobi-preconditioned CG, starting from x.
+  void solve_cg(std::vector<double>& x, int max_iters = 300,
+                double tol = 1e-7) const;
+};
+
+/// Index map between cell ids and the movable-only solver indices.
+struct MovableIndex {
+  std::vector<std::int32_t> cell_to_idx;  // -1 for fixed cells
+  std::vector<CellId> idx_to_cell;
+
+  static MovableIndex build(const Netlist& netlist,
+                            const std::vector<bool>* include = nullptr);
+  std::size_t size() const { return idx_to_cell.size(); }
+};
+
+enum class Axis { kX, kY };
+
+/// Assemble the B2B system for one axis from current pin positions.
+/// `include` (optional) restricts which cells are movable for this solve
+/// (used by per-die refinement); excluded cells act as fixed terminals.
+/// Nets whose pins all sit on excluded+fixed cells contribute nothing.
+SpdSystem build_b2b_system(const Netlist& netlist, const Placement3D& placement,
+                           Axis axis, const MovableIndex& index,
+                           const std::vector<double>& net_weights);
+
+/// Add anchor pseudo-nets pulling each movable cell toward `target` with
+/// per-cell weight `alpha`.
+void add_anchors(SpdSystem& system, const MovableIndex& index,
+                 const std::vector<Point>& target, Axis axis, double alpha);
+
+/// One full B2B solve for both axes, updating `placement` in place. Runs
+/// `b2b_rounds` reweighting iterations (the B2B model is itself iterative).
+void solve_quadratic(const Netlist& netlist, Placement3D& placement,
+                     const MovableIndex& index,
+                     const std::vector<double>& net_weights,
+                     const std::vector<Point>* anchor_target, double anchor_alpha,
+                     int b2b_rounds = 2);
+
+}  // namespace dco3d

@@ -1,0 +1,178 @@
+#include "place/spreading.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "grid/feature_maps.hpp"
+
+namespace dco3d {
+
+namespace {
+
+/// Piecewise-linear CDF equalization along one axis within one slab.
+/// `hist` holds area per bin; returns for a coordinate fraction f in [0,1]
+/// the equalized fraction.
+class CdfMap {
+ public:
+  explicit CdfMap(const std::vector<double>& hist) {
+    cum_.resize(hist.size() + 1, 0.0);
+    for (std::size_t i = 0; i < hist.size(); ++i) cum_[i + 1] = cum_[i] + hist[i];
+    total_ = cum_.back();
+  }
+
+  double map(double f) const {
+    if (total_ <= 0.0) return f;
+    const double pos = std::clamp(f, 0.0, 1.0) * static_cast<double>(cum_.size() - 1);
+    const auto b = static_cast<std::size_t>(
+        std::min(pos, static_cast<double>(cum_.size() - 2)));
+    const double frac = pos - static_cast<double>(b);
+    const double c = cum_[b] + frac * (cum_[b + 1] - cum_[b]);
+    return c / total_;
+  }
+
+ private:
+  std::vector<double> cum_;
+  double total_ = 0.0;
+};
+
+}  // namespace
+
+std::vector<Point> compute_spread_targets(const Netlist& netlist,
+                                          const Placement3D& placement,
+                                          const MovableIndex& index,
+                                          const std::vector<double>& inflation,
+                                          const SpreadConfig& cfg, int tier) {
+  const Rect& ol = placement.outline;
+  std::vector<Point> target = placement.xy;
+
+  auto area_of = [&](CellId id) {
+    double a = netlist.cell_area(id);
+    if (!inflation.empty()) a *= inflation[static_cast<std::size_t>(id)];
+    return a;
+  };
+  auto in_scope = [&](CellId id) {
+    return tier < 0 || placement.tier[static_cast<std::size_t>(id)] == tier;
+  };
+
+  // Pass 1: equalize x within horizontal slabs. Pass 2: y within vertical
+  // slabs, using the updated x.
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool x_pass = pass == 0;
+    const int slabs = x_pass ? cfg.bins_y : cfg.bins_x;
+    const int bins = x_pass ? cfg.bins_x : cfg.bins_y;
+    // Per-slab histogram of (inflated) area.
+    std::vector<std::vector<double>> hist(
+        static_cast<std::size_t>(slabs), std::vector<double>(static_cast<std::size_t>(bins), 0.0));
+    auto slab_of = [&](const Point& p) {
+      const double f = x_pass ? (p.y - ol.ylo) / ol.height() : (p.x - ol.xlo) / ol.width();
+      return std::clamp(static_cast<int>(f * slabs), 0, slabs - 1);
+    };
+    auto bin_frac = [&](const Point& p) {
+      return x_pass ? (p.x - ol.xlo) / ol.width() : (p.y - ol.ylo) / ol.height();
+    };
+    for (std::size_t k = 0; k < index.size(); ++k) {
+      const CellId id = index.idx_to_cell[k];
+      if (!in_scope(id)) continue;
+      const Point& p = target[static_cast<std::size_t>(id)];
+      const int s = slab_of(p);
+      const int b = std::clamp(static_cast<int>(bin_frac(p) * bins), 0, bins - 1);
+      hist[static_cast<std::size_t>(s)][static_cast<std::size_t>(b)] += area_of(id);
+    }
+    // Blend histograms with a uniform floor so sparse slabs don't collapse
+    // everything to a point and dense slabs equalize strongly.
+    std::vector<CdfMap> maps;
+    maps.reserve(static_cast<std::size_t>(slabs));
+    for (int s = 0; s < slabs; ++s) {
+      auto& h = hist[static_cast<std::size_t>(s)];
+      double total = 0.0;
+      for (double v : h) total += v;
+      const double floor_v = std::max(total, 1e-12) / static_cast<double>(bins) * 0.35;
+      for (double& v : h) v += floor_v;
+      maps.emplace_back(h);
+    }
+    for (std::size_t k = 0; k < index.size(); ++k) {
+      const CellId id = index.idx_to_cell[k];
+      if (!in_scope(id)) continue;
+      Point& p = target[static_cast<std::size_t>(id)];
+      const int s = slab_of(p);
+      const double f = bin_frac(p);
+      const double fe = maps[static_cast<std::size_t>(s)].map(f);
+      const double blended = f + cfg.damping * (fe - f);
+      if (x_pass)
+        p.x = ol.xlo + blended * ol.width();
+      else
+        p.y = ol.ylo + blended * ol.height();
+    }
+  }
+  return target;
+}
+
+std::vector<double> congestion_inflation(const Netlist& netlist,
+                                         const Placement3D& placement,
+                                         const GCellGrid& grid,
+                                         const PlacementParams& params) {
+  std::vector<double> inflation(netlist.num_cells(), 1.0);
+  if (params.cong_restruct_effort <= 0 && params.cong_restruct_iterations <= 0)
+    return inflation;
+
+  FeatureMaps fm = compute_feature_maps(netlist, placement, grid);
+  const std::int64_t hw = static_cast<std::int64_t>(grid.ny()) * grid.nx();
+
+  // Demand per tile per die: 2D + 3D RUDY (optionally + pin density).
+  std::vector<float> demand[2];
+  float dmax = 1e-9f;
+  for (int die = 0; die < 2; ++die) {
+    demand[die].assign(static_cast<std::size_t>(hw), 0.0f);
+    auto d = fm.die[die].data();
+    for (std::int64_t i = 0; i < hw; ++i) {
+      float v = d[static_cast<std::size_t>(kRudy2D * hw + i)] +
+                d[static_cast<std::size_t>(kRudy3D * hw + i)];
+      if (params.pin_density_aware)
+        v += 0.05f * d[static_cast<std::size_t>(kPinDensity * hw + i)];
+      demand[die][static_cast<std::size_t>(i)] = v;
+      dmax = std::max(dmax, v);
+    }
+  }
+
+  // Tiles whose normalized demand exceeds the target routing density inflate
+  // the cells they contain; strength grows with the congestion knobs.
+  const double threshold = std::clamp(params.target_routing_density, 0.2, 0.95);
+  const double strength = 0.3 * (1 + params.cong_restruct_effort) +
+                          0.1 * params.cong_restruct_iterations;
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (!netlist.is_movable(id)) continue;
+    const int die = placement.tier[ci] ? 1 : 0;
+    const auto tile = static_cast<std::size_t>(grid.tile_of(placement.xy[ci]));
+    const double norm = demand[die][tile] / dmax;
+    if (norm > threshold) {
+      const double excess = (norm - threshold) / std::max(1.0 - threshold, 1e-6);
+      inflation[ci] = 1.0 + strength * excess;
+    }
+  }
+  return inflation;
+}
+
+double peak_bin_utilization(const Netlist& netlist, const Placement3D& placement,
+                            const SpreadConfig& cfg, int tier) {
+  const Rect& ol = placement.outline;
+  std::vector<double> util(static_cast<std::size_t>(cfg.bins_x) * cfg.bins_y, 0.0);
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (!netlist.is_movable(id)) continue;
+    if (tier >= 0 && placement.tier[ci] != tier) continue;
+    const Point& p = placement.xy[ci];
+    const int bx = std::clamp(
+        static_cast<int>((p.x - ol.xlo) / ol.width() * cfg.bins_x), 0, cfg.bins_x - 1);
+    const int by = std::clamp(
+        static_cast<int>((p.y - ol.ylo) / ol.height() * cfg.bins_y), 0, cfg.bins_y - 1);
+    util[static_cast<std::size_t>(by) * cfg.bins_x + bx] += netlist.cell_area(id);
+  }
+  const double cap = ol.area() / (static_cast<double>(cfg.bins_x) * cfg.bins_y);
+  double peak = 0.0;
+  for (double u : util) peak = std::max(peak, u / cap);
+  return peak;
+}
+
+}  // namespace dco3d

@@ -1,0 +1,50 @@
+#pragma once
+// Density spreading for the analytic placer: per-axis CDF equalization over
+// density bins, plus RUDY-driven cell inflation for congestion-driven modes
+// (the coarse.* congestion knobs of Table I act here).
+
+#include <vector>
+
+#include "grid/gcell_grid.hpp"
+#include "netlist/netlist.hpp"
+#include "place/params.hpp"
+#include "place/quadratic.hpp"
+
+namespace dco3d {
+
+struct SpreadConfig {
+  int bins_x = 32;
+  int bins_y = 32;
+  double target_util = 0.8;  // desired bin utilization
+  double damping = 0.6;      // blend factor toward the equalized position
+};
+
+/// Compute spreading target positions for movable cells (cells not in
+/// `index` keep their current position in the returned vector).
+/// `inflation` optionally scales each cell's area (congestion-driven
+/// inflation); pass empty for uniform areas. Only the x/y of cells on
+/// `tier` are spread when tier >= 0; tier < 0 spreads all movables together
+/// (the pseudo-3D combined pass).
+std::vector<Point> compute_spread_targets(const Netlist& netlist,
+                                          const Placement3D& placement,
+                                          const MovableIndex& index,
+                                          const std::vector<double>& inflation,
+                                          const SpreadConfig& cfg, int tier = -1);
+
+/// RUDY-based congestion inflation (§ Table I congestion knobs): cells whose
+/// tile's routing demand exceeds params.target_routing_density get their
+/// area inflated so the spreader pushes neighbors away. Returns per-cell
+/// multipliers >= 1. Iterations and strength follow cong_restruct_effort /
+/// cong_restruct_iterations; pin_density_aware adds the pin-density map to
+/// the demand estimate.
+std::vector<double> congestion_inflation(const Netlist& netlist,
+                                         const Placement3D& placement,
+                                         const GCellGrid& grid,
+                                         const PlacementParams& params);
+
+/// Maximum bin utilization (area in bin / bin capacity) over movable cells,
+/// a convergence signal for the spreading loop.
+double peak_bin_utilization(const Netlist& netlist, const Placement3D& placement,
+                            const SpreadConfig& cfg, int tier = -1);
+
+}  // namespace dco3d

@@ -1,0 +1,438 @@
+#include "route/router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace dco3d {
+
+RouteGrid::RouteGrid(const GCellGrid& grid, const RouterConfig& cfg) : grid_(grid) {
+  for (int die = 0; die < 2; ++die) {
+    h_cap[die].assign(num_h_edges(), cfg.h_capacity);
+    v_cap[die].assign(num_v_edges(), cfg.v_capacity);
+    h_use[die].assign(num_h_edges(), 0.0);
+    v_use[die].assign(num_v_edges(), 0.0);
+    h_hist[die].assign(num_h_edges(), 0.0);
+    v_hist[die].assign(num_v_edges(), 0.0);
+  }
+}
+
+void RouteGrid::apply_macro_blockages(const Netlist& netlist,
+                                      const Placement3D& placement) {
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (!netlist.is_macro(id)) continue;
+    const CellType& t = netlist.cell_type(id);
+    const Rect m{placement.xy[ci].x, placement.xy[ci].y,
+                 placement.xy[ci].x + t.width, placement.xy[ci].y + t.height};
+    const int die = placement.tier[ci] ? 1 : 0;
+    const int m0 = grid_.col_of(m.xlo), m1 = grid_.col_of(m.xhi);
+    const int n0 = grid_.row_of(m.ylo), n1 = grid_.row_of(m.yhi);
+    // Any edge whose either endpoint tile is covered by the macro loses
+    // capacity (the macro body blocks most routing layers).
+    for (int n = n0; n <= n1; ++n) {
+      for (int mm = m0; mm <= m1; ++mm) {
+        const Rect tr = grid_.tile_rect(mm, n);
+        if (tr.overlap_area(m) < 0.5 * tr.area()) continue;
+        if (mm > 0) h_cap[die][h_edge_index(mm - 1, n)] *= 0.15;
+        if (mm < nx() - 1) h_cap[die][h_edge_index(mm, n)] *= 0.15;
+        if (n > 0) v_cap[die][v_edge_index(mm, n - 1)] *= 0.15;
+        if (n < ny() - 1) v_cap[die][v_edge_index(mm, n)] *= 0.15;
+      }
+    }
+  }
+}
+
+namespace {
+
+struct TilePt {
+  int m = 0, n = 0;
+};
+
+/// Per-net routing record for rip-up.
+struct NetRoute {
+  std::vector<RoutedEdge> edges;
+};
+
+struct Ctx {
+  const RouterConfig& cfg;
+  RouteGrid& rg;
+
+  double edge_cost(int die, bool horizontal, std::size_t idx) const {
+    const double cap = horizontal ? rg.h_cap[die][idx] : rg.v_cap[die][idx];
+    const double use = horizontal ? rg.h_use[die][idx] : rg.v_use[die][idx];
+    const double hist = horizontal ? rg.h_hist[die][idx] : rg.v_hist[die][idx];
+    double c = 1.0 + hist;
+    if (use >= cap) c += cfg.present_penalty * (use - cap + 1.0);
+    return c;
+  }
+
+  void add_edge(NetRoute& route, int die, bool horizontal, std::size_t idx) {
+    auto& use = horizontal ? rg.h_use[die] : rg.v_use[die];
+    use[idx] += 1.0;
+    route.edges.push_back({static_cast<std::int8_t>(die), horizontal,
+                           static_cast<std::int32_t>(idx)});
+  }
+
+  /// Straight horizontal run from (m0,n) to (m1,n).
+  void run_h(NetRoute& route, int die, int m0, int m1, int n) {
+    for (int m = std::min(m0, m1); m < std::max(m0, m1); ++m)
+      add_edge(route, die, true, rg.h_edge_index(m, n));
+  }
+  void run_v(NetRoute& route, int die, int n0, int n1, int m) {
+    for (int n = std::min(n0, n1); n < std::max(n0, n1); ++n)
+      add_edge(route, die, false, rg.v_edge_index(m, n));
+  }
+
+  double cost_h(int die, int m0, int m1, int n) const {
+    double c = 0.0;
+    for (int m = std::min(m0, m1); m < std::max(m0, m1); ++m)
+      c += edge_cost(die, true, rg.h_edge_index(m, n));
+    return c;
+  }
+  double cost_v(int die, int n0, int n1, int m) const {
+    double c = 0.0;
+    for (int n = std::min(n0, n1); n < std::max(n0, n1); ++n)
+      c += edge_cost(die, false, rg.v_edge_index(m, n));
+    return c;
+  }
+
+  /// Best-of-two L-shape route between tiles.
+  void route_l(NetRoute& route, int die, TilePt a, TilePt b) {
+    // L1: horizontal first (at a.n), then vertical (at b.m).
+    const double c1 = cost_h(die, a.m, b.m, a.n) + cost_v(die, a.n, b.n, b.m);
+    // L2: vertical first (at a.m), then horizontal (at b.n).
+    const double c2 = cost_v(die, a.n, b.n, a.m) + cost_h(die, a.m, b.m, b.n);
+    if (c1 <= c2) {
+      run_h(route, die, a.m, b.m, a.n);
+      run_v(route, die, a.n, b.n, b.m);
+    } else {
+      run_v(route, die, a.n, b.n, a.m);
+      run_h(route, die, a.m, b.m, b.n);
+    }
+  }
+
+  /// Dijkstra maze route within the bbox of (a, b) + margin.
+  void route_maze(NetRoute& route, int die, TilePt a, TilePt b) {
+    const int nx = rg.nx(), ny = rg.ny();
+    const int m0 = std::max(0, std::min(a.m, b.m) - cfg.maze_margin);
+    const int m1 = std::min(nx - 1, std::max(a.m, b.m) + cfg.maze_margin);
+    const int n0 = std::max(0, std::min(a.n, b.n) - cfg.maze_margin);
+    const int n1 = std::min(ny - 1, std::max(a.n, b.n) + cfg.maze_margin);
+    const int w = m1 - m0 + 1, h = n1 - n0 + 1;
+    auto lid = [&](int m, int n) { return (n - n0) * w + (m - m0); };
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(static_cast<std::size_t>(w) * h, kInf);
+    std::vector<std::int32_t> prev(static_cast<std::size_t>(w) * h, -1);
+    using QE = std::pair<double, std::int32_t>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> q;
+    dist[static_cast<std::size_t>(lid(a.m, a.n))] = 0.0;
+    q.push({0.0, lid(a.m, a.n)});
+    const std::int32_t target = lid(b.m, b.n);
+
+    while (!q.empty()) {
+      auto [d, u] = q.top();
+      q.pop();
+      if (d > dist[static_cast<std::size_t>(u)]) continue;
+      if (u == target) break;
+      const int um = m0 + (u % w), un = n0 + (u / w);
+      auto relax = [&](int vm, int vn, double ec) {
+        const std::int32_t v = lid(vm, vn);
+        if (d + ec < dist[static_cast<std::size_t>(v)]) {
+          dist[static_cast<std::size_t>(v)] = d + ec;
+          prev[static_cast<std::size_t>(v)] = u;
+          q.push({d + ec, v});
+        }
+      };
+      if (um > m0) relax(um - 1, un, edge_cost(die, true, rg.h_edge_index(um - 1, un)));
+      if (um < m1) relax(um + 1, un, edge_cost(die, true, rg.h_edge_index(um, un)));
+      if (un > n0) relax(um, un - 1, edge_cost(die, false, rg.v_edge_index(um, un - 1)));
+      if (un < n1) relax(um, un + 1, edge_cost(die, false, rg.v_edge_index(um, un)));
+    }
+
+    if (prev[static_cast<std::size_t>(target)] < 0 && target != lid(a.m, a.n)) {
+      // Unreachable within the window (should not happen on a full grid);
+      // fall back to an L route.
+      route_l(route, die, a, b);
+      return;
+    }
+    // Walk back and commit edges.
+    std::int32_t v = target;
+    while (v != lid(a.m, a.n)) {
+      const std::int32_t u = prev[static_cast<std::size_t>(v)];
+      const int um = m0 + (u % w), un = n0 + (u / w);
+      const int vm = m0 + (v % w), vn = n0 + (v / w);
+      if (un == vn)
+        add_edge(route, die, true, rg.h_edge_index(std::min(um, vm), un));
+      else
+        add_edge(route, die, false, rg.v_edge_index(um, std::min(un, vn)));
+      v = u;
+    }
+  }
+};
+
+/// Prim MST over tile points (Manhattan metric). Returns parent indices.
+std::vector<int> prim_mst(const std::vector<TilePt>& pts) {
+  const std::size_t n = pts.size();
+  std::vector<int> parent(n, -1);
+  if (n <= 1) return parent;
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<int> best_from(n, 0);
+  in_tree[0] = true;
+  for (std::size_t i = 1; i < n; ++i) {
+    best[i] = std::abs(pts[i].m - pts[0].m) + std::abs(pts[i].n - pts[0].n);
+    best_from[i] = 0;
+  }
+  for (std::size_t it = 1; it < n; ++it) {
+    double mind = std::numeric_limits<double>::infinity();
+    std::size_t pick = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!in_tree[i] && best[i] < mind) {
+        mind = best[i];
+        pick = i;
+      }
+    in_tree[pick] = true;
+    parent[pick] = best_from[pick];
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_tree[i]) continue;
+      const double d = std::abs(pts[i].m - pts[pick].m) +
+                       std::abs(pts[i].n - pts[pick].n);
+      if (d < best[i]) {
+        best[i] = d;
+        best_from[i] = static_cast<int>(pick);
+      }
+    }
+  }
+  return parent;
+}
+
+/// 2-pin segments (per die) of one net, including the 3D via tile if needed.
+struct NetPlan {
+  // Per die: list of tile points; MST segments are rebuilt at (re)route time.
+  std::vector<TilePt> pts[2];
+  bool is3d = false;
+};
+
+NetPlan plan_net(const Net& net, const Placement3D& placement,
+                 const GCellGrid& grid) {
+  NetPlan plan;
+  std::vector<Point> all;
+  auto add = [&](const PinRef& p) {
+    const Point pos = placement.pin_position(p);
+    const int die = placement.tier[static_cast<std::size_t>(p.cell)] ? 1 : 0;
+    plan.pts[die].push_back({grid.col_of(pos.x), grid.row_of(pos.y)});
+    all.push_back(pos);
+  };
+  add(net.driver);
+  for (const PinRef& s : net.sinks) add(s);
+  plan.is3d = !plan.pts[0].empty() && !plan.pts[1].empty();
+  if (plan.is3d) {
+    // Via GCell at the median of all pins; becomes a terminal on both dies.
+    std::vector<double> xs, ys;
+    for (const Point& p : all) {
+      xs.push_back(p.x);
+      ys.push_back(p.y);
+    }
+    std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+    std::nth_element(ys.begin(), ys.begin() + ys.size() / 2, ys.end());
+    const TilePt via{grid.col_of(xs[xs.size() / 2]), grid.row_of(ys[ys.size() / 2])};
+    plan.pts[0].push_back(via);
+    plan.pts[1].push_back(via);
+  }
+  return plan;
+}
+
+void route_net(Ctx& ctx, const NetPlan& plan, NetRoute& route, bool maze) {
+  for (int die = 0; die < 2; ++die) {
+    const auto& pts = plan.pts[die];
+    if (pts.size() < 2) continue;
+    const std::vector<int> parent = prim_mst(pts);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+      const TilePt a = pts[static_cast<std::size_t>(parent[i])];
+      const TilePt b = pts[i];
+      if (a.m == b.m && a.n == b.n) continue;
+      if (maze)
+        ctx.route_maze(route, die, a, b);
+      else
+        ctx.route_l(route, die, a, b);
+    }
+  }
+}
+
+void rip_up(Ctx& ctx, NetRoute& route) {
+  for (const RoutedEdge& e : route.edges) {
+    auto& use = e.horizontal ? ctx.rg.h_use[e.die] : ctx.rg.v_use[e.die];
+    use[static_cast<std::size_t>(e.index)] -= 1.0;
+  }
+  route.edges.clear();
+}
+
+}  // namespace
+
+RouteResult global_route(const Netlist& netlist, const Placement3D& placement,
+                         const GCellGrid& grid, const RouterConfig& cfg) {
+  RouteGrid rg(grid, cfg);
+  rg.apply_macro_blockages(netlist, placement);
+  Ctx ctx{cfg, rg};
+
+  const std::size_t n_nets = netlist.num_nets();
+  std::vector<NetPlan> plans(n_nets);
+  std::vector<NetRoute> routes(n_nets);
+  std::size_t vias = 0;
+  for (std::size_t ni = 0; ni < n_nets; ++ni) {
+    plans[ni] = plan_net(netlist.net(static_cast<NetId>(ni)), placement, grid);
+    if (plans[ni].is3d) ++vias;
+    route_net(ctx, plans[ni], routes[ni], /*maze=*/false);
+  }
+
+  // Negotiated rip-up and reroute.
+  for (int round = 0; round < cfg.rrr_rounds; ++round) {
+    // Bump history on overflowed edges.
+    bool any_overflow = false;
+    for (int die = 0; die < 2; ++die) {
+      for (std::size_t i = 0; i < rg.num_h_edges(); ++i)
+        if (rg.h_use[die][i] > rg.h_cap[die][i]) {
+          rg.h_hist[die][i] += cfg.history_increment;
+          any_overflow = true;
+        }
+      for (std::size_t i = 0; i < rg.num_v_edges(); ++i)
+        if (rg.v_use[die][i] > rg.v_cap[die][i]) {
+          rg.v_hist[die][i] += cfg.history_increment;
+          any_overflow = true;
+        }
+    }
+    if (!any_overflow) break;
+
+    for (std::size_t ni = 0; ni < n_nets; ++ni) {
+      bool over = false;
+      for (const RoutedEdge& e : routes[ni].edges) {
+        const auto idx = static_cast<std::size_t>(e.index);
+        const double use = e.horizontal ? rg.h_use[e.die][idx] : rg.v_use[e.die][idx];
+        const double cap = e.horizontal ? rg.h_cap[e.die][idx] : rg.v_cap[e.die][idx];
+        if (use > cap) {
+          over = true;
+          break;
+        }
+      }
+      if (!over) continue;
+      rip_up(ctx, routes[ni]);
+      route_net(ctx, plans[ni], routes[ni], /*maze=*/true);
+    }
+  }
+
+  // Collect metrics.
+  RouteResult res;
+  const std::int64_t tiles = grid.num_tiles();
+  for (int die = 0; die < 2; ++die) {
+    res.congestion[die].assign(static_cast<std::size_t>(tiles), 0.0f);
+    res.usage[die].assign(static_cast<std::size_t>(tiles), 0.0f);
+  }
+  std::size_t ovf_tiles = 0;
+  for (int die = 0; die < 2; ++die) {
+    for (int n = 0; n < grid.ny(); ++n) {
+      for (int m = 0; m < grid.nx(); ++m) {
+        double tile_ovf = 0.0, tile_use = 0.0;
+        auto edge = [&](bool horizontal, int mm, int nn) {
+          if (horizontal) {
+            if (mm < 0 || mm >= grid.nx() - 1) return;
+            const std::size_t i = rg.h_edge_index(mm, nn);
+            tile_use += rg.h_use[die][i] * 0.5;
+            tile_ovf += std::max(rg.h_use[die][i] - rg.h_cap[die][i], 0.0) * 0.5;
+          } else {
+            if (nn < 0 || nn >= grid.ny() - 1) return;
+            const std::size_t i = rg.v_edge_index(mm, nn);
+            tile_use += rg.v_use[die][i] * 0.5;
+            tile_ovf += std::max(rg.v_use[die][i] - rg.v_cap[die][i], 0.0) * 0.5;
+          }
+        };
+        edge(true, m - 1, n);
+        edge(true, m, n);
+        edge(false, m, n - 1);
+        edge(false, m, n);
+        const auto ti = static_cast<std::size_t>(grid.index(m, n));
+        res.congestion[die][ti] = static_cast<float>(tile_ovf);
+        res.usage[die][ti] = static_cast<float>(tile_use);
+        if (tile_ovf > 0.0) ++ovf_tiles;
+      }
+    }
+    for (std::size_t i = 0; i < rg.num_h_edges(); ++i)
+      res.h_overflow += std::max(rg.h_use[die][i] - rg.h_cap[die][i], 0.0);
+    for (std::size_t i = 0; i < rg.num_v_edges(); ++i)
+      res.v_overflow += std::max(rg.v_use[die][i] - rg.v_cap[die][i], 0.0);
+  }
+  res.total_overflow = res.h_overflow + res.v_overflow;
+  res.ovf_gcell_pct =
+      100.0 * static_cast<double>(ovf_tiles) / static_cast<double>(2 * tiles);
+  res.num_3d_vias = vias;
+
+  // Routed wirelength: edge count times tile pitch, plus a via penalty.
+  double wl = 0.0;
+  for (int die = 0; die < 2; ++die) {
+    for (double u : rg.h_use[die]) wl += u * grid.tile_width();
+    for (double u : rg.v_use[die]) wl += u * grid.tile_height();
+  }
+  res.wirelength = wl + static_cast<double>(vias) * 0.5 * grid.tile_width();
+
+  // Per-net routed length and overflow exposure.
+  res.net_routed_wl.assign(n_nets, 0.0);
+  res.net_overflow_crossings.assign(n_nets, 0.0);
+  for (std::size_t ni = 0; ni < n_nets; ++ni) {
+    for (const RoutedEdge& e : routes[ni].edges) {
+      const auto idx = static_cast<std::size_t>(e.index);
+      res.net_routed_wl[ni] += e.horizontal ? grid.tile_width() : grid.tile_height();
+      const double use = e.horizontal ? rg.h_use[e.die][idx] : rg.v_use[e.die][idx];
+      const double cap = e.horizontal ? rg.h_cap[e.die][idx] : rg.v_cap[e.die][idx];
+      if (use > cap) res.net_overflow_crossings[ni] += 1.0;
+    }
+    if (plans[ni].is3d) res.net_routed_wl[ni] += 0.5 * grid.tile_width();
+  }
+  return res;
+}
+
+
+
+namespace {
+double usage_percentile(std::vector<double> values, double percentile) {
+  std::erase_if(values, [](double v) { return v <= 0.0; });
+  if (values.empty()) return 1.0;
+  const auto k = static_cast<std::size_t>(
+      percentile * static_cast<double>(values.size() - 1));
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(k),
+                   values.end());
+  return values[k];
+}
+}  // namespace
+
+RouterConfig calibrate_capacity(const Netlist& netlist,
+                                const Placement3D& placement,
+                                const GCellGrid& grid, const RouterConfig& base,
+                                double percentile) {
+  RouterConfig probe = base;
+  probe.h_capacity = 1e9;
+  probe.v_capacity = 1e9;
+  probe.rrr_rounds = 0;
+
+  RouteGrid rg(grid, probe);
+  Ctx ctx{probe, rg};
+  for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
+    NetPlan plan = plan_net(netlist.net(static_cast<NetId>(ni)), placement, grid);
+    NetRoute route;
+    route_net(ctx, plan, route, /*maze=*/false);
+  }
+
+  std::vector<double> h_all, v_all;
+  for (int die = 0; die < 2; ++die) {
+    h_all.insert(h_all.end(), rg.h_use[die].begin(), rg.h_use[die].end());
+    v_all.insert(v_all.end(), rg.v_use[die].begin(), rg.v_use[die].end());
+  }
+  RouterConfig out = base;
+  out.h_capacity = std::max(2.0, std::ceil(usage_percentile(h_all, percentile)));
+  out.v_capacity = std::max(2.0, std::ceil(usage_percentile(v_all, percentile)));
+  return out;
+}
+
+}  // namespace dco3d

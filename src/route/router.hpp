@@ -1,0 +1,112 @@
+#pragma once
+// Global router over the per-die GCell grids — our substitute for ICC2's
+// global route and its congestion report. Supplies:
+//   * ground-truth congestion label maps for training (§III-B2),
+//   * the overflow / H-V overflow / overflowed-GCell% columns of Table III,
+//   * routed wirelength for the WL column.
+//
+// Model: each die has horizontal and vertical edge capacities between
+// adjacent GCells (reduced under macros). Nets are decomposed into 2-pin
+// segments by a rectilinear Prim MST; 3D nets get a via GCell at the pin
+// median connecting their per-die subtrees. Initial routing uses best-of-two
+// L-shapes; negotiated rip-up-and-reroute (history-cost Dijkstra) then
+// resolves overflow for a configurable number of rounds — exactly the
+// classical NCTU/NTHU-style global routing loop.
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/gcell_grid.hpp"
+#include "netlist/netlist.hpp"
+
+namespace dco3d {
+
+struct RouterConfig {
+  // Tracks per GCell boundary, per direction. Calibrated so typical
+  // placements route with localized hotspots (as in the paper's maps).
+  double h_capacity = 14.0;
+  double v_capacity = 12.0;
+  double macro_capacity_factor = 0.15;  // capacity left under macros
+  int rrr_rounds = 3;
+  double history_increment = 1.0;
+  double present_penalty = 2.0;  // cost multiplier per unit of overuse
+  int maze_margin = 6;           // extra tiles around the net bbox for maze search
+};
+
+/// Per-die edge capacity/usage state.
+class RouteGrid {
+ public:
+  RouteGrid(const GCellGrid& grid, const RouterConfig& cfg);
+
+  const GCellGrid& gcells() const { return grid_; }
+  int nx() const { return grid_.nx(); }
+  int ny() const { return grid_.ny(); }
+
+  std::size_t h_edge_index(int m, int n) const {  // (m,n) -> (m+1,n)
+    return static_cast<std::size_t>(n) * (nx() - 1) + m;
+  }
+  std::size_t v_edge_index(int m, int n) const {  // (m,n) -> (m,n+1)
+    return static_cast<std::size_t>(n) * nx() + m;
+  }
+  std::size_t num_h_edges() const {
+    return static_cast<std::size_t>(nx() - 1) * ny();
+  }
+  std::size_t num_v_edges() const {
+    return static_cast<std::size_t>(nx()) * (ny() - 1);
+  }
+
+  /// Reduce capacity under macro blockages on each die.
+  void apply_macro_blockages(const Netlist& netlist, const Placement3D& placement);
+
+  std::vector<double> h_cap[2], v_cap[2];
+  std::vector<double> h_use[2], v_use[2];
+  std::vector<double> h_hist[2], v_hist[2];
+
+ private:
+  GCellGrid grid_;
+};
+
+/// One routed edge of a net (for rip-up).
+struct RoutedEdge {
+  std::int8_t die = 0;
+  bool horizontal = false;
+  std::int32_t index = 0;
+};
+
+struct RouteResult {
+  // Per-die congestion label map (tile overflow), size ny*nx.
+  std::vector<float> congestion[2];
+  // Per-die density-style usage map (total edge usage per tile), for Fig. 6.
+  std::vector<float> usage[2];
+  double total_overflow = 0.0;
+  double h_overflow = 0.0;
+  double v_overflow = 0.0;
+  double ovf_gcell_pct = 0.0;  // % of GCells (both dies) with overflow
+  double wirelength = 0.0;     // routed WL in um (includes via penalty)
+  std::size_t num_3d_vias = 0;
+  // Per-net routed wirelength (um): feeds the detour factors that couple
+  // congestion into signoff timing/power.
+  std::vector<double> net_routed_wl;
+  // Per-net count of overflowed edges used (ECO-detour severity signal).
+  std::vector<double> net_overflow_crossings;
+};
+
+/// Route all nets of the design and return congestion metrics.
+RouteResult global_route(const Netlist& netlist, const Placement3D& placement,
+                         const GCellGrid& grid, const RouterConfig& cfg = {});
+
+/// Capacity auto-calibration. Our designs are scale models (see DESIGN.md),
+/// so absolute track counts do not transfer across scales; instead, route a
+/// reference placement with unbounded capacity and set per-direction
+/// capacities at the `percentile` of the observed nonzero edge usage. Edges
+/// hotter than that percentile overflow, reproducing the "mostly routable
+/// with localized hotspots" regime of the paper's designs. The returned
+/// config must be reused for every flow variant of the same design so that
+/// comparisons share one capacity model.
+RouterConfig calibrate_capacity(const Netlist& netlist,
+                                const Placement3D& placement,
+                                const GCellGrid& grid,
+                                const RouterConfig& base = {},
+                                double percentile = 0.90);
+
+}  // namespace dco3d

@@ -1,0 +1,125 @@
+#include "timing/hold.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace dco3d {
+
+HoldResult run_hold_check(const Netlist& netlist, const Placement3D& placement,
+                          const TimingConfig& cfg, const HoldConfig& hold_cfg,
+                          const std::vector<double>* clk_skew_ps) {
+  const std::size_t n_cells = netlist.num_cells();
+  const std::size_t n_nets = netlist.num_nets();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  HoldResult res;
+  res.whs_ps = kInf;
+  res.endpoint_slack.assign(n_cells, kInf);
+
+  auto skew = [&](CellId c) -> double {
+    if (!clk_skew_ps || clk_skew_ps->empty()) return 0.0;
+    return (*clk_skew_ps)[static_cast<std::size_t>(c)];
+  };
+  auto is_launch = [&](CellId c) {
+    return netlist.is_sequential(c) || netlist.is_io(c) || netlist.is_macro(c);
+  };
+
+  // Driving net per cell and per-net loads (nominal; fast corner scales the
+  // cell delay, not the topology).
+  std::vector<NetId> out_net(n_cells, -1);
+  for (std::size_t ni = 0; ni < n_nets; ++ni)
+    out_net[static_cast<std::size_t>(netlist.net(static_cast<NetId>(ni)).driver.cell)] =
+        static_cast<NetId>(ni);
+  std::vector<double> net_load(n_nets, 0.0);
+  for (std::size_t ni = 0; ni < n_nets; ++ni)
+    net_load[ni] = net_load_ff(netlist, placement, static_cast<NetId>(ni), cfg);
+
+  auto wire_delay = [&](const Net& net, const PinRef& sink) {
+    const double len = manhattan(placement.pin_position(net.driver),
+                                 placement.pin_position(sink));
+    double d = 0.5 * (cfg.wire_res_per_um * len) * (cfg.wire_cap_per_um * len) * 1e-3;
+    if (placement.tier[static_cast<std::size_t>(net.driver.cell)] !=
+        placement.tier[static_cast<std::size_t>(sink.cell)])
+      d += cfg.via_delay_ps;
+    return d * hold_cfg.min_cell_factor;
+  };
+
+  // Min-arrival propagation (Kahn, same arc structure as setup STA).
+  std::vector<double> arrival(n_cells, kInf);
+  std::vector<int> indeg(n_cells, 0);
+  for (std::size_t ni = 0; ni < n_nets; ++ni) {
+    const Net& net = netlist.net(static_cast<NetId>(ni));
+    if (net.is_clock) continue;
+    for (const PinRef& s : net.sinks)
+      if (!is_launch(s.cell)) ++indeg[static_cast<std::size_t>(s.cell)];
+  }
+  std::queue<CellId> ready;
+  for (std::size_t ci = 0; ci < n_cells; ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (is_launch(id)) {
+      arrival[ci] = netlist.is_sequential(id)
+                        ? skew(id) + cfg.clk_to_q_ps * hold_cfg.min_cell_factor
+                        : 0.0;
+      ready.push(id);
+    } else if (indeg[ci] == 0) {
+      arrival[ci] = 0.0;
+      ready.push(id);
+    }
+  }
+
+  std::vector<bool> processed(n_cells, false);
+  std::vector<double> endpoint_arrival(n_cells, kInf);
+  auto process = [&](CellId id) {
+    const auto ci = static_cast<std::size_t>(id);
+    if (processed[ci]) return;
+    processed[ci] = true;
+    const CellType& t = netlist.cell_type(id);
+    const NetId on = out_net[ci];
+    const double load = on >= 0 ? net_load[static_cast<std::size_t>(on)] : 0.0;
+    if (!is_launch(id))
+      arrival[ci] += (t.intrinsic_delay + t.drive_res * load) *
+                     hold_cfg.min_cell_factor;
+    if (on < 0) return;
+    const Net& net = netlist.net(on);
+    if (net.is_clock) return;
+    for (const PinRef& s : net.sinks) {
+      const auto si = static_cast<std::size_t>(s.cell);
+      const double at = arrival[ci] + wire_delay(net, s);
+      if (is_launch(s.cell)) {
+        endpoint_arrival[si] = std::min(endpoint_arrival[si], at);
+      } else {
+        arrival[si] = std::min(arrival[si] == kInf ? at : arrival[si], at);
+        if (--indeg[si] == 0) ready.push(s.cell);
+      }
+    }
+  };
+  while (!ready.empty()) {
+    const CellId id = ready.front();
+    ready.pop();
+    process(id);
+  }
+  for (std::size_t ci = 0; ci < n_cells; ++ci)
+    if (!processed[ci]) process(static_cast<CellId>(ci));
+
+  // Hold check at each capture register: earliest data arrival must exceed
+  // the capture clock edge (skew) plus the hold requirement.
+  for (std::size_t ci = 0; ci < n_cells; ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (!netlist.is_sequential(id) && !netlist.is_macro(id)) continue;
+    if (endpoint_arrival[ci] == kInf) continue;  // no data fanin
+    const double slack =
+        endpoint_arrival[ci] - (skew(id) + hold_cfg.hold_time_ps);
+    res.endpoint_slack[ci] = slack;
+    ++res.endpoints;
+    if (slack < 0.0) {
+      ++res.violating_endpoints;
+      res.ths_ps += slack;
+    }
+    res.whs_ps = std::min(res.whs_ps, slack);
+  }
+  if (res.endpoints == 0) res.whs_ps = 0.0;
+  return res;
+}
+
+}  // namespace dco3d

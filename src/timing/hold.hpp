@@ -1,0 +1,38 @@
+#pragma once
+// Hold (min-delay) analysis — the fast-path counterpart of the setup STA in
+// sta.hpp. Propagates *earliest* arrivals along shortest paths and checks
+// them against the capture clock plus the cell hold requirement. Hold
+// violations are what racy short paths (e.g. adjacent shift-register bits
+// after aggressive placement) produce; useful-skew optimization in
+// particular must watch them.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "timing/sta.hpp"
+
+namespace dco3d {
+
+struct HoldConfig {
+  double hold_time_ps = 4.0;       // register hold requirement
+  double min_cell_factor = 0.6;    // fraction of nominal delay on fast paths
+};
+
+struct HoldResult {
+  double whs_ps = 0.0;   // worst hold slack (negative = violating)
+  double ths_ps = 0.0;   // total (negative) hold slack
+  std::size_t endpoints = 0;
+  std::size_t violating_endpoints = 0;
+  std::vector<double> endpoint_slack;  // per cell; non-endpoints hold +inf
+};
+
+/// Run hold analysis. Min-path delays use the same topology as run_sta but
+/// take the minimum over fanins, scale cell delays by min_cell_factor (fast
+/// corner), and drop the slew adder. `clk_skew_ps` must match the skews used
+/// for setup analysis — useful skew that fixes setup can break hold, which
+/// this check exposes.
+HoldResult run_hold_check(const Netlist& netlist, const Placement3D& placement,
+                          const TimingConfig& cfg, const HoldConfig& hold_cfg = {},
+                          const std::vector<double>* clk_skew_ps = nullptr);
+
+}  // namespace dco3d

@@ -1,0 +1,155 @@
+#include "timing/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace dco3d {
+
+namespace {
+
+bool is_launch(const Netlist& nl, CellId c) {
+  return nl.is_sequential(c) || nl.is_io(c) || nl.is_macro(c);
+}
+
+}  // namespace
+
+std::vector<TimingPath> worst_paths(
+    const Netlist& netlist, const Placement3D& placement,
+    const TimingConfig& cfg, const TimingResult& timing, std::size_t k,
+    const std::vector<double>* clk_skew_ps,
+    const std::vector<double>* net_length_scale) {
+  const std::size_t n_cells = netlist.num_cells();
+
+  auto skew = [&](CellId c) -> double {
+    if (!clk_skew_ps || clk_skew_ps->empty()) return 0.0;
+    return (*clk_skew_ps)[static_cast<std::size_t>(c)];
+  };
+  auto scale_of = [&](std::size_t ni) {
+    if (!net_length_scale || net_length_scale->empty()) return 1.0;
+    return std::max((*net_length_scale)[ni], 1.0);
+  };
+  // Must mirror the wire-delay model in sta.cpp.
+  auto wire_delay = [&](const Net& net, const PinRef& sink, std::size_t ni) {
+    const Point a = placement.pin_position(net.driver);
+    const Point b = placement.pin_position(sink);
+    const double len = manhattan(a, b) * scale_of(ni);
+    double d = 0.5 * (cfg.wire_res_per_um * len) * (cfg.wire_cap_per_um * len) * 1e-3;
+    if (placement.tier[static_cast<std::size_t>(net.driver.cell)] !=
+        placement.tier[static_cast<std::size_t>(sink.cell)])
+      d += cfg.via_delay_ps;
+    return d;
+  };
+
+  // Fanin index: for each cell, the (net, driver) arcs feeding it, plus the
+  // worst endpoint arrival and its feeding driver.
+  struct Fanin {
+    NetId net;
+    CellId driver;
+  };
+  std::vector<std::vector<Fanin>> fanin(n_cells);
+  struct EndpointState {
+    double arrival = 0.0;
+    CellId from = -1;
+    NetId via_net = -1;
+  };
+  std::vector<EndpointState> ep(n_cells);
+  for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
+    const Net& net = netlist.net(static_cast<NetId>(ni));
+    if (net.is_clock) continue;
+    for (const PinRef& s : net.sinks) {
+      const auto si = static_cast<std::size_t>(s.cell);
+      fanin[si].push_back({static_cast<NetId>(ni), net.driver.cell});
+      if (is_launch(netlist, s.cell)) {
+        const double at =
+            timing.cell_arrival[static_cast<std::size_t>(net.driver.cell)] +
+            wire_delay(net, s, ni);
+        if (at > ep[si].arrival) {
+          ep[si] = {at, net.driver.cell, static_cast<NetId>(ni)};
+        }
+      }
+    }
+  }
+
+  // Rank endpoints by slack.
+  struct Candidate {
+    CellId cell;
+    double slack;
+    double required;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t ci = 0; ci < n_cells; ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (!is_launch(netlist, id) || ep[ci].from < 0) continue;
+    double required;
+    if (netlist.is_sequential(id) || netlist.is_macro(id))
+      required = cfg.clock_period_ps + skew(id) - cfg.setup_ps;
+    else if (netlist.is_io(id))
+      required = cfg.clock_period_ps;
+    else
+      continue;
+    candidates.push_back({id, required - ep[ci].arrival, required});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.slack < b.slack; });
+  if (candidates.size() > k) candidates.resize(k);
+
+  std::vector<TimingPath> paths;
+  for (const Candidate& c : candidates) {
+    TimingPath path;
+    path.endpoint = c.cell;
+    path.slack_ps = c.slack;
+    path.required_ps = c.required;
+    path.arrival_ps = ep[static_cast<std::size_t>(c.cell)].arrival;
+
+    // Walk the max-arrival predecessor chain back to a launch point.
+    std::vector<PathPoint> rev;
+    rev.push_back({c.cell, path.arrival_ps, 0.0});
+    CellId cur = ep[static_cast<std::size_t>(c.cell)].from;
+    std::unordered_set<CellId> visited{c.cell};
+    while (cur >= 0 && !visited.contains(cur)) {
+      visited.insert(cur);
+      rev.push_back({cur, timing.cell_arrival[static_cast<std::size_t>(cur)], 0.0});
+      if (is_launch(netlist, cur)) break;
+      // Worst fanin of cur.
+      CellId best = -1;
+      double best_at = -1e18;
+      for (const Fanin& f : fanin[static_cast<std::size_t>(cur)]) {
+        const Net& net = netlist.net(f.net);
+        // Locate cur's sink pin on this net for the wire delay.
+        for (const PinRef& s : net.sinks) {
+          if (s.cell != cur) continue;
+          const double at =
+              timing.cell_arrival[static_cast<std::size_t>(f.driver)] +
+              wire_delay(net, s, static_cast<std::size_t>(f.net));
+          if (at > best_at) {
+            best_at = at;
+            best = f.driver;
+          }
+        }
+      }
+      cur = best;
+    }
+    std::reverse(rev.begin(), rev.end());
+    for (std::size_t i = 1; i < rev.size(); ++i)
+      rev[i].incr_ps = rev[i].arrival_ps - rev[i - 1].arrival_ps;
+    path.points = std::move(rev);
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::string format_path(const Netlist& netlist, const TimingPath& path) {
+  std::ostringstream ss;
+  ss << "endpoint " << netlist.cell(path.endpoint).name << "  slack "
+     << path.slack_ps << " ps  (arrival " << path.arrival_ps << ", required "
+     << path.required_ps << ")\n";
+  for (const PathPoint& p : path.points) {
+    ss << "  " << netlist.cell(p.cell).name << " ("
+       << netlist.cell_type(p.cell).name << ")  arrival " << p.arrival_ps
+       << "  incr " << p.incr_ps << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace dco3d

@@ -1,0 +1,41 @@
+#pragma once
+// Critical-path reporting on top of the STA results — the report_timing of
+// our signoff substitute. Reconstructs the worst paths by walking the
+// max-arrival predecessor chain from the worst endpoints back to their
+// launch points.
+
+#include <string>
+#include <vector>
+
+#include "timing/sta.hpp"
+
+namespace dco3d {
+
+/// One stage of a timing path.
+struct PathPoint {
+  CellId cell = -1;
+  double arrival_ps = 0.0;  // at this cell's output (or endpoint input)
+  double incr_ps = 0.0;     // delay contributed by this stage
+};
+
+struct TimingPath {
+  CellId endpoint = -1;
+  double slack_ps = 0.0;
+  double arrival_ps = 0.0;   // data arrival at the endpoint
+  double required_ps = 0.0;
+  std::vector<PathPoint> points;  // launch point first, endpoint last
+};
+
+/// Extract the k worst (smallest-slack) endpoint paths. `timing` must come
+/// from run_sta on the same netlist/placement/config (its cell arrivals are
+/// reused); `clk_skew_ps`/`net_length_scale` must match that STA call.
+std::vector<TimingPath> worst_paths(
+    const Netlist& netlist, const Placement3D& placement,
+    const TimingConfig& cfg, const TimingResult& timing, std::size_t k,
+    const std::vector<double>* clk_skew_ps = nullptr,
+    const std::vector<double>* net_length_scale = nullptr);
+
+/// Human-readable single-path report (one line per stage).
+std::string format_path(const Netlist& netlist, const TimingPath& path);
+
+}  // namespace dco3d

@@ -1,0 +1,313 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace dco3d {
+
+double net_load_ff(const Netlist& netlist, const Placement3D& placement,
+                   NetId net_id, const TimingConfig& cfg, double length_scale) {
+  const Net& net = netlist.net(net_id);
+  double load = 0.0;
+  for (const PinRef& s : net.sinks) {
+    const CellType& t = netlist.cell_type(s.cell);
+    load += t.input_cap;
+  }
+  load += net_hpwl(net, placement) * length_scale * cfg.wire_cap_per_um;
+  if (is_3d_net(net, placement)) load += cfg.via_cap_ff;
+  return load;
+}
+
+namespace {
+
+/// Cell-level timing node state.
+struct NodeState {
+  double arrival = 0.0;    // at cell output, ps
+  double required = 0.0;   // at cell output, ps
+  double in_slew = 0.0;    // worst input slew, ps
+  double out_slew = 0.0;   // output slew, ps
+  double delay = 0.0;      // input-to-output delay incl. slew adder, ps
+  bool is_source = false;  // register / input pad / macro output
+  bool processed = false;
+};
+
+}  // namespace
+
+TimingResult run_sta(const Netlist& netlist, const Placement3D& placement,
+                     const TimingConfig& cfg,
+                     const std::vector<double>* clk_skew_ps,
+                     const std::vector<double>* net_length_scale) {
+  const std::size_t n_cells = netlist.num_cells();
+  const std::size_t n_nets = netlist.num_nets();
+  TimingResult res;
+  res.cell_slack.assign(n_cells, cfg.clock_period_ps);
+  res.cell_arrival.assign(n_cells, 0.0);
+  res.cell_out_slew.assign(n_cells, cfg.base_slew_ps);
+  res.cell_in_slew.assign(n_cells, cfg.base_slew_ps);
+  res.net_switch_mw.assign(n_nets, 0.0);
+
+  auto skew = [&](CellId c) -> double {
+    if (!clk_skew_ps || clk_skew_ps->empty()) return 0.0;
+    return (*clk_skew_ps)[static_cast<std::size_t>(c)];
+  };
+
+  // Map: driving net of each cell (at most one output net in our model).
+  std::vector<NetId> out_net(n_cells, -1);
+  for (std::size_t ni = 0; ni < n_nets; ++ni)
+    out_net[static_cast<std::size_t>(netlist.net(static_cast<NetId>(ni)).driver.cell)] =
+        static_cast<NetId>(ni);
+
+  // Precompute per-net load, per-sink wire delay, and driver delay pieces.
+  auto scale_of = [&](std::size_t ni) {
+    if (!net_length_scale || net_length_scale->empty()) return 1.0;
+    return std::max((*net_length_scale)[ni], 1.0);
+  };
+  std::vector<double> net_load(n_nets, 0.0);
+  for (std::size_t ni = 0; ni < n_nets; ++ni)
+    net_load[ni] =
+        net_load_ff(netlist, placement, static_cast<NetId>(ni), cfg, scale_of(ni));
+
+  std::vector<NodeState> node(n_cells);
+  auto is_launch = [&](CellId c) {
+    return netlist.is_sequential(c) || netlist.is_io(c) ||
+           netlist.is_macro(c);
+  };
+
+  // In-degrees over combinational propagation: an arc driver->sink exists for
+  // every net sink; sinks that are launch points terminate propagation.
+  std::vector<int> indeg(n_cells, 0);
+  for (std::size_t ni = 0; ni < n_nets; ++ni) {
+    const Net& net = netlist.net(static_cast<NetId>(ni));
+    if (net.is_clock) continue;
+    for (const PinRef& s : net.sinks) {
+      if (!is_launch(s.cell)) ++indeg[static_cast<std::size_t>(s.cell)];
+    }
+  }
+
+  std::queue<CellId> ready;
+  for (std::size_t ci = 0; ci < n_cells; ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (is_launch(id)) {
+      node[ci].is_source = true;
+      const CellType& t = netlist.cell_type(id);
+      // Launch: clock arrival + clk->q (registers) or boundary arrival 0
+      // (pads) or macro clk->out.
+      if (netlist.is_sequential(id))
+        node[ci].arrival = skew(id) + cfg.clk_to_q_ps;
+      else if (netlist.is_macro(id))
+        node[ci].arrival = skew(id) + t.intrinsic_delay;
+      else
+        node[ci].arrival = 0.0;
+      node[ci].in_slew = cfg.base_slew_ps;
+      ready.push(id);
+    } else if (indeg[ci] == 0) {
+      ready.push(id);  // dangling combinational cell
+    }
+  }
+
+  // Process a cell: finalize its output arrival/slew from its inputs, then
+  // push arrivals to its sinks.
+  auto wire_delay = [&](const Net& net, const PinRef& sink, std::size_t ni) {
+    const Point a = placement.pin_position(net.driver);
+    const Point b = placement.pin_position(sink);
+    const double len = manhattan(a, b) * scale_of(ni);
+    const double elmore =
+        0.5 * (cfg.wire_res_per_um * len) * (cfg.wire_cap_per_um * len) * 1e-3;
+    double d = elmore;
+    if (placement.tier[static_cast<std::size_t>(net.driver.cell)] !=
+        placement.tier[static_cast<std::size_t>(sink.cell)])
+      d += cfg.via_delay_ps;
+    return d;
+  };
+
+  std::vector<CellId> proc_order;
+  proc_order.reserve(n_cells);
+  auto process = [&](CellId id) {
+    const auto ci = static_cast<std::size_t>(id);
+    NodeState& nd = node[ci];
+    if (nd.processed) return;
+    nd.processed = true;
+    proc_order.push_back(id);
+    const CellType& t = netlist.cell_type(id);
+    const NetId on = out_net[ci];
+    const double load = on >= 0 ? net_load[static_cast<std::size_t>(on)] : 0.0;
+    if (!nd.is_source) {
+      nd.delay = t.intrinsic_delay + t.drive_res * load +
+                 cfg.slew_impact * nd.in_slew;
+      nd.arrival += nd.delay;
+    } else {
+      // Sources still see their drive: pads/registers drive their net.
+      nd.arrival += t.drive_res * load * (netlist.is_io(id) ? 0.5 : 1.0);
+    }
+    nd.out_slew = cfg.base_slew_ps + 0.08 * t.drive_res * load;
+    res.cell_arrival[ci] = nd.arrival;
+    res.cell_out_slew[ci] = nd.out_slew;
+    res.cell_in_slew[ci] = nd.in_slew;
+    if (on < 0) return;
+    const Net& net = netlist.net(on);
+    if (net.is_clock) return;  // clock arcs are handled via CTS skew
+    for (const PinRef& s : net.sinks) {
+      const auto si = static_cast<std::size_t>(s.cell);
+      const double at = nd.arrival + wire_delay(net, s, static_cast<std::size_t>(on));
+      const double slew_in = nd.out_slew + 0.01 * manhattan(
+          placement.pin_position(net.driver), placement.pin_position(s));
+      NodeState& sn = node[si];
+      if (!sn.is_source) {
+        sn.arrival = std::max(sn.arrival, at);
+        sn.in_slew = std::max(sn.in_slew, slew_in);
+        if (--indeg[si] == 0) ready.push(s.cell);
+      }
+      // Arrivals at launch-point inputs (FF D pins, macro inputs, output
+      // pads) are captured below in the endpoint sweep via sink_arrival.
+    }
+  };
+
+  // Track endpoint arrivals separately (input side of capture points).
+  std::vector<double> endpoint_arrival(n_cells, 0.0);
+  std::vector<double> endpoint_slew(n_cells, cfg.base_slew_ps);
+
+  while (!ready.empty()) {
+    const CellId id = ready.front();
+    ready.pop();
+    process(id);
+  }
+  // Cycle fallback: process leftovers in id order with whatever arrivals
+  // accumulated (broadcast-style back edges can form rare cycles).
+  for (std::size_t ci = 0; ci < n_cells; ++ci)
+    if (!node[ci].processed) process(static_cast<CellId>(ci));
+
+  // Arrivals may receive late pushes from cycle-fallback cells after a node
+  // was recorded; re-snapshot them so downstream consumers (path reports)
+  // see the same values the endpoint sweep uses.
+  for (std::size_t ci = 0; ci < n_cells; ++ci)
+    res.cell_arrival[ci] = node[ci].arrival;
+
+  // Endpoint sweep: recompute arrivals at capture pins now that all drivers
+  // are final.
+  for (std::size_t ni = 0; ni < n_nets; ++ni) {
+    const Net& net = netlist.net(static_cast<NetId>(ni));
+    if (net.is_clock) continue;
+    const NodeState& dn = node[static_cast<std::size_t>(net.driver.cell)];
+    for (const PinRef& s : net.sinks) {
+      const auto si = static_cast<std::size_t>(s.cell);
+      if (!node[si].is_source) continue;  // combinational sink, not endpoint
+      const double at = dn.arrival + wire_delay(net, s, ni);
+      endpoint_arrival[si] = std::max(endpoint_arrival[si], at);
+      endpoint_slew[si] = std::max(
+          endpoint_slew[si],
+          dn.out_slew + 0.01 * manhattan(placement.pin_position(net.driver),
+                                         placement.pin_position(s)));
+    }
+  }
+
+  // Endpoint slacks. WNS is the minimum endpoint slack (may be positive).
+  res.wns_ps = std::numeric_limits<double>::infinity();
+  std::vector<double> endpoint_slack(n_cells, cfg.clock_period_ps);
+  for (std::size_t ci = 0; ci < n_cells; ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (!node[ci].is_source) continue;
+    double required;
+    if (netlist.is_sequential(id) || netlist.is_macro(id))
+      required = cfg.clock_period_ps + skew(id) - cfg.setup_ps;
+    else if (netlist.is_io(id))
+      required = cfg.clock_period_ps;
+    else
+      continue;
+    // Pads that only drive (input pads) are not endpoints; detect by
+    // checking whether anything arrives at them.
+    if (netlist.is_io(id) && endpoint_arrival[ci] == 0.0) continue;
+    const double slack = required - endpoint_arrival[ci];
+    endpoint_slack[ci] = slack;
+    ++res.endpoints;
+    if (slack < 0.0) {
+      ++res.violating_endpoints;
+      res.tns_ps += slack;
+    }
+    res.wns_ps = std::min(res.wns_ps, slack);
+  }
+  if (res.endpoints == 0) res.wns_ps = 0.0;
+
+  // Backward pass: required time at each cell output -> per-cell slack.
+  std::vector<double> req(n_cells, cfg.clock_period_ps * 4.0);
+  // Seed endpoints.
+  for (std::size_t ni = 0; ni < n_nets; ++ni) {
+    const Net& net = netlist.net(static_cast<NetId>(ni));
+    if (net.is_clock) continue;
+    for (const PinRef& s : net.sinks) {
+      const auto si = static_cast<std::size_t>(s.cell);
+      if (!node[si].is_source) continue;
+      const auto id = static_cast<CellId>(si);
+      double ep_req;
+      if (netlist.is_sequential(id) || netlist.is_macro(id))
+        ep_req = cfg.clock_period_ps + skew(id) - cfg.setup_ps;
+      else if (netlist.is_io(id))
+        ep_req = cfg.clock_period_ps;
+      else
+        continue;
+      const auto di = static_cast<std::size_t>(net.driver.cell);
+      req[di] = std::min(req[di], ep_req - wire_delay(net, s, ni));
+    }
+  }
+  // Relax in reverse topological order (the reverse of the forward
+  // processing order); a second sweep absorbs any cycle-fallback cells.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    bool changed = false;
+    for (auto it = proc_order.rbegin(); it != proc_order.rend(); ++it) {
+      const auto si = static_cast<std::size_t>(*it);
+      if (node[si].is_source) continue;
+      const NetId on = out_net[si];
+      if (on < 0) continue;
+      const Net& net = netlist.net(on);
+      if (net.is_clock) continue;
+      // req(si) = min over fanout sinks of (req(sink) - sink delay - wire);
+      // visiting cells in reverse forward order guarantees every
+      // combinational sink's req is final before its driver is relaxed.
+      for (const PinRef& s : net.sinks) {
+        const auto sj = static_cast<std::size_t>(s.cell);
+        if (node[sj].is_source) continue;
+        const double cand =
+            req[sj] - node[sj].delay -
+            wire_delay(net, s, static_cast<std::size_t>(on));
+        if (cand < req[si] - 1e-9) {
+          req[si] = cand;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  for (std::size_t ci = 0; ci < n_cells; ++ci) {
+    const auto id = static_cast<CellId>(ci);
+    if (node[ci].is_source && !netlist.is_io(id)) {
+      // For registers/macros the interesting slack is the capture-side one.
+      res.cell_slack[ci] = endpoint_slack[ci];
+    } else {
+      res.cell_slack[ci] = req[ci] - node[ci].arrival;
+    }
+    res.cell_slack[ci] =
+        std::clamp(res.cell_slack[ci], -4.0 * cfg.clock_period_ps,
+                   4.0 * cfg.clock_period_ps);
+  }
+
+  // Power.
+  const double f_ghz = 1000.0 / cfg.clock_period_ps;
+  for (std::size_t ni = 0; ni < n_nets; ++ni) {
+    const double act =
+        netlist.net(static_cast<NetId>(ni)).is_clock ? 1.0 : cfg.activity;
+    const double p_uw = act * net_load[ni] * cfg.vdd * cfg.vdd * f_ghz * 0.5;
+    res.net_switch_mw[ni] = p_uw * 1e-3;
+    res.switching_mw += res.net_switch_mw[ni];
+  }
+  for (std::size_t ci = 0; ci < n_cells; ++ci) {
+    const CellType& t = netlist.cell_type(static_cast<CellId>(ci));
+    res.internal_mw += cfg.activity * t.internal_energy * f_ghz * 1e-3;
+    res.leakage_mw += t.leakage * 1e-6;
+  }
+  res.total_mw = res.switching_mw + res.internal_mw + res.leakage_mw;
+  return res;
+}
+
+}  // namespace dco3d

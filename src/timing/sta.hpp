@@ -1,0 +1,71 @@
+#pragma once
+// Static timing analysis and power estimation — our substitute for the ICC2
+// signoff reports. Provides:
+//   * WNS / TNS (Table III timing columns),
+//   * per-cell worst slack and input/output slews and per-net switching
+//     power (the Table II node features of the GNN),
+//   * switching + internal + leakage power (Table III power column).
+//
+// Delay model: lumped RC per net — driver resistance times total load
+// (pin caps + HPWL wire cap) plus an Elmore wire term and a per-hop 3D via
+// penalty. Slews degrade with load and feed a slew-dependent delay adder.
+// Registers launch/capture against an ideal clock plus per-register skew
+// supplied by CTS (flow/cts.hpp).
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace dco3d {
+
+struct TimingConfig {
+  double clock_period_ps = 300.0;
+  double wire_cap_per_um = 0.20;   // fF/um
+  double wire_res_per_um = 2.0;    // Ohm/um (used in the Elmore term)
+  double via_delay_ps = 1.2;       // F2F bond hop
+  double via_cap_ff = 0.08;
+  double setup_ps = 12.0;
+  double clk_to_q_ps = 18.0;
+  double base_slew_ps = 8.0;
+  double slew_impact = 0.12;       // delay adder per ps of input slew
+  double activity = 0.15;          // average toggle rate
+  double vdd = 0.65;               // V
+};
+
+struct TimingResult {
+  double wns_ps = 0.0;  // worst negative slack (<= 0 when violating)
+  double tns_ps = 0.0;  // total negative slack (sum over endpoints, <= 0)
+  std::size_t endpoints = 0;
+  std::size_t violating_endpoints = 0;
+
+  // Per-cell quantities (Table II features).
+  std::vector<double> cell_slack;      // worst slack through the cell, ps
+  std::vector<double> cell_arrival;    // worst arrival at the cell output, ps
+  std::vector<double> cell_out_slew;   // ps
+  std::vector<double> cell_in_slew;    // ps
+  std::vector<double> net_switch_mw;   // per net switching power, mW
+
+  // Power breakdown, mW.
+  double switching_mw = 0.0;
+  double internal_mw = 0.0;
+  double leakage_mw = 0.0;
+  double total_mw = 0.0;
+};
+
+/// Run STA + power. `clk_skew_ps` optionally gives per-cell clock arrival
+/// offsets for sequential cells (from CTS); empty means ideal clock.
+/// `net_length_scale` optionally scales each net's effective wire length
+/// (>= 1): after routing, congestion detours lengthen nets, which is how
+/// post-route congestion degrades signoff timing and power (the effect
+/// DCO-3D exploits). Empty means HPWL lengths.
+TimingResult run_sta(const Netlist& netlist, const Placement3D& placement,
+                     const TimingConfig& cfg,
+                     const std::vector<double>* clk_skew_ps = nullptr,
+                     const std::vector<double>* net_length_scale = nullptr);
+
+/// Total load capacitance seen by a net's driver (pin caps + wire cap), fF.
+/// `length_scale` stretches the wire-length term (detour factor).
+double net_load_ff(const Netlist& netlist, const Placement3D& placement,
+                   NetId net, const TimingConfig& cfg, double length_scale = 1.0);
+
+}  // namespace dco3d

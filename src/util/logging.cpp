@@ -1,0 +1,10 @@
+#include "util/logging.hpp"
+
+namespace dco3d {
+
+LogLevel& log_level() {
+  static LogLevel level = LogLevel::kSilent;
+  return level;
+}
+
+}  // namespace dco3d

@@ -1,0 +1,37 @@
+#pragma once
+// Minimal leveled logging. Quiet by default so tests and benches stay clean;
+// flows raise the level to narrate multi-minute runs.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dco3d {
+
+enum class LogLevel { kSilent = 0, kInfo = 1, kDebug = 2 };
+
+/// Global log verbosity; defaults to silent.
+LogLevel& log_level();
+
+namespace detail {
+template <typename... Args>
+void log_to(std::ostream& os, const char* tag, const Args&... args) {
+  std::ostringstream ss;
+  ss << tag;
+  (ss << ... << args);
+  ss << '\n';
+  os << ss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() >= LogLevel::kInfo) detail::log_to(std::cout, "[dco3d] ", args...);
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() >= LogLevel::kDebug) detail::log_to(std::cout, "[dco3d:dbg] ", args...);
+}
+
+}  // namespace dco3d

@@ -1,0 +1,186 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace dco3d {
+
+double mean(std::span<const float> v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (float x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(std::span<const float> v) {
+  if (v.empty()) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (float x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(std::span<const float> v) { return std::sqrt(variance(v)); }
+
+double min_of(std::span<const float> v) {
+  double m = std::numeric_limits<double>::infinity();
+  for (float x : v) m = std::min(m, static_cast<double>(x));
+  return v.empty() ? 0.0 : m;
+}
+
+double max_of(std::span<const float> v) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (float x : v) m = std::max(m, static_cast<double>(x));
+  return v.empty() ? 0.0 : m;
+}
+
+double rmse(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double nrmse(std::span<const float> pred, std::span<const float> truth) {
+  const double range = max_of(truth) - min_of(truth);
+  const double e = rmse(pred, truth);
+  if (range <= 0.0) return e;  // constant reference: fall back to raw RMSE
+  return e / range;
+}
+
+double pearson(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  const double ma = mean(a), mb = mean(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma, db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+double ssim(std::span<const float> pred, std::span<const float> truth,
+            std::size_t height, std::size_t width) {
+  assert(pred.size() == truth.size());
+  assert(pred.size() == height * width);
+  const double range = std::max(max_of(truth) - min_of(truth), 1e-12);
+  const double c1 = (0.01 * range) * (0.01 * range);
+  const double c2 = (0.03 * range) * (0.03 * range);
+
+  constexpr std::size_t kWin = 8;
+  if (height < kWin || width < kWin) {
+    // Degenerate images: single global window.
+    const double mx = mean(pred), my = mean(truth);
+    const double vx = variance(pred), vy = variance(truth);
+    double cov = 0.0;
+    for (std::size_t i = 0; i < pred.size(); ++i)
+      cov += (pred[i] - mx) * (truth[i] - my);
+    cov /= std::max<std::size_t>(pred.size(), 1);
+    return ((2 * mx * my + c1) * (2 * cov + c2)) /
+           ((mx * mx + my * my + c1) * (vx + vy + c2));
+  }
+
+  double total = 0.0;
+  std::size_t windows = 0;
+  for (std::size_t r = 0; r + kWin <= height; r += kWin / 2) {
+    for (std::size_t c = 0; c + kWin <= width; c += kWin / 2) {
+      double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+      for (std::size_t i = 0; i < kWin; ++i) {
+        for (std::size_t j = 0; j < kWin; ++j) {
+          const double x = pred[(r + i) * width + (c + j)];
+          const double y = truth[(r + i) * width + (c + j)];
+          sx += x;
+          sy += y;
+          sxx += x * x;
+          syy += y * y;
+          sxy += x * y;
+        }
+      }
+      constexpr double n = kWin * kWin;
+      const double mx = sx / n, my = sy / n;
+      const double vx = std::max(sxx / n - mx * mx, 0.0);
+      const double vy = std::max(syy / n - my * my, 0.0);
+      const double cov = sxy / n - mx * my;
+      total += ((2 * mx * my + c1) * (2 * cov + c2)) /
+               ((mx * mx + my * my + c1) * (vx + vy + c2));
+      ++windows;
+    }
+  }
+  return windows ? total / static_cast<double>(windows) : 1.0;
+}
+
+std::vector<std::size_t> histogram(std::span<const float> v, double lo, double hi,
+                                   std::size_t bins) {
+  assert(bins > 0);
+  assert(hi > lo);
+  std::vector<std::size_t> h(bins, 0);
+  const double scale = static_cast<double>(bins) / (hi - lo);
+  for (float x : v) {
+    auto b = static_cast<std::ptrdiff_t>((x - lo) * scale);
+    b = std::clamp<std::ptrdiff_t>(b, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+    ++h[static_cast<std::size_t>(b)];
+  }
+  return h;
+}
+
+double fraction_below(std::span<const float> v, double threshold) {
+  if (v.empty()) return 0.0;
+  std::size_t n = 0;
+  for (float x : v)
+    if (x < threshold) ++n;
+  return static_cast<double>(n) / static_cast<double>(v.size());
+}
+
+double fraction_above(std::span<const float> v, double threshold) {
+  if (v.empty()) return 0.0;
+  std::size_t n = 0;
+  for (float x : v)
+    if (x > threshold) ++n;
+  return static_cast<double>(n) / static_cast<double>(v.size());
+}
+
+std::string ascii_heatmap(std::span<const float> map, std::size_t height,
+                          std::size_t width, std::size_t cols) {
+  assert(map.size() == height * width);
+  static constexpr char kShades[] = " .:-=+*#%@";
+  constexpr std::size_t kLevels = sizeof(kShades) - 2;  // index range [0, 9]
+  cols = std::min(cols, width);
+  if (cols == 0 || height == 0) return {};
+  // Terminal characters are ~2x taller than wide; halve the row count.
+  const std::size_t rows = std::max<std::size_t>(1, height * cols / width / 2);
+  const double vmax = std::max(max_of(map), 1e-12);
+
+  std::string out;
+  out.reserve((cols + 1) * rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      // Average the source region covered by this output character. Rows are
+      // emitted top-first, so flip the vertical index.
+      const std::size_t y0 = (rows - 1 - r) * height / rows;
+      const std::size_t y1 = std::max(y0 + 1, (rows - r) * height / rows);
+      const std::size_t x0 = c * width / cols;
+      const std::size_t x1 = std::max(x0 + 1, (c + 1) * width / cols);
+      double s = 0.0;
+      for (std::size_t y = y0; y < y1; ++y)
+        for (std::size_t x = x0; x < x1; ++x) s += map[y * width + x];
+      s /= static_cast<double>((y1 - y0) * (x1 - x0));
+      const auto level = static_cast<std::size_t>(
+          std::clamp(s / vmax * kLevels, 0.0, static_cast<double>(kLevels)));
+      out += kShades[level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dco3d

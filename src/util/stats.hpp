@@ -1,0 +1,59 @@
+#pragma once
+// Evaluation metrics for 2D grid signals: NRMSE, SSIM, Pearson correlation,
+// histograms, and simple summary statistics. These implement the metrics the
+// paper uses in Fig. 5 to evaluate congestion-map predictions.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dco3d {
+
+/// Mean of a sequence (0 for empty input).
+double mean(std::span<const float> v);
+
+/// Population variance (0 for empty input).
+double variance(std::span<const float> v);
+
+double stddev(std::span<const float> v);
+
+double min_of(std::span<const float> v);
+double max_of(std::span<const float> v);
+
+/// Root mean squared error between two equal-length signals.
+double rmse(std::span<const float> a, std::span<const float> b);
+
+/// Normalized RMSE: RMSE divided by the dynamic range (max - min) of the
+/// reference signal `truth`. The paper considers NRMSE < 0.2 a close match
+/// (Fig. 5b). Returns 0 when the reference is constant and the signals match,
+/// otherwise normalizes by 1.
+double nrmse(std::span<const float> pred, std::span<const float> truth);
+
+/// Pearson correlation coefficient; 0 if either signal is constant.
+double pearson(std::span<const float> a, std::span<const float> b);
+
+/// Structural Similarity Index over an HxW image pair, computed with the
+/// standard 8x8 sliding-window formulation (C1 = (0.01 L)^2, C2 = (0.03 L)^2,
+/// with L the dynamic range of the reference). Ranges in [-1, 1]; 1 means
+/// identical images. The paper considers SSIM > 0.7 sufficient (Fig. 5b).
+double ssim(std::span<const float> pred, std::span<const float> truth,
+            std::size_t height, std::size_t width);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; out-of-range
+/// samples are clamped into the terminal buckets.
+std::vector<std::size_t> histogram(std::span<const float> v, double lo, double hi,
+                                   std::size_t bins);
+
+/// Fraction of samples strictly below a threshold.
+double fraction_below(std::span<const float> v, double threshold);
+/// Fraction of samples strictly above a threshold.
+double fraction_above(std::span<const float> v, double threshold);
+
+/// Render an HxW nonnegative map as a coarse ASCII heat map (for the Fig. 2/6/7
+/// map visualizations, which we reproduce textually). Rows are emitted top row
+/// first. `cols` controls the downsampled output width.
+std::string ascii_heatmap(std::span<const float> map, std::size_t height,
+                          std::size_t width, std::size_t cols = 48);
+
+}  // namespace dco3d

@@ -1,0 +1,132 @@
+// Tests for the ablation switches: frozen-tier spreading (bench_ablation_z)
+// and the disabled communication layer (bench_ablation_siamese).
+
+#include <gtest/gtest.h>
+
+#include "core/features.hpp"
+#include "core/spreader.hpp"
+#include "nn/ops.hpp"
+#include "nn/unet.hpp"
+#include "place/placer3d.hpp"
+#include "test_helpers.hpp"
+
+namespace dco3d {
+namespace {
+
+using testing::random_leaf;
+
+TEST(FreezeTier, ZEqualsInputTiers) {
+  const Netlist nl = testing::tiny_design(250);
+  PlacementParams params;
+  const Placement3D pl = place_pseudo3d(nl, params, 3, false);
+  Rng rng(5);
+  SpreaderConfig cfg;
+  cfg.freeze_tier = true;
+  GnnSpreader spreader(nl, pl, cfg, rng);
+  TimingConfig tcfg;
+  nn::Var features = nn::make_leaf(build_gnn_features(nl, pl, tcfg));
+  const SpreaderOutput out = spreader.forward(features);
+  for (std::size_t i = 0; i < nl.num_cells(); ++i)
+    EXPECT_FLOAT_EQ(out.z->value[static_cast<std::int64_t>(i)],
+                    static_cast<float>(pl.tier[i]));
+  // Commit must therefore change no tier.
+  Placement3D committed = pl;
+  spreader.commit(out, committed);
+  for (std::size_t i = 0; i < nl.num_cells(); ++i)
+    EXPECT_EQ(committed.tier[i], pl.tier[i]);
+}
+
+TEST(FreezeTier, XyStillMove) {
+  const Netlist nl = testing::tiny_design(250);
+  PlacementParams params;
+  const Placement3D pl = place_pseudo3d(nl, params, 3, false);
+  Rng rng(7);
+  SpreaderConfig cfg;
+  cfg.freeze_tier = true;
+  GnnSpreader spreader(nl, pl, cfg, rng);
+  TimingConfig tcfg;
+  nn::Var features = nn::make_leaf(build_gnn_features(nl, pl, tcfg));
+  const SpreaderOutput out = spreader.forward(features);
+  // Positions remain differentiable: gradients reach the GNN weights.
+  nn::Var loss = nn::add(nn::mean_op(nn::square(out.x)),
+                         nn::mean_op(nn::square(out.y)));
+  auto gnn_params = spreader.parameters();
+  nn::zero_grad(gnn_params);
+  nn::backward(loss);
+  double g = 0.0;
+  for (const auto& p : gnn_params)
+    for (std::int64_t i = 0; i < p->grad.numel(); ++i) g += std::abs(p->grad[i]);
+  EXPECT_GT(g, 0.0);
+}
+
+TEST(FreezeTier, ZCarriesNoGradient) {
+  const Netlist nl = testing::tiny_design(200);
+  PlacementParams params;
+  const Placement3D pl = place_pseudo3d(nl, params, 5, false);
+  Rng rng(9);
+  SpreaderConfig cfg;
+  cfg.freeze_tier = true;
+  GnnSpreader spreader(nl, pl, cfg, rng);
+  TimingConfig tcfg;
+  nn::Var features = nn::make_leaf(build_gnn_features(nl, pl, tcfg));
+  const SpreaderOutput out = spreader.forward(features);
+  EXPECT_FALSE(out.z->requires_grad);
+}
+
+TEST(NoCommunication, DiesAreIndependent) {
+  // With the communication layer off, die A's prediction must be invariant
+  // to die B's input (the coupling the Siamese layer provides is gone).
+  Rng rng(11);
+  nn::UNetConfig cfg;
+  cfg.base_channels = 4;
+  cfg.depth = 2;
+  cfg.communication = false;
+  nn::SiameseUNet model(cfg, rng);
+  nn::Var a = random_leaf({1, 7, 8, 8}, rng);
+  nn::Var b1 = random_leaf({1, 7, 8, 8}, rng);
+  nn::Var b2 = random_leaf({1, 7, 8, 8}, rng, 3.0);
+  auto [a1, x1] = model.forward(a, b1);
+  auto [a2, x2] = model.forward(a, b2);
+  (void)x1;
+  (void)x2;
+  for (std::int64_t i = 0; i < a1->value.numel(); ++i)
+    EXPECT_FLOAT_EQ(a1->value[i], a2->value[i]);
+}
+
+TEST(NoCommunication, WithCommunicationTheyCouple) {
+  Rng rng(11);
+  nn::UNetConfig cfg;
+  cfg.base_channels = 4;
+  cfg.depth = 2;
+  cfg.communication = true;
+  nn::SiameseUNet model(cfg, rng);
+  nn::Var a = random_leaf({1, 7, 8, 8}, rng);
+  nn::Var b1 = random_leaf({1, 7, 8, 8}, rng);
+  nn::Var b2 = random_leaf({1, 7, 8, 8}, rng, 3.0);
+  auto [a1, x1] = model.forward(a, b1);
+  auto [a2, x2] = model.forward(a, b2);
+  (void)x1;
+  (void)x2;
+  double diff = 0.0;
+  for (std::int64_t i = 0; i < a1->value.numel(); ++i)
+    diff += std::abs(a1->value[i] - a2->value[i]);
+  EXPECT_GT(diff, 1e-5);
+}
+
+TEST(NoCommunication, SameShapesEitherWay) {
+  Rng rng(13);
+  for (bool comm : {false, true}) {
+    nn::UNetConfig cfg;
+    cfg.base_channels = 4;
+    cfg.depth = 2;
+    cfg.communication = comm;
+    nn::SiameseUNet model(cfg, rng);
+    nn::Var f = random_leaf({1, 7, 16, 16}, rng);
+    auto [t, b] = model.forward(f, f);
+    EXPECT_EQ(t->value.shape(), (nn::Shape{1, 1, 16, 16}));
+    EXPECT_EQ(b->value.shape(), (nn::Shape{1, 1, 16, 16}));
+  }
+}
+
+}  // namespace
+}  // namespace dco3d

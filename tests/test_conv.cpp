@@ -1,0 +1,150 @@
+// Convolution / pooling / upsampling: shape rules, known values, and
+// numerical gradient checks.
+
+#include <gtest/gtest.h>
+
+#include "nn/conv.hpp"
+#include "nn/ops.hpp"
+#include "test_helpers.hpp"
+
+namespace dco3d {
+namespace {
+
+using testing::check_gradients;
+using testing::random_leaf;
+
+nn::Var weighted_sum(const nn::Var& v, std::uint64_t seed = 9) {
+  Rng local(seed);
+  nn::Tensor wt(v->value.shape());
+  for (std::int64_t i = 0; i < wt.numel(); ++i)
+    wt[i] = static_cast<float>(local.uniform(-1.0, 1.0));
+  return nn::sum(nn::mul(v, nn::make_leaf(wt)));
+}
+
+TEST(Conv2d, OutputShapeSamePadding) {
+  Rng rng(1);
+  nn::Var x = random_leaf({1, 3, 8, 8}, rng);
+  nn::Var w = random_leaf({5, 3, 3, 3}, rng);
+  nn::Var b = random_leaf({5}, rng);
+  nn::Var y = nn::conv2d(x, w, b, 1, 1);
+  ASSERT_EQ(y->value.shape(), (nn::Shape{1, 5, 8, 8}));
+}
+
+TEST(Conv2d, OutputShapeStride2NoPad) {
+  Rng rng(2);
+  nn::Var x = random_leaf({2, 1, 9, 9}, rng);
+  nn::Var w = random_leaf({4, 1, 3, 3}, rng);
+  nn::Var y = nn::conv2d(x, w, nullptr, 2, 0);
+  ASSERT_EQ(y->value.shape(), (nn::Shape{2, 4, 4, 4}));
+}
+
+TEST(Conv2d, IdentityKernel) {
+  // 1x1 kernel with weight 1 reproduces the input plus bias.
+  nn::Var x = nn::make_leaf(nn::Tensor({1, 1, 2, 2}, {1, 2, 3, 4}));
+  nn::Var w = nn::make_leaf(nn::Tensor({1, 1, 1, 1}, {1.0f}));
+  nn::Var b = nn::make_leaf(nn::Tensor({1}, {0.5f}));
+  nn::Var y = nn::conv2d(x, w, b);
+  EXPECT_FLOAT_EQ(y->value[0], 1.5f);
+  EXPECT_FLOAT_EQ(y->value[3], 4.5f);
+}
+
+TEST(Conv2d, KnownSum3x3) {
+  // All-ones 3x3 kernel with pad=1 sums the 3x3 neighborhood.
+  nn::Var x = nn::make_leaf(nn::Tensor({1, 1, 3, 3}, {1, 1, 1, 1, 1, 1, 1, 1, 1}));
+  nn::Var w = nn::make_leaf(nn::Tensor({1, 1, 3, 3}, std::vector<float>(9, 1.0f)));
+  nn::Var y = nn::conv2d(x, w, nullptr, 1, 1);
+  EXPECT_FLOAT_EQ(y->value.at(0, 0, 1, 1), 9.0f);  // center sees all 9
+  EXPECT_FLOAT_EQ(y->value.at(0, 0, 0, 0), 4.0f);  // corner sees 4
+}
+
+TEST(Conv2d, GradientCheck) {
+  Rng rng(3);
+  nn::Var x = random_leaf({1, 2, 5, 5}, rng, 0.5);
+  nn::Var w = random_leaf({3, 2, 3, 3}, rng, 0.5);
+  nn::Var b = random_leaf({3}, rng, 0.5);
+  check_gradients(
+      [&]() { return weighted_sum(nn::conv2d(x, w, b, 1, 1)); }, {x, w, b},
+      1e-2, 5e-2, 2e-3);
+}
+
+TEST(ConvTranspose2d, OutputShape) {
+  Rng rng(4);
+  nn::Var x = random_leaf({1, 4, 4, 4}, rng);
+  nn::Var w = random_leaf({4, 2, 2, 2}, rng);
+  nn::Var y = nn::conv_transpose2d(x, w, nullptr, 2, 0);
+  ASSERT_EQ(y->value.shape(), (nn::Shape{1, 2, 8, 8}));
+}
+
+TEST(ConvTranspose2d, InverseOfStride2Subsample) {
+  // A 1x1 input with a 2x2 all-ones kernel paints a 2x2 block.
+  nn::Var x = nn::make_leaf(nn::Tensor({1, 1, 1, 1}, {3.0f}));
+  nn::Var w = nn::make_leaf(nn::Tensor({1, 1, 2, 2}, {1, 1, 1, 1}));
+  nn::Var y = nn::conv_transpose2d(x, w, nullptr, 2, 0);
+  ASSERT_EQ(y->value.numel(), 4);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y->value[i], 3.0f);
+}
+
+TEST(ConvTranspose2d, GradientCheck) {
+  Rng rng(5);
+  nn::Var x = random_leaf({1, 2, 3, 3}, rng, 0.5);
+  nn::Var w = random_leaf({2, 3, 2, 2}, rng, 0.5);
+  nn::Var b = random_leaf({3}, rng, 0.5);
+  check_gradients(
+      [&]() { return weighted_sum(nn::conv_transpose2d(x, w, b, 2, 0)); },
+      {x, w, b}, 1e-2, 5e-2, 2e-3);
+}
+
+TEST(MaxPool, ValuesAndShape) {
+  nn::Var x = nn::make_leaf(
+      nn::Tensor({1, 1, 4, 4}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}));
+  nn::Var y = nn::maxpool2x2(x);
+  ASSERT_EQ(y->value.shape(), (nn::Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y->value[0], 6.0f);
+  EXPECT_FLOAT_EQ(y->value[1], 8.0f);
+  EXPECT_FLOAT_EQ(y->value[2], 14.0f);
+  EXPECT_FLOAT_EQ(y->value[3], 16.0f);
+}
+
+TEST(MaxPool, GradientRoutesToArgmax) {
+  nn::Var x = nn::make_leaf(nn::Tensor({1, 1, 2, 2}, {1, 5, 2, 3}), true);
+  nn::Var y = nn::sum(nn::maxpool2x2(x));
+  nn::backward(y);
+  EXPECT_FLOAT_EQ(x->grad[0], 0.0f);
+  EXPECT_FLOAT_EQ(x->grad[1], 1.0f);
+  EXPECT_FLOAT_EQ(x->grad[2], 0.0f);
+  EXPECT_FLOAT_EQ(x->grad[3], 0.0f);
+}
+
+TEST(MaxPool, GradientCheck) {
+  Rng rng(6);
+  nn::Var x = random_leaf({1, 2, 4, 4}, rng);
+  // Separate values to avoid argmax ties (non-differentiable points).
+  for (std::int64_t i = 0; i < x->value.numel(); ++i)
+    x->value[i] += 0.01f * static_cast<float>(i);
+  check_gradients([&]() { return weighted_sum(nn::maxpool2x2(x)); }, {x});
+}
+
+TEST(Upsample, NearestValues) {
+  nn::Var x = nn::make_leaf(nn::Tensor({1, 1, 2, 2}, {1, 2, 3, 4}));
+  nn::Var y = nn::upsample_nearest2x(x);
+  ASSERT_EQ(y->value.shape(), (nn::Shape{1, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(y->value.at(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y->value.at(0, 0, 0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(y->value.at(0, 0, 3, 3), 4.0f);
+}
+
+TEST(Upsample, GradientCheck) {
+  Rng rng(7);
+  nn::Var x = random_leaf({1, 2, 3, 3}, rng);
+  check_gradients([&]() { return weighted_sum(nn::upsample_nearest2x(x)); }, {x});
+}
+
+TEST(PoolUpsampleComposition, ShapesRoundTrip) {
+  Rng rng(8);
+  nn::Var x = random_leaf({1, 3, 8, 8}, rng);
+  nn::Var y = nn::upsample_nearest2x(nn::maxpool2x2(x));
+  ASSERT_EQ(y->value.shape(), x->value.shape());
+}
+
+}  // namespace
+}  // namespace dco3d

@@ -1,0 +1,147 @@
+// Detailed-placement refinement tests: legality preservation, HPWL
+// monotonicity, and known-optimal micro cases.
+
+#include <gtest/gtest.h>
+
+#include "place/detailed.hpp"
+#include "place/legalize.hpp"
+#include "place/placer3d.hpp"
+#include "test_helpers.hpp"
+
+namespace dco3d {
+namespace {
+
+TEST(Detailed, NeverIncreasesHpwl) {
+  const Netlist nl = testing::tiny_design(400);
+  PlacementParams params;
+  Placement3D pl = place_pseudo3d(nl, params, 3);
+  const DetailedStats s = detailed_place(nl, pl);
+  EXPECT_LE(s.hpwl_after, s.hpwl_before + 1e-9);
+  EXPECT_NEAR(s.hpwl_after, total_hpwl(nl, pl), 1e-6);
+}
+
+TEST(Detailed, ActuallyImprovesTypicalPlacements) {
+  const Netlist nl = testing::tiny_design(500);
+  PlacementParams params;
+  Placement3D pl = place_pseudo3d(nl, params, 7);
+  const DetailedStats s = detailed_place(nl, pl);
+  EXPECT_GT(s.slides + s.swaps, 0u);
+  EXPECT_LT(s.hpwl_after, s.hpwl_before);
+}
+
+TEST(Detailed, PreservesLegality) {
+  const Netlist nl = testing::tiny_design(400);
+  PlacementParams params;
+  Placement3D pl = place_pseudo3d(nl, params, 5);
+  const std::vector<int> tiers_before = pl.tier;
+  std::vector<double> ys_before;
+  for (const Point& p : pl.xy) ys_before.push_back(p.y);
+
+  detailed_place(nl, pl);
+
+  // Rows, tiers, and non-overlap all intact.
+  for (std::size_t i = 0; i < pl.size(); ++i) {
+    EXPECT_EQ(pl.tier[i], tiers_before[i]);
+    EXPECT_DOUBLE_EQ(pl.xy[i].y, ys_before[i]);
+  }
+  for (int tier = 0; tier < 2; ++tier)
+    EXPECT_NEAR(overlap_area_on_tier(nl, pl, tier), 0.0, 1e-9);
+  for (std::size_t i = 0; i < pl.size(); ++i) {
+    const auto id = static_cast<CellId>(i);
+    if (!nl.is_movable(id)) continue;
+    EXPECT_GE(pl.xy[i].x, pl.outline.xlo - 1e-9);
+    EXPECT_LE(pl.xy[i].x + nl.cell_type(id).width, pl.outline.xhi + 1e-6);
+  }
+}
+
+TEST(Detailed, SlidesIsolatedCellToMedian) {
+  // One movable cell between two fixed anchors: the slide must put it at
+  // the median (here: anywhere between the anchors minimizes equally, so
+  // HPWL afterwards equals the anchor distance).
+  Netlist nl(Library::make_default());
+  const CellTypeId inv = nl.library().smallest(CellFunction::kInv);
+  CellType pad;
+  pad.name = "PAD";
+  pad.function = CellFunction::kIoPad;
+  pad.num_inputs = 1;
+  const CellTypeId pad_t = nl.library().add_type(pad);
+  const CellId left = nl.add_cell("left", pad_t, true);
+  const CellId mid = nl.add_cell("mid", inv);
+  const CellId right = nl.add_cell("right", pad_t, true);
+  Net n1;
+  n1.driver = {left, {}};
+  n1.sinks = {{mid, {}}};
+  nl.add_net(std::move(n1));
+  Net n2;
+  n2.driver = {mid, {}};
+  n2.sinks = {{right, {}}};
+  nl.add_net(std::move(n2));
+
+  Placement3D pl = Placement3D::make(3, Rect{0, 0, 10, 0.15});
+  pl.xy = {{2, 0.075}, {9.5, 0.0}, {8, 0.075}};
+  const double before = total_hpwl(nl, pl);
+  const DetailedStats s = detailed_place(nl, pl);
+  EXPECT_GE(s.slides, 1u);
+  EXPECT_LT(s.hpwl_after, before);
+  // Optimal: mid inside [2, 8] -> total x-extent = 6.
+  EXPECT_GE(pl.xy[1].x, 2.0 - 1e-6);
+  EXPECT_LE(pl.xy[1].x, 8.0 + 1e-6);
+}
+
+TEST(Detailed, SwapsCrossedNeighbors) {
+  // Two same-width cells whose connections are crossed: swapping uncrosses.
+  Netlist nl(Library::make_default());
+  const CellTypeId inv = nl.library().find(CellFunction::kInv, 1);
+  CellType pad;
+  pad.name = "PAD";
+  pad.function = CellFunction::kIoPad;
+  pad.num_inputs = 1;
+  const CellTypeId pad_t = nl.library().add_type(pad);
+  const CellId pl_left = nl.add_cell("pl", pad_t, true);
+  const CellId pr_right = nl.add_cell("pr", pad_t, true);
+  const CellId a = nl.add_cell("a", inv);  // wants to be right
+  const CellId b = nl.add_cell("b", inv);  // wants to be left
+  Net n1;
+  n1.driver = {pr_right, {}};
+  n1.sinks = {{a, {}}};
+  nl.add_net(std::move(n1));
+  Net n2;
+  n2.driver = {pl_left, {}};
+  n2.sinks = {{b, {}}};
+  nl.add_net(std::move(n2));
+
+  Placement3D pl = Placement3D::make(4, Rect{0, 0, 10, 0.15});
+  pl.xy = {{0, 0.075}, {10, 0.075}, {4.9, 0.0}, {5.0, 0.0}};  // a left of b
+  const double before = total_hpwl(nl, pl);
+  const DetailedStats s = detailed_place(nl, pl);
+  EXPECT_LT(s.hpwl_after, before);
+  // After refinement, b must sit left of a.
+  EXPECT_LT(pl.xy[static_cast<std::size_t>(b)].x,
+            pl.xy[static_cast<std::size_t>(a)].x);
+}
+
+TEST(Detailed, Deterministic) {
+  const Netlist nl = testing::tiny_design(300);
+  PlacementParams params;
+  Placement3D p1 = place_pseudo3d(nl, params, 9);
+  Placement3D p2 = p1;
+  detailed_place(nl, p1);
+  detailed_place(nl, p2);
+  for (std::size_t i = 0; i < p1.size(); ++i)
+    EXPECT_DOUBLE_EQ(p1.xy[i].x, p2.xy[i].x);
+}
+
+TEST(Detailed, IdempotentAtFixedPoint) {
+  const Netlist nl = testing::tiny_design(300);
+  PlacementParams params;
+  Placement3D pl = place_pseudo3d(nl, params, 11);
+  DetailedConfig cfg;
+  cfg.passes = 6;  // converge
+  detailed_place(nl, pl, cfg);
+  const DetailedStats again = detailed_place(nl, pl, cfg);
+  EXPECT_NEAR(again.hpwl_after, again.hpwl_before,
+              1e-6 * std::max(1.0, again.hpwl_before));
+}
+
+}  // namespace
+}  // namespace dco3d

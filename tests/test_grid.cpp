@@ -1,0 +1,267 @@
+// GCell grid, RUDY (Eq. 1-3), feature maps, resize, and augmentation tests.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "grid/feature_maps.hpp"
+#include "grid/gcell_grid.hpp"
+#include "place/placer3d.hpp"
+#include "test_helpers.hpp"
+
+namespace dco3d {
+namespace {
+
+TEST(GCellGrid, TileGeometry) {
+  const GCellGrid g(Rect{0, 0, 8, 4}, 4, 2);
+  EXPECT_DOUBLE_EQ(g.tile_width(), 2.0);
+  EXPECT_DOUBLE_EQ(g.tile_height(), 2.0);
+  EXPECT_EQ(g.num_tiles(), 8);
+  const Rect t = g.tile_rect(1, 1);
+  EXPECT_DOUBLE_EQ(t.xlo, 2.0);
+  EXPECT_DOUBLE_EQ(t.ylo, 2.0);
+}
+
+TEST(GCellGrid, PointLookupAndClamping) {
+  const GCellGrid g(Rect{0, 0, 8, 4}, 4, 2);
+  EXPECT_EQ(g.col_of(3.0), 1);
+  EXPECT_EQ(g.row_of(3.9), 1);
+  EXPECT_EQ(g.col_of(-5.0), 0);
+  EXPECT_EQ(g.col_of(100.0), 3);
+  EXPECT_EQ(g.tile_of({0.5, 0.5}), g.index(0, 0));
+}
+
+TEST(Rudy, FactorMatchesEq1) {
+  const GCellGrid g(Rect{0, 0, 100, 100}, 10, 10);
+  const Rect bbox{0, 0, 20, 40};
+  // 1/w + 1/h = 1/20 + 1/40.
+  EXPECT_NEAR(rudy_factor(bbox, g), 1.0 / 20 + 1.0 / 40, 1e-12);
+}
+
+TEST(Rudy, FactorClampsTinyNets) {
+  const GCellGrid g(Rect{0, 0, 100, 100}, 10, 10);
+  const Rect point{5, 5, 5, 5};
+  // Dimensions clamp to the 10x10 tile.
+  EXPECT_NEAR(rudy_factor(point, g), 0.2, 1e-12);
+}
+
+TEST(Rudy, MassConservation) {
+  // Integrating RUDY over all tiles must give k * bbox_area / tile_area for
+  // an interior bbox (Eq. 2 distributes by area overlap).
+  const GCellGrid g(Rect{0, 0, 100, 100}, 10, 10);
+  std::vector<float> map(static_cast<std::size_t>(g.num_tiles()), 0.0f);
+  const Rect bbox{15, 25, 65, 75};
+  add_net_rudy(map, g, bbox, 1.0);
+  double total = 0.0;
+  for (float v : map) total += v;
+  const double expect = rudy_factor(bbox, g) * bbox.area() / g.tile_area();
+  EXPECT_NEAR(total, expect, 1e-4);
+}
+
+TEST(Rudy, SingleTileNetLandsInOneTile) {
+  const GCellGrid g(Rect{0, 0, 100, 100}, 10, 10);
+  std::vector<float> map(static_cast<std::size_t>(g.num_tiles()), 0.0f);
+  // Degenerate vertical net (zero width).
+  add_net_rudy(map, g, Rect{33, 12, 33, 18}, 1.0);
+  int nonzero = 0;
+  for (float v : map)
+    if (v > 0) ++nonzero;
+  EXPECT_GE(nonzero, 1);
+  EXPECT_LE(nonzero, 2);
+}
+
+TEST(Rudy, ZeroWeightAddsNothing) {
+  const GCellGrid g(Rect{0, 0, 10, 10}, 2, 2);
+  std::vector<float> map(4, 0.0f);
+  add_net_rudy(map, g, Rect{1, 1, 9, 9}, 0.0);
+  for (float v : map) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(FeatureMaps, ShapesAndChannels) {
+  const Netlist nl = testing::tiny_design();
+  PlacementParams params;
+  const Placement3D pl = place_pseudo3d(nl, params, 1);
+  const GCellGrid grid(pl.outline, 16, 16);
+  const FeatureMaps fm = compute_feature_maps(nl, pl, grid);
+  for (int die = 0; die < 2; ++die)
+    ASSERT_EQ(fm.die[die].shape(), (nn::Shape{1, kNumFeatureChannels, 16, 16}));
+}
+
+TEST(FeatureMaps, CellDensityMassConservation) {
+  const Netlist nl = testing::tiny_design();
+  PlacementParams params;
+  const Placement3D pl = place_pseudo3d(nl, params, 1);
+  const GCellGrid grid(pl.outline, 16, 16);
+  const FeatureMaps fm = compute_feature_maps(nl, pl, grid);
+  // Total cell-density mass * tile_area = total std cell area on both dies
+  // (cells fully inside the outline).
+  double mass = 0.0;
+  for (int die = 0; die < 2; ++die) {
+    auto d = fm.die[die].data();
+    const auto hw = static_cast<std::size_t>(grid.num_tiles());
+    for (std::size_t i = 0; i < hw; ++i)
+      mass += d[static_cast<std::size_t>(kCellDensity) * hw + i];
+  }
+  double area = 0.0;
+  for (std::size_t i = 0; i < nl.num_cells(); ++i) {
+    const auto id = static_cast<CellId>(i);
+    if (!nl.is_macro(id)) area += nl.cell_area(id);
+  }
+  EXPECT_NEAR(mass * grid.tile_area(), area, area * 0.05);
+}
+
+TEST(FeatureMaps, PinCountConservation) {
+  const Netlist nl = testing::tiny_design();
+  PlacementParams params;
+  const Placement3D pl = place_pseudo3d(nl, params, 1);
+  const GCellGrid grid(pl.outline, 16, 16);
+  const FeatureMaps fm = compute_feature_maps(nl, pl, grid);
+  double pins = 0.0;
+  for (int die = 0; die < 2; ++die) {
+    auto d = fm.die[die].data();
+    const auto hw = static_cast<std::size_t>(grid.num_tiles());
+    for (std::size_t i = 0; i < hw; ++i)
+      pins += d[static_cast<std::size_t>(kPinDensity) * hw + i];
+  }
+  std::size_t expect = 0;
+  for (const Net& n : nl.nets()) expect += n.num_pins();
+  EXPECT_NEAR(pins * grid.tile_area(), static_cast<double>(expect),
+              static_cast<double>(expect) * 1e-3);
+}
+
+TEST(FeatureMaps, RudySplit2dVs3d) {
+  // All cells on one die -> no 3D RUDY; split tiers -> some 3D RUDY.
+  Netlist nl(Library::make_default());
+  const CellTypeId inv = nl.library().smallest(CellFunction::kInv);
+  const CellId a = nl.add_cell("a", inv);
+  const CellId b = nl.add_cell("b", inv);
+  Net net;
+  net.driver = {a, {}};
+  net.sinks.push_back({b, {}});
+  nl.add_net(std::move(net));
+  Placement3D pl = Placement3D::make(2, Rect{0, 0, 10, 10});
+  pl.xy = {{2, 2}, {8, 8}};
+  const GCellGrid grid(pl.outline, 4, 4);
+
+  FeatureMaps same = compute_feature_maps(nl, pl, grid);
+  auto sum_ch = [&](const nn::Tensor& t, FeatureChannel ch) {
+    double s = 0.0;
+    const auto hw = static_cast<std::size_t>(grid.num_tiles());
+    auto d = t.data();
+    for (std::size_t i = 0; i < hw; ++i)
+      s += d[static_cast<std::size_t>(ch) * hw + i];
+    return s;
+  };
+  EXPECT_GT(sum_ch(same.die[0], kRudy2D), 0.0);
+  EXPECT_EQ(sum_ch(same.die[0], kRudy3D), 0.0);
+  EXPECT_EQ(sum_ch(same.die[1], kRudy2D), 0.0);
+
+  pl.tier[1] = 1;
+  FeatureMaps split = compute_feature_maps(nl, pl, grid);
+  EXPECT_EQ(sum_ch(split.die[0], kRudy2D), 0.0);
+  EXPECT_GT(sum_ch(split.die[0], kRudy3D), 0.0);
+  EXPECT_GT(sum_ch(split.die[1], kRudy3D), 0.0);
+  // 0.5 scaling: each die's 3D RUDY is half of what the 2D RUDY was.
+  EXPECT_NEAR(sum_ch(split.die[0], kRudy3D), 0.5 * sum_ch(same.die[0], kRudy2D),
+              1e-5);
+}
+
+TEST(FeatureMaps, MacroBlockageChannel) {
+  Netlist nl(Library::make_default());
+  CellType macro;
+  macro.name = "M";
+  macro.function = CellFunction::kMacro;
+  macro.width = 5.0;
+  macro.height = 5.0;
+  const CellTypeId mt = nl.library().add_type(macro);
+  nl.add_cell("m0", mt, true);
+  // A dummy net so feature generation has work to do.
+  const CellTypeId inv = nl.library().smallest(CellFunction::kInv);
+  const CellId a = nl.add_cell("a", inv);
+  const CellId b = nl.add_cell("b", inv);
+  Net net;
+  net.driver = {a, {}};
+  net.sinks.push_back({b, {}});
+  nl.add_net(std::move(net));
+  Placement3D pl = Placement3D::make(3, Rect{0, 0, 10, 10});
+  pl.xy = {{0, 0}, {7, 7}, {8, 8}};
+  const GCellGrid grid(pl.outline, 4, 4);
+  const FeatureMaps fm = compute_feature_maps(nl, pl, grid);
+  // Macro occupies lower-left 2x2 tiles on die 0.
+  auto d = fm.die[0].data();
+  const auto hw = static_cast<std::size_t>(grid.num_tiles());
+  EXPECT_GT(d[static_cast<std::size_t>(kMacroBlockage) * hw + 0], 0.9f);
+  EXPECT_EQ(d[static_cast<std::size_t>(kMacroBlockage) * hw + 15], 0.0f);
+  // Macro must not appear in the std-cell density channel.
+  EXPECT_EQ(d[static_cast<std::size_t>(kCellDensity) * hw + 0], 0.0f);
+}
+
+TEST(Resize, PreservesMagnitudes) {
+  nn::Tensor t({1, 8, 8}, 0.0f);
+  t.data()[9] = 3.5f;  // (1,1)
+  const nn::Tensor up = resize_nearest(t, 16, 16);
+  ASSERT_EQ(up.shape(), (nn::Shape{1, 16, 16}));
+  // Nearest-neighbor upscaling replicates, not interpolates.
+  float vmax = 0.0f;
+  for (std::int64_t i = 0; i < up.numel(); ++i) vmax = std::max(vmax, up[i]);
+  EXPECT_FLOAT_EQ(vmax, 3.5f);
+}
+
+TEST(Resize, RoundTripIdentityForMultiple) {
+  Rng rng(3);
+  nn::Tensor t({2, 4, 4});
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform());
+  const nn::Tensor up = resize_nearest(t, 8, 8);
+  const nn::Tensor back = resize_nearest(up, 4, 4);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(back[i], t[i]);
+}
+
+TEST(Resize, Batched4d) {
+  nn::Tensor t({2, 3, 4, 4}, 1.0f);
+  const nn::Tensor r = resize_nearest(t, 2, 2);
+  ASSERT_EQ(r.shape(), (nn::Shape{2, 3, 2, 2}));
+  for (std::int64_t i = 0; i < r.numel(); ++i) EXPECT_FLOAT_EQ(r[i], 1.0f);
+}
+
+class DihedralTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DihedralTest, PreservesMass) {
+  Rng rng(GetParam() + 1);
+  nn::Tensor t({1, 2, 6, 6});
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform());
+  const nn::Tensor a = augment_dihedral(t, GetParam());
+  double m0 = 0.0, m1 = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    m0 += t[i];
+    m1 += a[i];
+  }
+  EXPECT_NEAR(m0, m1, 1e-3);
+}
+
+TEST_P(DihedralTest, IsPermutation) {
+  nn::Tensor t({1, 1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) t[i] = static_cast<float>(i);
+  const nn::Tensor a = augment_dihedral(t, GetParam());
+  std::set<float> vals(a.data().begin(), a.data().end());
+  EXPECT_EQ(vals.size(), 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(All8, DihedralTest, ::testing::Range(0, 8));
+
+TEST(Dihedral, IdentityIsZero) {
+  nn::Tensor t({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const nn::Tensor a = augment_dihedral(t, 0);
+  for (std::int64_t i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(a[i], t[i]);
+}
+
+TEST(Dihedral, Rotation180TwiceIsIdentity) {
+  nn::Tensor t({1, 1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) t[i] = static_cast<float>(i);
+  const nn::Tensor r = augment_dihedral(augment_dihedral(t, 2), 2);
+  for (std::int64_t i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(r[i], t[i]);
+}
+
+}  // namespace
+}  // namespace dco3d

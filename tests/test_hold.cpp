@@ -1,0 +1,131 @@
+// Hold-analysis tests.
+
+#include <gtest/gtest.h>
+
+#include "place/placer3d.hpp"
+#include "timing/hold.hpp"
+#include "test_helpers.hpp"
+
+namespace dco3d {
+namespace {
+
+/// FF -> (chain of n inverters) -> FF.
+struct HoldFixture {
+  Netlist nl{Library::make_default()};
+  Placement3D pl;
+  CellId ff_in, ff_out;
+
+  explicit HoldFixture(int chain_len, double spacing = 2.0) {
+    const CellTypeId dff = nl.library().find(CellFunction::kDff, 1);
+    const CellTypeId inv = nl.library().find(CellFunction::kInv, 1);
+    ff_in = nl.add_cell("ff_in", dff);
+    CellId prev = ff_in;
+    for (int i = 0; i < chain_len; ++i) {
+      const CellId next = nl.add_cell("inv" + std::to_string(i), inv);
+      Net n;
+      n.driver = {prev, {}};
+      n.sinks = {{next, {}}};
+      nl.add_net(std::move(n));
+      prev = next;
+    }
+    ff_out = nl.add_cell("ff_out", dff);
+    Net n;
+    n.driver = {prev, {}};
+    n.sinks = {{ff_out, {}}};
+    nl.add_net(std::move(n));
+    pl = Placement3D::make(nl.num_cells(), Rect{0, 0, spacing * (chain_len + 3), 10});
+    for (std::size_t i = 0; i < pl.size(); ++i)
+      pl.xy[i] = {spacing * static_cast<double>(i), 5.0};
+  }
+};
+
+TEST(Hold, DirectFfToFfPathCanViolate) {
+  // Zero logic between launch and capture: the fast clk->q alone must beat
+  // the hold requirement — with a large-enough requirement it fails.
+  HoldFixture f(0);
+  TimingConfig cfg;
+  HoldConfig hold;
+  hold.hold_time_ps = 100.0;  // absurd requirement to force a violation
+  const HoldResult r = run_hold_check(f.nl, f.pl, cfg, hold);
+  EXPECT_EQ(r.endpoints, 1u);
+  EXPECT_LT(r.whs_ps, 0.0);
+  EXPECT_EQ(r.violating_endpoints, 1u);
+}
+
+TEST(Hold, LogicDepthAddsHoldMargin) {
+  TimingConfig cfg;
+  HoldConfig hold;
+  hold.hold_time_ps = 4.0;
+  HoldFixture direct(0), deep(6);
+  const HoldResult a = run_hold_check(direct.nl, direct.pl, cfg, hold);
+  const HoldResult b = run_hold_check(deep.nl, deep.pl, cfg, hold);
+  EXPECT_GT(b.whs_ps, a.whs_ps);
+}
+
+TEST(Hold, CaptureSkewDelaysHurtHold) {
+  // Retarding the capture clock (a setup fix) eats hold margin: hold slack
+  // decreases by exactly the added skew.
+  HoldFixture f(2);
+  TimingConfig cfg;
+  HoldConfig hold;
+  std::vector<double> skew(f.nl.num_cells(), 0.0);
+  const HoldResult base = run_hold_check(f.nl, f.pl, cfg, hold, &skew);
+  skew[static_cast<std::size_t>(f.ff_out)] = 10.0;
+  const HoldResult pushed = run_hold_check(f.nl, f.pl, cfg, hold, &skew);
+  EXPECT_NEAR(pushed.whs_ps, base.whs_ps - 10.0, 1e-6);
+}
+
+TEST(Hold, LaunchSkewHelpsHold) {
+  HoldFixture f(2);
+  TimingConfig cfg;
+  HoldConfig hold;
+  std::vector<double> skew(f.nl.num_cells(), 0.0);
+  const HoldResult base = run_hold_check(f.nl, f.pl, cfg, hold, &skew);
+  skew[static_cast<std::size_t>(f.ff_in)] = 10.0;  // launch later
+  const HoldResult later = run_hold_check(f.nl, f.pl, cfg, hold, &skew);
+  EXPECT_GT(later.whs_ps, base.whs_ps);
+}
+
+TEST(Hold, ThsAccumulatesOverEndpoints) {
+  const Netlist nl = testing::tiny_design(300);
+  PlacementParams params;
+  const Placement3D pl = place_pseudo3d(nl, params, 3);
+  TimingConfig cfg;
+  HoldConfig hold;
+  hold.hold_time_ps = 60.0;  // force many violations
+  const HoldResult r = run_hold_check(nl, pl, cfg, hold);
+  EXPECT_GT(r.endpoints, 0u);
+  if (r.violating_endpoints > 0) {
+    EXPECT_LT(r.ths_ps, 0.0);
+    EXPECT_LE(r.ths_ps, r.whs_ps);
+  }
+  // Per-endpoint slacks consistent with the aggregates.
+  double worst = 1e18, total = 0.0;
+  for (std::size_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const double s = r.endpoint_slack[ci];
+    if (s == std::numeric_limits<double>::infinity()) continue;
+    worst = std::min(worst, s);
+    if (s < 0) total += s;
+  }
+  EXPECT_NEAR(worst, r.whs_ps, 1e-9);
+  EXPECT_NEAR(total, r.ths_ps, 1e-9);
+}
+
+TEST(Hold, NoEndpointsIsClean) {
+  Netlist nl(Library::make_default());
+  const CellTypeId inv = nl.library().smallest(CellFunction::kInv);
+  const CellId a = nl.add_cell("a", inv);
+  const CellId b = nl.add_cell("b", inv);
+  Net n;
+  n.driver = {a, {}};
+  n.sinks = {{b, {}}};
+  nl.add_net(std::move(n));
+  Placement3D pl = Placement3D::make(2, Rect{0, 0, 10, 10});
+  TimingConfig cfg;
+  const HoldResult r = run_hold_check(nl, pl, cfg);
+  EXPECT_EQ(r.endpoints, 0u);
+  EXPECT_EQ(r.whs_ps, 0.0);
+}
+
+}  // namespace
+}  // namespace dco3d

@@ -1,0 +1,145 @@
+// Odds and ends: calibration properties, perturbed-dataset invariants,
+// detour factors, logging, and tensor utilities.
+
+#include <gtest/gtest.h>
+
+#include "flow/dataset.hpp"
+#include "flow/signoff.hpp"
+#include "place/placer3d.hpp"
+#include "route/router.hpp"
+#include "test_helpers.hpp"
+#include "nn/conv.hpp"
+#include "util/logging.hpp"
+
+namespace dco3d {
+namespace {
+
+TEST(Calibration, CapsAreAtLeastTwoTracks) {
+  const Netlist nl = testing::tiny_design(200);
+  PlacementParams params;
+  const Placement3D pl = place_pseudo3d(nl, params, 3);
+  const GCellGrid grid(pl.outline, 16, 16);
+  for (double p : {0.1, 0.5, 0.9, 0.99}) {
+    const RouterConfig cfg = calibrate_capacity(nl, pl, grid, {}, p);
+    EXPECT_GE(cfg.h_capacity, 2.0);
+    EXPECT_GE(cfg.v_capacity, 2.0);
+  }
+}
+
+TEST(Calibration, HigherPercentileNeverTightens) {
+  const Netlist nl = testing::tiny_design(400);
+  PlacementParams params;
+  const Placement3D pl = place_pseudo3d(nl, params, 5);
+  const GCellGrid grid(pl.outline, 16, 16);
+  const RouterConfig lo = calibrate_capacity(nl, pl, grid, {}, 0.5);
+  const RouterConfig hi = calibrate_capacity(nl, pl, grid, {}, 0.95);
+  EXPECT_GE(hi.h_capacity, lo.h_capacity);
+  EXPECT_GE(hi.v_capacity, lo.v_capacity);
+}
+
+TEST(Calibration, LowerPercentileRaisesOverflow) {
+  const Netlist nl = testing::tiny_design(500);
+  PlacementParams params;
+  const Placement3D pl = place_pseudo3d(nl, params, 7);
+  const GCellGrid grid(pl.outline, 16, 16);
+  const RouterConfig tight = calibrate_capacity(nl, pl, grid, {}, 0.3);
+  const RouterConfig loose = calibrate_capacity(nl, pl, grid, {}, 0.95);
+  RouterConfig t2 = tight, l2 = loose;
+  t2.rrr_rounds = l2.rrr_rounds = 0;  // measure raw demand vs capacity
+  const double ovf_tight = global_route(nl, pl, grid, t2).total_overflow;
+  const double ovf_loose = global_route(nl, pl, grid, l2).total_overflow;
+  EXPECT_GE(ovf_tight, ovf_loose);
+}
+
+TEST(Dataset, PerturbedCellsStayInsideOutline) {
+  const Netlist design = testing::tiny_design(200);
+  DatasetConfig cfg;
+  cfg.layouts = 1;
+  cfg.perturbed_per_layout = 2;  // one jitter + one clump round
+  cfg.grid_nx = cfg.grid_ny = 16;
+  cfg.net_h = cfg.net_w = 16;
+  // Perturbed samples are produced internally; the observable invariant is
+  // that every feature map stays finite and nonnegative (positions were
+  // clamped into the outline before map generation).
+  const auto data = build_dataset(design, cfg);
+  for (const DataSample& s : data) {
+    for (int die = 0; die < 2; ++die) {
+      for (std::int64_t i = 0; i < s.features[die].numel(); ++i) {
+        EXPECT_TRUE(std::isfinite(s.features[die][i]));
+        EXPECT_GE(s.features[die][i], 0.0f);
+      }
+    }
+  }
+}
+
+TEST(Detour, CappedAndOrdered) {
+  const Netlist nl = testing::tiny_design(300);
+  PlacementParams params;
+  const Placement3D pl = place_pseudo3d(nl, params, 9);
+  const GCellGrid grid(pl.outline, 16, 16);
+  RouterConfig rcfg = calibrate_capacity(nl, pl, grid, {}, 0.4);
+  rcfg.rrr_rounds = 2;
+  const RouteResult route = global_route(nl, pl, grid, rcfg);
+  const auto mild = detour_factors(nl, pl, route, 0.01);
+  const auto harsh = detour_factors(nl, pl, route, 0.2);
+  for (std::size_t i = 0; i < mild.size(); ++i) {
+    EXPECT_GE(mild[i], 1.0);
+    EXPECT_LE(harsh[i], 4.0);            // hard cap
+    EXPECT_GE(harsh[i], mild[i] - 1e-9); // more penalty never shortens
+  }
+}
+
+TEST(Logging, LevelsGateOutput) {
+  // Exercise the logging paths (output goes to stdout; we only check that
+  // toggling levels doesn't crash and the level round-trips).
+  const LogLevel before = log_level();
+  log_level() = LogLevel::kSilent;
+  log_info("should not print");
+  log_debug("should not print");
+  log_level() = LogLevel::kDebug;
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  log_level() = before;
+}
+
+TEST(Tensor, ScalarAndShapeStr) {
+  const nn::Tensor s = nn::Tensor::scalar(3.5f);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_FLOAT_EQ(s[0], 3.5f);
+  EXPECT_EQ(nn::shape_str({2, 3, 4}), "[2,3,4]");
+  EXPECT_EQ(nn::shape_str({}), "[]");
+}
+
+TEST(Tensor, FillAndSameShape) {
+  nn::Tensor a({2, 2});
+  a.fill(7.0f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a[i], 7.0f);
+  EXPECT_TRUE(a.same_shape(nn::Tensor({2, 2})));
+  EXPECT_FALSE(a.same_shape(nn::Tensor({4})));
+}
+
+TEST(Conv, NullBiasSupported) {
+  Rng rng(1);
+  nn::Var x = testing::random_leaf({1, 2, 4, 4}, rng);
+  nn::Var w = testing::random_leaf({3, 2, 3, 3}, rng);
+  nn::Var y = nn::conv2d(x, w, nullptr, 1, 1);
+  EXPECT_EQ(y->value.dim(1), 3);
+  nn::backward(nn::sum(y));
+  EXPECT_GT(std::abs(w->grad[0]) + std::abs(w->grad[1]), 0.0f);
+}
+
+TEST(StageMetrics, RowFormatsAllColumns) {
+  StageMetrics m;
+  m.overflow = 123;
+  m.ovf_gcell_pct = 4.5;
+  m.wns_ps = -10.25;
+  m.tns_ps = -2000.5;
+  m.power_mw = 3.25;
+  m.wirelength_um = 9876.5;
+  const std::string row = m.row("test");
+  EXPECT_NE(row.find("test"), std::string::npos);
+  EXPECT_NE(row.find("123"), std::string::npos);
+  EXPECT_NE(row.find("-10.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dco3d

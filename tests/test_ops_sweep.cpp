@@ -1,0 +1,197 @@
+// Property-style shape sweeps over the autograd ops: every op must satisfy
+// its algebraic identities and gradient checks across a grid of tensor
+// shapes, not just the single shapes unit tests pick.
+
+#include <gtest/gtest.h>
+
+#include "grid/feature_maps.hpp"
+#include "nn/conv.hpp"
+#include "nn/ops.hpp"
+#include "test_helpers.hpp"
+
+namespace dco3d {
+namespace {
+
+using testing::check_gradients;
+using testing::random_leaf;
+
+class ShapeSweep : public ::testing::TestWithParam<nn::Shape> {};
+
+TEST_P(ShapeSweep, AddCommutes) {
+  Rng rng(1);
+  nn::Var a = random_leaf(GetParam(), rng);
+  nn::Var b = random_leaf(GetParam(), rng);
+  nn::Var ab = nn::add(a, b);
+  nn::Var ba = nn::add(b, a);
+  for (std::int64_t i = 0; i < ab->value.numel(); ++i)
+    EXPECT_FLOAT_EQ(ab->value[i], ba->value[i]);
+}
+
+TEST_P(ShapeSweep, SubIsAddOfNegation) {
+  Rng rng(2);
+  nn::Var a = random_leaf(GetParam(), rng);
+  nn::Var b = random_leaf(GetParam(), rng);
+  nn::Var s = nn::sub(a, b);
+  nn::Var n = nn::add(a, nn::mul_scalar(b, -1.0f));
+  for (std::int64_t i = 0; i < s->value.numel(); ++i)
+    EXPECT_NEAR(s->value[i], n->value[i], 1e-6);
+}
+
+TEST_P(ShapeSweep, MulByOnesIsIdentity) {
+  Rng rng(3);
+  nn::Var a = random_leaf(GetParam(), rng);
+  nn::Var ones = nn::make_leaf(nn::Tensor(GetParam(), 1.0f));
+  nn::Var m = nn::mul(a, ones);
+  for (std::int64_t i = 0; i < m->value.numel(); ++i)
+    EXPECT_FLOAT_EQ(m->value[i], a->value[i]);
+}
+
+TEST_P(ShapeSweep, SumEqualsMeanTimesCount) {
+  Rng rng(4);
+  nn::Var a = random_leaf(GetParam(), rng);
+  const double s = nn::sum(a)->value[0];
+  const double m = nn::mean_op(a)->value[0];
+  EXPECT_NEAR(s, m * static_cast<double>(a->value.numel()),
+              1e-4 * std::max(1.0, std::abs(s)));
+}
+
+TEST_P(ShapeSweep, ReluIdempotent) {
+  Rng rng(5);
+  nn::Var a = random_leaf(GetParam(), rng);
+  nn::Var r1 = nn::relu(a);
+  nn::Var r2 = nn::relu(r1);
+  for (std::int64_t i = 0; i < r1->value.numel(); ++i)
+    EXPECT_FLOAT_EQ(r1->value[i], r2->value[i]);
+}
+
+TEST_P(ShapeSweep, SigmoidBounded) {
+  Rng rng(6);
+  nn::Var a = random_leaf(GetParam(), rng, 5.0);
+  nn::Var s = nn::sigmoid(a);
+  for (std::int64_t i = 0; i < s->value.numel(); ++i) {
+    EXPECT_GT(s->value[i], 0.0f);
+    EXPECT_LT(s->value[i], 1.0f);
+  }
+}
+
+TEST_P(ShapeSweep, MseLossZeroIffEqual) {
+  Rng rng(7);
+  nn::Var a = random_leaf(GetParam(), rng);
+  EXPECT_FLOAT_EQ(nn::mse_loss(a, a)->value[0], 0.0f);
+  nn::Var b = nn::add_scalar(a, 0.5f);
+  EXPECT_GT(nn::mse_loss(a, b)->value[0], 0.0f);
+}
+
+TEST_P(ShapeSweep, GradientOfCompositeExpression) {
+  Rng rng(8);
+  nn::Var a = random_leaf(GetParam(), rng, 0.5);
+  nn::Var b = random_leaf(GetParam(), rng, 0.5);
+  auto forward = [&]() {
+    // A mixed expression exercising several ops in one graph.
+    nn::Var t = nn::mul(nn::tanh_op(a), nn::sigmoid(b));
+    nn::Var u = nn::add(nn::square(t), nn::mul_scalar(a, 0.3f));
+    return nn::mean_op(u);
+  };
+  check_gradients(forward, {a, b}, 1e-3, 6e-2, 5e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeSweep,
+    ::testing::Values(nn::Shape{1}, nn::Shape{7}, nn::Shape{3, 5},
+                      nn::Shape{2, 3, 4}, nn::Shape{1, 2, 4, 4}),
+    [](const ::testing::TestParamInfo<nn::Shape>& info) {
+      std::string name = "s";
+      for (auto d : info.param) name += "_" + std::to_string(d);
+      return name;
+    });
+
+// ---- convolution shape sweep ----
+
+struct ConvCase {
+  std::int64_t cin, cout, hw, k, stride, pad;
+};
+
+class ConvSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvSweep, OutputShapeFormula) {
+  const ConvCase c = GetParam();
+  Rng rng(9);
+  nn::Var x = random_leaf({1, c.cin, c.hw, c.hw}, rng);
+  nn::Var w = random_leaf({c.cout, c.cin, c.k, c.k}, rng);
+  nn::Var y = nn::conv2d(x, w, nullptr, c.stride, c.pad);
+  const std::int64_t expect = (c.hw + 2 * c.pad - c.k) / c.stride + 1;
+  ASSERT_EQ(y->value.shape(), (nn::Shape{1, c.cout, expect, expect}));
+}
+
+TEST_P(ConvSweep, LinearInInput) {
+  // conv(a*x) == a*conv(x) for bias-free convolution.
+  const ConvCase c = GetParam();
+  Rng rng(10);
+  nn::Var x = random_leaf({1, c.cin, c.hw, c.hw}, rng);
+  nn::Var w = random_leaf({c.cout, c.cin, c.k, c.k}, rng);
+  nn::Var y1 = nn::mul_scalar(nn::conv2d(x, w, nullptr, c.stride, c.pad), 2.0f);
+  nn::Var y2 = nn::conv2d(nn::mul_scalar(x, 2.0f), w, nullptr, c.stride, c.pad);
+  for (std::int64_t i = 0; i < y1->value.numel(); ++i)
+    EXPECT_NEAR(y1->value[i], y2->value[i], 1e-4);
+}
+
+TEST_P(ConvSweep, GradientMatchesNumeric) {
+  const ConvCase c = GetParam();
+  if (c.hw > 6) GTEST_SKIP() << "numeric check kept small";
+  Rng rng(11);
+  nn::Var x = random_leaf({1, c.cin, c.hw, c.hw}, rng, 0.5);
+  nn::Var w = random_leaf({c.cout, c.cin, c.k, c.k}, rng, 0.5);
+  auto forward = [&]() {
+    return nn::mean_op(nn::square(nn::conv2d(x, w, nullptr, c.stride, c.pad)));
+  };
+  check_gradients(forward, {x, w}, 1e-2, 6e-2, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ConvSweep,
+    ::testing::Values(ConvCase{1, 1, 4, 3, 1, 1}, ConvCase{2, 3, 6, 3, 1, 1},
+                      ConvCase{3, 2, 6, 3, 2, 0}, ConvCase{2, 2, 8, 1, 1, 0},
+                      ConvCase{1, 4, 8, 2, 2, 0}),
+    [](const ::testing::TestParamInfo<ConvCase>& info) {
+      const ConvCase& c = info.param;
+      return "cin" + std::to_string(c.cin) + "cout" + std::to_string(c.cout) +
+             "hw" + std::to_string(c.hw) + "k" + std::to_string(c.k) + "s" +
+             std::to_string(c.stride) + "p" + std::to_string(c.pad);
+    });
+
+// ---- RUDY sweep over bbox geometries ----
+
+struct RudyCase {
+  double xlo, ylo, xhi, yhi;
+};
+
+class RudySweep : public ::testing::TestWithParam<RudyCase> {};
+
+TEST_P(RudySweep, MassMatchesClosedForm) {
+  const RudyCase c = GetParam();
+  const GCellGrid g(Rect{0, 0, 100, 100}, 10, 10);
+  std::vector<float> map(static_cast<std::size_t>(g.num_tiles()), 0.0f);
+  const Rect bbox{c.xlo, c.ylo, c.xhi, c.yhi};
+  add_net_rudy(map, g, bbox, 1.0);
+  double total = 0.0;
+  for (float v : map) total += v;
+  // Interior, non-degenerate boxes integrate exactly to k * area / A_tile.
+  if (bbox.width() >= g.tile_width() && bbox.height() >= g.tile_height()) {
+    const double expect = rudy_factor(bbox, g) * bbox.area() / g.tile_area();
+    EXPECT_NEAR(total, expect, 1e-3 * expect);
+  } else {
+    EXPECT_GT(total, 0.0);  // degenerate boxes still deposit demand
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boxes, RudySweep,
+    ::testing::Values(RudyCase{15, 25, 65, 75}, RudyCase{0, 0, 100, 100},
+                      RudyCase{5, 5, 15, 95}, RudyCase{33, 40, 34, 90},
+                      RudyCase{50, 50, 50, 50}, RudyCase{12, 12, 88, 13}),
+    [](const ::testing::TestParamInfo<RudyCase>& info) {
+      return "box" + std::to_string(info.index);
+    });
+
+}  // namespace
+}  // namespace dco3d

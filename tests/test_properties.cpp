@@ -1,0 +1,168 @@
+// Cross-design property sweeps (TEST_P over all six benchmark families):
+// whole-flow invariants that must hold regardless of design structure, plus
+// randomized robustness checks.
+
+#include <gtest/gtest.h>
+
+#include "flow/pin3d.hpp"
+#include "place/legalize.hpp"
+#include "route/router.hpp"
+#include "test_helpers.hpp"
+
+namespace dco3d {
+namespace {
+
+class FlowPropertyTest : public ::testing::TestWithParam<DesignKind> {
+ protected:
+  DesignSpec spec_ = spec_for(GetParam(), 0.01);
+  Netlist design_ = generate_design(spec_);
+};
+
+TEST_P(FlowPropertyTest, PlacementKeepsEveryCellInsideOutline) {
+  PlacementParams params;
+  const Placement3D pl = place_pseudo3d(design_, params, 11);
+  for (std::size_t i = 0; i < design_.num_cells(); ++i) {
+    const auto id = static_cast<CellId>(i);
+    const CellType& t = design_.cell_type(id);
+    EXPECT_GE(pl.xy[i].x, pl.outline.xlo - 1e-6);
+    EXPECT_GE(pl.xy[i].y, pl.outline.ylo - 1e-6);
+    if (design_.is_movable(id)) {
+      EXPECT_LE(pl.xy[i].x + t.width, pl.outline.xhi + 1e-6);
+      EXPECT_LE(pl.xy[i].y + t.height, pl.outline.yhi + 1e-6);
+    }
+  }
+}
+
+TEST_P(FlowPropertyTest, LegalPlacementHasNoOverlap) {
+  PlacementParams params;
+  Placement3D pl = place_pseudo3d(design_, params, 11);
+  for (int tier = 0; tier < 2; ++tier)
+    EXPECT_NEAR(overlap_area_on_tier(design_, pl, tier), 0.0, 1e-9)
+        << design_name(GetParam()) << " tier " << tier;
+}
+
+TEST_P(FlowPropertyTest, RoutingIsCapacityConsistent) {
+  PlacementParams params;
+  const Placement3D pl = place_pseudo3d(design_, params, 11);
+  const GCellGrid grid(pl.outline, 24, 24);
+  const RouterConfig cfg = calibrate_capacity(design_, pl, grid, {}, 0.70);
+  EXPECT_GE(cfg.h_capacity, 2.0);
+  EXPECT_GE(cfg.v_capacity, 2.0);
+  const RouteResult r = global_route(design_, pl, grid, cfg);
+  // Overflow decomposition must be consistent.
+  EXPECT_NEAR(r.total_overflow, r.h_overflow + r.v_overflow, 1e-9);
+  EXPECT_GE(r.ovf_gcell_pct, 0.0);
+  EXPECT_LE(r.ovf_gcell_pct, 100.0);
+  // Per-net routed lengths must sum close to the aggregate wirelength
+  // (both include the via penalty per 3D net).
+  double sum = 0.0;
+  for (double wl : r.net_routed_wl) sum += wl;
+  EXPECT_NEAR(sum, r.wirelength, 1e-6 * std::max(r.wirelength, 1.0));
+}
+
+TEST_P(FlowPropertyTest, WholeFlowInvariants) {
+  FlowConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 16;
+  cfg.timing.clock_period_ps = spec_.clock_period_ps;
+  const FlowResult r = run_pin3d_flow(design_, cfg);
+  // PPA metrics exist and are finite at both stages.
+  for (const StageMetrics* m : {&r.after_place, &r.signoff}) {
+    EXPECT_TRUE(std::isfinite(m->wns_ps));
+    EXPECT_TRUE(std::isfinite(m->tns_ps));
+    EXPECT_LE(m->tns_ps, 0.0 + 1e-9);
+    EXPECT_GT(m->power_mw, 0.0);
+    EXPECT_GT(m->wirelength_um, 0.0);
+    EXPECT_GE(m->overflow, 0.0);
+  }
+  // CTS reached every register.
+  EXPECT_GT(r.cts.buffers_inserted, 0u);
+  // The final placement includes CTS buffers.
+  EXPECT_GT(r.placement.size(), design_.num_cells());
+}
+
+TEST_P(FlowPropertyTest, TighterClockNeverImprovesTns) {
+  PlacementParams params;
+  const Placement3D pl = place_pseudo3d(design_, params, 13);
+  TimingConfig fast, slow;
+  fast.clock_period_ps = 120.0;
+  slow.clock_period_ps = 320.0;
+  const TimingResult tf = run_sta(design_, pl, fast);
+  const TimingResult ts = run_sta(design_, pl, slow);
+  EXPECT_LE(tf.tns_ps, ts.tns_ps + 1e-9);
+  EXPECT_LE(tf.wns_ps, ts.wns_ps + 1e-9);
+  EXPECT_GE(tf.violating_endpoints, ts.violating_endpoints);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, FlowPropertyTest,
+                         ::testing::ValuesIn(kAllDesigns),
+                         [](const ::testing::TestParamInfo<DesignKind>& info) {
+                           return design_name(info.param);
+                         });
+
+// ---- randomized robustness ----
+
+TEST(Robustness, RouterHandlesDegeneratePlacements) {
+  // All cells at one point, all at corners, alternating tiers: the router
+  // must terminate with finite metrics, never crash.
+  const Netlist nl = testing::tiny_design(150);
+  Rng rng(3);
+  Placement3D pl = Placement3D::make(nl.num_cells(), Rect{0, 0, 4, 4});
+  const GCellGrid grid(pl.outline, 8, 8);
+  for (int scenario = 0; scenario < 3; ++scenario) {
+    for (std::size_t i = 0; i < nl.num_cells(); ++i) {
+      switch (scenario) {
+        case 0: pl.xy[i] = {2.0, 2.0}; break;
+        case 1: pl.xy[i] = {(i % 2) * 4.0, (i / 2 % 2) * 4.0}; break;
+        default: pl.xy[i] = {rng.uniform(0, 4), rng.uniform(0, 4)}; break;
+      }
+      pl.tier[i] = static_cast<int>(i % 2);
+    }
+    const RouteResult r = global_route(nl, pl, grid);
+    EXPECT_TRUE(std::isfinite(r.wirelength));
+    EXPECT_TRUE(std::isfinite(r.total_overflow));
+  }
+}
+
+TEST(Robustness, StaHandlesAllCellsOnePoint) {
+  const Netlist nl = testing::tiny_design(150);
+  Placement3D pl = Placement3D::make(nl.num_cells(), Rect{0, 0, 4, 4});
+  for (auto& p : pl.xy) p = {2.0, 2.0};
+  TimingConfig cfg;
+  const TimingResult t = run_sta(nl, pl, cfg);
+  EXPECT_TRUE(std::isfinite(t.tns_ps));
+  EXPECT_TRUE(std::isfinite(t.total_mw));
+}
+
+TEST(Robustness, LegalizerSurvivesOverCapacity) {
+  // More cell area than the outline can hold: legalizer must terminate and
+  // keep cells inside the outline even though overlap is unavoidable.
+  Netlist nl(Library::make_default());
+  const CellTypeId dff = nl.library().find(CellFunction::kDff, 2);
+  constexpr int kCells = 400;
+  for (int i = 0; i < kCells; ++i) nl.add_cell("c", dff);
+  Placement3D pl = Placement3D::make(kCells, Rect{0, 0, 1.5, 1.5});
+  Rng rng(7);
+  for (auto& p : pl.xy) p = {rng.uniform(0, 1.5), rng.uniform(0, 1.5)};
+  PlacementParams params;
+  legalize_all(nl, pl, params);
+  for (std::size_t i = 0; i < pl.size(); ++i) {
+    EXPECT_GE(pl.xy[i].x, pl.outline.xlo - 1e-9);
+    EXPECT_LE(pl.xy[i].x, pl.outline.xhi + 1e-9);
+  }
+}
+
+TEST(Robustness, FlowSurvivesSampledParameterExtremes) {
+  const Netlist nl = testing::tiny_design(200);
+  Rng rng(17);
+  for (int trial = 0; trial < 4; ++trial) {
+    FlowConfig cfg;
+    cfg.grid_nx = cfg.grid_ny = 16;
+    cfg.place_params = PlacementParams::sample(rng);
+    const FlowResult r = run_pin3d_flow(nl, cfg);
+    EXPECT_TRUE(std::isfinite(r.signoff.tns_ps));
+    EXPECT_GT(r.signoff.wirelength_um, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dco3d

@@ -1,0 +1,146 @@
+// Critical-path report tests.
+
+#include <gtest/gtest.h>
+
+#include "place/placer3d.hpp"
+#include "timing/report.hpp"
+#include "test_helpers.hpp"
+
+namespace dco3d {
+namespace {
+
+struct PathFixture {
+  Netlist nl{Library::make_default()};
+  Placement3D pl;
+  CellId ff_in, mid1, mid2, ff_out;
+
+  PathFixture() {
+    const CellTypeId dff = nl.library().find(CellFunction::kDff, 1);
+    const CellTypeId inv = nl.library().find(CellFunction::kInv, 1);
+    ff_in = nl.add_cell("ff_in", dff);
+    mid1 = nl.add_cell("mid1", inv);
+    mid2 = nl.add_cell("mid2", inv);
+    ff_out = nl.add_cell("ff_out", dff);
+    CellId chain[] = {ff_in, mid1, mid2, ff_out};
+    for (int i = 0; i < 3; ++i) {
+      Net n;
+      n.driver = {chain[i], {}};
+      n.sinks = {{chain[i + 1], {}}};
+      nl.add_net(std::move(n));
+    }
+    pl = Placement3D::make(4, Rect{0, 0, 40, 10});
+    for (int i = 0; i < 4; ++i) pl.xy[static_cast<std::size_t>(i)] = {10.0 * i, 5.0};
+  }
+};
+
+TEST(Report, WorstPathCoversTheChain) {
+  PathFixture f;
+  TimingConfig cfg;
+  cfg.clock_period_ps = 50.0;  // violating
+  const TimingResult t = run_sta(f.nl, f.pl, cfg);
+  const auto paths = worst_paths(f.nl, f.pl, cfg, t, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  const TimingPath& p = paths[0];
+  EXPECT_EQ(p.endpoint, f.ff_out);
+  ASSERT_EQ(p.points.size(), 4u);
+  EXPECT_EQ(p.points.front().cell, f.ff_in);
+  EXPECT_EQ(p.points[1].cell, f.mid1);
+  EXPECT_EQ(p.points[2].cell, f.mid2);
+  EXPECT_EQ(p.points.back().cell, f.ff_out);
+}
+
+TEST(Report, SlackMatchesSta) {
+  PathFixture f;
+  TimingConfig cfg;
+  cfg.clock_period_ps = 50.0;
+  const TimingResult t = run_sta(f.nl, f.pl, cfg);
+  const auto paths = worst_paths(f.nl, f.pl, cfg, t, 1);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_NEAR(paths[0].slack_ps, t.wns_ps, 1e-6);
+}
+
+TEST(Report, ArrivalsMonotoneAlongPath) {
+  PathFixture f;
+  TimingConfig cfg;
+  cfg.clock_period_ps = 80.0;
+  const TimingResult t = run_sta(f.nl, f.pl, cfg);
+  const auto paths = worst_paths(f.nl, f.pl, cfg, t, 1);
+  ASSERT_FALSE(paths.empty());
+  for (std::size_t i = 1; i < paths[0].points.size(); ++i) {
+    EXPECT_GE(paths[0].points[i].arrival_ps,
+              paths[0].points[i - 1].arrival_ps - 1e-9);
+    EXPECT_NEAR(paths[0].points[i].incr_ps,
+                paths[0].points[i].arrival_ps - paths[0].points[i - 1].arrival_ps,
+                1e-9);
+  }
+}
+
+TEST(Report, KWorstAreSortedBySlack) {
+  const Netlist nl = testing::tiny_design(300);
+  PlacementParams params;
+  const Placement3D pl = place_pseudo3d(nl, params, 3);
+  TimingConfig cfg;
+  cfg.clock_period_ps = 150.0;
+  const TimingResult t = run_sta(nl, pl, cfg);
+  const auto paths = worst_paths(nl, pl, cfg, t, 8);
+  ASSERT_GE(paths.size(), 2u);
+  for (std::size_t i = 1; i < paths.size(); ++i)
+    EXPECT_LE(paths[i - 1].slack_ps, paths[i].slack_ps);
+  EXPECT_NEAR(paths[0].slack_ps, t.wns_ps, 1e-6);
+}
+
+TEST(Report, PathsEndAtLaunchPoints) {
+  const Netlist nl = testing::tiny_design(300);
+  PlacementParams params;
+  const Placement3D pl = place_pseudo3d(nl, params, 3);
+  TimingConfig cfg;
+  cfg.clock_period_ps = 150.0;
+  const TimingResult t = run_sta(nl, pl, cfg);
+  for (const TimingPath& p : worst_paths(nl, pl, cfg, t, 5)) {
+    ASSERT_GE(p.points.size(), 2u);
+    // Guaranteed invariants: the endpoint is a capture point, and every
+    // interior stage is combinational. (The walk may *originate* at a
+    // combinational cell when the fanin cone contains a broadcast-net cycle
+    // or a dangling input — both valid in our netlist model.)
+    const CellId end = p.points.back().cell;
+    EXPECT_TRUE(nl.is_sequential(end) || nl.is_io(end) || nl.is_macro(end));
+    for (std::size_t i = 1; i + 1 < p.points.size(); ++i) {
+      const CellId mid = p.points[i].cell;
+      EXPECT_FALSE(nl.is_sequential(mid) || nl.is_io(mid) || nl.is_macro(mid))
+          << "interior point " << nl.cell(mid).name << " is a launch point";
+    }
+  }
+}
+
+TEST(Report, FormatContainsCellNames) {
+  PathFixture f;
+  TimingConfig cfg;
+  cfg.clock_period_ps = 50.0;
+  const TimingResult t = run_sta(f.nl, f.pl, cfg);
+  const auto paths = worst_paths(f.nl, f.pl, cfg, t, 1);
+  ASSERT_FALSE(paths.empty());
+  const std::string s = format_path(f.nl, paths[0]);
+  EXPECT_NE(s.find("ff_in"), std::string::npos);
+  EXPECT_NE(s.find("mid1"), std::string::npos);
+  EXPECT_NE(s.find("ff_out"), std::string::npos);
+  EXPECT_NE(s.find("slack"), std::string::npos);
+}
+
+TEST(Report, EmptyWhenNoEndpoints) {
+  // A single combinational cell with a self-contained net: no endpoints.
+  Netlist nl(Library::make_default());
+  const CellTypeId inv = nl.library().smallest(CellFunction::kInv);
+  const CellId a = nl.add_cell("a", inv);
+  const CellId b = nl.add_cell("b", inv);
+  Net n;
+  n.driver = {a, {}};
+  n.sinks = {{b, {}}};
+  nl.add_net(std::move(n));
+  Placement3D pl = Placement3D::make(2, Rect{0, 0, 10, 10});
+  TimingConfig cfg;
+  const TimingResult t = run_sta(nl, pl, cfg);
+  EXPECT_TRUE(worst_paths(nl, pl, cfg, t, 4).empty());
+}
+
+}  // namespace
+}  // namespace dco3d

@@ -1,0 +1,175 @@
+// UNet / Siamese UNet architecture tests: shapes, weight sharing, the
+// communication layer, symmetry, and training-step sanity.
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.hpp"
+#include "nn/unet.hpp"
+#include "test_helpers.hpp"
+
+namespace dco3d {
+namespace {
+
+using testing::random_leaf;
+
+nn::UNetConfig small_cfg() {
+  nn::UNetConfig cfg;
+  cfg.in_channels = 7;
+  cfg.out_channels = 1;
+  cfg.base_channels = 4;
+  cfg.depth = 2;
+  return cfg;
+}
+
+TEST(UNet, ForwardShape) {
+  Rng rng(1);
+  nn::UNet unet(small_cfg(), rng);
+  nn::Var x = random_leaf({1, 7, 16, 16}, rng);
+  nn::Var y = unet.forward(x);
+  ASSERT_EQ(y->value.shape(), (nn::Shape{1, 1, 16, 16}));
+}
+
+TEST(UNet, OutputNearNonNegative) {
+  // The head is a leaky ReLU (slope 0.01): outputs may dip slightly below
+  // zero but never by more than 1% of the positive range.
+  Rng rng(2);
+  nn::UNet unet(small_cfg(), rng);
+  nn::Var x = random_leaf({1, 7, 8, 8}, rng);
+  nn::Var y = unet.forward(x);
+  float vmax = 0.0f, vmin = 0.0f;
+  for (std::int64_t i = 0; i < y->value.numel(); ++i) {
+    vmax = std::max(vmax, y->value[i]);
+    vmin = std::min(vmin, y->value[i]);
+  }
+  EXPECT_GE(vmin, -0.011f * std::max(vmax / 0.01f, 1.0f));
+}
+
+TEST(UNet, BottleneckChannels) {
+  Rng rng(3);
+  nn::UNetConfig cfg = small_cfg();
+  nn::UNet unet(cfg, rng);
+  EXPECT_EQ(unet.bottleneck_channels(), cfg.base_channels * 4);  // depth 2
+  nn::Var x = random_leaf({1, 7, 16, 16}, rng);
+  const nn::EncoderOut e = unet.encode(x);
+  ASSERT_EQ(e.skips.size(), 2u);
+  EXPECT_EQ(e.bottleneck->value.dim(1), unet.bottleneck_channels());
+  EXPECT_EQ(e.bottleneck->value.dim(2), 4);  // 16 / 2^2
+}
+
+TEST(SiameseUNet, ForwardShapes) {
+  Rng rng(4);
+  nn::SiameseUNet model(small_cfg(), rng);
+  nn::Var top = random_leaf({1, 7, 16, 16}, rng);
+  nn::Var bot = random_leaf({1, 7, 16, 16}, rng);
+  auto [ct, cb] = model.forward(top, bot);
+  ASSERT_EQ(ct->value.shape(), (nn::Shape{1, 1, 16, 16}));
+  ASSERT_EQ(cb->value.shape(), (nn::Shape{1, 1, 16, 16}));
+}
+
+TEST(SiameseUNet, SharedEncoderWeights) {
+  // The encoder/decoder weights are shared between dies: encoding the same
+  // feature stack through "both" paths is literally the same computation,
+  // so identical inputs yield identical bottlenecks/skips. (The pointwise
+  // communication conv afterwards is free to treat the dies differently —
+  // that is where die-specific interaction enters.)
+  Rng rng(5);
+  nn::UNet unet(small_cfg(), rng);
+  nn::Var a = random_leaf({1, 7, 8, 8}, rng);
+  const nn::EncoderOut e1 = unet.encode(a);
+  const nn::EncoderOut e2 = unet.encode(a);
+  for (std::int64_t i = 0; i < e1.bottleneck->value.numel(); ++i)
+    EXPECT_FLOAT_EQ(e1.bottleneck->value[i], e2.bottleneck->value[i]);
+  ASSERT_EQ(e1.skips.size(), e2.skips.size());
+  for (std::size_t s = 0; s < e1.skips.size(); ++s)
+    for (std::int64_t i = 0; i < e1.skips[s]->value.numel(); ++i)
+      EXPECT_FLOAT_EQ(e1.skips[s]->value[i], e2.skips[s]->value[i]);
+}
+
+TEST(SiameseUNet, CommunicationLayerCouplesDies) {
+  // Changing die-B's input must change die-A's prediction (inter-die
+  // dependency via the pointwise communication conv).
+  Rng rng(6);
+  nn::SiameseUNet model(small_cfg(), rng);
+  nn::Var a = random_leaf({1, 7, 8, 8}, rng);
+  nn::Var b1 = random_leaf({1, 7, 8, 8}, rng);
+  nn::Var b2 = random_leaf({1, 7, 8, 8}, rng, 3.0);
+  auto [a_out1, unused1] = model.forward(a, b1);
+  auto [a_out2, unused2] = model.forward(a, b2);
+  (void)unused1;
+  (void)unused2;
+  double diff = 0.0;
+  for (std::int64_t i = 0; i < a_out1->value.numel(); ++i)
+    diff += std::abs(a_out1->value[i] - a_out2->value[i]);
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(SiameseUNet, ParameterCountSharedPlusComm) {
+  Rng rng(7);
+  nn::UNetConfig cfg = small_cfg();
+  nn::UNet plain(cfg, rng);
+  Rng rng2(7);
+  nn::SiameseUNet siamese(cfg, rng2);
+  // Siamese = one shared UNet + the pointwise comm conv (w + b).
+  EXPECT_EQ(siamese.parameters().size(), plain.parameters().size() + 2);
+}
+
+TEST(SiameseUNet, LossMatchesEq4) {
+  Rng rng(8);
+  nn::SiameseUNet model(small_cfg(), rng);
+  nn::Var t = random_leaf({1, 1, 8, 8}, rng);
+  nn::Var zero = nn::make_leaf(nn::Tensor({1, 1, 8, 8}));
+  // L(pred=t, label=t) = 0; L(pred=t, label=0) = 0.5*(rms(t)+rms(t)) with
+  // the same tensor on both dies.
+  nn::Var l_zero = nn::siamese_loss(t, t, t, t);
+  EXPECT_NEAR(l_zero->value[0], 0.0f, 1e-6);
+  nn::Var l = nn::siamese_loss(t, zero, t, zero);
+  double ms = 0.0;
+  for (std::int64_t i = 0; i < t->value.numel(); ++i)
+    ms += t->value[i] * t->value[i];
+  const double rms = std::sqrt(ms / t->value.numel());
+  EXPECT_NEAR(l->value[0], rms, 1e-4);
+}
+
+TEST(SiameseUNet, OneTrainingStepReducesLoss) {
+  Rng rng(9);
+  nn::SiameseUNet model(small_cfg(), rng);
+  nn::Adam adam(model.parameters(), 1e-2f);
+  nn::Var f_top = random_leaf({1, 7, 8, 8}, rng);
+  nn::Var f_bot = random_leaf({1, 7, 8, 8}, rng);
+  nn::Tensor label({1, 1, 8, 8}, 0.5f);
+
+  auto loss_value = [&]() {
+    auto [pt, pb] = model.forward(f_top, f_bot);
+    return nn::siamese_loss(pt, nn::make_leaf(label), pb, nn::make_leaf(label));
+  };
+  const double before = loss_value()->value[0];
+  for (int i = 0; i < 12; ++i) {
+    nn::Var loss = loss_value();
+    adam.zero_grad();
+    nn::backward(loss);
+    adam.step();
+  }
+  EXPECT_LT(loss_value()->value[0], before);
+}
+
+TEST(SiameseUNet, GradReachesAllParameters) {
+  Rng rng(10);
+  nn::SiameseUNet model(small_cfg(), rng);
+  nn::Var f = random_leaf({1, 7, 8, 8}, rng);
+  auto [pt, pb] = model.forward(f, f);
+  nn::Var loss = nn::add(nn::mean_op(nn::square(pt)), nn::mean_op(nn::square(pb)));
+  auto params = model.parameters();
+  nn::zero_grad(params);
+  nn::backward(loss);
+  std::size_t touched = 0;
+  for (const auto& p : params) {
+    double g = 0.0;
+    for (std::int64_t i = 0; i < p->grad.numel(); ++i) g += std::abs(p->grad[i]);
+    if (g > 0.0) ++touched;
+  }
+  // ReLU dead units can zero a few biases, but the bulk must receive grad.
+  EXPECT_GE(touched, params.size() - 4);
+}
+
+}  // namespace
+}  // namespace dco3d

@@ -1,0 +1,186 @@
+// Unit tests for util/: deterministic RNG, statistics (NRMSE, SSIM,
+// histogram, correlation), and geometry primitives.
+
+#include <gtest/gtest.h>
+
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace dco3d {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  auto copy = v;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, sorted);
+}
+
+TEST(Stats, MeanVariance) {
+  const std::vector<float> v{1.0f, 2.0f, 3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(variance(v), 1.25);
+}
+
+TEST(Stats, RmseZeroForIdentical) {
+  const std::vector<float> v{1.0f, 2.0f, 3.0f};
+  EXPECT_DOUBLE_EQ(rmse(v, v), 0.0);
+}
+
+TEST(Stats, NrmseNormalizesByRange) {
+  const std::vector<float> truth{0.0f, 10.0f};
+  const std::vector<float> pred{1.0f, 9.0f};
+  // rmse = 1, range = 10 -> 0.1
+  EXPECT_NEAR(nrmse(pred, truth), 0.1, 1e-9);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<float> a{1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<float> b{2.0f, 4.0f, 6.0f, 8.0f};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-9);
+  std::vector<float> c{4.0f, 3.0f, 2.0f, 1.0f};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-9);
+}
+
+TEST(Stats, PearsonConstantSignalIsZero) {
+  const std::vector<float> a{1.0f, 1.0f, 1.0f};
+  const std::vector<float> b{1.0f, 2.0f, 3.0f};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Stats, SsimIdenticalImagesIsOne) {
+  std::vector<float> img(16 * 16);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    img[i] = static_cast<float>(i % 7) * 0.3f;
+  EXPECT_NEAR(ssim(img, img, 16, 16), 1.0, 1e-6);
+}
+
+TEST(Stats, SsimDissimilarImagesLower) {
+  std::vector<float> a(16 * 16, 0.0f), b(16 * 16);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i] = static_cast<float>((i / 16 + i % 16) % 2);
+  EXPECT_LT(ssim(a, b, 16, 16), 0.6);
+}
+
+TEST(Stats, HistogramCountsAndClamping) {
+  const std::vector<float> v{-1.0f, 0.05f, 0.15f, 0.95f, 2.0f};
+  const auto h = histogram(v, 0.0, 1.0, 10);
+  ASSERT_EQ(h.size(), 10u);
+  EXPECT_EQ(h[0], 2u);  // -1 clamps into bucket 0, 0.05 lands there
+  EXPECT_EQ(h[1], 1u);
+  EXPECT_EQ(h[9], 2u);  // 0.95 and clamped 2.0
+  std::size_t total = 0;
+  for (auto c : h) total += c;
+  EXPECT_EQ(total, v.size());
+}
+
+TEST(Stats, FractionThresholds) {
+  const std::vector<float> v{0.1f, 0.3f, 0.5f, 0.7f};
+  EXPECT_DOUBLE_EQ(fraction_below(v, 0.4), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_above(v, 0.4), 0.5);
+}
+
+TEST(Stats, AsciiHeatmapShapeAndContent) {
+  std::vector<float> map(8 * 8, 0.0f);
+  map[0] = 1.0f;  // bottom-left hot spot
+  const std::string art = ascii_heatmap(map, 8, 8, 8);
+  ASSERT_FALSE(art.empty());
+  // Bottom row emitted last; the hotspot should produce a non-space char.
+  const auto last_row = art.substr(art.size() - 9, 8);
+  EXPECT_NE(last_row[0], ' ');
+}
+
+TEST(Geometry, RectBasics) {
+  const Rect r{0, 0, 4, 2};
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 2.0);
+  EXPECT_DOUBLE_EQ(r.area(), 8.0);
+  EXPECT_DOUBLE_EQ(r.half_perimeter(), 6.0);
+  EXPECT_TRUE(r.contains({1, 1}));
+  EXPECT_FALSE(r.contains({5, 1}));
+}
+
+TEST(Geometry, OverlapArea) {
+  const Rect a{0, 0, 2, 2};
+  const Rect b{1, 1, 3, 3};
+  EXPECT_DOUBLE_EQ(a.overlap_area(b), 1.0);
+  const Rect c{5, 5, 6, 6};
+  EXPECT_DOUBLE_EQ(a.overlap_area(c), 0.0);
+}
+
+TEST(Geometry, BBoxAccumulates) {
+  BBox box;
+  EXPECT_TRUE(box.empty);
+  box.add({1, 2});
+  box.add({-1, 5});
+  EXPECT_FALSE(box.empty);
+  EXPECT_DOUBLE_EQ(box.rect.xlo, -1.0);
+  EXPECT_DOUBLE_EQ(box.rect.yhi, 5.0);
+}
+
+TEST(Geometry, ManhattanAndEuclidean) {
+  EXPECT_DOUBLE_EQ(manhattan({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(euclidean({0, 0}, {3, 4}), 5.0);
+}
+
+}  // namespace
+}  // namespace dco3d

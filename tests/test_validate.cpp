@@ -1,0 +1,116 @@
+// Netlist lint tests.
+
+#include <gtest/gtest.h>
+
+#include "netlist/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace dco3d {
+namespace {
+
+TEST(Lint, GeneratedDesignsAreClean) {
+  for (DesignKind kind : kAllDesigns) {
+    const Netlist nl = generate_design(spec_for(kind, 0.01));
+    const LintReport rep = lint_netlist(nl);
+    EXPECT_TRUE(rep.ok()) << design_name(kind) << ":\n" << format_report(rep);
+    EXPECT_EQ(rep.dangling_cells, 0u) << design_name(kind);
+  }
+}
+
+TEST(Lint, DetectsEmptyNet) {
+  Netlist nl(Library::make_default());
+  const CellTypeId inv = nl.library().smallest(CellFunction::kInv);
+  const CellId a = nl.add_cell("a", inv);
+  Net n;
+  n.name = "empty";
+  n.driver = {a, {}};
+  nl.add_net(std::move(n));
+  const LintReport rep = lint_netlist(nl);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.empty_nets, 1u);
+}
+
+TEST(Lint, DetectsDanglingCell) {
+  Netlist nl(Library::make_default());
+  const CellTypeId inv = nl.library().smallest(CellFunction::kInv);
+  nl.add_cell("floating", inv);
+  const CellId a = nl.add_cell("a", inv);
+  const CellId b = nl.add_cell("b", inv);
+  Net n;
+  n.driver = {a, {}};
+  n.sinks = {{b, {}}};
+  nl.add_net(std::move(n));
+  const LintReport rep = lint_netlist(nl);
+  EXPECT_TRUE(rep.ok());  // dangling is a warning, not an error
+  EXPECT_EQ(rep.dangling_cells, 1u);
+  EXPECT_EQ(rep.warnings(), 1u);
+}
+
+TEST(Lint, DetectsSelfLoop) {
+  Netlist nl(Library::make_default());
+  const CellTypeId inv = nl.library().smallest(CellFunction::kInv);
+  const CellId a = nl.add_cell("a", inv);
+  Net n;
+  n.name = "loop";
+  n.driver = {a, {}};
+  n.sinks = {{a, {}}};
+  nl.add_net(std::move(n));
+  const LintReport rep = lint_netlist(nl);
+  EXPECT_EQ(rep.self_loop_nets, 1u);
+}
+
+TEST(Lint, DetectsMultiDriver) {
+  Netlist nl(Library::make_default());
+  const CellTypeId inv = nl.library().smallest(CellFunction::kInv);
+  const CellId a = nl.add_cell("a", inv);
+  const CellId b = nl.add_cell("b", inv);
+  const CellId c = nl.add_cell("c", inv);
+  for (CellId sink : {b, c}) {
+    Net n;
+    n.driver = {a, {}};
+    n.sinks = {{sink, {}}};
+    nl.add_net(std::move(n));
+  }
+  const LintReport rep = lint_netlist(nl);
+  EXPECT_EQ(rep.multi_driver_cells, 1u);
+}
+
+TEST(Lint, DetectsNegativeWeight) {
+  Netlist nl(Library::make_default());
+  const CellTypeId inv = nl.library().smallest(CellFunction::kInv);
+  const CellId a = nl.add_cell("a", inv);
+  const CellId b = nl.add_cell("b", inv);
+  Net n;
+  n.name = "neg";
+  n.driver = {a, {}};
+  n.sinks = {{b, {}}};
+  n.weight = -1.0;
+  nl.add_net(std::move(n));
+  EXPECT_FALSE(lint_netlist(nl).ok());
+}
+
+TEST(Lint, CountsComponents) {
+  Netlist nl(Library::make_default());
+  const CellTypeId inv = nl.library().smallest(CellFunction::kInv);
+  // Two disjoint pairs.
+  for (int pair = 0; pair < 2; ++pair) {
+    const CellId a = nl.add_cell("a", inv);
+    const CellId b = nl.add_cell("b", inv);
+    Net n;
+    n.driver = {a, {}};
+    n.sinks = {{b, {}}};
+    nl.add_net(std::move(n));
+  }
+  const LintReport rep = lint_netlist(nl);
+  EXPECT_EQ(rep.components, 2u);
+}
+
+TEST(Lint, FormatMentionsCounts) {
+  const Netlist nl = testing::tiny_design(150);
+  const std::string s = format_report(lint_netlist(nl));
+  EXPECT_NE(s.find("OK"), std::string::npos);
+  EXPECT_NE(s.find("component"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dco3d

@@ -1,0 +1,313 @@
+// dco3d — command-line driver for the library.
+//
+// Subcommands:
+//   generate <design> [--scale S] [-o file]        synthesize a benchmark
+//   check <design-file>                            lint structural invariants
+//   place <design-file> [-o file] [--seed N] [--congestion-focused]
+//   route <design-file> <placement-file> [--grid N] [--pctile P]
+//   sta <design-file> <placement-file> [--clock PS] [--paths K] [--hold]
+//   train <design-file> [-o ckpt] [--layouts N] [--epochs N] [--grid N]
+//   refine <design-file> <placement-file> [-o file] [--passes N]
+//   optimize <design-file> <placement-file> <ckpt> [-o file] [--grid N]
+//   flow <design-file> [--dco ckpt] [--clock PS] [--grid N]
+//
+// Files use the formats in src/io/. Every command is deterministic for a
+// given --seed.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dco.hpp"
+#include "core/trainer.hpp"
+#include "flow/pin3d.hpp"
+#include "io/design_io.hpp"
+#include "io/model_io.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/validate.hpp"
+#include "place/detailed.hpp"
+#include "place/legalize.hpp"
+#include "timing/hold.hpp"
+#include "timing/report.hpp"
+#include "util/stats.hpp"
+
+using namespace dco3d;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const { return options.count(name) > 0; }
+  std::string get(const std::string& name, const std::string& dflt) const {
+    const auto it = options.find(name);
+    return it == options.end() ? dflt : it->second;
+  }
+  double num(const std::string& name, double dflt) const {
+    const auto it = options.find(name);
+    return it == options.end() ? dflt : std::atof(it->second.c_str());
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args a;
+  for (int i = first; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--", 0) == 0 || s == "-o") {
+      const std::string key = s == "-o" ? "-o" : s;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        a.options[key] = argv[++i];
+      } else {
+        a.options[key] = "1";
+      }
+    } else {
+      a.positional.push_back(s);
+    }
+  }
+  return a;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dco3d <generate|check|place|route|sta|train|refine|optimize|flow> "
+               "...\n  (see the header of tools/dco3d_cli.cpp)\n");
+  return 2;
+}
+
+DesignKind parse_kind(const std::string& k) {
+  if (k == "dma") return DesignKind::kDma;
+  if (k == "aes") return DesignKind::kAes;
+  if (k == "ecg") return DesignKind::kEcg;
+  if (k == "vga") return DesignKind::kVga;
+  if (k == "rocket") return DesignKind::kRocket;
+  return DesignKind::kLdpc;
+}
+
+RouterConfig calibrated(const Netlist& design, const Placement3D& pl, int grid_n,
+                        double pctile) {
+  const GCellGrid grid(pl.outline, grid_n, grid_n);
+  return calibrate_capacity(design, pl, grid, {}, pctile);
+}
+
+int cmd_generate(const Args& a) {
+  if (a.positional.empty()) return usage();
+  DesignSpec spec = spec_for(parse_kind(a.positional[0]), a.num("--scale", 0.04));
+  const Netlist design = generate_design(spec);
+  const std::string out = a.get("-o", spec.name + ".design");
+  write_design_file(out, design);
+  std::printf("wrote %s: %zu cells, %zu nets, %zu IOs\n", out.c_str(),
+              design.num_cells(), design.num_nets(), design.num_ios());
+  return 0;
+}
+
+int cmd_check(const Args& a) {
+  if (a.positional.empty()) return usage();
+  const Netlist design = read_design_file(a.positional[0]);
+  const LintReport rep = lint_netlist(design);
+  std::printf("%s", format_report(rep).c_str());
+  return rep.ok() ? 0 : 1;
+}
+
+int cmd_place(const Args& a) {
+  if (a.positional.empty()) return usage();
+  const Netlist design = read_design_file(a.positional[0]);
+  PlacementParams params;
+  if (a.flag("--congestion-focused")) params = PlacementParams::congestion_focused();
+  const auto seed = static_cast<std::uint64_t>(a.num("--seed", 42));
+  const Placement3D pl = place_pseudo3d(design, params, seed);
+  const std::string out = a.get("-o", a.positional[0] + ".place");
+  write_placement_file(out, pl);
+  std::printf("wrote %s: HPWL %.1f um, cut %zu nets, outline %.2f x %.2f um\n",
+              out.c_str(), total_hpwl(design, pl), count_cut_nets(design, pl),
+              pl.outline.width(), pl.outline.height());
+  return 0;
+}
+
+int cmd_route(const Args& a) {
+  if (a.positional.size() < 2) return usage();
+  const Netlist design = read_design_file(a.positional[0]);
+  const Placement3D pl =
+      read_placement_file(a.positional[1], design.num_cells());
+  const int grid_n = static_cast<int>(a.num("--grid", 48));
+  const RouterConfig rcfg =
+      calibrated(design, pl, grid_n, a.num("--pctile", 0.70));
+  const GCellGrid grid(pl.outline, grid_n, grid_n);
+  const RouteResult r = global_route(design, pl, grid, rcfg);
+  std::printf("capacity: H=%.0f V=%.0f tracks/GCell (auto-calibrated)\n",
+              rcfg.h_capacity, rcfg.v_capacity);
+  std::printf("overflow: total %.0f (H %.0f, V %.0f), %.2f%% of GCells\n",
+              r.total_overflow, r.h_overflow, r.v_overflow, r.ovf_gcell_pct);
+  std::printf("wirelength: %.1f um, 3D vias: %zu\n", r.wirelength, r.num_3d_vias);
+  for (int die = 0; die < 2; ++die) {
+    std::printf("\ncongestion map, %s die:\n%s", die ? "top" : "bottom",
+                ascii_heatmap(r.congestion[die], static_cast<std::size_t>(grid_n),
+                              static_cast<std::size_t>(grid_n))
+                    .c_str());
+  }
+  return 0;
+}
+
+int cmd_sta(const Args& a) {
+  if (a.positional.size() < 2) return usage();
+  const Netlist design = read_design_file(a.positional[0]);
+  const Placement3D pl =
+      read_placement_file(a.positional[1], design.num_cells());
+  TimingConfig cfg;
+  cfg.clock_period_ps = a.num("--clock", 300.0);
+  const TimingResult t = run_sta(design, pl, cfg);
+  std::printf("clock period: %.0f ps\n", cfg.clock_period_ps);
+  std::printf("WNS %.2f ps, TNS %.1f ps over %zu endpoints (%zu violating)\n",
+              t.wns_ps, t.tns_ps, t.endpoints, t.violating_endpoints);
+  std::printf("power: %.3f mW (switching %.3f + internal %.3f + leakage %.3f)\n",
+              t.total_mw, t.switching_mw, t.internal_mw, t.leakage_mw);
+  if (a.flag("--hold")) {
+    const HoldResult h = run_hold_check(design, pl, cfg);
+    std::printf("hold: WHS %.2f ps, THS %.1f ps over %zu endpoints (%zu "
+                "violating)\n",
+                h.whs_ps, h.ths_ps, h.endpoints, h.violating_endpoints);
+  }
+  const auto n_paths = static_cast<std::size_t>(a.num("--paths", 0));
+  if (n_paths > 0) {
+    std::printf("\nworst %zu paths:\n", n_paths);
+    for (const TimingPath& p : worst_paths(design, pl, cfg, t, n_paths))
+      std::printf("%s\n", format_path(design, p).c_str());
+  }
+  return 0;
+}
+
+int cmd_train(const Args& a) {
+  if (a.positional.empty()) return usage();
+  const Netlist design = read_design_file(a.positional[0]);
+  const int grid_n = static_cast<int>(a.num("--grid", 48));
+
+  PlacementParams params;
+  const Placement3D ref = place_pseudo3d(design, params, 42);
+  DatasetConfig dcfg;
+  dcfg.layouts = static_cast<int>(a.num("--layouts", 10));
+  dcfg.grid_nx = dcfg.grid_ny = grid_n;
+  dcfg.net_h = dcfg.net_w = grid_n;
+  dcfg.router = calibrated(design, ref, grid_n, a.num("--pctile", 0.70));
+  std::printf("building %d layouts (+%d perturbed each)...\n", dcfg.layouts,
+              dcfg.perturbed_per_layout);
+  const auto dataset = build_dataset(design, dcfg);
+
+  TrainConfig tcfg;
+  tcfg.epochs = static_cast<int>(a.num("--epochs", 8));
+  tcfg.unet.base_channels = 8;
+  tcfg.unet.depth = 2;
+  std::printf("training %d epochs on %zu samples...\n", tcfg.epochs,
+              dataset.size());
+  const Predictor pred = train_predictor(dataset, tcfg);
+  std::printf("final train/test loss: %.4f / %.4f\n",
+              pred.curve.back().train_loss, pred.curve.back().test_loss);
+
+  nn::UNetConfig saved = tcfg.unet;
+  saved.in_channels = kNumFeatureChannels;
+  saved.out_channels = 1;
+  const std::string out = a.get("-o", a.positional[0] + ".ckpt");
+  save_predictor_file(out, pred, saved);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_refine(const Args& a) {
+  if (a.positional.size() < 2) return usage();
+  const Netlist design = read_design_file(a.positional[0]);
+  Placement3D pl = read_placement_file(a.positional[1], design.num_cells());
+  DetailedConfig cfg;
+  cfg.passes = static_cast<int>(a.num("--passes", 2));
+  const DetailedStats s = detailed_place(design, pl, cfg);
+  std::printf("detailed placement: %zu slides, %zu swaps, HPWL %.1f -> %.1f um "
+              "(%.2f%%)\n",
+              s.slides, s.swaps, s.hpwl_before, s.hpwl_after,
+              100.0 * (s.hpwl_before - s.hpwl_after) /
+                  std::max(s.hpwl_before, 1e-9));
+  const std::string out = a.get("-o", a.positional[1] + ".refined");
+  write_placement_file(out, pl);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_optimize(const Args& a) {
+  if (a.positional.size() < 3) return usage();
+  const Netlist design = read_design_file(a.positional[0]);
+  const Placement3D pl =
+      read_placement_file(a.positional[1], design.num_cells());
+  const Predictor pred = load_predictor_file(a.positional[2]);
+
+  const int grid_n = static_cast<int>(a.num("--grid", 48));
+  DcoConfig dcfg;
+  dcfg.grid_nx = dcfg.grid_ny = grid_n;
+  dcfg.router = calibrated(design, pl, grid_n, a.num("--pctile", 0.70));
+  TimingConfig tcfg;
+  tcfg.clock_period_ps = a.num("--clock", 300.0);
+
+  const DcoResult r = run_dco(design, pl, pred, tcfg, dcfg);
+  std::printf("DCO: %zu gradient iterations, %s (score %.2f -> %.2f), "
+              "%zu cells changed tier\n",
+              r.trace.size(),
+              r.improved ? "improved" : "input placement kept",
+              r.initial_score, r.best_loss, r.cells_moved_tier);
+  const std::string out = a.get("-o", a.positional[1] + ".dco");
+  write_placement_file(out, r.placement);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_flow(const Args& a) {
+  if (a.positional.empty()) return usage();
+  const Netlist design = read_design_file(a.positional[0]);
+  FlowConfig cfg;
+  cfg.timing.clock_period_ps = a.num("--clock", 300.0);
+  cfg.grid_nx = cfg.grid_ny = static_cast<int>(a.num("--grid", 48));
+  {
+    const Placement3D ref = place_pseudo3d(design, cfg.place_params, cfg.seed);
+    cfg.router = calibrated(design, ref, cfg.grid_nx, a.num("--pctile", 0.70));
+  }
+
+  PlacementOptimizer opt;
+  Predictor pred;
+  if (a.flag("--dco")) {
+    pred = load_predictor_file(a.get("--dco", ""));
+    DcoConfig dcfg;
+    dcfg.grid_nx = dcfg.grid_ny = cfg.grid_nx;
+    dcfg.router = cfg.router;
+    const TimingConfig tcfg = cfg.timing;
+    opt = [&pred, dcfg, tcfg](const Netlist& nl, Placement3D& pl) {
+      pl = run_dco(nl, pl, pred, tcfg, dcfg).placement;
+    };
+  }
+
+  const FlowResult r = run_pin3d_flow(design, cfg, opt);
+  std::printf("%-16s %9s %8s %8s %8s %10s %12s %10s %12s\n", "stage",
+              "overflow", "ovf%", "H ovf", "V ovf", "wns(ps)", "tns(ps)",
+              "power(mW)", "WL(um)");
+  std::printf("%s\n", r.after_place.row("after placement").c_str());
+  std::printf("%s\n", r.signoff.row("signoff").c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "check") return cmd_check(args);
+    if (cmd == "place") return cmd_place(args);
+    if (cmd == "route") return cmd_route(args);
+    if (cmd == "sta") return cmd_sta(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "refine") return cmd_refine(args);
+    if (cmd == "optimize") return cmd_optimize(args);
+    if (cmd == "flow") return cmd_flow(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
