@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_losses.cpp" "bench/CMakeFiles/bench_ablation_losses.dir/bench_ablation_losses.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_losses.dir/bench_ablation_losses.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/dco3d_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dco3d_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dco3d_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/dco3d_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/dco3d_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/dco3d_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/dco3d_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dco3d_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/dco3d_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dco3d_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dco3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

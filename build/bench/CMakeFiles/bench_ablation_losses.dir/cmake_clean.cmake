@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_losses.dir/bench_ablation_losses.cpp.o"
+  "CMakeFiles/bench_ablation_losses.dir/bench_ablation_losses.cpp.o.d"
+  "bench_ablation_losses"
+  "bench_ablation_losses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_losses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

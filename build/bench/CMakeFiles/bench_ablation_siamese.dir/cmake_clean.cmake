@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_siamese.dir/bench_ablation_siamese.cpp.o"
+  "CMakeFiles/bench_ablation_siamese.dir/bench_ablation_siamese.cpp.o.d"
+  "bench_ablation_siamese"
+  "bench_ablation_siamese.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_siamese.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

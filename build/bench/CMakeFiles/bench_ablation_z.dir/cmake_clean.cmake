@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_z.dir/bench_ablation_z.cpp.o"
+  "CMakeFiles/bench_ablation_z.dir/bench_ablation_z.cpp.o.d"
+  "bench_ablation_z"
+  "bench_ablation_z.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_z.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

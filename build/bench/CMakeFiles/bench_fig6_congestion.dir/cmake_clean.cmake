@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_congestion.dir/bench_fig6_congestion.cpp.o"
+  "CMakeFiles/bench_fig6_congestion.dir/bench_fig6_congestion.cpp.o.d"
+  "bench_fig6_congestion"
+  "bench_fig6_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

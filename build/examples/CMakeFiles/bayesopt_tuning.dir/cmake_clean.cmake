@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bayesopt_tuning.dir/bayesopt_tuning.cpp.o"
+  "CMakeFiles/bayesopt_tuning.dir/bayesopt_tuning.cpp.o.d"
+  "bayesopt_tuning"
+  "bayesopt_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bayesopt_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

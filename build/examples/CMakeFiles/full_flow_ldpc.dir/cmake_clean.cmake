@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_flow_ldpc.dir/full_flow_ldpc.cpp.o"
+  "CMakeFiles/full_flow_ldpc.dir/full_flow_ldpc.cpp.o.d"
+  "full_flow_ldpc"
+  "full_flow_ldpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_flow_ldpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_congestion.dir/predict_congestion.cpp.o"
+  "CMakeFiles/predict_congestion.dir/predict_congestion.cpp.o.d"
+  "predict_congestion"
+  "predict_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

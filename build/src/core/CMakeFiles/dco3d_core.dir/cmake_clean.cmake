@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dco3d_core.dir/dco.cpp.o"
+  "CMakeFiles/dco3d_core.dir/dco.cpp.o.d"
+  "CMakeFiles/dco3d_core.dir/features.cpp.o"
+  "CMakeFiles/dco3d_core.dir/features.cpp.o.d"
+  "CMakeFiles/dco3d_core.dir/losses.cpp.o"
+  "CMakeFiles/dco3d_core.dir/losses.cpp.o.d"
+  "CMakeFiles/dco3d_core.dir/spreader.cpp.o"
+  "CMakeFiles/dco3d_core.dir/spreader.cpp.o.d"
+  "CMakeFiles/dco3d_core.dir/trainer.cpp.o"
+  "CMakeFiles/dco3d_core.dir/trainer.cpp.o.d"
+  "libdco3d_core.a"
+  "libdco3d_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dco3d_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

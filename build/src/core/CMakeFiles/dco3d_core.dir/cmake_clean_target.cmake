@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdco3d_core.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dco3d_flow.dir/cts.cpp.o"
+  "CMakeFiles/dco3d_flow.dir/cts.cpp.o.d"
+  "CMakeFiles/dco3d_flow.dir/dataset.cpp.o"
+  "CMakeFiles/dco3d_flow.dir/dataset.cpp.o.d"
+  "CMakeFiles/dco3d_flow.dir/metrics.cpp.o"
+  "CMakeFiles/dco3d_flow.dir/metrics.cpp.o.d"
+  "CMakeFiles/dco3d_flow.dir/pin3d.cpp.o"
+  "CMakeFiles/dco3d_flow.dir/pin3d.cpp.o.d"
+  "CMakeFiles/dco3d_flow.dir/signoff.cpp.o"
+  "CMakeFiles/dco3d_flow.dir/signoff.cpp.o.d"
+  "libdco3d_flow.a"
+  "libdco3d_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dco3d_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dco3d_grid.dir/feature_maps.cpp.o"
+  "CMakeFiles/dco3d_grid.dir/feature_maps.cpp.o.d"
+  "CMakeFiles/dco3d_grid.dir/soft_maps.cpp.o"
+  "CMakeFiles/dco3d_grid.dir/soft_maps.cpp.o.d"
+  "libdco3d_grid.a"
+  "libdco3d_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dco3d_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

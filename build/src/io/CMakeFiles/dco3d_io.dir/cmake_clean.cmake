@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dco3d_io.dir/design_io.cpp.o"
+  "CMakeFiles/dco3d_io.dir/design_io.cpp.o.d"
+  "CMakeFiles/dco3d_io.dir/model_io.cpp.o"
+  "CMakeFiles/dco3d_io.dir/model_io.cpp.o.d"
+  "libdco3d_io.a"
+  "libdco3d_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dco3d_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/generators.cpp" "src/netlist/CMakeFiles/dco3d_netlist.dir/generators.cpp.o" "gcc" "src/netlist/CMakeFiles/dco3d_netlist.dir/generators.cpp.o.d"
+  "/root/repo/src/netlist/library.cpp" "src/netlist/CMakeFiles/dco3d_netlist.dir/library.cpp.o" "gcc" "src/netlist/CMakeFiles/dco3d_netlist.dir/library.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/dco3d_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/dco3d_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/validate.cpp" "src/netlist/CMakeFiles/dco3d_netlist.dir/validate.cpp.o" "gcc" "src/netlist/CMakeFiles/dco3d_netlist.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dco3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dco3d_netlist.dir/generators.cpp.o"
+  "CMakeFiles/dco3d_netlist.dir/generators.cpp.o.d"
+  "CMakeFiles/dco3d_netlist.dir/library.cpp.o"
+  "CMakeFiles/dco3d_netlist.dir/library.cpp.o.d"
+  "CMakeFiles/dco3d_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/dco3d_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/dco3d_netlist.dir/validate.cpp.o"
+  "CMakeFiles/dco3d_netlist.dir/validate.cpp.o.d"
+  "libdco3d_netlist.a"
+  "libdco3d_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dco3d_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/autograd.cpp" "src/nn/CMakeFiles/dco3d_nn.dir/autograd.cpp.o" "gcc" "src/nn/CMakeFiles/dco3d_nn.dir/autograd.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/dco3d_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/dco3d_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/gcn.cpp" "src/nn/CMakeFiles/dco3d_nn.dir/gcn.cpp.o" "gcc" "src/nn/CMakeFiles/dco3d_nn.dir/gcn.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "src/nn/CMakeFiles/dco3d_nn.dir/ops.cpp.o" "gcc" "src/nn/CMakeFiles/dco3d_nn.dir/ops.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/dco3d_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/dco3d_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/unet.cpp" "src/nn/CMakeFiles/dco3d_nn.dir/unet.cpp.o" "gcc" "src/nn/CMakeFiles/dco3d_nn.dir/unet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dco3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dco3d_nn.dir/autograd.cpp.o"
+  "CMakeFiles/dco3d_nn.dir/autograd.cpp.o.d"
+  "CMakeFiles/dco3d_nn.dir/conv.cpp.o"
+  "CMakeFiles/dco3d_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/dco3d_nn.dir/gcn.cpp.o"
+  "CMakeFiles/dco3d_nn.dir/gcn.cpp.o.d"
+  "CMakeFiles/dco3d_nn.dir/ops.cpp.o"
+  "CMakeFiles/dco3d_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/dco3d_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/dco3d_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/dco3d_nn.dir/unet.cpp.o"
+  "CMakeFiles/dco3d_nn.dir/unet.cpp.o.d"
+  "libdco3d_nn.a"
+  "libdco3d_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dco3d_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/bayesopt.cpp" "src/opt/CMakeFiles/dco3d_opt.dir/bayesopt.cpp.o" "gcc" "src/opt/CMakeFiles/dco3d_opt.dir/bayesopt.cpp.o.d"
+  "/root/repo/src/opt/gp.cpp" "src/opt/CMakeFiles/dco3d_opt.dir/gp.cpp.o" "gcc" "src/opt/CMakeFiles/dco3d_opt.dir/gp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dco3d_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/dco3d_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/dco3d_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dco3d_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dco3d_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dco3d_opt.dir/bayesopt.cpp.o"
+  "CMakeFiles/dco3d_opt.dir/bayesopt.cpp.o.d"
+  "CMakeFiles/dco3d_opt.dir/gp.cpp.o"
+  "CMakeFiles/dco3d_opt.dir/gp.cpp.o.d"
+  "libdco3d_opt.a"
+  "libdco3d_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dco3d_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/detailed.cpp" "src/place/CMakeFiles/dco3d_place.dir/detailed.cpp.o" "gcc" "src/place/CMakeFiles/dco3d_place.dir/detailed.cpp.o.d"
+  "/root/repo/src/place/fm_partitioner.cpp" "src/place/CMakeFiles/dco3d_place.dir/fm_partitioner.cpp.o" "gcc" "src/place/CMakeFiles/dco3d_place.dir/fm_partitioner.cpp.o.d"
+  "/root/repo/src/place/legalize.cpp" "src/place/CMakeFiles/dco3d_place.dir/legalize.cpp.o" "gcc" "src/place/CMakeFiles/dco3d_place.dir/legalize.cpp.o.d"
+  "/root/repo/src/place/params.cpp" "src/place/CMakeFiles/dco3d_place.dir/params.cpp.o" "gcc" "src/place/CMakeFiles/dco3d_place.dir/params.cpp.o.d"
+  "/root/repo/src/place/placer3d.cpp" "src/place/CMakeFiles/dco3d_place.dir/placer3d.cpp.o" "gcc" "src/place/CMakeFiles/dco3d_place.dir/placer3d.cpp.o.d"
+  "/root/repo/src/place/quadratic.cpp" "src/place/CMakeFiles/dco3d_place.dir/quadratic.cpp.o" "gcc" "src/place/CMakeFiles/dco3d_place.dir/quadratic.cpp.o.d"
+  "/root/repo/src/place/spreading.cpp" "src/place/CMakeFiles/dco3d_place.dir/spreading.cpp.o" "gcc" "src/place/CMakeFiles/dco3d_place.dir/spreading.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dco3d_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dco3d_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/dco3d_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dco3d_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dco3d_place.dir/detailed.cpp.o"
+  "CMakeFiles/dco3d_place.dir/detailed.cpp.o.d"
+  "CMakeFiles/dco3d_place.dir/fm_partitioner.cpp.o"
+  "CMakeFiles/dco3d_place.dir/fm_partitioner.cpp.o.d"
+  "CMakeFiles/dco3d_place.dir/legalize.cpp.o"
+  "CMakeFiles/dco3d_place.dir/legalize.cpp.o.d"
+  "CMakeFiles/dco3d_place.dir/params.cpp.o"
+  "CMakeFiles/dco3d_place.dir/params.cpp.o.d"
+  "CMakeFiles/dco3d_place.dir/placer3d.cpp.o"
+  "CMakeFiles/dco3d_place.dir/placer3d.cpp.o.d"
+  "CMakeFiles/dco3d_place.dir/quadratic.cpp.o"
+  "CMakeFiles/dco3d_place.dir/quadratic.cpp.o.d"
+  "CMakeFiles/dco3d_place.dir/spreading.cpp.o"
+  "CMakeFiles/dco3d_place.dir/spreading.cpp.o.d"
+  "libdco3d_place.a"
+  "libdco3d_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dco3d_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/router.cpp" "src/route/CMakeFiles/dco3d_route.dir/router.cpp.o" "gcc" "src/route/CMakeFiles/dco3d_route.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dco3d_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dco3d_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/dco3d_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dco3d_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

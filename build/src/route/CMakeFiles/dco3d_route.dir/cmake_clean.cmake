@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dco3d_route.dir/router.cpp.o"
+  "CMakeFiles/dco3d_route.dir/router.cpp.o.d"
+  "libdco3d_route.a"
+  "libdco3d_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dco3d_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dco3d_timing.dir/hold.cpp.o"
+  "CMakeFiles/dco3d_timing.dir/hold.cpp.o.d"
+  "CMakeFiles/dco3d_timing.dir/report.cpp.o"
+  "CMakeFiles/dco3d_timing.dir/report.cpp.o.d"
+  "CMakeFiles/dco3d_timing.dir/sta.cpp.o"
+  "CMakeFiles/dco3d_timing.dir/sta.cpp.o.d"
+  "libdco3d_timing.a"
+  "libdco3d_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dco3d_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dco3d_util.dir/logging.cpp.o"
+  "CMakeFiles/dco3d_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dco3d_util.dir/stats.cpp.o"
+  "CMakeFiles/dco3d_util.dir/stats.cpp.o.d"
+  "libdco3d_util.a"
+  "libdco3d_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dco3d_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

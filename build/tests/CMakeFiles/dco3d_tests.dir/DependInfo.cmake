@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ablation_switches.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_ablation_switches.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_ablation_switches.cpp.o.d"
+  "/root/repo/tests/test_autograd.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_autograd.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_autograd.cpp.o.d"
+  "/root/repo/tests/test_conv.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_conv.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_conv.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_cts_structure.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_cts_structure.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_cts_structure.cpp.o.d"
+  "/root/repo/tests/test_detailed.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_detailed.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_detailed.cpp.o.d"
+  "/root/repo/tests/test_flow.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_flow.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_flow.cpp.o.d"
+  "/root/repo/tests/test_gcn.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_gcn.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_gcn.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_hold.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_hold.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_hold.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_misc.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_misc.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_misc.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_ops_sweep.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_ops_sweep.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_ops_sweep.cpp.o.d"
+  "/root/repo/tests/test_opt.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_opt.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_opt.cpp.o.d"
+  "/root/repo/tests/test_place.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_place.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_place.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_route.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_route.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_route.cpp.o.d"
+  "/root/repo/tests/test_soft_maps.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_soft_maps.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_soft_maps.cpp.o.d"
+  "/root/repo/tests/test_sta.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_sta.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_sta.cpp.o.d"
+  "/root/repo/tests/test_trainer.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_trainer.cpp.o.d"
+  "/root/repo/tests/test_unet.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_unet.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_unet.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_validate.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_validate.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/dco3d_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dco3d_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dco3d_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/dco3d_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/dco3d_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/dco3d_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/dco3d_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dco3d_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/dco3d_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dco3d_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dco3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dco3d_cli.dir/dco3d_cli.cpp.o"
+  "CMakeFiles/dco3d_cli.dir/dco3d_cli.cpp.o.d"
+  "dco3d"
+  "dco3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dco3d_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
