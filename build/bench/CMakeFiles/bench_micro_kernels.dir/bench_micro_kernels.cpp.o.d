@@ -239,19 +239,24 @@ bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/core/trainer.hpp /root/repo/src/flow/dataset.hpp \
- /root/repo/src/flow/pin3d.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/core/trainer.hpp /root/repo/src/core/guard.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/nn/autograd.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/flow/cts.hpp \
- /root/repo/src/flow/metrics.hpp /root/repo/src/flow/signoff.hpp \
- /root/repo/src/route/router.hpp /root/repo/src/grid/gcell_grid.hpp \
- /root/repo/src/netlist/generators.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/place/placer3d.hpp /root/repo/src/place/params.hpp \
- /root/repo/src/grid/feature_maps.hpp /root/repo/src/nn/optimizer.hpp \
- /root/repo/src/nn/autograd.hpp /root/repo/src/nn/unet.hpp \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/util/status.hpp \
+ /root/repo/src/flow/dataset.hpp /root/repo/src/flow/pin3d.hpp \
+ /root/repo/src/flow/cts.hpp /root/repo/src/flow/metrics.hpp \
+ /root/repo/src/flow/signoff.hpp /root/repo/src/route/router.hpp \
+ /root/repo/src/grid/gcell_grid.hpp /root/repo/src/netlist/generators.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/place/placer3d.hpp \
+ /root/repo/src/place/params.hpp /root/repo/src/grid/feature_maps.hpp \
+ /root/repo/src/nn/optimizer.hpp /root/repo/src/nn/unet.hpp \
  /root/repo/src/nn/conv.hpp /root/repo/src/nn/ops.hpp \
  /root/repo/src/grid/soft_maps.hpp /root/repo/src/nn/gcn.hpp \
  /root/repo/src/nn/init.hpp /root/repo/src/place/fm_partitioner.hpp \

@@ -197,19 +197,30 @@ examples/CMakeFiles/predict_congestion.dir/predict_congestion.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/flow/dataset.hpp \
- /root/repo/src/flow/pin3d.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/guard.hpp \
+ /usr/include/c++/12/array /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/nn/autograd.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/flow/cts.hpp \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/nn/tensor.hpp \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/util/status.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/flow/dataset.hpp \
+ /root/repo/src/flow/pin3d.hpp /root/repo/src/flow/cts.hpp \
  /root/repo/src/netlist/netlist.hpp /root/repo/src/netlist/library.hpp \
  /root/repo/src/util/geometry.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
@@ -224,8 +235,7 @@ examples/CMakeFiles/predict_congestion.dir/predict_congestion.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -239,14 +249,8 @@ examples/CMakeFiles/predict_congestion.dir/predict_congestion.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/timing/sta.hpp \
  /root/repo/src/flow/metrics.hpp /root/repo/src/flow/signoff.hpp \
  /root/repo/src/route/router.hpp /root/repo/src/grid/gcell_grid.hpp \
- /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/netlist/generators.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/place/placer3d.hpp /root/repo/src/place/params.hpp \
- /root/repo/src/grid/feature_maps.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/nn/tensor.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/span \
- /root/repo/src/nn/optimizer.hpp /root/repo/src/nn/autograd.hpp \
+ /root/repo/src/grid/feature_maps.hpp /root/repo/src/nn/optimizer.hpp \
  /root/repo/src/nn/unet.hpp /root/repo/src/nn/conv.hpp \
  /root/repo/src/nn/ops.hpp /root/repo/src/util/stats.hpp

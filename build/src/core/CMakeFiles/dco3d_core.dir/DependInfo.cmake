@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/dco.cpp" "src/core/CMakeFiles/dco3d_core.dir/dco.cpp.o" "gcc" "src/core/CMakeFiles/dco3d_core.dir/dco.cpp.o.d"
   "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/dco3d_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/dco3d_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/guard.cpp" "src/core/CMakeFiles/dco3d_core.dir/guard.cpp.o" "gcc" "src/core/CMakeFiles/dco3d_core.dir/guard.cpp.o.d"
   "/root/repo/src/core/losses.cpp" "src/core/CMakeFiles/dco3d_core.dir/losses.cpp.o" "gcc" "src/core/CMakeFiles/dco3d_core.dir/losses.cpp.o.d"
   "/root/repo/src/core/spreader.cpp" "src/core/CMakeFiles/dco3d_core.dir/spreader.cpp.o" "gcc" "src/core/CMakeFiles/dco3d_core.dir/spreader.cpp.o.d"
   "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/dco3d_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/dco3d_core.dir/trainer.cpp.o.d"

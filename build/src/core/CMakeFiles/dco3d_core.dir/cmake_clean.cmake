@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dco3d_core.dir/dco.cpp.o.d"
   "CMakeFiles/dco3d_core.dir/features.cpp.o"
   "CMakeFiles/dco3d_core.dir/features.cpp.o.d"
+  "CMakeFiles/dco3d_core.dir/guard.cpp.o"
+  "CMakeFiles/dco3d_core.dir/guard.cpp.o.d"
   "CMakeFiles/dco3d_core.dir/losses.cpp.o"
   "CMakeFiles/dco3d_core.dir/losses.cpp.o.d"
   "CMakeFiles/dco3d_core.dir/spreader.cpp.o"

@@ -209,4 +209,5 @@ src/io/CMakeFiles/dco3d_io.dir/design_io.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/util/status.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/dco3d_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/dco3d_util.dir/logging.cpp.o.d"
   "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/dco3d_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/dco3d_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/util/CMakeFiles/dco3d_util.dir/status.cpp.o" "gcc" "src/util/CMakeFiles/dco3d_util.dir/status.cpp.o.d"
   )
 
 # Targets to which this target links.

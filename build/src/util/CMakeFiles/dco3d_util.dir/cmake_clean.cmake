@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dco3d_util.dir/logging.cpp.o.d"
   "CMakeFiles/dco3d_util.dir/stats.cpp.o"
   "CMakeFiles/dco3d_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dco3d_util.dir/status.cpp.o"
+  "CMakeFiles/dco3d_util.dir/status.cpp.o.d"
   "libdco3d_util.a"
   "libdco3d_util.pdb"
 )

@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_flow.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_flow.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_flow.cpp.o.d"
   "/root/repo/tests/test_gcn.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_gcn.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_gcn.cpp.o.d"
   "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_guard.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_guard.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_guard.cpp.o.d"
   "/root/repo/tests/test_hold.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_hold.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_hold.cpp.o.d"
   "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_integration.cpp.o.d"
   "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/dco3d_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/dco3d_tests.dir/test_io.cpp.o.d"

@@ -293,7 +293,13 @@ tests/CMakeFiles/dco3d_tests.dir/test_core.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/dco.hpp /root/repo/src/core/spreader.hpp \
+ /root/repo/src/core/dco.hpp /root/repo/src/core/guard.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/span \
+ /root/repo/src/nn/autograd.hpp /root/repo/src/nn/tensor.hpp \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/util/status.hpp /root/repo/src/core/spreader.hpp \
  /root/repo/src/netlist/netlist.hpp /root/repo/src/netlist/library.hpp \
  /root/repo/src/util/geometry.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
@@ -320,9 +326,6 @@ tests/CMakeFiles/dco3d_tests.dir/test_core.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/nn/gcn.hpp \
- /root/repo/src/nn/autograd.hpp /root/repo/src/nn/tensor.hpp \
- /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/span \
  /root/repo/src/nn/init.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/place/params.hpp /root/repo/src/route/router.hpp \
  /root/repo/src/grid/gcell_grid.hpp /root/repo/src/core/trainer.hpp \

@@ -293,7 +293,13 @@ tests/CMakeFiles/dco3d_tests.dir/test_io.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/trainer.hpp /root/repo/src/flow/dataset.hpp \
+ /root/repo/src/core/trainer.hpp /root/repo/src/core/guard.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/span \
+ /root/repo/src/nn/autograd.hpp /root/repo/src/nn/tensor.hpp \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/util/status.hpp /root/repo/src/flow/dataset.hpp \
  /root/repo/src/flow/pin3d.hpp /root/repo/src/flow/cts.hpp \
  /root/repo/src/netlist/netlist.hpp /root/repo/src/netlist/library.hpp \
  /root/repo/src/util/geometry.hpp /usr/include/c++/12/algorithm \
@@ -325,10 +331,7 @@ tests/CMakeFiles/dco3d_tests.dir/test_io.cpp.o: \
  /root/repo/src/route/router.hpp /root/repo/src/grid/gcell_grid.hpp \
  /root/repo/src/netlist/generators.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/place/placer3d.hpp /root/repo/src/place/params.hpp \
- /root/repo/src/grid/feature_maps.hpp /root/repo/src/nn/tensor.hpp \
- /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/span \
- /root/repo/src/nn/optimizer.hpp /root/repo/src/nn/autograd.hpp \
+ /root/repo/src/grid/feature_maps.hpp /root/repo/src/nn/optimizer.hpp \
  /root/repo/src/nn/unet.hpp /root/repo/src/nn/conv.hpp \
  /root/repo/src/nn/ops.hpp /root/repo/src/io/design_io.hpp \
  /root/repo/src/io/model_io.hpp /root/repo/tests/test_helpers.hpp

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Build the project with ASan/UBSan and run the tier-1 test suite, proving
+# the guardrail/recovery paths (rollbacks, reseeds, early commits, fault
+# injection) are leak- and UB-free.
+#
+# Usage:
+#   scripts/check_sanitize.sh                 # address,undefined (default)
+#   DCO3D_SANITIZE=undefined scripts/check_sanitize.sh
+#   BUILD_DIR=/tmp/san scripts/check_sanitize.sh
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SAN="${DCO3D_SANITIZE:-address,undefined}"
+BUILD="${BUILD_DIR:-$REPO_ROOT/build-sanitize}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== configuring ($SAN) into $BUILD"
+cmake -B "$BUILD" -S "$REPO_ROOT" -DDCO3D_SANITIZE="$SAN" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== building"
+cmake --build "$BUILD" -j "$JOBS"
+
+echo "== running tier-1 tests under $SAN"
+# halt_on_error keeps CI signal crisp; detect_leaks needs ASan.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo "== sanitize check passed"

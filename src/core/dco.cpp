@@ -1,7 +1,9 @@
 #include "core/dco.hpp"
 
+#include <cmath>
 #include <limits>
 #include <memory>
+#include <string>
 
 #include "core/features.hpp"
 #include "core/losses.hpp"
@@ -84,18 +86,47 @@ DcoResult run_dco(const Netlist& netlist, const Placement3D& initial,
   };
   double best_score = score_of(initial);
   const double initial_score = best_score;
+  if (!std::isfinite(initial_score))
+    log_warn("dco: input placement scores non-finite (corrupt predictor?); "
+             "candidate gating degraded");
   bool improved = false;
 
-  for (int restart = 0; restart < std::max(cfg.restarts, 1); ++restart) {
+  const Deadline deadline(cfg.deadline_ms);
+  GuardStats& gs = res.guard;
+  FaultInjector& faults = FaultInjector::instance();
+
+  // Outcome of one optimization attempt (one spreader weight init). A
+  // diverged attempt never touches res.placement — the last committed
+  // candidate stands — and is retried with fresh weights (bounded by
+  // guard.max_reseeds).
+  enum class Attempt { kDone, kDiverged, kDeadline };
+
+  auto run_attempt = [&](int restart) -> Attempt {
     GnnSpreader spreader(netlist, initial, cfg.spreader, rng);
-    nn::Adam adam(spreader.parameters(), cfg.lr);
+    const std::vector<nn::Var> params = spreader.parameters();
+    nn::Adam adam(params, cfg.lr);
+    ParamSnapshot good(params);
+    int halvings = 0;
     double best_loss_seen = std::numeric_limits<double>::infinity();
     int stall = 0;
 
     auto consider = [&](const SpreaderOutput& out, int iter) {
+      // A candidate with non-finite coordinates or score can never replace
+      // the committed one; the input placement remains the floor.
+      if (!all_finite(out.x->value) || !all_finite(out.y->value) ||
+          !all_finite(out.z->value)) {
+        log_warn("dco: candidate at iter ", iter,
+                 " has non-finite coordinates; not considered");
+        return;
+      }
       Placement3D cand = initial;
       spreader.commit(out, cand);
       const double score = score_of(cand);
+      if (!std::isfinite(score)) {
+        log_warn("dco: candidate at iter ", iter,
+                 " scored non-finite; not considered");
+        return;
+      }
       if (score < best_score - 1e-6) {
         best_score = score;
         res.best_iter = iter;
@@ -104,7 +135,33 @@ DcoResult run_dco(const Netlist& netlist, const Placement3D& initial,
       }
     };
 
+    // Bounded backoff: restore the last weights that produced a finite loss
+    // and halve the LR. Returns false once the budget is spent (the caller
+    // then declares the attempt diverged).
+    auto backoff = [&](int iter, const char* what) {
+      if (halvings >= cfg.guard.max_lr_halvings) return false;
+      good.restore(params);
+      adam.reset_state();
+      adam.set_lr(adam.lr() * 0.5f);
+      ++halvings;
+      ++gs.lr_halvings;
+      ++gs.rollbacks;
+      log_warn("dco: non-finite ", what, " at restart ", restart, " iter ",
+               iter, "; rolled back, lr=", adam.lr());
+      return true;
+    };
+
     for (int iter = 0; iter < cfg.max_iter; ++iter) {
+      if (deadline.expired()) {
+        gs.deadline_hit = true;
+        if (cfg.guard.strict)
+          throw StatusError(Status::deadline_exceeded(
+              "run_dco: deadline of " + std::to_string(cfg.deadline_ms) +
+              " ms exceeded at restart " + std::to_string(restart)));
+        log_warn("dco: deadline (", cfg.deadline_ms, " ms) hit at restart ",
+                 restart, " iter ", iter, "; committing best-so-far");
+        return Attempt::kDeadline;
+      }
       SpreaderOutput out = spreader.forward(features);
 
       SoftMaps maps = soft_feature_maps(netlist, grid, out.x, out.y, out.z);
@@ -120,6 +177,7 @@ DcoResult run_dco(const Netlist& netlist, const Placement3D& initial,
                   nn::mul_scalar(l_ovlp, cfg.beta_ovlp)),
           nn::add(nn::mul_scalar(l_cut, cfg.gamma_cut),
                   nn::mul_scalar(l_cong, cfg.delta_cong)));
+      faults.maybe_corrupt(FaultSite::kDcoLoss, total->value);
 
       DcoIterate it;
       it.iter = iter;
@@ -133,6 +191,31 @@ DcoResult run_dco(const Netlist& netlist, const Placement3D& initial,
                 " cong=", it.cong, " ovlp=", it.ovlp, " cut=", it.cut,
                 " disp=", it.disp);
 
+      if (!std::isfinite(it.total) || !std::isfinite(it.disp) ||
+          !std::isfinite(it.ovlp) || !std::isfinite(it.cut) ||
+          !std::isfinite(it.cong)) {
+        ++gs.nan_events;
+        if (cfg.guard.strict)
+          throw StatusError(Status::numerical(
+              "run_dco: non-finite loss at restart " + std::to_string(restart) +
+              " iter " + std::to_string(iter)));
+        if (cfg.guard.nan_policy == NanPolicy::kSkip) {
+          // No gradient step is possible on a non-finite loss; if it
+          // persists, patience ends the attempt (NaN never "improves").
+          ++gs.skipped_steps;
+          log_warn("dco: non-finite loss at restart ", restart, " iter ", iter,
+                   "; step skipped");
+          if (++stall >= cfg.patience) return Attempt::kDiverged;
+          continue;
+        }
+        if (!backoff(iter, "loss")) return Attempt::kDiverged;
+        continue;
+      }
+
+      // Clean iterate: these weights provably produce a finite loss, so they
+      // become the rollback point before the (riskier) gradient step.
+      good.capture(params);
+
       // Periodically evaluate the hard-committed candidate.
       if (iter % cfg.eval_every == 0 || iter + 1 == cfg.max_iter)
         consider(out, iter);
@@ -142,12 +225,64 @@ DcoResult run_dco(const Netlist& netlist, const Placement3D& initial,
         stall = 0;
       } else if (++stall >= cfg.patience) {
         consider(out, iter);
-        break;  // converged / plateaued
+        return Attempt::kDone;  // converged / plateaued
       }
 
       adam.zero_grad();
       nn::backward(total);
-      adam.step();
+      if (faults.should_fire(FaultSite::kDcoGrad) && !params.empty()) {
+        params[0]->ensure_grad();
+        params[0]->grad[0] = std::numeric_limits<float>::quiet_NaN();
+      }
+      if (!adam.step_checked()) {
+        ++gs.nan_events;
+        if (cfg.guard.strict)
+          throw StatusError(Status::numerical(
+              "run_dco: non-finite gradient at restart " +
+              std::to_string(restart) + " iter " + std::to_string(iter)));
+        if (cfg.guard.nan_policy == NanPolicy::kSkip) {
+          ++gs.skipped_steps;
+          log_warn("dco: non-finite gradient at restart ", restart, " iter ",
+                   iter, "; step skipped");
+        } else if (!backoff(iter, "gradient")) {
+          return Attempt::kDiverged;
+        }
+        continue;
+      }
+      if (!params_finite(params)) {
+        // The step itself produced non-finite weights: a rollback is
+        // mandatory regardless of policy.
+        ++gs.nan_events;
+        if (cfg.guard.strict)
+          throw StatusError(Status::numerical(
+              "run_dco: non-finite parameters after step at restart " +
+              std::to_string(restart) + " iter " + std::to_string(iter)));
+        if (!backoff(iter, "parameter update")) return Attempt::kDiverged;
+      }
+    }
+    return Attempt::kDone;
+  };
+
+  bool stop = false;
+  for (int restart = 0; restart < std::max(cfg.restarts, 1) && !stop;
+       ++restart) {
+    for (int attempt = 0;; ++attempt) {
+      const Attempt outcome = run_attempt(restart);
+      if (outcome == Attempt::kDeadline) {
+        stop = true;
+        break;
+      }
+      if (outcome == Attempt::kDone) break;
+      if (attempt >= cfg.guard.max_reseeds) {
+        log_warn("dco: restart ", restart,
+                 " diverged and reseed budget exhausted; abandoning restart");
+        break;
+      }
+      // Constructing a fresh spreader from the shared rng reseeds the
+      // restart deterministically.
+      ++gs.reseeds;
+      log_warn("dco: restart ", restart,
+               " diverged; reseeding with fresh weights");
     }
   }
   res.best_loss = best_score;

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "core/guard.hpp"
 #include "core/spreader.hpp"
 #include "place/params.hpp"
 #include "route/router.hpp"
@@ -62,6 +63,16 @@ struct DcoConfig {
   RouterConfig router;             // used when select_by_route
   PlacementParams legalize_params; // legalization before the trial route
   std::uint64_t seed = 17;
+  // Wall-clock budget for the whole call (all restarts); 0 = unlimited. On
+  // expiry the best candidate committed so far (at minimum the input
+  // placement) is returned immediately.
+  double deadline_ms = 0.0;
+  // Non-finite recovery (docs/robustness.md): a diverged iterate never
+  // touches the committed candidate; depending on policy the step is
+  // skipped, the spreader is rolled back with a halved LR, or — once the
+  // backoff budget is spent — the offending restart is re-initialized with
+  // fresh weights (bounded by guard.max_reseeds).
+  GuardConfig guard;
 };
 
 struct DcoIterate {
@@ -77,6 +88,7 @@ struct DcoResult {
   double initial_score = 0.0;       // predictor score of the input placement
   bool improved = false;            // false = input returned unchanged
   std::size_t cells_moved_tier = 0; // cells whose tier changed vs input
+  GuardStats guard;                 // recovery events during the run
 };
 
 /// Run Algorithm 2. `predictor` is the trained congestion predictor (frozen:

@@ -1,0 +1,89 @@
+#include "core/guard.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace dco3d {
+
+bool all_finite(std::span<const float> xs) {
+  for (float x : xs)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+bool all_finite(const nn::Tensor& t) { return all_finite(t.data()); }
+
+bool params_finite(const std::vector<nn::Var>& params) {
+  for (const nn::Var& p : params)
+    if (p && !all_finite(p->value)) return false;
+  return true;
+}
+
+bool grads_finite(const std::vector<nn::Var>& params) {
+  for (const nn::Var& p : params) {
+    if (!p || p->grad.empty()) continue;
+    if (!all_finite(p->grad)) return false;
+  }
+  return true;
+}
+
+void ParamSnapshot::capture(const std::vector<nn::Var>& params) {
+  values_.clear();
+  values_.reserve(params.size());
+  for (const nn::Var& p : params) values_.push_back(p->value);
+}
+
+void ParamSnapshot::restore(const std::vector<nn::Var>& params) const {
+  if (params.size() != values_.size())
+    throw StatusError(Status::internal(
+        "ParamSnapshot::restore: parameter count mismatch"));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!params[i] || !params[i]->value.same_shape(values_[i]))
+      throw StatusError(Status::internal(
+          "ParamSnapshot::restore: parameter shape mismatch"));
+    params[i]->value = values_[i];
+  }
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(FaultSite site, int step, int count) {
+  Site& s = sites_[static_cast<int>(site)];
+  s.armed = true;
+  s.fire_at = step;
+  s.count = count;
+  s.consults = 0;
+  s.fired = 0;
+}
+
+void FaultInjector::disarm() { sites_.fill(Site{}); }
+
+bool FaultInjector::armed(FaultSite site) const {
+  return sites_[static_cast<int>(site)].armed;
+}
+
+bool FaultInjector::should_fire(FaultSite site) {
+  Site& s = sites_[static_cast<int>(site)];
+  if (!s.armed) return false;
+  const int consult = s.consults++;
+  if (consult >= s.fire_at && consult < s.fire_at + s.count) {
+    ++s.fired;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::maybe_corrupt(FaultSite site, nn::Tensor& t) {
+  if (!should_fire(site) || t.empty()) return false;
+  t[0] = std::numeric_limits<float>::quiet_NaN();
+  return true;
+}
+
+int FaultInjector::fired(FaultSite site) const {
+  return sites_[static_cast<int>(site)].fired;
+}
+
+}  // namespace dco3d

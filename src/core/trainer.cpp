@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "grid/feature_maps.hpp"
 #include "nn/ops.hpp"
+#include "util/logging.hpp"
 #include "util/stats.hpp"
 
 namespace dco3d {
@@ -91,18 +94,64 @@ Predictor train_predictor(const std::vector<DataSample>& dataset,
   ucfg.in_channels = kNumFeatureChannels;
   ucfg.out_channels = 1;
   pred.model = std::make_shared<nn::SiameseUNet>(ucfg, rng);
-  nn::Adam adam(pred.model->parameters(), cfg.lr);
+  const std::vector<nn::Var> params = pred.model->parameters();
+  nn::Adam adam(params, cfg.lr);
 
   std::vector<const DataSample*> train, test;
   split_dataset(dataset, cfg.test_fraction, train, test);
 
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+  // Guardrail state: the last known-good parameter snapshot (initialized to
+  // the pre-training weights, refreshed after every clean epoch), the
+  // wall-clock deadline, and the bounded LR backoff budget.
+  const Deadline deadline(cfg.deadline_ms);
+  GuardStats& gs = pred.guard;
+  ParamSnapshot good(params);
+  FaultInjector& faults = FaultInjector::instance();
+  int halvings = 0;
+
+  // Shared recovery for a non-finite loss/gradient/parameter event at one
+  // training step. `poisoned` = model parameters may already hold non-finite
+  // values (a rollback is mandatory regardless of policy).
+  auto recover = [&](int epoch, const char* what, bool poisoned) {
+    ++gs.nan_events;
+    if (cfg.guard.strict)
+      throw StatusError(Status::numerical(
+          "train_predictor: non-finite " + std::string(what) + " at epoch " +
+          std::to_string(epoch)));
+    const bool rollback = poisoned || cfg.guard.nan_policy == NanPolicy::kRollback;
+    const bool halve = rollback || cfg.guard.nan_policy == NanPolicy::kHalveLr;
+    if (rollback) {
+      good.restore(params);
+      adam.reset_state();
+      ++gs.rollbacks;
+    } else {
+      ++gs.skipped_steps;
+    }
+    if (halve && halvings < cfg.guard.max_lr_halvings) {
+      adam.set_lr(adam.lr() * 0.5f);
+      ++halvings;
+      ++gs.lr_halvings;
+    }
+    log_warn("trainer: non-finite ", what, " at epoch ", epoch,
+             rollback ? "; rolled back to last good snapshot" : "; step skipped",
+             halve ? " (lr now " : "", halve ? std::to_string(adam.lr()) : "",
+             halve ? ")" : "");
+  };
+
+  for (int epoch = 0; epoch < cfg.epochs && !gs.deadline_hit; ++epoch) {
     // Shuffle training order each epoch.
     std::vector<const DataSample*> order = train;
     rng.shuffle(order);
 
     double train_loss = 0.0;
+    std::size_t counted = 0;
     for (const DataSample* s : order) {
+      if (deadline.expired()) {
+        gs.deadline_hit = true;
+        log_warn("trainer: deadline (", cfg.deadline_ms,
+                 " ms) hit at epoch ", epoch, "; committing model as-is");
+        break;
+      }
       nn::Tensor f_top = pred.normalize_features(s->features[1]);
       nn::Tensor f_bot = pred.normalize_features(s->features[0]);
       nn::Tensor l_top = scaled(s->labels[1], inv_scale);
@@ -117,24 +166,55 @@ Predictor train_predictor(const std::vector<DataSample>& dataset,
         l_bot = augment_dihedral(l_bot, which);
       }
       nn::Var loss = sample_loss(*pred.model, f_top, f_bot, l_top, l_bot);
+      faults.maybe_corrupt(FaultSite::kTrainerLoss, loss->value);
+      if (!std::isfinite(loss->value[0])) {
+        recover(epoch, "loss", /*poisoned=*/false);
+        continue;
+      }
       train_loss += loss->value[0];
+      ++counted;
       adam.zero_grad();
       nn::backward(loss);
-      adam.step();
+      if (faults.should_fire(FaultSite::kTrainerGrad) && !params.empty()) {
+        params[0]->ensure_grad();
+        params[0]->grad[0] = std::numeric_limits<float>::quiet_NaN();
+      }
+      if (!adam.step_checked()) {
+        recover(epoch, "gradient", /*poisoned=*/false);
+        continue;
+      }
+      if (!params_finite(params))
+        recover(epoch, "parameter update", /*poisoned=*/true);
     }
-    train_loss /= std::max<std::size_t>(order.size(), 1);
+    train_loss /= std::max<std::size_t>(counted, 1);
 
     double test_loss = 0.0;
+    std::size_t test_counted = 0;
     for (const DataSample* s : test) {
       nn::Var loss = sample_loss(*pred.model,
                                  pred.normalize_features(s->features[1]),
                                  pred.normalize_features(s->features[0]),
                                  scaled(s->labels[1], inv_scale),
                                  scaled(s->labels[0], inv_scale));
+      if (!std::isfinite(loss->value[0])) continue;
       test_loss += loss->value[0];
+      ++test_counted;
     }
-    test_loss /= std::max<std::size_t>(test.size(), 1);
+    test_loss /= std::max<std::size_t>(test_counted, 1);
     pred.curve.push_back({epoch, train_loss, test_loss});
+
+    // Refresh the rollback point only from a provably clean state.
+    if (std::isfinite(train_loss) && std::isfinite(test_loss) &&
+        params_finite(params))
+      good.capture(params);
+  }
+
+  // Never hand back a poisoned model: a final non-finite state (however it
+  // slipped past the per-step checks) falls back to the last good snapshot.
+  if (!params_finite(params)) {
+    good.restore(params);
+    ++gs.rollbacks;
+    log_warn("trainer: final parameters non-finite; restored last good snapshot");
   }
   return pred;
 }

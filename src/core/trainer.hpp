@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/guard.hpp"
 #include "flow/dataset.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/unet.hpp"
@@ -22,6 +23,13 @@ struct TrainConfig {
   // Normalization: labels are divided by this scale before training so the
   // regression target is O(1); predictions are scaled back for metrics.
   float label_scale = 0.0f;   // 0 = auto (set to the max label value)
+  // Wall-clock budget for the whole training run; 0 = unlimited. On expiry
+  // training stops gracefully and returns the model trained so far (rolled
+  // back to the last finite state if the current one is poisoned).
+  double deadline_ms = 0.0;
+  // Non-finite recovery policy (docs/robustness.md). Snapshots are taken at
+  // the end of every epoch that finished with finite losses and parameters.
+  GuardConfig guard;
 };
 
 struct EpochStats {
@@ -48,6 +56,9 @@ struct Predictor {
   /// the same scaling.
   nn::Tensor feature_scale;  // [7]
   std::vector<EpochStats> curve;  // Fig. 5(a)
+  /// Guardrail events of the training run that produced this predictor
+  /// (all-zero for checkpoints loaded from disk).
+  GuardStats guard;
 
   /// Predict congestion maps (label scale restored) for a sample's features.
   void predict(const DataSample& sample, nn::Tensor out[2]) const;

@@ -5,7 +5,8 @@
 #include <limits>
 #include <map>
 #include <sstream>
-#include <stdexcept>
+
+#include "util/status.hpp"
 
 namespace dco3d {
 
@@ -39,14 +40,15 @@ CellFunction parse_function(const std::string& s, int line) {
       {"macro", CellFunction::kMacro}, {"iopad", CellFunction::kIoPad}};
   const auto it = kMap.find(s);
   if (it == kMap.end())
-    throw std::runtime_error("design_io: unknown cell function '" + s +
-                             "' at line " + std::to_string(line));
+    throw StatusError(Status::data_loss("design_io: unknown cell function '" +
+                                        s + "' at line " +
+                                        std::to_string(line)));
   return it->second;
 }
 
 [[noreturn]] void fail(int line, const std::string& what) {
-  throw std::runtime_error("design_io: " + what + " at line " +
-                           std::to_string(line));
+  throw StatusError(Status::data_loss("design_io: " + what + " at line " +
+                                      std::to_string(line)));
 }
 
 }  // namespace
@@ -76,12 +78,12 @@ void write_design(std::ostream& os, const Netlist& netlist) {
       os << ' ' << s.cell << ' ' << s.offset.x << ' ' << s.offset.y;
     os << '\n';
   }
-  if (!os) throw std::runtime_error("design_io: write failed");
+  if (!os) throw StatusError(Status::io_error("design_io: write failed"));
 }
 
 void write_design_file(const std::string& path, const Netlist& netlist) {
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("design_io: cannot open " + path);
+  if (!os) throw StatusError(Status::io_error("design_io: cannot open " + path));
   write_design(os, netlist);
 }
 
@@ -89,7 +91,8 @@ Netlist read_design(std::istream& is) {
   std::string line;
   int lineno = 0;
   if (!std::getline(is, line) || line.rfind("dco3d-design v1", 0) != 0)
-    throw std::runtime_error("design_io: missing 'dco3d-design v1' header");
+    throw StatusError(
+        Status::data_loss("design_io: missing 'dco3d-design v1' header"));
   ++lineno;
 
   // Library is built from the file, not the default, so round-trips are
@@ -168,7 +171,7 @@ Netlist read_design(std::istream& is) {
 
 Netlist read_design_file(const std::string& path) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("design_io: cannot open " + path);
+  if (!is) throw StatusError(Status::not_found("design_io: cannot open " + path));
   return read_design(is);
 }
 
@@ -180,12 +183,12 @@ void write_placement(std::ostream& os, const Placement3D& placement) {
   for (std::size_t i = 0; i < placement.size(); ++i)
     os << "place " << i << ' ' << placement.xy[i].x << ' ' << placement.xy[i].y
        << ' ' << placement.tier[i] << '\n';
-  if (!os) throw std::runtime_error("design_io: write failed");
+  if (!os) throw StatusError(Status::io_error("design_io: write failed"));
 }
 
 void write_placement_file(const std::string& path, const Placement3D& placement) {
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("design_io: cannot open " + path);
+  if (!os) throw StatusError(Status::io_error("design_io: cannot open " + path));
   write_placement(os, placement);
 }
 
@@ -193,7 +196,8 @@ Placement3D read_placement(std::istream& is, std::size_t num_cells) {
   std::string line;
   int lineno = 0;
   if (!std::getline(is, line) || line.rfind("dco3d-placement v1", 0) != 0)
-    throw std::runtime_error("design_io: missing 'dco3d-placement v1' header");
+    throw StatusError(
+        Status::data_loss("design_io: missing 'dco3d-placement v1' header"));
   ++lineno;
   Placement3D pl = Placement3D::make(num_cells, Rect{0, 0, 1, 1});
   std::vector<bool> seen(num_cells, false);
@@ -223,17 +227,19 @@ Placement3D read_placement(std::istream& is, std::size_t num_cells) {
       fail(lineno, "unknown record '" + tag + "'");
     }
   }
-  if (!have_outline) throw std::runtime_error("design_io: missing outline");
+  if (!have_outline)
+    throw StatusError(Status::data_loss("design_io: missing outline"));
   for (std::size_t i = 0; i < num_cells; ++i)
     if (!seen[i])
-      throw std::runtime_error("design_io: cell " + std::to_string(i) +
-                               " has no placement");
+      throw StatusError(Status::data_loss("design_io: cell " +
+                                          std::to_string(i) +
+                                          " has no placement"));
   return pl;
 }
 
 Placement3D read_placement_file(const std::string& path, std::size_t num_cells) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("design_io: cannot open " + path);
+  if (!is) throw StatusError(Status::not_found("design_io: cannot open " + path));
   return read_placement(is, num_cells);
 }
 

@@ -1,22 +1,45 @@
 #include "io/model_io.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
-#include <stdexcept>
+#include <string>
+
+#include "core/guard.hpp"
+#include "util/status.hpp"
 
 namespace dco3d {
 
 namespace {
-[[noreturn]] void fail(const std::string& what) {
-  throw std::runtime_error("model_io: " + what);
+
+[[noreturn]] void fail_data(const std::string& what) {
+  throw StatusError(Status::data_loss("model_io: " + what));
 }
+
+[[noreturn]] void fail_io(const std::string& what) {
+  throw StatusError(Status::io_error("model_io: " + what));
+}
+
+// Plausibility bounds for the UNet config read from disk: a corrupt header
+// must fail here with a clear message, not attempt a multi-gigabyte
+// allocation while reconstructing the architecture.
+void check_unet_config(const nn::UNetConfig& cfg) {
+  if (cfg.in_channels < 1 || cfg.in_channels > 1024 || cfg.out_channels < 1 ||
+      cfg.out_channels > 1024 || cfg.base_channels < 1 ||
+      cfg.base_channels > 4096 || cfg.depth < 1 || cfg.depth > 12)
+    fail_data("implausible unet config (corrupt checkpoint?)");
+}
+
 }  // namespace
 
 void save_predictor(std::ostream& os, const Predictor& predictor,
                     const nn::UNetConfig& cfg) {
-  if (!predictor.model) fail("predictor has no model");
+  if (!predictor.model)
+    throw StatusError(
+        Status::invalid_argument("model_io: predictor has no model"));
   os << "dco3d-predictor v1\n";
   os << "unet " << cfg.in_channels << ' ' << cfg.out_channels << ' '
      << cfg.base_channels << ' ' << cfg.depth << '\n';
@@ -29,6 +52,11 @@ void save_predictor(std::ostream& os, const Predictor& predictor,
   const auto params = predictor.model->parameters();
   os << "params " << params.size() << '\n';
   for (const nn::Var& p : params) {
+    // Fault hook: simulate a crash mid-stream (after some tensors are already
+    // out) so tests can prove that an interrupted save never corrupts the
+    // previously committed checkpoint at the target path.
+    if (FaultInjector::instance().should_fire(FaultSite::kCheckpointWrite))
+      fail_io("injected checkpoint write fault");
     os << "tensor";
     os << ' ' << p->value.rank();
     for (std::size_t d = 0; d < p->value.rank(); ++d) os << ' ' << p->value.dim(d);
@@ -38,42 +66,65 @@ void save_predictor(std::ostream& os, const Predictor& predictor,
       os << (i + 1 == p->value.numel() ? '\n' : ' ');
     }
   }
-  if (!os) fail("write failed");
+  if (!os) fail_io("write failed");
 }
 
 void save_predictor_file(const std::string& path, const Predictor& predictor,
                          const nn::UNetConfig& cfg) {
-  std::ofstream os(path);
-  if (!os) fail("cannot open " + path);
-  save_predictor(os, predictor, cfg);
+  // Crash-safe: stream into <path>.tmp, then atomically rename over the
+  // target. An interrupted or failed save leaves the target either absent or
+  // holding the previous complete checkpoint — never a truncated file.
+  const std::string tmp = path + ".tmp";
+  try {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) fail_io("cannot open " + tmp);
+    save_predictor(os, predictor, cfg);
+    os.flush();
+    if (!os) fail_io("write failed on " + tmp);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail_io("cannot rename " + tmp + " to " + path);
+  }
 }
 
 Predictor load_predictor(std::istream& is) {
   std::string line, tag;
   if (!std::getline(is, line) || line.rfind("dco3d-predictor v1", 0) != 0)
-    fail("missing 'dco3d-predictor v1' header");
+    fail_data("missing 'dco3d-predictor v1' header");
 
   nn::UNetConfig cfg;
-  is >> tag;
-  if (tag != "unet") fail("expected 'unet'");
-  is >> cfg.in_channels >> cfg.out_channels >> cfg.base_channels >> cfg.depth;
-  if (!is) fail("malformed unet config");
+  if (!(is >> tag) || tag != "unet") fail_data("expected 'unet' record");
+  if (!(is >> cfg.in_channels >> cfg.out_channels >> cfg.base_channels >>
+        cfg.depth))
+    fail_data("malformed unet config");
+  check_unet_config(cfg);
 
   Predictor pred;
-  is >> tag;
-  if (tag != "label_scale") fail("expected 'label_scale'");
-  is >> pred.label_scale;
+  if (!(is >> tag) || tag != "label_scale")
+    fail_data("expected 'label_scale' record");
+  if (!(is >> pred.label_scale)) fail_data("malformed label_scale");
+  if (!std::isfinite(pred.label_scale) || pred.label_scale <= 0.0f)
+    fail_data("label_scale must be finite and positive");
 
-  is >> tag;
-  if (tag != "feature_scale") fail("expected 'feature_scale'");
+  if (!(is >> tag) || tag != "feature_scale")
+    fail_data("expected 'feature_scale' record");
   pred.feature_scale = nn::Tensor({kNumFeatureChannels});
-  for (std::int64_t i = 0; i < kNumFeatureChannels; ++i)
-    is >> pred.feature_scale[i];
-  if (!is) fail("malformed feature_scale");
+  for (std::int64_t i = 0; i < kNumFeatureChannels; ++i) {
+    if (!(is >> pred.feature_scale[i]))
+      fail_data("truncated feature_scale (element " + std::to_string(i) + ")");
+    if (!std::isfinite(pred.feature_scale[i]))
+      fail_data("non-finite feature_scale (element " + std::to_string(i) + ")");
+  }
 
   std::size_t n_params = 0;
-  is >> tag >> n_params;
-  if (tag != "params") fail("expected 'params'");
+  if (!(is >> tag) || tag != "params") fail_data("expected 'params' record");
+  if (!(is >> n_params)) fail_data("malformed params count");
+  if (n_params == 0 || n_params > 100000)
+    fail_data("implausible params count " + std::to_string(n_params));
 
   // Reconstruct the architecture (weights are overwritten below, so the RNG
   // seed is irrelevant).
@@ -81,29 +132,43 @@ Predictor load_predictor(std::istream& is) {
   pred.model = std::make_shared<nn::SiameseUNet>(cfg, rng);
   const auto params = pred.model->parameters();
   if (params.size() != n_params)
-    fail("parameter count mismatch: file has " + std::to_string(n_params) +
-         ", architecture has " + std::to_string(params.size()));
+    fail_data("parameter count mismatch: file has " + std::to_string(n_params) +
+              ", architecture has " + std::to_string(params.size()));
 
+  std::size_t k = 0;
   for (nn::Var p : params) {
-    is >> tag;
-    if (tag != "tensor") fail("expected 'tensor'");
+    const std::string where = "parameter " + std::to_string(k++);
+    if (!(is >> tag) || tag != "tensor")
+      fail_data("expected 'tensor' record for " + where);
     std::size_t rank = 0;
-    is >> rank;
+    if (!(is >> rank)) fail_data("truncated tensor rank for " + where);
+    if (rank > 8) fail_data("implausible tensor rank for " + where);
     nn::Shape shape(rank);
-    for (std::size_t d = 0; d < rank; ++d) is >> shape[d];
-    if (!is) fail("malformed tensor header");
+    for (std::size_t d = 0; d < rank; ++d) {
+      if (!(is >> shape[d]))
+        fail_data("truncated tensor shape for " + where);
+      if (shape[d] < 0) fail_data("negative tensor dim for " + where);
+    }
     if (shape != p->value.shape())
-      fail("tensor shape mismatch: file " + nn::shape_str(shape) +
-           " vs model " + nn::shape_str(p->value.shape()));
-    for (std::int64_t i = 0; i < p->value.numel(); ++i) is >> p->value[i];
-    if (!is) fail("truncated tensor data");
+      fail_data("tensor shape mismatch for " + where + ": file " +
+                nn::shape_str(shape) + " vs model " +
+                nn::shape_str(p->value.shape()));
+    for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+      if (!(is >> p->value[i]))
+        fail_data("truncated tensor data for " + where + " (element " +
+                  std::to_string(i) + ")");
+      if (!std::isfinite(p->value[i]))
+        fail_data("non-finite weight in " + where + " (element " +
+                  std::to_string(i) + ")");
+    }
   }
   return pred;
 }
 
 Predictor load_predictor_file(const std::string& path) {
   std::ifstream is(path);
-  if (!is) fail("cannot open " + path);
+  if (!is)
+    throw StatusError(Status::not_found("model_io: cannot open " + path));
   return load_predictor(is);
 }
 

@@ -11,15 +11,22 @@
 
 namespace dco3d {
 
-/// Serialize a trained predictor. Throws std::runtime_error on failure.
+/// Serialize a trained predictor. Throws StatusError (kIoError /
+/// kInvalidArgument) on failure.
 void save_predictor(std::ostream& os, const Predictor& predictor,
                     const nn::UNetConfig& cfg);
+/// Crash-safe file variant: writes to `<path>.tmp` and atomically renames
+/// over `path`, so an interrupted run never leaves a truncated checkpoint at
+/// the target (the previous complete file, if any, survives).
 void save_predictor_file(const std::string& path, const Predictor& predictor,
                          const nn::UNetConfig& cfg);
 
 /// Load a predictor. Reconstructs the SiameseUNet from the stored config and
-/// copies the weights in; throws on version/shape mismatch.
+/// copies the weights in. Every field read is checked: truncated or
+/// corrupted streams throw StatusError (kDataLoss) naming the offending
+/// field — a partially-filled model is never returned.
 Predictor load_predictor(std::istream& is);
+/// Throws StatusError kNotFound when the file cannot be opened.
 Predictor load_predictor_file(const std::string& path);
 
 }  // namespace dco3d

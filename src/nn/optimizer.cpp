@@ -5,6 +5,31 @@
 
 namespace dco3d::nn {
 
+namespace {
+
+// Local finite checks (nn must not depend on core/guard).
+bool span_finite(std::span<const float> xs) {
+  for (float x : xs)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+bool all_grads_finite(const std::vector<Var>& params) {
+  for (const Var& p : params) {
+    if (!p || p->grad.empty()) continue;
+    if (!span_finite(p->grad.data())) return false;
+  }
+  return true;
+}
+
+bool all_params_finite(const std::vector<Var>& params) {
+  for (const Var& p : params)
+    if (p && !span_finite(p->value.data())) return false;
+  return true;
+}
+
+}  // namespace
+
 Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
     : params_(std::move(params)), lr_(lr), momentum_(momentum) {
   velocity_.reserve(params_.size());
@@ -28,7 +53,20 @@ void Sgd::step() {
   }
 }
 
+bool Sgd::step_checked() {
+  if (!grads_finite()) return false;
+  step();
+  return true;
+}
+
 void Sgd::zero_grad() { dco3d::nn::zero_grad(params_); }
+
+void Sgd::reset_state() {
+  for (Tensor& v : velocity_) v.fill(0.0f);
+}
+
+bool Sgd::grads_finite() const { return all_grads_finite(params_); }
+bool Sgd::params_finite() const { return all_params_finite(params_); }
 
 Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2, float eps)
     : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
@@ -62,6 +100,21 @@ void Adam::step() {
   }
 }
 
+bool Adam::step_checked() {
+  if (!grads_finite()) return false;
+  step();
+  return true;
+}
+
 void Adam::zero_grad() { dco3d::nn::zero_grad(params_); }
+
+void Adam::reset_state() {
+  for (Tensor& m : m_) m.fill(0.0f);
+  for (Tensor& v : v_) v.fill(0.0f);
+  t_ = 0;
+}
+
+bool Adam::grads_finite() const { return all_grads_finite(params_); }
+bool Adam::params_finite() const { return all_params_finite(params_); }
 
 }  // namespace dco3d::nn

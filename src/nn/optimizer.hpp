@@ -15,7 +15,15 @@ class Sgd {
   explicit Sgd(std::vector<Var> params, float lr, float momentum = 0.0f);
 
   void step();
+  /// Guarded step: verifies every gradient is finite BEFORE mutating any
+  /// state; returns false (touching neither params nor velocity) otherwise.
+  bool step_checked();
   void zero_grad();
+  /// Forget accumulated momentum (used after a parameter rollback, so stale
+  /// or poisoned velocity cannot re-corrupt the restored weights).
+  void reset_state();
+  bool grads_finite() const;
+  bool params_finite() const;
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
 
@@ -33,7 +41,17 @@ class Adam {
                 float beta2 = 0.999f, float eps = 1e-8f);
 
   void step();
+  /// Guarded step: verifies every gradient is finite BEFORE updating the
+  /// moments; returns false (leaving params, m, v, and t untouched)
+  /// otherwise. A single step() on NaN gradients would poison the moment
+  /// buffers permanently — guarded callers must use this.
+  bool step_checked();
   void zero_grad();
+  /// Forget accumulated moments and the bias-correction timestep (used after
+  /// a parameter rollback).
+  void reset_state();
+  bool grads_finite() const;
+  bool params_finite() const;
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
   const std::vector<Var>& params() const { return params_; }

@@ -8,7 +8,7 @@
 
 namespace dco3d {
 
-enum class LogLevel { kSilent = 0, kInfo = 1, kDebug = 2 };
+enum class LogLevel { kSilent = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
 /// Global log verbosity; defaults to silent.
 LogLevel& log_level();
@@ -23,6 +23,14 @@ void log_to(std::ostream& os, const char* tag, const Args&... args) {
   os << ss.str();
 }
 }  // namespace detail
+
+/// Guardrail / anomaly events (NaN skipped, LR halved, deadline hit,
+/// rollback): visible at kWarn and above, written to stderr so they survive
+/// stdout redirection of reports.
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() >= LogLevel::kWarn) detail::log_to(std::cerr, "[dco3d:warn] ", args...);
+}
 
 template <typename... Args>
 void log_info(const Args&... args) {

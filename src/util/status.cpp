@@ -1,0 +1,45 @@
+#include "util/status.hpp"
+
+namespace dco3d {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kDataLoss: return "data_loss";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kNumericalError: return "numerical_error";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+int status_exit_code(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInternal: return 1;
+    case StatusCode::kInvalidArgument: return 2;
+    case StatusCode::kNotFound: return 3;
+    case StatusCode::kDataLoss: return 4;
+    case StatusCode::kIoError: return 5;
+    case StatusCode::kNumericalError: return 6;
+    case StatusCode::kDeadlineExceeded: return 7;
+    case StatusCode::kResourceExhausted: return 8;
+  }
+  return 1;
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace dco3d

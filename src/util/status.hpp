@@ -1,0 +1,97 @@
+#pragma once
+// Structured error taxonomy for the run guardrails. Library code reports
+// failures as a Status (code + message) instead of ad-hoc runtime_error
+// strings, so callers can distinguish "the input file is corrupt" from "the
+// optimizer diverged" and map each class to a recovery action or a process
+// exit code (see docs/robustness.md and the table in docs/cli.md).
+//
+// StatusError derives from std::runtime_error, so existing catch sites (and
+// tests expecting std::runtime_error) keep working unchanged.
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dco3d {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // malformed config or caller-supplied value
+  kNotFound,           // missing file or entity
+  kDataLoss,           // truncated or corrupted stream/file
+  kIoError,            // read/write/rename failure on an otherwise valid target
+  kNumericalError,     // non-finite value the active guard policy could not absorb
+  kDeadlineExceeded,   // wall-clock budget exhausted under --strict
+  kResourceExhausted,  // bounded retry/backoff budget exhausted
+  kInternal,           // invariant violation inside the library
+};
+
+/// Stable lowercase name ("data_loss", "deadline_exceeded", ...).
+const char* status_code_name(StatusCode code);
+
+/// Process exit code for a status; the mapping is documented in docs/cli.md
+/// and stable across releases (scripts may depend on it).
+int status_exit_code(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status invalid_argument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status not_found(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status data_loss(std::string m) {
+    return {StatusCode::kDataLoss, std::move(m)};
+  }
+  static Status io_error(std::string m) {
+    return {StatusCode::kIoError, std::move(m)};
+  }
+  static Status numerical(std::string m) {
+    return {StatusCode::kNumericalError, std::move(m)};
+  }
+  static Status deadline_exceeded(std::string m) {
+    return {StatusCode::kDeadlineExceeded, std::move(m)};
+  }
+  static Status resource_exhausted(std::string m) {
+    return {StatusCode::kResourceExhausted, std::move(m)};
+  }
+  static Status internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "data_loss: truncated tensor data" (or "ok").
+  std::string to_string() const;
+
+  /// Throws StatusError when not OK.
+  void throw_if_error() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Exception wrapper carrying the full Status. what() == status.to_string().
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+  const Status& status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+inline void Status::throw_if_error() const {
+  if (!ok()) throw StatusError(*this);
+}
+
+}  // namespace dco3d

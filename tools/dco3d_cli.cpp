@@ -11,6 +11,12 @@
 //   optimize <design-file> <placement-file> <ckpt> [-o file] [--grid N]
 //   flow <design-file> [--dco ckpt] [--clock PS] [--grid N]
 //
+// Long-running commands (train/optimize/flow) accept run guardrails:
+//   --deadline S   wall-clock budget in seconds; on expiry the best result
+//                  so far is committed gracefully (exit 0)
+//   --strict       escalate guardrail events (NaN recovery, deadline) into
+//                  hard failures with distinct exit codes (docs/cli.md)
+//
 // Files use the formats in src/io/. Every command is deterministic for a
 // given --seed.
 
@@ -31,7 +37,9 @@
 #include "place/legalize.hpp"
 #include "timing/hold.hpp"
 #include "timing/report.hpp"
+#include "util/logging.hpp"
 #include "util/stats.hpp"
+#include "util/status.hpp"
 
 using namespace dco3d;
 
@@ -73,7 +81,22 @@ int usage() {
   std::fprintf(stderr,
                "usage: dco3d <generate|check|place|route|sta|train|refine|optimize|flow> "
                "...\n  (see the header of tools/dco3d_cli.cpp)\n");
-  return 2;
+  return status_exit_code(StatusCode::kInvalidArgument);
+}
+
+/// Shared guardrail options of the long-running commands.
+void apply_guard_options(const Args& a, double& deadline_ms, GuardConfig& guard) {
+  deadline_ms = a.num("--deadline", 0.0) * 1000.0;
+  guard.strict = a.flag("--strict");
+}
+
+void print_guard_summary(const char* what, const GuardStats& gs) {
+  if (gs.clean()) return;
+  std::printf("%s guardrails: %d non-finite events (%d steps skipped, "
+              "%d LR halvings, %d rollbacks, %d reseeds)%s\n",
+              what, gs.nan_events, gs.skipped_steps, gs.lr_halvings,
+              gs.rollbacks, gs.reseeds,
+              gs.deadline_hit ? ", deadline hit - committed best-so-far" : "");
 }
 
 DesignKind parse_kind(const std::string& k) {
@@ -197,11 +220,14 @@ int cmd_train(const Args& a) {
   tcfg.epochs = static_cast<int>(a.num("--epochs", 8));
   tcfg.unet.base_channels = 8;
   tcfg.unet.depth = 2;
+  apply_guard_options(a, tcfg.deadline_ms, tcfg.guard);
   std::printf("training %d epochs on %zu samples...\n", tcfg.epochs,
               dataset.size());
   const Predictor pred = train_predictor(dataset, tcfg);
-  std::printf("final train/test loss: %.4f / %.4f\n",
-              pred.curve.back().train_loss, pred.curve.back().test_loss);
+  if (!pred.curve.empty())
+    std::printf("final train/test loss: %.4f / %.4f\n",
+                pred.curve.back().train_loss, pred.curve.back().test_loss);
+  print_guard_summary("training", pred.guard);
 
   nn::UNetConfig saved = tcfg.unet;
   saved.in_channels = kNumFeatureChannels;
@@ -241,10 +267,12 @@ int cmd_optimize(const Args& a) {
   DcoConfig dcfg;
   dcfg.grid_nx = dcfg.grid_ny = grid_n;
   dcfg.router = calibrated(design, pl, grid_n, a.num("--pctile", 0.70));
+  apply_guard_options(a, dcfg.deadline_ms, dcfg.guard);
   TimingConfig tcfg;
   tcfg.clock_period_ps = a.num("--clock", 300.0);
 
   const DcoResult r = run_dco(design, pl, pred, tcfg, dcfg);
+  print_guard_summary("DCO", r.guard);
   std::printf("DCO: %zu gradient iterations, %s (score %.2f -> %.2f), "
               "%zu cells changed tier\n",
               r.trace.size(),
@@ -274,6 +302,7 @@ int cmd_flow(const Args& a) {
     DcoConfig dcfg;
     dcfg.grid_nx = dcfg.grid_ny = cfg.grid_nx;
     dcfg.router = cfg.router;
+    apply_guard_options(a, dcfg.deadline_ms, dcfg.guard);
     const TimingConfig tcfg = cfg.timing;
     opt = [&pred, dcfg, tcfg](const Netlist& nl, Placement3D& pl) {
       pl = run_dco(nl, pl, pred, tcfg, dcfg).placement;
@@ -293,6 +322,8 @@ int cmd_flow(const Args& a) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  // Guardrail events (NaN recovery, deadline hits) narrate to stderr.
+  log_level() = LogLevel::kWarn;
   const std::string cmd = argv[1];
   const Args args = parse_args(argc, argv, 2);
   try {
@@ -305,9 +336,12 @@ int main(int argc, char** argv) {
     if (cmd == "refine") return cmd_refine(args);
     if (cmd == "optimize") return cmd_optimize(args);
     if (cmd == "flow") return cmd_flow(args);
+  } catch (const StatusError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return status_exit_code(e.status().code());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return status_exit_code(StatusCode::kInternal);
   }
   return usage();
 }
