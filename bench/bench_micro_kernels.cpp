@@ -9,7 +9,9 @@
 #include "core/features.hpp"
 #include "core/losses.hpp"
 #include "grid/soft_maps.hpp"
+#include "nn/conv.hpp"
 #include "nn/gcn.hpp"
+#include "util/parallel.hpp"
 #include "nn/optimizer.hpp"
 #include "place/fm_partitioner.hpp"
 #include "place/quadratic.hpp"
@@ -226,6 +228,67 @@ void BM_OverlapLoss(benchmark::State& st) {
   }
 }
 BENCHMARK(BM_OverlapLoss);
+
+// --- thread-scaling benchmarks -------------------------------------------
+// The Arg is the worker-pool size handed to util::set_num_threads; results
+// are bit-identical across Args (deterministic chunking), so these measure
+// pure wall-clock scaling of the parallel kernel layer.
+
+/// Scoped pool size: set for the timing loop, restore auto afterwards.
+struct ThreadScope {
+  explicit ThreadScope(int n) { util::set_num_threads(n); }
+  ~ThreadScope() { util::set_num_threads(0); }
+};
+
+void BM_Conv2dForwardThreads(benchmark::State& st) {
+  ThreadScope pool(static_cast<int>(st.range(0)));
+  Rng rng(7);
+  nn::Var in = nn::make_leaf(nn::xavier_uniform({2, 8, 48, 48}, 8, 16, rng));
+  nn::Var w = nn::make_leaf(nn::xavier_uniform({16, 8, 3, 3}, 72, 144, rng));
+  nn::Var b = nn::make_leaf(nn::Tensor({16}, 0.1f));
+  for (auto _ : st) {
+    nn::Var out = nn::conv2d(in, w, b, 1, 1);
+    benchmark::DoNotOptimize(out->value.data().data());
+  }
+}
+BENCHMARK(BM_Conv2dForwardThreads)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SpmmThreads(benchmark::State& st) {
+  ThreadScope pool(static_cast<int>(st.range(0)));
+  State& s = state1k();
+  auto adj = nn::normalized_adjacency(
+      static_cast<std::int64_t>(s.design.num_cells()), s.design.cell_graph_edges());
+  Rng rng(3);
+  nn::Tensor x = nn::xavier_uniform(
+      {static_cast<std::int64_t>(s.design.num_cells()), 32}, 32, 32, rng);
+  for (auto _ : st) {
+    nn::Tensor out = adj.multiply(x);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  st.SetItemsProcessed(static_cast<std::int64_t>(st.iterations()) *
+                       static_cast<std::int64_t>(adj.values.size()));
+}
+BENCHMARK(BM_SpmmThreads)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SoftMapsThreads(benchmark::State& st) {
+  ThreadScope pool(static_cast<int>(st.range(0)));
+  State& s = state1k();
+  const auto n = static_cast<std::int64_t>(s.design.num_cells());
+  nn::Tensor tx({n}), ty({n}), tz({n}, 0.5f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    tx[i] = static_cast<float>(s.placement.xy[static_cast<std::size_t>(i)].x);
+    ty[i] = static_cast<float>(s.placement.xy[static_cast<std::size_t>(i)].y);
+  }
+  for (auto _ : st) {
+    nn::Var x = nn::make_leaf(tx, true), y = nn::make_leaf(ty, true),
+            z = nn::make_leaf(tz, true);
+    SoftMaps maps = soft_feature_maps(s.design, s.grid, x, y, z);
+    nn::Var loss = nn::sum(maps.stacked);
+    nn::backward(loss);
+    benchmark::DoNotOptimize(x->grad.data().data());
+  }
+}
+BENCHMARK(BM_SoftMapsThreads)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 }  // namespace dco3d

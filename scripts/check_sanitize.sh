@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Build the project with ASan/UBSan and run the tier-1 test suite, proving
-# the guardrail/recovery paths (rollbacks, reseeds, early commits, fault
-# injection) are leak- and UB-free.
+# Build the project with a sanitizer configuration and run the tier-1 test
+# suite, proving the guardrail/recovery paths (rollbacks, reseeds, early
+# commits, fault injection) are leak- and UB-free, and that the parallel
+# kernel layer (src/util/parallel.hpp) is race-free under ThreadSanitizer.
 #
 # Usage:
 #   scripts/check_sanitize.sh                 # address,undefined (default)
 #   DCO3D_SANITIZE=undefined scripts/check_sanitize.sh
+#   DCO3D_SANITIZE=thread scripts/check_sanitize.sh   # TSan, multi-threaded run
 #   BUILD_DIR=/tmp/san scripts/check_sanitize.sh
 set -euo pipefail
 
@@ -22,9 +24,17 @@ echo "== building"
 cmake --build "$BUILD" -j "$JOBS"
 
 echo "== running tier-1 tests under $SAN"
-# halt_on_error keeps CI signal crisp; detect_leaks needs ASan.
-export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}"
-export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+if [[ "$SAN" == *thread* ]]; then
+  # TSan is incompatible with ASan's leak checker; force the worker pool wide
+  # enough that every parallel_for actually fans out, so races are reachable.
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+  export DCO3D_THREADS="${DCO3D_THREADS:-4}"
+  echo "   (DCO3D_THREADS=$DCO3D_THREADS)"
+else
+  # halt_on_error keeps CI signal crisp; detect_leaks needs ASan.
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:halt_on_error=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+fi
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
 echo "== sanitize check passed"

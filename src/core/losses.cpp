@@ -5,8 +5,22 @@
 #include <cmath>
 
 #include "nn/ops.hpp"
+#include "util/parallel.hpp"
 
 namespace dco3d {
+
+namespace {
+
+// Scatter-accumulating loops (edge -> cell, cell -> bin) use per-chunk
+// buffers merged in fixed chunk order; the cap bounds buffer memory and keeps
+// results independent of the thread count.
+constexpr std::int64_t kScatterChunks = 8;
+
+void add_vec(std::vector<double>& into, const std::vector<double>& from) {
+  for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
+}
+
+}  // namespace
 
 nn::Var displacement_loss(const nn::Var& x, const nn::Var& y,
                           const nn::Tensor& x0, const nn::Tensor& y0,
@@ -32,17 +46,39 @@ nn::Var cutsize_loss(
     (*degree)[static_cast<std::size_t>(v)] += 1.0;
   }
 
-  double cut = 0.0, deg_t = 0.0, deg_b = 0.0;
-  for (auto [u, v] : *edges) {
-    const double zu = std::clamp(static_cast<double>(zs[static_cast<std::size_t>(u)]), 0.0, 1.0);
-    const double zv = std::clamp(static_cast<double>(zs[static_cast<std::size_t>(v)]), 0.0, 1.0);
-    cut += zu * (1.0 - zv) + zv * (1.0 - zu);
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    const double zi = std::clamp(static_cast<double>(zs[i]), 0.0, 1.0);
-    deg_t += (*degree)[i] * zi;
-    deg_b += (*degree)[i] * (1.0 - zi);
-  }
+  const auto n_edges = static_cast<std::int64_t>(edges->size());
+  double cut = util::parallel_reduce(
+      0, n_edges, 4096, 0.0,
+      [&](std::int64_t b, std::int64_t e, double& acc) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto [u, v] = (*edges)[static_cast<std::size_t>(i)];
+          const double zu =
+              std::clamp(static_cast<double>(zs[static_cast<std::size_t>(u)]), 0.0, 1.0);
+          const double zv =
+              std::clamp(static_cast<double>(zs[static_cast<std::size_t>(v)]), 0.0, 1.0);
+          acc += zu * (1.0 - zv) + zv * (1.0 - zu);
+        }
+      },
+      [](double& into, const double& from) { into += from; });
+
+  struct DegSums {
+    double t = 0.0, b = 0.0;
+  };
+  const DegSums deg = util::parallel_reduce(
+      0, static_cast<std::int64_t>(n), 8192, DegSums{},
+      [&](std::int64_t b, std::int64_t e, DegSums& acc) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto ci = static_cast<std::size_t>(i);
+          const double zi = std::clamp(static_cast<double>(zs[ci]), 0.0, 1.0);
+          acc.t += (*degree)[ci] * zi;
+          acc.b += (*degree)[ci] * (1.0 - zi);
+        }
+      },
+      [](DegSums& into, const DegSums& from) {
+        into.t += from.t;
+        into.b += from.b;
+      });
+  double deg_t = deg.t, deg_b = deg.b;
   constexpr double kEps = 1e-6;
   deg_t = std::max(deg_t, kEps);
   deg_b = std::max(deg_b, kEps);
@@ -56,21 +92,37 @@ nn::Var cutsize_loss(
     auto zs = pz.value.data();
     auto gz = pz.grad.data();
     const double inv = 1.0 / deg_t + 1.0 / deg_b;
-    // d(cut)/dz_i = sum_{j in N(i)} (1 - 2 z_j); accumulate per edge.
-    std::vector<double> dcut(degree->size(), 0.0);
-    for (auto [u, v] : *edges) {
-      const double zu = std::clamp(static_cast<double>(zs[static_cast<std::size_t>(u)]), 0.0, 1.0);
-      const double zv = std::clamp(static_cast<double>(zs[static_cast<std::size_t>(v)]), 0.0, 1.0);
-      dcut[static_cast<std::size_t>(u)] += 1.0 - 2.0 * zv;
-      dcut[static_cast<std::size_t>(v)] += 1.0 - 2.0 * zu;
-    }
-    for (std::size_t i = 0; i < degree->size(); ++i) {
-      const double d_deg = (*degree)[i];
-      // d(1/degT)/dz_i = -deg_i/degT^2 ; d(1/degB)/dz_i = +deg_i/degB^2.
-      const double term = dcut[i] * inv +
-                          cut * (-d_deg / (deg_t * deg_t) + d_deg / (deg_b * deg_b));
-      gz[i] += g * static_cast<float>(term);
-    }
+    // d(cut)/dz_i = sum_{j in N(i)} (1 - 2 z_j); the per-edge scatter hits
+    // arbitrary cells, so chunks accumulate private vectors merged in order.
+    const auto n_edges = static_cast<std::int64_t>(edges->size());
+    std::vector<double> dcut = util::parallel_reduce(
+        0, n_edges, util::grain_for_chunks(n_edges, kScatterChunks),
+        std::vector<double>(degree->size(), 0.0),
+        [&](std::int64_t b, std::int64_t e, std::vector<double>& acc) {
+          for (std::int64_t i = b; i < e; ++i) {
+            const auto [u, v] = (*edges)[static_cast<std::size_t>(i)];
+            const double zu = std::clamp(
+                static_cast<double>(zs[static_cast<std::size_t>(u)]), 0.0, 1.0);
+            const double zv = std::clamp(
+                static_cast<double>(zs[static_cast<std::size_t>(v)]), 0.0, 1.0);
+            acc[static_cast<std::size_t>(u)] += 1.0 - 2.0 * zv;
+            acc[static_cast<std::size_t>(v)] += 1.0 - 2.0 * zu;
+          }
+        },
+        add_vec);
+    util::parallel_for(
+        0, static_cast<std::int64_t>(degree->size()), 8192,
+        [&](std::int64_t b, std::int64_t e) {
+          for (std::int64_t i = b; i < e; ++i) {
+            const auto ci = static_cast<std::size_t>(i);
+            const double d_deg = (*degree)[ci];
+            // d(1/degT)/dz_i = -deg_i/degT^2 ; d(1/degB)/dz_i = +deg_i/degB^2.
+            const double term =
+                dcut[ci] * inv +
+                cut * (-d_deg / (deg_t * deg_t) + d_deg / (deg_b * deg_b));
+            gz[ci] += g * static_cast<float>(term);
+          }
+        });
   };
   return nn::make_node(nn::Tensor::scalar(static_cast<float>(loss)), {z},
                        std::move(backward));
@@ -121,11 +173,6 @@ nn::Var overlap_loss(const Netlist& netlist, const nn::Var& x, const nn::Var& y,
   auto ys = y->value.data();
   auto zs = z->value.data();
 
-  // Forward: accumulate per-die smoothed densities.
-  std::vector<double> density[2];
-  density[0].assign(n_bins, 0.0);
-  density[1].assign(n_bins, 0.0);
-
   struct CellGeom {
     double cx, cy, wb_x, wb_y, c_norm, zt;
     int b0x, b1x, b0y, b1y;
@@ -136,52 +183,68 @@ nn::Var overlap_loss(const Netlist& netlist, const nn::Var& x, const nn::Var& y,
   auto bin_center_x = [&](int b) { return outline.xlo + (b + 0.5) * wv_x; };
   auto bin_center_y = [&](int b) { return outline.ylo + (b + 0.5) * wv_y; };
 
-  for (std::size_t ci = 0; ci < n; ++ci) {
-    CellGeom& g = (*geoms)[ci];
-    const auto id = static_cast<CellId>(ci);
-    const CellType& t = netlist.cell_type(id);
-    g.active = netlist.is_movable(id) && t.area() > 0.0;
-    if (!g.active) continue;
-    g.wb_x = std::max(t.width * 0.5, 1e-6);
-    g.wb_y = std::max(t.height * 0.5, 1e-6);
-    g.cx = xs[ci] + t.width * 0.5;
-    g.cy = ys[ci] + t.height * 0.5;
-    g.zt = std::clamp(static_cast<double>(zs[ci]), 0.0, 1.0);
-    const double rx = 2.0 * g.wb_x + wv_x * 0.5;
-    const double ry = 2.0 * g.wb_y + wv_y * 0.5;
-    g.b0x = std::clamp(static_cast<int>((g.cx - rx - outline.xlo) / wv_x), 0, bins_x - 1);
-    g.b1x = std::clamp(static_cast<int>((g.cx + rx - outline.xlo) / wv_x), 0, bins_x - 1);
-    g.b0y = std::clamp(static_cast<int>((g.cy - ry - outline.ylo) / wv_y), 0, bins_y - 1);
-    g.b1y = std::clamp(static_cast<int>((g.cy + ry - outline.ylo) / wv_y), 0, bins_y - 1);
-    // Normalize so total potential mass equals cell area (c_v of Eq. 10).
-    double raw = 0.0;
-    for (int bx = g.b0x; bx <= g.b1x; ++bx)
-      for (int by = g.b0y; by <= g.b1y; ++by)
-        raw += bell_potential(g.cx - bin_center_x(bx), g.wb_x, wv_x) *
-               bell_potential(g.cy - bin_center_y(by), g.wb_y, wv_y);
-    g.c_norm = raw > 1e-12 ? t.area() / raw : 0.0;
-    for (int bx = g.b0x; bx <= g.b1x; ++bx) {
-      const double px = bell_potential(g.cx - bin_center_x(bx), g.wb_x, wv_x);
-      for (int by = g.b0y; by <= g.b1y; ++by) {
-        const double py = bell_potential(g.cy - bin_center_y(by), g.wb_y, wv_y);
-        const auto bi = static_cast<std::size_t>(by) * bins_x + bx;
-        density[0][bi] += g.c_norm * px * py * (1.0 - g.zt);
-        density[1][bi] += g.c_norm * px * py * g.zt;
-      }
-    }
-  }
+  // Forward: accumulate per-die smoothed densities. Each cell's geometry slot
+  // is private to its chunk, but the bell potentials scatter onto shared bins,
+  // so densities go through per-chunk buffers merged in chunk order. Layout is
+  // [bot bins..., top bins...].
+  std::vector<double> density = util::parallel_reduce(
+      0, static_cast<std::int64_t>(n),
+      util::grain_for_chunks(static_cast<std::int64_t>(n), kScatterChunks),
+      std::vector<double>(2 * n_bins, 0.0),
+      [&](std::int64_t cb, std::int64_t ce, std::vector<double>& acc) {
+        for (std::int64_t i = cb; i < ce; ++i) {
+          const auto ci = static_cast<std::size_t>(i);
+          CellGeom& g = (*geoms)[ci];
+          const auto id = static_cast<CellId>(ci);
+          const CellType& t = netlist.cell_type(id);
+          g.active = netlist.is_movable(id) && t.area() > 0.0;
+          if (!g.active) continue;
+          g.wb_x = std::max(t.width * 0.5, 1e-6);
+          g.wb_y = std::max(t.height * 0.5, 1e-6);
+          g.cx = xs[ci] + t.width * 0.5;
+          g.cy = ys[ci] + t.height * 0.5;
+          g.zt = std::clamp(static_cast<double>(zs[ci]), 0.0, 1.0);
+          const double rx = 2.0 * g.wb_x + wv_x * 0.5;
+          const double ry = 2.0 * g.wb_y + wv_y * 0.5;
+          g.b0x = std::clamp(static_cast<int>((g.cx - rx - outline.xlo) / wv_x), 0, bins_x - 1);
+          g.b1x = std::clamp(static_cast<int>((g.cx + rx - outline.xlo) / wv_x), 0, bins_x - 1);
+          g.b0y = std::clamp(static_cast<int>((g.cy - ry - outline.ylo) / wv_y), 0, bins_y - 1);
+          g.b1y = std::clamp(static_cast<int>((g.cy + ry - outline.ylo) / wv_y), 0, bins_y - 1);
+          // Normalize so total potential mass equals cell area (c_v of Eq. 10).
+          double raw = 0.0;
+          for (int bx = g.b0x; bx <= g.b1x; ++bx)
+            for (int by = g.b0y; by <= g.b1y; ++by)
+              raw += bell_potential(g.cx - bin_center_x(bx), g.wb_x, wv_x) *
+                     bell_potential(g.cy - bin_center_y(by), g.wb_y, wv_y);
+          g.c_norm = raw > 1e-12 ? t.area() / raw : 0.0;
+          for (int bx = g.b0x; bx <= g.b1x; ++bx) {
+            const double px = bell_potential(g.cx - bin_center_x(bx), g.wb_x, wv_x);
+            for (int by = g.b0y; by <= g.b1y; ++by) {
+              const double py = bell_potential(g.cy - bin_center_y(by), g.wb_y, wv_y);
+              const auto bi = static_cast<std::size_t>(by) * bins_x + bx;
+              acc[bi] += g.c_norm * px * py * (1.0 - g.zt);
+              acc[n_bins + bi] += g.c_norm * px * py * g.zt;
+            }
+          }
+        }
+      },
+      add_vec);
 
-  // Penalty: mean squared utilization excess over both dies.
-  double loss = 0.0;
+  // Penalty: mean squared utilization excess over both dies. Excess slots are
+  // per-bin (disjoint writes); the loss itself is a deterministic chunked sum.
   auto excess = std::make_shared<std::vector<double>>(2 * n_bins, 0.0);
-  for (int die = 0; die < 2; ++die) {
-    for (std::size_t bi = 0; bi < n_bins; ++bi) {
-      const double rho = density[die][bi] / bin_area;
-      const double e = std::max(rho - target_util, 0.0);
-      (*excess)[static_cast<std::size_t>(die) * n_bins + bi] = e;
-      loss += e * e;
-    }
-  }
+  double loss = util::parallel_reduce(
+      0, static_cast<std::int64_t>(2 * n_bins), 8192, 0.0,
+      [&](std::int64_t b, std::int64_t e, double& acc) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto bi = static_cast<std::size_t>(i);
+          const double rho = density[bi] / bin_area;
+          const double ex = std::max(rho - target_util, 0.0);
+          (*excess)[bi] = ex;
+          acc += ex * ex;
+        }
+      },
+      [](double& into, const double& from) { into += from; });
   loss /= static_cast<double>(2 * n_bins);
 
   auto backward = [geoms, excess, outline, bins_x, bins_y, wv_x, wv_y, bin_area,
@@ -197,27 +260,34 @@ nn::Var overlap_loss(const Netlist& netlist, const nn::Var& x, const nn::Var& y,
 
     std::vector<double> gx(geoms->size(), 0.0), gy(geoms->size(), 0.0),
         gz(geoms->size(), 0.0);
-    for (std::size_t ci = 0; ci < geoms->size(); ++ci) {
-      const CellGeom& geo = (*geoms)[ci];
-      if (!geo.active || geo.c_norm == 0.0) continue;
-      for (int bx = geo.b0x; bx <= geo.b1x; ++bx) {
-        const double dx = geo.cx - bin_center_x(bx);
-        const double pxv = bell_potential(dx, geo.wb_x, wv_x);
-        const double dpx = bell_potential_grad(dx, geo.wb_x, wv_x);
-        for (int by = geo.b0y; by <= geo.b1y; ++by) {
-          const double dy = geo.cy - bin_center_y(by);
-          const double pyv = bell_potential(dy, geo.wb_y, wv_y);
-          const double dpy = bell_potential_grad(dy, geo.wb_y, wv_y);
-          const auto bi = static_cast<std::size_t>(by) * bins_x + bx;
-          const double e_bot = (*excess)[bi];
-          const double e_top = (*excess)[n_bins + bi];
-          const double w_mix = e_bot * (1.0 - geo.zt) + e_top * geo.zt;
-          gx[ci] += scale * w_mix * geo.c_norm * dpx * pyv;
-          gy[ci] += scale * w_mix * geo.c_norm * pxv * dpy;
-          gz[ci] += scale * (e_top - e_bot) * geo.c_norm * pxv * pyv;
-        }
-      }
-    }
+    // Each cell reads shared excess bins but writes only its own gradient
+    // slots, so the chunks are disjoint without buffering.
+    util::parallel_for(
+        0, static_cast<std::int64_t>(geoms->size()), 256,
+        [&](std::int64_t cb, std::int64_t ce) {
+          for (std::int64_t i = cb; i < ce; ++i) {
+            const auto ci = static_cast<std::size_t>(i);
+            const CellGeom& geo = (*geoms)[ci];
+            if (!geo.active || geo.c_norm == 0.0) continue;
+            for (int bx = geo.b0x; bx <= geo.b1x; ++bx) {
+              const double dx = geo.cx - bin_center_x(bx);
+              const double pxv = bell_potential(dx, geo.wb_x, wv_x);
+              const double dpx = bell_potential_grad(dx, geo.wb_x, wv_x);
+              for (int by = geo.b0y; by <= geo.b1y; ++by) {
+                const double dy = geo.cy - bin_center_y(by);
+                const double pyv = bell_potential(dy, geo.wb_y, wv_y);
+                const double dpy = bell_potential_grad(dy, geo.wb_y, wv_y);
+                const auto bi = static_cast<std::size_t>(by) * bins_x + bx;
+                const double e_bot = (*excess)[bi];
+                const double e_top = (*excess)[n_bins + bi];
+                const double w_mix = e_bot * (1.0 - geo.zt) + e_top * geo.zt;
+                gx[ci] += scale * w_mix * geo.c_norm * dpx * pyv;
+                gy[ci] += scale * w_mix * geo.c_norm * pxv * dpy;
+                gz[ci] += scale * (e_top - e_bot) * geo.c_norm * pxv * pyv;
+              }
+            }
+          }
+        });
     auto flush = [g](nn::Node& p, const std::vector<double>& vec) {
       if (!p.requires_grad) return;
       p.ensure_grad();

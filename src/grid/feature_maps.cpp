@@ -4,7 +4,26 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/parallel.hpp"
+
 namespace dco3d {
+
+namespace {
+
+// Rasterization scatters into shared tile maps; chunks accumulate into private
+// map copies merged in ascending chunk order. The chunk cap bounds buffer
+// memory and keeps results identical for any thread count.
+constexpr std::int64_t kScatterChunks = 8;
+
+void add_maps(FeatureMaps& into, const FeatureMaps& from) {
+  for (int die = 0; die < 2; ++die) {
+    auto dst = into.die[die].data();
+    auto src = from.die[die].data();
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+  }
+}
+
+}  // namespace
 
 double rudy_factor(const Rect& bbox, const GCellGrid& grid) {
   const double w = std::max(bbox.width(), grid.tile_width());
@@ -45,12 +64,12 @@ FeatureMaps compute_feature_maps(const Netlist& netlist,
                                  const Placement3D& placement,
                                  const GCellGrid& grid) {
   const std::int64_t H = grid.ny(), W = grid.nx();
-  FeatureMaps fm;
-  fm.die[0] = nn::Tensor({1, kNumFeatureChannels, H, W});
-  fm.die[1] = nn::Tensor({1, kNumFeatureChannels, H, W});
+  FeatureMaps zero;
+  zero.die[0] = nn::Tensor({1, kNumFeatureChannels, H, W});
+  zero.die[1] = nn::Tensor({1, kNumFeatureChannels, H, W});
 
-  auto channel = [&](int die, FeatureChannel ch) {
-    auto span = fm.die[die].data();
+  auto channel = [H, W](FeatureMaps& m, int die, FeatureChannel ch) {
+    auto span = m.die[die].data();
     return span.subspan(static_cast<std::size_t>(ch * H * W),
                         static_cast<std::size_t>(H * W));
   };
@@ -58,55 +77,75 @@ FeatureMaps compute_feature_maps(const Netlist& netlist,
   const double tile_area = grid.tile_area();
 
   // Cell density + macro blockage: area overlap per tile.
-  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
-    const auto id = static_cast<CellId>(ci);
-    const CellType& t = netlist.cell_type(id);
-    if (t.area() <= 0.0) continue;
-    const Point p = placement.xy[ci];
-    const Rect cell_rect{p.x, p.y, p.x + t.width, p.y + t.height};
-    const int die = placement.tier[ci] ? 1 : 0;
-    auto dst = channel(die, netlist.is_macro(id) ? kMacroBlockage : kCellDensity);
-    const int m0 = grid.col_of(cell_rect.xlo);
-    const int m1 = grid.col_of(cell_rect.xhi);
-    const int n0 = grid.row_of(cell_rect.ylo);
-    const int n1 = grid.row_of(cell_rect.yhi);
-    for (int n = n0; n <= n1; ++n) {
-      for (int m = m0; m <= m1; ++m) {
-        const double ov = grid.tile_rect(m, n).overlap_area(cell_rect);
-        if (ov > 0.0)
-          dst[static_cast<std::size_t>(grid.index(m, n))] +=
-              static_cast<float>(ov / tile_area);
-      }
-    }
-  }
+  const auto n_cells = static_cast<std::int64_t>(netlist.num_cells());
+  FeatureMaps fm = util::parallel_reduce(
+      0, n_cells, util::grain_for_chunks(n_cells, kScatterChunks), zero,
+      [&](std::int64_t b, std::int64_t e, FeatureMaps& acc) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto ci = static_cast<std::size_t>(i);
+          const auto id = static_cast<CellId>(ci);
+          const CellType& t = netlist.cell_type(id);
+          if (t.area() <= 0.0) continue;
+          const Point p = placement.xy[ci];
+          const Rect cell_rect{p.x, p.y, p.x + t.width, p.y + t.height};
+          const int die = placement.tier[ci] ? 1 : 0;
+          auto dst =
+              channel(acc, die, netlist.is_macro(id) ? kMacroBlockage : kCellDensity);
+          const int m0 = grid.col_of(cell_rect.xlo);
+          const int m1 = grid.col_of(cell_rect.xhi);
+          const int n0 = grid.row_of(cell_rect.ylo);
+          const int n1 = grid.row_of(cell_rect.yhi);
+          for (int n = n0; n <= n1; ++n) {
+            for (int m = m0; m <= m1; ++m) {
+              const double ov = grid.tile_rect(m, n).overlap_area(cell_rect);
+              if (ov > 0.0)
+                dst[static_cast<std::size_t>(grid.index(m, n))] +=
+                    static_cast<float>(ov / tile_area);
+            }
+          }
+        }
+      },
+      add_maps);
 
   // Net-based maps.
-  for (const Net& net : netlist.nets()) {
-    const Rect bbox = net_bbox(net, placement);
-    const bool is3d = is_3d_net(net, placement);
-    const double kf = rudy_factor(bbox, grid);
+  const auto& nets = netlist.nets();
+  FeatureMaps net_maps = util::parallel_reduce(
+      0, static_cast<std::int64_t>(nets.size()),
+      util::grain_for_chunks(static_cast<std::int64_t>(nets.size()), kScatterChunks),
+      zero,
+      [&](std::int64_t b, std::int64_t e, FeatureMaps& acc) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const Net& net = nets[static_cast<std::size_t>(i)];
+          const Rect bbox = net_bbox(net, placement);
+          const bool is3d = is_3d_net(net, placement);
+          const double kf = rudy_factor(bbox, grid);
 
-    if (is3d) {
-      // 3D nets: demand lands on both dies, scaled by 0.5 for the extra
-      // resources of the second die (§III-B1).
-      add_net_rudy(channel(0, kRudy3D), grid, bbox, 0.5);
-      add_net_rudy(channel(1, kRudy3D), grid, bbox, 0.5);
-    } else {
-      const int die = placement.tier[static_cast<std::size_t>(net.driver.cell)] ? 1 : 0;
-      add_net_rudy(channel(die, kRudy2D), grid, bbox, 1.0);
-    }
+          if (is3d) {
+            // 3D nets: demand lands on both dies, scaled by 0.5 for the extra
+            // resources of the second die (§III-B1).
+            add_net_rudy(channel(acc, 0, kRudy3D), grid, bbox, 0.5);
+            add_net_rudy(channel(acc, 1, kRudy3D), grid, bbox, 0.5);
+          } else {
+            const int die =
+                placement.tier[static_cast<std::size_t>(net.driver.cell)] ? 1 : 0;
+            add_net_rudy(channel(acc, die, kRudy2D), grid, bbox, 1.0);
+          }
 
-    // Pin-based maps: PinRUDY (Eq. 3) and raw pin density.
-    auto add_pin = [&](const PinRef& pin) {
-      const Point pos = placement.pin_position(pin);
-      const std::size_t tile = static_cast<std::size_t>(grid.tile_of(pos));
-      const int die = placement.tier[static_cast<std::size_t>(pin.cell)] ? 1 : 0;
-      channel(die, kPinDensity)[tile] += static_cast<float>(1.0 / tile_area);
-      channel(die, is3d ? kPinRudy3D : kPinRudy2D)[tile] += static_cast<float>(kf);
-    };
-    add_pin(net.driver);
-    for (const PinRef& s : net.sinks) add_pin(s);
-  }
+          // Pin-based maps: PinRUDY (Eq. 3) and raw pin density.
+          auto add_pin = [&](const PinRef& pin) {
+            const Point pos = placement.pin_position(pin);
+            const std::size_t tile = static_cast<std::size_t>(grid.tile_of(pos));
+            const int die = placement.tier[static_cast<std::size_t>(pin.cell)] ? 1 : 0;
+            channel(acc, die, kPinDensity)[tile] += static_cast<float>(1.0 / tile_area);
+            channel(acc, die, is3d ? kPinRudy3D : kPinRudy2D)[tile] +=
+                static_cast<float>(kf);
+          };
+          add_pin(net.driver);
+          for (const PinRef& s : net.sinks) add_pin(s);
+        }
+      },
+      add_maps);
+  add_maps(fm, net_maps);
 
   return fm;
 }
@@ -123,10 +162,11 @@ nn::Tensor resize_nearest(const nn::Tensor& t, std::int64_t new_h, std::int64_t 
   nn::Tensor out(out_shape);
   auto src = t.data();
   auto dst = out.data();
-  for (std::int64_t n = 0; n < N; ++n) {
-    for (std::int64_t c = 0; c < C; ++c) {
-      const std::int64_t src_base = (n * C + c) * H * W;
-      const std::int64_t dst_base = (n * C + c) * new_h * new_w;
+  // Planes write disjoint output slices.
+  util::parallel_for(0, N * C, 1, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t pc = p0; pc < p1; ++pc) {
+      const std::int64_t src_base = pc * H * W;
+      const std::int64_t dst_base = pc * new_h * new_w;
       for (std::int64_t y = 0; y < new_h; ++y) {
         const std::int64_t sy = std::min(y * H / new_h, H - 1);
         for (std::int64_t x = 0; x < new_w; ++x) {
@@ -136,7 +176,7 @@ nn::Tensor resize_nearest(const nn::Tensor& t, std::int64_t new_h, std::int64_t 
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -148,8 +188,9 @@ nn::Tensor augment_dihedral(const nn::Tensor& t, int which) {
   const bool flip = (which & 4) != 0;
   if (rot % 2 == 1) assert(H == W && "90/270 rotations require square maps");
   nn::Tensor out(t.shape());
-  for (std::int64_t n = 0; n < N; ++n) {
-    for (std::int64_t c = 0; c < C; ++c) {
+  util::parallel_for(0, N * C, 1, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t pc = p0; pc < p1; ++pc) {
+      const std::int64_t n = pc / C, c = pc % C;
       for (std::int64_t y = 0; y < H; ++y) {
         for (std::int64_t x = 0; x < W; ++x) {
           std::int64_t sy = y, sx = x;
@@ -175,7 +216,7 @@ nn::Tensor augment_dihedral(const nn::Tensor& t, int which) {
         }
       }
     }
-  }
+  });
   return out;
 }
 

@@ -5,9 +5,18 @@
 #include <cmath>
 #include <memory>
 
+#include "util/parallel.hpp"
+
 namespace dco3d {
 
 namespace {
+
+// Per-net/per-cell rasterization scatters into shared tile maps, so the
+// parallel form runs fixed chunks of the index range into chunk-private
+// accumulation buffers and merges them in ascending chunk order. Chunk count
+// is capped (buffers are map-sized), and never depends on the thread count —
+// results are bit-identical from 1 to N threads.
+constexpr std::int64_t kScatterChunks = 8;
 
 struct NetGeom {
   Rect bbox;          // effective bbox (clamped below to tile dims)
@@ -67,6 +76,12 @@ NetGeom net_geometry(const std::vector<PinPos>& pins, const GCellGrid& grid) {
   return g;
 }
 
+void add_tensor(nn::Tensor& into, const nn::Tensor& from) {
+  auto dst = into.data();
+  auto src = from.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+}
+
 }  // namespace
 
 SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
@@ -78,8 +93,7 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
   const std::int64_t H = grid.ny(), W = grid.nx();
   const double A = grid.tile_area();
 
-  nn::Tensor out({1, 2 * kNumFeatureChannels, H, W});
-  auto channel = [&](nn::Tensor& t, int die, FeatureChannel ch) {
+  auto channel = [H, W](nn::Tensor& t, int die, FeatureChannel ch) {
     return t.data().subspan(
         static_cast<std::size_t>((die * kNumFeatureChannels + ch) * H * W),
         static_cast<std::size_t>(H * W));
@@ -89,52 +103,72 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
   auto ys = y->value.data();
   auto zs = z->value.data();
 
+  const nn::Tensor zero({1, 2 * kNumFeatureChannels, H, W});
+
   // --- cell density & macro blockage ---
-  for (std::size_t ci = 0; ci < N; ++ci) {
-    const auto id = static_cast<CellId>(ci);
-    const CellType& t = netlist.cell_type(id);
-    if (t.area() <= 0.0) continue;
-    const double zc = std::clamp(static_cast<double>(zs[ci]), 0.0, 1.0);
-    const Rect r{xs[ci], ys[ci], xs[ci] + t.width, ys[ci] + t.height};
-    const FeatureChannel ch = netlist.is_macro(id) ? kMacroBlockage : kCellDensity;
-    auto bot = channel(out, 0, ch);
-    auto top = channel(out, 1, ch);
-    const int m0 = grid.col_of(r.xlo), m1 = grid.col_of(r.xhi);
-    const int n0 = grid.row_of(r.ylo), n1 = grid.row_of(r.yhi);
-    for (int n = n0; n <= n1; ++n)
-      for (int m = m0; m <= m1; ++m) {
-        const double ov = grid.tile_rect(m, n).overlap_area(r);
-        if (ov <= 0.0) continue;
-        const auto ti = static_cast<std::size_t>(grid.index(m, n));
-        bot[ti] += static_cast<float>((1.0 - zc) * ov / A);
-        top[ti] += static_cast<float>(zc * ov / A);
-      }
-  }
+  nn::Tensor out = util::parallel_reduce(
+      0, static_cast<std::int64_t>(N),
+      util::grain_for_chunks(static_cast<std::int64_t>(N), kScatterChunks), zero,
+      [&](std::int64_t b, std::int64_t e, nn::Tensor& acc) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto ci = static_cast<std::size_t>(i);
+          const auto id = static_cast<CellId>(ci);
+          const CellType& t = netlist.cell_type(id);
+          if (t.area() <= 0.0) continue;
+          const double zc = std::clamp(static_cast<double>(zs[ci]), 0.0, 1.0);
+          const Rect r{xs[ci], ys[ci], xs[ci] + t.width, ys[ci] + t.height};
+          const FeatureChannel ch =
+              netlist.is_macro(id) ? kMacroBlockage : kCellDensity;
+          auto bot = channel(acc, 0, ch);
+          auto top = channel(acc, 1, ch);
+          const int m0 = grid.col_of(r.xlo), m1 = grid.col_of(r.xhi);
+          const int n0 = grid.row_of(r.ylo), n1 = grid.row_of(r.yhi);
+          for (int n = n0; n <= n1; ++n)
+            for (int m = m0; m <= m1; ++m) {
+              const double ov = grid.tile_rect(m, n).overlap_area(r);
+              if (ov <= 0.0) continue;
+              const auto ti = static_cast<std::size_t>(grid.index(m, n));
+              bot[ti] += static_cast<float>((1.0 - zc) * ov / A);
+              top[ti] += static_cast<float>(zc * ov / A);
+            }
+        }
+      },
+      add_tensor);
 
   // --- net-driven maps ---
-  std::vector<PinPos> pins;
-  for (const Net& net : netlist.nets()) {
-    collect_pins(net, xs, ys, zs, pins);
-    const NetGeom g = net_geometry(pins, grid);
-    const double w3d = std::max(1.0 - g.prod_top - g.prod_bot, 0.0);
+  const auto& nets = netlist.nets();
+  nn::Tensor net_maps = util::parallel_reduce(
+      0, static_cast<std::int64_t>(nets.size()),
+      util::grain_for_chunks(static_cast<std::int64_t>(nets.size()), kScatterChunks),
+      zero,
+      [&](std::int64_t b, std::int64_t e, nn::Tensor& acc) {
+        std::vector<PinPos> pins;
+        for (std::int64_t i = b; i < e; ++i) {
+          const Net& net = nets[static_cast<std::size_t>(i)];
+          collect_pins(net, xs, ys, zs, pins);
+          const NetGeom g = net_geometry(pins, grid);
+          const double w3d = std::max(1.0 - g.prod_top - g.prod_bot, 0.0);
 
-    // RUDY channels.
-    add_net_rudy(channel(out, 0, kRudy2D), grid, g.bbox, g.prod_bot);
-    add_net_rudy(channel(out, 1, kRudy2D), grid, g.bbox, g.prod_top);
-    add_net_rudy(channel(out, 0, kRudy3D), grid, g.bbox, 0.5 * w3d);
-    add_net_rudy(channel(out, 1, kRudy3D), grid, g.bbox, 0.5 * w3d);
+          // RUDY channels.
+          add_net_rudy(channel(acc, 0, kRudy2D), grid, g.bbox, g.prod_bot);
+          add_net_rudy(channel(acc, 1, kRudy2D), grid, g.bbox, g.prod_top);
+          add_net_rudy(channel(acc, 0, kRudy3D), grid, g.bbox, 0.5 * w3d);
+          add_net_rudy(channel(acc, 1, kRudy3D), grid, g.bbox, 0.5 * w3d);
 
-    // Pin channels.
-    for (const PinPos& p : pins) {
-      const auto ti = static_cast<std::size_t>(grid.tile_of({p.px, p.py}));
-      channel(out, 0, kPinDensity)[ti] += static_cast<float>((1.0 - p.z) / A);
-      channel(out, 1, kPinDensity)[ti] += static_cast<float>(p.z / A);
-      channel(out, 0, kPinRudy2D)[ti] += static_cast<float>(g.k * g.prod_bot);
-      channel(out, 1, kPinRudy2D)[ti] += static_cast<float>(g.k * g.prod_top);
-      channel(out, 0, kPinRudy3D)[ti] += static_cast<float>(g.k * (1.0 - p.z) * w3d);
-      channel(out, 1, kPinRudy3D)[ti] += static_cast<float>(g.k * p.z * w3d);
-    }
-  }
+          // Pin channels.
+          for (const PinPos& p : pins) {
+            const auto ti = static_cast<std::size_t>(grid.tile_of({p.px, p.py}));
+            channel(acc, 0, kPinDensity)[ti] += static_cast<float>((1.0 - p.z) / A);
+            channel(acc, 1, kPinDensity)[ti] += static_cast<float>(p.z / A);
+            channel(acc, 0, kPinRudy2D)[ti] += static_cast<float>(g.k * g.prod_bot);
+            channel(acc, 1, kPinRudy2D)[ti] += static_cast<float>(g.k * g.prod_top);
+            channel(acc, 0, kPinRudy3D)[ti] += static_cast<float>(g.k * (1.0 - p.z) * w3d);
+            channel(acc, 1, kPinRudy3D)[ti] += static_cast<float>(g.k * p.z * w3d);
+          }
+        }
+      },
+      add_tensor);
+  add_tensor(out, net_maps);
 
   // --- custom backward: Eq. (6) subgradients ---
   const Netlist* nlp = &netlist;
@@ -154,123 +188,159 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
     auto ys = py.value.data();
     auto zs = pz.value.data();
 
-    // Cell density: z gradient through tier weighting.
+    // Cell density: z gradient through tier weighting. Each cell writes only
+    // gz[ci], so plain parallel_for chunks are already disjoint.
     if (pz.requires_grad) {
       auto gb = gch(0, kCellDensity);
       auto gt = gch(1, kCellDensity);
-      for (std::size_t ci = 0; ci < n_cells; ++ci) {
-        const auto id = static_cast<CellId>(ci);
-        const CellType& t = nlp->cell_type(id);
-        if (t.area() <= 0.0 || nlp->is_macro(id)) continue;
-        const Rect r{xs[ci], ys[ci], xs[ci] + t.width, ys[ci] + t.height};
-        const int m0 = grid.col_of(r.xlo), m1 = grid.col_of(r.xhi);
-        const int n0 = grid.row_of(r.ylo), n1 = grid.row_of(r.yhi);
-        for (int n = n0; n <= n1; ++n)
-          for (int m = m0; m <= m1; ++m) {
-            const double ov = grid.tile_rect(m, n).overlap_area(r);
-            if (ov <= 0.0) continue;
-            const auto ti = static_cast<std::size_t>(grid.index(m, n));
-            gz[ci] += (gt[ti] - gb[ti]) * ov / A;
-          }
-      }
+      util::parallel_for(
+          0, static_cast<std::int64_t>(n_cells), 256,
+          [&](std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i) {
+              const auto ci = static_cast<std::size_t>(i);
+              const auto id = static_cast<CellId>(ci);
+              const CellType& t = nlp->cell_type(id);
+              if (t.area() <= 0.0 || nlp->is_macro(id)) continue;
+              const Rect r{xs[ci], ys[ci], xs[ci] + t.width, ys[ci] + t.height};
+              const int m0 = grid.col_of(r.xlo), m1 = grid.col_of(r.xhi);
+              const int n0 = grid.row_of(r.ylo), n1 = grid.row_of(r.yhi);
+              for (int n = n0; n <= n1; ++n)
+                for (int m = m0; m <= m1; ++m) {
+                  const double ov = grid.tile_rect(m, n).overlap_area(r);
+                  if (ov <= 0.0) continue;
+                  const auto ti = static_cast<std::size_t>(grid.index(m, n));
+                  gz[ci] += (gt[ti] - gb[ti]) * ov / A;
+                }
+            }
+          });
     }
 
-    std::vector<PinPos> pins;
     auto gb2 = gch(0, kRudy2D), gt2 = gch(1, kRudy2D);
     auto gb3 = gch(0, kRudy3D), gt3 = gch(1, kRudy3D);
     auto gbp2 = gch(0, kPinRudy2D), gtp2 = gch(1, kPinRudy2D);
     auto gbp3 = gch(0, kPinRudy3D), gtp3 = gch(1, kPinRudy3D);
     auto gbpd = gch(0, kPinDensity), gtpd = gch(1, kPinDensity);
 
-    for (const Net& net : nlp->nets()) {
-      collect_pins(net, xs, ys, zs, pins);
-      const NetGeom g = net_geometry(pins, grid);
-      const double w3d = std::max(1.0 - g.prod_top - g.prod_bot, 0.0);
-      const Rect& bb = g.bbox;
-      const int m0 = grid.col_of(bb.xlo), m1 = grid.col_of(bb.xhi);
-      const int n0 = grid.row_of(bb.ylo), n1 = grid.row_of(bb.yhi);
-      const double w = bb.width(), h = bb.height();
+    // Net subgradients scatter onto the extreme pins' cells, which chunks
+    // share — per-chunk gradient buffers, merged in chunk order.
+    struct PosGrads {
+      std::vector<double> gx, gy, gz;
+    };
+    const auto& nets = nlp->nets();
+    PosGrads net_grads = util::parallel_reduce(
+        0, static_cast<std::int64_t>(nets.size()),
+        util::grain_for_chunks(static_cast<std::int64_t>(nets.size()),
+                               kScatterChunks),
+        PosGrads{std::vector<double>(n_cells, 0.0),
+                 std::vector<double>(n_cells, 0.0),
+                 std::vector<double>(n_cells, 0.0)},
+        [&](std::int64_t nb, std::int64_t ne, PosGrads& acc) {
+          std::vector<PinPos> pins;
+          for (std::int64_t nn_i = nb; nn_i < ne; ++nn_i) {
+            const Net& net = nets[static_cast<std::size_t>(nn_i)];
+            collect_pins(net, xs, ys, zs, pins);
+            const NetGeom g = net_geometry(pins, grid);
+            const double w3d = std::max(1.0 - g.prod_top - g.prod_bot, 0.0);
+            const Rect& bb = g.bbox;
+            const int m0 = grid.col_of(bb.xlo), m1 = grid.col_of(bb.xhi);
+            const int n0 = grid.row_of(bb.ylo), n1 = grid.row_of(bb.yhi);
+            const double w = bb.width(), h = bb.height();
 
-      // Accumulate per-class tile-weighted grads for the RUDY channels, plus
-      // the position gradient of the extreme pins (Eq. 6).
-      double a_top2 = 0.0, a_bot2 = 0.0, a_3d = 0.0;
-      double gxh = 0.0, gxl = 0.0, gyh = 0.0, gyl = 0.0;
-      const bool want_pos = (px.requires_grad || py.requires_grad);
-      for (int n = n0; n <= n1; ++n) {
-        for (int m = m0; m <= m1; ++m) {
-          const Rect tr = grid.tile_rect(m, n);
-          const double ov = tr.overlap_area(bb);
-          if (ov <= 0.0) continue;
-          const auto ti = static_cast<std::size_t>(grid.index(m, n));
-          const double c = g.k * ov / A;
-          a_top2 += gt2[ti] * c;
-          a_bot2 += gb2[ti] * c;
-          a_3d += (gt3[ti] + gb3[ti]) * 0.5 * c;
-          if (!want_pos) continue;
-          // Total upstream weight on this tile's RUDY value for this net.
-          const double t_w = gt2[ti] * g.prod_top + gb2[ti] * g.prod_bot +
-                             (gt3[ti] + gb3[ti]) * 0.5 * w3d;
-          if (t_w == 0.0) continue;
-          const double wx = std::min(tr.xhi, bb.xhi) - std::max(tr.xlo, bb.xlo);
-          const double hy = std::min(tr.yhi, bb.yhi) - std::max(tr.ylo, bb.ylo);
-          if (!g.clamped_x) {
-            // d(1/w)/dx_h = -1/w^2; edge term when the bbox's right/left edge
-            // lies inside this tile (delta_ih / delta_il of Eq. 6).
-            const double dk = -ov / (w * w * A);
-            gxh += t_w * dk;
-            gxl -= t_w * dk;
-            if (bb.xhi >= tr.xlo && bb.xhi < tr.xhi) gxh += t_w * g.k * hy / A;
-            if (bb.xlo > tr.xlo && bb.xlo <= tr.xhi) gxl -= t_w * g.k * hy / A;
+            // Accumulate per-class tile-weighted grads for the RUDY channels,
+            // plus the position gradient of the extreme pins (Eq. 6).
+            double a_top2 = 0.0, a_bot2 = 0.0, a_3d = 0.0;
+            double gxh = 0.0, gxl = 0.0, gyh = 0.0, gyl = 0.0;
+            const bool want_pos = (px.requires_grad || py.requires_grad);
+            for (int n = n0; n <= n1; ++n) {
+              for (int m = m0; m <= m1; ++m) {
+                const Rect tr = grid.tile_rect(m, n);
+                const double ov = tr.overlap_area(bb);
+                if (ov <= 0.0) continue;
+                const auto ti = static_cast<std::size_t>(grid.index(m, n));
+                const double c = g.k * ov / A;
+                a_top2 += gt2[ti] * c;
+                a_bot2 += gb2[ti] * c;
+                a_3d += (gt3[ti] + gb3[ti]) * 0.5 * c;
+                if (!want_pos) continue;
+                // Total upstream weight on this tile's RUDY value for this net.
+                const double t_w = gt2[ti] * g.prod_top + gb2[ti] * g.prod_bot +
+                                   (gt3[ti] + gb3[ti]) * 0.5 * w3d;
+                if (t_w == 0.0) continue;
+                const double wx = std::min(tr.xhi, bb.xhi) - std::max(tr.xlo, bb.xlo);
+                const double hy = std::min(tr.yhi, bb.yhi) - std::max(tr.ylo, bb.ylo);
+                if (!g.clamped_x) {
+                  // d(1/w)/dx_h = -1/w^2; edge term when the bbox's right/left
+                  // edge lies inside this tile (delta_ih / delta_il of Eq. 6).
+                  const double dk = -ov / (w * w * A);
+                  gxh += t_w * dk;
+                  gxl -= t_w * dk;
+                  if (bb.xhi >= tr.xlo && bb.xhi < tr.xhi) gxh += t_w * g.k * hy / A;
+                  if (bb.xlo > tr.xlo && bb.xlo <= tr.xhi) gxl -= t_w * g.k * hy / A;
+                }
+                if (!g.clamped_y) {
+                  const double dk = -ov / (h * h * A);
+                  gyh += t_w * dk;
+                  gyl -= t_w * dk;
+                  if (bb.yhi >= tr.ylo && bb.yhi < tr.yhi) gyh += t_w * g.k * wx / A;
+                  if (bb.ylo > tr.ylo && bb.ylo <= tr.yhi) gyl -= t_w * g.k * wx / A;
+                }
+              }
+            }
+            if (want_pos) {
+              acc.gx[static_cast<std::size_t>(pins[g.argmax_x].cell)] += gxh;
+              acc.gx[static_cast<std::size_t>(pins[g.argmin_x].cell)] += gxl;
+              acc.gy[static_cast<std::size_t>(pins[g.argmax_y].cell)] += gyh;
+              acc.gy[static_cast<std::size_t>(pins[g.argmin_y].cell)] += gyl;
+            }
+
+            if (!pz.requires_grad) continue;
+
+            // Pin-channel sums shared across all z_i of this net.
+            double s_t2 = 0.0, s_b2 = 0.0, s_3z = 0.0;
+            for (const PinPos& p : pins) {
+              const auto ti = static_cast<std::size_t>(grid.tile_of({p.px, p.py}));
+              s_t2 += gtp2[ti] * g.k;
+              s_b2 += gbp2[ti] * g.k;
+              s_3z += gtp3[ti] * g.k * p.z + gbp3[ti] * g.k * (1.0 - p.z);
+            }
+
+            // Per-pin z gradients with excluded products.
+            for (std::size_t i = 0; i < pins.size(); ++i) {
+              const PinPos& pi = pins[i];
+              double pt_excl = 1.0, pb_excl = 1.0;
+              for (std::size_t q = 0; q < pins.size(); ++q) {
+                if (q == i) continue;
+                pt_excl *= pins[q].z;
+                pb_excl *= 1.0 - pins[q].z;
+              }
+              const double d3d = pb_excl - pt_excl;  // d(w3d)/dz_i
+              double gzi = 0.0;
+              // RUDY channels.
+              gzi += a_top2 * pt_excl - a_bot2 * pb_excl + a_3d * d3d;
+              // 2D PinRUDY (every pin's contribution carries the full product).
+              gzi += s_t2 * pt_excl - s_b2 * pb_excl;
+              // 3D PinRUDY: own-pin direct term + shared w3d term.
+              const auto ti = static_cast<std::size_t>(grid.tile_of({pi.px, pi.py}));
+              gzi += (gtp3[ti] - gbp3[ti]) * g.k * w3d + s_3z * d3d;
+              // Pin density.
+              gzi += (gtpd[ti] - gbpd[ti]) / A;
+              acc.gz[static_cast<std::size_t>(pi.cell)] += gzi;
+            }
           }
-          if (!g.clamped_y) {
-            const double dk = -ov / (h * h * A);
-            gyh += t_w * dk;
-            gyl -= t_w * dk;
-            if (bb.yhi >= tr.ylo && bb.yhi < tr.yhi) gyh += t_w * g.k * wx / A;
-            if (bb.ylo > tr.ylo && bb.ylo <= tr.yhi) gyl -= t_w * g.k * wx / A;
+        },
+        [](PosGrads& into, const PosGrads& from) {
+          for (std::size_t i = 0; i < into.gx.size(); ++i) {
+            into.gx[i] += from.gx[i];
+            into.gy[i] += from.gy[i];
+            into.gz[i] += from.gz[i];
           }
-        }
-      }
-      if (want_pos) {
-        gx[static_cast<std::size_t>(pins[g.argmax_x].cell)] += gxh;
-        gx[static_cast<std::size_t>(pins[g.argmin_x].cell)] += gxl;
-        gy[static_cast<std::size_t>(pins[g.argmax_y].cell)] += gyh;
-        gy[static_cast<std::size_t>(pins[g.argmin_y].cell)] += gyl;
-      }
-
-      if (!pz.requires_grad) continue;
-
-      // Pin-channel sums shared across all z_i of this net.
-      double s_t2 = 0.0, s_b2 = 0.0, s_3z = 0.0;
-      for (const PinPos& p : pins) {
-        const auto ti = static_cast<std::size_t>(grid.tile_of({p.px, p.py}));
-        s_t2 += gtp2[ti] * g.k;
-        s_b2 += gbp2[ti] * g.k;
-        s_3z += gtp3[ti] * g.k * p.z + gbp3[ti] * g.k * (1.0 - p.z);
-      }
-
-      // Per-pin z gradients with excluded products.
-      for (std::size_t i = 0; i < pins.size(); ++i) {
-        const PinPos& pi = pins[i];
-        double pt_excl = 1.0, pb_excl = 1.0;
-        for (std::size_t q = 0; q < pins.size(); ++q) {
-          if (q == i) continue;
-          pt_excl *= pins[q].z;
-          pb_excl *= 1.0 - pins[q].z;
-        }
-        const double d3d = pb_excl - pt_excl;  // d(w3d)/dz_i
-        double gzi = 0.0;
-        // RUDY channels.
-        gzi += a_top2 * pt_excl - a_bot2 * pb_excl + a_3d * d3d;
-        // 2D PinRUDY (every pin's contribution carries the full product).
-        gzi += s_t2 * pt_excl - s_b2 * pb_excl;
-        // 3D PinRUDY: own-pin direct term + shared w3d term.
-        const auto ti = static_cast<std::size_t>(grid.tile_of({pi.px, pi.py}));
-        gzi += (gtp3[ti] - gbp3[ti]) * g.k * w3d + s_3z * d3d;
-        // Pin density.
-        gzi += (gtpd[ti] - gbpd[ti]) / A;
-        gz[static_cast<std::size_t>(pi.cell)] += gzi;
-      }
+        });
+    // Merge net contributions after the cell-density ones (the legacy order),
+    // still in double precision, before the single float flush below.
+    for (std::size_t i = 0; i < n_cells; ++i) {
+      gx[i] += net_grads.gx[i];
+      gy[i] += net_grads.gy[i];
+      gz[i] += net_grads.gz[i];
     }
 
     auto flush = [](nn::Node& p, const std::vector<double>& g) {

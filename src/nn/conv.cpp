@@ -1,20 +1,48 @@
 #include "nn/conv.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
+#include <vector>
+
+#include "nn/kernels.hpp"
+#include "util/parallel.hpp"
 
 namespace dco3d::nn {
 
 namespace {
+
 void accumulate(Var& p, const Tensor& g) {
   if (!p->requires_grad) return;
   p->ensure_grad();
   auto dst = p->grad.data();
   auto src = g.data();
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+  util::parallel_for(0, static_cast<std::int64_t>(dst.size()), 8192,
+                     [&](std::int64_t b, std::int64_t e) {
+                       for (std::int64_t i = b; i < e; ++i)
+                         dst[static_cast<std::size_t>(i)] +=
+                             src[static_cast<std::size_t>(i)];
+                     });
 }
+
+/// Per-channel sum of a (C, P) gradient block into gb[C].
+void bias_grad(const float* g, std::int64_t c, std::int64_t p, float* gb) {
+  util::parallel_for(0, c, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ci = c0; ci < c1; ++ci) {
+      const float* row = g + ci * p;
+      float acc = 0.0f;
+      for (std::int64_t i = 0; i < p; ++i) acc += row[i];
+      gb[ci] += acc;
+    }
+  });
+}
+
 }  // namespace
 
+// Lowered as im2col + GEMM: per sample, out (Cout, Ho*Wo) = W (Cout, Cin*kh*kw)
+// * cols (Cin*kh*kw, Ho*Wo), with the bias pre-filled into the output so the
+// per-element accumulation order (bias first, then k ascending) matches the
+// direct convolution it replaces.
 Var conv2d(const Var& input, const Var& weight, const Var& bias,
            std::int64_t stride, std::int64_t pad) {
   assert(input->value.rank() == 4 && weight->value.rank() == 4);
@@ -28,28 +56,18 @@ Var conv2d(const Var& input, const Var& weight, const Var& bias,
   assert(Ho > 0 && Wo > 0);
   if (bias) assert(bias->value.numel() == Cout);
 
+  const std::int64_t K = Cin * kh * kw, P = Ho * Wo;
   Tensor out({N, Cout, Ho, Wo});
+  std::vector<float> cols(static_cast<std::size_t>(K * P));
   for (std::int64_t n = 0; n < N; ++n) {
-    for (std::int64_t co = 0; co < Cout; ++co) {
-      const float b = bias ? bias->value[co] : 0.0f;
-      for (std::int64_t ho = 0; ho < Ho; ++ho) {
-        for (std::int64_t wo = 0; wo < Wo; ++wo) {
-          float acc = b;
-          for (std::int64_t ci = 0; ci < Cin; ++ci) {
-            for (std::int64_t i = 0; i < kh; ++i) {
-              const std::int64_t hi = ho * stride + i - pad;
-              if (hi < 0 || hi >= H) continue;
-              for (std::int64_t j = 0; j < kw; ++j) {
-                const std::int64_t wi = wo * stride + j - pad;
-                if (wi < 0 || wi >= W) continue;
-                acc += input->value.at(n, ci, hi, wi) * weight->value.at(co, ci, i, j);
-              }
-            }
-          }
-          out.at(n, co, ho, wo) = acc;
-        }
-      }
+    detail::im2col(input->value.data().data() + n * Cin * H * W, Cin, H, W, kh,
+                   kw, stride, pad, Ho, Wo, cols.data());
+    float* o = out.data().data() + n * Cout * P;
+    if (bias) {
+      for (std::int64_t co = 0; co < Cout; ++co)
+        std::fill(o + co * P, o + (co + 1) * P, bias->value[co]);
     }
+    detail::gemm_nn(Cout, P, K, weight->value.data().data(), cols.data(), o);
   }
 
   std::vector<Var> parents{input, weight};
@@ -59,31 +77,24 @@ Var conv2d(const Var& input, const Var& weight, const Var& bias,
     Node& in = *node.parents[0];
     Node& wt = *node.parents[1];
     const bool has_bias = node.parents.size() > 2;
+    const std::int64_t K = Cin * kh * kw, P = Ho * Wo;
     Tensor gin(in.value.shape());
     Tensor gwt(wt.value.shape());
     Tensor gb = has_bias ? Tensor(node.parents[2]->value.shape()) : Tensor();
+    std::vector<float> cols(static_cast<std::size_t>(K * P));
+    std::vector<float> gcols(static_cast<std::size_t>(K * P));
     for (std::int64_t n = 0; n < N; ++n) {
-      for (std::int64_t co = 0; co < Cout; ++co) {
-        for (std::int64_t ho = 0; ho < Ho; ++ho) {
-          for (std::int64_t wo = 0; wo < Wo; ++wo) {
-            const float g = node.grad.at(n, co, ho, wo);
-            if (g == 0.0f) continue;
-            if (has_bias) gb[co] += g;
-            for (std::int64_t ci = 0; ci < Cin; ++ci) {
-              for (std::int64_t i = 0; i < kh; ++i) {
-                const std::int64_t hi = ho * stride + i - pad;
-                if (hi < 0 || hi >= H) continue;
-                for (std::int64_t j = 0; j < kw; ++j) {
-                  const std::int64_t wi = wo * stride + j - pad;
-                  if (wi < 0 || wi >= W) continue;
-                  gin.at(n, ci, hi, wi) += g * wt.value.at(co, ci, i, j);
-                  gwt.at(co, ci, i, j) += g * in.value.at(n, ci, hi, wi);
-                }
-              }
-            }
-          }
-        }
-      }
+      const float* g = node.grad.data().data() + n * Cout * P;
+      if (has_bias) bias_grad(g, Cout, P, gb.data().data());
+      // dW += dOut * cols^T
+      detail::im2col(in.value.data().data() + n * Cin * H * W, Cin, H, W, kh,
+                     kw, stride, pad, Ho, Wo, cols.data());
+      detail::gemm_nt(Cout, K, P, g, cols.data(), gwt.data().data());
+      // dX = col2im(W^T * dOut)
+      std::fill(gcols.begin(), gcols.end(), 0.0f);
+      detail::gemm_tn(K, P, Cout, wt.value.data().data(), g, gcols.data());
+      detail::col2im(gcols.data(), Cin, H, W, kh, kw, stride, pad, Ho, Wo,
+                     gin.data().data() + n * Cin * H * W);
     }
     accumulate(node.parents[0], gin);
     accumulate(node.parents[1], gwt);
@@ -91,6 +102,10 @@ Var conv2d(const Var& input, const Var& weight, const Var& bias,
   });
 }
 
+// Transposed conv as the adjoint lowering: cols (Cout*kh*kw, H*W) = W^T
+// (viewing the (Cin, Cout, kh, kw) weight as (Cin, Cout*kh*kw)) * input, then
+// col2im scatters the columns into the (Ho, Wo) output. The backward pass is
+// the mirror image: im2col over the output gradient, then two GEMMs.
 Var conv_transpose2d(const Var& input, const Var& weight, const Var& bias,
                      std::int64_t stride, std::int64_t pad) {
   assert(input->value.rank() == 4 && weight->value.rank() == 4);
@@ -104,34 +119,19 @@ Var conv_transpose2d(const Var& input, const Var& weight, const Var& bias,
   assert(Ho > 0 && Wo > 0);
   if (bias) assert(bias->value.numel() == Cout);
 
+  const std::int64_t K = Cout * kh * kw, P = H * W;
   Tensor out({N, Cout, Ho, Wo});
-  if (bias) {
-    for (std::int64_t n = 0; n < N; ++n)
-      for (std::int64_t co = 0; co < Cout; ++co)
-        for (std::int64_t h = 0; h < Ho; ++h)
-          for (std::int64_t w = 0; w < Wo; ++w)
-            out.at(n, co, h, w) = bias->value[co];
-  }
+  std::vector<float> cols(static_cast<std::size_t>(K * P));
   for (std::int64_t n = 0; n < N; ++n) {
-    for (std::int64_t ci = 0; ci < Cin; ++ci) {
-      for (std::int64_t h = 0; h < H; ++h) {
-        for (std::int64_t w = 0; w < W; ++w) {
-          const float v = input->value.at(n, ci, h, w);
-          if (v == 0.0f) continue;
-          for (std::int64_t co = 0; co < Cout; ++co) {
-            for (std::int64_t i = 0; i < kh; ++i) {
-              const std::int64_t ho = h * stride + i - pad;
-              if (ho < 0 || ho >= Ho) continue;
-              for (std::int64_t j = 0; j < kw; ++j) {
-                const std::int64_t wo = w * stride + j - pad;
-                if (wo < 0 || wo >= Wo) continue;
-                out.at(n, co, ho, wo) += v * weight->value.at(ci, co, i, j);
-              }
-            }
-          }
-        }
-      }
+    float* o = out.data().data() + n * Cout * Ho * Wo;
+    if (bias) {
+      for (std::int64_t co = 0; co < Cout; ++co)
+        std::fill(o + co * Ho * Wo, o + (co + 1) * Ho * Wo, bias->value[co]);
     }
+    std::fill(cols.begin(), cols.end(), 0.0f);
+    detail::gemm_tn(K, P, Cin, weight->value.data().data(),
+                    input->value.data().data() + n * Cin * P, cols.data());
+    detail::col2im(cols.data(), Cout, Ho, Wo, kh, kw, stride, pad, H, W, o);
   }
 
   std::vector<Var> parents{input, weight};
@@ -141,38 +141,21 @@ Var conv_transpose2d(const Var& input, const Var& weight, const Var& bias,
     Node& in = *node.parents[0];
     Node& wt = *node.parents[1];
     const bool has_bias = node.parents.size() > 2;
+    const std::int64_t K = Cout * kh * kw, P = H * W;
     Tensor gin(in.value.shape());
     Tensor gwt(wt.value.shape());
     Tensor gb = has_bias ? Tensor(node.parents[2]->value.shape()) : Tensor();
-    if (has_bias) {
-      for (std::int64_t n = 0; n < N; ++n)
-        for (std::int64_t co = 0; co < Cout; ++co)
-          for (std::int64_t h = 0; h < Ho; ++h)
-            for (std::int64_t w = 0; w < Wo; ++w) gb[co] += node.grad.at(n, co, h, w);
-    }
+    std::vector<float> gcols(static_cast<std::size_t>(K * P));
     for (std::int64_t n = 0; n < N; ++n) {
-      for (std::int64_t ci = 0; ci < Cin; ++ci) {
-        for (std::int64_t h = 0; h < H; ++h) {
-          for (std::int64_t w = 0; w < W; ++w) {
-            float gi = 0.0f;
-            const float v = in.value.at(n, ci, h, w);
-            for (std::int64_t co = 0; co < Cout; ++co) {
-              for (std::int64_t i = 0; i < kh; ++i) {
-                const std::int64_t ho = h * stride + i - pad;
-                if (ho < 0 || ho >= Ho) continue;
-                for (std::int64_t j = 0; j < kw; ++j) {
-                  const std::int64_t wo = w * stride + j - pad;
-                  if (wo < 0 || wo >= Wo) continue;
-                  const float g = node.grad.at(n, co, ho, wo);
-                  gi += g * wt.value.at(ci, co, i, j);
-                  gwt.at(ci, co, i, j) += g * v;
-                }
-              }
-            }
-            gin.at(n, ci, h, w) = gi;
-          }
-        }
-      }
+      const float* g = node.grad.data().data() + n * Cout * Ho * Wo;
+      if (has_bias) bias_grad(g, Cout, Ho * Wo, gb.data().data());
+      detail::im2col(g, Cout, Ho, Wo, kh, kw, stride, pad, H, W, gcols.data());
+      // dX += W * gcols  (W viewed as (Cin, Cout*kh*kw))
+      detail::gemm_nn(Cin, P, K, wt.value.data().data(), gcols.data(),
+                      gin.data().data() + n * Cin * P);
+      // dW += X * gcols^T
+      detail::gemm_nt(Cin, K, P, in.value.data().data() + n * Cin * P,
+                      gcols.data(), gwt.data().data());
     }
     accumulate(node.parents[0], gin);
     accumulate(node.parents[1], gwt);
@@ -190,8 +173,9 @@ Var maxpool2x2(const Var& input) {
   // Remember argmax indices for the backward pass.
   auto argmax = std::make_shared<std::vector<std::int64_t>>(
       static_cast<std::size_t>(N * C * Ho * Wo));
-  for (std::int64_t n = 0; n < N; ++n) {
-    for (std::int64_t c = 0; c < C; ++c) {
+  util::parallel_for(0, N * C, 1, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t pc = p0; pc < p1; ++pc) {
+      const std::int64_t n = pc / C, c = pc % C;
       for (std::int64_t ho = 0; ho < Ho; ++ho) {
         for (std::int64_t wo = 0; wo < Wo; ++wo) {
           float best = -std::numeric_limits<float>::infinity();
@@ -207,16 +191,21 @@ Var maxpool2x2(const Var& input) {
             }
           }
           out.at(n, c, ho, wo) = best;
-          (*argmax)[static_cast<std::size_t>(((n * C + c) * Ho + ho) * Wo + wo)] = best_idx;
+          (*argmax)[static_cast<std::size_t>((pc * Ho + ho) * Wo + wo)] = best_idx;
         }
       }
     }
-  }
-  return make_node(std::move(out), {input}, [argmax](Node& node) {
+  });
+  return make_node(std::move(out), {input}, [argmax, C, Ho, Wo](Node& node) {
     if (!node.parents[0]->requires_grad) return;
     Tensor gin(node.parents[0]->value.shape());
-    for (std::int64_t i = 0; i < node.grad.numel(); ++i)
-      gin[(*argmax)[static_cast<std::size_t>(i)]] += node.grad[i];
+    const std::int64_t N = node.grad.dim(0);
+    // Pool windows are disjoint, so every plane's argmax indices stay inside
+    // that plane: plane-granular chunks write disjoint gin slices.
+    util::parallel_for(0, N * C, 1, [&](std::int64_t p0, std::int64_t p1) {
+      for (std::int64_t i = p0 * Ho * Wo; i < p1 * Ho * Wo; ++i)
+        gin[(*argmax)[static_cast<std::size_t>(i)]] += node.grad[i];
+    });
     accumulate(node.parents[0], gin);
   });
 }
@@ -226,19 +215,25 @@ Var upsample_nearest2x(const Var& input) {
   const std::int64_t N = input->value.dim(0), C = input->value.dim(1);
   const std::int64_t H = input->value.dim(2), W = input->value.dim(3);
   Tensor out({N, C, H * 2, W * 2});
-  for (std::int64_t n = 0; n < N; ++n)
-    for (std::int64_t c = 0; c < C; ++c)
+  util::parallel_for(0, N * C, 1, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t pc = p0; pc < p1; ++pc) {
+      const std::int64_t n = pc / C, c = pc % C;
       for (std::int64_t h = 0; h < H * 2; ++h)
         for (std::int64_t w = 0; w < W * 2; ++w)
           out.at(n, c, h, w) = input->value.at(n, c, h / 2, w / 2);
+    }
+  });
   return make_node(std::move(out), {input}, [N, C, H, W](Node& node) {
     if (!node.parents[0]->requires_grad) return;
     Tensor gin({N, C, H, W});
-    for (std::int64_t n = 0; n < N; ++n)
-      for (std::int64_t c = 0; c < C; ++c)
+    util::parallel_for(0, N * C, 1, [&](std::int64_t p0, std::int64_t p1) {
+      for (std::int64_t pc = p0; pc < p1; ++pc) {
+        const std::int64_t n = pc / C, c = pc % C;
         for (std::int64_t h = 0; h < H * 2; ++h)
           for (std::int64_t w = 0; w < W * 2; ++w)
             gin.at(n, c, h / 2, w / 2) += node.grad.at(n, c, h, w);
+      }
+    });
     accumulate(node.parents[0], gin);
   });
 }

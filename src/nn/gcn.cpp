@@ -6,6 +6,7 @@
 #include <map>
 
 #include "nn/ops.hpp"
+#include "util/parallel.hpp"
 
 namespace dco3d::nn {
 
@@ -42,14 +43,18 @@ Tensor Csr::multiply(const Tensor& x) const {
   assert(x.rank() == 2 && x.dim(0) == cols);
   const std::int64_t f = x.dim(1);
   Tensor out({rows, f});
-  for (std::int64_t i = 0; i < rows; ++i) {
-    for (std::int64_t k = row_ptr[static_cast<std::size_t>(i)];
-         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
-      const std::int64_t j = col_idx[static_cast<std::size_t>(k)];
-      const float a = values[static_cast<std::size_t>(k)];
-      for (std::int64_t ff = 0; ff < f; ++ff) out.at(i, ff) += a * x.at(j, ff);
+  // SpMM parallelized over output rows: each row accumulates its own slice in
+  // CSR order, so the result is identical for any thread count.
+  util::parallel_for(0, rows, 64, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      for (std::int64_t k = row_ptr[static_cast<std::size_t>(i)];
+           k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+        const std::int64_t j = col_idx[static_cast<std::size_t>(k)];
+        const float a = values[static_cast<std::size_t>(k)];
+        for (std::int64_t ff = 0; ff < f; ++ff) out.at(i, ff) += a * x.at(j, ff);
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -98,7 +103,12 @@ Var spmm(const std::shared_ptr<const Csr>& a, const Var& x) {
     n.parents[0]->ensure_grad();
     auto dst = n.parents[0]->grad.data();
     auto src = g.data();
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+    util::parallel_for(0, static_cast<std::int64_t>(dst.size()), 8192,
+                       [&](std::int64_t b, std::int64_t e) {
+                         for (std::int64_t i = b; i < e; ++i)
+                           dst[static_cast<std::size_t>(i)] +=
+                               src[static_cast<std::size_t>(i)];
+                       });
   });
 }
 

@@ -1,0 +1,123 @@
+#include "nn/kernels.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/parallel.hpp"
+
+namespace dco3d::nn::detail {
+
+namespace {
+// One chunk = one C row: a row is already K*N flops of work, and row-granular
+// chunks keep the per-element k-accumulation order fixed for any thread count.
+constexpr std::int64_t kRowGrain = 1;
+// k-tile for cache blocking; tiles are walked in ascending k so the
+// accumulation order per output element is unchanged.
+constexpr std::int64_t kKBlock = 128;
+}  // namespace
+
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c) {
+  util::parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (std::int64_t kb = 0; kb < k; kb += kKBlock) {
+        const std::int64_t ke = std::min(k, kb + kKBlock);
+        for (std::int64_t kk = kb; kk < ke; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          const float* brow = b + kk * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  });
+}
+
+void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c) {
+  util::parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* crow = c + i * n;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = a[kk * m + i];
+        if (av == 0.0f) continue;
+        const float* brow = b + kk * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c) {
+  util::parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] += acc;
+      }
+    }
+  });
+}
+
+void im2col(const float* im, std::int64_t c, std::int64_t h, std::int64_t w,
+            std::int64_t kh, std::int64_t kw, std::int64_t stride,
+            std::int64_t pad, std::int64_t oh, std::int64_t ow, float* cols) {
+  const std::int64_t p = oh * ow;
+  util::parallel_for(0, c * kh * kw, 1, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const std::int64_t ci = r / (kh * kw), rem = r % (kh * kw);
+      const std::int64_t i = rem / kw, j = rem % kw;
+      const float* src = im + ci * h * w;
+      float* dst = cols + r * p;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        const std::int64_t hi = y * stride + i - pad;
+        float* row = dst + y * ow;
+        if (hi < 0 || hi >= h) {
+          std::memset(row, 0, static_cast<std::size_t>(ow) * sizeof(float));
+          continue;
+        }
+        const float* srow = src + hi * w;
+        for (std::int64_t x = 0; x < ow; ++x) {
+          const std::int64_t wi = x * stride + j - pad;
+          row[x] = (wi < 0 || wi >= w) ? 0.0f : srow[wi];
+        }
+      }
+    }
+  });
+}
+
+void col2im(const float* cols, std::int64_t c, std::int64_t h, std::int64_t w,
+            std::int64_t kh, std::int64_t kw, std::int64_t stride,
+            std::int64_t pad, std::int64_t oh, std::int64_t ow, float* im) {
+  const std::int64_t p = oh * ow;
+  // Rows (c, i, j) with the same channel c scatter into the same image plane,
+  // so channels are the finest safe (and deterministic) parallel unit.
+  util::parallel_for(0, c, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t ci = c0; ci < c1; ++ci) {
+      float* dst = im + ci * h * w;
+      for (std::int64_t rem = 0; rem < kh * kw; ++rem) {
+        const std::int64_t i = rem / kw, j = rem % kw;
+        const float* src = cols + (ci * kh * kw + rem) * p;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t hi = y * stride + i - pad;
+          if (hi < 0 || hi >= h) continue;
+          const float* srow = src + y * ow;
+          float* drow = dst + hi * w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t wi = x * stride + j - pad;
+            if (wi >= 0 && wi < w) drow[wi] += srow[x];
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace dco3d::nn::detail

@@ -1,0 +1,38 @@
+#pragma once
+// Shared dense kernels underneath the nn ops: blocked GEMM primitives and the
+// im2col/col2im lowering used by conv2d/conv_transpose2d. Everything here
+// dispatches through util::parallel_for with thread-count-independent
+// chunking, and each GEMM accumulates along k in ascending order per output
+// element, so results are bit-identical for any thread count.
+//
+// All GEMMs accumulate into C (callers zero-fill or bias-fill first).
+
+#include <cstdint>
+
+namespace dco3d::nn::detail {
+
+/// C[M,N] += A[M,K] * B[K,N].
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c);
+
+/// C[M,N] += A[K,M]^T * B[K,N].
+void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c);
+
+/// C[M,N] += A[M,K] * B[N,K]^T.
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+             const float* b, float* c);
+
+/// Lower one image (C, H, W) to columns (C*kh*kw, Oh*Ow): cols[(c,i,j), p]
+/// is im(c, oh*stride + i - pad, ow*stride + j - pad), zero outside.
+void im2col(const float* im, std::int64_t c, std::int64_t h, std::int64_t w,
+            std::int64_t kh, std::int64_t kw, std::int64_t stride,
+            std::int64_t pad, std::int64_t oh, std::int64_t ow, float* cols);
+
+/// Inverse scatter of im2col: accumulate cols (C*kh*kw, Oh*Ow) back into the
+/// image (C, H, W). Parallel over channels; in-bounds positions accumulate.
+void col2im(const float* cols, std::int64_t c, std::int64_t h, std::int64_t w,
+            std::int64_t kh, std::int64_t kw, std::int64_t stride,
+            std::int64_t pad, std::int64_t oh, std::int64_t ow, float* im);
+
+}  // namespace dco3d::nn::detail

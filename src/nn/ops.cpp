@@ -1,26 +1,79 @@
 #include "nn/ops.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "nn/kernels.hpp"
+#include "util/parallel.hpp"
 
 namespace dco3d::nn {
 
 namespace {
 constexpr float kEps = 1e-12f;
 
+// Elementwise grain: chunks of this many lanes through the shared pool. Fixed
+// (never derived from the thread count) so chunking — and with it every
+// reduction's combine tree — is identical on any machine.
+constexpr std::int64_t kEwGrain = 8192;
+
+/// out[i] = f(a[i]) — the single map kernel every unary op routes through.
+template <typename F>
+Tensor map_tensor(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const auto src = a.data();
+  auto dst = out.data();
+  util::parallel_for(0, a.numel(), kEwGrain, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i)
+      dst[static_cast<std::size_t>(i)] = f(src[static_cast<std::size_t>(i)]);
+  });
+  return out;
+}
+
+/// out[i] = f(a[i], b[i]) — the single zip kernel every binary op routes
+/// through (both value and gradient sides).
+template <typename F>
+Tensor zip_tensor(const Tensor& a, const Tensor& b, F f) {
+  assert(a.numel() == b.numel());
+  Tensor out(a.shape());
+  const auto sa = a.data();
+  const auto sb = b.data();
+  auto dst = out.data();
+  util::parallel_for(0, a.numel(), kEwGrain, [&](std::int64_t b0, std::int64_t e) {
+    for (std::int64_t i = b0; i < e; ++i)
+      dst[static_cast<std::size_t>(i)] =
+          f(sa[static_cast<std::size_t>(i)], sb[static_cast<std::size_t>(i)]);
+  });
+  return out;
+}
+
+/// Deterministic chunked sum (double accumulators, ordered tree combine).
+double sum_span(std::span<const float> v) {
+  return util::parallel_reduce(
+      0, static_cast<std::int64_t>(v.size()), kEwGrain, 0.0,
+      [&](std::int64_t b, std::int64_t e, double& acc) {
+        for (std::int64_t i = b; i < e; ++i) acc += v[static_cast<std::size_t>(i)];
+      },
+      [](double& into, const double& from) { into += from; });
+}
+
 void accumulate(Var& p, const Tensor& g) {
   if (!p->requires_grad) return;
   p->ensure_grad();
   auto dst = p->grad.data();
   auto src = g.data();
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+  util::parallel_for(0, static_cast<std::int64_t>(dst.size()), kEwGrain,
+                     [&](std::int64_t b, std::int64_t e) {
+                       for (std::int64_t i = b; i < e; ++i)
+                         dst[static_cast<std::size_t>(i)] +=
+                             src[static_cast<std::size_t>(i)];
+                     });
 }
 }  // namespace
 
 Var add(const Var& a, const Var& b) {
   assert(a->value.same_shape(b->value));
-  Tensor out(a->value.shape());
-  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = a->value[i] + b->value[i];
+  Tensor out = zip_tensor(a->value, b->value, [](float x, float y) { return x + y; });
   return make_node(std::move(out), {a, b}, [](Node& n) {
     accumulate(n.parents[0], n.grad);
     accumulate(n.parents[1], n.grad);
@@ -29,185 +82,143 @@ Var add(const Var& a, const Var& b) {
 
 Var sub(const Var& a, const Var& b) {
   assert(a->value.same_shape(b->value));
-  Tensor out(a->value.shape());
-  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = a->value[i] - b->value[i];
+  Tensor out = zip_tensor(a->value, b->value, [](float x, float y) { return x - y; });
   return make_node(std::move(out), {a, b}, [](Node& n) {
     accumulate(n.parents[0], n.grad);
-    if (n.parents[1]->requires_grad) {
-      Tensor neg(n.grad.shape());
-      for (std::int64_t i = 0; i < neg.numel(); ++i) neg[i] = -n.grad[i];
-      accumulate(n.parents[1], neg);
-    }
+    if (n.parents[1]->requires_grad)
+      accumulate(n.parents[1], map_tensor(n.grad, [](float g) { return -g; }));
   });
 }
 
 Var mul(const Var& a, const Var& b) {
   assert(a->value.same_shape(b->value));
-  Tensor out(a->value.shape());
-  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = a->value[i] * b->value[i];
+  Tensor out = zip_tensor(a->value, b->value, [](float x, float y) { return x * y; });
   return make_node(std::move(out), {a, b}, [](Node& n) {
-    if (n.parents[0]->requires_grad) {
-      Tensor g(n.grad.shape());
-      for (std::int64_t i = 0; i < g.numel(); ++i)
-        g[i] = n.grad[i] * n.parents[1]->value[i];
-      accumulate(n.parents[0], g);
-    }
-    if (n.parents[1]->requires_grad) {
-      Tensor g(n.grad.shape());
-      for (std::int64_t i = 0; i < g.numel(); ++i)
-        g[i] = n.grad[i] * n.parents[0]->value[i];
-      accumulate(n.parents[1], g);
-    }
+    if (n.parents[0]->requires_grad)
+      accumulate(n.parents[0], zip_tensor(n.grad, n.parents[1]->value,
+                                          [](float g, float v) { return g * v; }));
+    if (n.parents[1]->requires_grad)
+      accumulate(n.parents[1], zip_tensor(n.grad, n.parents[0]->value,
+                                          [](float g, float v) { return g * v; }));
   });
 }
 
 Var div(const Var& a, const Var& b) {
   assert(a->value.same_shape(b->value));
-  Tensor out(a->value.shape());
-  for (std::int64_t i = 0; i < out.numel(); ++i)
-    out[i] = a->value[i] / (b->value[i] + (b->value[i] >= 0 ? kEps : -kEps));
+  Tensor out = zip_tensor(a->value, b->value, [](float x, float y) {
+    return x / (y + (y >= 0 ? kEps : -kEps));
+  });
   return make_node(std::move(out), {a, b}, [](Node& n) {
-    if (n.parents[0]->requires_grad) {
-      Tensor g(n.grad.shape());
-      for (std::int64_t i = 0; i < g.numel(); ++i) {
-        const float bv = n.parents[1]->value[i];
-        g[i] = n.grad[i] / (bv + (bv >= 0 ? kEps : -kEps));
-      }
-      accumulate(n.parents[0], g);
-    }
+    if (n.parents[0]->requires_grad)
+      accumulate(n.parents[0],
+                 zip_tensor(n.grad, n.parents[1]->value, [](float g, float bv) {
+                   return g / (bv + (bv >= 0 ? kEps : -kEps));
+                 }));
     if (n.parents[1]->requires_grad) {
-      Tensor g(n.grad.shape());
-      for (std::int64_t i = 0; i < g.numel(); ++i) {
-        const float bv = n.parents[1]->value[i] + (n.parents[1]->value[i] >= 0 ? kEps : -kEps);
-        g[i] = -n.grad[i] * n.parents[0]->value[i] / (bv * bv);
-      }
-      accumulate(n.parents[1], g);
+      Tensor g = zip_tensor(n.parents[0]->value, n.parents[1]->value,
+                            [](float av, float bv) {
+                              const float d = bv + (bv >= 0 ? kEps : -kEps);
+                              return -av / (d * d);
+                            });
+      accumulate(n.parents[1],
+                 zip_tensor(n.grad, g, [](float gv, float dv) { return gv * dv; }));
     }
   });
 }
 
 Var add_scalar(const Var& a, float s) {
-  Tensor out(a->value.shape());
-  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = a->value[i] + s;
+  Tensor out = map_tensor(a->value, [s](float v) { return v + s; });
   return make_node(std::move(out), {a},
                    [](Node& n) { accumulate(n.parents[0], n.grad); });
 }
 
 Var mul_scalar(const Var& a, float s) {
-  Tensor out(a->value.shape());
-  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = a->value[i] * s;
+  Tensor out = map_tensor(a->value, [s](float v) { return v * s; });
   return make_node(std::move(out), {a}, [s](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    Tensor g(n.grad.shape());
-    for (std::int64_t i = 0; i < g.numel(); ++i) g[i] = n.grad[i] * s;
-    accumulate(n.parents[0], g);
+    accumulate(n.parents[0], map_tensor(n.grad, [s](float g) { return g * s; }));
   });
 }
 
 Var relu(const Var& a) {
-  Tensor out(a->value.shape());
-  for (std::int64_t i = 0; i < out.numel(); ++i)
-    out[i] = a->value[i] > 0 ? a->value[i] : 0.0f;
+  Tensor out = map_tensor(a->value, [](float v) { return v > 0 ? v : 0.0f; });
   return make_node(std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    Tensor g(n.grad.shape());
-    for (std::int64_t i = 0; i < g.numel(); ++i)
-      g[i] = n.parents[0]->value[i] > 0 ? n.grad[i] : 0.0f;
-    accumulate(n.parents[0], g);
+    accumulate(n.parents[0], zip_tensor(n.grad, n.parents[0]->value,
+                                        [](float g, float v) { return v > 0 ? g : 0.0f; }));
   });
 }
 
 Var leaky_relu(const Var& a, float slope) {
-  Tensor out(a->value.shape());
-  for (std::int64_t i = 0; i < out.numel(); ++i)
-    out[i] = a->value[i] > 0 ? a->value[i] : slope * a->value[i];
+  Tensor out =
+      map_tensor(a->value, [slope](float v) { return v > 0 ? v : slope * v; });
   return make_node(std::move(out), {a}, [slope](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    Tensor g(n.grad.shape());
-    for (std::int64_t i = 0; i < g.numel(); ++i)
-      g[i] = n.parents[0]->value[i] > 0 ? n.grad[i] : slope * n.grad[i];
-    accumulate(n.parents[0], g);
+    accumulate(n.parents[0],
+               zip_tensor(n.grad, n.parents[0]->value, [slope](float g, float v) {
+                 return v > 0 ? g : slope * g;
+               }));
   });
 }
 
 Var sigmoid(const Var& a) {
-  Tensor out(a->value.shape());
-  for (std::int64_t i = 0; i < out.numel(); ++i)
-    out[i] = 1.0f / (1.0f + std::exp(-a->value[i]));
+  Tensor out =
+      map_tensor(a->value, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
   return make_node(std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    Tensor g(n.grad.shape());
-    for (std::int64_t i = 0; i < g.numel(); ++i) {
-      const float s = n.value[i];
-      g[i] = n.grad[i] * s * (1.0f - s);
-    }
-    accumulate(n.parents[0], g);
+    accumulate(n.parents[0], zip_tensor(n.grad, n.value, [](float g, float s) {
+                 return g * s * (1.0f - s);
+               }));
   });
 }
 
 Var tanh_op(const Var& a) {
-  Tensor out(a->value.shape());
-  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = std::tanh(a->value[i]);
+  Tensor out = map_tensor(a->value, [](float v) { return std::tanh(v); });
   return make_node(std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    Tensor g(n.grad.shape());
-    for (std::int64_t i = 0; i < g.numel(); ++i) {
-      const float t = n.value[i];
-      g[i] = n.grad[i] * (1.0f - t * t);
-    }
-    accumulate(n.parents[0], g);
+    accumulate(n.parents[0], zip_tensor(n.grad, n.value, [](float g, float t) {
+                 return g * (1.0f - t * t);
+               }));
   });
 }
 
 Var square(const Var& a) {
-  Tensor out(a->value.shape());
-  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = a->value[i] * a->value[i];
+  Tensor out = map_tensor(a->value, [](float v) { return v * v; });
   return make_node(std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    Tensor g(n.grad.shape());
-    for (std::int64_t i = 0; i < g.numel(); ++i)
-      g[i] = 2.0f * n.grad[i] * n.parents[0]->value[i];
-    accumulate(n.parents[0], g);
+    accumulate(n.parents[0], zip_tensor(n.grad, n.parents[0]->value,
+                                        [](float g, float v) { return 2.0f * g * v; }));
   });
 }
 
 Var sqrt_op(const Var& a) {
-  Tensor out(a->value.shape());
-  for (std::int64_t i = 0; i < out.numel(); ++i)
-    out[i] = std::sqrt(std::max(a->value[i], 0.0f));
+  Tensor out =
+      map_tensor(a->value, [](float v) { return std::sqrt(std::max(v, 0.0f)); });
   return make_node(std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    Tensor g(n.grad.shape());
-    for (std::int64_t i = 0; i < g.numel(); ++i)
-      g[i] = n.grad[i] * 0.5f / std::max(n.value[i], 1e-6f);
-    accumulate(n.parents[0], g);
+    accumulate(n.parents[0], zip_tensor(n.grad, n.value, [](float g, float s) {
+                 return g * 0.5f / std::max(s, 1e-6f);
+               }));
   });
 }
 
 Var abs_op(const Var& a) {
-  Tensor out(a->value.shape());
-  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] = std::abs(a->value[i]);
+  Tensor out = map_tensor(a->value, [](float v) { return std::abs(v); });
   return make_node(std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    Tensor g(n.grad.shape());
-    for (std::int64_t i = 0; i < g.numel(); ++i)
-      g[i] = n.parents[0]->value[i] >= 0 ? n.grad[i] : -n.grad[i];
-    accumulate(n.parents[0], g);
+    accumulate(n.parents[0], zip_tensor(n.grad, n.parents[0]->value,
+                                        [](float g, float v) { return v >= 0 ? g : -g; }));
   });
 }
 
 Var clamp01_op(const Var& a) {
-  Tensor out(a->value.shape());
-  for (std::int64_t i = 0; i < out.numel(); ++i)
-    out[i] = std::clamp(a->value[i], 0.0f, 1.0f);
+  Tensor out = map_tensor(a->value, [](float v) { return std::clamp(v, 0.0f, 1.0f); });
   return make_node(std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    Tensor g(n.grad.shape());
-    for (std::int64_t i = 0; i < g.numel(); ++i) {
-      const float v = n.parents[0]->value[i];
-      g[i] = (v > 0.0f && v < 1.0f) ? n.grad[i] : 0.0f;
-    }
-    accumulate(n.parents[0], g);
+    accumulate(n.parents[0],
+               zip_tensor(n.grad, n.parents[0]->value, [](float g, float v) {
+                 return (v > 0.0f && v < 1.0f) ? g : 0.0f;
+               }));
   });
 }
 
@@ -216,36 +227,23 @@ Var matmul(const Var& a, const Var& b) {
   const std::int64_t M = a->value.dim(0), K = a->value.dim(1), N = b->value.dim(1);
   assert(b->value.dim(0) == K);
   Tensor out({M, N});
-  for (std::int64_t i = 0; i < M; ++i) {
-    for (std::int64_t k = 0; k < K; ++k) {
-      const float av = a->value.at(i, k);
-      if (av == 0.0f) continue;
-      for (std::int64_t j = 0; j < N; ++j) out.at(i, j) += av * b->value.at(k, j);
-    }
-  }
+  detail::gemm_nn(M, N, K, a->value.data().data(), b->value.data().data(),
+                  out.data().data());
   return make_node(std::move(out), {a, b}, [M, K, N](Node& n) {
     Node& pa = *n.parents[0];
     Node& pb = *n.parents[1];
     if (pa.requires_grad) {
       // dA = dOut * B^T
       Tensor g({M, K});
-      for (std::int64_t i = 0; i < M; ++i)
-        for (std::int64_t j = 0; j < N; ++j) {
-          const float gv = n.grad.at(i, j);
-          if (gv == 0.0f) continue;
-          for (std::int64_t k = 0; k < K; ++k) g.at(i, k) += gv * pb.value.at(k, j);
-        }
+      detail::gemm_nt(M, K, N, n.grad.data().data(), pb.value.data().data(),
+                      g.data().data());
       accumulate(n.parents[0], g);
     }
     if (pb.requires_grad) {
       // dB = A^T * dOut
       Tensor g({K, N});
-      for (std::int64_t i = 0; i < M; ++i)
-        for (std::int64_t k = 0; k < K; ++k) {
-          const float av = pa.value.at(i, k);
-          if (av == 0.0f) continue;
-          for (std::int64_t j = 0; j < N; ++j) g.at(k, j) += av * n.grad.at(i, j);
-        }
+      detail::gemm_tn(K, N, M, pa.value.data().data(), n.grad.data().data(),
+                      g.data().data());
       accumulate(n.parents[1], g);
     }
   });
@@ -256,23 +254,27 @@ Var add_rowwise(const Var& m, const Var& bias) {
   assert(bias->value.numel() == m->value.dim(1));
   const std::int64_t M = m->value.dim(0), N = m->value.dim(1);
   Tensor out({M, N});
-  for (std::int64_t i = 0; i < M; ++i)
-    for (std::int64_t j = 0; j < N; ++j)
-      out.at(i, j) = m->value.at(i, j) + bias->value[j];
+  util::parallel_for(0, M, 64, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i)
+      for (std::int64_t j = 0; j < N; ++j)
+        out.at(i, j) = m->value.at(i, j) + bias->value[j];
+  });
   return make_node(std::move(out), {m, bias}, [M, N](Node& n) {
     accumulate(n.parents[0], n.grad);
     if (n.parents[1]->requires_grad) {
       Tensor g(n.parents[1]->value.shape());
-      for (std::int64_t i = 0; i < M; ++i)
-        for (std::int64_t j = 0; j < N; ++j) g[j] += n.grad.at(i, j);
+      // Columns are independent; each sums its rows in ascending order.
+      util::parallel_for(0, N, 1, [&](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t j = c0; j < c1; ++j)
+          for (std::int64_t i = 0; i < M; ++i) g[j] += n.grad.at(i, j);
+      });
       accumulate(n.parents[1], g);
     }
   });
 }
 
 Var sum(const Var& a) {
-  double s = 0.0;
-  for (std::int64_t i = 0; i < a->value.numel(); ++i) s += a->value[i];
+  const double s = sum_span(a->value.data());
   return make_node(Tensor::scalar(static_cast<float>(s)), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor g(n.parents[0]->value.shape(), n.grad[0]);
@@ -282,8 +284,7 @@ Var sum(const Var& a) {
 
 Var mean_op(const Var& a) {
   const auto n_elems = static_cast<float>(a->value.numel());
-  double s = 0.0;
-  for (std::int64_t i = 0; i < a->value.numel(); ++i) s += a->value[i];
+  const double s = sum_span(a->value.data());
   return make_node(Tensor::scalar(static_cast<float>(s / n_elems)), {a},
                    [n_elems](Node& n) {
                      if (!n.parents[0]->requires_grad) return;
@@ -306,33 +307,39 @@ Var concat_channels(const Var& a, const Var& b) {
   const std::int64_t H = a->value.dim(2), W = a->value.dim(3);
   assert(b->value.dim(0) == N && b->value.dim(2) == H && b->value.dim(3) == W);
   Tensor out({N, Ca + Cb, H, W});
-  for (std::int64_t n = 0; n < N; ++n) {
-    for (std::int64_t c = 0; c < Ca; ++c)
+  util::parallel_for(0, N * (Ca + Cb), 1, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t pc = p0; pc < p1; ++pc) {
+      const std::int64_t n = pc / (Ca + Cb), c = pc % (Ca + Cb);
+      const Tensor& src = c < Ca ? a->value : b->value;
+      const std::int64_t sc = c < Ca ? c : c - Ca;
       for (std::int64_t h = 0; h < H; ++h)
         for (std::int64_t w = 0; w < W; ++w)
-          out.at(n, c, h, w) = a->value.at(n, c, h, w);
-    for (std::int64_t c = 0; c < Cb; ++c)
-      for (std::int64_t h = 0; h < H; ++h)
-        for (std::int64_t w = 0; w < W; ++w)
-          out.at(n, Ca + c, h, w) = b->value.at(n, c, h, w);
-  }
+          out.at(n, c, h, w) = src.at(n, sc, h, w);
+    }
+  });
   return make_node(std::move(out), {a, b}, [N, Ca, Cb, H, W](Node& n) {
     if (n.parents[0]->requires_grad) {
       Tensor g({N, Ca, H, W});
-      for (std::int64_t i = 0; i < N; ++i)
-        for (std::int64_t c = 0; c < Ca; ++c)
+      util::parallel_for(0, N * Ca, 1, [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t pc = p0; pc < p1; ++pc) {
+          const std::int64_t i = pc / Ca, c = pc % Ca;
           for (std::int64_t h = 0; h < H; ++h)
             for (std::int64_t w = 0; w < W; ++w)
               g.at(i, c, h, w) = n.grad.at(i, c, h, w);
+        }
+      });
       accumulate(n.parents[0], g);
     }
     if (n.parents[1]->requires_grad) {
       Tensor g({N, Cb, H, W});
-      for (std::int64_t i = 0; i < N; ++i)
-        for (std::int64_t c = 0; c < Cb; ++c)
+      util::parallel_for(0, N * Cb, 1, [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t pc = p0; pc < p1; ++pc) {
+          const std::int64_t i = pc / Cb, c = pc % Cb;
           for (std::int64_t h = 0; h < H; ++h)
             for (std::int64_t w = 0; w < W; ++w)
               g.at(i, c, h, w) = n.grad.at(i, Ca + c, h, w);
+        }
+      });
       accumulate(n.parents[1], g);
     }
   });
@@ -345,19 +352,25 @@ Var slice_channels(const Var& a, std::int64_t c0, std::int64_t c1) {
   const std::int64_t H = a->value.dim(2), W = a->value.dim(3);
   assert(0 <= c0 && c0 < c1 && c1 <= C);
   Tensor out({N, c1 - c0, H, W});
-  for (std::int64_t n = 0; n < N; ++n)
-    for (std::int64_t c = c0; c < c1; ++c)
+  util::parallel_for(0, N * (c1 - c0), 1, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t pc = p0; pc < p1; ++pc) {
+      const std::int64_t n = pc / (c1 - c0), c = c0 + pc % (c1 - c0);
       for (std::int64_t h = 0; h < H; ++h)
         for (std::int64_t w = 0; w < W; ++w)
           out.at(n, c - c0, h, w) = a->value.at(n, c, h, w);
+    }
+  });
   return make_node(std::move(out), {a}, [N, c0, c1, H, W](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor g(n.parents[0]->value.shape());
-    for (std::int64_t i = 0; i < N; ++i)
-      for (std::int64_t c = c0; c < c1; ++c)
+    util::parallel_for(0, N * (c1 - c0), 1, [&](std::int64_t p0, std::int64_t p1) {
+      for (std::int64_t pc = p0; pc < p1; ++pc) {
+        const std::int64_t i = pc / (c1 - c0), c = c0 + pc % (c1 - c0);
         for (std::int64_t h = 0; h < H; ++h)
           for (std::int64_t w = 0; w < W; ++w)
             g.at(i, c, h, w) = n.grad.at(i, c - c0, h, w);
+      }
+    });
     accumulate(n.parents[0], g);
   });
 }
@@ -366,7 +379,9 @@ Var reshape(const Var& a, Shape new_shape) {
   Tensor out = a->value.reshaped(std::move(new_shape));
   return make_node(std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    accumulate(n.parents[0], n.grad.reshaped(n.parents[0]->value.shape()));
+    // accumulate() works on the flat storage and the element counts match, so
+    // no reshaped copy of the gradient is needed.
+    accumulate(n.parents[0], n.grad);
   });
 }
 

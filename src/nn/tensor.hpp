@@ -96,9 +96,15 @@ class Tensor {
   void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
   /// Reinterpret with a new shape of identical element count.
-  Tensor reshaped(Shape new_shape) const {
+  Tensor reshaped(Shape new_shape) const& {
     assert(shape_numel(new_shape) == numel());
     return Tensor(std::move(new_shape), data_);
+  }
+  /// Rvalue overload: steals the storage instead of copying it, so
+  /// `std::move(t).reshaped(...)` is O(1).
+  Tensor reshaped(Shape new_shape) && {
+    assert(shape_numel(new_shape) == numel());
+    return Tensor(std::move(new_shape), std::move(data_));
   }
 
   bool same_shape(const Tensor& o) const { return shape_ == o.shape_; }

@@ -1,0 +1,154 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace dco3d::util {
+
+namespace {
+
+thread_local bool tl_in_region = false;
+
+/// Minimal work-stealing-free pool: one task at a time, chunks handed out via
+/// an atomic counter, the calling thread participates. Synchronization is a
+/// generation counter under one mutex, so task state written before dispatch
+/// is visible to workers (and chunk results written by workers are visible to
+/// the caller) without per-chunk locking.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int workers) {
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  void run(std::int64_t nchunks, const std::function<void(std::int64_t)>& body) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      body_ = &body;
+      total_ = nchunks;
+      next_.store(0, std::memory_order_relaxed);
+      idle_ = 0;
+      ++generation_;
+    }
+    cv_start_.notify_all();
+    process();  // the caller is one of the num_threads() lanes
+    std::unique_lock<std::mutex> lk(m_);
+    cv_done_.wait(lk, [this] { return idle_ == static_cast<int>(workers_.size()); });
+    body_ = nullptr;
+  }
+
+ private:
+  void process() {
+    tl_in_region = true;
+    std::int64_t c;
+    while ((c = next_.fetch_add(1, std::memory_order_relaxed)) < total_)
+      (*body_)(c);
+    tl_in_region = false;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(m_);
+    while (true) {
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      lk.unlock();
+      process();
+      lk.lock();
+      if (++idle_ == static_cast<int>(workers_.size())) cv_done_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex m_;
+  std::condition_variable cv_start_, cv_done_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  int idle_ = 0;
+  const std::function<void(std::int64_t)>* body_ = nullptr;
+  std::int64_t total_ = 0;
+  std::atomic<std::int64_t> next_{0};
+};
+
+struct Global {
+  std::mutex mu;
+  std::unique_ptr<ThreadPool> pool;
+  int threads = 0;  // 0 = not yet resolved
+};
+
+Global& global() {
+  static Global g;
+  return g;
+}
+
+int resolve_auto() {
+  if (const char* env = std::getenv("DCO3D_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& pool_for(int threads) {
+  Global& g = global();
+  std::lock_guard<std::mutex> lk(g.mu);
+  if (!g.pool) g.pool = std::make_unique<ThreadPool>(threads - 1);
+  return *g.pool;
+}
+
+}  // namespace
+
+int num_threads() {
+  Global& g = global();
+  std::lock_guard<std::mutex> lk(g.mu);
+  if (g.threads == 0) g.threads = resolve_auto();
+  return g.threads;
+}
+
+void set_num_threads(int n) {
+  Global& g = global();
+  std::lock_guard<std::mutex> lk(g.mu);
+  g.threads = n > 0 ? n : resolve_auto();
+  g.pool.reset();
+}
+
+bool in_parallel_region() { return tl_in_region; }
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t nchunks = (end - begin + grain - 1) / grain;
+  const int nt = num_threads();
+  if (nchunks == 1 || nt == 1 || tl_in_region) {
+    // Same fixed chunk boundaries as the pooled path, executed inline.
+    for (std::int64_t c = 0; c < nchunks; ++c) {
+      const std::int64_t b = begin + c * grain;
+      body(b, std::min(end, b + grain));
+    }
+    return;
+  }
+  const std::function<void(std::int64_t)> chunk = [&](std::int64_t c) {
+    const std::int64_t b = begin + c * grain;
+    body(b, std::min(end, b + grain));
+  };
+  pool_for(nt).run(nchunks, chunk);
+}
+
+}  // namespace dco3d::util

@@ -1,0 +1,82 @@
+#pragma once
+// Shared thread-pool execution layer. Every hot kernel in the library (conv,
+// GEMM, SpMM, rasterization, loss reductions) dispatches through the two
+// primitives here instead of hand-rolling loops:
+//
+//   parallel_for(begin, end, grain, body)   - body(b, e) over fixed chunks
+//   parallel_reduce(begin, end, grain, ...) - deterministic chunked reduction
+//
+// Determinism contract: chunk boundaries depend only on (range, grain), never
+// on the thread count, and parallel_reduce combines partials with an ordered
+// binary tree. Results are therefore bit-identical for any thread count —
+// required so the guard/checkpoint rollback machinery (core/guard) stays
+// reproducible when runs are resumed on machines with different core counts.
+//
+// Thread count resolution (first use wins unless set_num_threads is called):
+//   set_num_threads(N) > DCO3D_THREADS env var > hardware concurrency.
+// A count of 1 never touches the pool: everything runs inline on the caller.
+// Nested parallel_for/parallel_reduce calls from inside a chunk body run
+// inline on the worker that issued them (no pool re-entry, no deadlock).
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace dco3d::util {
+
+/// Threads the pool will use (workers + the calling thread). Resolves the
+/// default on first call.
+int num_threads();
+
+/// Override the thread count. n <= 0 resets to the default resolution
+/// (DCO3D_THREADS env var, else hardware concurrency). Destroys and lazily
+/// recreates the pool; must not race with in-flight parallel kernels.
+void set_num_threads(int n);
+
+/// True while executing inside a parallel_for chunk (nested calls serialize).
+bool in_parallel_region();
+
+/// Grain that yields at most `max_chunks` chunks for a range of n items.
+/// Use for reductions whose per-chunk scratch buffers are large.
+inline std::int64_t grain_for_chunks(std::int64_t n, std::int64_t max_chunks) {
+  return n <= 0 ? 1 : std::max<std::int64_t>(1, (n + max_chunks - 1) / max_chunks);
+}
+
+/// Run body(chunk_begin, chunk_end) over [begin, end) split into fixed chunks
+/// of `grain` items. Chunks may run concurrently in any order; bodies must
+/// only write data disjoint between chunks.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body);
+
+/// Deterministic chunked reduction. chunk_fn(b, e, acc) folds items [b, e)
+/// into its chunk-private accumulator (initialized by copying `identity`);
+/// partials are then merged with combine(into, from) in a fixed binary-tree
+/// order, so the result is bit-identical for any thread count.
+template <typename T, typename ChunkFn, typename CombineFn>
+T parallel_reduce(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  T identity, ChunkFn&& chunk_fn, CombineFn&& combine) {
+  if (end <= begin) return identity;
+  if (grain < 1) grain = 1;
+  const std::int64_t nchunks = (end - begin + grain - 1) / grain;
+  if (nchunks == 1) {
+    T acc = std::move(identity);
+    chunk_fn(begin, end, acc);
+    return acc;
+  }
+  std::vector<T> partials(static_cast<std::size_t>(nchunks), identity);
+  parallel_for(0, nchunks, 1, [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      const std::int64_t b = begin + c * grain;
+      chunk_fn(b, std::min(end, b + grain), partials[static_cast<std::size_t>(c)]);
+    }
+  });
+  for (std::int64_t stride = 1; stride < nchunks; stride *= 2)
+    for (std::int64_t i = 0; i + stride < nchunks; i += 2 * stride)
+      combine(partials[static_cast<std::size_t>(i)],
+              partials[static_cast<std::size_t>(i + stride)]);
+  return std::move(partials[0]);
+}
+
+}  // namespace dco3d::util

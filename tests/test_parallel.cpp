@@ -1,0 +1,229 @@
+// Tests for the shared parallel kernel layer (util/parallel): primitive edge
+// cases, and the determinism contract — losses and gradients of full
+// UNet/GCN/soft-map/loss pipelines must be bit-identical at 1, 2, and 8
+// threads.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/losses.hpp"
+#include "grid/soft_maps.hpp"
+#include "nn/gcn.hpp"
+#include "nn/ops.hpp"
+#include "nn/unet.hpp"
+#include "test_helpers.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace dco3d {
+namespace {
+
+using testing::tiny_design;
+
+/// Scoped pool size; restores the default (env/hardware) on exit.
+struct ThreadScope {
+  explicit ThreadScope(int n) { util::set_num_threads(n); }
+  ~ThreadScope() { util::set_num_threads(0); }
+};
+
+TEST(ParallelFor, EmptyRangeNeverCallsBody) {
+  ThreadScope pool(4);
+  bool called = false;
+  util::parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { called = true; });
+  util::parallel_for(7, 3, 1, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeIsOneChunk) {
+  ThreadScope pool(4);
+  std::atomic<int> calls{0};
+  std::int64_t b0 = -1, e0 = -1;
+  util::parallel_for(2, 9, 100, [&](std::int64_t b, std::int64_t e) {
+    ++calls;
+    b0 = b;
+    e0 = e;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(b0, 2);
+  EXPECT_EQ(e0, 9);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadScope pool(8);
+  constexpr std::int64_t kN = 10007;  // prime: uneven tail chunk
+  std::vector<int> hits(kN, 0);
+  util::parallel_for(0, kN, 64, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  for (std::int64_t i = 0; i < kN; ++i) ASSERT_EQ(hits[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadScope pool(4);
+  EXPECT_FALSE(util::in_parallel_region());
+  std::atomic<std::int64_t> total{0};
+  util::parallel_for(0, 8, 1, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_TRUE(util::in_parallel_region());
+    for (std::int64_t i = b; i < e; ++i) {
+      // Inner call must serialize on this worker instead of re-entering the
+      // pool (which would deadlock a fully-busy pool).
+      util::parallel_for(0, 100, 10, [&](std::int64_t ib, std::int64_t ie) {
+        total += ie - ib;
+      });
+    }
+  });
+  EXPECT_FALSE(util::in_parallel_region());
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  ThreadScope pool(4);
+  const double r = util::parallel_reduce(
+      3, 3, 1, 42.0, [](std::int64_t, std::int64_t, double&) { FAIL(); },
+      [](double&, const double&) { FAIL(); });
+  EXPECT_EQ(r, 42.0);
+}
+
+TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
+  // Sum of floats whose order matters in FP: equal chunking must give the
+  // exact same bits at every pool size.
+  constexpr std::int64_t kN = 99991;
+  std::vector<float> vals(kN);
+  Rng rng(11);
+  for (auto& v : vals) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  auto run = [&](int threads) {
+    ThreadScope pool(threads);
+    return util::parallel_reduce(
+        0, kN, 1024, 0.0,
+        [&](std::int64_t b, std::int64_t e, double& acc) {
+          for (std::int64_t i = b; i < e; ++i) acc += vals[static_cast<std::size_t>(i)];
+        },
+        [](double& into, const double& from) { into += from; });
+  };
+  const double r1 = run(1);
+  EXPECT_EQ(r1, run(2));
+  EXPECT_EQ(r1, run(8));
+}
+
+TEST(ParallelReduce, GrainForChunksBoundsChunkCount) {
+  EXPECT_EQ(util::grain_for_chunks(0, 8), 1);
+  EXPECT_EQ(util::grain_for_chunks(7, 8), 1);
+  for (std::int64_t n : {1, 7, 8, 9, 100, 10001}) {
+    const std::int64_t g = util::grain_for_chunks(n, 8);
+    EXPECT_LE((n + g - 1) / g, 8) << "n=" << n;
+  }
+}
+
+/// One UNet + GCN training-style step; returns the loss and every gradient.
+struct StepResult {
+  float unet_loss = 0.0f;
+  std::vector<float> grads;
+};
+
+StepResult run_nn_step(int threads) {
+  ThreadScope pool(threads);
+  StepResult r;
+
+  Rng rng(123);
+  nn::UNetConfig cfg;
+  cfg.base_channels = 4;
+  cfg.depth = 2;
+  nn::SiameseUNet model(cfg, rng);
+  nn::Tensor f({1, 7, 16, 16});
+  for (std::int64_t i = 0; i < f.numel(); ++i)
+    f[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+  nn::Tensor l({1, 1, 16, 16}, 0.5f);
+  auto [t, b] = model.forward(nn::make_leaf(f), nn::make_leaf(f));
+  nn::Var loss = nn::siamese_loss(t, nn::make_leaf(l), b, nn::make_leaf(l));
+  nn::zero_grad(model.parameters());
+  nn::backward(loss);
+  r.unet_loss = loss->value[0];
+  for (const nn::Var& p : model.parameters())
+    r.grads.insert(r.grads.end(), p->grad.data().begin(), p->grad.data().end());
+
+  const Netlist design = tiny_design(120);
+  auto adj = std::make_shared<const nn::Csr>(nn::normalized_adjacency(
+      static_cast<std::int64_t>(design.num_cells()), design.cell_graph_edges()));
+  Rng grng(7);
+  nn::GcnStack stack(4, 16, 3, grng);
+  nn::Tensor feat({static_cast<std::int64_t>(design.num_cells()), 4});
+  for (std::int64_t i = 0; i < feat.numel(); ++i)
+    feat[i] = static_cast<float>(grng.uniform(-1.0, 1.0));
+  nn::Var fv = nn::make_leaf(feat, /*requires_grad=*/true);
+  nn::Var gloss = nn::mean_op(nn::square(stack.forward(adj, fv)));
+  nn::zero_grad(stack.parameters());
+  nn::backward(gloss);
+  r.grads.push_back(gloss->value[0]);
+  r.grads.insert(r.grads.end(), fv->grad.data().begin(), fv->grad.data().end());
+  for (const nn::Var& p : stack.parameters())
+    r.grads.insert(r.grads.end(), p->grad.data().begin(), p->grad.data().end());
+  return r;
+}
+
+TEST(ParallelDeterminism, UNetGcnStepBitIdenticalAt1_2_8Threads) {
+  const StepResult r1 = run_nn_step(1);
+  const StepResult r2 = run_nn_step(2);
+  const StepResult r8 = run_nn_step(8);
+  EXPECT_EQ(r1.unet_loss, r2.unet_loss);
+  EXPECT_EQ(r1.unet_loss, r8.unet_loss);
+  ASSERT_EQ(r1.grads.size(), r2.grads.size());
+  ASSERT_EQ(r1.grads.size(), r8.grads.size());
+  for (std::size_t i = 0; i < r1.grads.size(); ++i) {
+    ASSERT_EQ(r1.grads[i], r2.grads[i]) << "grad " << i << " differs at 2 threads";
+    ASSERT_EQ(r1.grads[i], r8.grads[i]) << "grad " << i << " differs at 8 threads";
+  }
+}
+
+/// Soft maps + cutsize + overlap losses over a generated design; returns all
+/// loss values and coordinate gradients.
+StepResult run_grid_step(int threads) {
+  ThreadScope pool(threads);
+  StepResult r;
+
+  const Netlist design = tiny_design(160);
+  const auto n = static_cast<std::int64_t>(design.num_cells());
+  const Rect outline{0.0, 0.0, 60.0, 60.0};
+  const GCellGrid grid(outline, 12, 12);
+
+  Rng rng(31);
+  nn::Tensor tx({n}), ty({n}), tz({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    tx[i] = static_cast<float>(rng.uniform(0.0, 55.0));
+    ty[i] = static_cast<float>(rng.uniform(0.0, 55.0));
+    tz[i] = static_cast<float>(rng.uniform(0.1, 0.9));
+  }
+  nn::Var x = nn::make_leaf(tx, true), y = nn::make_leaf(ty, true),
+          z = nn::make_leaf(tz, true);
+
+  SoftMaps maps = soft_feature_maps(design, grid, x, y, z);
+  auto edges = std::make_shared<const std::vector<std::pair<std::int64_t, std::int64_t>>>(
+      design.cell_graph_edges());
+  nn::Var loss = nn::add(
+      nn::add(nn::sum(maps.stacked), cutsize_loss(z, edges)),
+      overlap_loss(design, x, y, z, outline, 10, 10, 0.7));
+  nn::backward(loss);
+
+  r.grads.push_back(loss->value[0]);
+  for (const nn::Var& v : {x, y, z})
+    r.grads.insert(r.grads.end(), v->grad.data().begin(), v->grad.data().end());
+  return r;
+}
+
+TEST(ParallelDeterminism, GridAndLossesBitIdenticalAt1_2_8Threads) {
+  const StepResult r1 = run_grid_step(1);
+  const StepResult r2 = run_grid_step(2);
+  const StepResult r8 = run_grid_step(8);
+  ASSERT_EQ(r1.grads.size(), r2.grads.size());
+  ASSERT_EQ(r1.grads.size(), r8.grads.size());
+  for (std::size_t i = 0; i < r1.grads.size(); ++i) {
+    ASSERT_EQ(r1.grads[i], r2.grads[i]) << "value " << i << " differs at 2 threads";
+    ASSERT_EQ(r1.grads[i], r8.grads[i]) << "value " << i << " differs at 8 threads";
+  }
+}
+
+}  // namespace
+}  // namespace dco3d

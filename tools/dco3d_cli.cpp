@@ -17,6 +17,11 @@
 //   --strict       escalate guardrail events (NaN recovery, deadline) into
 //                  hard failures with distinct exit codes (docs/cli.md)
 //
+// Global options (any command):
+//   --threads N    worker-pool size for the parallel kernels (default: the
+//                  DCO3D_THREADS env var, else hardware concurrency). Results
+//                  are bit-identical for every N; 1 runs fully serial.
+//
 // Files use the formats in src/io/. Every command is deterministic for a
 // given --seed.
 
@@ -38,6 +43,7 @@
 #include "timing/hold.hpp"
 #include "timing/report.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/status.hpp"
 
@@ -326,6 +332,8 @@ int main(int argc, char** argv) {
   log_level() = LogLevel::kWarn;
   const std::string cmd = argv[1];
   const Args args = parse_args(argc, argv, 2);
+  if (args.flag("--threads"))
+    util::set_num_threads(static_cast<int>(args.num("--threads", 0)));
   try {
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "check") return cmd_check(args);
