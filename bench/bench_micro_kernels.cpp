@@ -11,6 +11,7 @@
 #include "grid/soft_maps.hpp"
 #include "nn/conv.hpp"
 #include "nn/gcn.hpp"
+#include "util/arena.hpp"
 #include "util/parallel.hpp"
 #include "nn/optimizer.hpp"
 #include "place/fm_partitioner.hpp"
@@ -42,6 +43,24 @@ struct State {
 State& state1k() {
   static State s(1000);
   return s;
+}
+
+/// Report the arena's memory trajectory alongside wall-clock: peak live
+/// bytes over the timed loop plus per-iteration request and heap-allocation
+/// counts. Call reset_arena_stats() after a warm-up iteration (so the pool
+/// is in steady state) and report_arena_stats() after the loop.
+void reset_arena_stats() {
+  auto& arena = util::Arena::instance();
+  arena.reset_peak();
+  arena.reset_counters();
+}
+
+void report_arena_stats(benchmark::State& st) {
+  const util::ArenaStats a = util::Arena::instance().stats();
+  const auto iters = static_cast<double>(st.iterations());
+  st.counters["peak_bytes"] = static_cast<double>(a.peak_bytes);
+  st.counters["allocs/iter"] = static_cast<double>(a.heap_allocs) / iters;
+  st.counters["reqs/iter"] = static_cast<double>(a.requests) / iters;
 }
 
 void BM_RudyScatter(benchmark::State& st) {
@@ -246,10 +265,13 @@ void BM_Conv2dForwardThreads(benchmark::State& st) {
   nn::Var in = nn::make_leaf(nn::xavier_uniform({2, 8, 48, 48}, 8, 16, rng));
   nn::Var w = nn::make_leaf(nn::xavier_uniform({16, 8, 3, 3}, 72, 144, rng));
   nn::Var b = nn::make_leaf(nn::Tensor({16}, 0.1f));
+  { nn::Var warm = nn::conv2d(in, w, b, 1, 1); }
+  reset_arena_stats();
   for (auto _ : st) {
     nn::Var out = nn::conv2d(in, w, b, 1, 1);
     benchmark::DoNotOptimize(out->value.data().data());
   }
+  report_arena_stats(st);
 }
 BENCHMARK(BM_Conv2dForwardThreads)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
 
@@ -261,10 +283,13 @@ void BM_SpmmThreads(benchmark::State& st) {
   Rng rng(3);
   nn::Tensor x = nn::xavier_uniform(
       {static_cast<std::int64_t>(s.design.num_cells()), 32}, 32, 32, rng);
+  { nn::Tensor warm = adj.multiply(x); }
+  reset_arena_stats();
   for (auto _ : st) {
     nn::Tensor out = adj.multiply(x);
     benchmark::DoNotOptimize(out.data().data());
   }
+  report_arena_stats(st);
   st.SetItemsProcessed(static_cast<std::int64_t>(st.iterations()) *
                        static_cast<std::int64_t>(adj.values.size()));
 }
@@ -279,14 +304,18 @@ void BM_SoftMapsThreads(benchmark::State& st) {
     tx[i] = static_cast<float>(s.placement.xy[static_cast<std::size_t>(i)].x);
     ty[i] = static_cast<float>(s.placement.xy[static_cast<std::size_t>(i)].y);
   }
-  for (auto _ : st) {
+  auto iterate = [&] {
     nn::Var x = nn::make_leaf(tx, true), y = nn::make_leaf(ty, true),
             z = nn::make_leaf(tz, true);
     SoftMaps maps = soft_feature_maps(s.design, s.grid, x, y, z);
     nn::Var loss = nn::sum(maps.stacked);
     nn::backward(loss);
     benchmark::DoNotOptimize(x->grad.data().data());
-  }
+  };
+  iterate();
+  reset_arena_stats();
+  for (auto _ : st) iterate();
+  report_arena_stats(st);
 }
 BENCHMARK(BM_SoftMapsThreads)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
 

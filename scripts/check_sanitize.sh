@@ -9,6 +9,12 @@
 #   DCO3D_SANITIZE=undefined scripts/check_sanitize.sh
 #   DCO3D_SANITIZE=thread scripts/check_sanitize.sh   # TSan, multi-threaded run
 #   BUILD_DIR=/tmp/san scripts/check_sanitize.sh
+#
+# The default (ASan) configuration runs the suite twice: once normally, and
+# once as a dedicated LSan leak pass with DCO3D_ARENA=0, which puts the
+# buffer pool in pass-through mode so every tensor/scratch buffer is an
+# individually tracked heap allocation — pooled (parked) buffers can neither
+# mask a leaked Storage nor show up as false positives.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -36,5 +42,12 @@ else
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 fi
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+if [[ "$SAN" == *address* ]]; then
+  echo "== leak pass (ASan+LSan, DCO3D_ARENA=0 pass-through)"
+  export ASAN_OPTIONS="detect_leaks=1:halt_on_error=1"
+  export DCO3D_ARENA=0
+  ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+fi
 
 echo "== sanitize check passed"

@@ -92,7 +92,10 @@ class Deadline {
 };
 
 // ---------------------------------------------------------------------------
-// Parameter snapshots (deep copies of the value tensors) for rollback.
+// Parameter snapshots for rollback. capture() and restore() are O(1) per
+// tensor: the snapshot aliases the parameter storage, and the optimizer's
+// next in-place update copy-on-writes the parameter away from it, so the
+// captured bits stay frozen without an eager deep copy.
 
 class ParamSnapshot {
  public:

@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "nn/ops.hpp"
+#include <utility>
+
 #include "util/parallel.hpp"
 
 namespace dco3d {
@@ -37,7 +39,7 @@ nn::Var cutsize_loss(
     std::shared_ptr<const std::vector<std::pair<std::int64_t, std::int64_t>>> edges) {
   assert(edges);
   const auto n = static_cast<std::size_t>(z->value.numel());
-  auto zs = z->value.data();
+  auto zs = std::as_const(z->value).data();
 
   // Degrees.
   auto degree = std::make_shared<std::vector<double>>(n, 0.0);
@@ -89,7 +91,7 @@ nn::Var cutsize_loss(
     if (!pz.requires_grad) return;
     pz.ensure_grad();
     const float g = node.grad[0];
-    auto zs = pz.value.data();
+    auto zs = std::as_const(pz.value).data();
     auto gz = pz.grad.data();
     const double inv = 1.0 / deg_t + 1.0 / deg_b;
     // d(cut)/dz_i = sum_{j in N(i)} (1 - 2 z_j); the per-edge scatter hits
@@ -169,9 +171,9 @@ nn::Var overlap_loss(const Netlist& netlist, const nn::Var& x, const nn::Var& y,
   const double bin_area = wv_x * wv_y;
   const std::size_t n_bins = static_cast<std::size_t>(bins_x) * bins_y;
 
-  auto xs = x->value.data();
-  auto ys = y->value.data();
-  auto zs = z->value.data();
+  auto xs = std::as_const(x->value).data();
+  auto ys = std::as_const(y->value).data();
+  auto zs = std::as_const(z->value).data();
 
   struct CellGeom {
     double cx, cy, wb_x, wb_y, c_norm, zt;

@@ -16,8 +16,9 @@ namespace dco3d {
 namespace {
 
 nn::Tensor scaled(const nn::Tensor& t, float s) {
-  nn::Tensor out = t;
-  for (std::int64_t i = 0; i < out.numel(); ++i) out[i] *= s;
+  // clone() (not the aliasing copy ctor) since every element is rewritten.
+  nn::Tensor out = t.clone();
+  for (float& v : out.data()) v *= s;
   return out;
 }
 
@@ -34,11 +35,13 @@ nn::Var sample_loss(const nn::SiameseUNet& model, const nn::Tensor& f_top,
 
 nn::Tensor Predictor::normalize_features(const nn::Tensor& f) const {
   assert(f.rank() == 4 && f.dim(1) == kNumFeatureChannels);
-  nn::Tensor out = f;
+  nn::Tensor out = f.clone();
+  auto od = out.data();
   const auto hw = static_cast<std::int64_t>(f.dim(2) * f.dim(3));
   for (std::int64_t c = 0; c < kNumFeatureChannels; ++c) {
     const float inv = 1.0f / std::max(feature_scale[c], 1e-9f);
-    for (std::int64_t i = 0; i < hw; ++i) out[c * hw + i] *= inv;
+    for (std::int64_t i = 0; i < hw; ++i)
+      od[static_cast<std::size_t>(c * hw + i)] *= inv;
   }
   return out;
 }
@@ -46,10 +49,12 @@ nn::Tensor Predictor::normalize_features(const nn::Tensor& f) const {
 nn::Var Predictor::normalize_features(const nn::Var& f) const {
   assert(f->value.rank() == 4 && f->value.dim(1) == kNumFeatureChannels);
   nn::Tensor scale(f->value.shape());
+  auto sd = scale.data();
   const auto hw = static_cast<std::int64_t>(f->value.dim(2) * f->value.dim(3));
   for (std::int64_t c = 0; c < kNumFeatureChannels; ++c) {
     const float inv = 1.0f / std::max(feature_scale[c], 1e-9f);
-    for (std::int64_t i = 0; i < hw; ++i) scale[c * hw + i] = inv;
+    for (std::int64_t i = 0; i < hw; ++i)
+      sd[static_cast<std::size_t>(c * hw + i)] = inv;
   }
   return nn::mul(f, nn::make_leaf(scale));
 }

@@ -188,9 +188,10 @@ nn::Tensor augment_dihedral(const nn::Tensor& t, int which) {
   const bool flip = (which & 4) != 0;
   if (rot % 2 == 1) assert(H == W && "90/270 rotations require square maps");
   nn::Tensor out(t.shape());
+  auto src = t.data();
+  auto dst = out.data();
   util::parallel_for(0, N * C, 1, [&](std::int64_t p0, std::int64_t p1) {
     for (std::int64_t pc = p0; pc < p1; ++pc) {
-      const std::int64_t n = pc / C, c = pc % C;
       for (std::int64_t y = 0; y < H; ++y) {
         for (std::int64_t x = 0; x < W; ++x) {
           std::int64_t sy = y, sx = x;
@@ -212,7 +213,8 @@ nn::Tensor augment_dihedral(const nn::Tensor& t, int which) {
               rx = sy;
               break;
           }
-          out.at(n, c, y, x) = t.at(n, c, ry, rx);
+          dst[static_cast<std::size_t>((pc * H + y) * W + x)] =
+              src[static_cast<std::size_t>((pc * H + ry) * W + rx)];
         }
       }
     }

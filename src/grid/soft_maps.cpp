@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <memory>
+#include <utility>
 
 #include "util/parallel.hpp"
 
@@ -99,9 +100,9 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
         static_cast<std::size_t>(H * W));
   };
 
-  auto xs = x->value.data();
-  auto ys = y->value.data();
-  auto zs = z->value.data();
+  auto xs = std::as_const(x->value).data();
+  auto ys = std::as_const(y->value).data();
+  auto zs = std::as_const(z->value).data();
 
   const nn::Tensor zero({1, 2 * kNumFeatureChannels, H, W});
 
@@ -180,13 +181,13 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
     std::vector<double> gx(n_cells, 0.0), gy(n_cells, 0.0), gz(n_cells, 0.0);
 
     auto gch = [&](int die, FeatureChannel ch) {
-      return node.grad.data().subspan(
+      return std::as_const(node.grad).data().subspan(
           static_cast<std::size_t>((die * kNumFeatureChannels + ch) * H * W),
           static_cast<std::size_t>(H * W));
     };
-    auto xs = px.value.data();
-    auto ys = py.value.data();
-    auto zs = pz.value.data();
+    auto xs = std::as_const(px.value).data();
+    auto ys = std::as_const(py.value).data();
+    auto zs = std::as_const(pz.value).data();
 
     // Cell density: z gradient through tier weighting. Each cell writes only
     // gz[ci], so plain parallel_for chunks are already disjoint.

@@ -1,6 +1,7 @@
 #include "nn/autograd.hpp"
 
 #include <cassert>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace dco3d::nn {
@@ -36,7 +37,7 @@ void topo_sort(const Var& root, std::vector<Node*>& order) {
 
 }  // namespace
 
-void backward(const Var& root) {
+void backward(const Var& root, bool retain_graph) {
   assert(root);
   assert(root->value.numel() == 1 && "backward() requires a scalar root");
   if (!root->requires_grad) return;
@@ -44,22 +45,67 @@ void backward(const Var& root) {
   std::vector<Node*> order;
   topo_sort(root, order);
 
-  // Zero grads of interior nodes so stale values from a previous backward
-  // pass don't leak in; leaves (parameters) keep accumulating by design.
+  // Interior grads must start from zero so stale values from a previous
+  // backward pass don't leak in; leaves (parameters) keep accumulating by
+  // design. In reclaim mode interior grads are not materialized up front:
+  // every accumulation site calls ensure_grad() before writing, so each grad
+  // appears (zero-filled) when its first consumer contribution arrives and
+  // peak memory tracks the live frontier instead of values-plus-all-grads.
+  // Any stale interior grad is dropped in O(1) instead of re-zeroed.
   for (Node* n : order) {
     if (!n->parents.empty()) {
-      n->ensure_grad();
-      n->grad.fill(0.0f);
+      if (retain_graph) {
+        // One pass either way: a fresh Tensor is born zeroed.
+        if (!n->grad.same_shape(n->value))
+          n->grad = Tensor(n->value.shape());
+        else
+          n->grad.fill(0.0f);
+      } else {
+        n->grad.reset();
+      }
     } else {
       n->ensure_grad();
     }
   }
 
+  // Remaining-use counts for tape reclamation: each node's value/grad are
+  // needed by its consumers' backward_fns (which read parent values and
+  // accumulate into parent grads) and by its own backward_fn. In reverse
+  // topological order every consumer runs before the node itself, so the own
+  // backward_fn is always the final use — a node is releasable the moment it
+  // returns. The counts make that invariant explicit and guard it.
+  std::unordered_map<Node*, int> uses;
+  if (!retain_graph) {
+    uses.reserve(order.size());
+    for (Node* n : order) uses.emplace(n, 1);  // own backward_fn
+    for (Node* n : order)
+      for (const Var& p : n->parents) {
+        auto it = uses.find(p.get());
+        if (it != uses.end()) ++it->second;  // consumer n
+      }
+  }
+
+  root->ensure_grad();
   root->grad[0] = 1.0f;
+  Node* const root_ptr = root.get();
   // order is post-order: root last. Walk from the back.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     Node* n = *it;
     if (n->backward_fn) n->backward_fn(*n);
+    if (retain_graph) continue;
+    for (const Var& p : n->parents) {
+      auto u = uses.find(p.get());
+      if (u != uses.end()) --u->second;
+    }
+    if (--uses[n] == 0 && n != root_ptr && !n->parents.empty()) {
+      // Interior node: its last use has run. Release the activation and
+      // gradient buffers, and the backward closure (whose captures may pin
+      // further tensors). Parent links stay — they own the nodes the rest
+      // of this walk still visits.
+      n->value.reset();
+      n->grad.reset();
+      n->backward_fn = nullptr;
+    }
   }
 }
 

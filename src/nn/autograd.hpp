@@ -32,9 +32,12 @@ struct Node {
   /// leaves. Receives *this.
   std::function<void(Node&)> backward_fn;
 
-  /// Ensure grad storage exists (zero-filled).
+  /// Ensure grad storage exists with the value's shape (zero-filled when
+  /// (re)allocated). Compares shapes, not element counts: a same-numel but
+  /// different-shape grad (e.g. after a reshape reused the node) must not
+  /// silently keep its stale shape.
   void ensure_grad() {
-    if (grad.numel() != value.numel()) grad = Tensor(value.shape());
+    if (!grad.same_shape(value)) grad = Tensor(value.shape());
   }
 };
 
@@ -68,12 +71,25 @@ inline Var make_node(Tensor value, std::vector<Var> parents,
 /// = 1 and walks the graph in reverse topological order. Gradients accumulate
 /// (+=) into every reachable node with requires_grad; call zero_grad on
 /// parameters between steps.
-void backward(const Var& root);
+///
+/// Tape reclamation: by default the value/grad storage of interior nodes
+/// (nodes with parents, excluding the root) is released as soon as its last
+/// use has run — each node's remaining-use count is #consumers plus one for
+/// its own backward_fn, and in reverse topological order the own backward_fn
+/// is always the final use. Peak memory then tracks the live frontier of the
+/// walk instead of the whole graph. Leaves (inputs/parameters) and the root
+/// are never touched. Pass retain_graph=true to keep every buffer (needed if
+/// interior values/grads are inspected after backward, or for re-running
+/// backward over the same graph).
+void backward(const Var& root, bool retain_graph = false);
 
 /// Zero the gradient buffers of the given nodes.
 void zero_grad(const std::vector<Var>& params);
 
-/// Detach: a fresh leaf sharing the value but cut from the graph.
+/// Detach: a leaf cut from the graph. O(1): the leaf's value aliases the
+/// source tensor's storage; copy-on-write keeps the two independent if
+/// either is later mutated. Use `make_leaf(v->value.clone())` when an
+/// eagerly independent buffer is genuinely required.
 inline Var detach(const Var& v) { return make_leaf(v->value, false); }
 
 }  // namespace dco3d::nn

@@ -3,10 +3,19 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "nn/kernels.hpp"
+#include "util/arena.hpp"
 #include "util/parallel.hpp"
+
+// COW note: tensors here are read through const spans hoisted before any
+// parallel region (a non-const accessor on a shared tensor triggers the
+// copy-on-write clone, which must never run concurrently on one object), and
+// im2col/col2im scratch panels come from the arena so every forward/backward
+// pass reuses the same buffers.
 
 namespace dco3d::nn {
 
@@ -14,7 +23,12 @@ namespace {
 
 void accumulate(Var& p, const Tensor& g) {
   if (!p->requires_grad) return;
-  p->ensure_grad();
+  // First contribution to an unmaterialized grad: adopt the tensor as an
+  // O(1) alias (COW protects it) rather than zero-fill + add.
+  if (!p->grad.same_shape(p->value)) {
+    p->grad = g;
+    return;
+  }
   auto dst = p->grad.data();
   auto src = g.data();
   util::parallel_for(0, static_cast<std::int64_t>(dst.size()), 8192,
@@ -58,16 +72,21 @@ Var conv2d(const Var& input, const Var& weight, const Var& bias,
 
   const std::int64_t K = Cin * kh * kw, P = Ho * Wo;
   Tensor out({N, Cout, Ho, Wo});
-  std::vector<float> cols(static_cast<std::size_t>(K * P));
+  util::ArenaBuffer<float> cols(static_cast<std::size_t>(K * P));
+  const float* src = std::as_const(input->value).data().data();
+  const float* wts = std::as_const(weight->value).data().data();
+  std::span<const float> bv =
+      bias ? std::as_const(bias->value).data() : std::span<const float>{};
+  float* const od = out.data().data();
   for (std::int64_t n = 0; n < N; ++n) {
-    detail::im2col(input->value.data().data() + n * Cin * H * W, Cin, H, W, kh,
-                   kw, stride, pad, Ho, Wo, cols.data());
-    float* o = out.data().data() + n * Cout * P;
+    detail::im2col(src + n * Cin * H * W, Cin, H, W, kh, kw, stride, pad, Ho,
+                   Wo, cols.data());
+    float* o = od + n * Cout * P;
     if (bias) {
       for (std::int64_t co = 0; co < Cout; ++co)
-        std::fill(o + co * P, o + (co + 1) * P, bias->value[co]);
+        std::fill(o + co * P, o + (co + 1) * P, bv[static_cast<std::size_t>(co)]);
     }
-    detail::gemm_nn(Cout, P, K, weight->value.data().data(), cols.data(), o);
+    detail::gemm_nn(Cout, P, K, wts, cols.data(), o);
   }
 
   std::vector<Var> parents{input, weight};
@@ -81,20 +100,28 @@ Var conv2d(const Var& input, const Var& weight, const Var& bias,
     Tensor gin(in.value.shape());
     Tensor gwt(wt.value.shape());
     Tensor gb = has_bias ? Tensor(node.parents[2]->value.shape()) : Tensor();
-    std::vector<float> cols(static_cast<std::size_t>(K * P));
-    std::vector<float> gcols(static_cast<std::size_t>(K * P));
+    // One panel serves both lowerings: the im2col columns are consumed by
+    // the dW GEMM before the dX columns are built, so sharing the buffer
+    // halves the backward scratch high-water mark.
+    util::ArenaBuffer<float> panel(static_cast<std::size_t>(K * P));
+    const float* iv = std::as_const(in.value).data().data();
+    const float* wv = std::as_const(wt.value).data().data();
+    const float* gv = std::as_const(node.grad).data().data();
+    float* const gind = gin.data().data();
+    float* const gwtd = gwt.data().data();
+    float* const gbd = has_bias ? gb.data().data() : nullptr;
     for (std::int64_t n = 0; n < N; ++n) {
-      const float* g = node.grad.data().data() + n * Cout * P;
-      if (has_bias) bias_grad(g, Cout, P, gb.data().data());
+      const float* g = gv + n * Cout * P;
+      if (has_bias) bias_grad(g, Cout, P, gbd);
       // dW += dOut * cols^T
-      detail::im2col(in.value.data().data() + n * Cin * H * W, Cin, H, W, kh,
-                     kw, stride, pad, Ho, Wo, cols.data());
-      detail::gemm_nt(Cout, K, P, g, cols.data(), gwt.data().data());
+      detail::im2col(iv + n * Cin * H * W, Cin, H, W, kh, kw, stride, pad, Ho,
+                     Wo, panel.data());
+      detail::gemm_nt(Cout, K, P, g, panel.data(), gwtd);
       // dX = col2im(W^T * dOut)
-      std::fill(gcols.begin(), gcols.end(), 0.0f);
-      detail::gemm_tn(K, P, Cout, wt.value.data().data(), g, gcols.data());
-      detail::col2im(gcols.data(), Cin, H, W, kh, kw, stride, pad, Ho, Wo,
-                     gin.data().data() + n * Cin * H * W);
+      std::fill(panel.data(), panel.data() + panel.size(), 0.0f);
+      detail::gemm_tn(K, P, Cout, wv, g, panel.data());
+      detail::col2im(panel.data(), Cin, H, W, kh, kw, stride, pad, Ho, Wo,
+                     gind + n * Cin * H * W);
     }
     accumulate(node.parents[0], gin);
     accumulate(node.parents[1], gwt);
@@ -121,16 +148,21 @@ Var conv_transpose2d(const Var& input, const Var& weight, const Var& bias,
 
   const std::int64_t K = Cout * kh * kw, P = H * W;
   Tensor out({N, Cout, Ho, Wo});
-  std::vector<float> cols(static_cast<std::size_t>(K * P));
+  util::ArenaBuffer<float> cols(static_cast<std::size_t>(K * P));
+  const float* src = std::as_const(input->value).data().data();
+  const float* wts = std::as_const(weight->value).data().data();
+  std::span<const float> bv =
+      bias ? std::as_const(bias->value).data() : std::span<const float>{};
+  float* const od = out.data().data();
   for (std::int64_t n = 0; n < N; ++n) {
-    float* o = out.data().data() + n * Cout * Ho * Wo;
+    float* o = od + n * Cout * Ho * Wo;
     if (bias) {
       for (std::int64_t co = 0; co < Cout; ++co)
-        std::fill(o + co * Ho * Wo, o + (co + 1) * Ho * Wo, bias->value[co]);
+        std::fill(o + co * Ho * Wo, o + (co + 1) * Ho * Wo,
+                  bv[static_cast<std::size_t>(co)]);
     }
-    std::fill(cols.begin(), cols.end(), 0.0f);
-    detail::gemm_tn(K, P, Cin, weight->value.data().data(),
-                    input->value.data().data() + n * Cin * P, cols.data());
+    std::fill(cols.data(), cols.data() + cols.size(), 0.0f);
+    detail::gemm_tn(K, P, Cin, wts, src + n * Cin * P, cols.data());
     detail::col2im(cols.data(), Cout, Ho, Wo, kh, kw, stride, pad, H, W, o);
   }
 
@@ -145,17 +177,21 @@ Var conv_transpose2d(const Var& input, const Var& weight, const Var& bias,
     Tensor gin(in.value.shape());
     Tensor gwt(wt.value.shape());
     Tensor gb = has_bias ? Tensor(node.parents[2]->value.shape()) : Tensor();
-    std::vector<float> gcols(static_cast<std::size_t>(K * P));
+    util::ArenaBuffer<float> gcols(static_cast<std::size_t>(K * P));
+    const float* iv = std::as_const(in.value).data().data();
+    const float* wv = std::as_const(wt.value).data().data();
+    const float* gv = std::as_const(node.grad).data().data();
+    float* const gind = gin.data().data();
+    float* const gwtd = gwt.data().data();
+    float* const gbd = has_bias ? gb.data().data() : nullptr;
     for (std::int64_t n = 0; n < N; ++n) {
-      const float* g = node.grad.data().data() + n * Cout * Ho * Wo;
-      if (has_bias) bias_grad(g, Cout, Ho * Wo, gb.data().data());
+      const float* g = gv + n * Cout * Ho * Wo;
+      if (has_bias) bias_grad(g, Cout, Ho * Wo, gbd);
       detail::im2col(g, Cout, Ho, Wo, kh, kw, stride, pad, H, W, gcols.data());
       // dX += W * gcols  (W viewed as (Cin, Cout*kh*kw))
-      detail::gemm_nn(Cin, P, K, wt.value.data().data(), gcols.data(),
-                      gin.data().data() + n * Cin * P);
+      detail::gemm_nn(Cin, P, K, wv, gcols.data(), gind + n * Cin * P);
       // dW += X * gcols^T
-      detail::gemm_nt(Cin, K, P, in.value.data().data() + n * Cin * P,
-                      gcols.data(), gwt.data().data());
+      detail::gemm_nt(Cin, K, P, iv + n * Cin * P, gcols.data(), gwtd);
     }
     accumulate(node.parents[0], gin);
     accumulate(node.parents[1], gwt);
@@ -173,6 +209,8 @@ Var maxpool2x2(const Var& input) {
   // Remember argmax indices for the backward pass.
   auto argmax = std::make_shared<std::vector<std::int64_t>>(
       static_cast<std::size_t>(N * C * Ho * Wo));
+  std::span<const float> iv = std::as_const(input->value).data();
+  auto ov = out.data();
   util::parallel_for(0, N * C, 1, [&](std::int64_t p0, std::int64_t p1) {
     for (std::int64_t pc = p0; pc < p1; ++pc) {
       const std::int64_t n = pc / C, c = pc % C;
@@ -183,14 +221,15 @@ Var maxpool2x2(const Var& input) {
           for (std::int64_t i = 0; i < 2; ++i) {
             for (std::int64_t j = 0; j < 2; ++j) {
               const std::int64_t hi = ho * 2 + i, wi = wo * 2 + j;
-              const float v = input->value.at(n, c, hi, wi);
+              const std::int64_t idx = ((n * C + c) * H + hi) * W + wi;
+              const float v = iv[static_cast<std::size_t>(idx)];
               if (v > best) {
                 best = v;
-                best_idx = ((n * C + c) * H + hi) * W + wi;
+                best_idx = idx;
               }
             }
           }
-          out.at(n, c, ho, wo) = best;
+          ov[static_cast<std::size_t>(((n * C + c) * Ho + ho) * Wo + wo)] = best;
           (*argmax)[static_cast<std::size_t>((pc * Ho + ho) * Wo + wo)] = best_idx;
         }
       }
@@ -200,11 +239,14 @@ Var maxpool2x2(const Var& input) {
     if (!node.parents[0]->requires_grad) return;
     Tensor gin(node.parents[0]->value.shape());
     const std::int64_t N = node.grad.dim(0);
+    std::span<const float> gv = std::as_const(node.grad).data();
+    auto gd = gin.data();
     // Pool windows are disjoint, so every plane's argmax indices stay inside
     // that plane: plane-granular chunks write disjoint gin slices.
     util::parallel_for(0, N * C, 1, [&](std::int64_t p0, std::int64_t p1) {
       for (std::int64_t i = p0 * Ho * Wo; i < p1 * Ho * Wo; ++i)
-        gin[(*argmax)[static_cast<std::size_t>(i)]] += node.grad[i];
+        gd[static_cast<std::size_t>((*argmax)[static_cast<std::size_t>(i)])] +=
+            gv[static_cast<std::size_t>(i)];
     });
     accumulate(node.parents[0], gin);
   });
@@ -215,23 +257,29 @@ Var upsample_nearest2x(const Var& input) {
   const std::int64_t N = input->value.dim(0), C = input->value.dim(1);
   const std::int64_t H = input->value.dim(2), W = input->value.dim(3);
   Tensor out({N, C, H * 2, W * 2});
+  std::span<const float> iv = std::as_const(input->value).data();
+  auto ov = out.data();
   util::parallel_for(0, N * C, 1, [&](std::int64_t p0, std::int64_t p1) {
     for (std::int64_t pc = p0; pc < p1; ++pc) {
-      const std::int64_t n = pc / C, c = pc % C;
+      const float* ip = iv.data() + pc * H * W;
+      float* op = ov.data() + pc * H * 2 * W * 2;
       for (std::int64_t h = 0; h < H * 2; ++h)
         for (std::int64_t w = 0; w < W * 2; ++w)
-          out.at(n, c, h, w) = input->value.at(n, c, h / 2, w / 2);
+          op[h * W * 2 + w] = ip[(h / 2) * W + w / 2];
     }
   });
   return make_node(std::move(out), {input}, [N, C, H, W](Node& node) {
     if (!node.parents[0]->requires_grad) return;
     Tensor gin({N, C, H, W});
+    std::span<const float> gv = std::as_const(node.grad).data();
+    auto gd = gin.data();
     util::parallel_for(0, N * C, 1, [&](std::int64_t p0, std::int64_t p1) {
       for (std::int64_t pc = p0; pc < p1; ++pc) {
-        const std::int64_t n = pc / C, c = pc % C;
+        const float* gp = gv.data() + pc * H * 2 * W * 2;
+        float* op = gd.data() + pc * H * W;
         for (std::int64_t h = 0; h < H * 2; ++h)
           for (std::int64_t w = 0; w < W * 2; ++w)
-            gin.at(n, c, h / 2, w / 2) += node.grad.at(n, c, h, w);
+            op[(h / 2) * W + w / 2] += gp[h * W * 2 + w];
       }
     });
     accumulate(node.parents[0], gin);

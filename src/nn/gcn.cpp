@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <map>
+#include <span>
 
 #include "nn/ops.hpp"
 #include "util/parallel.hpp"
@@ -43,15 +44,19 @@ Tensor Csr::multiply(const Tensor& x) const {
   assert(x.rank() == 2 && x.dim(0) == cols);
   const std::int64_t f = x.dim(1);
   Tensor out({rows, f});
+  std::span<const float> xv = x.data();
+  auto ov = out.data();
   // SpMM parallelized over output rows: each row accumulates its own slice in
   // CSR order, so the result is identical for any thread count.
   util::parallel_for(0, rows, 64, [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t i = r0; i < r1; ++i) {
+      float* orow = ov.data() + i * f;
       for (std::int64_t k = row_ptr[static_cast<std::size_t>(i)];
            k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
         const std::int64_t j = col_idx[static_cast<std::size_t>(k)];
         const float a = values[static_cast<std::size_t>(k)];
-        for (std::int64_t ff = 0; ff < f; ++ff) out.at(i, ff) += a * x.at(j, ff);
+        const float* xrow = xv.data() + j * f;
+        for (std::int64_t ff = 0; ff < f; ++ff) orow[ff] += a * xrow[ff];
       }
     }
   });

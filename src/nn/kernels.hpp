@@ -6,6 +6,11 @@
 // element, so results are bit-identical for any thread count.
 //
 // All GEMMs accumulate into C (callers zero-fill or bias-fill first).
+//
+// Nothing here allocates: callers own every panel, and the conv layer passes
+// arena-backed scratch (util::ArenaBuffer) for the im2col/col2im columns so
+// repeated forward/backward passes recycle the same buffers (see
+// docs/performance.md, "Memory model").
 
 #include <cstdint>
 

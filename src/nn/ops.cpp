@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <span>
+#include <utility>
 
 #include "nn/kernels.hpp"
 #include "util/parallel.hpp"
@@ -59,7 +61,13 @@ double sum_span(std::span<const float> v) {
 
 void accumulate(Var& p, const Tensor& g) {
   if (!p->requires_grad) return;
-  p->ensure_grad();
+  // First contribution to an unmaterialized grad: adopt the tensor as an
+  // O(1) alias instead of zero-filling a fresh buffer and adding (COW
+  // keeps the alias safe if the caller's copy is written later).
+  if (!p->grad.same_shape(p->value)) {
+    p->grad = g;
+    return;
+  }
   auto dst = p->grad.data();
   auto src = g.data();
   util::parallel_for(0, static_cast<std::int64_t>(dst.size()), kEwGrain,
@@ -227,23 +235,23 @@ Var matmul(const Var& a, const Var& b) {
   const std::int64_t M = a->value.dim(0), K = a->value.dim(1), N = b->value.dim(1);
   assert(b->value.dim(0) == K);
   Tensor out({M, N});
-  detail::gemm_nn(M, N, K, a->value.data().data(), b->value.data().data(),
-                  out.data().data());
+  detail::gemm_nn(M, N, K, std::as_const(a->value).data().data(),
+                  std::as_const(b->value).data().data(), out.data().data());
   return make_node(std::move(out), {a, b}, [M, K, N](Node& n) {
     Node& pa = *n.parents[0];
     Node& pb = *n.parents[1];
     if (pa.requires_grad) {
       // dA = dOut * B^T
       Tensor g({M, K});
-      detail::gemm_nt(M, K, N, n.grad.data().data(), pb.value.data().data(),
-                      g.data().data());
+      detail::gemm_nt(M, K, N, std::as_const(n.grad).data().data(),
+                      std::as_const(pb.value).data().data(), g.data().data());
       accumulate(n.parents[0], g);
     }
     if (pb.requires_grad) {
       // dB = A^T * dOut
       Tensor g({K, N});
-      detail::gemm_tn(K, N, M, pa.value.data().data(), n.grad.data().data(),
-                      g.data().data());
+      detail::gemm_tn(K, N, M, std::as_const(pa.value).data().data(),
+                      std::as_const(n.grad).data().data(), g.data().data());
       accumulate(n.parents[1], g);
     }
   });
@@ -254,19 +262,26 @@ Var add_rowwise(const Var& m, const Var& bias) {
   assert(bias->value.numel() == m->value.dim(1));
   const std::int64_t M = m->value.dim(0), N = m->value.dim(1);
   Tensor out({M, N});
+  std::span<const float> mv = std::as_const(m->value).data();
+  std::span<const float> bv = std::as_const(bias->value).data();
+  auto ov = out.data();
   util::parallel_for(0, M, 64, [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t i = r0; i < r1; ++i)
       for (std::int64_t j = 0; j < N; ++j)
-        out.at(i, j) = m->value.at(i, j) + bias->value[j];
+        ov[static_cast<std::size_t>(i * N + j)] =
+            mv[static_cast<std::size_t>(i * N + j)] + bv[static_cast<std::size_t>(j)];
   });
   return make_node(std::move(out), {m, bias}, [M, N](Node& n) {
     accumulate(n.parents[0], n.grad);
     if (n.parents[1]->requires_grad) {
       Tensor g(n.parents[1]->value.shape());
+      std::span<const float> gv = std::as_const(n.grad).data();
+      auto gd = g.data();
       // Columns are independent; each sums its rows in ascending order.
       util::parallel_for(0, N, 1, [&](std::int64_t c0, std::int64_t c1) {
         for (std::int64_t j = c0; j < c1; ++j)
-          for (std::int64_t i = 0; i < M; ++i) g[j] += n.grad.at(i, j);
+          for (std::int64_t i = 0; i < M; ++i)
+            gd[static_cast<std::size_t>(j)] += gv[static_cast<std::size_t>(i * N + j)];
       });
       accumulate(n.parents[1], g);
     }
@@ -274,7 +289,7 @@ Var add_rowwise(const Var& m, const Var& bias) {
 }
 
 Var sum(const Var& a) {
-  const double s = sum_span(a->value.data());
+  const double s = sum_span(std::as_const(a->value).data());
   return make_node(Tensor::scalar(static_cast<float>(s)), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor g(n.parents[0]->value.shape(), n.grad[0]);
@@ -284,7 +299,7 @@ Var sum(const Var& a) {
 
 Var mean_op(const Var& a) {
   const auto n_elems = static_cast<float>(a->value.numel());
-  const double s = sum_span(a->value.data());
+  const double s = sum_span(std::as_const(a->value).data());
   return make_node(Tensor::scalar(static_cast<float>(s / n_elems)), {a},
                    [n_elems](Node& n) {
                      if (!n.parents[0]->requires_grad) return;
@@ -307,37 +322,41 @@ Var concat_channels(const Var& a, const Var& b) {
   const std::int64_t H = a->value.dim(2), W = a->value.dim(3);
   assert(b->value.dim(0) == N && b->value.dim(2) == H && b->value.dim(3) == W);
   Tensor out({N, Ca + Cb, H, W});
+  std::span<const float> av = std::as_const(a->value).data();
+  std::span<const float> bvv = std::as_const(b->value).data();
+  auto ov = out.data();
+  const std::int64_t plane = H * W;
   util::parallel_for(0, N * (Ca + Cb), 1, [&](std::int64_t p0, std::int64_t p1) {
     for (std::int64_t pc = p0; pc < p1; ++pc) {
       const std::int64_t n = pc / (Ca + Cb), c = pc % (Ca + Cb);
-      const Tensor& src = c < Ca ? a->value : b->value;
-      const std::int64_t sc = c < Ca ? c : c - Ca;
-      for (std::int64_t h = 0; h < H; ++h)
-        for (std::int64_t w = 0; w < W; ++w)
-          out.at(n, c, h, w) = src.at(n, sc, h, w);
+      const float* src = c < Ca ? av.data() + (n * Ca + c) * plane
+                                : bvv.data() + (n * Cb + (c - Ca)) * plane;
+      std::copy(src, src + plane, ov.data() + pc * plane);
     }
   });
   return make_node(std::move(out), {a, b}, [N, Ca, Cb, H, W](Node& n) {
+    std::span<const float> gv = std::as_const(n.grad).data();
+    const std::int64_t plane = H * W;
     if (n.parents[0]->requires_grad) {
       Tensor g({N, Ca, H, W});
+      auto gd = g.data();
       util::parallel_for(0, N * Ca, 1, [&](std::int64_t p0, std::int64_t p1) {
         for (std::int64_t pc = p0; pc < p1; ++pc) {
           const std::int64_t i = pc / Ca, c = pc % Ca;
-          for (std::int64_t h = 0; h < H; ++h)
-            for (std::int64_t w = 0; w < W; ++w)
-              g.at(i, c, h, w) = n.grad.at(i, c, h, w);
+          const float* src = gv.data() + (i * (Ca + Cb) + c) * plane;
+          std::copy(src, src + plane, gd.data() + pc * plane);
         }
       });
       accumulate(n.parents[0], g);
     }
     if (n.parents[1]->requires_grad) {
       Tensor g({N, Cb, H, W});
+      auto gd = g.data();
       util::parallel_for(0, N * Cb, 1, [&](std::int64_t p0, std::int64_t p1) {
         for (std::int64_t pc = p0; pc < p1; ++pc) {
           const std::int64_t i = pc / Cb, c = pc % Cb;
-          for (std::int64_t h = 0; h < H; ++h)
-            for (std::int64_t w = 0; w < W; ++w)
-              g.at(i, c, h, w) = n.grad.at(i, Ca + c, h, w);
+          const float* src = gv.data() + (i * (Ca + Cb) + Ca + c) * plane;
+          std::copy(src, src + plane, gd.data() + pc * plane);
         }
       });
       accumulate(n.parents[1], g);
@@ -352,23 +371,28 @@ Var slice_channels(const Var& a, std::int64_t c0, std::int64_t c1) {
   const std::int64_t H = a->value.dim(2), W = a->value.dim(3);
   assert(0 <= c0 && c0 < c1 && c1 <= C);
   Tensor out({N, c1 - c0, H, W});
+  std::span<const float> av = std::as_const(a->value).data();
+  auto ov = out.data();
+  const std::int64_t plane = H * W;
   util::parallel_for(0, N * (c1 - c0), 1, [&](std::int64_t p0, std::int64_t p1) {
     for (std::int64_t pc = p0; pc < p1; ++pc) {
       const std::int64_t n = pc / (c1 - c0), c = c0 + pc % (c1 - c0);
-      for (std::int64_t h = 0; h < H; ++h)
-        for (std::int64_t w = 0; w < W; ++w)
-          out.at(n, c - c0, h, w) = a->value.at(n, c, h, w);
+      const float* src = av.data() + (n * C + c) * plane;
+      std::copy(src, src + plane, ov.data() + pc * plane);
     }
   });
   return make_node(std::move(out), {a}, [N, c0, c1, H, W](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor g(n.parents[0]->value.shape());
+    std::span<const float> gv = std::as_const(n.grad).data();
+    auto gd = g.data();
+    const std::int64_t C = n.parents[0]->value.dim(1);
+    const std::int64_t plane = H * W;
     util::parallel_for(0, N * (c1 - c0), 1, [&](std::int64_t p0, std::int64_t p1) {
       for (std::int64_t pc = p0; pc < p1; ++pc) {
         const std::int64_t i = pc / (c1 - c0), c = c0 + pc % (c1 - c0);
-        for (std::int64_t h = 0; h < H; ++h)
-          for (std::int64_t w = 0; w < W; ++w)
-            g.at(i, c, h, w) = n.grad.at(i, c - c0, h, w);
+        const float* src = gv.data() + pc * plane;
+        std::copy(src, src + plane, gd.data() + (i * C + c) * plane);
       }
     });
     accumulate(n.parents[0], g);
@@ -391,7 +415,10 @@ Var select_column(const Var& m, std::int64_t c) {
   [[maybe_unused]] const std::int64_t C = m->value.dim(1);
   assert(c >= 0 && c < C);
   Tensor out({N});
-  for (std::int64_t i = 0; i < N; ++i) out[i] = m->value.at(i, c);
+  std::span<const float> mv = std::as_const(m->value).data();
+  auto ov = out.data();
+  for (std::int64_t i = 0; i < N; ++i)
+    ov[static_cast<std::size_t>(i)] = mv[static_cast<std::size_t>(i * C + c)];
   return make_node(std::move(out), {m}, [N, c](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     Tensor g(n.parents[0]->value.shape());

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 namespace dco3d::nn {
 
@@ -17,14 +18,14 @@ bool span_finite(std::span<const float> xs) {
 bool all_grads_finite(const std::vector<Var>& params) {
   for (const Var& p : params) {
     if (!p || p->grad.empty()) continue;
-    if (!span_finite(p->grad.data())) return false;
+    if (!span_finite(std::as_const(p->grad).data())) return false;
   }
   return true;
 }
 
 bool all_params_finite(const std::vector<Var>& params) {
   for (const Var& p : params)
-    if (p && !span_finite(p->value.data())) return false;
+    if (p && !span_finite(std::as_const(p->value).data())) return false;
   return true;
 }
 

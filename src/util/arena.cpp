@@ -1,0 +1,113 @@
+#include "util/arena.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace dco3d::util {
+
+namespace {
+
+constexpr std::size_t kMinBucketBytes = 256;
+constexpr std::size_t kNumBuckets = 48;  // up to 2^(8+47) B — far beyond reach
+
+/// Bucket index for a request; requests round up to the bucket's capacity.
+std::size_t bucket_index(std::size_t bytes) {
+  const std::size_t rounded = std::bit_ceil(bytes < kMinBucketBytes ? kMinBucketBytes : bytes);
+  return static_cast<std::size_t>(std::countr_zero(rounded)) -
+         static_cast<std::size_t>(std::countr_zero(kMinBucketBytes));
+}
+
+std::size_t bucket_bytes(std::size_t idx) { return kMinBucketBytes << idx; }
+
+}  // namespace
+
+struct Arena::Impl {
+  mutable std::mutex mu;
+  std::vector<void*> free_lists[kNumBuckets];
+  ArenaStats stats;
+};
+
+Arena::Arena() : impl_(new Impl) {
+  if (const char* env = std::getenv("DCO3D_ARENA")) {
+    if (env[0] == '0' && env[1] == '\0') pooling_ = false;
+  }
+}
+
+// The global instance lives for the whole process; never destroyed in
+// practice (function-local static), so parked buffers are reclaimed by the
+// OS at exit rather than freed one by one.
+Arena::~Arena() {
+  trim();
+  delete impl_;
+}
+
+Arena& Arena::instance() {
+  static Arena arena;
+  return arena;
+}
+
+void* Arena::acquire(std::size_t bytes) {
+  if (bytes == 0) return nullptr;
+  const std::size_t idx = bucket_index(bytes);
+  const std::size_t cap = bucket_bytes(idx);
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  ArenaStats& st = impl_->stats;
+  ++st.requests;
+  st.live_bytes += cap;
+  if (st.live_bytes > st.peak_bytes) st.peak_bytes = st.live_bytes;
+  auto& list = impl_->free_lists[idx];
+  if (!list.empty()) {
+    ++st.pool_hits;
+    st.pooled_bytes -= cap;
+    void* p = list.back();
+    list.pop_back();
+    return p;
+  }
+  ++st.heap_allocs;
+  return ::operator new(cap);
+}
+
+void Arena::release(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  const std::size_t idx = bucket_index(bytes);
+  const std::size_t cap = bucket_bytes(idx);
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->stats.live_bytes -= cap;
+  if (pooling_) {
+    impl_->free_lists[idx].push_back(p);
+    impl_->stats.pooled_bytes += cap;
+  } else {
+    ::operator delete(p);
+  }
+}
+
+ArenaStats Arena::stats() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->stats;
+}
+
+void Arena::reset_peak() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->stats.peak_bytes = impl_->stats.live_bytes;
+}
+
+void Arena::reset_counters() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->stats.requests = 0;
+  impl_->stats.pool_hits = 0;
+  impl_->stats.heap_allocs = 0;
+}
+
+void Arena::trim() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    for (void* p : impl_->free_lists[i]) ::operator delete(p);
+    impl_->stats.pooled_bytes -= impl_->free_lists[i].size() * bucket_bytes(i);
+    impl_->free_lists[i].clear();
+  }
+}
+
+}  // namespace dco3d::util

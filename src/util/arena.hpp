@@ -1,0 +1,134 @@
+#pragma once
+// Size-bucketed buffer pool backing Tensor storage and kernel scratch
+// buffers. The DCO inner loop allocates and frees the same handful of buffer
+// sizes every iteration (activations, im2col panels, chunk-private scatter
+// maps); routing those through a pool turns the steady state into pure
+// free-list reuse and makes peak live bytes a measurable, first-class number.
+//
+// Design:
+//   - Requests are rounded up to a power-of-two bucket (min 256 B). Exact
+//     bucketing keeps reuse hit-rate high across iterations because tensor
+//     shapes are stable within a run.
+//   - One global instance, mutex-guarded free lists: allocations happen on
+//     worker threads too (COW clones of parallel_reduce partials), so the
+//     pool must be thread-safe. The lock is uncontended in practice — the
+//     hot kernels allocate before entering parallel regions.
+//   - Statistics (requests, pool hits, heap allocs, live/peak bytes) are
+//     tracked in bucket-rounded bytes. `peak_bytes` is the high-water mark
+//     since the last reset_peak(); the allocation-regression check and the
+//     micro-benchmarks report these per fixed workload.
+//   - DCO3D_ARENA=0 in the environment disables pooling (every release frees
+//     immediately). Used by the sanitizer leak pass so pooled buffers cannot
+//     mask real leaks; statistics are still tracked.
+//
+// Freed buffers stay on the free lists until trim() or process exit. The
+// free lists are reachable from the global instance, so LeakSanitizer does
+// not flag them; trim() exists for long-lived callers that want memory back.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dco3d::util {
+
+/// Per-run allocator statistics. Byte figures are bucket-rounded (what the
+/// process actually holds), not the raw request sizes.
+struct ArenaStats {
+  std::uint64_t requests = 0;     ///< total acquire() calls
+  std::uint64_t pool_hits = 0;    ///< acquires served from a free list
+  std::uint64_t heap_allocs = 0;  ///< acquires that hit operator new
+  std::uint64_t live_bytes = 0;   ///< bytes currently acquired (not released)
+  std::uint64_t peak_bytes = 0;   ///< high-water mark of live_bytes
+  std::uint64_t pooled_bytes = 0; ///< bytes parked on free lists
+
+  /// Fraction of requests served without touching the heap.
+  double hit_rate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(pool_hits) / static_cast<double>(requests);
+  }
+};
+
+/// Global size-bucketed buffer pool. acquire/release are thread-safe.
+class Arena {
+ public:
+  static Arena& instance();
+
+  /// Get a buffer of at least `bytes` bytes (suitably aligned for float).
+  /// bytes == 0 returns nullptr without touching statistics.
+  void* acquire(std::size_t bytes);
+
+  /// Return a buffer obtained from acquire(). `bytes` must be the same value
+  /// passed to acquire(). p == nullptr is a no-op.
+  void release(void* p, std::size_t bytes) noexcept;
+
+  ArenaStats stats() const;
+
+  /// Reset peak_bytes to the current live_bytes (start of a measured window).
+  void reset_peak();
+
+  /// Zero the request/hit/alloc counters (live/peak/pooled are left alone so
+  /// outstanding buffers stay accounted for).
+  void reset_counters();
+
+  /// Free every buffer parked on the free lists back to the heap.
+  void trim();
+
+  /// False when DCO3D_ARENA=0 disabled pooling (pass-through mode).
+  bool pooling_enabled() const { return pooling_; }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+ private:
+  Arena();
+  ~Arena();
+  struct Impl;
+  Impl* impl_;
+  bool pooling_ = true;
+};
+
+/// Move-only RAII scratch buffer of T drawn from the arena. Replaces
+/// `std::vector<T>` for kernel workspaces (im2col panels, gradient columns)
+/// so repeated forward/backward passes reuse the same memory. Contents are
+/// uninitialized unless fill() is called.
+template <typename T>
+class ArenaBuffer {
+ public:
+  ArenaBuffer() = default;
+  explicit ArenaBuffer(std::size_t n) : size_(n) {
+    data_ = static_cast<T*>(Arena::instance().acquire(n * sizeof(T)));
+  }
+  ~ArenaBuffer() { Arena::instance().release(data_, size_ * sizeof(T)); }
+
+  ArenaBuffer(ArenaBuffer&& o) noexcept : data_(o.data_), size_(o.size_) {
+    o.data_ = nullptr;
+    o.size_ = 0;
+  }
+  ArenaBuffer& operator=(ArenaBuffer&& o) noexcept {
+    if (this != &o) {
+      Arena::instance().release(data_, size_ * sizeof(T));
+      data_ = o.data_;
+      size_ = o.size_;
+      o.data_ = nullptr;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+  ArenaBuffer(const ArenaBuffer&) = delete;
+  ArenaBuffer& operator=(const ArenaBuffer&) = delete;
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  void fill(const T& v) {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = v;
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dco3d::util

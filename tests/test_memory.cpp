@@ -1,0 +1,276 @@
+// Tests for the memory model: shared Storage aliasing and copy-on-write,
+// O(1) reshaped()/detach()/clone(), the arena buffer pool and its statistics,
+// and autograd tape reclamation — which must leave losses and gradients
+// bit-identical to the retain-everything path at 1, 2, and 8 threads.
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/losses.hpp"
+#include "grid/soft_maps.hpp"
+#include "nn/gcn.hpp"
+#include "nn/ops.hpp"
+#include "nn/unet.hpp"
+#include "test_helpers.hpp"
+#include "util/arena.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace dco3d {
+namespace {
+
+using testing::tiny_design;
+
+struct ThreadScope {
+  explicit ThreadScope(int n) { util::set_num_threads(n); }
+  ~ThreadScope() { util::set_num_threads(0); }
+};
+
+// ---------------------------------------------------------------------------
+// Storage aliasing & copy-on-write
+
+TEST(TensorStorage, CopyAliasesUntilWritten) {
+  nn::Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  nn::Tensor b = a;
+  EXPECT_TRUE(a.aliases(b));
+  // Const reads do not diverge the buffers.
+  EXPECT_EQ(std::as_const(b)[4], 5.0f);
+  EXPECT_TRUE(a.aliases(b));
+  // First write copy-on-writes the writer; the other alias is untouched.
+  b[0] = 42.0f;
+  EXPECT_FALSE(a.aliases(b));
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(b[0], 42.0f);
+}
+
+TEST(TensorStorage, ViewsObserveWritesBeforeDivergence) {
+  nn::Tensor a({4}, {1, 2, 3, 4});
+  a[1] = 20.0f;  // unique: in-place, no copy
+  nn::Tensor view = a.reshaped({2, 2});
+  // The view reads the same buffer, so it sees the earlier write.
+  EXPECT_EQ(std::as_const(view)[1], 20.0f);
+  EXPECT_TRUE(a.aliases(view));
+}
+
+TEST(TensorStorage, ReshapedLvalueDoesNotDeepCopy) {
+  nn::Tensor a({6}, {0, 1, 2, 3, 4, 5});
+  nn::Tensor r = a.reshaped({2, 3});
+  EXPECT_TRUE(a.aliases(r));
+  EXPECT_EQ(r.dim(0), 2);
+  EXPECT_EQ(r.dim(1), 3);
+  EXPECT_EQ(std::as_const(r).at(1, 2), 5.0f);
+  // Writing through the reshaped view diverges it; the source keeps its bits.
+  r.at(0, 0) = 9.0f;
+  EXPECT_FALSE(a.aliases(r));
+  EXPECT_EQ(std::as_const(a)[0], 0.0f);
+}
+
+TEST(TensorStorage, FillOnSharedStorageLeavesAliasIntact) {
+  nn::Tensor a({3}, {1, 1, 1});
+  nn::Tensor b = a;
+  b.fill(7.0f);
+  EXPECT_FALSE(a.aliases(b));
+  EXPECT_EQ(std::as_const(a)[0], 1.0f);
+  EXPECT_EQ(std::as_const(b)[2], 7.0f);
+}
+
+TEST(TensorStorage, CloneIsImmediatelyIndependent) {
+  nn::Tensor a({2}, {1, 2});
+  nn::Tensor c = a.clone();
+  EXPECT_FALSE(a.aliases(c));
+  EXPECT_EQ(std::as_const(c)[1], 2.0f);
+  c[1] = -2.0f;
+  EXPECT_EQ(std::as_const(a)[1], 2.0f);
+}
+
+TEST(TensorStorage, FlatSliceSharesStorage) {
+  nn::Tensor a({2, 3}, {0, 1, 2, 3, 4, 5});
+  nn::Tensor s = a.flat_slice(3, {3});
+  EXPECT_TRUE(a.aliases(s));
+  EXPECT_EQ(std::as_const(s)[0], 3.0f);
+  EXPECT_EQ(std::as_const(s)[2], 5.0f);
+  // COW on the slice copies only the slice's range.
+  s[0] = 30.0f;
+  EXPECT_FALSE(a.aliases(s));
+  EXPECT_EQ(std::as_const(a)[3], 3.0f);
+  EXPECT_EQ(std::as_const(s)[0], 30.0f);
+  EXPECT_EQ(s.numel(), 3);
+}
+
+TEST(TensorStorage, DetachIsO1Alias) {
+  nn::Var v = nn::make_leaf(nn::Tensor({4}, {1, 2, 3, 4}), true);
+  nn::Var d = nn::detach(v);
+  EXPECT_FALSE(d->requires_grad);
+  EXPECT_TRUE(v->value.aliases(d->value));
+  // Mutating the original does not leak into the detached leaf.
+  v->value[0] = 99.0f;
+  EXPECT_EQ(std::as_const(d->value)[0], 1.0f);
+}
+
+TEST(EnsureGrad, ReallocatesOnShapeMismatchWithEqualNumel) {
+  auto n = std::make_shared<nn::Node>();
+  n->value = nn::Tensor({2, 3});
+  n->grad = nn::Tensor({3, 2}, {1, 2, 3, 4, 5, 6});
+  n->ensure_grad();
+  EXPECT_TRUE(n->grad.same_shape(n->value));
+  // Fresh allocation, not the stale same-numel buffer.
+  EXPECT_EQ(std::as_const(n->grad)[0], 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Arena pool
+
+TEST(Arena, ReusesReleasedBuffers) {
+  auto& arena = util::Arena::instance();
+  const auto before = arena.stats();
+  {
+    util::ArenaBuffer<float> a(1024);
+    a.fill(1.0f);
+  }
+  util::ArenaBuffer<float> b(1024);  // same bucket: must be a pool hit
+  const auto after = arena.stats();
+  EXPECT_EQ(after.requests, before.requests + 2);
+  if (arena.pooling_enabled()) {
+    EXPECT_GE(after.pool_hits, before.pool_hits + 1);
+  }
+  EXPECT_GE(after.peak_bytes, after.live_bytes);
+}
+
+TEST(Arena, LiveBytesReturnToBaselineAfterRelease) {
+  auto& arena = util::Arena::instance();
+  const auto before = arena.stats();
+  { util::ArenaBuffer<float> a(4096); }
+  const auto after = arena.stats();
+  EXPECT_EQ(after.live_bytes, before.live_bytes);
+}
+
+TEST(Arena, StatsHitRate) {
+  util::ArenaStats s;
+  EXPECT_EQ(s.hit_rate(), 0.0);
+  s.requests = 10;
+  s.pool_hits = 4;
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.4);
+}
+
+// ---------------------------------------------------------------------------
+// Tape reclamation
+
+TEST(TapeReclamation, ReleasesInteriorNodesAndKeepsRootAndLeaves) {
+  nn::Var x = nn::make_leaf(nn::Tensor({4}, {1, 2, 3, 4}), true);
+  nn::Var h = nn::square(x);
+  nn::Var loss = nn::sum(h);
+  nn::zero_grad({x});
+  nn::backward(loss);
+  EXPECT_TRUE(h->value.empty()) << "interior value must be released";
+  EXPECT_TRUE(h->grad.empty()) << "interior grad must be released";
+  EXPECT_EQ(loss->value.numel(), 1) << "root value must survive";
+  EXPECT_EQ(x->value.numel(), 4) << "leaf value must survive";
+  EXPECT_EQ(x->grad.numel(), 4) << "leaf grad must survive";
+  EXPECT_EQ(x->grad[2], 6.0f);
+}
+
+TEST(TapeReclamation, RetainGraphKeepsInteriorBuffers) {
+  nn::Var x = nn::make_leaf(nn::Tensor({4}, {1, 2, 3, 4}), true);
+  nn::Var h = nn::square(x);
+  nn::Var loss = nn::sum(h);
+  nn::zero_grad({x});
+  nn::backward(loss, /*retain_graph=*/true);
+  EXPECT_EQ(h->value.numel(), 4);
+  EXPECT_EQ(h->grad.numel(), 4);
+  // A second backward over the retained graph accumulates again.
+  nn::backward(loss, /*retain_graph=*/true);
+  EXPECT_EQ(x->grad[2], 12.0f);
+}
+
+/// Full UNet + GCN + soft-maps pipeline; returns loss values and every leaf
+/// gradient, with reclamation on or off.
+std::vector<float> run_pipeline(int threads, bool retain) {
+  ThreadScope pool(threads);
+  std::vector<float> out;
+
+  Rng rng(123);
+  nn::UNetConfig cfg;
+  cfg.base_channels = 4;
+  cfg.depth = 2;
+  nn::SiameseUNet model(cfg, rng);
+  nn::Tensor f({1, 7, 16, 16});
+  for (std::int64_t i = 0; i < f.numel(); ++i)
+    f[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+  nn::Tensor l({1, 1, 16, 16}, 0.5f);
+  auto [t, b] = model.forward(nn::make_leaf(f), nn::make_leaf(f));
+  nn::Var uloss = nn::siamese_loss(t, nn::make_leaf(l), b, nn::make_leaf(l));
+  nn::zero_grad(model.parameters());
+  nn::backward(uloss, retain);
+  out.push_back(uloss->value[0]);
+  for (const nn::Var& p : model.parameters())
+    out.insert(out.end(), p->grad.data().begin(), p->grad.data().end());
+
+  const Netlist design = tiny_design(120);
+  const auto n = static_cast<std::int64_t>(design.num_cells());
+  auto adj = std::make_shared<const nn::Csr>(
+      nn::normalized_adjacency(n, design.cell_graph_edges()));
+  Rng grng(7);
+  nn::GcnStack stack(4, 16, 3, grng);
+  nn::Tensor feat({n, 4});
+  for (std::int64_t i = 0; i < feat.numel(); ++i)
+    feat[i] = static_cast<float>(grng.uniform(-1.0, 1.0));
+  nn::Var fv = nn::make_leaf(feat, true);
+  nn::Var gloss = nn::mean_op(nn::square(stack.forward(adj, fv)));
+  nn::zero_grad(stack.parameters());
+  nn::backward(gloss, retain);
+  out.push_back(gloss->value[0]);
+  for (const nn::Var& p : stack.parameters())
+    out.insert(out.end(), p->grad.data().begin(), p->grad.data().end());
+
+  const Rect outline{0.0, 0.0, 60.0, 60.0};
+  const GCellGrid grid(outline, 12, 12);
+  Rng crng(31);
+  nn::Tensor tx({n}), ty({n}), tz({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    tx[i] = static_cast<float>(crng.uniform(0.0, 55.0));
+    ty[i] = static_cast<float>(crng.uniform(0.0, 55.0));
+    tz[i] = static_cast<float>(crng.uniform(0.1, 0.9));
+  }
+  nn::Var x = nn::make_leaf(tx, true), y = nn::make_leaf(ty, true),
+          z = nn::make_leaf(tz, true);
+  SoftMaps maps = soft_feature_maps(design, grid, x, y, z);
+  auto edges = std::make_shared<const std::vector<std::pair<std::int64_t, std::int64_t>>>(
+      design.cell_graph_edges());
+  nn::Var sloss = nn::add(nn::sum(maps.stacked), cutsize_loss(z, edges));
+  nn::backward(sloss, retain);
+  out.push_back(sloss->value[0]);
+  for (const nn::Var& v : {x, y, z})
+    out.insert(out.end(), v->grad.data().begin(), v->grad.data().end());
+  return out;
+}
+
+TEST(TapeReclamation, BitIdenticalToRetainPathAt1_2_8Threads) {
+  const std::vector<float> keep = run_pipeline(1, /*retain=*/true);
+  for (int threads : {1, 2, 8}) {
+    const std::vector<float> reclaim = run_pipeline(threads, /*retain=*/false);
+    ASSERT_EQ(keep.size(), reclaim.size());
+    for (std::size_t i = 0; i < keep.size(); ++i)
+      ASSERT_EQ(keep[i], reclaim[i])
+          << "value " << i << " differs at " << threads << " threads";
+  }
+}
+
+TEST(TapeReclamation, LowersPeakBytesVersusRetain) {
+  auto& arena = util::Arena::instance();
+  auto measure = [&](bool retain) {
+    arena.reset_peak();
+    run_pipeline(1, retain);
+    return arena.stats().peak_bytes;
+  };
+  measure(false);  // warm the pool so both passes see the same reuse state
+  const std::uint64_t peak_retain = measure(true);
+  const std::uint64_t peak_reclaim = measure(false);
+  EXPECT_LT(peak_reclaim, peak_retain);
+}
+
+}  // namespace
+}  // namespace dco3d
