@@ -43,6 +43,14 @@ else
 fi
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
+if [[ "$SAN" == *thread* ]]; then
+  # Batch smoke: two designs through the staged flow concurrently — the batch
+  # runner's job fan-out is the one place flows run side by side, so it gets
+  # its own TSan pass on top of the unit tests.
+  echo "== batch smoke under TSan (2 designs, DCO3D_THREADS=$DCO3D_THREADS)"
+  "$BUILD/tools/dco3d" batch dma vga --scale 0.02 --grid 16 --clock 250
+fi
+
 if [[ "$SAN" == *address* ]]; then
   echo "== leak pass (ASan+LSan, DCO3D_ARENA=0 pass-through)"
   export ASAN_OPTIONS="detect_leaks=1:halt_on_error=1"

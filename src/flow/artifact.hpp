@@ -1,0 +1,44 @@
+#pragma once
+// Artifact persistence for the stage-graph flow engine: the complete mutable
+// FlowContext state (working netlist, placement, skew, route result, and the
+// partially-filled FlowResult) serialized at a stage boundary so a later run
+// can resume from it with bit-identical results.
+//
+// Layout: one directory per stage boundary holding plain-text files in the
+// repo's existing interchange formats —
+//   state.txt        versioned header, grid, skew, metrics, cts/signoff detail
+//   netlist.design   working netlist (design_io format; includes CTS buffers)
+//   placement.place  current placement
+//   global.place     FlowResult::global_placement (present once dco ran)
+//   final.place      FlowResult::placement       (present once final-metrics ran)
+//   route.txt        RouteResult of the route stage (present once route ran)
+//   final_route.txt  FlowResult::final_route      (present once final-metrics ran)
+//
+// All floating-point values are written with max_digits10 so text
+// round-trips are bit-exact (the resume-equivalence test depends on it).
+// Saves are crash-safe: files stream into `<dir>.tmp` which is then renamed
+// over the target directory (the PR-1 tmp+rename pattern, lifted from file
+// to directory granularity).
+
+#include <cstdint>
+#include <string>
+
+#include "flow/stage.hpp"
+
+namespace dco3d {
+
+/// 64-bit FNV-1a over a byte string.
+std::uint64_t fnv1a64(const std::string& data,
+                      std::uint64_t seed = 1469598103934665603ull);
+
+/// Persist the context's full mutable state into `dir` (created, tmp+rename
+/// atomic). Throws StatusError kIoError on filesystem failure.
+void save_flow_artifact(const std::string& dir, const FlowContext& ctx);
+
+/// Restore state saved by save_flow_artifact into `ctx` (cfg/optimizer are
+/// left untouched — the caller re-supplies them, and the cache key already
+/// guarantees they match). Returns false when `dir` does not exist; throws
+/// StatusError kDataLoss on a corrupt artifact.
+bool load_flow_artifact(const std::string& dir, FlowContext& ctx);
+
+}  // namespace dco3d

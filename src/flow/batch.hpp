@@ -1,0 +1,65 @@
+#pragma once
+// Batch multi-design flow runner: push N designs through the stage-graph
+// pipeline concurrently on the shared util/parallel thread pool. Each job
+// runs on one pool lane; the flow's own parallel kernels nest inside that
+// lane and therefore serialize per design, so a batch saturates the machine
+// with design-level parallelism while every per-design result stays
+// bit-identical to a sequential single-design run (the pool's determinism
+// contract). Job failures are isolated: a throwing flow records its Status
+// in the entry and the other designs complete normally.
+
+#include <string>
+#include <vector>
+
+#include "flow/stage.hpp"
+#include "netlist/generators.hpp"
+#include "util/status.hpp"
+
+namespace dco3d {
+
+struct BatchJob {
+  std::string name;             // row label; also tags trace entries
+  Netlist design;
+  FlowConfig cfg;
+  PlacementOptimizer optimizer; // optional DCO hook
+  std::string optimizer_tag = "none";
+};
+
+struct BatchEntry {
+  std::string name;
+  Status status;                 // OK, or why the job failed
+  FlowResult result;             // valid when status.ok()
+  double wall_ms = 0.0;
+  std::size_t cells = 0, nets = 0;
+  std::vector<StageTraceEntry> trace;  // per-stage trace of this job
+};
+
+struct BatchOptions {
+  std::string stop_after;  // run the pipeline only up to this stage
+  bool collect_trace = false;
+};
+
+/// Run every job through the standard Pin-3D pipeline, jobs in parallel
+/// (pool lanes), stages within a job sequential. Entries come back in job
+/// order regardless of completion order.
+std::vector<BatchEntry> run_many(const std::vector<BatchJob>& jobs,
+                                 const BatchOptions& opts = {});
+
+/// Deterministic per-design seed for job `index` under a batch base seed:
+/// splitmix64 of (base, index), so adding/removing designs never shifts the
+/// seeds of the others.
+std::uint64_t batch_seed(std::uint64_t base_seed, std::size_t index);
+
+/// Build one job per design kind: generate the netlist at `scale`, derive
+/// the seed with batch_seed, and auto-calibrate the router config from a
+/// reference placement (the same glue the `flow` subcommand uses).
+std::vector<BatchJob> make_generator_jobs(const std::vector<DesignKind>& kinds,
+                                          double scale, const FlowConfig& base,
+                                          std::uint64_t base_seed,
+                                          double calibration_pctile = 0.70);
+
+/// Merged summary: one row per entry with the Table-III style columns of
+/// both measured stages, plus wall time and failure statuses.
+std::string batch_summary_table(const std::vector<BatchEntry>& entries);
+
+}  // namespace dco3d

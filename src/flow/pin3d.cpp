@@ -1,7 +1,6 @@
 #include "flow/pin3d.hpp"
 
-#include "place/legalize.hpp"
-#include "util/logging.hpp"
+#include "flow/stage.hpp"
 
 namespace dco3d {
 
@@ -30,71 +29,10 @@ StageMetrics measure_stage(const Netlist& netlist, const Placement3D& placement,
 
 FlowResult run_pin3d_flow(const Netlist& design, const FlowConfig& cfg,
                           const PlacementOptimizer& optimizer) {
-  // Work on a private copy: CTS adds cells/nets, signoff resizes cells.
-  Netlist netlist = design;
-
-  // --- Stage 1: 3D global placement (pseudo-3D, Table-I knobs). ---
-  Placement3D placement =
-      place_pseudo3d(netlist, cfg.place_params, cfg.seed, /*legalized=*/false);
-
-  // --- DCO hook: differentiable congestion optimization (if provided). ---
-  if (optimizer) optimizer(netlist, placement);
-
-  FlowResult res;
-  res.grid = GCellGrid(placement.outline, cfg.grid_nx, cfg.grid_ny);
-  res.global_placement = placement;
-
-  // "after 3D placement optimization" metrics: legalize a copy and evaluate
-  // (the flow itself continues from the global placement through CTS).
-  {
-    Placement3D legal = placement;
-    legalize_all(netlist, legal, cfg.place_params);
-    res.after_place = measure_stage(netlist, legal, res.grid, cfg.timing,
-                                    cfg.router);
-  }
-
-  // --- Stage 2: CTS (inserts buffers + clock nets). ---
-  res.cts = run_cts(netlist, placement, cfg.cts);
-  std::vector<double> skew = res.cts.skew_ps;
-  // Normalize skew to zero-mean so the ideal-clock period is preserved and
-  // only relative insertion-delay differences remain.
-  if (!skew.empty()) {
-    double mean = 0.0;
-    std::size_t n = 0;
-    for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
-      if (netlist.is_sequential(static_cast<CellId>(ci))) {
-        mean += skew[ci];
-        ++n;
-      }
-    }
-    if (n > 0) {
-      mean /= static_cast<double>(n);
-      for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci)
-        if (netlist.is_sequential(static_cast<CellId>(ci)) ||
-            netlist.is_macro(static_cast<CellId>(ci)))
-          skew[ci] -= mean;
-    }
-  }
-
-  // --- Stage 3: legalization (post-CTS placement). ---
-  legalize_all(netlist, placement, cfg.place_params);
-
-  // --- Stage 4: global route. ---
-  RouteResult route = global_route(netlist, placement, res.grid, cfg.router);
-
-  // --- Stage 5: signoff optimization (sizing, useful skew, detours). ---
-  SignoffConfig so = cfg.signoff;
-  so.enable_useful_skew = so.enable_useful_skew || cfg.place_params.enable_ccd;
-  so.enable_low_power_recovery =
-      so.enable_low_power_recovery || cfg.place_params.low_power_placement;
-  res.signoff_detail = run_signoff(netlist, placement, route, cfg.timing, skew, so);
-
-  // Final metrics: re-route (sizing changed loads/areas negligibly for the
-  // router, but detours and overflow stand) and re-time.
-  res.signoff = measure_stage(netlist, placement, res.grid, cfg.timing,
-                              cfg.router, &skew, &res.final_route);
-  res.placement = std::move(placement);
-  return res;
+  // The flow is a straight composition of the standard stage graph; see
+  // flow/stage.hpp for the stage list and docs/flow.md for the semantics.
+  FlowContext ctx = make_flow_context(design, cfg, optimizer);
+  return pin3d_pipeline().run(ctx);
 }
 
 }  // namespace dco3d

@@ -1,0 +1,322 @@
+#include "flow/stage.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "flow/artifact.hpp"
+#include "io/design_io.hpp"
+#include "place/legalize.hpp"
+#include "util/arena.hpp"
+#include "util/parallel.hpp"
+#include "util/status.hpp"
+
+namespace dco3d {
+
+namespace {
+
+/// Lazily build the GCell grid from the current placement outline. The dco
+/// stage does this in the full flow; standalone pipelines (route-only) hit
+/// it on their first grid consumer.
+void ensure_grid(FlowContext& c) {
+  if (c.grid_valid) return;
+  c.res.grid = GCellGrid(c.placement.outline, c.cfg.grid_nx, c.cfg.grid_ny);
+  c.grid_valid = true;
+}
+
+/// Zero-mean skew normalization over sequential cells (macros track the
+/// shift too) — preserves the ideal-clock period so only relative insertion
+/// delays remain. Exact transcription of the pre-refactor monolith.
+void normalize_skew(const Netlist& netlist, std::vector<double>& skew) {
+  if (skew.empty()) return;
+  double mean = 0.0;
+  std::size_t n = 0;
+  for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    if (netlist.is_sequential(static_cast<CellId>(ci))) {
+      mean += skew[ci];
+      ++n;
+    }
+  }
+  if (n > 0) {
+    mean /= static_cast<double>(n);
+    for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci)
+      if (netlist.is_sequential(static_cast<CellId>(ci)) ||
+          netlist.is_macro(static_cast<CellId>(ci)))
+        skew[ci] -= mean;
+  }
+}
+
+void publish_metrics(FlowContext& c, const StageMetrics& m) {
+  c.publish("overflow", m.overflow);
+  c.publish("ovf_gcell_pct", m.ovf_gcell_pct);
+  c.publish("wns_ps", m.wns_ps);
+  c.publish("tns_ps", m.tns_ps);
+  c.publish("power_mw", m.power_mw);
+  c.publish("wirelength_um", m.wirelength_um);
+}
+
+std::vector<Stage> make_pin3d_stages() {
+  std::vector<Stage> s;
+
+  s.emplace_back("place3d", [](FlowContext& c) {
+    // Un-legalized global placement: the DCO hook operates pre-legalization.
+    c.placement =
+        place_pseudo3d(c.netlist, c.cfg.place_params, c.cfg.seed, false);
+    c.publish("cells", static_cast<double>(c.netlist.num_cells()));
+    c.publish("nets", static_cast<double>(c.netlist.num_nets()));
+  });
+
+  s.emplace_back("dco", [](FlowContext& c) {
+    if (c.optimizer) c.optimizer(c.netlist, c.placement);
+    ensure_grid(c);
+    c.res.global_placement = c.placement;
+    c.publish("hook_present", c.optimizer ? 1.0 : 0.0);
+  });
+
+  s.emplace_back("after-place-metrics", [](FlowContext& c) {
+    // "after 3D placement optimization" view: legalize a copy and evaluate;
+    // the flow itself continues from the global placement through CTS.
+    ensure_grid(c);
+    Placement3D legal = c.placement;
+    legalize_all(c.netlist, legal, c.cfg.place_params);
+    c.res.after_place = measure_stage(c.netlist, legal, c.res.grid,
+                                      c.cfg.timing, c.cfg.router);
+    publish_metrics(c, c.res.after_place);
+  });
+
+  s.emplace_back("cts", [](FlowContext& c) {
+    c.res.cts = run_cts(c.netlist, c.placement, c.cfg.cts);
+    c.skew = c.res.cts.skew_ps;
+    normalize_skew(c.netlist, c.skew);
+    c.publish("buffers_inserted",
+              static_cast<double>(c.res.cts.buffers_inserted));
+    c.publish("levels", static_cast<double>(c.res.cts.levels));
+    c.publish("max_skew_ps", c.res.cts.max_skew_ps);
+  });
+
+  s.emplace_back("legalize", [](FlowContext& c) {
+    legalize_all(c.netlist, c.placement, c.cfg.place_params);
+  });
+
+  s.emplace_back("route", [](FlowContext& c) {
+    ensure_grid(c);
+    c.route = global_route(c.netlist, c.placement, c.res.grid, c.cfg.router);
+    c.route_valid = true;
+    c.publish("overflow", c.route.total_overflow);
+    c.publish("ovf_gcell_pct", c.route.ovf_gcell_pct);
+    c.publish("wirelength_um", c.route.wirelength);
+    c.publish("num_3d_vias", static_cast<double>(c.route.num_3d_vias));
+  });
+
+  s.emplace_back("signoff", [](FlowContext& c) {
+    if (!c.route_valid)
+      throw StatusError(Status::invalid_argument(
+          "signoff stage requires the route stage's result"));
+    SignoffConfig so = c.cfg.signoff;
+    so.enable_useful_skew =
+        so.enable_useful_skew || c.cfg.place_params.enable_ccd;
+    so.enable_low_power_recovery = so.enable_low_power_recovery ||
+                                   c.cfg.place_params.low_power_placement;
+    c.res.signoff_detail = run_signoff(c.netlist, c.placement, c.route,
+                                       c.cfg.timing, c.skew, so);
+    c.publish("upsized", static_cast<double>(c.res.signoff_detail.upsized));
+    c.publish("downsized",
+              static_cast<double>(c.res.signoff_detail.downsized));
+    c.publish("skewed", static_cast<double>(c.res.signoff_detail.skewed));
+    c.publish("wns_ps", c.res.signoff_detail.timing.wns_ps);
+    c.publish("tns_ps", c.res.signoff_detail.timing.tns_ps);
+  });
+
+  s.emplace_back("final-metrics", [](FlowContext& c) {
+    // Final view: re-route (sizing changed loads negligibly for the router,
+    // but detours and overflow stand) and re-time with the final skew.
+    ensure_grid(c);
+    c.res.signoff = measure_stage(c.netlist, c.placement, c.res.grid,
+                                  c.cfg.timing, c.cfg.router, &c.skew,
+                                  &c.res.final_route);
+    c.res.placement = c.placement;
+    publish_metrics(c, c.res.signoff);
+  });
+
+  return s;
+}
+
+}  // namespace
+
+int Pipeline::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < stages_.size(); ++i)
+    if (stages_[i].name() == name) return static_cast<int>(i);
+  return -1;
+}
+
+std::string Pipeline::stage_names() const {
+  std::string out;
+  for (const Stage& s : stages_) {
+    if (!out.empty()) out += ", ";
+    out += s.name();
+  }
+  return out;
+}
+
+FlowResult Pipeline::run(FlowContext& ctx, const PipelineOptions& opts) const {
+  if (stages_.empty())
+    throw StatusError(Status::invalid_argument("pipeline has no stages"));
+  if (!opts.resume_from.empty() && !opts.start_at.empty())
+    throw StatusError(Status::invalid_argument(
+        "resume_from and start_at are mutually exclusive"));
+
+  const auto require_stage = [&](const std::string& name) {
+    const int i = index_of(name);
+    if (i < 0)
+      throw StatusError(Status::invalid_argument(
+          "unknown stage '" + name + "' (stages: " + stage_names() + ")"));
+    return i;
+  };
+
+  int start = 0;
+  int stop = static_cast<int>(stages_.size()) - 1;
+  if (!opts.stop_after.empty()) stop = require_stage(opts.stop_after);
+  if (!opts.start_at.empty()) start = require_stage(opts.start_at);
+
+  const std::string key =
+      opts.cache_dir.empty() ? std::string() : flow_cache_key(ctx);
+  if (!opts.resume_from.empty()) {
+    start = require_stage(opts.resume_from);
+    if (start > 0) {
+      if (opts.cache_dir.empty())
+        throw StatusError(Status::invalid_argument(
+            "resume_from requires an artifact cache directory"));
+      const std::string prev = stages_[static_cast<std::size_t>(start - 1)].name();
+      const std::string dir = opts.cache_dir + "/" + key + "/" + prev;
+      if (!load_flow_artifact(dir, ctx))
+        throw StatusError(Status::not_found(
+            "no cached artifact for stage '" + prev + "' at " + dir +
+            " (run the flow with the same cache directory first)"));
+    }
+  }
+  if (start > stop)
+    throw StatusError(Status::invalid_argument(
+        "start stage '" + stages_[static_cast<std::size_t>(start)].name() +
+        "' comes after stop stage '" +
+        stages_[static_cast<std::size_t>(stop)].name() + "'"));
+
+  // Trace entries for stages satisfied from the cache (resume skipped them).
+  if (opts.trace) {
+    for (int i = 0; i < start; ++i) {
+      StageTraceEntry e;
+      e.design = ctx.design_name;
+      e.stage = stages_[static_cast<std::size_t>(i)].name();
+      e.index = i;
+      e.cached = true;
+      e.threads = util::num_threads();
+      opts.trace->push_back(std::move(e));
+    }
+  }
+
+  for (int i = start; i <= stop; ++i) {
+    const Stage& stage = stages_[static_cast<std::size_t>(i)];
+    ctx.stage_metrics.clear();
+    const util::ArenaStats arena0 = util::Arena::instance().stats();
+    const util::PoolStats pool0 = util::pool_stats();
+    const auto t0 = std::chrono::steady_clock::now();
+
+    stage.run(ctx);
+
+    if (opts.trace) {
+      const auto t1 = std::chrono::steady_clock::now();
+      const util::ArenaStats arena1 = util::Arena::instance().stats();
+      const util::PoolStats pool1 = util::pool_stats();
+      StageTraceEntry e;
+      e.design = ctx.design_name;
+      e.stage = stage.name();
+      e.index = i;
+      e.cached = false;
+      e.wall_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      e.threads = util::num_threads();
+      e.arena.requests = arena1.requests - arena0.requests;
+      e.arena.pool_hits = arena1.pool_hits - arena0.pool_hits;
+      e.arena.heap_allocs = arena1.heap_allocs - arena0.heap_allocs;
+      e.arena.live_bytes = arena1.live_bytes;
+      e.arena.peak_bytes = arena1.peak_bytes;
+      e.arena.pooled_bytes = arena1.pooled_bytes;
+      e.pool.dispatches = pool1.dispatches - pool0.dispatches;
+      e.pool.inline_runs = pool1.inline_runs - pool0.inline_runs;
+      e.pool.chunks = pool1.chunks - pool0.chunks;
+      e.metrics = ctx.stage_metrics;
+      opts.trace->push_back(std::move(e));
+    }
+
+    if (!opts.cache_dir.empty())
+      save_flow_artifact(opts.cache_dir + "/" + key + "/" + stage.name(), ctx);
+  }
+  return ctx.res;
+}
+
+const Pipeline& pin3d_pipeline() {
+  static const Pipeline pipeline(make_pin3d_stages());
+  return pipeline;
+}
+
+const Stage& pin3d_stage(const std::string& name) {
+  const Pipeline& p = pin3d_pipeline();
+  const int i = p.index_of(name);
+  if (i < 0)
+    throw StatusError(Status::invalid_argument(
+        "unknown stage '" + name + "' (stages: " + p.stage_names() + ")"));
+  return p.stages()[static_cast<std::size_t>(i)];
+}
+
+FlowContext make_flow_context(const Netlist& design, const FlowConfig& cfg,
+                              PlacementOptimizer optimizer) {
+  FlowContext ctx;
+  ctx.cfg = cfg;
+  ctx.optimizer = std::move(optimizer);
+  ctx.netlist = design;  // private working copy; cts/signoff mutate it
+  return ctx;
+}
+
+std::string flow_cache_key(const FlowContext& ctx) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  write_design(os, ctx.netlist);
+
+  const FlowConfig& c = ctx.cfg;
+  os << "|params";
+  for (double v : c.place_params.encode()) os << ' ' << v;
+  const TimingConfig& t = c.timing;
+  os << "|timing " << t.clock_period_ps << ' ' << t.wire_cap_per_um << ' '
+     << t.wire_res_per_um << ' ' << t.via_delay_ps << ' ' << t.via_cap_ff
+     << ' ' << t.setup_ps << ' ' << t.clk_to_q_ps << ' ' << t.base_slew_ps
+     << ' ' << t.slew_impact << ' ' << t.activity << ' ' << t.vdd;
+  const RouterConfig& r = c.router;
+  os << "|router " << r.h_capacity << ' ' << r.v_capacity << ' '
+     << r.macro_capacity_factor << ' ' << r.rrr_rounds << ' '
+     << r.history_increment << ' ' << r.present_penalty << ' '
+     << r.maze_margin;
+  const CtsConfig& ct = c.cts;
+  os << "|cts " << ct.max_sinks_per_leaf << ' ' << ct.buffer_delay_ps << ' '
+     << ct.wire_delay_per_um << ' ' << ct.buffer_drive;
+  const SignoffConfig& so = c.signoff;
+  os << "|signoff " << so.max_iterations << ' ' << so.upsize_slack_threshold_ps
+     << ' ' << so.downsize_slack_margin_ps << ' '
+     << so.enable_low_power_recovery << ' ' << so.enable_useful_skew << ' '
+     << so.useful_skew_budget_ps << ' ' << so.detour_overflow_penalty;
+  os << "|grid " << c.grid_nx << ' ' << c.grid_ny << "|seed " << c.seed;
+  os << "|opt " << ctx.optimizer_tag;
+
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(os.str())));
+  return buf;
+}
+
+RouterConfig calibrated_router(const Netlist& design, const Placement3D& ref,
+                               int grid_n, double pctile) {
+  const GCellGrid grid(ref.outline, grid_n, grid_n);
+  return calibrate_capacity(design, ref, grid, {}, pctile);
+}
+
+}  // namespace dco3d

@@ -1,0 +1,138 @@
+#pragma once
+// Stage-graph flow engine. The Pin-3D flow (Fig. 1) is expressed as named
+// stages over a shared FlowContext instead of one monolithic function, which
+// buys three things:
+//
+//   * composition — the CLI subcommands (place/route/optimize/flow) and the
+//     batch runner assemble pipelines from the same stage objects instead of
+//     re-implementing design loading and flow glue;
+//   * observability — the Pipeline wraps every stage with a StageTrace entry
+//     (wall time, arena/thread-pool counter deltas, stage metrics);
+//   * resumability — with a cache directory, the Pipeline persists the full
+//     flow state after each stage (content-addressed by design + config) and
+//     can resume from any stage boundary with bit-identical results.
+//
+// Ownership rules (who mutates what) are documented in docs/flow.md. In
+// short: FlowContext owns a private working copy of the netlist; the cts and
+// signoff stages mutate it (buffer insertion, cell sizing); placement is
+// refined in place by dco/legalize; the original design is never touched.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "flow/pin3d.hpp"
+#include "flow/trace.hpp"
+
+namespace dco3d {
+
+/// Shared state threaded through a pipeline. Create with make_flow_context,
+/// or fill the fields directly for standalone stage runs (the CLI loads
+/// placements from files into `placement` before running a route-only
+/// pipeline, for example).
+struct FlowContext {
+  FlowConfig cfg;
+  PlacementOptimizer optimizer;  // DCO hook; empty = pass-through dco stage
+  std::string design_name;       // labels trace entries and batch rows
+  // Cache-key component describing the optimizer hook (a std::function can't
+  // be hashed). Callers that cache must set it to something that identifies
+  // the hook's behaviour, e.g. the checkpoint path; "none" = no hook.
+  std::string optimizer_tag = "none";
+
+  // Working state.
+  Netlist netlist;            // private copy; cts/signoff mutate it
+  Placement3D placement;      // current placement (refined stage by stage)
+  std::vector<double> skew;   // per-cell clock skew (cts), normalized
+  RouteResult route;          // product of the route stage, input to signoff
+  bool route_valid = false;
+  bool grid_valid = false;    // res.grid initialized
+
+  // Results accumulated across stages (returned by Pipeline::run).
+  FlowResult res;
+
+  // Scratch: metrics the current stage publishes into its trace entry.
+  std::vector<std::pair<std::string, double>> stage_metrics;
+  void publish(const std::string& key, double value) {
+    stage_metrics.emplace_back(key, value);
+  }
+};
+
+/// A named flow step. Bodies must be deterministic functions of the context
+/// (the determinism/bit-identity contract of the whole engine rests on it).
+class Stage {
+ public:
+  Stage(std::string name, std::function<void(FlowContext&)> body)
+      : name_(std::move(name)), body_(std::move(body)) {}
+
+  const std::string& name() const { return name_; }
+  void run(FlowContext& ctx) const { body_(ctx); }
+
+ private:
+  std::string name_;
+  std::function<void(FlowContext&)> body_;
+};
+
+struct PipelineOptions {
+  // Start at this stage, restoring the preceding stage's cached artifact
+  // (requires cache_dir; kNotFound if the artifact is missing). Empty = run
+  // from the first stage.
+  std::string resume_from;
+  // Start at this stage trusting the caller-prepared FlowContext (no cache
+  // load). Used by CLI wrappers that load placements from files. Mutually
+  // exclusive with resume_from.
+  std::string start_at;
+  // Stop after this stage (inclusive). Empty = run to the end.
+  std::string stop_after;
+  // Artifact cache root; empty disables persistence. Layout:
+  //   <cache_dir>/<content-key>/<stage-name>/{state.txt,netlist.design,...}
+  std::string cache_dir;
+  // Collect per-stage trace entries (appended; caller owns the vector).
+  std::vector<StageTraceEntry>* trace = nullptr;
+};
+
+/// An ordered stage list with resume/stop/cache/trace execution semantics.
+class Pipeline {
+ public:
+  explicit Pipeline(std::vector<Stage> stages) : stages_(std::move(stages)) {}
+
+  const std::vector<Stage>& stages() const { return stages_; }
+  /// Index of a stage by name; -1 when absent.
+  int index_of(const std::string& name) const;
+  /// Comma-separated stage names (for error messages and docs).
+  std::string stage_names() const;
+
+  /// Run stages [start..stop] on the context, returning the accumulated
+  /// FlowResult. Throws StatusError kInvalidArgument for unknown stage names
+  /// and kNotFound for a missing resume artifact.
+  FlowResult run(FlowContext& ctx, const PipelineOptions& opts = {}) const;
+
+ private:
+  std::vector<Stage> stages_;
+};
+
+/// The standard Pin-3D pipeline: place3d, dco, after-place-metrics, cts,
+/// legalize, route, signoff, final-metrics. run_pin3d_flow composes this.
+const Pipeline& pin3d_pipeline();
+
+/// One stage of the standard pipeline by name (kInvalidArgument if unknown).
+/// CLI wrappers compose custom pipelines from these, e.g. {place3d, legalize}
+/// for the `place` subcommand.
+const Stage& pin3d_stage(const std::string& name);
+
+/// Initialize a context: copies the design into the working netlist and
+/// stores config + hook. Placement/grid/skew start empty.
+FlowContext make_flow_context(const Netlist& design, const FlowConfig& cfg,
+                              PlacementOptimizer optimizer = nullptr);
+
+/// Content-addressed cache key: 64-bit FNV-1a over the serialized design,
+/// every FlowConfig field, and the optimizer tag; formatted as 16 hex chars.
+std::string flow_cache_key(const FlowContext& ctx);
+
+/// Shared router-calibration glue (used by the CLI subcommands and batch
+/// jobs): grid over the reference placement's outline, capacities at the
+/// usage percentile. One calibration must be reused across flow variants of
+/// the same design so comparisons share a capacity model.
+RouterConfig calibrated_router(const Netlist& design, const Placement3D& ref,
+                               int grid_n, double pctile);
+
+}  // namespace dco3d

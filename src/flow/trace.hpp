@@ -1,0 +1,50 @@
+#pragma once
+// Per-stage observability for the stage-graph flow engine: each Pipeline
+// stage emits one StageTraceEntry capturing wall time, the arena-allocator
+// and thread-pool counter deltas over the stage, and whatever scalar metrics
+// the stage published. Entries serialize to JSON-lines (one object per line,
+// schema "dco3d-stage-trace-v1", documented in docs/flow.md) so traces can
+// be tailed, grepped, and merged across concurrent batch runs.
+//
+// tools/check_trace_schema validates an emitted file against the schema; the
+// trace_schema ctest runs it on a real flow trace.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/arena.hpp"
+#include "util/parallel.hpp"
+
+namespace dco3d {
+
+inline constexpr const char* kStageTraceSchema = "dco3d-stage-trace-v1";
+
+struct StageTraceEntry {
+  std::string design;  // batch job name; empty for single-design runs
+  std::string stage;
+  int index = 0;       // position in the pipeline
+  bool cached = false; // satisfied from the artifact cache (resume), not run
+  double wall_ms = 0.0;
+  int threads = 1;
+
+  // Arena counters: requests/pool_hits/heap_allocs are deltas over the
+  // stage; live/peak/pooled bytes are the values at stage end.
+  util::ArenaStats arena;
+  // Thread-pool counters, as deltas over the stage.
+  util::PoolStats pool;
+
+  // Stage-published scalars (metrics stages: overflow/wns/...; cts: buffer
+  // counts; ...). Kept ordered so emitted JSON is deterministic.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// One JSON object, no trailing newline.
+  std::string to_json() const;
+};
+
+/// Append entries to a JSON-lines file (created if absent). Throws
+/// StatusError (kIoError) on stream failure.
+void append_trace_file(const std::string& path,
+                       const std::vector<StageTraceEntry>& entries);
+
+}  // namespace dco3d

@@ -43,6 +43,9 @@ struct Net {
 /// NetlistBuilder (generators.hpp) or direct mutation for tests.
 class Netlist {
  public:
+  /// Empty netlist with an empty library — the "not yet loaded" state of a
+  /// FlowContext working copy; populate via assignment or add_cell/add_net.
+  Netlist() = default;
   explicit Netlist(Library lib) : lib_(std::move(lib)) {}
 
   const Library& library() const { return lib_; }

@@ -130,13 +130,27 @@ void set_num_threads(int n) {
 
 bool in_parallel_region() { return tl_in_region; }
 
+namespace {
+std::atomic<std::uint64_t> g_dispatches{0}, g_inline_runs{0}, g_chunks{0};
+}  // namespace
+
+PoolStats pool_stats() {
+  PoolStats s;
+  s.dispatches = g_dispatches.load(std::memory_order_relaxed);
+  s.inline_runs = g_inline_runs.load(std::memory_order_relaxed);
+  s.chunks = g_chunks.load(std::memory_order_relaxed);
+  return s;
+}
+
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const std::function<void(std::int64_t, std::int64_t)>& body) {
   if (end <= begin) return;
   if (grain < 1) grain = 1;
   const std::int64_t nchunks = (end - begin + grain - 1) / grain;
   const int nt = num_threads();
+  g_chunks.fetch_add(static_cast<std::uint64_t>(nchunks), std::memory_order_relaxed);
   if (nchunks == 1 || nt == 1 || tl_in_region) {
+    g_inline_runs.fetch_add(1, std::memory_order_relaxed);
     // Same fixed chunk boundaries as the pooled path, executed inline.
     for (std::int64_t c = 0; c < nchunks; ++c) {
       const std::int64_t b = begin + c * grain;
@@ -144,6 +158,7 @@ void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
     }
     return;
   }
+  g_dispatches.fetch_add(1, std::memory_order_relaxed);
   const std::function<void(std::int64_t)> chunk = [&](std::int64_t c) {
     const std::int64_t b = begin + c * grain;
     body(b, std::min(end, b + grain));

@@ -38,6 +38,18 @@ void set_num_threads(int n);
 /// True while executing inside a parallel_for chunk (nested calls serialize).
 bool in_parallel_region();
 
+/// Cumulative dispatch counters for the process-wide pool. Monotonic since
+/// process start; observers (StageTrace) snapshot before/after a region and
+/// report the delta. Counters are updated with relaxed atomics — cheap enough
+/// to leave on unconditionally, and exact because parallel_for bumps them on
+/// the calling thread before fanning out.
+struct PoolStats {
+  std::uint64_t dispatches = 0;   ///< non-empty parallel_for calls that used the pool
+  std::uint64_t inline_runs = 0;  ///< non-empty calls executed inline (1 chunk, 1 thread, or nested)
+  std::uint64_t chunks = 0;       ///< chunk bodies issued across both paths
+};
+PoolStats pool_stats();
+
 /// Grain that yields at most `max_chunks` chunks for a range of n items.
 /// Use for reductions whose per-chunk scratch buffers are large.
 inline std::int64_t grain_for_chunks(std::int64_t n, std::int64_t max_chunks) {

@@ -1,0 +1,302 @@
+// check_trace_schema — validate a StageTrace JSON-lines file against the
+// dco3d-stage-trace-v1 schema (docs/flow.md).
+//
+//   check_trace_schema <trace.jsonl>
+//
+// Exit 0 when every line conforms; exit 1 with the offending line number and
+// reason otherwise. The parser is a small self-contained JSON reader — the
+// repo has no JSON dependency, and the trace emitter is hand-rolled too, so
+// this doubles as an independent check that the emitted JSON actually parses.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser (objects, arrays, strings,
+// numbers, true/false/null). Throws std::runtime_error on malformed input.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_object() const { return kind == Kind::kObject; }
+  const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error(what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.str = string();
+        return v;
+      }
+      case 't': case 'f': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        if (literal("true")) v.boolean = true;
+        else if (literal("false")) v.boolean = false;
+        else fail("bad literal");
+        return v;
+      }
+      case 'n':
+        if (!literal("null")) fail("bad literal");
+        return JsonValue{};
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { ++pos_; return v; }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object[key] = value();
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { ++pos_; return v; }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') { out += c; continue; }
+      if (pos_ >= s_.size()) fail("dangling escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Traces only escape control chars; keep the low byte.
+          out += static_cast<char>(code & 0xff);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, pos_ - start);
+    v.number = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) fail("malformed number");
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Schema checks for dco3d-stage-trace-v1.
+
+std::string check_entry(const JsonValue& v) {
+  if (!v.is_object()) return "top-level value is not an object";
+
+  const JsonValue* schema = v.find("schema");
+  if (!schema || !schema->is_string() || schema->str != "dco3d-stage-trace-v1")
+    return "missing or wrong 'schema' (want \"dco3d-stage-trace-v1\")";
+
+  const JsonValue* stage = v.find("stage");
+  if (!stage || !stage->is_string() || stage->str.empty())
+    return "'stage' must be a non-empty string";
+  if (const JsonValue* design = v.find("design"); design && !design->is_string())
+    return "'design' must be a string when present";
+
+  const JsonValue* index = v.find("index");
+  if (!index || !index->is_number() || index->number < 0)
+    return "'index' must be a number >= 0";
+  const JsonValue* cached = v.find("cached");
+  if (!cached || !cached->is_bool()) return "'cached' must be a boolean";
+  const JsonValue* wall = v.find("wall_ms");
+  if (!wall || !wall->is_number() || wall->number < 0)
+    return "'wall_ms' must be a number >= 0";
+  const JsonValue* threads = v.find("threads");
+  if (!threads || !threads->is_number() || threads->number < 1)
+    return "'threads' must be a number >= 1";
+
+  const auto check_counters = [&](const char* block,
+                                  const std::vector<const char*>& keys)
+      -> std::string {
+    const JsonValue* b = v.find(block);
+    if (!b || !b->is_object())
+      return std::string("'") + block + "' must be an object";
+    for (const char* k : keys) {
+      const JsonValue* f = b->find(k);
+      if (!f || !f->is_number() || f->number < 0)
+        return std::string("'") + block + "." + k + "' must be a number >= 0";
+    }
+    return "";
+  };
+  if (std::string e = check_counters(
+          "arena", {"requests", "pool_hits", "heap_allocs", "live_bytes",
+                    "peak_bytes", "pooled_bytes"});
+      !e.empty())
+    return e;
+  if (std::string e =
+          check_counters("pool", {"dispatches", "inline_runs", "chunks"});
+      !e.empty())
+    return e;
+
+  const JsonValue* metrics = v.find("metrics");
+  if (!metrics || !metrics->is_object())
+    return "'metrics' must be an object";
+  for (const auto& [k, mv] : metrics->object)
+    if (!mv.is_number()) return "'metrics." + k + "' must be a number";
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: check_trace_schema <trace.jsonl>\n");
+    return 2;
+  }
+  std::ifstream is(argv[1]);
+  if (!is) {
+    std::fprintf(stderr, "check_trace_schema: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::string line;
+  std::size_t lineno = 0, entries = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::string err;
+    try {
+      const JsonValue v = JsonParser(line).parse();
+      err = check_entry(v);
+    } catch (const std::exception& e) {
+      err = e.what();
+    }
+    if (!err.empty()) {
+      std::fprintf(stderr, "%s:%zu: %s\n", argv[1], lineno, err.c_str());
+      return 1;
+    }
+    ++entries;
+  }
+  if (entries == 0) {
+    std::fprintf(stderr, "%s: no trace entries\n", argv[1]);
+    return 1;
+  }
+  std::printf("%s: %zu entries conform to dco3d-stage-trace-v1\n", argv[1],
+              entries);
+  return 0;
+}

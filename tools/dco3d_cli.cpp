@@ -10,6 +10,15 @@
 //   refine <design-file> <placement-file> [-o file] [--passes N]
 //   optimize <design-file> <placement-file> <ckpt> [-o file] [--grid N]
 //   flow <design-file> [--dco ckpt] [--clock PS] [--grid N]
+//        [--trace file] [--cache-dir dir] [--resume-from stage] [--stop-after stage]
+//   batch [kinds...] [--scale S] [--clock PS] [--grid N] [--seed N]
+//        [--trace file] [--stop-after stage]
+//
+// The single-design subcommands are thin wrappers over the stage-graph flow
+// engine (src/flow/stage.hpp): each builds a FlowContext and runs a pipeline
+// composed from the shared named stages, so design loading, router
+// calibration, and guard wiring exist exactly once. `batch` pushes several
+// designs through the same pipeline concurrently (docs/flow.md).
 //
 // Long-running commands (train/optimize/flow) accept run guardrails:
 //   --deadline S   wall-clock budget in seconds; on expiry the best result
@@ -22,18 +31,26 @@
 //                  DCO3D_THREADS env var, else hardware concurrency). Results
 //                  are bit-identical for every N; 1 runs fully serial.
 //
+// Option parsing: `--opt value` and boolean flags; a value may start with
+// '-' when it parses as a number (`--deadline -1`); `--` ends option
+// processing so files whose names start with '-' can follow.
+//
 // Files use the formats in src/io/. Every command is deterministic for a
 // given --seed.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/dco.hpp"
 #include "core/trainer.hpp"
+#include "flow/batch.hpp"
 #include "flow/pin3d.hpp"
+#include "flow/stage.hpp"
 #include "io/design_io.hpp"
 #include "io/model_io.hpp"
 #include "netlist/generators.hpp"
@@ -65,13 +82,41 @@ struct Args {
   }
 };
 
+/// Options that never take a value; everything else is `--opt value` when a
+/// value follows. Listing them here keeps `--strict file.design` from eating
+/// the positional.
+const std::set<std::string>& bool_flags() {
+  static const std::set<std::string> kFlags = {
+      "--strict", "--hold", "--congestion-focused"};
+  return kFlags;
+}
+
+/// The whole string parses as a (possibly signed / fractional / exponent)
+/// number — such strings are option values even though they start with '-'.
+bool is_number(const char* s) {
+  if (!s || !*s) return false;
+  char* end = nullptr;
+  std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
 Args parse_args(int argc, char** argv, int first) {
   Args a;
+  bool options_done = false;
   for (int i = first; i < argc; ++i) {
-    std::string s = argv[i];
-    if (s.rfind("--", 0) == 0 || s == "-o") {
-      const std::string key = s == "-o" ? "-o" : s;
-      if (i + 1 < argc && argv[i + 1][0] != '-') {
+    const std::string s = argv[i];
+    if (!options_done && s == "--") {  // end-of-options terminator
+      options_done = true;
+      continue;
+    }
+    if (!options_done && (s.rfind("--", 0) == 0 || s == "-o")) {
+      const std::string key = s;
+      if (bool_flags().count(key)) {
+        a.options[key] = "1";
+        continue;
+      }
+      if (i + 1 < argc &&
+          (argv[i + 1][0] != '-' || is_number(argv[i + 1]))) {
         a.options[key] = argv[++i];
       } else {
         a.options[key] = "1";
@@ -85,7 +130,7 @@ Args parse_args(int argc, char** argv, int first) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dco3d <generate|check|place|route|sta|train|refine|optimize|flow> "
+               "usage: dco3d <generate|check|place|route|sta|train|refine|optimize|flow|batch> "
                "...\n  (see the header of tools/dco3d_cli.cpp)\n");
   return status_exit_code(StatusCode::kInvalidArgument);
 }
@@ -109,16 +154,52 @@ DesignKind parse_kind(const std::string& k) {
   if (k == "dma") return DesignKind::kDma;
   if (k == "aes") return DesignKind::kAes;
   if (k == "ecg") return DesignKind::kEcg;
+  if (k == "ldpc") return DesignKind::kLdpc;
   if (k == "vga") return DesignKind::kVga;
   if (k == "rocket") return DesignKind::kRocket;
-  return DesignKind::kLdpc;
+  throw StatusError(Status::invalid_argument(
+      "unknown design kind '" + k +
+      "' (valid kinds: dma, aes, ecg, ldpc, vga, rocket)"));
 }
 
-RouterConfig calibrated(const Netlist& design, const Placement3D& pl, int grid_n,
-                        double pctile) {
-  const GCellGrid grid(pl.outline, grid_n, grid_n);
-  return calibrate_capacity(design, pl, grid, {}, pctile);
+// ---------------------------------------------------------------------------
+// Shared load / pipeline glue. Every subcommand that operates on files goes
+// through these, so the read/calibrate plumbing exists exactly once.
+
+Netlist load_design(const Args& a, std::size_t index = 0) {
+  return read_design_file(a.positional[index]);
 }
+
+Placement3D load_placement(const Args& a, const Netlist& design,
+                           std::size_t index = 1) {
+  return read_placement_file(a.positional[index], design.num_cells());
+}
+
+/// Run a pipeline assembled from named standard stages on a prepared context.
+void run_stages(FlowContext& ctx, const std::vector<std::string>& names,
+                const PipelineOptions& opts = {}) {
+  std::vector<Stage> stages;
+  stages.reserve(names.size());
+  for (const std::string& n : names) stages.push_back(pin3d_stage(n));
+  Pipeline(std::move(stages)).run(ctx, opts);
+}
+
+/// DCO hook for the dco stage: runs Algorithm 2 on the global placement.
+/// `out` (optional) receives the full DcoResult for reporting. The predictor
+/// is captured by reference — keep it alive for the hook's lifetime.
+PlacementOptimizer make_dco_optimizer(const Predictor& pred,
+                                      const DcoConfig& dcfg,
+                                      const TimingConfig& tcfg,
+                                      DcoResult* out = nullptr) {
+  return [&pred, dcfg, tcfg, out](const Netlist& nl, Placement3D& pl) {
+    DcoResult r = run_dco(nl, pl, pred, tcfg, dcfg);
+    pl = r.placement;
+    if (out) *out = std::move(r);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands.
 
 int cmd_generate(const Args& a) {
   if (a.positional.empty()) return usage();
@@ -133,7 +214,7 @@ int cmd_generate(const Args& a) {
 
 int cmd_check(const Args& a) {
   if (a.positional.empty()) return usage();
-  const Netlist design = read_design_file(a.positional[0]);
+  const Netlist design = load_design(a);
   const LintReport rep = lint_netlist(design);
   std::printf("%s", format_report(rep).c_str());
   return rep.ok() ? 0 : 1;
@@ -141,38 +222,43 @@ int cmd_check(const Args& a) {
 
 int cmd_place(const Args& a) {
   if (a.positional.empty()) return usage();
-  const Netlist design = read_design_file(a.positional[0]);
-  PlacementParams params;
-  if (a.flag("--congestion-focused")) params = PlacementParams::congestion_focused();
-  const auto seed = static_cast<std::uint64_t>(a.num("--seed", 42));
-  const Placement3D pl = place_pseudo3d(design, params, seed);
+  FlowConfig cfg;
+  if (a.flag("--congestion-focused"))
+    cfg.place_params = PlacementParams::congestion_focused();
+  cfg.seed = static_cast<std::uint64_t>(a.num("--seed", 42));
+  FlowContext ctx = make_flow_context(load_design(a), cfg);
+  // Global placement + row legalization == place_pseudo3d(legalized=true).
+  run_stages(ctx, {"place3d", "legalize"});
   const std::string out = a.get("-o", a.positional[0] + ".place");
-  write_placement_file(out, pl);
+  write_placement_file(out, ctx.placement);
   std::printf("wrote %s: HPWL %.1f um, cut %zu nets, outline %.2f x %.2f um\n",
-              out.c_str(), total_hpwl(design, pl), count_cut_nets(design, pl),
-              pl.outline.width(), pl.outline.height());
+              out.c_str(), total_hpwl(ctx.netlist, ctx.placement),
+              count_cut_nets(ctx.netlist, ctx.placement),
+              ctx.placement.outline.width(), ctx.placement.outline.height());
   return 0;
 }
 
 int cmd_route(const Args& a) {
   if (a.positional.size() < 2) return usage();
-  const Netlist design = read_design_file(a.positional[0]);
-  const Placement3D pl =
-      read_placement_file(a.positional[1], design.num_cells());
-  const int grid_n = static_cast<int>(a.num("--grid", 48));
-  const RouterConfig rcfg =
-      calibrated(design, pl, grid_n, a.num("--pctile", 0.70));
-  const GCellGrid grid(pl.outline, grid_n, grid_n);
-  const RouteResult r = global_route(design, pl, grid, rcfg);
+  const Netlist design = load_design(a);
+  const Placement3D pl = load_placement(a, design);
+  FlowConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = static_cast<int>(a.num("--grid", 48));
+  cfg.router = calibrated_router(design, pl, cfg.grid_nx, a.num("--pctile", 0.70));
+  FlowContext ctx = make_flow_context(design, cfg);
+  ctx.placement = pl;
+  run_stages(ctx, {"route"});
+  const RouteResult& r = ctx.route;
   std::printf("capacity: H=%.0f V=%.0f tracks/GCell (auto-calibrated)\n",
-              rcfg.h_capacity, rcfg.v_capacity);
+              cfg.router.h_capacity, cfg.router.v_capacity);
   std::printf("overflow: total %.0f (H %.0f, V %.0f), %.2f%% of GCells\n",
               r.total_overflow, r.h_overflow, r.v_overflow, r.ovf_gcell_pct);
   std::printf("wirelength: %.1f um, 3D vias: %zu\n", r.wirelength, r.num_3d_vias);
   for (int die = 0; die < 2; ++die) {
     std::printf("\ncongestion map, %s die:\n%s", die ? "top" : "bottom",
-                ascii_heatmap(r.congestion[die], static_cast<std::size_t>(grid_n),
-                              static_cast<std::size_t>(grid_n))
+                ascii_heatmap(r.congestion[die],
+                              static_cast<std::size_t>(cfg.grid_nx),
+                              static_cast<std::size_t>(cfg.grid_ny))
                     .c_str());
   }
   return 0;
@@ -180,9 +266,8 @@ int cmd_route(const Args& a) {
 
 int cmd_sta(const Args& a) {
   if (a.positional.size() < 2) return usage();
-  const Netlist design = read_design_file(a.positional[0]);
-  const Placement3D pl =
-      read_placement_file(a.positional[1], design.num_cells());
+  const Netlist design = load_design(a);
+  const Placement3D pl = load_placement(a, design);
   TimingConfig cfg;
   cfg.clock_period_ps = a.num("--clock", 300.0);
   const TimingResult t = run_sta(design, pl, cfg);
@@ -208,7 +293,7 @@ int cmd_sta(const Args& a) {
 
 int cmd_train(const Args& a) {
   if (a.positional.empty()) return usage();
-  const Netlist design = read_design_file(a.positional[0]);
+  const Netlist design = load_design(a);
   const int grid_n = static_cast<int>(a.num("--grid", 48));
 
   PlacementParams params;
@@ -217,7 +302,7 @@ int cmd_train(const Args& a) {
   dcfg.layouts = static_cast<int>(a.num("--layouts", 10));
   dcfg.grid_nx = dcfg.grid_ny = grid_n;
   dcfg.net_h = dcfg.net_w = grid_n;
-  dcfg.router = calibrated(design, ref, grid_n, a.num("--pctile", 0.70));
+  dcfg.router = calibrated_router(design, ref, grid_n, a.num("--pctile", 0.70));
   std::printf("building %d layouts (+%d perturbed each)...\n", dcfg.layouts,
               dcfg.perturbed_per_layout);
   const auto dataset = build_dataset(design, dcfg);
@@ -246,8 +331,8 @@ int cmd_train(const Args& a) {
 
 int cmd_refine(const Args& a) {
   if (a.positional.size() < 2) return usage();
-  const Netlist design = read_design_file(a.positional[0]);
-  Placement3D pl = read_placement_file(a.positional[1], design.num_cells());
+  const Netlist design = load_design(a);
+  Placement3D pl = load_placement(a, design);
   DetailedConfig cfg;
   cfg.passes = static_cast<int>(a.num("--passes", 2));
   const DetailedStats s = detailed_place(design, pl, cfg);
@@ -264,20 +349,27 @@ int cmd_refine(const Args& a) {
 
 int cmd_optimize(const Args& a) {
   if (a.positional.size() < 3) return usage();
-  const Netlist design = read_design_file(a.positional[0]);
-  const Placement3D pl =
-      read_placement_file(a.positional[1], design.num_cells());
+  const Netlist design = load_design(a);
+  const Placement3D pl = load_placement(a, design);
   const Predictor pred = load_predictor_file(a.positional[2]);
 
   const int grid_n = static_cast<int>(a.num("--grid", 48));
   DcoConfig dcfg;
   dcfg.grid_nx = dcfg.grid_ny = grid_n;
-  dcfg.router = calibrated(design, pl, grid_n, a.num("--pctile", 0.70));
+  dcfg.router = calibrated_router(design, pl, grid_n, a.num("--pctile", 0.70));
   apply_guard_options(a, dcfg.deadline_ms, dcfg.guard);
   TimingConfig tcfg;
   tcfg.clock_period_ps = a.num("--clock", 300.0);
 
-  const DcoResult r = run_dco(design, pl, pred, tcfg, dcfg);
+  FlowConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = grid_n;
+  cfg.router = dcfg.router;
+  cfg.timing = tcfg;
+  DcoResult r;
+  FlowContext ctx = make_flow_context(
+      design, cfg, make_dco_optimizer(pred, dcfg, tcfg, &r));
+  ctx.placement = pl;
+  run_stages(ctx, {"dco"});
   print_guard_summary("DCO", r.guard);
   std::printf("DCO: %zu gradient iterations, %s (score %.2f -> %.2f), "
               "%zu cells changed tier\n",
@@ -285,20 +377,21 @@ int cmd_optimize(const Args& a) {
               r.improved ? "improved" : "input placement kept",
               r.initial_score, r.best_loss, r.cells_moved_tier);
   const std::string out = a.get("-o", a.positional[1] + ".dco");
-  write_placement_file(out, r.placement);
+  write_placement_file(out, ctx.placement);
   std::printf("wrote %s\n", out.c_str());
   return 0;
 }
 
 int cmd_flow(const Args& a) {
   if (a.positional.empty()) return usage();
-  const Netlist design = read_design_file(a.positional[0]);
+  const Netlist design = load_design(a);
   FlowConfig cfg;
   cfg.timing.clock_period_ps = a.num("--clock", 300.0);
   cfg.grid_nx = cfg.grid_ny = static_cast<int>(a.num("--grid", 48));
   {
     const Placement3D ref = place_pseudo3d(design, cfg.place_params, cfg.seed);
-    cfg.router = calibrated(design, ref, cfg.grid_nx, a.num("--pctile", 0.70));
+    cfg.router =
+        calibrated_router(design, ref, cfg.grid_nx, a.num("--pctile", 0.70));
   }
 
   PlacementOptimizer opt;
@@ -309,18 +402,71 @@ int cmd_flow(const Args& a) {
     dcfg.grid_nx = dcfg.grid_ny = cfg.grid_nx;
     dcfg.router = cfg.router;
     apply_guard_options(a, dcfg.deadline_ms, dcfg.guard);
-    const TimingConfig tcfg = cfg.timing;
-    opt = [&pred, dcfg, tcfg](const Netlist& nl, Placement3D& pl) {
-      pl = run_dco(nl, pl, pred, tcfg, dcfg).placement;
-    };
+    opt = make_dco_optimizer(pred, dcfg, cfg.timing);
   }
 
-  const FlowResult r = run_pin3d_flow(design, cfg, opt);
+  FlowContext ctx = make_flow_context(design, cfg, opt);
+  ctx.design_name = a.positional[0];
+  ctx.optimizer_tag = a.flag("--dco") ? "dco:" + a.get("--dco", "") : "none";
+
+  PipelineOptions popts;
+  popts.resume_from = a.get("--resume-from", "");
+  popts.stop_after = a.get("--stop-after", "");
+  popts.cache_dir = a.get("--cache-dir", "");
+  if (!popts.resume_from.empty() && popts.cache_dir.empty())
+    popts.cache_dir = ".dco3d-cache";
+  std::vector<StageTraceEntry> trace;
+  if (a.flag("--trace")) popts.trace = &trace;
+
+  const FlowResult r = pin3d_pipeline().run(ctx, popts);
+  if (a.flag("--trace")) append_trace_file(a.get("--trace", ""), trace);
+
   std::printf("%-16s %9s %8s %8s %8s %10s %12s %10s %12s\n", "stage",
               "overflow", "ovf%", "H ovf", "V ovf", "wns(ps)", "tns(ps)",
               "power(mW)", "WL(um)");
-  std::printf("%s\n", r.after_place.row("after placement").c_str());
-  std::printf("%s\n", r.signoff.row("signoff").c_str());
+  // A --stop-after before a metrics stage leaves its block empty; print only
+  // stages that were actually measured.
+  if (r.after_place.wirelength_um > 0.0)
+    std::printf("%s\n", r.after_place.row("after placement").c_str());
+  if (r.signoff.wirelength_um > 0.0)
+    std::printf("%s\n", r.signoff.row("signoff").c_str());
+  return 0;
+}
+
+int cmd_batch(const Args& a) {
+  std::vector<DesignKind> kinds;
+  if (a.positional.empty()) {
+    kinds.assign(std::begin(kAllDesigns), std::end(kAllDesigns));
+  } else {
+    for (const std::string& k : a.positional) kinds.push_back(parse_kind(k));
+  }
+
+  FlowConfig base;
+  base.timing.clock_period_ps = a.num("--clock", 300.0);
+  base.grid_nx = base.grid_ny = static_cast<int>(a.num("--grid", 48));
+  const auto seed = static_cast<std::uint64_t>(a.num("--seed", 1));
+  const double scale = a.num("--scale", 0.04);
+
+  std::printf("batch: %zu designs at scale %.3g on %d threads\n", kinds.size(),
+              scale, util::num_threads());
+  const std::vector<BatchJob> jobs =
+      make_generator_jobs(kinds, scale, base, seed, a.num("--pctile", 0.70));
+
+  BatchOptions opts;
+  opts.stop_after = a.get("--stop-after", "");
+  opts.collect_trace = a.flag("--trace");
+  const std::vector<BatchEntry> entries = run_many(jobs, opts);
+
+  if (a.flag("--trace")) {
+    std::vector<StageTraceEntry> merged;
+    for (const BatchEntry& e : entries)
+      merged.insert(merged.end(), e.trace.begin(), e.trace.end());
+    append_trace_file(a.get("--trace", ""), merged);
+  }
+
+  std::printf("%s", batch_summary_table(entries).c_str());
+  for (const BatchEntry& e : entries)
+    if (!e.status.ok()) return status_exit_code(e.status.code());
   return 0;
 }
 
@@ -344,6 +490,7 @@ int main(int argc, char** argv) {
     if (cmd == "refine") return cmd_refine(args);
     if (cmd == "optimize") return cmd_optimize(args);
     if (cmd == "flow") return cmd_flow(args);
+    if (cmd == "batch") return cmd_batch(args);
   } catch (const StatusError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return status_exit_code(e.status().code());

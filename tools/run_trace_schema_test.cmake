@@ -1,0 +1,33 @@
+# ctest driver for the trace_schema test: run a small flow with --trace and
+# validate the emitted JSON-lines file. Invoked as
+#   cmake -DDCO3D_CLI=... -DCHECKER=... -DWORK_DIR=... -P this-file
+foreach(var DCO3D_CLI CHECKER WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${DCO3D_CLI}" generate dma --scale 0.02 -o "${WORK_DIR}/dma.design"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dco3d generate failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${DCO3D_CLI}" flow "${WORK_DIR}/dma.design" --grid 16 --clock 250
+          --trace "${WORK_DIR}/trace.jsonl"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dco3d flow --trace failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${CHECKER}" "${WORK_DIR}/trace.jsonl"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace schema validation failed (${rc})")
+endif()
