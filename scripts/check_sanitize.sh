@@ -49,6 +49,15 @@ if [[ "$SAN" == *thread* ]]; then
   # its own TSan pass on top of the unit tests.
   echo "== batch smoke under TSan (2 designs, DCO3D_THREADS=$DCO3D_THREADS)"
   "$BUILD/tools/dco3d" batch dma vga --scale 0.02 --grid 16 --clock 250
+
+  # Serve smoke: the resident server is the other concurrent-flow surface —
+  # worker lanes, streaming connections, admission, drain. load_serve drives
+  # an overload sweep (0.5x/1x/2x capacity) over the real protocol, so the
+  # whole submit -> schedule -> stream -> drain path runs under TSan.
+  # Queue 2 keeps the 2x level genuinely over capacity despite TSan's ~40x
+  # slower service times (8 jobs' worth of excess must overflow the queue).
+  echo "== serve smoke under TSan (load_serve overload sweep)"
+  "$BUILD/tools/load_serve" --jobs 8 --queue 2 -o "$BUILD/BENCH_serve_tsan.json"
 fi
 
 if [[ "$SAN" == *address* ]]; then

@@ -50,22 +50,28 @@ FaultInjector& FaultInjector::instance() {
   return injector;
 }
 
-void FaultInjector::arm(FaultSite site, int step, int count) {
+void FaultInjector::arm(FaultSite site, int step, int count, double param) {
+  std::lock_guard<std::mutex> lk(mu_);
   Site& s = sites_[static_cast<int>(site)];
   s.armed = true;
   s.fire_at = step;
   s.count = count;
   s.consults = 0;
   s.fired = 0;
+  s.param = param;
 }
 
-void FaultInjector::disarm() { sites_.fill(Site{}); }
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lk(mu_);
+  sites_.fill(Site{});
+}
 
 bool FaultInjector::armed(FaultSite site) const {
+  std::lock_guard<std::mutex> lk(mu_);
   return sites_[static_cast<int>(site)].armed;
 }
 
-bool FaultInjector::should_fire(FaultSite site) {
+bool FaultInjector::should_fire_locked(FaultSite site) {
   Site& s = sites_[static_cast<int>(site)];
   if (!s.armed) return false;
   const int consult = s.consults++;
@@ -76,14 +82,28 @@ bool FaultInjector::should_fire(FaultSite site) {
   return false;
 }
 
+bool FaultInjector::should_fire(FaultSite site) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return should_fire_locked(site);
+}
+
 bool FaultInjector::maybe_corrupt(FaultSite site, nn::Tensor& t) {
-  if (!should_fire(site) || t.empty()) return false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!should_fire_locked(site) || t.empty()) return false;
+  }
   t[0] = std::numeric_limits<float>::quiet_NaN();
   return true;
 }
 
 int FaultInjector::fired(FaultSite site) const {
+  std::lock_guard<std::mutex> lk(mu_);
   return sites_[static_cast<int>(site)].fired;
+}
+
+double FaultInjector::param(FaultSite site) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sites_[static_cast<int>(site)].param;
 }
 
 }  // namespace dco3d

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <chrono>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -120,20 +121,26 @@ enum class FaultSite : int {
   kDcoLoss,          // flip the DCO total loss to NaN
   kDcoGrad,          // corrupt a spreader gradient
   kCheckpointWrite,  // abort save_predictor mid-stream
+  kFlowStageFail,    // pipeline stage throws before its body runs
+  kFlowStageStall,   // pipeline stage sleeps param() ms before its body runs
+  kArtifactWrite,    // save_flow_artifact fails after the tmp write, before
+                     // the rename (simulated crash: stale *.tmp left behind)
 };
-inline constexpr int kNumFaultSites = 5;
+inline constexpr int kNumFaultSites = 8;
 
 /// Deterministic fault injector: compiled in, inert unless armed (production
 /// flows never arm it). Each site keeps a consult counter; a fault fires on
-/// the armed consult index, for `count` consecutive consults. Not
-/// thread-safe — arm/disarm only from single-threaded test code.
+/// the armed consult index, for `count` consecutive consults. Consults are
+/// thread-safe (flow/server sites are consulted from concurrent job lanes);
+/// arm/disarm still only from test code, between runs.
 class FaultInjector {
  public:
   static FaultInjector& instance();
 
   /// Fire `count` faults at `site`, starting at the `step`-th time that site
-  /// is consulted (0-based), counted from the last arm/disarm.
-  void arm(FaultSite site, int step, int count = 1);
+  /// is consulted (0-based), counted from the last arm/disarm. `param` is a
+  /// site-specific knob (kFlowStageStall: stall duration in ms).
+  void arm(FaultSite site, int step, int count = 1, double param = 0.0);
   /// Reset all sites, counters, and fired tallies.
   void disarm();
 
@@ -146,16 +153,21 @@ class FaultInjector {
   bool maybe_corrupt(FaultSite site, nn::Tensor& t);
   /// How many faults actually fired at `site` since the last arm/disarm.
   int fired(FaultSite site) const;
+  /// The site-specific parameter set at arm time.
+  double param(FaultSite site) const;
 
  private:
   FaultInjector() = default;
+  bool should_fire_locked(FaultSite site);
   struct Site {
     bool armed = false;
     int fire_at = 0;
     int count = 0;
     int consults = 0;
     int fired = 0;
+    double param = 0.0;
   };
+  mutable std::mutex mu_;
   std::array<Site, kNumFaultSites> sites_{};
 };
 

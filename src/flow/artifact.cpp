@@ -6,6 +6,7 @@
 #include <limits>
 #include <sstream>
 
+#include "core/guard.hpp"
 #include "io/design_io.hpp"
 #include "util/status.hpp"
 
@@ -182,6 +183,14 @@ void save_flow_artifact(const std::string& dir, const FlowContext& ctx) {
     os.flush();
     if (!os) fail_io("write failed on " + (tmp / "state.txt").string());
   }
+
+  // Injectable crash point for the stale-tmp regression tests: fail after
+  // the tmp write but before the rename, leaving the partial directory
+  // behind exactly as a real crash would (ArtifactCache sweeps it on the
+  // next startup).
+  if (FaultInjector::instance().should_fire(FaultSite::kArtifactWrite))
+    fail_io("injected artifact write failure (stale tmp left at " +
+            tmp.string() + ")");
 
   fs::remove_all(target, ec);  // replace any previous artifact
   fs::rename(tmp, target, ec);

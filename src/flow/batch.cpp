@@ -64,6 +64,10 @@ std::vector<BatchEntry> run_many(const std::vector<BatchJob>& jobs,
             PipelineOptions po;
             po.stop_after = opts.stop_after;
             if (opts.collect_trace) po.trace = &entry.trace;
+            if (opts.cache) {
+              po.cache = opts.cache;
+              po.auto_resume = true;
+            }
             entry.result = pin3d_pipeline().run(ctx, po);
           } catch (const StatusError& err) {
             entry.status = err.status();

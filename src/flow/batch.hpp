@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "flow/cache.hpp"
 #include "flow/stage.hpp"
 #include "netlist/generators.hpp"
 #include "util/status.hpp"
@@ -37,6 +38,11 @@ struct BatchEntry {
 struct BatchOptions {
   std::string stop_after;  // run the pipeline only up to this stage
   bool collect_trace = false;
+  // Shared byte-budgeted artifact cache (LRU eviction; see flow/cache.hpp).
+  // Jobs persist stage artifacts into it and auto-resume from cached
+  // prefixes, so re-running a batch with an overlapping job set skips
+  // straight to the divergent stages.
+  ArtifactCache* cache = nullptr;
 };
 
 /// Run every job through the standard Pin-3D pipeline, jobs in parallel

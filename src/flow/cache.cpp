@@ -1,0 +1,133 @@
+#include "flow/cache.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace dco3d {
+
+namespace {
+
+std::uint64_t dir_bytes(const fs::path& p) {
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(p, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file(ec)) total += it->file_size(ec);
+  }
+  return total;
+}
+
+}  // namespace
+
+ArtifactCache::ArtifactCache(std::string dir, std::uint64_t budget_bytes)
+    : dir_(std::move(dir)), budget_(budget_bytes) {
+  counters_.budget_bytes = budget_;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+
+  // Startup sweep: a crash between the tmp write and the rename leaves a
+  // partial "<name>.tmp" directory (or file) behind — never a valid
+  // artifact, always safe to delete.
+  std::vector<fs::path> stale;
+  for (fs::recursive_directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->path().filename().string().ends_with(".tmp")) {
+      stale.push_back(it->path());
+      it.disable_recursion_pending();
+    }
+  }
+  for (const fs::path& p : stale) {
+    fs::remove_all(p, ec);
+    if (!ec) ++counters_.tmp_swept;
+  }
+
+  // Index surviving stage artifacts, oldest mtime first, so eviction order
+  // is sensible straight after a restart.
+  struct Found {
+    fs::file_time_type mtime;
+    std::string rel;
+    std::uint64_t bytes;
+  };
+  std::vector<Found> found;
+  for (fs::directory_iterator key_it(dir_, ec), end; !ec && key_it != end;
+       key_it.increment(ec)) {
+    if (!key_it->is_directory(ec)) continue;
+    std::error_code ec2;
+    for (fs::directory_iterator st(key_it->path(), ec2), end2;
+         !ec2 && st != end2; st.increment(ec2)) {
+      if (!st->is_directory(ec2)) continue;
+      Found f;
+      f.mtime = fs::last_write_time(st->path(), ec2);
+      f.rel = key_it->path().filename().string() + "/" +
+              st->path().filename().string();
+      f.bytes = dir_bytes(st->path());
+      found.push_back(std::move(f));
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Found& a, const Found& b) { return a.mtime < b.mtime; });
+  for (const Found& f : found) index_locked(f.rel, f.bytes);
+  evict_to_fit_locked("");
+}
+
+void ArtifactCache::index_locked(const std::string& rel, std::uint64_t bytes) {
+  const auto it = index_.find(rel);
+  if (it != index_.end()) {
+    bytes_ -= it->second.bytes;
+    lru_.erase(it->second.pos);
+    index_.erase(it);
+  }
+  lru_.push_back(rel);
+  index_[rel] = Entry{std::prev(lru_.end()), bytes};
+  bytes_ += bytes;
+}
+
+void ArtifactCache::evict_to_fit_locked(const std::string& keep) {
+  if (budget_ == 0) return;
+  while (bytes_ > budget_ && !lru_.empty()) {
+    const std::string victim = lru_.front();
+    if (victim == keep) break;  // never evict the artifact being saved
+    const auto it = index_.find(victim);
+    bytes_ -= it->second.bytes;
+    counters_.evictions++;
+    counters_.evicted_bytes += it->second.bytes;
+    lru_.pop_front();
+    index_.erase(it);
+    std::error_code ec;
+    const fs::path path = fs::path(dir_) / victim;
+    fs::remove_all(path, ec);
+    // Drop the content-key directory once its last stage artifact is gone.
+    fs::path parent = path.parent_path();
+    if (fs::is_empty(parent, ec) && !ec) fs::remove(parent, ec);
+  }
+}
+
+void ArtifactCache::on_saved(const std::string& rel) {
+  std::uint64_t bytes = dir_bytes(fs::path(dir_) / rel);
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_.saves++;
+  index_locked(rel, bytes);
+  evict_to_fit_locked(rel);
+}
+
+void ArtifactCache::on_loaded(const std::string& rel) {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_.loads++;
+  const auto it = index_.find(rel);
+  if (it == index_.end()) return;
+  lru_.splice(lru_.end(), lru_, it->second.pos);  // move to MRU
+}
+
+ArtifactCacheStats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ArtifactCacheStats s = counters_;
+  s.entries = index_.size();
+  s.bytes = bytes_;
+  s.budget_bytes = budget_;
+  return s;
+}
+
+}  // namespace dco3d

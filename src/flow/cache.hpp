@@ -1,0 +1,72 @@
+#pragma once
+// Byte-budgeted LRU eviction for the content-addressed artifact cache. The
+// cache directory layout is <dir>/<content-key>/<stage-name>/ (one directory
+// per stage boundary, written atomically by save_flow_artifact); without a
+// budget it grows forever, which a resident server cannot afford. An
+// ArtifactCache indexes those stage directories, tracks recency, and evicts
+// the least-recently-used ones once the total byte footprint exceeds the
+// budget. It also sweeps stale *.tmp leftovers on startup: a crash between
+// the tmp write and the rename leaks a partial directory that would
+// otherwise sit in the cache dir forever.
+//
+// Thread-safe: serve workers and batch lanes share one instance. Shared by
+// `serve`, `flow`, and `batch` through PipelineOptions::cache.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace dco3d {
+
+struct ArtifactCacheStats {
+  std::size_t entries = 0;         // stage artifacts currently indexed
+  std::uint64_t bytes = 0;         // their total footprint
+  std::uint64_t budget_bytes = 0;  // 0 = unbounded
+  std::uint64_t evictions = 0;     // stage artifacts removed for space
+  std::uint64_t evicted_bytes = 0;
+  std::uint64_t tmp_swept = 0;     // stale *.tmp paths removed at startup
+  std::uint64_t loads = 0;         // artifacts re-used (cache hits)
+  std::uint64_t saves = 0;         // artifacts written
+};
+
+class ArtifactCache {
+ public:
+  /// Opens (creates) `dir`, sweeps stale *.tmp leftovers, and indexes the
+  /// existing stage artifacts oldest-mtime-first so a restarted server
+  /// inherits a sensible recency order. budget_bytes 0 disables eviction.
+  ArtifactCache(std::string dir, std::uint64_t budget_bytes);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Bookkeep a freshly saved artifact `<key>/<stage>`: (re)measure it, move
+  /// it to most-recently-used, then evict LRU entries — never the one just
+  /// saved — until the footprint fits the budget.
+  void on_saved(const std::string& rel);
+
+  /// Mark `<key>/<stage>` recently used (a resume/auto-resume hit).
+  void on_loaded(const std::string& rel);
+
+  ArtifactCacheStats stats() const;
+
+ private:
+  void evict_to_fit_locked(const std::string& keep);
+  void index_locked(const std::string& rel, std::uint64_t bytes);
+
+  std::string dir_;
+  std::uint64_t budget_;
+  mutable std::mutex mu_;
+  // LRU order: front = least recently used. index_ maps rel path -> (list
+  // position, measured bytes).
+  std::list<std::string> lru_;
+  struct Entry {
+    std::list<std::string>::iterator pos;
+    std::uint64_t bytes = 0;
+  };
+  std::map<std::string, Entry> index_;
+  std::uint64_t bytes_ = 0;
+  ArtifactCacheStats counters_;
+};
+
+}  // namespace dco3d

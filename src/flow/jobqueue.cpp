@@ -1,0 +1,116 @@
+#include "flow/jobqueue.hpp"
+
+#include <algorithm>
+
+namespace dco3d {
+
+JobQueue::JobQueue(std::size_t max_depth, int workers)
+    : max_depth_(std::max<std::size_t>(1, max_depth)),
+      workers_(std::max(1, workers)) {}
+
+double JobQueue::retry_hint_locked() const {
+  // A full queue clears in ~depth/workers service times; add one service
+  // time for the job that would run after the backlog. Clamped so a cold
+  // EWMA can neither tell clients to hammer the server nor to go away for
+  // an hour.
+  const double est =
+      service_ewma_ms_ *
+      (static_cast<double>(items_.size()) / workers_ + 1.0);
+  return std::clamp(est, 50.0, 30000.0);
+}
+
+AdmissionDecision JobQueue::submit(std::uint64_t job, int priority) {
+  std::lock_guard<std::mutex> lk(mu_);
+  AdmissionDecision d;
+  counters_.submitted++;
+  if (stopped_ || draining_) {
+    counters_.shed++;
+    d.depth = items_.size();
+    d.retry_after_ms = retry_hint_locked();
+    d.status = Status::unavailable("server is draining — resubmit later");
+    return d;
+  }
+  if (items_.size() >= max_depth_) {
+    counters_.shed++;
+    d.depth = items_.size();
+    d.retry_after_ms = retry_hint_locked();
+    d.status = Status::unavailable(
+        "queue full (depth " + std::to_string(items_.size()) + "/" +
+        std::to_string(max_depth_) + ") — load shed, retry after backoff");
+    return d;
+  }
+  counters_.admitted++;
+  items_.push_back(Item{job, priority, next_seq_++});
+  d.admitted = true;
+  d.depth = items_.size();
+  cv_.notify_one();
+  return d;
+}
+
+bool JobQueue::pop(std::uint64_t& job) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] { return stopped_ || !items_.empty(); });
+  if (stopped_) return false;
+  // Highest priority first; FIFO (lowest seq) within a priority.
+  auto best = items_.begin();
+  for (auto it = std::next(best); it != items_.end(); ++it)
+    if (it->priority > best->priority ||
+        (it->priority == best->priority && it->seq < best->seq))
+      best = it;
+  job = best->job;
+  items_.erase(best);
+  counters_.popped++;
+  ++in_flight_;
+  return true;
+}
+
+void JobQueue::job_done(double service_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  service_ewma_ms_ = 0.7 * service_ewma_ms_ + 0.3 * service_ms;
+  if (--in_flight_ == 0) idle_cv_.notify_all();
+}
+
+bool JobQueue::cancel(std::uint64_t job) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = items_.begin(); it != items_.end(); ++it) {
+    if (it->job == job) {
+      items_.erase(it);
+      counters_.cancelled++;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::uint64_t> JobQueue::drain() {
+  std::lock_guard<std::mutex> lk(mu_);
+  draining_ = true;
+  std::vector<std::uint64_t> rejected;
+  rejected.reserve(items_.size());
+  for (const Item& it : items_) rejected.push_back(it.job);
+  items_.clear();
+  return rejected;
+}
+
+void JobQueue::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+void JobQueue::stop() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stopped_ = true;
+  cv_.notify_all();
+}
+
+JobQueueStats JobQueue::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  JobQueueStats s = counters_;
+  s.depth = items_.size();
+  s.in_flight = in_flight_;
+  s.draining = draining_ || stopped_;
+  s.service_ewma_ms = service_ewma_ms_;
+  return s;
+}
+
+}  // namespace dco3d

@@ -1,0 +1,98 @@
+#pragma once
+// Bounded priority admission queue for the resident server: jobs enter
+// through explicit admission control (bounded depth; excess load is shed
+// with a Retry-After-style backoff hint instead of queuing unboundedly),
+// workers pop highest-priority-first (FIFO within a priority), and drain
+// atomically flips the queue into reject-everything mode while returning
+// the entries that were still waiting so the caller can fail them with a
+// retriable status. The queue carries opaque job handles (the server maps
+// them back to its job records); service-time feedback drives the backoff
+// estimate via an EWMA.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace dco3d {
+
+struct AdmissionDecision {
+  bool admitted = false;
+  std::size_t depth = 0;        // queued entries after the decision
+  double retry_after_ms = 0.0;  // backoff hint when shed; 0 when admitted
+  Status status;                // kUnavailable (retriable) when not admitted
+};
+
+struct JobQueueStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;       // rejected at admission (queue full/draining)
+  std::uint64_t cancelled = 0;  // removed while queued
+  std::uint64_t popped = 0;
+  std::size_t depth = 0;
+  int in_flight = 0;
+  bool draining = false;
+  double service_ewma_ms = 0.0;
+};
+
+class JobQueue {
+ public:
+  /// `max_depth` bounds the number of *queued* (not yet running) jobs;
+  /// `workers` scales the retry-after estimate (a full queue clears in
+  /// roughly depth/workers service times).
+  JobQueue(std::size_t max_depth, int workers);
+
+  /// Admission control: enqueue, or shed with a backoff hint when the queue
+  /// is full or draining. Never blocks.
+  AdmissionDecision submit(std::uint64_t job, int priority);
+
+  /// Block until a job is available, then pop the highest-priority one (FIFO
+  /// within a priority) and mark it in-flight. Returns false once the queue
+  /// is stopped — the worker-loop exit condition.
+  bool pop(std::uint64_t& job);
+
+  /// Completion feedback for the job most recently popped by this worker:
+  /// decrements in-flight and folds the service time into the EWMA that
+  /// backs retry_after_ms hints.
+  void job_done(double service_ms);
+
+  /// Remove a still-queued job. False if it already started (or finished).
+  bool cancel(std::uint64_t job);
+
+  /// Stop admitting, return-and-clear everything still queued (the caller
+  /// rejects them with a retriable status). Idempotent.
+  std::vector<std::uint64_t> drain();
+
+  /// Block until no job is in flight. Meaningful after drain().
+  void wait_idle();
+
+  /// Wake all poppers; pop returns false from now on. Idempotent.
+  void stop();
+
+  JobQueueStats stats() const;
+
+ private:
+  double retry_hint_locked() const;
+
+  const std::size_t max_depth_;
+  const int workers_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // queue state changed (pop/stop)
+  std::condition_variable idle_cv_;  // in-flight count reached zero
+  struct Item {
+    std::uint64_t job;
+    int priority;
+    std::uint64_t seq;
+  };
+  std::vector<Item> items_;
+  std::uint64_t next_seq_ = 0;
+  int in_flight_ = 0;
+  bool draining_ = false;
+  bool stopped_ = false;
+  double service_ewma_ms_ = 1000.0;  // prior until real completions arrive
+  JobQueueStats counters_;
+};
+
+}  // namespace dco3d

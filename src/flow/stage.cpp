@@ -2,11 +2,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <thread>
 
 #include "flow/artifact.hpp"
+#include "flow/cache.hpp"
 #include "io/design_io.hpp"
 #include "place/legalize.hpp"
 #include "util/arena.hpp"
@@ -175,25 +178,32 @@ FlowResult Pipeline::run(FlowContext& ctx, const PipelineOptions& opts) const {
     return i;
   };
 
+  // A shared ArtifactCache supplies the directory when the caller didn't.
+  const std::string cache_dir =
+      !opts.cache_dir.empty() ? opts.cache_dir
+      : opts.cache            ? opts.cache->dir()
+                              : std::string();
+
   int start = 0;
   int stop = static_cast<int>(stages_.size()) - 1;
   if (!opts.stop_after.empty()) stop = require_stage(opts.stop_after);
   if (!opts.start_at.empty()) start = require_stage(opts.start_at);
 
   const std::string key =
-      opts.cache_dir.empty() ? std::string() : flow_cache_key(ctx);
+      cache_dir.empty() ? std::string() : flow_cache_key(ctx);
   if (!opts.resume_from.empty()) {
     start = require_stage(opts.resume_from);
     if (start > 0) {
-      if (opts.cache_dir.empty())
+      if (cache_dir.empty())
         throw StatusError(Status::invalid_argument(
             "resume_from requires an artifact cache directory"));
       const std::string prev = stages_[static_cast<std::size_t>(start - 1)].name();
-      const std::string dir = opts.cache_dir + "/" + key + "/" + prev;
-      if (!load_flow_artifact(dir, ctx))
+      const std::string rel = key + "/" + prev;
+      if (!load_flow_artifact(cache_dir + "/" + rel, ctx))
         throw StatusError(Status::not_found(
-            "no cached artifact for stage '" + prev + "' at " + dir +
-            " (run the flow with the same cache directory first)"));
+            "no cached artifact for stage '" + prev + "' at " + cache_dir +
+            "/" + rel + " (run the flow with the same cache directory first)"));
+      if (opts.cache) opts.cache->on_loaded(rel);
     }
   }
   if (start > stop)
@@ -202,8 +212,38 @@ FlowResult Pipeline::run(FlowContext& ctx, const PipelineOptions& opts) const {
         "' comes after stop stage '" +
         stages_[static_cast<std::size_t>(stop)].name() + "'"));
 
+  // Auto-resume (idempotent resubmission): probe for the deepest cached
+  // artifact of this content key and continue right after it. A corrupt
+  // artifact is deleted and probing continues shallower — a damaged cache
+  // must never take the job (or the server) down.
+  if (opts.auto_resume && !cache_dir.empty() && opts.resume_from.empty() &&
+      opts.start_at.empty()) {
+    for (int i = stop; i >= 0; --i) {
+      const std::string rel =
+          key + "/" + stages_[static_cast<std::size_t>(i)].name();
+      bool loaded = false;
+      try {
+        loaded = load_flow_artifact(cache_dir + "/" + rel, ctx);
+      } catch (const StatusError&) {
+        std::error_code ec;
+        std::filesystem::remove_all(cache_dir + "/" + rel, ec);
+      }
+      if (loaded) {
+        if (opts.cache) opts.cache->on_loaded(rel);
+        start = i + 1;  // may be stop+1: everything below was cached
+        break;
+      }
+    }
+  }
+
+  const bool collect = opts.trace != nullptr || opts.on_trace != nullptr;
+  const auto emit = [&](StageTraceEntry e) {
+    if (opts.on_trace) opts.on_trace(e);
+    if (opts.trace) opts.trace->push_back(std::move(e));
+  };
+
   // Trace entries for stages satisfied from the cache (resume skipped them).
-  if (opts.trace) {
+  if (collect) {
     for (int i = 0; i < start; ++i) {
       StageTraceEntry e;
       e.design = ctx.design_name;
@@ -211,12 +251,42 @@ FlowResult Pipeline::run(FlowContext& ctx, const PipelineOptions& opts) const {
       e.index = i;
       e.cached = true;
       e.threads = util::num_threads();
-      opts.trace->push_back(std::move(e));
+      emit(std::move(e));
     }
   }
 
+  if (opts.info) {
+    opts.info->first_stage = start;
+    opts.info->stages_cached = start;
+    opts.info->last_stage = start - 1;
+  }
+
   for (int i = start; i <= stop; ++i) {
+    // Per-job guards: a wall-clock deadline or a cooperative cancel stops
+    // the run at a stage boundary and early-commits the results so far
+    // instead of throwing — partial progress is a valid product.
+    if (opts.deadline && opts.deadline->expired()) {
+      if (opts.info) opts.info->deadline_hit = true;
+      break;
+    }
+    if (opts.cancel && opts.cancel->load(std::memory_order_relaxed)) {
+      if (opts.info) opts.info->cancelled = true;
+      break;
+    }
+
     const Stage& stage = stages_[static_cast<std::size_t>(i)];
+
+    // Deterministic fault injection for the overload/recovery tests: a
+    // stall models a slow stage (deadline pressure), a fail models a
+    // diverged/broken stage that must stay isolated to its job.
+    FaultInjector& fi = FaultInjector::instance();
+    if (fi.should_fire(FaultSite::kFlowStageStall))
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          fi.param(FaultSite::kFlowStageStall)));
+    if (fi.should_fire(FaultSite::kFlowStageFail))
+      throw StatusError(Status::internal("injected failure in stage '" +
+                                         stage.name() + "'"));
+
     ctx.stage_metrics.clear();
     const util::ArenaStats arena0 = util::Arena::instance().stats();
     const util::PoolStats pool0 = util::pool_stats();
@@ -224,7 +294,12 @@ FlowResult Pipeline::run(FlowContext& ctx, const PipelineOptions& opts) const {
 
     stage.run(ctx);
 
-    if (opts.trace) {
+    if (opts.info) {
+      opts.info->last_stage = i;
+      opts.info->stages_run++;
+    }
+
+    if (collect) {
       const auto t1 = std::chrono::steady_clock::now();
       const util::ArenaStats arena1 = util::Arena::instance().stats();
       const util::PoolStats pool1 = util::pool_stats();
@@ -246,11 +321,14 @@ FlowResult Pipeline::run(FlowContext& ctx, const PipelineOptions& opts) const {
       e.pool.inline_runs = pool1.inline_runs - pool0.inline_runs;
       e.pool.chunks = pool1.chunks - pool0.chunks;
       e.metrics = ctx.stage_metrics;
-      opts.trace->push_back(std::move(e));
+      emit(std::move(e));
     }
 
-    if (!opts.cache_dir.empty())
-      save_flow_artifact(opts.cache_dir + "/" + key + "/" + stage.name(), ctx);
+    if (!cache_dir.empty()) {
+      const std::string rel = key + "/" + stage.name();
+      save_flow_artifact(cache_dir + "/" + rel, ctx);
+      if (opts.cache) opts.cache->on_saved(rel);
+    }
   }
   return ctx.res;
 }

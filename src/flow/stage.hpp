@@ -17,14 +17,18 @@
 // signoff stages mutate it (buffer insertion, cell sizing); placement is
 // refined in place by dco/legalize; the original design is never touched.
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "core/guard.hpp"
 #include "flow/pin3d.hpp"
 #include "flow/trace.hpp"
 
 namespace dco3d {
+
+class ArtifactCache;
 
 /// Shared state threaded through a pipeline. Create with make_flow_context,
 /// or fill the fields directly for standalone stage runs (the CLI loads
@@ -72,6 +76,18 @@ class Stage {
   std::function<void(FlowContext&)> body_;
 };
 
+/// What actually happened during a Pipeline::run — which stages were served
+/// from the cache, where the run stopped, and why (the serve scheduler's job
+/// records are built from this).
+struct PipelineRunInfo {
+  int last_stage = -1;    // index of the last stage satisfied (run or cached)
+  int first_stage = 0;    // first stage actually executed (cached before it)
+  int stages_run = 0;     // stage bodies executed
+  int stages_cached = 0;  // stages satisfied from the artifact cache
+  bool deadline_hit = false;  // stopped early by opts.deadline (early commit)
+  bool cancelled = false;     // stopped early by opts.cancel (early commit)
+};
+
 struct PipelineOptions {
   // Start at this stage, restoring the preceding stage's cached artifact
   // (requires cache_dir; kNotFound if the artifact is missing). Empty = run
@@ -88,6 +104,27 @@ struct PipelineOptions {
   std::string cache_dir;
   // Collect per-stage trace entries (appended; caller owns the vector).
   std::vector<StageTraceEntry>* trace = nullptr;
+  // With a cache directory: probe for the deepest cached artifact of this
+  // context's content key (at or before the stop stage) and resume right
+  // after it. Corrupt artifacts are discarded and probing continues
+  // shallower. This is the idempotent-resubmission path of the serve
+  // scheduler: a repeated prefix skips straight to the divergent stage.
+  bool auto_resume = false;
+  // LRU byte-budget bookkeeping for the cache directory (shared by serve /
+  // flow / batch). When set and cache_dir is empty, cache->dir() is used.
+  ArtifactCache* cache = nullptr;
+  // Per-run wall-clock deadline, checked before each stage: on expiry the
+  // pipeline early-commits — it returns normally with the results of the
+  // stages completed so far instead of throwing (info reports deadline_hit).
+  const Deadline* deadline = nullptr;
+  // Cooperative cancellation, checked with the deadline: set to true by
+  // another thread to make the run early-commit at the next stage boundary.
+  const std::atomic<bool>* cancel = nullptr;
+  // Invoked after every executed stage with its trace entry — the serve
+  // scheduler streams these to waiting clients as progress events.
+  std::function<void(const StageTraceEntry&)> on_trace;
+  // Filled with what actually happened (optional).
+  PipelineRunInfo* info = nullptr;
 };
 
 /// An ordered stage list with resume/stop/cache/trace execution semantics.

@@ -1,0 +1,249 @@
+#include "util/jsonl.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+namespace dco3d::util {
+
+namespace {
+
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+
+  bool eof() const { return i >= s.size(); }
+  char peek() const { return s[i]; }
+  void skip_ws() {
+    while (!eof() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                      s[i] == '\r'))
+      ++i;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (eof() || s[i] != c) return false;
+    ++i;
+    return true;
+  }
+
+  Status fail(const std::string& what) const {
+    return Status::invalid_argument("json: " + what + " at offset " +
+                                    std::to_string(i));
+  }
+
+  Status parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (!eof()) {
+      char c = s[i++];
+      if (c == '"') return Status();
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) break;
+      c = s[i++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (i + 4 > s.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s[i++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // Protocol strings are ASCII in practice; encode BMP code points
+          // as UTF-8 so nothing is silently dropped.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Status parse_value(JsonValue& v) {
+    skip_ws();
+    if (eof()) return fail("expected value");
+    const char c = peek();
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      return parse_string(v.str);
+    }
+    if (c == 't' || c == 'f') {
+      const std::string_view word = c == 't' ? "true" : "false";
+      if (s.substr(i, word.size()) != word) return fail("bad literal");
+      i += word.size();
+      v.kind = JsonValue::Kind::kBool;
+      v.b = c == 't';
+      return Status();
+    }
+    if (c == 'n') {
+      if (s.substr(i, 4) != "null") return fail("bad literal");
+      i += 4;
+      v.kind = JsonValue::Kind::kNull;
+      return Status();
+    }
+    if (c == '{' || c == '[')
+      return fail("nested containers are not part of the flat protocol");
+    // Number.
+    const char* begin = s.data() + i;
+    char* end = nullptr;
+    const double num = std::strtod(begin, &end);
+    if (end == begin) return fail("expected value");
+    i += static_cast<std::size_t>(end - begin);
+    v.kind = JsonValue::Kind::kNumber;
+    v.num = num;
+    return Status();
+  }
+};
+
+}  // namespace
+
+Status parse_json_object(std::string_view text, JsonObject& out) {
+  out.clear();
+  Parser p{text};
+  if (!p.consume('{')) return p.fail("expected '{'");
+  p.skip_ws();
+  if (p.consume('}')) return Status();
+  for (;;) {
+    std::string key;
+    Status st = p.parse_string(key);
+    if (!st.ok()) return st;
+    if (!p.consume(':')) return p.fail("expected ':'");
+    JsonValue v;
+    st = p.parse_value(v);
+    if (!st.ok()) return st;
+    out[key] = std::move(v);
+    if (p.consume(',')) continue;
+    if (p.consume('}')) break;
+    return p.fail("expected ',' or '}'");
+  }
+  p.skip_ws();
+  if (!p.eof()) return p.fail("trailing content");
+  return Status();
+}
+
+std::string json_str(const JsonObject& o, const std::string& key,
+                     const std::string& dflt) {
+  const auto it = o.find(key);
+  if (it == o.end()) return dflt;
+  if (it->second.kind == JsonValue::Kind::kString) return it->second.str;
+  return dflt;
+}
+
+double json_num(const JsonObject& o, const std::string& key, double dflt) {
+  const auto it = o.find(key);
+  if (it == o.end()) return dflt;
+  if (it->second.kind == JsonValue::Kind::kNumber) return it->second.num;
+  return dflt;
+}
+
+bool json_bool(const JsonObject& o, const std::string& key, bool dflt) {
+  const auto it = o.find(key);
+  if (it == o.end()) return dflt;
+  if (it->second.kind == JsonValue::Kind::kBool) return it->second.b;
+  return dflt;
+}
+
+bool json_has(const JsonObject& o, const std::string& key) {
+  return o.count(key) > 0;
+}
+
+void json_escape_into(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (!first_) out_ += ',';
+  first_ = false;
+  json_escape_into(out_, k);
+  out_ += ':';
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::string_view v) {
+  key(k);
+  json_escape_into(out_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, double v) {
+  key(k);
+  if (!std::isfinite(v)) {
+    out_ += "0";  // JSON has no NaN/Inf literals (same rule as StageTrace)
+    return *this;
+  }
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  out_ += os.str();
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::int64_t v) {
+  key(k);
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::uint64_t v) {
+  key(k);
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, bool v) {
+  key(k);
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view k, std::string_view json) {
+  key(k);
+  out_ += json;
+  return *this;
+}
+
+}  // namespace dco3d::util

@@ -1,0 +1,72 @@
+#pragma once
+// Tiny flat-JSON helpers for the serve protocol (line-delimited JSON, one
+// object per line): parse one-level objects with string / number / bool /
+// null values, and build such objects with correct escaping. Deliberately
+// not a general JSON library — requests and responses in the protocol are
+// flat by design (docs/serve.md); the only nesting the server ever emits is
+// raw pre-serialized sub-objects spliced in with JsonWriter::raw (the stage
+// trace entries, which already serialize themselves).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace dco3d::util {
+
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool, kNull } kind = Kind::kNull;
+  std::string str;   // kString
+  double num = 0.0;  // kNumber
+  bool b = false;    // kBool
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parse a flat JSON object (no nested objects/arrays). Returns
+/// kInvalidArgument on malformed input; `out` is cleared first.
+Status parse_json_object(std::string_view text, JsonObject& out);
+
+std::string json_str(const JsonObject& o, const std::string& key,
+                     const std::string& dflt = "");
+double json_num(const JsonObject& o, const std::string& key, double dflt = 0.0);
+bool json_bool(const JsonObject& o, const std::string& key, bool dflt = false);
+bool json_has(const JsonObject& o, const std::string& key);
+
+/// Append a JSON string literal (quotes + escapes) for `s` to `out`.
+void json_escape_into(std::string& out, std::string_view s);
+
+/// Incremental single-object builder: w.field("k", v)... then w.done().
+class JsonWriter {
+ public:
+  JsonWriter() : out_("{") {}
+
+  JsonWriter& field(std::string_view key, std::string_view v);
+  JsonWriter& field(std::string_view key, const char* v) {
+    return field(key, std::string_view(v));
+  }
+  JsonWriter& field(std::string_view key, double v);
+  JsonWriter& field(std::string_view key, std::int64_t v);
+  JsonWriter& field(std::string_view key, std::uint64_t v);
+  JsonWriter& field(std::string_view key, int v) {
+    return field(key, static_cast<std::int64_t>(v));
+  }
+  JsonWriter& field(std::string_view key, bool v);
+  /// Splice a pre-serialized JSON value verbatim.
+  JsonWriter& raw(std::string_view key, std::string_view json);
+
+  /// Close and return the object. The writer is spent afterwards.
+  std::string done() {
+    out_ += '}';
+    return std::move(out_);
+  }
+
+ private:
+  void key(std::string_view k);
+  std::string out_;
+  bool first_ = true;
+};
+
+}  // namespace dco3d::util

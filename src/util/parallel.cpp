@@ -130,6 +130,9 @@ void set_num_threads(int n) {
 
 bool in_parallel_region() { return tl_in_region; }
 
+InlineLane::InlineLane() : prev_(tl_in_region) { tl_in_region = true; }
+InlineLane::~InlineLane() { tl_in_region = prev_; }
+
 namespace {
 std::atomic<std::uint64_t> g_dispatches{0}, g_inline_runs{0}, g_chunks{0};
 }  // namespace

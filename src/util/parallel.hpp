@@ -38,6 +38,23 @@ void set_num_threads(int n);
 /// True while executing inside a parallel_for chunk (nested calls serialize).
 bool in_parallel_region();
 
+/// RAII: marks the calling thread as a serialized flow lane — every nested
+/// parallel_for/parallel_reduce on this thread runs inline, exactly like a
+/// chunk body on a pool worker. Long-lived threads outside the pool (the
+/// serve scheduler's job workers) wrap their run loop in one of these so
+/// concurrent jobs never re-enter the shared pool (ThreadPool::run is
+/// single-task) and every job stays bit-identical to a serial run.
+class InlineLane {
+ public:
+  InlineLane();
+  ~InlineLane();
+  InlineLane(const InlineLane&) = delete;
+  InlineLane& operator=(const InlineLane&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// Cumulative dispatch counters for the process-wide pool. Monotonic since
 /// process start; observers (StageTrace) snapshot before/after a region and
 /// report the delta. Counters are updated with relaxed atomics — cheap enough

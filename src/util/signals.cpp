@@ -1,0 +1,54 @@
+#include "util/signals.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <mutex>
+
+namespace dco3d::util {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+int g_pipe_rd = -1;
+int g_pipe_wr = -1;
+
+extern "C" void shutdown_handler(int) {
+  g_shutdown.store(true, std::memory_order_relaxed);
+  const char byte = 1;
+  // Best-effort wake; the flag alone is authoritative.
+  [[maybe_unused]] ssize_t n = ::write(g_pipe_wr, &byte, 1);
+}
+
+}  // namespace
+
+int install_shutdown_pipe() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    int fds[2];
+    if (::pipe(fds) != 0) return;  // flag-only fallback; reader sees -1
+    g_pipe_rd = fds[0];
+    g_pipe_wr = fds[1];
+    struct sigaction sa{};
+    sa.sa_handler = shutdown_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: blocked accept/read break on signal
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+  });
+  return g_pipe_rd;
+}
+
+bool shutdown_requested() {
+  return g_shutdown.load(std::memory_order_relaxed);
+}
+
+void raise_shutdown() {
+  install_shutdown_pipe();
+  shutdown_handler(0);
+}
+
+void reset_shutdown() { g_shutdown.store(false, std::memory_order_relaxed); }
+
+}  // namespace dco3d::util

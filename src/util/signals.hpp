@@ -1,0 +1,24 @@
+#pragma once
+// Process shutdown signals (SIGINT/SIGTERM) surfaced as a pollable self-pipe
+// plus an atomic flag, so long-lived blocking servers can drain gracefully:
+// the handler only writes one byte to the pipe (async-signal-safe); whoever
+// blocks on the read end wakes up and runs the orderly drain path.
+
+namespace dco3d::util {
+
+/// Install SIGINT/SIGTERM handlers (idempotent — later calls reuse the first
+/// installation) and return the read end of the self-pipe. One byte arrives
+/// per delivered signal.
+int install_shutdown_pipe();
+
+/// True once any shutdown signal was delivered (or raise_shutdown ran).
+bool shutdown_requested();
+
+/// Test hook: behave as if a shutdown signal arrived (flag + pipe byte).
+void raise_shutdown();
+
+/// Test hook: clear the flag so a test can exercise the path repeatedly.
+/// Pending pipe bytes are drained by the reader, not here.
+void reset_shutdown();
+
+}  // namespace dco3d::util

@@ -13,6 +13,8 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
     case StatusCode::kResourceExhausted: return "resource_exhausted";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kCancelled: return "cancelled";
   }
   return "internal";
 }
@@ -28,6 +30,8 @@ int status_exit_code(StatusCode code) {
     case StatusCode::kNumericalError: return 6;
     case StatusCode::kDeadlineExceeded: return 7;
     case StatusCode::kResourceExhausted: return 8;
+    case StatusCode::kUnavailable: return 9;
+    case StatusCode::kCancelled: return 10;
   }
   return 1;
 }

@@ -24,6 +24,8 @@ enum class StatusCode {
   kDeadlineExceeded,   // wall-clock budget exhausted under --strict
   kResourceExhausted,  // bounded retry/backoff budget exhausted
   kInternal,           // invariant violation inside the library
+  kUnavailable,        // server saturated or draining — retry later (retriable)
+  kCancelled,          // job cancelled by the caller before completion
 };
 
 /// Stable lowercase name ("data_loss", "deadline_exceeded", ...).
@@ -62,6 +64,12 @@ class Status {
   }
   static Status internal(std::string m) {
     return {StatusCode::kInternal, std::move(m)};
+  }
+  static Status unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  static Status cancelled(std::string m) {
+    return {StatusCode::kCancelled, std::move(m)};
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

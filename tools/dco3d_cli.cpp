@@ -12,7 +12,15 @@
 //   flow <design-file> [--dco ckpt] [--clock PS] [--grid N]
 //        [--trace file] [--cache-dir dir] [--resume-from stage] [--stop-after stage]
 //   batch [kinds...] [--scale S] [--clock PS] [--grid N] [--seed N]
-//        [--trace file] [--stop-after stage]
+//        [--trace file] [--stop-after stage] [--cache-dir dir]
+//   serve [--port N] [--workers N] [--queue N] [--deadline S]
+//        [--cache-dir dir] [--cache-budget MB]      resident job server
+//   submit <kind> [--port N] [--scale S] [--grid N] [--clock PS] [--seed N]
+//        [--stop-after stage] [--deadline S] [--priority N] [--wait]
+//        [--no-cache]                               enqueue a job
+//   status [--port N] [job]                         server / job status
+//   cancel <job> [--port N]                         cancel a queued/running job
+//   drain [--port N]                                graceful server shutdown
 //
 // The single-design subcommands are thin wrappers over the stage-graph flow
 // engine (src/flow/stage.hpp): each builds a FlowContext and runs a pipeline
@@ -35,21 +43,33 @@
 // '-' when it parses as a number (`--deadline -1`); `--` ends option
 // processing so files whose names start with '-' can follow.
 //
+// serve/submit/status/cancel/drain speak the line-delimited JSON protocol
+// of docs/serve.md over loopback TCP; client commands print the raw response
+// lines (machine-readable) and map terminal job states to exit codes
+// (docs/cli.md): shed/rejected -> 9 (retriable), early-commit -> 7.
+//
 // Files use the formats in src/io/. Every command is deterministic for a
 // given --seed.
+
+#include <poll.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/dco.hpp"
 #include "core/trainer.hpp"
 #include "flow/batch.hpp"
+#include "flow/cache.hpp"
 #include "flow/pin3d.hpp"
+#include "flow/server.hpp"
 #include "flow/stage.hpp"
 #include "io/design_io.hpp"
 #include "io/model_io.hpp"
@@ -59,7 +79,10 @@
 #include "place/legalize.hpp"
 #include "timing/hold.hpp"
 #include "timing/report.hpp"
+#include "util/jsonl.hpp"
 #include "util/logging.hpp"
+#include "util/signals.hpp"
+#include "util/socket.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/status.hpp"
@@ -87,7 +110,7 @@ struct Args {
 /// the positional.
 const std::set<std::string>& bool_flags() {
   static const std::set<std::string> kFlags = {
-      "--strict", "--hold", "--congestion-focused"};
+      "--strict", "--hold", "--congestion-focused", "--wait", "--no-cache"};
   return kFlags;
 }
 
@@ -130,7 +153,8 @@ Args parse_args(int argc, char** argv, int first) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dco3d <generate|check|place|route|sta|train|refine|optimize|flow|batch> "
+               "usage: dco3d <generate|check|place|route|sta|train|refine|"
+               "optimize|flow|batch|serve|submit|status|cancel|drain> "
                "...\n  (see the header of tools/dco3d_cli.cpp)\n");
   return status_exit_code(StatusCode::kInvalidArgument);
 }
@@ -148,6 +172,13 @@ void print_guard_summary(const char* what, const GuardStats& gs) {
               what, gs.nan_events, gs.skipped_steps, gs.lr_halvings,
               gs.rollbacks, gs.reseeds,
               gs.deadline_hit ? ", deadline hit - committed best-so-far" : "");
+}
+
+/// --cache-budget MB -> bytes (default 1024 MB; 0 = unbounded). Shared by
+/// flow / batch / serve so every cache user gets the same LRU byte budget.
+std::uint64_t cache_budget_bytes(const Args& a) {
+  return static_cast<std::uint64_t>(a.num("--cache-budget", 1024.0) * 1024.0 *
+                                    1024.0);
 }
 
 DesignKind parse_kind(const std::string& k) {
@@ -415,6 +446,14 @@ int cmd_flow(const Args& a) {
   popts.cache_dir = a.get("--cache-dir", "");
   if (!popts.resume_from.empty() && popts.cache_dir.empty())
     popts.cache_dir = ".dco3d-cache";
+  std::unique_ptr<ArtifactCache> cache;
+  if (!popts.cache_dir.empty()) {
+    // The ArtifactCache sweeps stale *.tmp leftovers and enforces the LRU
+    // byte budget; opening it also enables auto-resume bookkeeping.
+    cache = std::make_unique<ArtifactCache>(popts.cache_dir,
+                                            cache_budget_bytes(a));
+    popts.cache = cache.get();
+  }
   std::vector<StageTraceEntry> trace;
   if (a.flag("--trace")) popts.trace = &trace;
 
@@ -455,6 +494,12 @@ int cmd_batch(const Args& a) {
   BatchOptions opts;
   opts.stop_after = a.get("--stop-after", "");
   opts.collect_trace = a.flag("--trace");
+  std::unique_ptr<ArtifactCache> cache;
+  const std::string cache_dir = a.get("--cache-dir", "");
+  if (!cache_dir.empty()) {
+    cache = std::make_unique<ArtifactCache>(cache_dir, cache_budget_bytes(a));
+    opts.cache = cache.get();
+  }
   const std::vector<BatchEntry> entries = run_many(jobs, opts);
 
   if (a.flag("--trace")) {
@@ -468,6 +513,157 @@ int cmd_batch(const Args& a) {
   for (const BatchEntry& e : entries)
     if (!e.status.ok()) return status_exit_code(e.status.code());
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Serve mode: resident server + thin protocol clients (docs/serve.md).
+
+/// Exit code for a terminal client response: retriable shed/rejected -> 9,
+/// deadline early-commit -> 7, cancelled -> 10, protocol errors by status
+/// name, success -> 0.
+int serve_exit_code(const util::JsonObject& o) {
+  const std::string state = util::json_str(o, "state", "");
+  if (state == "done" || state == "queued" || state == "running" ||
+      state == "cancelling")
+    return 0;
+  if (state == "early_commit")
+    return status_exit_code(StatusCode::kDeadlineExceeded);
+  if (state == "cancelled") return status_exit_code(StatusCode::kCancelled);
+  if (state == "shed" || state == "rejected")
+    return status_exit_code(StatusCode::kUnavailable);
+  if (util::json_bool(o, "ok", false)) return 0;
+  const std::string st = util::json_str(o, "status", "");
+  if (st == "failed" || state == "failed")
+    return status_exit_code(StatusCode::kInternal);
+  if (st == "invalid_argument")
+    return status_exit_code(StatusCode::kInvalidArgument);
+  if (st == "not_found") return status_exit_code(StatusCode::kNotFound);
+  if (st == "unavailable") return status_exit_code(StatusCode::kUnavailable);
+  return status_exit_code(StatusCode::kInternal);
+}
+
+int cmd_serve(const Args& a) {
+  ServerConfig cfg;
+  cfg.port = static_cast<int>(a.num("--port", kDefaultServePort));
+  cfg.workers = static_cast<int>(a.num("--workers", 2));
+  cfg.queue_depth = static_cast<std::size_t>(a.num("--queue", 8));
+  cfg.default_deadline_ms = a.num("--deadline", 0.0) * 1000.0;
+  cfg.cache_dir = a.get("--cache-dir", ".dco3d-serve-cache");
+  if (a.flag("--no-cache")) cfg.cache_dir.clear();
+  cfg.cache_budget_bytes = cache_budget_bytes(a);
+
+  Server server(cfg);
+  server.start();
+  std::printf("dco3d serve: listening on 127.0.0.1:%d (%d workers, queue %zu"
+              "%s)\n",
+              server.port(), cfg.workers, cfg.queue_depth,
+              cfg.cache_dir.empty() ? ", no cache" : "");
+  std::fflush(stdout);
+
+  // SIGINT/SIGTERM arrive on the self-pipe; the watcher turns the first one
+  // into a graceful drain (in-flight jobs finish or early-commit, queued
+  // jobs are rejected with a retriable status).
+  const int sigfd = util::install_shutdown_pipe();
+  std::thread watcher([&server, sigfd] {
+    pollfd p{sigfd, POLLIN, 0};
+    while (!server.stopped()) {
+      const int r = ::poll(&p, 1, 200);
+      if (r > 0 && (p.revents & POLLIN) != 0) {
+        char b;
+        (void)!::read(sigfd, &b, 1);
+        std::fprintf(stderr, "dco3d serve: shutdown signal — draining\n");
+        server.request_drain();
+        break;
+      }
+    }
+  });
+  server.wait();
+  watcher.join();
+
+  const ServerCounters c = server.counters();
+  std::printf("dco3d serve: drained — %llu submitted, %llu completed, "
+              "%llu early-commit, %llu failed, %llu shed, %llu cancelled, "
+              "%llu rejected\n",
+              static_cast<unsigned long long>(c.submitted),
+              static_cast<unsigned long long>(c.completed),
+              static_cast<unsigned long long>(c.early_commits),
+              static_cast<unsigned long long>(c.failed),
+              static_cast<unsigned long long>(c.shed),
+              static_cast<unsigned long long>(c.cancelled),
+              static_cast<unsigned long long>(c.rejected));
+  return 0;
+}
+
+int cmd_submit(const Args& a) {
+  if (a.positional.empty()) return usage();
+  const bool wait = a.flag("--wait");
+  util::JsonWriter w;
+  w.field("cmd", "submit")
+      .field("kind", a.positional[0])
+      .field("scale", a.num("--scale", 0.02))
+      .field("grid", static_cast<int>(a.num("--grid", 16)))
+      .field("clock_ps", a.num("--clock", 250.0))
+      .field("seed", static_cast<std::int64_t>(a.num("--seed", 1)));
+  if (a.flag("--stop-after")) w.field("stop_after", a.get("--stop-after", ""));
+  if (a.flag("--deadline"))
+    w.field("deadline_ms", a.num("--deadline", 0.0) * 1000.0);
+  if (a.flag("--priority"))
+    w.field("priority", static_cast<int>(a.num("--priority", 0)));
+  if (a.flag("--no-cache")) w.field("cache", false);
+  if (wait) w.field("wait", true);
+
+  util::Fd conn =
+      util::connect_local(static_cast<int>(a.num("--port", kDefaultServePort)));
+  if (!util::send_line(conn.get(), w.done()))
+    return status_exit_code(StatusCode::kIoError);
+  util::LineReader reader(conn.get());
+  std::string line;
+  int code = status_exit_code(StatusCode::kIoError);  // no response at all
+  while (reader.read_line(line)) {
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+    util::JsonObject o;
+    if (!util::parse_json_object(line, o).ok()) continue;
+    if (util::json_str(o, "event", "") == "stage") continue;  // progress
+    code = serve_exit_code(o);
+    const bool terminal = util::json_str(o, "event", "") == "done" ||
+                          !util::json_bool(o, "ok", false);
+    if (!wait || terminal) break;
+  }
+  return code;
+}
+
+/// One-shot request/response client shared by status/cancel/drain.
+int serve_rpc(const Args& a, const std::string& request) {
+  util::Fd conn =
+      util::connect_local(static_cast<int>(a.num("--port", kDefaultServePort)));
+  if (!util::send_line(conn.get(), request))
+    return status_exit_code(StatusCode::kIoError);
+  util::LineReader reader(conn.get());
+  std::string line;
+  if (!reader.read_line(line)) return status_exit_code(StatusCode::kIoError);
+  std::printf("%s\n", line.c_str());
+  util::JsonObject o;
+  if (!util::parse_json_object(line, o).ok())
+    return status_exit_code(StatusCode::kInternal);
+  return serve_exit_code(o);
+}
+
+int cmd_status(const Args& a) {
+  util::JsonWriter w;
+  w.field("cmd", "status");
+  if (!a.positional.empty()) w.field("job", a.positional[0]);
+  return serve_rpc(a, w.done());
+}
+
+int cmd_cancel(const Args& a) {
+  if (a.positional.empty()) return usage();
+  return serve_rpc(
+      a, util::JsonWriter().field("cmd", "cancel").field("job", a.positional[0]).done());
+}
+
+int cmd_drain(const Args& a) {
+  return serve_rpc(a, util::JsonWriter().field("cmd", "drain").done());
 }
 
 }  // namespace
@@ -491,6 +687,11 @@ int main(int argc, char** argv) {
     if (cmd == "optimize") return cmd_optimize(args);
     if (cmd == "flow") return cmd_flow(args);
     if (cmd == "batch") return cmd_batch(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "submit") return cmd_submit(args);
+    if (cmd == "status") return cmd_status(args);
+    if (cmd == "cancel") return cmd_cancel(args);
+    if (cmd == "drain") return cmd_drain(args);
   } catch (const StatusError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return status_exit_code(e.status().code());
