@@ -50,6 +50,13 @@ if [[ "$SAN" == *thread* ]]; then
   echo "== batch smoke under TSan (2 designs, DCO3D_THREADS=$DCO3D_THREADS)"
   "$BUILD/tools/dco3d" batch dma vga --scale 0.02 --grid 16 --clock 250
 
+  # 3-tier flow smoke: the N-tier generalization threads per-tier state
+  # (K-sized route grids, per-tier soft maps, via stacks) through the same
+  # parallel kernels; run one multi-tier stacking workload end to end so the
+  # tier-indexed buffers get a TSan pass too.
+  echo "== 3-tier flow smoke under TSan (memlogic, --tiers 3)"
+  "$BUILD/tools/dco3d" batch memlogic --scale 0.02 --grid 16 --clock 280 --tiers 3
+
   # Serve smoke: the resident server is the other concurrent-flow surface —
   # worker lanes, streaming connections, admission, drain. load_serve drives
   # an overload sweep (0.5x/1x/2x capacity) over the real protocol, so the

@@ -29,16 +29,20 @@ double hard_predicted_congestion(const Netlist& netlist, const Placement3D& pl,
                                  const GCellGrid& grid,
                                  const Predictor& predictor) {
   FeatureMaps fm = compute_feature_maps(netlist, pl, grid);
-  auto [c_top, c_bot] = predictor.model->forward(
-      nn::make_leaf(predictor.normalize_features(fm.die[1])),
-      nn::make_leaf(predictor.normalize_features(fm.die[0])));
+  std::vector<nn::Var> f;
+  f.reserve(fm.die.size());
+  for (const nn::Tensor& d : fm.die)
+    f.push_back(nn::make_leaf(predictor.normalize_features(d)));
+  std::vector<nn::Var> preds = predictor.model->forward_n(f);
   auto rms = [](const nn::Tensor& t) {
     double s = 0.0;
     for (std::int64_t i = 0; i < t.numel(); ++i)
       s += static_cast<double>(t[i]) * t[i];
     return std::sqrt(s / static_cast<double>(t.numel()));
   };
-  return 0.5 * (rms(c_top->value) + rms(c_bot->value));
+  double sum = 0.0;
+  for (const nn::Var& c : preds) sum += rms(c->value);
+  return sum / static_cast<double>(preds.size());
 }
 
 /// Trial-global-route score of a hard placement candidate (total overflow,
@@ -101,6 +105,20 @@ DcoResult run_dco(const Netlist& netlist, const Placement3D& initial,
   // guard.max_reseeds).
   enum class Attempt { kDone, kDiverged, kDeadline };
 
+  const int num_tiers = initial.num_tiers;
+  // Per-cell power (switching + leakage) for the optional thermal channel.
+  nn::Tensor cell_power;
+  if (num_tiers > 2 && cfg.epsilon_thermal > 0.0f) {
+    cell_power = nn::Tensor({static_cast<std::int64_t>(netlist.num_cells())});
+    const double f_ghz = 1000.0 / timing_cfg.clock_period_ps;
+    for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+      const CellType& ct = netlist.cell_type(static_cast<CellId>(ci));
+      cell_power[static_cast<std::int64_t>(ci)] = static_cast<float>(
+          timing_cfg.activity * ct.internal_energy * f_ghz * 1e-3 +
+          ct.leakage * 1e-6);
+    }
+  }
+
   auto run_attempt = [&](int restart) -> Attempt {
     GnnSpreader spreader(netlist, initial, cfg.spreader, rng);
     const std::vector<nn::Var> params = spreader.parameters();
@@ -113,8 +131,12 @@ DcoResult run_dco(const Netlist& netlist, const Placement3D& initial,
     auto consider = [&](const SpreaderOutput& out, int iter) {
       // A candidate with non-finite coordinates or score can never replace
       // the committed one; the input placement remains the floor.
+      bool tier_finite = num_tiers > 2 ? true : all_finite(out.z->value);
+      if (num_tiers > 2)
+        for (const nn::Var& pt : out.p)
+          tier_finite = tier_finite && all_finite(pt->value);
       if (!all_finite(out.x->value) || !all_finite(out.y->value) ||
-          !all_finite(out.z->value)) {
+          !tier_finite) {
         log_warn("dco: candidate at iter ", iter,
                  " has non-finite coordinates; not considered");
         return;
@@ -164,19 +186,38 @@ DcoResult run_dco(const Netlist& netlist, const Placement3D& initial,
       }
       SpreaderOutput out = spreader.forward(features);
 
-      SoftMaps maps = soft_feature_maps(netlist, grid, out.x, out.y, out.z);
-      nn::Var l_cong = congestion_loss(predictor, maps);
+      // Two-tier stacks take the classic z path (bit-identical to the
+      // original two-die pipeline); K > 2 runs the generalized per-tier
+      // losses on the stick-breaking probabilities.
+      nn::Var l_cong, l_ovlp, l_cut, l_therm;
+      if (num_tiers == 2) {
+        SoftMaps maps = soft_feature_maps(netlist, grid, out.x, out.y, out.z);
+        l_cong = congestion_loss(predictor, maps);
+        l_ovlp = overlap_loss(netlist, out.x, out.y, out.z, initial.outline,
+                              cfg.overlap_bins, cfg.overlap_bins,
+                              cfg.overlap_target_util);
+        l_cut = cutsize_loss(out.z, edges);
+      } else {
+        SoftMaps maps = soft_feature_maps(netlist, grid, out.x, out.y, out.p);
+        l_cong = congestion_loss(predictor, maps);
+        l_ovlp = overlap_loss(netlist, out.x, out.y, out.p, initial.outline,
+                              cfg.overlap_bins, cfg.overlap_bins,
+                              cfg.overlap_target_util);
+        l_cut = cutsize_loss(out.p, edges);
+        if (cfg.epsilon_thermal > 0.0f)
+          l_therm = thermal_density_loss(netlist, out.x, out.y, out.p,
+                                         cell_power, initial.outline,
+                                         cfg.overlap_bins, cfg.overlap_bins);
+      }
       nn::Var l_disp = displacement_loss(out.x, out.y, x0, y0, initial.outline);
-      nn::Var l_ovlp = overlap_loss(netlist, out.x, out.y, out.z, initial.outline,
-                                    cfg.overlap_bins, cfg.overlap_bins,
-                                    cfg.overlap_target_util);
-      nn::Var l_cut = cutsize_loss(out.z, edges);
 
       nn::Var total = nn::add(
           nn::add(nn::mul_scalar(l_disp, cfg.alpha_disp),
                   nn::mul_scalar(l_ovlp, cfg.beta_ovlp)),
           nn::add(nn::mul_scalar(l_cut, cfg.gamma_cut),
                   nn::mul_scalar(l_cong, cfg.delta_cong)));
+      if (l_therm)
+        total = nn::add(total, nn::mul_scalar(l_therm, cfg.epsilon_thermal));
       faults.maybe_corrupt(FaultSite::kDcoLoss, total->value);
 
       DcoIterate it;
@@ -186,6 +227,7 @@ DcoResult run_dco(const Netlist& netlist, const Placement3D& initial,
       it.ovlp = l_ovlp->value[0];
       it.cut = l_cut->value[0];
       it.cong = l_cong->value[0];
+      it.therm = l_therm ? l_therm->value[0] : 0.0;
       res.trace.push_back(it);
       log_debug("dco r", restart, " iter ", iter, " total=", it.total,
                 " cong=", it.cong, " ovlp=", it.ovlp, " cut=", it.cut,

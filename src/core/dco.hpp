@@ -44,6 +44,10 @@ struct DcoConfig {
   int grid_ny = 64;
   double overlap_target_util = 0.75;
   int overlap_bins = 24;
+  // Optional thermal-density channel (K-tier stacks): weight of the
+  // depth-weighted power-density penalty. 0 disables it (the default, which
+  // keeps the classic two-die loss composition bit-identical).
+  float epsilon_thermal = 0.0f;
   double convergence_eps = 1e-4;  // stop when the loss plateaus
   int patience = 50;
   // Candidate-evaluation cadence: every eval_every iterations the current
@@ -78,6 +82,7 @@ struct DcoConfig {
 struct DcoIterate {
   int iter = 0;
   double total = 0.0, disp = 0.0, ovlp = 0.0, cut = 0.0, cong = 0.0;
+  double therm = 0.0;  // thermal-density term (0 unless epsilon_thermal > 0)
 };
 
 struct DcoResult {

@@ -37,7 +37,13 @@ nn::Tensor build_gnn_features(const Netlist& netlist, const Placement3D& placeme
                                     placement.outline.width());
     f.at(i, 9) = static_cast<float>((placement.xy[ci].y - placement.outline.ylo) /
                                     placement.outline.height());
-    f.at(i, 10) = placement.tier[ci] ? 1.0f : -1.0f;
+    // Tier id mapped to [-1, 1]; exactly +-1 for the two-die stack.
+    f.at(i, 10) =
+        placement.num_tiers > 1
+            ? 2.0f * static_cast<float>(placement.tier[ci]) /
+                      static_cast<float>(placement.num_tiers - 1) -
+                  1.0f
+            : 0.0f;
   }
 
   // Z-score normalize the Table-II columns (0..7) over movable cells.

@@ -130,6 +130,140 @@ nn::Var cutsize_loss(
                        std::move(backward));
 }
 
+nn::Var cutsize_loss(
+    const std::vector<nn::Var>& p,
+    std::shared_ptr<const std::vector<std::pair<std::int64_t, std::int64_t>>> edges) {
+  assert(edges);
+  assert(p.size() >= 2);
+  const int K = static_cast<int>(p.size());
+  const auto n = static_cast<std::size_t>(p[0]->value.numel());
+
+  // Tier CDF per cell: F[j][i] = P(T_i <= j), j = 0..K-2 (boundary index).
+  auto cdf = std::make_shared<std::vector<std::vector<double>>>(
+      static_cast<std::size_t>(K - 1), std::vector<double>(n, 0.0));
+  {
+    std::vector<std::span<const float>> ps(static_cast<std::size_t>(K));
+    for (int t = 0; t < K; ++t)
+      ps[static_cast<std::size_t>(t)] =
+          std::as_const(p[static_cast<std::size_t>(t)]->value).data();
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (int j = 0; j + 1 < K; ++j) {
+        acc += std::clamp(static_cast<double>(ps[static_cast<std::size_t>(j)][i]),
+                          0.0, 1.0);
+        (*cdf)[static_cast<std::size_t>(j)][i] = std::clamp(acc, 0.0, 1.0);
+      }
+    }
+  }
+
+  // Degrees.
+  auto degree = std::make_shared<std::vector<double>>(n, 0.0);
+  for (auto [u, v] : *edges) {
+    (*degree)[static_cast<std::size_t>(u)] += 1.0;
+    (*degree)[static_cast<std::size_t>(v)] += 1.0;
+  }
+
+  // cut = sum_edges E|T_u - T_v| via the boundary-crossing identity.
+  const auto n_edges = static_cast<std::int64_t>(edges->size());
+  const double cut = util::parallel_reduce(
+      0, n_edges, 4096, 0.0,
+      [&](std::int64_t b, std::int64_t e, double& acc) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto [u, v] = (*edges)[static_cast<std::size_t>(i)];
+          for (int j = 0; j + 1 < K; ++j) {
+            const double fu = (*cdf)[static_cast<std::size_t>(j)][static_cast<std::size_t>(u)];
+            const double fv = (*cdf)[static_cast<std::size_t>(j)][static_cast<std::size_t>(v)];
+            acc += fu + fv - 2.0 * fu * fv;
+          }
+        }
+      },
+      [](double& into, const double& from) { into += from; });
+
+  // Per-tier expected connectivity deg(t) = sum_u deg_u p_t(u).
+  std::vector<double> deg_t(static_cast<std::size_t>(K), 0.0);
+  {
+    std::vector<std::span<const float>> ps(static_cast<std::size_t>(K));
+    for (int t = 0; t < K; ++t)
+      ps[static_cast<std::size_t>(t)] =
+          std::as_const(p[static_cast<std::size_t>(t)]->value).data();
+    for (int t = 0; t < K; ++t) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        acc += (*degree)[i] *
+               std::clamp(static_cast<double>(ps[static_cast<std::size_t>(t)][i]),
+                          0.0, 1.0);
+      constexpr double kEps = 1e-6;
+      deg_t[static_cast<std::size_t>(t)] = std::max(acc, kEps);
+    }
+  }
+  double inv_sum = 0.0;
+  for (int t = 0; t < K; ++t) inv_sum += 1.0 / deg_t[static_cast<std::size_t>(t)];
+  const double loss = cut * inv_sum;
+
+  auto backward = [edges, degree, cdf, cut, deg_t, inv_sum, K](nn::Node& node) {
+    const auto n = degree->size();
+    bool any = false;
+    for (auto& par : node.parents) any = any || par->requires_grad;
+    if (!any) return;
+    const float g = node.grad[0];
+
+    // dcut/dF_u(j) = 1 - 2 F_v(j) summed over neighbors v; scatter per edge
+    // into per-chunk buffers merged in order.
+    const auto n_edges = static_cast<std::int64_t>(edges->size());
+    std::vector<std::vector<double>> dF = util::parallel_reduce(
+        0, n_edges, util::grain_for_chunks(n_edges, kScatterChunks),
+        std::vector<std::vector<double>>(static_cast<std::size_t>(K - 1),
+                                         std::vector<double>(n, 0.0)),
+        [&](std::int64_t b, std::int64_t e, std::vector<std::vector<double>>& acc) {
+          for (std::int64_t i = b; i < e; ++i) {
+            const auto [u, v] = (*edges)[static_cast<std::size_t>(i)];
+            for (int j = 0; j + 1 < K; ++j) {
+              const auto js = static_cast<std::size_t>(j);
+              const double fu = (*cdf)[js][static_cast<std::size_t>(u)];
+              const double fv = (*cdf)[js][static_cast<std::size_t>(v)];
+              acc[js][static_cast<std::size_t>(u)] += 1.0 - 2.0 * fv;
+              acc[js][static_cast<std::size_t>(v)] += 1.0 - 2.0 * fu;
+            }
+          }
+        },
+        [](std::vector<std::vector<double>>& into,
+           const std::vector<std::vector<double>>& from) {
+          for (std::size_t j = 0; j < into.size(); ++j)
+            for (std::size_t i = 0; i < into[j].size(); ++i)
+              into[j][i] += from[j][i];
+        });
+
+    // dF(j)/dp_t = [t <= j]  =>  dcut/dp_t(u) = sum_{j >= t} dF[j][u].
+    // Suffix-sum the boundary grads once, then flush per tier.
+    for (int t = 0; t < K; ++t) {
+      nn::Node& pt = *node.parents[static_cast<std::size_t>(t)];
+      if (!pt.requires_grad) continue;
+      pt.ensure_grad();
+      auto dst = pt.grad.data();
+      util::parallel_for(
+          0, static_cast<std::int64_t>(n), 8192,
+          [&](std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i) {
+              const auto ci = static_cast<std::size_t>(i);
+              double dcut = 0.0;
+              for (int j = t; j + 1 < K; ++j)
+                dcut += dF[static_cast<std::size_t>(j)][ci];
+              // d(1/deg_t)/dp_t(u) = -deg_u / deg_t^2.
+              const double term =
+                  dcut * inv_sum -
+                  cut * (*degree)[ci] /
+                      (deg_t[static_cast<std::size_t>(t)] *
+                       deg_t[static_cast<std::size_t>(t)]);
+              dst[ci] += g * static_cast<float>(term);
+            }
+          });
+    }
+  };
+  return nn::make_node(nn::Tensor::scalar(static_cast<float>(loss)),
+                       std::vector<nn::Var>(p.begin(), p.end()),
+                       std::move(backward));
+}
+
 double bell_potential(double d, double wb, double wv) {
   d = std::abs(d);
   const double r1 = wb + wv * 0.5;
@@ -306,20 +440,355 @@ nn::Var overlap_loss(const Netlist& netlist, const nn::Var& x, const nn::Var& y,
                        std::move(backward));
 }
 
+namespace {
+
+/// Shared bell-potential scatter machinery for the K-tier density-style
+/// losses (overlap / thermal). Computes per-cell geometry, bin windows, and
+/// the area-normalization constant c_v of Eq. (10).
+struct BellGeom {
+  double cx, cy, wb_x, wb_y, c_norm;
+  int b0x, b1x, b0y, b1y;
+  bool active;
+};
+
+BellGeom bell_geometry(const Netlist& netlist, std::size_t ci, double x,
+                       double y, const Rect& outline, int bins_x, int bins_y,
+                       double wv_x, double wv_y) {
+  BellGeom g{};
+  const auto id = static_cast<CellId>(ci);
+  const CellType& t = netlist.cell_type(id);
+  g.active = netlist.is_movable(id) && t.area() > 0.0;
+  if (!g.active) return g;
+  g.wb_x = std::max(t.width * 0.5, 1e-6);
+  g.wb_y = std::max(t.height * 0.5, 1e-6);
+  g.cx = x + t.width * 0.5;
+  g.cy = y + t.height * 0.5;
+  const double rx = 2.0 * g.wb_x + wv_x * 0.5;
+  const double ry = 2.0 * g.wb_y + wv_y * 0.5;
+  g.b0x = std::clamp(static_cast<int>((g.cx - rx - outline.xlo) / wv_x), 0, bins_x - 1);
+  g.b1x = std::clamp(static_cast<int>((g.cx + rx - outline.xlo) / wv_x), 0, bins_x - 1);
+  g.b0y = std::clamp(static_cast<int>((g.cy - ry - outline.ylo) / wv_y), 0, bins_y - 1);
+  g.b1y = std::clamp(static_cast<int>((g.cy + ry - outline.ylo) / wv_y), 0, bins_y - 1);
+  double raw = 0.0;
+  for (int bx = g.b0x; bx <= g.b1x; ++bx)
+    for (int by = g.b0y; by <= g.b1y; ++by)
+      raw += bell_potential(g.cx - (outline.xlo + (bx + 0.5) * wv_x), g.wb_x, wv_x) *
+             bell_potential(g.cy - (outline.ylo + (by + 0.5) * wv_y), g.wb_y, wv_y);
+  g.c_norm = raw > 1e-12 ? t.area() / raw : 0.0;
+  return g;
+}
+
+}  // namespace
+
+nn::Var overlap_loss(const Netlist& netlist, const nn::Var& x, const nn::Var& y,
+                     const std::vector<nn::Var>& p, const Rect& outline,
+                     int bins_x, int bins_y, double target_util) {
+  assert(p.size() >= 2);
+  const int K = static_cast<int>(p.size());
+  const auto n = static_cast<std::size_t>(netlist.num_cells());
+  const double wv_x = outline.width() / bins_x;
+  const double wv_y = outline.height() / bins_y;
+  const double bin_area = wv_x * wv_y;
+  const std::size_t n_bins = static_cast<std::size_t>(bins_x) * bins_y;
+  const std::size_t all_bins = static_cast<std::size_t>(K) * n_bins;
+
+  auto xs = std::as_const(x->value).data();
+  auto ys = std::as_const(y->value).data();
+  std::vector<std::span<const float>> ps(static_cast<std::size_t>(K));
+  for (int t = 0; t < K; ++t)
+    ps[static_cast<std::size_t>(t)] =
+        std::as_const(p[static_cast<std::size_t>(t)]->value).data();
+
+  auto geoms = std::make_shared<std::vector<BellGeom>>(n);
+  auto bin_center_x = [&](int b) { return outline.xlo + (b + 0.5) * wv_x; };
+  auto bin_center_y = [&](int b) { return outline.ylo + (b + 0.5) * wv_y; };
+
+  // Forward: densities laid out [tier0 bins..., tier1 bins..., ...].
+  std::vector<double> density = util::parallel_reduce(
+      0, static_cast<std::int64_t>(n),
+      util::grain_for_chunks(static_cast<std::int64_t>(n), kScatterChunks),
+      std::vector<double>(all_bins, 0.0),
+      [&](std::int64_t cb, std::int64_t ce, std::vector<double>& acc) {
+        for (std::int64_t i = cb; i < ce; ++i) {
+          const auto ci = static_cast<std::size_t>(i);
+          BellGeom& g = (*geoms)[ci];
+          g = bell_geometry(netlist, ci, xs[ci], ys[ci], outline, bins_x,
+                            bins_y, wv_x, wv_y);
+          if (!g.active) continue;
+          for (int bx = g.b0x; bx <= g.b1x; ++bx) {
+            const double px = bell_potential(g.cx - bin_center_x(bx), g.wb_x, wv_x);
+            for (int by = g.b0y; by <= g.b1y; ++by) {
+              const double py = bell_potential(g.cy - bin_center_y(by), g.wb_y, wv_y);
+              const auto bi = static_cast<std::size_t>(by) * bins_x + bx;
+              for (int t = 0; t < K; ++t) {
+                const double pt = std::clamp(
+                    static_cast<double>(ps[static_cast<std::size_t>(t)][ci]),
+                    0.0, 1.0);
+                acc[static_cast<std::size_t>(t) * n_bins + bi] +=
+                    g.c_norm * px * py * pt;
+              }
+            }
+          }
+        }
+      },
+      add_vec);
+
+  auto excess = std::make_shared<std::vector<double>>(all_bins, 0.0);
+  double loss = util::parallel_reduce(
+      0, static_cast<std::int64_t>(all_bins), 8192, 0.0,
+      [&](std::int64_t b, std::int64_t e, double& acc) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto bi = static_cast<std::size_t>(i);
+          const double rho = density[bi] / bin_area;
+          const double ex = std::max(rho - target_util, 0.0);
+          (*excess)[bi] = ex;
+          acc += ex * ex;
+        }
+      },
+      [](double& into, const double& from) { into += from; });
+  loss /= static_cast<double>(all_bins);
+
+  auto backward = [geoms, excess, outline, bins_x, bins_y, wv_x, wv_y, bin_area,
+                   n_bins, K](nn::Node& node) {
+    nn::Node& px_node = *node.parents[0];
+    nn::Node& py_node = *node.parents[1];
+    const float g = node.grad[0];
+    const double scale =
+        2.0 / (static_cast<double>(K) * static_cast<double>(n_bins) * bin_area);
+
+    auto bin_center_x = [&](int b) { return outline.xlo + (b + 0.5) * wv_x; };
+    auto bin_center_y = [&](int b) { return outline.ylo + (b + 0.5) * wv_y; };
+
+    const auto n = geoms->size();
+    std::vector<double> gx(n, 0.0), gy(n, 0.0);
+    std::vector<std::vector<double>> gp(static_cast<std::size_t>(K),
+                                        std::vector<double>(n, 0.0));
+    util::parallel_for(
+        0, static_cast<std::int64_t>(n), 256,
+        [&](std::int64_t cb, std::int64_t ce) {
+          for (std::int64_t i = cb; i < ce; ++i) {
+            const auto ci = static_cast<std::size_t>(i);
+            const BellGeom& geo = (*geoms)[ci];
+            if (!geo.active || geo.c_norm == 0.0) continue;
+            for (int bx = geo.b0x; bx <= geo.b1x; ++bx) {
+              const double dx = geo.cx - bin_center_x(bx);
+              const double pxv = bell_potential(dx, geo.wb_x, wv_x);
+              const double dpx = bell_potential_grad(dx, geo.wb_x, wv_x);
+              for (int by = geo.b0y; by <= geo.b1y; ++by) {
+                const double dy = geo.cy - bin_center_y(by);
+                const double pyv = bell_potential(dy, geo.wb_y, wv_y);
+                const double dpy = bell_potential_grad(dy, geo.wb_y, wv_y);
+                const auto bi = static_cast<std::size_t>(by) * bins_x + bx;
+                double w_mix = 0.0;
+                for (int t = 0; t < K; ++t) {
+                  const double e_t =
+                      (*excess)[static_cast<std::size_t>(t) * n_bins + bi];
+                  const double pt = std::clamp(
+                      static_cast<double>(
+                          node.parents[static_cast<std::size_t>(2 + t)]
+                              ->value[static_cast<std::int64_t>(ci)]),
+                      0.0, 1.0);
+                  w_mix += e_t * pt;
+                  gp[static_cast<std::size_t>(t)][ci] +=
+                      scale * e_t * geo.c_norm * pxv * pyv;
+                }
+                gx[ci] += scale * w_mix * geo.c_norm * dpx * pyv;
+                gy[ci] += scale * w_mix * geo.c_norm * pxv * dpy;
+              }
+            }
+          }
+        });
+    auto flush = [g](nn::Node& pnode, const std::vector<double>& vec) {
+      if (!pnode.requires_grad) return;
+      pnode.ensure_grad();
+      auto dst = pnode.grad.data();
+      for (std::size_t i = 0; i < vec.size(); ++i)
+        dst[i] += g * static_cast<float>(vec[i]);
+    };
+    flush(px_node, gx);
+    flush(py_node, gy);
+    for (int t = 0; t < K; ++t)
+      flush(*node.parents[static_cast<std::size_t>(2 + t)],
+            gp[static_cast<std::size_t>(t)]);
+  };
+
+  std::vector<nn::Var> parents = {x, y};
+  parents.insert(parents.end(), p.begin(), p.end());
+  return nn::make_node(nn::Tensor::scalar(static_cast<float>(loss)), parents,
+                       std::move(backward));
+}
+
+nn::Var thermal_density_loss(const Netlist& netlist, const nn::Var& x,
+                             const nn::Var& y, const std::vector<nn::Var>& p,
+                             const nn::Tensor& cell_power, const Rect& outline,
+                             int bins_x, int bins_y) {
+  assert(p.size() >= 2);
+  const int K = static_cast<int>(p.size());
+  const auto n = static_cast<std::size_t>(netlist.num_cells());
+  assert(cell_power.numel() == static_cast<std::int64_t>(n));
+  const double wv_x = outline.width() / bins_x;
+  const double wv_y = outline.height() / bins_y;
+  const double bin_area = wv_x * wv_y;
+  const std::size_t n_bins = static_cast<std::size_t>(bins_x) * bins_y;
+
+  auto xs = std::as_const(x->value).data();
+  auto ys = std::as_const(y->value).data();
+  std::vector<std::span<const float>> ps(static_cast<std::size_t>(K));
+  for (int t = 0; t < K; ++t)
+    ps[static_cast<std::size_t>(t)] =
+        std::as_const(p[static_cast<std::size_t>(t)]->value).data();
+
+  // Expected tier-depth weight per cell: depth_i = sum_t (t+1)/K * p_t(i).
+  auto depth = std::make_shared<std::vector<double>>(n, 0.0);
+  auto power = std::make_shared<std::vector<double>>(n, 0.0);
+  for (std::size_t ci = 0; ci < n; ++ci) {
+    double d = 0.0;
+    for (int t = 0; t < K; ++t)
+      d += (static_cast<double>(t) + 1.0) / static_cast<double>(K) *
+           std::clamp(static_cast<double>(ps[static_cast<std::size_t>(t)][ci]),
+                      0.0, 1.0);
+    (*depth)[ci] = d;
+    (*power)[ci] = static_cast<double>(cell_power[static_cast<std::int64_t>(ci)]);
+  }
+
+  auto geoms = std::make_shared<std::vector<BellGeom>>(n);
+  auto bin_center_x = [&](int b) { return outline.xlo + (b + 0.5) * wv_x; };
+  auto bin_center_y = [&](int b) { return outline.ylo + (b + 0.5) * wv_y; };
+
+  // Normalize potentials to unit mass times power (c_norm is area-normalized;
+  // rescale by power/area so the scattered mass integrates to cell power).
+  std::vector<double> heat = util::parallel_reduce(
+      0, static_cast<std::int64_t>(n),
+      util::grain_for_chunks(static_cast<std::int64_t>(n), kScatterChunks),
+      std::vector<double>(n_bins, 0.0),
+      [&](std::int64_t cb, std::int64_t ce, std::vector<double>& acc) {
+        for (std::int64_t i = cb; i < ce; ++i) {
+          const auto ci = static_cast<std::size_t>(i);
+          BellGeom& g = (*geoms)[ci];
+          g = bell_geometry(netlist, ci, xs[ci], ys[ci], outline, bins_x,
+                            bins_y, wv_x, wv_y);
+          if (!g.active || g.c_norm == 0.0 || (*power)[ci] <= 0.0) continue;
+          const CellType& t = netlist.cell_type(static_cast<CellId>(ci));
+          const double q = g.c_norm * (*power)[ci] / t.area();
+          for (int bx = g.b0x; bx <= g.b1x; ++bx) {
+            const double px = bell_potential(g.cx - bin_center_x(bx), g.wb_x, wv_x);
+            for (int by = g.b0y; by <= g.b1y; ++by) {
+              const double py = bell_potential(g.cy - bin_center_y(by), g.wb_y, wv_y);
+              const auto bi = static_cast<std::size_t>(by) * bins_x + bx;
+              acc[bi] += q * (*depth)[ci] * px * py / bin_area;
+            }
+          }
+        }
+      },
+      add_vec);
+
+  auto heat_sh = std::make_shared<std::vector<double>>(std::move(heat));
+  double loss = 0.0;
+  for (double hv : *heat_sh) loss += hv * hv;
+  loss /= static_cast<double>(n_bins);
+
+  auto backward = [geoms, heat_sh, depth, power, outline, bins_x, bins_y, wv_x,
+                   wv_y, bin_area, n_bins, K, nlp = &netlist](nn::Node& node) {
+    nn::Node& px_node = *node.parents[0];
+    nn::Node& py_node = *node.parents[1];
+    const float g = node.grad[0];
+    const double scale = 2.0 / (static_cast<double>(n_bins) * bin_area);
+
+    auto bin_center_x = [&](int b) { return outline.xlo + (b + 0.5) * wv_x; };
+    auto bin_center_y = [&](int b) { return outline.ylo + (b + 0.5) * wv_y; };
+
+    const auto n = geoms->size();
+    std::vector<double> gx(n, 0.0), gy(n, 0.0), gd(n, 0.0);
+    util::parallel_for(
+        0, static_cast<std::int64_t>(n), 256,
+        [&](std::int64_t cb, std::int64_t ce) {
+          for (std::int64_t i = cb; i < ce; ++i) {
+            const auto ci = static_cast<std::size_t>(i);
+            const BellGeom& geo = (*geoms)[ci];
+            if (!geo.active || geo.c_norm == 0.0 || (*power)[ci] <= 0.0) continue;
+            const CellType& t = nlp->cell_type(static_cast<CellId>(ci));
+            const double q = geo.c_norm * (*power)[ci] / t.area();
+            for (int bx = geo.b0x; bx <= geo.b1x; ++bx) {
+              const double dx = geo.cx - bin_center_x(bx);
+              const double pxv = bell_potential(dx, geo.wb_x, wv_x);
+              const double dpx = bell_potential_grad(dx, geo.wb_x, wv_x);
+              for (int by = geo.b0y; by <= geo.b1y; ++by) {
+                const double dy = geo.cy - bin_center_y(by);
+                const double pyv = bell_potential(dy, geo.wb_y, wv_y);
+                const double dpy = bell_potential_grad(dy, geo.wb_y, wv_y);
+                const auto bi = static_cast<std::size_t>(by) * bins_x + bx;
+                const double hv = (*heat_sh)[bi];
+                gx[ci] += scale * hv * q * (*depth)[ci] * dpx * pyv;
+                gy[ci] += scale * hv * q * (*depth)[ci] * pxv * dpy;
+                gd[ci] += scale * hv * q * pxv * pyv;
+              }
+            }
+          }
+        });
+    auto flush = [g](nn::Node& pnode, const std::vector<double>& vec) {
+      if (!pnode.requires_grad) return;
+      pnode.ensure_grad();
+      auto dst = pnode.grad.data();
+      for (std::size_t i = 0; i < vec.size(); ++i)
+        dst[i] += g * static_cast<float>(vec[i]);
+    };
+    flush(px_node, gx);
+    flush(py_node, gy);
+    // d(depth_i)/dp_t(i) = (t+1)/K.
+    for (int t = 0; t < K; ++t) {
+      nn::Node& pt = *node.parents[static_cast<std::size_t>(2 + t)];
+      if (!pt.requires_grad) continue;
+      pt.ensure_grad();
+      auto dst = pt.grad.data();
+      const double wt = (static_cast<double>(t) + 1.0) / static_cast<double>(K);
+      for (std::size_t i = 0; i < n; ++i)
+        dst[i] += g * static_cast<float>(gd[i] * wt);
+    }
+  };
+
+  std::vector<nn::Var> parents = {x, y};
+  parents.insert(parents.end(), p.begin(), p.end());
+  return nn::make_node(nn::Tensor::scalar(static_cast<float>(loss)), parents,
+                       std::move(backward));
+}
+
 nn::Var congestion_loss(const nn::SiameseUNet& model, const SoftMaps& maps) {
-  auto [c_top, c_bot] = model.forward(maps.top(), maps.bottom());
-  nn::Var zero_t = nn::make_leaf(nn::Tensor(c_top->value.shape()));
-  nn::Var zero_b = nn::make_leaf(nn::Tensor(c_bot->value.shape()));
-  return nn::siamese_loss(c_top, zero_t, c_bot, zero_b);
+  if (maps.num_tiers == 2) {
+    auto [c_top, c_bot] = model.forward(maps.top(), maps.bottom());
+    nn::Var zero_t = nn::make_leaf(nn::Tensor(c_top->value.shape()));
+    nn::Var zero_b = nn::make_leaf(nn::Tensor(c_bot->value.shape()));
+    return nn::siamese_loss(c_top, zero_t, c_bot, zero_b);
+  }
+  std::vector<nn::Var> f;
+  f.reserve(static_cast<std::size_t>(maps.num_tiers));
+  for (int t = 0; t < maps.num_tiers; ++t) f.push_back(maps.tier(t));
+  std::vector<nn::Var> preds = model.forward_n(f);
+  std::vector<nn::Var> zeros;
+  zeros.reserve(preds.size());
+  for (const nn::Var& c : preds)
+    zeros.push_back(nn::make_leaf(nn::Tensor(c->value.shape())));
+  return nn::siamese_loss_n(preds, zeros);
 }
 
 nn::Var congestion_loss(const Predictor& predictor, const SoftMaps& maps) {
-  auto [c_top, c_bot] =
-      predictor.model->forward(predictor.normalize_features(maps.top()),
-                               predictor.normalize_features(maps.bottom()));
-  nn::Var zero_t = nn::make_leaf(nn::Tensor(c_top->value.shape()));
-  nn::Var zero_b = nn::make_leaf(nn::Tensor(c_bot->value.shape()));
-  return nn::siamese_loss(c_top, zero_t, c_bot, zero_b);
+  if (maps.num_tiers == 2) {
+    auto [c_top, c_bot] =
+        predictor.model->forward(predictor.normalize_features(maps.top()),
+                                 predictor.normalize_features(maps.bottom()));
+    nn::Var zero_t = nn::make_leaf(nn::Tensor(c_top->value.shape()));
+    nn::Var zero_b = nn::make_leaf(nn::Tensor(c_bot->value.shape()));
+    return nn::siamese_loss(c_top, zero_t, c_bot, zero_b);
+  }
+  std::vector<nn::Var> f;
+  f.reserve(static_cast<std::size_t>(maps.num_tiers));
+  for (int t = 0; t < maps.num_tiers; ++t)
+    f.push_back(predictor.normalize_features(maps.tier(t)));
+  std::vector<nn::Var> preds = predictor.model->forward_n(f);
+  std::vector<nn::Var> zeros;
+  zeros.reserve(preds.size());
+  for (const nn::Var& c : preds)
+    zeros.push_back(nn::make_leaf(nn::Tensor(c->value.shape())));
+  return nn::siamese_loss_n(preds, zeros);
 }
 
 }  // namespace dco3d

@@ -30,6 +30,15 @@ nn::Var displacement_loss(const nn::Var& x, const nn::Var& y,
 nn::Var cutsize_loss(const nn::Var& z,
                      std::shared_ptr<const std::vector<std::pair<std::int64_t, std::int64_t>>> edges);
 
+/// K-tier cutsize: p holds per-tier probability vectors (p[t][i] = P(cell i
+/// on tier t)). The expected inter-tier cut of an edge is the expected tier
+/// distance E|T_u - T_v| = sum_j [F_u(j) + F_v(j) - 2 F_u(j) F_v(j)] over
+/// the K-1 tier boundaries (F = the tier CDF) — so a move across two
+/// boundaries costs two via stacks. Normalized by sum_t cut/deg(t); reduces
+/// exactly to the two-die form at K = 2. Analytic gradients in every p[t].
+nn::Var cutsize_loss(const std::vector<nn::Var>& p,
+                     std::shared_ptr<const std::vector<std::pair<std::int64_t, std::int64_t>>> edges);
+
 /// Overlap (density) loss, Eq. (8)-(10): per-die bin densities accumulated
 /// through the bell-shaped potentials p_x p_y with the paper's a, b smoothing
 /// constants; the penalty is the mean squared excess over `target_util`.
@@ -38,9 +47,30 @@ nn::Var overlap_loss(const Netlist& netlist, const nn::Var& x, const nn::Var& y,
                      const nn::Var& z, const Rect& outline, int bins_x,
                      int bins_y, double target_util);
 
+/// K-tier overlap loss: per-tier bin densities weighted by the tier
+/// probabilities p[t]; penalty is the mean squared excess over all K * bins
+/// bins. Reduces to the two-die form at K = 2 with p = {1-z, z}.
+nn::Var overlap_loss(const Netlist& netlist, const nn::Var& x, const nn::Var& y,
+                     const std::vector<nn::Var>& p, const Rect& outline,
+                     int bins_x, int bins_y, double target_util);
+
+/// Thermal-density loss (optional channel for stacked dies): per-cell power
+/// is scattered through the same bell potentials as the overlap loss, each
+/// cell weighted by its expected tier depth sum_t w_t p_t with w_t =
+/// (t + 1)/K — tiers farther from the tier-0 heat sink count more. The
+/// penalty is the mean squared depth-weighted power density, so gradient
+/// descent both spreads hot cells laterally and pulls them toward the heat
+/// sink. Differentiable in x, y and every p[t]. `cell_power` is a [N] tensor
+/// of per-cell power (mW).
+nn::Var thermal_density_loss(const Netlist& netlist, const nn::Var& x,
+                             const nn::Var& y, const std::vector<nn::Var>& p,
+                             const nn::Tensor& cell_power, const Rect& outline,
+                             int bins_x, int bins_y);
+
 /// Congestion loss: Eq. (4) against an all-zero target — the RMS of the
-/// predicted post-route congestion of both dies, backpropagated through the
-/// frozen Siamese UNet and the soft feature maps (Eq. 5/6 chain).
+/// predicted post-route congestion of every tier, backpropagated through the
+/// frozen Siamese UNet and the soft feature maps (Eq. 5/6 chain). K > 2 maps
+/// run through the N-way forward.
 nn::Var congestion_loss(const nn::SiameseUNet& model, const SoftMaps& maps);
 
 /// Same, but routed through a trained Predictor so the soft maps receive the

@@ -11,7 +11,11 @@ GnnSpreader::GnnSpreader(const Netlist& netlist, const Placement3D& initial,
                          const SpreaderConfig& cfg, Rng& rng)
     : netlist_(netlist),
       cfg_(cfg),
-      gcn_(kGnnFeatureDim, cfg.hidden, 3, rng),
+      num_tiers_(initial.num_tiers),
+      // Output head: (dx, dy) plus K-1 stick logits — 3 columns for the
+      // classic two-tier stack, so weight shapes and RNG draws are unchanged.
+      gcn_(kGnnFeatureDim, cfg.hidden,
+           2 + static_cast<std::int64_t>(initial.num_tiers - 1), rng),
       outline_(initial.outline) {
   adj_ = std::make_shared<const nn::Csr>(nn::normalized_adjacency(
       static_cast<std::int64_t>(netlist.num_cells()), netlist.cell_graph_edges()));
@@ -34,6 +38,22 @@ GnnSpreader::GnnSpreader(const Netlist& netlist, const Placement3D& initial,
     // starts from the Pin-3D tier partition rather than 50/50.
     tier_bias_[i] = initial.tier[ci] ? 1.2f : -1.2f;
   }
+  if (num_tiers_ > 2) {
+    // Stick j decides P(T > j | T >= j): bias each stick so the product
+    // chain peaks at the cell's initial tier.
+    stick_bias_.assign(static_cast<std::size_t>(num_tiers_ - 1), nn::Tensor({n}));
+    fixed_onehot_.assign(static_cast<std::size_t>(num_tiers_), nn::Tensor({n}));
+    init_tier_.resize(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto ci = static_cast<std::size_t>(i);
+      const int tier = std::clamp(initial.tier[ci], 0, num_tiers_ - 1);
+      init_tier_[ci] = tier;
+      for (int j = 0; j + 1 < num_tiers_; ++j)
+        stick_bias_[static_cast<std::size_t>(j)][i] = j < tier ? 1.2f : -1.2f;
+      if (!netlist.is_movable(static_cast<CellId>(i)))
+        fixed_onehot_[static_cast<std::size_t>(tier)][i] = 1.0f;
+    }
+  }
 }
 
 SpreaderOutput GnnSpreader::forward(const nn::Var& features) const {
@@ -53,6 +73,49 @@ SpreaderOutput GnnSpreader::forward(const nn::Var& features) const {
   SpreaderOutput so;
   so.x = nn::add(x0, dx);
   so.y = nn::add(y0, dy);
+
+  if (num_tiers_ > 2) {
+    if (cfg_.freeze_tier) {
+      // 2D ablation: every cell keeps its input tier (hard one-hot p).
+      so.p.reserve(static_cast<std::size_t>(num_tiers_));
+      for (int t = 0; t < num_tiers_; ++t) {
+        nn::Tensor hard(mask_.shape());
+        for (std::int64_t i = 0; i < hard.numel(); ++i)
+          hard[i] = init_tier_[static_cast<std::size_t>(i)] == t ? 1.0f : 0.0f;
+        so.p.push_back(nn::make_leaf(hard));
+      }
+      return so;
+    }
+    // Stick-breaking relaxation: s_j = sigmoid(logit_j + bias_j) is the
+    // survival odds past boundary j; S_j = prod_{q<=j} s_q; p_0 = 1 - S_0,
+    // p_t = S_{t-1} - S_t, p_{K-1} = S_{K-2}. At K = 2 this is exactly the
+    // single-sigmoid z (p_1 = sigmoid(logit + bias)).
+    std::vector<nn::Var> survival(static_cast<std::size_t>(num_tiers_ - 1));
+    for (int j = 0; j + 1 < num_tiers_; ++j) {
+      nn::Var s = nn::sigmoid(
+          nn::add(nn::select_column(out, 2 + j),
+                  nn::make_leaf(stick_bias_[static_cast<std::size_t>(j)])));
+      survival[static_cast<std::size_t>(j)] =
+          j == 0 ? s : nn::mul(survival[static_cast<std::size_t>(j - 1)], s);
+    }
+    so.p.resize(static_cast<std::size_t>(num_tiers_));
+    for (int t = 0; t < num_tiers_; ++t) {
+      nn::Var soft;
+      if (t == 0) {
+        soft = nn::add_scalar(nn::mul_scalar(survival[0], -1.0f), 1.0f);
+      } else if (t == num_tiers_ - 1) {
+        soft = survival[static_cast<std::size_t>(t - 1)];
+      } else {
+        soft = nn::sub(survival[static_cast<std::size_t>(t - 1)],
+                       survival[static_cast<std::size_t>(t)]);
+      }
+      // Pin fixed cells to their hard one-hot tier.
+      nn::Var masked = nn::mul(soft, mask);
+      so.p[static_cast<std::size_t>(t)] = nn::add(
+          masked, nn::make_leaf(fixed_onehot_[static_cast<std::size_t>(t)]));
+    }
+    return so;
+  }
 
   if (cfg_.freeze_tier) {
     // 2D ablation: every cell keeps its input tier (hard 0/1 z).
@@ -80,8 +143,18 @@ void GnnSpreader::commit(const SpreaderOutput& out, Placement3D& placement) cons
                                     outline_.xlo, outline_.xhi);
     placement.xy[ci].y = std::clamp(static_cast<double>(out.y->value[static_cast<std::int64_t>(ci)]),
                                     outline_.ylo, outline_.yhi);
-    // Hard tier assignment: z >= 0.5 -> top die (§IV-A).
-    placement.tier[ci] = out.z->value[static_cast<std::int64_t>(ci)] >= 0.5f ? 1 : 0;
+    if (num_tiers_ > 2) {
+      // Hard tier assignment: most probable tier (ties to the lowest).
+      int best = 0;
+      for (int t = 1; t < num_tiers_; ++t)
+        if (out.p[static_cast<std::size_t>(t)]->value[static_cast<std::int64_t>(ci)] >
+            out.p[static_cast<std::size_t>(best)]->value[static_cast<std::int64_t>(ci)])
+          best = t;
+      placement.tier[ci] = best;
+    } else {
+      // Hard tier assignment: z >= 0.5 -> top die (§IV-A).
+      placement.tier[ci] = out.z->value[static_cast<std::int64_t>(ci)] >= 0.5f ? 1 : 0;
+    }
   }
 }
 

@@ -28,7 +28,11 @@ struct SpreaderConfig {
 struct SpreaderOutput {
   nn::Var x;  // [N] absolute x
   nn::Var y;  // [N] absolute y
-  nn::Var z;  // [N] soft top-die probability
+  nn::Var z;  // [N] soft top-die probability (two-tier stacks only)
+  // K > 2 stacks: per-tier probability vectors from the stick-breaking
+  // relaxation, p[t][i] = P(cell i on tier t), summing to 1 per cell. Empty
+  // for the classic two-tier path (which uses z).
+  std::vector<nn::Var> p;
 };
 
 class GnnSpreader {
@@ -42,19 +46,28 @@ class GnnSpreader {
   std::vector<nn::Var> parameters() const { return gcn_.parameters(); }
   const std::shared_ptr<const nn::Csr>& adjacency() const { return adj_; }
 
-  /// Write the hard assignment (z >= 0.5 -> top die) of an output back into
-  /// a placement, clamping positions into the outline.
+  /// Write the hard assignment (z >= 0.5 -> top die for two tiers, argmax
+  /// over p otherwise) of an output back into a placement, clamping
+  /// positions into the outline.
   void commit(const SpreaderOutput& out, Placement3D& placement) const;
+
+  int num_tiers() const { return num_tiers_; }
 
  private:
   const Netlist& netlist_;
   SpreaderConfig cfg_;
+  int num_tiers_ = 2;
   nn::GcnStack gcn_;
   std::shared_ptr<const nn::Csr> adj_;
   nn::Tensor x0_, y0_;      // initial positions
   nn::Tensor mask_;         // 1 for movable cells
-  nn::Tensor fixed_tier_;   // hard z for fixed cells
+  nn::Tensor fixed_tier_;   // hard z for fixed cells (two-tier path)
   nn::Tensor tier_bias_;    // +/- logit bias toward the initial tier
+  // K > 2: per-boundary stick biases [K-1 x N] and fixed one-hot tier
+  // probabilities [K x N] for pinned cells.
+  std::vector<nn::Tensor> stick_bias_;
+  std::vector<nn::Tensor> fixed_onehot_;
+  std::vector<int> init_tier_;
   Rect outline_;
 };
 

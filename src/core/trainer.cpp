@@ -22,13 +22,19 @@ nn::Tensor scaled(const nn::Tensor& t, float s) {
   return out;
 }
 
-/// Forward one sample and return the Eq. (4) loss node. Features must
-/// already be normalized.
-nn::Var sample_loss(const nn::SiameseUNet& model, const nn::Tensor& f_top,
-                    const nn::Tensor& f_bot, const nn::Tensor& l_top,
-                    const nn::Tensor& l_bot) {
-  auto [p_top, p_bot] = model.forward(nn::make_leaf(f_top), nn::make_leaf(f_bot));
-  return nn::siamese_loss(p_top, nn::make_leaf(l_top), p_bot, nn::make_leaf(l_bot));
+/// Forward one sample and return the Eq. (4) loss node (per-tier feature and
+/// label stacks, index 0 = bottom). Features must already be normalized.
+nn::Var sample_loss(const nn::SiameseUNet& model,
+                    const std::vector<nn::Tensor>& features,
+                    const std::vector<nn::Tensor>& labels) {
+  std::vector<nn::Var> f;
+  f.reserve(features.size());
+  for (const nn::Tensor& t : features) f.push_back(nn::make_leaf(t));
+  std::vector<nn::Var> preds = model.forward_n(f);
+  std::vector<nn::Var> l;
+  l.reserve(labels.size());
+  for (const nn::Tensor& t : labels) l.push_back(nn::make_leaf(t));
+  return nn::siamese_loss_n(preds, l);
 }
 
 }  // namespace
@@ -59,12 +65,23 @@ nn::Var Predictor::normalize_features(const nn::Var& f) const {
   return nn::mul(f, nn::make_leaf(scale));
 }
 
+std::vector<nn::Tensor> Predictor::predict(const DataSample& sample) const {
+  std::vector<nn::Var> f;
+  f.reserve(sample.features.size());
+  for (const nn::Tensor& t : sample.features)
+    f.push_back(nn::make_leaf(normalize_features(t)));
+  std::vector<nn::Var> preds = model->forward_n(f);
+  std::vector<nn::Tensor> out;
+  out.reserve(preds.size());
+  for (const nn::Var& p : preds) out.push_back(scaled(p->value, label_scale));
+  return out;
+}
+
 void Predictor::predict(const DataSample& sample, nn::Tensor out[2]) const {
-  auto [p_top, p_bot] =
-      model->forward(nn::make_leaf(normalize_features(sample.features[1])),
-                     nn::make_leaf(normalize_features(sample.features[0])));
-  out[1] = scaled(p_top->value, label_scale);
-  out[0] = scaled(p_bot->value, label_scale);
+  assert(sample.num_tiers() == 2);
+  std::vector<nn::Tensor> maps = predict(sample);
+  out[0] = std::move(maps[0]);
+  out[1] = std::move(maps[1]);
 }
 
 Predictor train_predictor(const std::vector<DataSample>& dataset,
@@ -75,9 +92,9 @@ Predictor train_predictor(const std::vector<DataSample>& dataset,
   // Auto label scale: normalize targets to O(1).
   float lmax = 1e-6f;
   for (const DataSample& s : dataset)
-    for (int die = 0; die < 2; ++die)
-      for (std::int64_t i = 0; i < s.labels[die].numel(); ++i)
-        lmax = std::max(lmax, s.labels[die][i]);
+    for (const nn::Tensor& label : s.labels)
+      for (std::int64_t i = 0; i < label.numel(); ++i)
+        lmax = std::max(lmax, label[i]);
   pred.label_scale = cfg.label_scale > 0.0f ? cfg.label_scale : lmax;
   const float inv_scale = 1.0f / pred.label_scale;
 
@@ -85,13 +102,12 @@ Predictor train_predictor(const std::vector<DataSample>& dataset,
   // the whole dataset.
   pred.feature_scale = nn::Tensor({kNumFeatureChannels}, 1e-6f);
   for (const DataSample& s : dataset) {
-    for (int die = 0; die < 2; ++die) {
-      const auto hw = static_cast<std::int64_t>(s.features[die].dim(2) *
-                                                s.features[die].dim(3));
+    for (const nn::Tensor& feat : s.features) {
+      const auto hw = static_cast<std::int64_t>(feat.dim(2) * feat.dim(3));
       for (std::int64_t c = 0; c < kNumFeatureChannels; ++c)
         for (std::int64_t i = 0; i < hw; ++i)
-          pred.feature_scale[c] = std::max(
-              pred.feature_scale[c], std::abs(s.features[die][c * hw + i]));
+          pred.feature_scale[c] =
+              std::max(pred.feature_scale[c], std::abs(feat[c * hw + i]));
     }
   }
 
@@ -157,20 +173,22 @@ Predictor train_predictor(const std::vector<DataSample>& dataset,
                  " ms) hit at epoch ", epoch, "; committing model as-is");
         break;
       }
-      nn::Tensor f_top = pred.normalize_features(s->features[1]);
-      nn::Tensor f_bot = pred.normalize_features(s->features[0]);
-      nn::Tensor l_top = scaled(s->labels[1], inv_scale);
-      nn::Tensor l_bot = scaled(s->labels[0], inv_scale);
+      const auto tiers = s->features.size();
+      std::vector<nn::Tensor> feats(tiers), labels(tiers);
+      for (std::size_t t = 0; t < tiers; ++t) {
+        feats[t] = pred.normalize_features(s->features[t]);
+        labels[t] = scaled(s->labels[t], inv_scale);
+      }
       if (cfg.augment) {
         // One random dihedral transform per step (the full 8x set is swept
-        // across epochs), applied consistently to both dies.
+        // across epochs), applied consistently to every tier.
         const int which = static_cast<int>(rng.uniform_int(0, 7));
-        f_top = augment_dihedral(f_top, which);
-        f_bot = augment_dihedral(f_bot, which);
-        l_top = augment_dihedral(l_top, which);
-        l_bot = augment_dihedral(l_bot, which);
+        for (std::size_t t = 0; t < tiers; ++t) {
+          feats[t] = augment_dihedral(feats[t], which);
+          labels[t] = augment_dihedral(labels[t], which);
+        }
       }
-      nn::Var loss = sample_loss(*pred.model, f_top, f_bot, l_top, l_bot);
+      nn::Var loss = sample_loss(*pred.model, feats, labels);
       faults.maybe_corrupt(FaultSite::kTrainerLoss, loss->value);
       if (!std::isfinite(loss->value[0])) {
         recover(epoch, "loss", /*poisoned=*/false);
@@ -196,11 +214,13 @@ Predictor train_predictor(const std::vector<DataSample>& dataset,
     double test_loss = 0.0;
     std::size_t test_counted = 0;
     for (const DataSample* s : test) {
-      nn::Var loss = sample_loss(*pred.model,
-                                 pred.normalize_features(s->features[1]),
-                                 pred.normalize_features(s->features[0]),
-                                 scaled(s->labels[1], inv_scale),
-                                 scaled(s->labels[0], inv_scale));
+      const auto tiers = s->features.size();
+      std::vector<nn::Tensor> feats(tiers), labels(tiers);
+      for (std::size_t t = 0; t < tiers; ++t) {
+        feats[t] = pred.normalize_features(s->features[t]);
+        labels[t] = scaled(s->labels[t], inv_scale);
+      }
+      nn::Var loss = sample_loss(*pred.model, feats, labels);
       if (!std::isfinite(loss->value[0])) continue;
       test_loss += loss->value[0];
       ++test_counted;
@@ -228,9 +248,8 @@ EvalStats evaluate_predictor(const Predictor& predictor,
                              const std::vector<const DataSample*>& samples) {
   EvalStats ev;
   for (const DataSample* s : samples) {
-    nn::Tensor out[2];
-    predictor.predict(*s, out);
-    for (int die = 0; die < 2; ++die) {
+    const std::vector<nn::Tensor> out = predictor.predict(*s);
+    for (std::size_t die = 0; die < out.size(); ++die) {
       const auto h = static_cast<std::size_t>(s->labels[die].dim(2));
       const auto w = static_cast<std::size_t>(s->labels[die].dim(3));
       ev.nrmse.push_back(

@@ -39,7 +39,7 @@ struct EpochStats {
 };
 
 struct EvalStats {
-  std::vector<float> nrmse;  // one entry per test map (both dies)
+  std::vector<float> nrmse;  // one entry per test map (every tier)
   std::vector<float> ssim;
   double frac_nrmse_below_02 = 0.0;
   double frac_ssim_above_07 = 0.0;
@@ -60,7 +60,10 @@ struct Predictor {
   /// (all-zero for checkpoints loaded from disk).
   GuardStats guard;
 
-  /// Predict congestion maps (label scale restored) for a sample's features.
+  /// Predict congestion maps (label scale restored) for a sample's features,
+  /// one map per tier (index 0 = bottom).
+  std::vector<nn::Tensor> predict(const DataSample& sample) const;
+  /// Two-die convenience overload over the same path.
   void predict(const DataSample& sample, nn::Tensor out[2]) const;
 
   /// Normalize a raw [1,7,H,W] feature tensor (copy).

@@ -87,13 +87,22 @@ void write_route_file(const fs::path& path, const RouteResult& r) {
   std::ofstream os(path);
   if (!os) fail_io("cannot open " + path.string());
   set_precision(os);
-  os << "dco3d-route v1\n";
+  os << "dco3d-route v2\n";
+  os << "tiers " << r.num_tiers << '\n';
   os << "scalars " << r.total_overflow << ' ' << r.h_overflow << ' '
      << r.v_overflow << ' ' << r.ovf_gcell_pct << ' ' << r.wirelength << ' '
      << r.num_3d_vias << '\n';
-  for (int die = 0; die < 2; ++die) {
-    write_vec(os, die == 0 ? "congestion0" : "congestion1", r.congestion[die]);
-    write_vec(os, die == 0 ? "usage0" : "usage1", r.usage[die]);
+  write_vec(os, "tier_overflow", r.tier_overflow);
+  write_vec(os, "vias_per_boundary", r.vias_per_boundary);
+  for (int die = 0; die < r.num_tiers; ++die) {
+    const auto di = static_cast<std::size_t>(die);
+    const std::string c_tag = "congestion" + std::to_string(die);
+    const std::string u_tag = "usage" + std::to_string(die);
+    write_vec(os, c_tag.c_str(),
+              di < r.congestion.size() ? r.congestion[di]
+                                       : std::vector<float>{});
+    write_vec(os, u_tag.c_str(),
+              di < r.usage.size() ? r.usage[di] : std::vector<float>{});
   }
   write_vec(os, "net_routed_wl", r.net_routed_wl);
   write_vec(os, "net_overflow_crossings", r.net_overflow_crossings);
@@ -104,16 +113,25 @@ RouteResult read_route_file(const fs::path& path) {
   std::ifstream is(path);
   if (!is) fail_io("cannot open " + path.string());
   std::string line, word;
-  if (!std::getline(is, line) || line.rfind("dco3d-route v1", 0) != 0)
-    fail_data("missing 'dco3d-route v1' header in " + path.string());
+  if (!std::getline(is, line) || line.rfind("dco3d-route v2", 0) != 0)
+    fail_data("missing 'dco3d-route v2' header in " + path.string());
   RouteResult r;
+  if (!(is >> word >> r.num_tiers) || word != "tiers" || r.num_tiers < 1)
+    fail_data("expected tiers");
   if (!(is >> word) || word != "scalars") fail_data("expected scalars");
   if (!(is >> r.total_overflow >> r.h_overflow >> r.v_overflow >>
         r.ovf_gcell_pct >> r.wirelength >> r.num_3d_vias))
     fail_data("malformed scalars");
-  for (int die = 0; die < 2; ++die) {
-    read_vec(is, die == 0 ? "congestion0" : "congestion1", r.congestion[die]);
-    read_vec(is, die == 0 ? "usage0" : "usage1", r.usage[die]);
+  read_vec(is, "tier_overflow", r.tier_overflow);
+  read_vec(is, "vias_per_boundary", r.vias_per_boundary);
+  r.congestion.resize(static_cast<std::size_t>(r.num_tiers));
+  r.usage.resize(static_cast<std::size_t>(r.num_tiers));
+  for (int die = 0; die < r.num_tiers; ++die) {
+    const auto di = static_cast<std::size_t>(die);
+    const std::string c_tag = "congestion" + std::to_string(die);
+    const std::string u_tag = "usage" + std::to_string(die);
+    read_vec(is, c_tag.c_str(), r.congestion[di]);
+    read_vec(is, u_tag.c_str(), r.usage[di]);
   }
   read_vec(is, "net_routed_wl", r.net_routed_wl);
   read_vec(is, "net_overflow_crossings", r.net_overflow_crossings);

@@ -22,10 +22,18 @@ Point centroid(const std::vector<SinkRef>& sinks) {
   return {c.x / n, c.y / n};
 }
 
-int majority_tier(const std::vector<SinkRef>& sinks) {
-  int t1 = 0;
-  for (const SinkRef& s : sinks) t1 += s.tier;
-  return (2 * t1 > static_cast<int>(sinks.size())) ? 1 : 0;
+int majority_tier(const std::vector<SinkRef>& sinks, int num_tiers) {
+  // Most-populated tier, ties to the lowest index. At two tiers this is the
+  // classic "strict majority goes to tier 1" rule.
+  std::vector<int> counts(static_cast<std::size_t>(num_tiers), 0);
+  for (const SinkRef& s : sinks)
+    if (s.tier >= 0 && s.tier < num_tiers)
+      ++counts[static_cast<std::size_t>(s.tier)];
+  int best = 0;
+  for (int t = 1; t < num_tiers; ++t)
+    if (counts[static_cast<std::size_t>(t)] > counts[static_cast<std::size_t>(best)])
+      best = t;
+  return best;
 }
 
 }  // namespace
@@ -57,7 +65,7 @@ CtsResult run_cts(Netlist& netlist, Placement3D& placement, const CtsConfig& cfg
           double arrival) -> CellId {
     res.levels = std::max(res.levels, level + 1);
     const Point c = centroid(group);
-    const int tier = majority_tier(group);
+    const int tier = majority_tier(group, placement.num_tiers);
     const CellId bid = netlist.add_cell("cts_buf_" + std::to_string(buffer_counter++),
                                         buf_type);
     ++res.buffers_inserted;

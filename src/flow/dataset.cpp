@@ -14,8 +14,8 @@ DataSample make_sample(const Netlist& design, const PlacementParams& params,
   // Features come from the 3D *global placement* (the prediction-time input);
   // labels come from post-CTS routed congestion (the post-route truth).
   Netlist netlist = design;
-  Placement3D placement =
-      place_pseudo3d(netlist, params, seed, /*legalized=*/false);
+  Placement3D placement = place_pseudo3d(netlist, params, seed,
+                                         /*legalized=*/false, cfg.num_tiers);
   if (perturb > 0) {
     // Local perturbation: emulate the moves the DCO spreader makes so the
     // model learns the congestion response to them (see DatasetConfig).
@@ -59,8 +59,18 @@ DataSample make_sample(const Netlist& design, const PlacementParams& params,
                                         placement.outline.ylo,
                                         placement.outline.yhi);
       }
-      if (prng.bernoulli(cfg.perturb_tier_prob))
-        placement.tier[ci] = 1 - placement.tier[ci];
+      if (prng.bernoulli(cfg.perturb_tier_prob)) {
+        // Two tiers: flip (no extra RNG draw, preserving the legacy stream).
+        // K > 2: jump to a uniformly random *other* tier.
+        if (placement.num_tiers == 2) {
+          placement.tier[ci] = 1 - placement.tier[ci];
+        } else {
+          const int k = placement.num_tiers;
+          const int step =
+              1 + static_cast<int>(prng.index(static_cast<std::uint64_t>(k - 1)));
+          placement.tier[ci] = (placement.tier[ci] + step) % k;
+        }
+      }
     }
   }
   const GCellGrid grid(placement.outline, cfg.grid_nx, cfg.grid_ny);
@@ -73,12 +83,16 @@ DataSample make_sample(const Netlist& design, const PlacementParams& params,
   RouteResult route = global_route(netlist, placement, grid, cfg.router);
 
   DataSample s;
-  for (int die = 0; die < 2; ++die) {
-    s.features[die] = resize_nearest(fm.die[die], cfg.net_h, cfg.net_w);
+  const int num_tiers = fm.num_tiers();
+  s.features.resize(static_cast<std::size_t>(num_tiers));
+  s.labels.resize(static_cast<std::size_t>(num_tiers));
+  for (int die = 0; die < num_tiers; ++die) {
+    const auto d = static_cast<std::size_t>(die);
+    s.features[d] = resize_nearest(fm.die[d], cfg.net_h, cfg.net_w);
     nn::Tensor label({1, 1, grid.ny(), grid.nx()});
     auto dst = label.data();
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = route.congestion[die][i];
-    s.labels[die] = resize_nearest(label, cfg.net_h, cfg.net_w);
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = route.congestion[d][i];
+    s.labels[d] = resize_nearest(label, cfg.net_h, cfg.net_w);
   }
   return s;
 }

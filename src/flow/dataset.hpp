@@ -14,13 +14,17 @@
 
 namespace dco3d {
 
-/// One training sample: per-die features [1,7,H,W] and labels [1,1,H,W].
+/// One training sample: per-die features [1,7,H,W] and labels [1,1,H,W],
+/// one entry per tier (two for the classic stack).
 struct DataSample {
-  nn::Tensor features[2];
-  nn::Tensor labels[2];
+  std::vector<nn::Tensor> features;
+  std::vector<nn::Tensor> labels;
+
+  int num_tiers() const { return static_cast<int>(features.size()); }
 };
 
 struct DatasetConfig {
+  int num_tiers = 2;       // stacked dies of the sampled placements
   int layouts = 24;        // paper: 300 per design; scaled (DESIGN.md)
   int grid_nx = 64;        // GCell resolution of the raw maps
   int grid_ny = 64;

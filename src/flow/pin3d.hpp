@@ -30,6 +30,9 @@ struct FlowConfig {
   SignoffConfig signoff;
   int grid_nx = 64;
   int grid_ny = 64;
+  // Number of stacked dies (tiers). 2 is the classic face-to-face stack and
+  // reproduces the legacy two-die flow bit-for-bit; must be >= 2.
+  int num_tiers = 2;
   std::uint64_t seed = 1;
 };
 

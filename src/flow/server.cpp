@@ -27,9 +27,12 @@ DesignKind parse_serve_kind(const std::string& k, Status& err) {
   if (k == "ldpc") return DesignKind::kLdpc;
   if (k == "vga") return DesignKind::kVga;
   if (k == "rocket") return DesignKind::kRocket;
+  if (k == "memlogic") return DesignKind::kMemLogic;
+  if (k == "macroheavy") return DesignKind::kMacroHeavy;
   err = Status::invalid_argument(
       "unknown design kind '" + k +
-      "' (valid kinds: dma, aes, ecg, ldpc, vga, rocket)");
+      "' (valid kinds: dma, aes, ecg, ldpc, vga, rocket, memlogic, "
+      "macroheavy)");
   return DesignKind::kDma;
 }
 
@@ -242,8 +245,10 @@ void Server::run_job(Job& job) {
 
     FlowConfig cfg;
     cfg.grid_nx = cfg.grid_ny = job.spec.grid;
+    cfg.num_tiers = job.spec.tiers;
     cfg.seed = spec.seed;
-    const Placement3D ref = place_pseudo3d(design, cfg.place_params, cfg.seed);
+    const Placement3D ref = place_pseudo3d(design, cfg.place_params, cfg.seed,
+                                           /*legalized=*/true, cfg.num_tiers);
     cfg.router = calibrated_router(design, ref, cfg.grid_nx, 0.70);
 
     FlowContext ctx = make_flow_context(design, cfg);
@@ -432,6 +437,7 @@ std::string Server::handle_submit(const JsonObject& req, int fd) {
   spec.kind = util::json_str(req, "kind", spec.kind);
   spec.scale = util::json_num(req, "scale", spec.scale);
   spec.grid = static_cast<int>(util::json_num(req, "grid", spec.grid));
+  spec.tiers = static_cast<int>(util::json_num(req, "tiers", spec.tiers));
   spec.clock_ps = util::json_num(req, "clock_ps", spec.clock_ps);
   spec.seed = static_cast<std::uint64_t>(util::json_num(req, "seed", 1.0));
   spec.stop_after = util::json_str(req, "stop_after", "");
@@ -445,6 +451,8 @@ std::string Server::handle_submit(const JsonObject& req, int fd) {
   Status kind_err;
   parse_serve_kind(spec.kind, kind_err);
   if (spec.grid < 4) kind_err = Status::invalid_argument("grid must be >= 4");
+  if (spec.tiers < 2)
+    kind_err = Status::invalid_argument("tiers must be >= 2");
   if (spec.scale <= 0.0)
     kind_err = Status::invalid_argument("scale must be > 0");
   if (!kind_err.ok()) {

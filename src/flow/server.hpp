@@ -65,6 +65,7 @@ struct ServeJobSpec {
   std::string kind = "dma";  // generator design kind
   double scale = 0.02;
   int grid = 16;
+  int tiers = 2;             // stacked dies; 2 = classic two-die flow
   double clock_ps = 250.0;
   std::uint64_t seed = 1;
   std::string stop_after;    // empty = full pipeline

@@ -65,10 +65,11 @@ std::vector<Stage> make_pin3d_stages() {
 
   s.emplace_back("place3d", [](FlowContext& c) {
     // Un-legalized global placement: the DCO hook operates pre-legalization.
-    c.placement =
-        place_pseudo3d(c.netlist, c.cfg.place_params, c.cfg.seed, false);
+    c.placement = place_pseudo3d(c.netlist, c.cfg.place_params, c.cfg.seed,
+                                 false, c.cfg.num_tiers);
     c.publish("cells", static_cast<double>(c.netlist.num_cells()));
     c.publish("nets", static_cast<double>(c.netlist.num_nets()));
+    c.publish("tiers", static_cast<double>(c.placement.num_tiers));
   });
 
   s.emplace_back("dco", [](FlowContext& c) {
@@ -111,6 +112,27 @@ std::vector<Stage> make_pin3d_stages() {
     c.publish("ovf_gcell_pct", c.route.ovf_gcell_pct);
     c.publish("wirelength_um", c.route.wirelength);
     c.publish("num_3d_vias", static_cast<double>(c.route.num_3d_vias));
+    // Per-tier / per-boundary breakdown for N-tier stacks. Keys are indexed
+    // so the StageTrace schema stays flat: ovf_tier<t> is the overflow on
+    // die t, vias_b<b> the via stacks crossing boundary b (between tiers b
+    // and b+1), cut_b<b> the net cut count at that boundary.
+    c.publish("tiers", static_cast<double>(c.route.num_tiers));
+    for (int t = 0; t < c.route.num_tiers; ++t)
+      c.publish("ovf_tier" + std::to_string(t),
+                static_cast<std::size_t>(t) < c.route.tier_overflow.size()
+                    ? c.route.tier_overflow[static_cast<std::size_t>(t)]
+                    : 0.0);
+    const std::vector<std::size_t> cuts =
+        count_tier_pair_cuts(c.netlist, c.placement);
+    for (int b = 0; b + 1 < c.route.num_tiers; ++b) {
+      const auto bi = static_cast<std::size_t>(b);
+      c.publish("vias_b" + std::to_string(b),
+                bi < c.route.vias_per_boundary.size()
+                    ? static_cast<double>(c.route.vias_per_boundary[bi])
+                    : 0.0);
+      c.publish("cut_b" + std::to_string(b),
+                bi < cuts.size() ? static_cast<double>(cuts[bi]) : 0.0);
+    }
   });
 
   s.emplace_back("signoff", [](FlowContext& c) {
@@ -382,7 +404,8 @@ std::string flow_cache_key(const FlowContext& ctx) {
      << ' ' << so.downsize_slack_margin_ps << ' '
      << so.enable_low_power_recovery << ' ' << so.enable_useful_skew << ' '
      << so.useful_skew_budget_ps << ' ' << so.detour_overflow_penalty;
-  os << "|grid " << c.grid_nx << ' ' << c.grid_ny << "|seed " << c.seed;
+  os << "|grid " << c.grid_nx << ' ' << c.grid_ny << "|tiers " << c.num_tiers
+     << "|seed " << c.seed;
   os << "|opt " << ctx.optimizer_tag;
 
   char buf[17];

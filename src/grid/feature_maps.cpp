@@ -16,7 +16,7 @@ namespace {
 constexpr std::int64_t kScatterChunks = 8;
 
 void add_maps(FeatureMaps& into, const FeatureMaps& from) {
-  for (int die = 0; die < 2; ++die) {
+  for (std::size_t die = 0; die < into.die.size(); ++die) {
     auto dst = into.die[die].data();
     auto src = from.die[die].data();
     for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
@@ -64,12 +64,13 @@ FeatureMaps compute_feature_maps(const Netlist& netlist,
                                  const Placement3D& placement,
                                  const GCellGrid& grid) {
   const std::int64_t H = grid.ny(), W = grid.nx();
+  const int num_tiers = placement.num_tiers;
   FeatureMaps zero;
-  zero.die[0] = nn::Tensor({1, kNumFeatureChannels, H, W});
-  zero.die[1] = nn::Tensor({1, kNumFeatureChannels, H, W});
+  zero.die.resize(static_cast<std::size_t>(num_tiers));
+  for (auto& t : zero.die) t = nn::Tensor({1, kNumFeatureChannels, H, W});
 
   auto channel = [H, W](FeatureMaps& m, int die, FeatureChannel ch) {
-    auto span = m.die[die].data();
+    auto span = m.die[static_cast<std::size_t>(die)].data();
     return span.subspan(static_cast<std::size_t>(ch * H * W),
                         static_cast<std::size_t>(H * W));
   };
@@ -88,7 +89,7 @@ FeatureMaps compute_feature_maps(const Netlist& netlist,
           if (t.area() <= 0.0) continue;
           const Point p = placement.xy[ci];
           const Rect cell_rect{p.x, p.y, p.x + t.width, p.y + t.height};
-          const int die = placement.tier[ci] ? 1 : 0;
+          const int die = std::clamp(placement.tier[ci], 0, num_tiers - 1);
           auto dst =
               channel(acc, die, netlist.is_macro(id) ? kMacroBlockage : kCellDensity);
           const int m0 = grid.col_of(cell_rect.xlo);
@@ -121,13 +122,25 @@ FeatureMaps compute_feature_maps(const Netlist& netlist,
           const double kf = rudy_factor(bbox, grid);
 
           if (is3d) {
-            // 3D nets: demand lands on both dies, scaled by 0.5 for the extra
-            // resources of the second die (§III-B1).
-            add_net_rudy(channel(acc, 0, kRudy3D), grid, bbox, 0.5);
-            add_net_rudy(channel(acc, 1, kRudy3D), grid, bbox, 0.5);
+            // 3D nets: demand spreads uniformly over the tiers of the net's
+            // span (1/T each) -- the legacy 0.5-per-die split at two tiers,
+            // generalized to taller stacks (the z-weighted 3D RUDY of IV-A).
+            int lo = num_tiers - 1, hi = 0;
+            auto widen = [&](CellId c) {
+              const int t = std::clamp(
+                  placement.tier[static_cast<std::size_t>(c)], 0, num_tiers - 1);
+              lo = std::min(lo, t);
+              hi = std::max(hi, t);
+            };
+            widen(net.driver.cell);
+            for (const PinRef& s : net.sinks) widen(s.cell);
+            const double w3d = 1.0 / static_cast<double>(hi - lo + 1);
+            for (int t = lo; t <= hi; ++t)
+              add_net_rudy(channel(acc, t, kRudy3D), grid, bbox, w3d);
           } else {
-            const int die =
-                placement.tier[static_cast<std::size_t>(net.driver.cell)] ? 1 : 0;
+            const int die = std::clamp(
+                placement.tier[static_cast<std::size_t>(net.driver.cell)], 0,
+                num_tiers - 1);
             add_net_rudy(channel(acc, die, kRudy2D), grid, bbox, 1.0);
           }
 
@@ -135,7 +148,9 @@ FeatureMaps compute_feature_maps(const Netlist& netlist,
           auto add_pin = [&](const PinRef& pin) {
             const Point pos = placement.pin_position(pin);
             const std::size_t tile = static_cast<std::size_t>(grid.tile_of(pos));
-            const int die = placement.tier[static_cast<std::size_t>(pin.cell)] ? 1 : 0;
+            const int die = std::clamp(
+                placement.tier[static_cast<std::size_t>(pin.cell)], 0,
+                num_tiers - 1);
             channel(acc, die, kPinDensity)[tile] += static_cast<float>(1.0 / tile_area);
             channel(acc, die, is3d ? kPinRudy3D : kPinRudy2D)[tile] +=
                 static_cast<float>(kf);

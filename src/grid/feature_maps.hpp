@@ -12,6 +12,7 @@
 //   6 macro blockage  — macro area in bin / bin area
 
 #include <utility>
+#include <vector>
 
 #include "grid/gcell_grid.hpp"
 #include "netlist/netlist.hpp"
@@ -32,13 +33,19 @@ enum FeatureChannel : std::int64_t {
 };
 
 /// Per-die feature stacks, each a [1, 7, ny, nx] tensor (NCHW) ready for the
-/// predictor. Index 0 = bottom die, 1 = top die.
+/// predictor. Index 0 = bottom die, increasing upward; sized to the
+/// placement's num_tiers (2 for the classic stack).
 struct FeatureMaps {
-  nn::Tensor die[2];
+  std::vector<nn::Tensor> die;
+
+  int num_tiers() const { return static_cast<int>(die.size()); }
 };
 
 /// Compute the hard (non-differentiable) feature maps of a placement; used
-/// for dataset construction and inference.
+/// for dataset construction and inference. One [1, 7, ny, nx] stack per
+/// tier of the placement. Nets spanning T tiers spread their 3D RUDY
+/// demand uniformly over the spanned tiers (weight 1/T each — exactly the
+/// legacy 0.5-per-die split for a two-die stack).
 FeatureMaps compute_feature_maps(const Netlist& netlist,
                                  const Placement3D& placement,
                                  const GCellGrid& grid);

@@ -356,7 +356,334 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
   };
 
   SoftMaps result;
+  result.num_tiers = 2;
   result.stacked = nn::make_node(std::move(out), {x, y, z}, std::move(backward));
+  return result;
+}
+
+SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
+                           const nn::Var& x, const nn::Var& y,
+                           const std::vector<nn::Var>& p) {
+  assert(p.size() >= 2);
+  const int K = static_cast<int>(p.size());
+  const auto N = static_cast<std::size_t>(netlist.num_cells());
+  assert(x->value.numel() == static_cast<std::int64_t>(N));
+  for (const nn::Var& pt : p)
+    assert(pt->value.numel() == static_cast<std::int64_t>(N));
+  const std::int64_t H = grid.ny(), W = grid.nx();
+  const double A = grid.tile_area();
+  const double invK = 1.0 / static_cast<double>(K);
+
+  auto channel = [H, W](nn::Tensor& t, int tier, FeatureChannel ch) {
+    return t.data().subspan(
+        static_cast<std::size_t>((tier * kNumFeatureChannels + ch) * H * W),
+        static_cast<std::size_t>(H * W));
+  };
+
+  auto xs = std::as_const(x->value).data();
+  auto ys = std::as_const(y->value).data();
+  std::vector<std::span<const float>> ps(static_cast<std::size_t>(K));
+  for (int t = 0; t < K; ++t)
+    ps[static_cast<std::size_t>(t)] = std::as_const(p[static_cast<std::size_t>(t)]->value).data();
+  auto pclamp = [&ps](int t, std::size_t ci) {
+    return std::clamp(
+        static_cast<double>(ps[static_cast<std::size_t>(t)][ci]), 0.0, 1.0);
+  };
+
+  const nn::Tensor zero({1, K * kNumFeatureChannels, H, W});
+
+  // --- cell density & macro blockage ---
+  nn::Tensor out = util::parallel_reduce(
+      0, static_cast<std::int64_t>(N),
+      util::grain_for_chunks(static_cast<std::int64_t>(N), kScatterChunks), zero,
+      [&](std::int64_t b, std::int64_t e, nn::Tensor& acc) {
+        for (std::int64_t i = b; i < e; ++i) {
+          const auto ci = static_cast<std::size_t>(i);
+          const auto id = static_cast<CellId>(ci);
+          const CellType& t = netlist.cell_type(id);
+          if (t.area() <= 0.0) continue;
+          const Rect r{xs[ci], ys[ci], xs[ci] + t.width, ys[ci] + t.height};
+          const FeatureChannel ch =
+              netlist.is_macro(id) ? kMacroBlockage : kCellDensity;
+          const int m0 = grid.col_of(r.xlo), m1 = grid.col_of(r.xhi);
+          const int n0 = grid.row_of(r.ylo), n1 = grid.row_of(r.yhi);
+          for (int n = n0; n <= n1; ++n)
+            for (int m = m0; m <= m1; ++m) {
+              const double ov = grid.tile_rect(m, n).overlap_area(r);
+              if (ov <= 0.0) continue;
+              const auto ti = static_cast<std::size_t>(grid.index(m, n));
+              for (int tier = 0; tier < K; ++tier)
+                channel(acc, tier, ch)[ti] +=
+                    static_cast<float>(pclamp(tier, ci) * ov / A);
+            }
+        }
+      },
+      add_tensor);
+
+  // --- net-driven maps ---
+  const auto& nets = netlist.nets();
+  nn::Tensor net_maps = util::parallel_reduce(
+      0, static_cast<std::int64_t>(nets.size()),
+      util::grain_for_chunks(static_cast<std::int64_t>(nets.size()), kScatterChunks),
+      zero,
+      [&](std::int64_t b, std::int64_t e, nn::Tensor& acc) {
+        std::vector<PinPos> pins;
+        std::vector<double> prod(static_cast<std::size_t>(K));
+        for (std::int64_t i = b; i < e; ++i) {
+          const Net& net = nets[static_cast<std::size_t>(i)];
+          // z spans are unused here; collect positions with z = 0.
+          collect_pins(net, xs, ys, ps[0], pins);
+          const NetGeom g = net_geometry(pins, grid);
+          double sum_prod = 0.0;
+          for (int t = 0; t < K; ++t) {
+            double pr = 1.0;
+            for (const PinPos& pin : pins)
+              pr *= pclamp(t, static_cast<std::size_t>(pin.cell));
+            prod[static_cast<std::size_t>(t)] = pr;
+            sum_prod += pr;
+          }
+          const double w3d = std::max(1.0 - sum_prod, 0.0);
+
+          for (int t = 0; t < K; ++t) {
+            add_net_rudy(channel(acc, t, kRudy2D), grid, g.bbox,
+                         prod[static_cast<std::size_t>(t)]);
+            add_net_rudy(channel(acc, t, kRudy3D), grid, g.bbox, invK * w3d);
+          }
+
+          for (const PinPos& pin : pins) {
+            const auto ci = static_cast<std::size_t>(pin.cell);
+            const auto ti = static_cast<std::size_t>(grid.tile_of({pin.px, pin.py}));
+            for (int t = 0; t < K; ++t) {
+              const double pt = pclamp(t, ci);
+              channel(acc, t, kPinDensity)[ti] += static_cast<float>(pt / A);
+              channel(acc, t, kPinRudy2D)[ti] +=
+                  static_cast<float>(g.k * prod[static_cast<std::size_t>(t)]);
+              channel(acc, t, kPinRudy3D)[ti] += static_cast<float>(g.k * pt * w3d);
+            }
+          }
+        }
+      },
+      add_tensor);
+  add_tensor(out, net_maps);
+
+  // --- backward: the Eq. (6) subgradients, generalized per tier ---
+  const Netlist* nlp = &netlist;
+  auto backward = [nlp, grid, H, W, A, K, invK](nn::Node& node) {
+    const auto n_cells = static_cast<std::size_t>(nlp->num_cells());
+    nn::Node& px = *node.parents[0];
+    nn::Node& py = *node.parents[1];
+    bool any_p_grad = false;
+    for (int t = 0; t < K; ++t)
+      any_p_grad = any_p_grad || node.parents[static_cast<std::size_t>(2 + t)]->requires_grad;
+
+    auto gch = [&](int tier, FeatureChannel ch) {
+      return std::as_const(node.grad).data().subspan(
+          static_cast<std::size_t>((tier * kNumFeatureChannels + ch) * H * W),
+          static_cast<std::size_t>(H * W));
+    };
+    auto xs = std::as_const(px.value).data();
+    auto ys = std::as_const(py.value).data();
+    std::vector<std::span<const float>> ps(static_cast<std::size_t>(K));
+    for (int t = 0; t < K; ++t)
+      ps[static_cast<std::size_t>(t)] =
+          std::as_const(node.parents[static_cast<std::size_t>(2 + t)]->value).data();
+    auto pclamp = [&ps](int t, std::size_t ci) {
+      return std::clamp(
+          static_cast<double>(ps[static_cast<std::size_t>(t)][ci]), 0.0, 1.0);
+    };
+
+    std::vector<double> gx(n_cells, 0.0), gy(n_cells, 0.0);
+    std::vector<std::vector<double>> gp(
+        static_cast<std::size_t>(K), std::vector<double>(n_cells, 0.0));
+
+    // Cell density: each tier's map weights that tier's probability directly.
+    if (any_p_grad) {
+      util::parallel_for(
+          0, static_cast<std::int64_t>(n_cells), 256,
+          [&](std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i) {
+              const auto ci = static_cast<std::size_t>(i);
+              const auto id = static_cast<CellId>(ci);
+              const CellType& t = nlp->cell_type(id);
+              if (t.area() <= 0.0 || nlp->is_macro(id)) continue;
+              const Rect r{xs[ci], ys[ci], xs[ci] + t.width, ys[ci] + t.height};
+              const int m0 = grid.col_of(r.xlo), m1 = grid.col_of(r.xhi);
+              const int n0 = grid.row_of(r.ylo), n1 = grid.row_of(r.yhi);
+              for (int n = n0; n <= n1; ++n)
+                for (int m = m0; m <= m1; ++m) {
+                  const double ov = grid.tile_rect(m, n).overlap_area(r);
+                  if (ov <= 0.0) continue;
+                  const auto ti = static_cast<std::size_t>(grid.index(m, n));
+                  for (int tier = 0; tier < K; ++tier)
+                    gp[static_cast<std::size_t>(tier)][ci] +=
+                        gch(tier, kCellDensity)[ti] * ov / A;
+                }
+            }
+          });
+    }
+
+    struct PosGradsK {
+      std::vector<double> gx, gy;
+      std::vector<std::vector<double>> gp;
+    };
+    const auto& nets = nlp->nets();
+    PosGradsK net_grads = util::parallel_reduce(
+        0, static_cast<std::int64_t>(nets.size()),
+        util::grain_for_chunks(static_cast<std::int64_t>(nets.size()),
+                               kScatterChunks),
+        PosGradsK{std::vector<double>(n_cells, 0.0),
+                  std::vector<double>(n_cells, 0.0),
+                  std::vector<std::vector<double>>(
+                      static_cast<std::size_t>(K),
+                      std::vector<double>(n_cells, 0.0))},
+        [&](std::int64_t nb, std::int64_t ne, PosGradsK& acc) {
+          std::vector<PinPos> pins;
+          std::vector<double> prod(static_cast<std::size_t>(K));
+          std::vector<double> a2(static_cast<std::size_t>(K));
+          std::vector<double> s2(static_cast<std::size_t>(K));
+          std::vector<double> excl(static_cast<std::size_t>(K));
+          for (std::int64_t nn_i = nb; nn_i < ne; ++nn_i) {
+            const Net& net = nets[static_cast<std::size_t>(nn_i)];
+            collect_pins(net, xs, ys, ps[0], pins);
+            const NetGeom g = net_geometry(pins, grid);
+            double sum_prod = 0.0;
+            for (int t = 0; t < K; ++t) {
+              double pr = 1.0;
+              for (const PinPos& pin : pins)
+                pr *= pclamp(t, static_cast<std::size_t>(pin.cell));
+              prod[static_cast<std::size_t>(t)] = pr;
+              sum_prod += pr;
+            }
+            const double w3d = std::max(1.0 - sum_prod, 0.0);
+            const Rect& bb = g.bbox;
+            const int m0 = grid.col_of(bb.xlo), m1 = grid.col_of(bb.xhi);
+            const int n0 = grid.row_of(bb.ylo), n1 = grid.row_of(bb.yhi);
+            const double w = bb.width(), h = bb.height();
+
+            std::fill(a2.begin(), a2.end(), 0.0);
+            double a_3d = 0.0;
+            double gxh = 0.0, gxl = 0.0, gyh = 0.0, gyl = 0.0;
+            const bool want_pos = (px.requires_grad || py.requires_grad);
+            for (int n = n0; n <= n1; ++n) {
+              for (int m = m0; m <= m1; ++m) {
+                const Rect tr = grid.tile_rect(m, n);
+                const double ov = tr.overlap_area(bb);
+                if (ov <= 0.0) continue;
+                const auto ti = static_cast<std::size_t>(grid.index(m, n));
+                const double c = g.k * ov / A;
+                double g3_sum = 0.0;
+                double t_w = 0.0;
+                for (int t = 0; t < K; ++t) {
+                  const double g2 = gch(t, kRudy2D)[ti];
+                  a2[static_cast<std::size_t>(t)] += g2 * c;
+                  t_w += g2 * prod[static_cast<std::size_t>(t)];
+                  g3_sum += gch(t, kRudy3D)[ti];
+                }
+                a_3d += g3_sum * invK * c;
+                if (!want_pos) continue;
+                t_w += g3_sum * invK * w3d;
+                if (t_w == 0.0) continue;
+                const double wx = std::min(tr.xhi, bb.xhi) - std::max(tr.xlo, bb.xlo);
+                const double hy = std::min(tr.yhi, bb.yhi) - std::max(tr.ylo, bb.ylo);
+                if (!g.clamped_x) {
+                  const double dk = -ov / (w * w * A);
+                  gxh += t_w * dk;
+                  gxl -= t_w * dk;
+                  if (bb.xhi >= tr.xlo && bb.xhi < tr.xhi) gxh += t_w * g.k * hy / A;
+                  if (bb.xlo > tr.xlo && bb.xlo <= tr.xhi) gxl -= t_w * g.k * hy / A;
+                }
+                if (!g.clamped_y) {
+                  const double dk = -ov / (h * h * A);
+                  gyh += t_w * dk;
+                  gyl -= t_w * dk;
+                  if (bb.yhi >= tr.ylo && bb.yhi < tr.yhi) gyh += t_w * g.k * wx / A;
+                  if (bb.ylo > tr.ylo && bb.ylo <= tr.yhi) gyl -= t_w * g.k * wx / A;
+                }
+              }
+            }
+            if (want_pos) {
+              acc.gx[static_cast<std::size_t>(pins[g.argmax_x].cell)] += gxh;
+              acc.gx[static_cast<std::size_t>(pins[g.argmin_x].cell)] += gxl;
+              acc.gy[static_cast<std::size_t>(pins[g.argmax_y].cell)] += gyh;
+              acc.gy[static_cast<std::size_t>(pins[g.argmin_y].cell)] += gyl;
+            }
+
+            if (!any_p_grad) continue;
+
+            std::fill(s2.begin(), s2.end(), 0.0);
+            double s_3z = 0.0;
+            for (const PinPos& pin : pins) {
+              const auto ci = static_cast<std::size_t>(pin.cell);
+              const auto ti = static_cast<std::size_t>(grid.tile_of({pin.px, pin.py}));
+              for (int t = 0; t < K; ++t) {
+                s2[static_cast<std::size_t>(t)] += gch(t, kPinRudy2D)[ti] * g.k;
+                s_3z += gch(t, kPinRudy3D)[ti] * g.k * pclamp(t, ci);
+              }
+            }
+
+            for (std::size_t i = 0; i < pins.size(); ++i) {
+              const auto ci = static_cast<std::size_t>(pins[i].cell);
+              const auto ti =
+                  static_cast<std::size_t>(grid.tile_of({pins[i].px, pins[i].py}));
+              for (int t = 0; t < K; ++t) {
+                double ex = 1.0;
+                for (std::size_t q = 0; q < pins.size(); ++q) {
+                  if (q == i) continue;
+                  ex *= pclamp(t, static_cast<std::size_t>(pins[q].cell));
+                }
+                excl[static_cast<std::size_t>(t)] = ex;
+              }
+              for (int t = 0; t < K; ++t) {
+                const double ex = excl[static_cast<std::size_t>(t)];
+                double gpi = 0.0;
+                // Area RUDY: 2D through prod_t; 3D through w3d (dw3d/dp_t = -ex).
+                gpi += a2[static_cast<std::size_t>(t)] * ex - a_3d * ex;
+                // 2D PinRUDY.
+                gpi += s2[static_cast<std::size_t>(t)] * ex;
+                // 3D PinRUDY: own-pin direct term + shared w3d term.
+                gpi += gch(t, kPinRudy3D)[ti] * g.k * w3d - s_3z * ex;
+                // Pin density.
+                gpi += gch(t, kPinDensity)[ti] / A;
+                acc.gp[static_cast<std::size_t>(t)][ci] += gpi;
+              }
+            }
+          }
+        },
+        [](PosGradsK& into, const PosGradsK& from) {
+          for (std::size_t i = 0; i < into.gx.size(); ++i) {
+            into.gx[i] += from.gx[i];
+            into.gy[i] += from.gy[i];
+          }
+          for (std::size_t t = 0; t < into.gp.size(); ++t)
+            for (std::size_t i = 0; i < into.gp[t].size(); ++i)
+              into.gp[t][i] += from.gp[t][i];
+        });
+    for (std::size_t i = 0; i < n_cells; ++i) {
+      gx[i] += net_grads.gx[i];
+      gy[i] += net_grads.gy[i];
+    }
+    for (std::size_t t = 0; t < static_cast<std::size_t>(K); ++t)
+      for (std::size_t i = 0; i < n_cells; ++i)
+        gp[t][i] += net_grads.gp[t][i];
+
+    auto flush = [](nn::Node& pnode, const std::vector<double>& g) {
+      if (!pnode.requires_grad) return;
+      pnode.ensure_grad();
+      auto dst = pnode.grad.data();
+      for (std::size_t i = 0; i < g.size(); ++i) dst[i] += static_cast<float>(g[i]);
+    };
+    flush(px, gx);
+    flush(py, gy);
+    for (int t = 0; t < K; ++t)
+      flush(*node.parents[static_cast<std::size_t>(2 + t)],
+            gp[static_cast<std::size_t>(t)]);
+  };
+
+  std::vector<nn::Var> parents = {x, y};
+  parents.insert(parents.end(), p.begin(), p.end());
+  SoftMaps result;
+  result.num_tiers = K;
+  result.stacked = nn::make_node(std::move(out), parents, std::move(backward));
   return result;
 }
 

@@ -30,15 +30,19 @@
 
 namespace dco3d {
 
-/// Result of soft map generation: a single [1, 14, H, W] node (channels
-/// 0..6 = bottom die, 7..13 = top die) plus convenience slices.
+/// Result of soft map generation: a single [1, K*7, H, W] node (channels
+/// t*7 .. t*7+6 = tier t, bottom first) plus convenience slices. The classic
+/// two-die stack is K = 2 ([1, 14, H, W], channels 0..6 bottom, 7..13 top).
 struct SoftMaps {
   nn::Var stacked;
+  int num_tiers = 2;
 
-  nn::Var bottom() const { return nn::slice_channels(stacked, 0, kNumFeatureChannels); }
-  nn::Var top() const {
-    return nn::slice_channels(stacked, kNumFeatureChannels, 2 * kNumFeatureChannels);
+  nn::Var tier(int t) const {
+    return nn::slice_channels(stacked, t * kNumFeatureChannels,
+                              (t + 1) * kNumFeatureChannels);
   }
+  nn::Var bottom() const { return tier(0); }
+  nn::Var top() const { return tier(num_tiers - 1); }
 };
 
 /// Build soft feature maps. x, y, z are [N] vectors over all cells (N =
@@ -46,5 +50,16 @@ struct SoftMaps {
 /// a hard z of 0/1. Gradients flow into whichever of x/y/z require grad.
 SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
                            const nn::Var& x, const nn::Var& y, const nn::Var& z);
+
+/// K-tier generalization: p holds one [N] per-tier probability vector per
+/// tier (p[t][i] = probability cell i sits on tier t; the vectors should sum
+/// to 1 per cell, e.g. from a stick-breaking relaxation). A net's 2D
+/// contribution on tier t is weighted by prod_pins p_t; its 3D contribution
+/// (weight 1 - sum_t prod_pins p_t) is spread uniformly as w3d/K per tier —
+/// exactly the legacy 0.5 split at K = 2. Gradients flow into x, y and every
+/// p[t] with the same Eq. (6) subgradients, generalized per tier.
+SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
+                           const nn::Var& x, const nn::Var& y,
+                           const std::vector<nn::Var>& p);
 
 }  // namespace dco3d

@@ -180,6 +180,7 @@ void write_placement(std::ostream& os, const Placement3D& placement) {
   os << "dco3d-placement v1\n";
   os << "outline " << placement.outline.xlo << ' ' << placement.outline.ylo
      << ' ' << placement.outline.xhi << ' ' << placement.outline.yhi << '\n';
+  os << "tiers " << placement.num_tiers << '\n';
   for (std::size_t i = 0; i < placement.size(); ++i)
     os << "place " << i << ' ' << placement.xy[i].x << ' ' << placement.xy[i].y
        << ' ' << placement.tier[i] << '\n';
@@ -212,6 +213,10 @@ Placement3D read_placement(std::istream& is, std::size_t num_cells) {
       ss >> pl.outline.xlo >> pl.outline.ylo >> pl.outline.xhi >> pl.outline.yhi;
       if (!ss) fail(lineno, "malformed outline");
       have_outline = true;
+    } else if (tag == "tiers") {
+      // Optional record (files predating N-tier support omit it → 2 dies).
+      ss >> pl.num_tiers;
+      if (!ss || pl.num_tiers < 1) fail(lineno, "malformed tiers");
     } else if (tag == "place") {
       std::size_t idx;
       double x, y;
@@ -219,7 +224,8 @@ Placement3D read_placement(std::istream& is, std::size_t num_cells) {
       ss >> idx >> x >> y >> tier;
       if (!ss) fail(lineno, "malformed place");
       if (idx >= num_cells) fail(lineno, "cell index out of range");
-      if (tier != 0 && tier != 1) fail(lineno, "tier must be 0 or 1");
+      if (tier < 0 || tier >= pl.num_tiers)
+        fail(lineno, "tier must be in [0, num_tiers)");
       pl.xy[idx] = {x, y};
       pl.tier[idx] = tier;
       seen[idx] = true;

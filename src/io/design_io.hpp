@@ -12,6 +12,7 @@
 //
 //   dco3d-placement v1
 //   outline <xlo> <ylo> <xhi> <yhi>
+//   tiers <num-tiers>            (optional; defaults to 2 when absent)
 //   place <cell-index> <x> <y> <tier>
 
 #include <iosfwd>

@@ -15,6 +15,8 @@ const char* design_name(DesignKind kind) {
     case DesignKind::kLdpc: return "LDPC";
     case DesignKind::kVga: return "VGA";
     case DesignKind::kRocket: return "Rocket";
+    case DesignKind::kMemLogic: return "MemLogic";
+    case DesignKind::kMacroHeavy: return "MacroHeavy";
   }
   return "?";
 }
@@ -67,6 +69,24 @@ DesignSpec spec_for(DesignKind kind, double scale) {
       s.clock_period_ps = 220.0;
       s.seed = 106;
       break;
+    case DesignKind::kMemLogic:
+      // Memory-on-logic stack: SRAM banks feeding a moderate logic fabric.
+      s.target_cells = static_cast<std::size_t>(60000 * scale);
+      s.target_ios = static_cast<std::size_t>(512 * scale);
+      s.num_macros = 6;
+      s.macro_area_frac = 0.05;
+      s.clock_period_ps = 280.0;
+      s.seed = 107;
+      break;
+    case DesignKind::kMacroHeavy:
+      // Macro-dominated floorplan: few but large blocks, heavy blockage.
+      s.target_cells = static_cast<std::size_t>(45000 * scale);
+      s.target_ios = static_cast<std::size_t>(256 * scale);
+      s.num_macros = 4;
+      s.macro_area_frac = 0.12;
+      s.clock_period_ps = 320.0;
+      s.seed = 108;
+      break;
   }
   s.target_cells = std::max<std::size_t>(s.target_cells, 200);
   s.target_ios = std::max<std::size_t>(s.target_ios, 16);
@@ -114,6 +134,16 @@ GenParams params_for(DesignKind kind) {
     case DesignKind::kRocket:
       // In-order CPU: pipe-stage clusters plus register-file broadcasts.
       p = {10, 0.25, 0.65, 6, {1.0, 0.7, 1.4, 1.0, 0.9, 0.9, 0.8, 1.1, 1.6}, 32, 50};
+      break;
+    case DesignKind::kMemLogic:
+      // Memory-on-logic: bus-structured datapaths around the SRAM banks,
+      // wide read/write buses show up as broadcast nets.
+      p = {6, 0.32, 0.70, 8, {1.0, 0.8, 1.4, 1.0, 0.9, 0.8, 0.6, 0.8, 1.4}, 12, 60};
+      break;
+    case DesignKind::kMacroHeavy:
+      // Macro-dominated: shallow glue logic between blocks, low locality
+      // because nets must detour around the blockages.
+      p = {5, 0.22, 0.55, 6, {1.0, 0.8, 1.3, 1.0, 0.8, 0.8, 0.6, 0.8, 1.0}, 8, 40};
       break;
   }
   return p;
@@ -297,7 +327,7 @@ Netlist generate_design(const DesignSpec& spec) {
     double std_area = 0.0;
     for (std::size_t i = 0; i < nl.num_cells(); ++i)
       std_area += nl.cell_area(static_cast<CellId>(i));
-    const double macro_side = std::sqrt(0.08 * std_area);
+    const double macro_side = std::sqrt(spec.macro_area_frac * std_area);
     CellType mt;
     mt.name = "MACRO_SRAM";
     mt.function = CellFunction::kMacro;

@@ -17,7 +17,13 @@
 
 namespace dco3d {
 
-enum class DesignKind { kDma, kAes, kEcg, kLdpc, kVga, kRocket };
+// The six Table-III benchmark families, plus two stacking-scenario variants
+// for N-tier experiments: kMemLogic models a memory-on-logic stack (SRAM
+// macro banks over random logic), kMacroHeavy a macro-dominated floorplan
+// whose blockages exercise the macro-blockage feature channel.
+enum class DesignKind {
+  kDma, kAes, kEcg, kLdpc, kVga, kRocket, kMemLogic, kMacroHeavy
+};
 
 const char* design_name(DesignKind kind);
 
@@ -28,6 +34,9 @@ struct DesignSpec {
   std::size_t target_cells = 1000;  // movable std cells
   std::size_t target_ios = 64;
   int num_macros = 0;
+  // Fraction of the total std-cell area each macro occupies (side =
+  // sqrt(frac * area)); 0.08 is the classic SRAM-substitute sizing.
+  double macro_area_frac = 0.08;
   double clock_period_ps = 300.0;
   std::uint64_t seed = 1;
 };

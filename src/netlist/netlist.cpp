@@ -63,6 +63,17 @@ bool is_3d_net(const Net& net, const Placement3D& placement) {
   return false;
 }
 
+int net_tier_span(const Net& net, const Placement3D& placement) {
+  int lo = placement.tier[static_cast<std::size_t>(net.driver.cell)];
+  int hi = lo;
+  for (const PinRef& s : net.sinks) {
+    const int t = placement.tier[static_cast<std::size_t>(s.cell)];
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  return hi - lo;
+}
+
 Rect net_bbox(const Net& net, const Placement3D& placement) {
   BBox box;
   box.add(placement.pin_position(net.driver));
@@ -73,7 +84,12 @@ Rect net_bbox(const Net& net, const Placement3D& placement) {
 double net_hpwl(const Net& net, const Placement3D& placement, double via_penalty) {
   const Rect box = net_bbox(net, placement);
   double wl = box.half_perimeter();
-  if (via_penalty > 0.0 && is_3d_net(net, placement)) wl += via_penalty;
+  // One penalty per tier boundary crossed; at two tiers the span of a 3D
+  // net is exactly 1 so this reduces to the legacy flat penalty.
+  if (via_penalty > 0.0) {
+    const int span = net_tier_span(net, placement);
+    if (span > 0) wl += via_penalty * static_cast<double>(span);
+  }
   return wl * net.weight;
 }
 
@@ -89,6 +105,24 @@ std::size_t count_cut_nets(const Netlist& netlist, const Placement3D& placement)
   for (const Net& net : netlist.nets())
     if (is_3d_net(net, placement)) ++n;
   return n;
+}
+
+std::vector<std::size_t> count_tier_pair_cuts(const Netlist& netlist,
+                                              const Placement3D& placement) {
+  const int boundaries = std::max(placement.num_tiers - 1, 0);
+  std::vector<std::size_t> cuts(static_cast<std::size_t>(boundaries), 0);
+  for (const Net& net : netlist.nets()) {
+    int lo = placement.tier[static_cast<std::size_t>(net.driver.cell)];
+    int hi = lo;
+    for (const PinRef& s : net.sinks) {
+      const int t = placement.tier[static_cast<std::size_t>(s.cell)];
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    for (int b = lo; b < hi && b < boundaries; ++b)
+      if (b >= 0) ++cuts[static_cast<std::size_t>(b)];
+  }
+  return cuts;
 }
 
 }  // namespace dco3d

@@ -104,18 +104,22 @@ class Netlist {
   mutable std::vector<std::vector<NetId>> cell_nets_;
 };
 
-/// 3D placement state: per-cell (x, y) in um plus a tier id (0 = bottom die,
-/// 1 = top die). Both dies share the same outline in a face-to-face stack.
+/// 3D placement state: per-cell (x, y) in um plus a tier id in
+/// [0, num_tiers) (0 = bottom die). All tiers share the same outline in a
+/// face-to-face stack; num_tiers = 2 is the classic two-die configuration
+/// every legacy code path was written for.
 struct Placement3D {
   std::vector<Point> xy;
   std::vector<int> tier;
   Rect outline;
+  int num_tiers = 2;
 
-  static Placement3D make(std::size_t n, Rect outline_) {
+  static Placement3D make(std::size_t n, Rect outline_, int num_tiers_ = 2) {
     Placement3D p;
     p.xy.assign(n, outline_.center());
     p.tier.assign(n, 0);
     p.outline = outline_;
+    p.num_tiers = num_tiers_;
     return p;
   }
 
@@ -126,14 +130,18 @@ struct Placement3D {
   }
 };
 
-/// Classify a net: 2D if every pin sits on one die, 3D otherwise (§III-B1).
+/// Classify a net: 2D if every pin sits on one tier, 3D otherwise (§III-B1).
 bool is_3d_net(const Net& net, const Placement3D& placement);
 
-/// Bounding box over all pins of the net (both dies).
+/// Number of tier boundaries the net crosses: max pin tier minus min pin
+/// tier (0 for a 2D net; equals the via-stack height the router must build).
+int net_tier_span(const Net& net, const Placement3D& placement);
+
+/// Bounding box over all pins of the net (all tiers).
 Rect net_bbox(const Net& net, const Placement3D& placement);
 
 /// Half-perimeter wirelength of one net; 3D nets get `via_penalty` um added
-/// for the inter-die hop.
+/// per tier boundary crossed (one hop for the two-die stack).
 double net_hpwl(const Net& net, const Placement3D& placement,
                 double via_penalty = 0.0);
 
@@ -141,7 +149,13 @@ double net_hpwl(const Net& net, const Placement3D& placement,
 double total_hpwl(const Netlist& netlist, const Placement3D& placement,
                   double via_penalty = 0.0);
 
-/// Number of nets spanning both dies (the cutsize of Eq. (7)).
+/// Number of nets spanning more than one tier (the cutsize of Eq. (7)).
 std::size_t count_cut_nets(const Netlist& netlist, const Placement3D& placement);
+
+/// Per-tier-boundary cut: entry b counts nets whose tier span covers the
+/// boundary between tier b and tier b+1 (size num_tiers - 1). A net spanning
+/// tiers [lo, hi] crosses every boundary in [lo, hi).
+std::vector<std::size_t> count_tier_pair_cuts(const Netlist& netlist,
+                                              const Placement3D& placement);
 
 }  // namespace dco3d

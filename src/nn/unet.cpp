@@ -126,6 +126,46 @@ std::pair<Var, Var> SiameseUNet::forward(const Var& f_top, const Var& f_bot) con
   return {c_top, c_bot};
 }
 
+std::vector<Var> SiameseUNet::forward_n(const std::vector<Var>& f) const {
+  assert(!f.empty());
+  const auto k = f.size();
+  if (k == 1) return {shared_.forward(f[0])};
+  if (k == 2) {
+    // The classic two-die path, reordered to tier indexing (0 = bottom).
+    auto [c_top, c_bot] = forward(/*f_top=*/f[1], /*f_bot=*/f[0]);
+    return {c_bot, c_top};
+  }
+
+  std::vector<EncoderOut> enc;
+  enc.reserve(k);
+  for (const Var& x : f) enc.push_back(shared_.encode(x));
+
+  std::vector<Var> z(k);
+  if (shared_.config().communication) {
+    const std::int64_t cb = shared_.bottleneck_channels();
+    const float inv_rest = 1.0f / static_cast<float>(k - 1);
+    for (std::size_t t = 0; t < k; ++t) {
+      // Fuse tier t with the mean bottleneck of every other tier, reusing
+      // the pairwise communication weights (self stream in the first Cb
+      // input channels, context in the second).
+      Var others;
+      for (std::size_t u = 0; u < k; ++u) {
+        if (u == t) continue;
+        others = others ? add(others, enc[u].bottleneck) : enc[u].bottleneck;
+      }
+      Var merged = concat_channels(enc[t].bottleneck, mul_scalar(others, inv_rest));
+      Var mixed = relu(conv2d(merged, comm_w_, comm_b_));
+      z[t] = slice_channels(mixed, 0, cb);
+    }
+  } else {
+    for (std::size_t t = 0; t < k; ++t) z[t] = enc[t].bottleneck;
+  }
+
+  std::vector<Var> out(k);
+  for (std::size_t t = 0; t < k; ++t) out[t] = shared_.decode(z[t], enc[t].skips);
+  return out;
+}
+
 std::vector<Var> SiameseUNet::parameters() const {
   std::vector<Var> out = shared_.parameters();
   out.push_back(comm_w_);
@@ -139,6 +179,16 @@ Var siamese_loss(const Var& pred_top, const Var& label_top, const Var& pred_bot,
   Var l_top = rmse_loss(pred_top, label_top);
   Var l_bot = rmse_loss(pred_bot, label_bot);
   return mul_scalar(add(l_top, l_bot), 0.5f);
+}
+
+Var siamese_loss_n(const std::vector<Var>& preds, const std::vector<Var>& labels) {
+  assert(!preds.empty() && preds.size() == labels.size());
+  Var sum;
+  for (std::size_t t = 0; t < preds.size(); ++t) {
+    Var l = rmse_loss(preds[t], labels[t]);
+    sum = sum ? add(sum, l) : l;
+  }
+  return mul_scalar(sum, 1.0f / static_cast<float>(preds.size()));
 }
 
 }  // namespace dco3d::nn

@@ -84,6 +84,14 @@ class SiameseUNet {
   /// communicating only at the bottleneck).
   std::pair<Var, Var> forward(const Var& f_top, const Var& f_bot) const;
 
+  /// N-way generalization: one feature stack per tier (index 0 = bottom),
+  /// one prediction per tier. Two tiers delegate to the classic forward()
+  /// (bit-identical, and the parameter set is unchanged so existing
+  /// checkpoints load as-is). For K > 2 each tier communicates with the
+  /// channel-mean of the other tiers' bottlenecks through the same pointwise
+  /// convolution, taking the first Cb output channels as its fused state.
+  std::vector<Var> forward_n(const std::vector<Var>& f) const;
+
   std::vector<Var> parameters() const;
   const UNetConfig& config() const { return shared_.config(); }
 
@@ -96,5 +104,9 @@ class SiameseUNet {
 /// Frobenius distance between prediction and label.
 Var siamese_loss(const Var& pred_top, const Var& label_top, const Var& pred_bot,
                  const Var& label_bot);
+
+/// N-tier Eq. (4): mean over tiers of the per-tier RMSE. Identical to
+/// siamese_loss for two tiers.
+Var siamese_loss_n(const std::vector<Var>& preds, const std::vector<Var>& labels);
 
 }  // namespace dco3d::nn

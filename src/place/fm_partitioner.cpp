@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <queue>
+#include <tuple>
 
 namespace dco3d {
 
@@ -22,7 +23,7 @@ std::size_t cut_size(const Netlist& netlist, const std::vector<int>& tiers) {
 
 std::vector<int> seed_tiers_checkerboard(const Netlist& netlist,
                                          const Placement3D& placement,
-                                         int bins) {
+                                         int bins, int num_tiers) {
   std::vector<int> tiers = placement.tier;
   const Rect& ol = placement.outline;
 
@@ -39,17 +40,21 @@ std::vector<int> seed_tiers_checkerboard(const Netlist& netlist,
     bucket[static_cast<std::size_t>(by) * bins + bx].push_back(id);
   }
 
-  // Within each bin: sort by area descending and deal to the lighter side so
-  // both tiers get half the area of every neighborhood.
-  double area[2] = {0.0, 0.0};
+  // Within each bin: sort by area descending and deal to the lightest tier
+  // (ties to the lowest index) so every tier gets 1/K of the area of every
+  // neighborhood.
+  std::vector<double> area(static_cast<std::size_t>(num_tiers), 0.0);
   for (auto& cells : bucket) {
     std::sort(cells.begin(), cells.end(), [&](CellId a, CellId b) {
       return netlist.cell_area(a) > netlist.cell_area(b);
     });
     for (CellId id : cells) {
-      const int t = area[0] <= area[1] ? 0 : 1;
+      int t = 0;
+      for (int k = 1; k < num_tiers; ++k)
+        if (area[static_cast<std::size_t>(k)] < area[static_cast<std::size_t>(t)])
+          t = k;
       tiers[static_cast<std::size_t>(id)] = t;
-      area[t] += netlist.cell_area(id);
+      area[static_cast<std::size_t>(t)] += netlist.cell_area(id);
     }
   }
   return tiers;
@@ -60,19 +65,25 @@ namespace {
 struct FmState {
   const Netlist& nl;
   std::vector<int>& tiers;
-  std::vector<int> pins_in[2];  // per net: pin count on each tier
+  int num_tiers;
+  // pins_in[t][ni]: pin count of net ni on tier t.
+  std::vector<std::vector<int>> pins_in;
   std::vector<bool> locked;
-  double area[2] = {0.0, 0.0};
+  std::vector<double> area;
   double total_area = 0.0;
 
-  explicit FmState(const Netlist& netlist, std::vector<int>& t)
-      : nl(netlist), tiers(t) {
-    pins_in[0].assign(nl.num_nets(), 0);
-    pins_in[1].assign(nl.num_nets(), 0);
+  FmState(const Netlist& netlist, std::vector<int>& t, int k)
+      : nl(netlist), tiers(t), num_tiers(k) {
+    pins_in.assign(static_cast<std::size_t>(k),
+                   std::vector<int>(nl.num_nets(), 0));
     locked.assign(nl.num_cells(), false);
+    area.assign(static_cast<std::size_t>(k), 0.0);
     for (std::size_t ni = 0; ni < nl.num_nets(); ++ni) {
       const Net& net = nl.net(static_cast<NetId>(ni));
-      auto count = [&](CellId c) { ++pins_in[tiers[static_cast<std::size_t>(c)]][ni]; };
+      auto count = [&](CellId c) {
+        ++pins_in[static_cast<std::size_t>(
+            tiers[static_cast<std::size_t>(c)])][ni];
+      };
       count(net.driver.cell);
       for (const PinRef& s : net.sinks) count(s.cell);
     }
@@ -80,100 +91,138 @@ struct FmState {
       const auto id = static_cast<CellId>(ci);
       if (!nl.is_movable(id)) continue;
       const double a = nl.cell_area(id);
-      area[tiers[ci]] += a;
+      area[static_cast<std::size_t>(tiers[ci])] += a;
       total_area += a;
     }
   }
 
-  /// FM gain of moving a cell: cut reduction (positive = fewer cut nets).
-  int gain(CellId id) const {
+  int pins_of_self(const Net& net, CellId id) const {
+    int my_pins = 0;
+    if (net.driver.cell == id) ++my_pins;
+    for (const PinRef& s : net.sinks)
+      if (s.cell == id) ++my_pins;
+    return my_pins;
+  }
+
+  /// FM gain of moving a cell from its tier to `to`: cut reduction
+  /// (positive = fewer cut nets). A net is cut when its pins occupy two or
+  /// more distinct tiers; at K = 2 this reduces to the classic
+  /// "+1 uncut, -1 newly-cut" bucket gain, integer-for-integer.
+  int gain(CellId id, int to) const {
     const int from = tiers[static_cast<std::size_t>(id)];
-    const int to = 1 - from;
     int g = 0;
     for (NetId ni : nl.cell_nets()[static_cast<std::size_t>(id)]) {
       const Net& net = nl.net(ni);
-      int my_pins = 0;
-      auto count_self = [&](CellId c) {
-        if (c == id) ++my_pins;
-      };
-      count_self(net.driver.cell);
-      for (const PinRef& s : net.sinks) count_self(s.cell);
-      const int from_pins = pins_in[from][static_cast<std::size_t>(ni)];
-      const int to_pins = pins_in[to][static_cast<std::size_t>(ni)];
-      if (from_pins == my_pins && to_pins > 0) ++g;   // net becomes uncut
-      if (to_pins == 0) --g;                           // net becomes cut
+      const int my_pins = pins_of_self(net, id);
+      const auto nidx = static_cast<std::size_t>(ni);
+      int occupied_before = 0, occupied_after = 0;
+      for (int t = 0; t < num_tiers; ++t) {
+        int pins = pins_in[static_cast<std::size_t>(t)][nidx];
+        if (pins > 0) ++occupied_before;
+        if (t == from) pins -= my_pins;
+        if (t == to) pins += my_pins;
+        if (pins > 0) ++occupied_after;
+      }
+      if (occupied_before >= 2) ++g;
+      if (occupied_after >= 2) --g;
     }
     return g;
   }
 
-  void move(CellId id) {
+  /// Best (gain, target) over the K-1 candidate tiers; ties keep the lowest
+  /// target index. At K = 2 the single candidate is 1 - from.
+  std::pair<int, int> best_gain(CellId id) const {
+    const int from = tiers[static_cast<std::size_t>(id)];
+    int best_g = 0, best_to = -1;
+    for (int to = 0; to < num_tiers; ++to) {
+      if (to == from) continue;
+      const int g = gain(id, to);
+      if (best_to < 0 || g > best_g) {
+        best_g = g;
+        best_to = to;
+      }
+    }
+    return {best_g, best_to};
+  }
+
+  void move(CellId id, int to) {
     const auto ci = static_cast<std::size_t>(id);
     const int from = tiers[ci];
-    const int to = 1 - from;
     for (NetId ni : nl.cell_nets()[ci]) {
       const Net& net = nl.net(ni);
-      int my_pins = 0;
-      auto count_self = [&](CellId c) {
-        if (c == id) ++my_pins;
-      };
-      count_self(net.driver.cell);
-      for (const PinRef& s : net.sinks) count_self(s.cell);
-      pins_in[from][static_cast<std::size_t>(ni)] -= my_pins;
-      pins_in[to][static_cast<std::size_t>(ni)] += my_pins;
+      const int my_pins = pins_of_self(net, id);
+      pins_in[static_cast<std::size_t>(from)][static_cast<std::size_t>(ni)] -=
+          my_pins;
+      pins_in[static_cast<std::size_t>(to)][static_cast<std::size_t>(ni)] +=
+          my_pins;
     }
     tiers[ci] = to;
     const double a = nl.cell_area(id);
-    area[from] -= a;
-    area[to] += a;
+    area[static_cast<std::size_t>(from)] -= a;
+    area[static_cast<std::size_t>(to)] += a;
   }
 
-  bool balanced_after(CellId id, double tol) const {
+  bool balanced_after(CellId id, int to, double tol) const {
     const int from = tiers[static_cast<std::size_t>(id)];
     const double a = nl.cell_area(id);
-    const double from_area = area[from] - a;
-    const double to_area = area[1 - from] + a;
-    return std::abs(from_area - to_area) <= tol * total_area;
+    const double from_area = area[static_cast<std::size_t>(from)] - a;
+    const double to_area = area[static_cast<std::size_t>(to)] + a;
+    if (num_tiers == 2)
+      return std::abs(from_area - to_area) <= tol * total_area;
+    // K > 2: both endpoints of the move must stay within 1/K +- tol of the
+    // total (the untouched tiers cannot drift).
+    const double target = total_area / static_cast<double>(num_tiers);
+    const double slack = tol * total_area;
+    return to_area <= target + slack && from_area >= target - slack;
   }
 };
 
 }  // namespace
 
 std::size_t fm_refine(const Netlist& netlist, std::vector<int>& tiers,
-                      const FmConfig& cfg) {
+                      const FmConfig& cfg, int num_tiers) {
   netlist.cell_nets();  // build incidence cache
   for (int pass = 0; pass < cfg.max_passes; ++pass) {
-    FmState st(netlist, tiers);
+    FmState st(netlist, tiers, num_tiers);
 
-    // Lazy max-heap of (gain, cell); entries are revalidated on pop.
-    using Entry = std::pair<int, CellId>;
+    // Lazy max-heap of (gain, cell, target); entries are revalidated on pop.
+    // The target tier rides along so the K-way move is replayable; at K = 2
+    // it is always the opposite tier and never influences the heap order
+    // (comparison only reaches it for duplicate (gain, cell) entries).
+    using Entry = std::tuple<int, CellId, int>;
     std::priority_queue<Entry> heap;
     std::vector<int> cached_gain(netlist.num_cells(), 0);
+    std::vector<int> cached_to(netlist.num_cells(), -1);
     for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
       const auto id = static_cast<CellId>(ci);
       if (!netlist.is_movable(id)) continue;
-      cached_gain[ci] = st.gain(id);
-      heap.push({cached_gain[ci], id});
+      const auto [g, to] = st.best_gain(id);
+      cached_gain[ci] = g;
+      cached_to[ci] = to;
+      heap.push({g, id, to});
     }
 
-    std::vector<CellId> moved;
+    std::vector<std::pair<CellId, int>> moved;  // (cell, tier it came from)
     std::vector<int> gain_seq;
     while (!heap.empty()) {
-      auto [g, id] = heap.top();
+      auto [g, id, to] = heap.top();
       heap.pop();
       const auto ci = static_cast<std::size_t>(id);
       if (st.locked[ci]) continue;
-      if (g != cached_gain[ci]) continue;  // stale entry
-      const int fresh = st.gain(id);
-      if (fresh != g) {
+      if (g != cached_gain[ci] || to != cached_to[ci]) continue;  // stale
+      const auto [fresh, fresh_to] = st.best_gain(id);
+      if (fresh != g || fresh_to != to) {
         cached_gain[ci] = fresh;
-        heap.push({fresh, id});
+        cached_to[ci] = fresh_to;
+        heap.push({fresh, id, fresh_to});
         continue;
       }
-      if (!st.balanced_after(id, cfg.balance_tol)) continue;
+      if (!st.balanced_after(id, to, cfg.balance_tol)) continue;
 
-      st.move(id);
+      const int from = tiers[ci];
+      st.move(id, to);
       st.locked[ci] = true;
-      moved.push_back(id);
+      moved.push_back({id, from});
       gain_seq.push_back(g);
       // Refresh gains of neighbors on touched nets.
       for (NetId ni : netlist.cell_nets()[ci]) {
@@ -181,10 +230,11 @@ std::size_t fm_refine(const Netlist& netlist, std::vector<int>& tiers,
         auto refresh = [&](CellId c) {
           const auto cj = static_cast<std::size_t>(c);
           if (st.locked[cj] || !netlist.is_movable(c)) return;
-          const int ng = st.gain(c);
-          if (ng != cached_gain[cj]) {
+          const auto [ng, nto] = st.best_gain(c);
+          if (ng != cached_gain[cj] || nto != cached_to[cj]) {
             cached_gain[cj] = ng;
-            heap.push({ng, c});
+            cached_to[cj] = nto;
+            heap.push({ng, c, nto});
           }
         };
         refresh(net.driver.cell);
@@ -202,7 +252,8 @@ std::size_t fm_refine(const Netlist& netlist, std::vector<int>& tiers,
         best_len = i + 1;
       }
     }
-    for (std::size_t i = moved.size(); i > best_len; --i) st.move(moved[i - 1]);
+    for (std::size_t i = moved.size(); i > best_len; --i)
+      st.move(moved[i - 1].first, moved[i - 1].second);
     if (best_sum <= 0) break;  // converged
   }
   return cut_size(netlist, tiers);
@@ -210,8 +261,9 @@ std::size_t fm_refine(const Netlist& netlist, std::vector<int>& tiers,
 
 std::size_t partition_tiers(const Netlist& netlist, Placement3D& placement,
                             const FmConfig& cfg) {
-  std::vector<int> tiers = seed_tiers_checkerboard(netlist, placement, cfg.bins);
-  const std::size_t cut = fm_refine(netlist, tiers, cfg);
+  std::vector<int> tiers = seed_tiers_checkerboard(netlist, placement, cfg.bins,
+                                                   placement.num_tiers);
+  const std::size_t cut = fm_refine(netlist, tiers, cfg, placement.num_tiers);
   placement.tier = std::move(tiers);
   return cut;
 }

@@ -1,12 +1,15 @@
 #pragma once
-// Fiduccia–Mattheyses hypergraph bipartitioning for tier assignment.
+// Fiduccia–Mattheyses hypergraph partitioning for tier assignment.
 //
 // Pseudo-3D flows assign z-coordinates by partitioning the placed netlist
-// into two dies under an area-balance constraint while minimizing the number
-// of cut nets (each cut is a face-to-face bond pad). We seed FM with a
-// bin-based checkerboard partition of the 2D placement (so both dies inherit
-// a similar area distribution, as Pin-3D's bin-based assignment does) and
-// then run gain-bucket FM passes.
+// into K tiers under an area-balance constraint while minimizing the number
+// of cut nets (each cut is a face-to-face bond pad / TSV stack). We seed FM
+// with a bin-based partition of the 2D placement that deals each bin's cells
+// to the lightest tier (so every tier inherits a similar area distribution,
+// as Pin-3D's bin-based assignment does) and then run gain-bucket FM passes
+// where each movable cell is scored against its best of the K-1 candidate
+// target tiers. With num_tiers = 2 this is exactly the classic FM
+// bipartition the flow shipped with.
 
 #include <vector>
 
@@ -16,28 +19,32 @@
 namespace dco3d {
 
 struct FmConfig {
-  double balance_tol = 0.03;  // allowed |areaTop - areaBot| / totalArea
+  // K = 2: allowed |areaTop - areaBot| / totalArea.
+  // K > 2: every tier must stay within totalArea * (1/K +- balance_tol).
+  double balance_tol = 0.03;
   int max_passes = 4;
   int bins = 16;  // checkerboard seeding granularity
 };
 
 /// Compute an area-balanced, placement-aware initial tier assignment:
-/// cells are bucketed into bins by (x, y) and alternately assigned within
-/// each bin by descending area. Fixed cells keep placement.tier.
+/// cells are bucketed into bins by (x, y) and dealt within each bin by
+/// descending area to the currently lightest tier (ties to the lowest
+/// index). Fixed cells keep placement.tier.
 std::vector<int> seed_tiers_checkerboard(const Netlist& netlist,
                                          const Placement3D& placement,
-                                         int bins);
+                                         int bins, int num_tiers = 2);
 
 /// Run FM passes on `tiers` (modified in place), minimizing cut nets under
 /// the balance constraint. Fixed cells never move. Returns the final cut.
 std::size_t fm_refine(const Netlist& netlist, std::vector<int>& tiers,
-                      const FmConfig& cfg);
+                      const FmConfig& cfg, int num_tiers = 2);
 
-/// Convenience: seed + refine, writing tier assignments into placement.
+/// Convenience: seed + refine with K = placement.num_tiers, writing tier
+/// assignments into placement.
 std::size_t partition_tiers(const Netlist& netlist, Placement3D& placement,
                             const FmConfig& cfg);
 
-/// Number of nets spanning both parts under an assignment.
+/// Number of nets spanning more than one part under an assignment.
 std::size_t cut_size(const Netlist& netlist, const std::vector<int>& tiers);
 
 }  // namespace dco3d

@@ -196,10 +196,12 @@ LegalizeStats legalize_tier(const Netlist& netlist, Placement3D& placement,
 LegalizeStats legalize_all(const Netlist& netlist, Placement3D& placement,
                            const PlacementParams& params) {
   LegalizeStats a = legalize_tier(netlist, placement, 0, params);
-  const LegalizeStats b = legalize_tier(netlist, placement, 1, params);
-  a.total_displacement += b.total_displacement;
-  a.max_displacement = std::max(a.max_displacement, b.max_displacement);
-  a.cells += b.cells;
+  for (int tier = 1; tier < placement.num_tiers; ++tier) {
+    const LegalizeStats b = legalize_tier(netlist, placement, tier, params);
+    a.total_displacement += b.total_displacement;
+    a.max_displacement = std::max(a.max_displacement, b.max_displacement);
+    a.cells += b.cells;
+  }
   return a;
 }
 

@@ -13,9 +13,10 @@
 
 namespace dco3d {
 
-Placement3D floorplan(const Netlist& netlist, const FloorplanConfig& cfg, Rng& rng) {
-  // Die area: each die carries half the movable area; macros live on their
-  // assigned die and consume area there. Size for the worst die.
+Placement3D floorplan(const Netlist& netlist, const FloorplanConfig& cfg, Rng& rng,
+                      int num_tiers) {
+  // Die area: each die carries 1/K of the movable area; macros live on
+  // their assigned die and consume area there. Size for the worst die.
   double movable_area = netlist.total_movable_area();
   double macro_area = 0.0;
   std::vector<CellId> macros, ios;
@@ -28,7 +29,10 @@ Placement3D floorplan(const Netlist& netlist, const FloorplanConfig& cfg, Rng& r
       ios.push_back(id);
     }
   }
-  const double per_die = movable_area * 0.5 + macro_area * 0.75;
+  // 1.0/K and 1.5/K are exactly 0.5 and 0.75 at K = 2, so the two-die
+  // outline is unchanged from the legacy flow.
+  const double per_die = movable_area * (1.0 / static_cast<double>(num_tiers)) +
+                         macro_area * (1.5 / static_cast<double>(num_tiers));
   const double die_area = std::max(per_die / cfg.utilization, 1e-6);
   const double h = std::sqrt(die_area / cfg.aspect);
   const double w = die_area / h;
@@ -36,7 +40,8 @@ Placement3D floorplan(const Netlist& netlist, const FloorplanConfig& cfg, Rng& r
   const double rh = netlist.library().row_height();
   const double hh = std::max(std::ceil(h / rh), 4.0) * rh;
 
-  Placement3D pl = Placement3D::make(netlist.num_cells(), Rect{0.0, 0.0, w, hh});
+  Placement3D pl =
+      Placement3D::make(netlist.num_cells(), Rect{0.0, 0.0, w, hh}, num_tiers);
 
   // IO ring: evenly spaced around the perimeter, alternating tiers.
   const double perim = 2.0 * (w + hh);
@@ -52,7 +57,8 @@ Placement3D floorplan(const Netlist& netlist, const FloorplanConfig& cfg, Rng& r
     else
       p = {0.0, hh - (d - 2 * w - hh)};
     pl.xy[static_cast<std::size_t>(ios[i])] = p;
-    pl.tier[static_cast<std::size_t>(ios[i])] = static_cast<int>(i % 2);
+    pl.tier[static_cast<std::size_t>(ios[i])] =
+        static_cast<int>(i % static_cast<std::size_t>(num_tiers));
   }
 
   // Macros: corners, round-robin across tiers, inset from the edge.
@@ -67,7 +73,8 @@ Placement3D floorplan(const Netlist& netlist, const FloorplanConfig& cfg, Rng& r
       default: p = {w - t.width - inset, hh - t.height - inset}; break;
     }
     pl.xy[static_cast<std::size_t>(macros[m])] = p;
-    pl.tier[static_cast<std::size_t>(macros[m])] = static_cast<int>(m % 2);
+    pl.tier[static_cast<std::size_t>(macros[m])] =
+        static_cast<int>(m % static_cast<std::size_t>(num_tiers));
   }
 
   // Movable cells: start near the center with a small jitter so the first
@@ -177,29 +184,31 @@ void apply_timing_weights(const Netlist& netlist, const Placement3D& pl,
 }  // namespace
 
 Placement3D place_pseudo3d(const Netlist& netlist, const PlacementParams& params,
-                           std::uint64_t seed, bool legalized) {
+                           std::uint64_t seed, bool legalized, int num_tiers) {
   Rng rng(seed);
   FloorplanConfig fcfg;
   fcfg.utilization = std::clamp(params.max_density, 0.55, 0.85);
-  Placement3D pl = floorplan(netlist, fcfg, rng);
+  Placement3D pl = floorplan(netlist, fcfg, rng, num_tiers);
 
   const std::vector<double> net_weights = make_net_weights(netlist, params);
   const MovableIndex all = MovableIndex::build(netlist);
 
-  // Phase 1: combined shrunk-2D placement (cells at half area).
+  // Phase 1: combined shrunk-2D placement (cells at 1/K area; exactly the
+  // legacy 0.5 for the two-die stack).
+  const double shrink = 1.0 / static_cast<double>(num_tiers);
   const int rounds1 = 3 + 2 * params.initial_place_effort;
   global_place_phase(netlist, pl, all, net_weights, params, rounds1, /*tier=*/-1,
-                     /*area_scale=*/0.5);
+                     /*area_scale=*/shrink);
   if (params.two_pass) {
     // Second pass re-solves from the spread state for a better WL/density
     // tradeoff, as ICC2's two_pass does.
-    global_place_phase(netlist, pl, all, net_weights, params, 2, -1, 0.5);
+    global_place_phase(netlist, pl, all, net_weights, params, 2, -1, shrink);
   }
 
   // Phase 1.5: timing-driven reweighting + a short timing-driven solve.
   std::vector<double> timed_weights = net_weights;
   apply_timing_weights(netlist, pl, params, timed_weights);
-  global_place_phase(netlist, pl, all, timed_weights, params, 2, -1, 0.5);
+  global_place_phase(netlist, pl, all, timed_weights, params, 2, -1, shrink);
 
   // Phase 2: tier assignment (bin checkerboard + FM min-cut).
   FmConfig fm;
@@ -208,7 +217,7 @@ Placement3D place_pseudo3d(const Netlist& netlist, const PlacementParams& params
 
   // Phase 3: per-die refinement.
   const int rounds2 = 2 + params.final_place_effort;
-  for (int tier = 0; tier < 2; ++tier) {
+  for (int tier = 0; tier < pl.num_tiers; ++tier) {
     std::vector<bool> on_tier(netlist.num_cells(), false);
     for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci)
       on_tier[ci] = netlist.is_movable(static_cast<CellId>(ci)) &&
@@ -222,7 +231,7 @@ Placement3D place_pseudo3d(const Netlist& netlist, const PlacementParams& params
     GCellGrid grid = make_grid(pl, 32, 32);
     SpreadConfig scfg;
     scfg.target_util = std::clamp(params.congestion_driven_max_util, 0.5, 0.9);
-    for (int tier = 0; tier < 2; ++tier) {
+    for (int tier = 0; tier < pl.num_tiers; ++tier) {
       std::vector<bool> on_tier(netlist.num_cells(), false);
       for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci)
         on_tier[ci] = netlist.is_movable(static_cast<CellId>(ci)) &&

@@ -25,15 +25,20 @@ struct FloorplanConfig {
 };
 
 /// Compute the shared die outline and place fixed cells: IO pads around the
-/// boundary (alternating tiers) and macros near the corners. Returns an
-/// initialized Placement3D with movable cells at the center.
-Placement3D floorplan(const Netlist& netlist, const FloorplanConfig& cfg, Rng& rng);
+/// boundary (round-robin across tiers) and macros near the corners. Returns
+/// an initialized Placement3D with movable cells at the center and
+/// num_tiers recorded on the placement.
+Placement3D floorplan(const Netlist& netlist, const FloorplanConfig& cfg, Rng& rng,
+                      int num_tiers = 2);
 
-/// Full pseudo-3D placement. Deterministic for a given (netlist, params,
-/// seed). `legalized` controls whether the final row-legalization runs (the
-/// DCO loop operates on the global placement *before* legalization).
+/// Full pseudo-3D placement over `num_tiers` stacked dies. Deterministic
+/// for a given (netlist, params, seed, num_tiers); num_tiers = 2 reproduces
+/// the classic two-die flow bit-for-bit. `legalized` controls whether the
+/// final row-legalization runs (the DCO loop operates on the global
+/// placement *before* legalization).
 Placement3D place_pseudo3d(const Netlist& netlist, const PlacementParams& params,
-                           std::uint64_t seed, bool legalized = true);
+                           std::uint64_t seed, bool legalized = true,
+                           int num_tiers = 2);
 
 /// A GCell grid covering the placement outline with tiles sized so that the
 /// map resolution is `nx` x `ny`.

@@ -120,17 +120,18 @@ std::vector<double> congestion_inflation(const Netlist& netlist,
   const std::int64_t hw = static_cast<std::int64_t>(grid.ny()) * grid.nx();
 
   // Demand per tile per die: 2D + 3D RUDY (optionally + pin density).
-  std::vector<float> demand[2];
+  const int num_tiers = placement.num_tiers;
+  std::vector<std::vector<float>> demand(static_cast<std::size_t>(num_tiers));
   float dmax = 1e-9f;
-  for (int die = 0; die < 2; ++die) {
-    demand[die].assign(static_cast<std::size_t>(hw), 0.0f);
-    auto d = fm.die[die].data();
+  for (int die = 0; die < num_tiers; ++die) {
+    demand[static_cast<std::size_t>(die)].assign(static_cast<std::size_t>(hw), 0.0f);
+    auto d = fm.die[static_cast<std::size_t>(die)].data();
     for (std::int64_t i = 0; i < hw; ++i) {
       float v = d[static_cast<std::size_t>(kRudy2D * hw + i)] +
                 d[static_cast<std::size_t>(kRudy3D * hw + i)];
       if (params.pin_density_aware)
         v += 0.05f * d[static_cast<std::size_t>(kPinDensity * hw + i)];
-      demand[die][static_cast<std::size_t>(i)] = v;
+      demand[static_cast<std::size_t>(die)][static_cast<std::size_t>(i)] = v;
       dmax = std::max(dmax, v);
     }
   }
@@ -143,9 +144,9 @@ std::vector<double> congestion_inflation(const Netlist& netlist,
   for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
     const auto id = static_cast<CellId>(ci);
     if (!netlist.is_movable(id)) continue;
-    const int die = placement.tier[ci] ? 1 : 0;
+    const int die = std::clamp(placement.tier[ci], 0, num_tiers - 1);
     const auto tile = static_cast<std::size_t>(grid.tile_of(placement.xy[ci]));
-    const double norm = demand[die][tile] / dmax;
+    const double norm = demand[static_cast<std::size_t>(die)][tile] / dmax;
     if (norm > threshold) {
       const double excess = (norm - threshold) / std::max(1.0 - threshold, 1e-6);
       inflation[ci] = 1.0 + strength * excess;

@@ -8,26 +8,30 @@
 
 namespace dco3d {
 
-RouteGrid::RouteGrid(const GCellGrid& grid, const RouterConfig& cfg) : grid_(grid) {
-  for (int die = 0; die < 2; ++die) {
-    h_cap[die].assign(num_h_edges(), cfg.h_capacity);
-    v_cap[die].assign(num_v_edges(), cfg.v_capacity);
-    h_use[die].assign(num_h_edges(), 0.0);
-    v_use[die].assign(num_v_edges(), 0.0);
-    h_hist[die].assign(num_h_edges(), 0.0);
-    v_hist[die].assign(num_v_edges(), 0.0);
-  }
+RouteGrid::RouteGrid(const GCellGrid& grid, const RouterConfig& cfg,
+                     int num_tiers)
+    : grid_(grid),
+      num_tiers_(num_tiers),
+      macro_factor_(cfg.macro_capacity_factor) {
+  const auto k = static_cast<std::size_t>(num_tiers_);
+  h_cap.assign(k, std::vector<double>(num_h_edges(), cfg.h_capacity));
+  v_cap.assign(k, std::vector<double>(num_v_edges(), cfg.v_capacity));
+  h_use.assign(k, std::vector<double>(num_h_edges(), 0.0));
+  v_use.assign(k, std::vector<double>(num_v_edges(), 0.0));
+  h_hist.assign(k, std::vector<double>(num_h_edges(), 0.0));
+  v_hist.assign(k, std::vector<double>(num_v_edges(), 0.0));
 }
 
 void RouteGrid::apply_macro_blockages(const Netlist& netlist,
                                       const Placement3D& placement) {
+  const double f = macro_factor_;
   for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
     const auto id = static_cast<CellId>(ci);
     if (!netlist.is_macro(id)) continue;
     const CellType& t = netlist.cell_type(id);
     const Rect m{placement.xy[ci].x, placement.xy[ci].y,
                  placement.xy[ci].x + t.width, placement.xy[ci].y + t.height};
-    const int die = placement.tier[ci] ? 1 : 0;
+    const int die = std::clamp(placement.tier[ci], 0, num_tiers_ - 1);
     const int m0 = grid_.col_of(m.xlo), m1 = grid_.col_of(m.xhi);
     const int n0 = grid_.row_of(m.ylo), n1 = grid_.row_of(m.yhi);
     // Any edge whose either endpoint tile is covered by the macro loses
@@ -36,10 +40,10 @@ void RouteGrid::apply_macro_blockages(const Netlist& netlist,
       for (int mm = m0; mm <= m1; ++mm) {
         const Rect tr = grid_.tile_rect(mm, n);
         if (tr.overlap_area(m) < 0.5 * tr.area()) continue;
-        if (mm > 0) h_cap[die][h_edge_index(mm - 1, n)] *= 0.15;
-        if (mm < nx() - 1) h_cap[die][h_edge_index(mm, n)] *= 0.15;
-        if (n > 0) v_cap[die][v_edge_index(mm, n - 1)] *= 0.15;
-        if (n < ny() - 1) v_cap[die][v_edge_index(mm, n)] *= 0.15;
+        if (mm > 0) h_cap[die][h_edge_index(mm - 1, n)] *= f;
+        if (mm < nx() - 1) h_cap[die][h_edge_index(mm, n)] *= f;
+        if (n > 0) v_cap[die][v_edge_index(mm, n - 1)] *= f;
+        if (n < ny() - 1) v_cap[die][v_edge_index(mm, n)] *= f;
       }
     }
   }
@@ -212,26 +216,39 @@ std::vector<int> prim_mst(const std::vector<TilePt>& pts) {
 
 /// 2-pin segments (per die) of one net, including the 3D via tile if needed.
 struct NetPlan {
-  // Per die: list of tile points; MST segments are rebuilt at (re)route time.
-  std::vector<TilePt> pts[2];
+  // Per tier: list of tile points; MST segments are rebuilt at (re)route time.
+  std::vector<std::vector<TilePt>> pts;
+  // Tier span of the net's pins: the via stack crosses [tier_lo, tier_hi).
+  int tier_lo = 0, tier_hi = 0;
   bool is3d = false;
+
+  int span() const { return tier_hi - tier_lo; }
 };
 
 NetPlan plan_net(const Net& net, const Placement3D& placement,
-                 const GCellGrid& grid) {
+                 const GCellGrid& grid, int num_tiers) {
   NetPlan plan;
+  plan.pts.assign(static_cast<std::size_t>(num_tiers), {});
   std::vector<Point> all;
+  int lo = num_tiers, hi = -1;
   auto add = [&](const PinRef& p) {
     const Point pos = placement.pin_position(p);
-    const int die = placement.tier[static_cast<std::size_t>(p.cell)] ? 1 : 0;
-    plan.pts[die].push_back({grid.col_of(pos.x), grid.row_of(pos.y)});
+    const int die = std::clamp(
+        placement.tier[static_cast<std::size_t>(p.cell)], 0, num_tiers - 1);
+    plan.pts[static_cast<std::size_t>(die)].push_back(
+        {grid.col_of(pos.x), grid.row_of(pos.y)});
+    lo = std::min(lo, die);
+    hi = std::max(hi, die);
     all.push_back(pos);
   };
   add(net.driver);
   for (const PinRef& s : net.sinks) add(s);
-  plan.is3d = !plan.pts[0].empty() && !plan.pts[1].empty();
+  plan.tier_lo = lo;
+  plan.tier_hi = hi;
+  plan.is3d = hi > lo;
   if (plan.is3d) {
-    // Via GCell at the median of all pins; becomes a terminal on both dies.
+    // Via GCell at the median of all pins; becomes a terminal on every tier
+    // of the net's span so the via stack can pass through intermediate dies.
     std::vector<double> xs, ys;
     for (const Point& p : all) {
       xs.push_back(p.x);
@@ -240,15 +257,15 @@ NetPlan plan_net(const Net& net, const Placement3D& placement,
     std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
     std::nth_element(ys.begin(), ys.begin() + ys.size() / 2, ys.end());
     const TilePt via{grid.col_of(xs[xs.size() / 2]), grid.row_of(ys[ys.size() / 2])};
-    plan.pts[0].push_back(via);
-    plan.pts[1].push_back(via);
+    for (int t = lo; t <= hi; ++t)
+      plan.pts[static_cast<std::size_t>(t)].push_back(via);
   }
   return plan;
 }
 
 void route_net(Ctx& ctx, const NetPlan& plan, NetRoute& route, bool maze) {
-  for (int die = 0; die < 2; ++die) {
-    const auto& pts = plan.pts[die];
+  for (int die = 0; die < static_cast<int>(plan.pts.size()); ++die) {
+    const auto& pts = plan.pts[static_cast<std::size_t>(die)];
     if (pts.size() < 2) continue;
     const std::vector<int> parent = prim_mst(pts);
     for (std::size_t i = 1; i < pts.size(); ++i) {
@@ -275,7 +292,8 @@ void rip_up(Ctx& ctx, NetRoute& route) {
 
 RouteResult global_route(const Netlist& netlist, const Placement3D& placement,
                          const GCellGrid& grid, const RouterConfig& cfg) {
-  RouteGrid rg(grid, cfg);
+  const int num_tiers = placement.num_tiers;
+  RouteGrid rg(grid, cfg, num_tiers);
   rg.apply_macro_blockages(netlist, placement);
   Ctx ctx{cfg, rg};
 
@@ -283,9 +301,16 @@ RouteResult global_route(const Netlist& netlist, const Placement3D& placement,
   std::vector<NetPlan> plans(n_nets);
   std::vector<NetRoute> routes(n_nets);
   std::size_t vias = 0;
+  std::vector<std::size_t> vias_per_boundary(
+      static_cast<std::size_t>(std::max(num_tiers - 1, 0)), 0);
   for (std::size_t ni = 0; ni < n_nets; ++ni) {
-    plans[ni] = plan_net(netlist.net(static_cast<NetId>(ni)), placement, grid);
-    if (plans[ni].is3d) ++vias;
+    plans[ni] =
+        plan_net(netlist.net(static_cast<NetId>(ni)), placement, grid, num_tiers);
+    if (plans[ni].is3d) {
+      vias += static_cast<std::size_t>(plans[ni].span());
+      for (int b = plans[ni].tier_lo; b < plans[ni].tier_hi; ++b)
+        ++vias_per_boundary[static_cast<std::size_t>(b)];
+    }
     route_net(ctx, plans[ni], routes[ni], /*maze=*/false);
   }
 
@@ -293,7 +318,7 @@ RouteResult global_route(const Netlist& netlist, const Placement3D& placement,
   for (int round = 0; round < cfg.rrr_rounds; ++round) {
     // Bump history on overflowed edges.
     bool any_overflow = false;
-    for (int die = 0; die < 2; ++die) {
+    for (int die = 0; die < num_tiers; ++die) {
       for (std::size_t i = 0; i < rg.num_h_edges(); ++i)
         if (rg.h_use[die][i] > rg.h_cap[die][i]) {
           rg.h_hist[die][i] += cfg.history_increment;
@@ -326,13 +351,15 @@ RouteResult global_route(const Netlist& netlist, const Placement3D& placement,
 
   // Collect metrics.
   RouteResult res;
+  res.num_tiers = num_tiers;
   const std::int64_t tiles = grid.num_tiles();
-  for (int die = 0; die < 2; ++die) {
-    res.congestion[die].assign(static_cast<std::size_t>(tiles), 0.0f);
-    res.usage[die].assign(static_cast<std::size_t>(tiles), 0.0f);
-  }
+  res.congestion.assign(static_cast<std::size_t>(num_tiers),
+                        std::vector<float>(static_cast<std::size_t>(tiles), 0.0f));
+  res.usage.assign(static_cast<std::size_t>(num_tiers),
+                   std::vector<float>(static_cast<std::size_t>(tiles), 0.0f));
+  res.tier_overflow.assign(static_cast<std::size_t>(num_tiers), 0.0);
   std::size_t ovf_tiles = 0;
-  for (int die = 0; die < 2; ++die) {
+  for (int die = 0; die < num_tiers; ++die) {
     for (int n = 0; n < grid.ny(); ++n) {
       for (int m = 0; m < grid.nx(); ++m) {
         double tile_ovf = 0.0, tile_use = 0.0;
@@ -363,15 +390,25 @@ RouteResult global_route(const Netlist& netlist, const Placement3D& placement,
       res.h_overflow += std::max(rg.h_use[die][i] - rg.h_cap[die][i], 0.0);
     for (std::size_t i = 0; i < rg.num_v_edges(); ++i)
       res.v_overflow += std::max(rg.v_use[die][i] - rg.v_cap[die][i], 0.0);
+    // Per-tier overflow, accumulated separately so the legacy h/v overflow
+    // summation order above is untouched.
+    double tovf = 0.0;
+    for (std::size_t i = 0; i < rg.num_h_edges(); ++i)
+      tovf += std::max(rg.h_use[die][i] - rg.h_cap[die][i], 0.0);
+    for (std::size_t i = 0; i < rg.num_v_edges(); ++i)
+      tovf += std::max(rg.v_use[die][i] - rg.v_cap[die][i], 0.0);
+    res.tier_overflow[static_cast<std::size_t>(die)] = tovf;
   }
   res.total_overflow = res.h_overflow + res.v_overflow;
-  res.ovf_gcell_pct =
-      100.0 * static_cast<double>(ovf_tiles) / static_cast<double>(2 * tiles);
+  res.ovf_gcell_pct = 100.0 * static_cast<double>(ovf_tiles) /
+                      static_cast<double>(num_tiers * tiles);
   res.num_3d_vias = vias;
+  res.vias_per_boundary = std::move(vias_per_boundary);
 
-  // Routed wirelength: edge count times tile pitch, plus a via penalty.
+  // Routed wirelength: edge count times tile pitch, plus a via penalty per
+  // boundary crossing.
   double wl = 0.0;
-  for (int die = 0; die < 2; ++die) {
+  for (int die = 0; die < num_tiers; ++die) {
     for (double u : rg.h_use[die]) wl += u * grid.tile_width();
     for (double u : rg.v_use[die]) wl += u * grid.tile_height();
   }
@@ -388,7 +425,9 @@ RouteResult global_route(const Netlist& netlist, const Placement3D& placement,
       const double cap = e.horizontal ? rg.h_cap[e.die][idx] : rg.v_cap[e.die][idx];
       if (use > cap) res.net_overflow_crossings[ni] += 1.0;
     }
-    if (plans[ni].is3d) res.net_routed_wl[ni] += 0.5 * grid.tile_width();
+    if (plans[ni].is3d)
+      res.net_routed_wl[ni] +=
+          static_cast<double>(plans[ni].span()) * 0.5 * grid.tile_width();
   }
   return res;
 }
@@ -416,16 +455,18 @@ RouterConfig calibrate_capacity(const Netlist& netlist,
   probe.v_capacity = 1e9;
   probe.rrr_rounds = 0;
 
-  RouteGrid rg(grid, probe);
+  const int num_tiers = placement.num_tiers;
+  RouteGrid rg(grid, probe, num_tiers);
   Ctx ctx{probe, rg};
   for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
-    NetPlan plan = plan_net(netlist.net(static_cast<NetId>(ni)), placement, grid);
+    NetPlan plan =
+        plan_net(netlist.net(static_cast<NetId>(ni)), placement, grid, num_tiers);
     NetRoute route;
     route_net(ctx, plan, route, /*maze=*/false);
   }
 
   std::vector<double> h_all, v_all;
-  for (int die = 0; die < 2; ++die) {
+  for (int die = 0; die < num_tiers; ++die) {
     h_all.insert(h_all.end(), rg.h_use[die].begin(), rg.h_use[die].end());
     v_all.insert(v_all.end(), rg.v_use[die].begin(), rg.v_use[die].end());
   }

@@ -5,13 +5,15 @@
 //   * the overflow / H-V overflow / overflowed-GCell% columns of Table III,
 //   * routed wirelength for the WL column.
 //
-// Model: each die has horizontal and vertical edge capacities between
-// adjacent GCells (reduced under macros). Nets are decomposed into 2-pin
-// segments by a rectilinear Prim MST; 3D nets get a via GCell at the pin
-// median connecting their per-die subtrees. Initial routing uses best-of-two
-// L-shapes; negotiated rip-up-and-reroute (history-cost Dijkstra) then
-// resolves overflow for a configurable number of rounds — exactly the
-// classical NCTU/NTHU-style global routing loop.
+// Model: each of the K stacked dies has horizontal and vertical edge
+// capacities between adjacent GCells (reduced under macros). Nets are
+// decomposed into 2-pin segments by a rectilinear Prim MST; nets spanning
+// multiple tiers get a via GCell at the pin median that becomes a terminal
+// on every tier in the net's span — a via stack of (max tier - min tier)
+// hops. Initial routing uses best-of-two L-shapes; negotiated
+// rip-up-and-reroute (history-cost Dijkstra) then resolves overflow for a
+// configurable number of rounds — exactly the classical NCTU/NTHU-style
+// global routing loop.
 
 #include <cstdint>
 #include <vector>
@@ -33,14 +35,15 @@ struct RouterConfig {
   int maze_margin = 6;           // extra tiles around the net bbox for maze search
 };
 
-/// Per-die edge capacity/usage state.
+/// Per-die edge capacity/usage state for a K-tier stack.
 class RouteGrid {
  public:
-  RouteGrid(const GCellGrid& grid, const RouterConfig& cfg);
+  RouteGrid(const GCellGrid& grid, const RouterConfig& cfg, int num_tiers = 2);
 
   const GCellGrid& gcells() const { return grid_; }
   int nx() const { return grid_.nx(); }
   int ny() const { return grid_.ny(); }
+  int num_tiers() const { return num_tiers_; }
 
   std::size_t h_edge_index(int m, int n) const {  // (m,n) -> (m+1,n)
     return static_cast<std::size_t>(n) * (nx() - 1) + m;
@@ -58,12 +61,15 @@ class RouteGrid {
   /// Reduce capacity under macro blockages on each die.
   void apply_macro_blockages(const Netlist& netlist, const Placement3D& placement);
 
-  std::vector<double> h_cap[2], v_cap[2];
-  std::vector<double> h_use[2], v_use[2];
-  std::vector<double> h_hist[2], v_hist[2];
+  // Indexed [tier][edge].
+  std::vector<std::vector<double>> h_cap, v_cap;
+  std::vector<std::vector<double>> h_use, v_use;
+  std::vector<std::vector<double>> h_hist, v_hist;
 
  private:
   GCellGrid grid_;
+  int num_tiers_ = 2;
+  double macro_factor_ = 0.15;
 };
 
 /// One routed edge of a net (for rip-up).
@@ -74,16 +80,22 @@ struct RoutedEdge {
 };
 
 struct RouteResult {
+  int num_tiers = 2;
   // Per-die congestion label map (tile overflow), size ny*nx.
-  std::vector<float> congestion[2];
+  std::vector<std::vector<float>> congestion;
   // Per-die density-style usage map (total edge usage per tile), for Fig. 6.
-  std::vector<float> usage[2];
+  std::vector<std::vector<float>> usage;
   double total_overflow = 0.0;
   double h_overflow = 0.0;
   double v_overflow = 0.0;
-  double ovf_gcell_pct = 0.0;  // % of GCells (both dies) with overflow
+  // Per-tier total overflow (h + v on that die); sums to total_overflow.
+  std::vector<double> tier_overflow;
+  // Per-tier-boundary via-stack crossings: entry b counts nets whose span
+  // covers the boundary between tier b and b+1 (size num_tiers - 1).
+  std::vector<std::size_t> vias_per_boundary;
+  double ovf_gcell_pct = 0.0;  // % of GCells (all dies) with overflow
   double wirelength = 0.0;     // routed WL in um (includes via penalty)
-  std::size_t num_3d_vias = 0;
+  std::size_t num_3d_vias = 0; // total boundary crossings over all nets
   // Per-net routed wirelength (um): feeds the detour factors that couple
   // congestion into signoff timing/power.
   std::vector<double> net_routed_wl;
@@ -91,7 +103,8 @@ struct RouteResult {
   std::vector<double> net_overflow_crossings;
 };
 
-/// Route all nets of the design and return congestion metrics.
+/// Route all nets of the design and return congestion metrics. The tier
+/// count is taken from the placement.
 RouteResult global_route(const Netlist& netlist, const Placement3D& placement,
                          const GCellGrid& grid, const RouterConfig& cfg = {});
 

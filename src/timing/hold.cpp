@@ -1,6 +1,7 @@
 #include "timing/hold.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 #include <queue>
 
@@ -39,9 +40,9 @@ HoldResult run_hold_check(const Netlist& netlist, const Placement3D& placement,
     const double len = manhattan(placement.pin_position(net.driver),
                                  placement.pin_position(sink));
     double d = 0.5 * (cfg.wire_res_per_um * len) * (cfg.wire_cap_per_um * len) * 1e-3;
-    if (placement.tier[static_cast<std::size_t>(net.driver.cell)] !=
-        placement.tier[static_cast<std::size_t>(sink.cell)])
-      d += cfg.via_delay_ps;
+    const int dt = std::abs(placement.tier[static_cast<std::size_t>(net.driver.cell)] -
+                            placement.tier[static_cast<std::size_t>(sink.cell)]);
+    if (dt > 0) d += cfg.via_delay_ps * static_cast<double>(dt);
     return d * hold_cfg.min_cell_factor;
   };
 

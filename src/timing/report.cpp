@@ -1,6 +1,7 @@
 #include "timing/report.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 #include <unordered_set>
 
@@ -35,9 +36,9 @@ std::vector<TimingPath> worst_paths(
     const Point b = placement.pin_position(sink);
     const double len = manhattan(a, b) * scale_of(ni);
     double d = 0.5 * (cfg.wire_res_per_um * len) * (cfg.wire_cap_per_um * len) * 1e-3;
-    if (placement.tier[static_cast<std::size_t>(net.driver.cell)] !=
-        placement.tier[static_cast<std::size_t>(sink.cell)])
-      d += cfg.via_delay_ps;
+    const int dt = std::abs(placement.tier[static_cast<std::size_t>(net.driver.cell)] -
+                            placement.tier[static_cast<std::size_t>(sink.cell)]);
+    if (dt > 0) d += cfg.via_delay_ps * static_cast<double>(dt);
     return d;
   };
 

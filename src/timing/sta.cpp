@@ -117,9 +117,9 @@ TimingResult run_sta(const Netlist& netlist, const Placement3D& placement,
     const double elmore =
         0.5 * (cfg.wire_res_per_um * len) * (cfg.wire_cap_per_um * len) * 1e-3;
     double d = elmore;
-    if (placement.tier[static_cast<std::size_t>(net.driver.cell)] !=
-        placement.tier[static_cast<std::size_t>(sink.cell)])
-      d += cfg.via_delay_ps;
+    const int dt = std::abs(placement.tier[static_cast<std::size_t>(net.driver.cell)] -
+                            placement.tier[static_cast<std::size_t>(sink.cell)]);
+    if (dt > 0) d += cfg.via_delay_ps * static_cast<double>(dt);
     return d;
   };
 

@@ -1,0 +1,268 @@
+// bench_report — emit the committed engineering benchmark JSON files:
+//
+//   bench_report kernels [-o BENCH_kernels.json] [--scale S] [--reps N]
+//   bench_report flow    [-o BENCH_flow.json]    [--scale S] [--grid N]
+//
+// `kernels` times the hot kernels of the DCO loop (hard/soft feature maps,
+// the differentiable losses with their analytic backwards, global routing,
+// STA, K-way FM partitioning) at two and three tiers, so the committed
+// numbers document the cost of the N-tier generalization next to the classic
+// two-die path. `flow` runs the staged Pin-3D pipeline end to end at two and
+// three tiers and records per-stage wall time from the StageTrace.
+//
+// Timings are medians over --reps runs after one warm-up; they are
+// machine-dependent engineering numbers (like BENCH_serve.json), committed
+// to track relative regressions, not absolute performance.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/losses.hpp"
+#include "flow/stage.hpp"
+#include "grid/soft_maps.hpp"
+#include "netlist/generators.hpp"
+#include "place/fm_partitioner.hpp"
+#include "place/placer3d.hpp"
+#include "route/router.hpp"
+#include "timing/sta.hpp"
+#include "util/parallel.hpp"
+
+using namespace dco3d;
+
+namespace {
+
+const char* arg_str(int argc, char** argv, const char* key, const char* dflt) {
+  for (int i = 2; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], key) == 0) return argv[i + 1];
+  return dflt;
+}
+
+double arg_num(int argc, char** argv, const char* key, double dflt) {
+  const char* s = arg_str(argc, argv, key, nullptr);
+  return s ? std::atof(s) : dflt;
+}
+
+double median_ms(const std::function<void()>& fn, int reps) {
+  fn();  // warm-up (pool/arena steady state)
+  std::vector<double> ms;
+  ms.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    ms.push_back(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
+}
+
+struct Entry {
+  std::string name;
+  double p50_ms = 0.0;
+};
+
+/// Per-cell position/tier leaves for the differentiable kernels. K = 2 uses
+/// the legacy scalar-z relaxation, K > 2 one probability vector per tier.
+struct SoftState {
+  nn::Var x, y, z;
+  std::vector<nn::Var> p;
+};
+
+SoftState make_soft_state(const Placement3D& pl, int num_tiers) {
+  const auto n = static_cast<std::int64_t>(pl.size());
+  nn::Tensor tx({n}), ty({n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    tx.data()[i] = static_cast<float>(pl.xy[static_cast<std::size_t>(i)].x);
+    ty.data()[i] = static_cast<float>(pl.xy[static_cast<std::size_t>(i)].y);
+  }
+  SoftState s;
+  s.x = nn::make_leaf(std::move(tx), /*requires_grad=*/true);
+  s.y = nn::make_leaf(std::move(ty), /*requires_grad=*/true);
+  if (num_tiers == 2) {
+    nn::Tensor tz({n});
+    for (std::int64_t i = 0; i < n; ++i)
+      tz.data()[i] = pl.tier[static_cast<std::size_t>(i)] == 1 ? 0.8f : 0.2f;
+    s.z = nn::make_leaf(std::move(tz), /*requires_grad=*/true);
+  } else {
+    for (int t = 0; t < num_tiers; ++t) {
+      nn::Tensor tp({n});
+      for (std::int64_t i = 0; i < n; ++i)
+        tp.data()[i] = pl.tier[static_cast<std::size_t>(i)] == t ? 0.6f
+                       : 0.4f / static_cast<float>(num_tiers - 1);
+      s.p.push_back(nn::make_leaf(std::move(tp), /*requires_grad=*/true));
+    }
+  }
+  return s;
+}
+
+int run_kernels(int argc, char** argv) {
+  const std::string out = arg_str(argc, argv, "-o", "BENCH_kernels.json");
+  const double scale = arg_num(argc, argv, "--scale", 0.02);
+  const int reps = static_cast<int>(arg_num(argc, argv, "--reps", 5));
+
+  DesignSpec spec = spec_for(DesignKind::kDma, scale);
+  const Netlist design = generate_design(spec);
+  const PlacementParams params;
+  const Placement3D pl2 = place_pseudo3d(design, params, 3, true, 2);
+  const Placement3D pl3 = place_pseudo3d(design, params, 3, true, 3);
+  const GCellGrid grid(pl2.outline, 32, 32);
+  const GCellGrid grid3(pl3.outline, 32, 32);
+  auto edges = std::make_shared<
+      const std::vector<std::pair<std::int64_t, std::int64_t>>>(
+      design.cell_graph_edges());
+  TimingConfig tcfg;
+  tcfg.clock_period_ps = spec.clock_period_ps;
+  const nn::Tensor power({static_cast<std::int64_t>(design.num_cells())});
+
+  std::vector<Entry> entries;
+  const auto add = [&](const char* name, const std::function<void()>& fn) {
+    entries.push_back({name, median_ms(fn, reps)});
+    std::printf("  %-28s %9.3f ms\n", name, entries.back().p50_ms);
+  };
+
+  add("feature_maps_k2",
+      [&] { compute_feature_maps(design, pl2, grid); });
+  add("feature_maps_k3",
+      [&] { compute_feature_maps(design, pl3, grid3); });
+  add("soft_maps_fwd_bwd_k2", [&] {
+    SoftState s = make_soft_state(pl2, 2);
+    nn::backward(nn::sum(soft_feature_maps(design, grid, s.x, s.y, s.z).stacked));
+  });
+  add("soft_maps_fwd_bwd_k3", [&] {
+    SoftState s = make_soft_state(pl3, 3);
+    nn::backward(nn::sum(soft_feature_maps(design, grid3, s.x, s.y, s.p).stacked));
+  });
+  add("cutsize_fwd_bwd_k2", [&] {
+    SoftState s = make_soft_state(pl2, 2);
+    nn::backward(cutsize_loss(s.z, edges));
+  });
+  add("cutsize_fwd_bwd_k3", [&] {
+    SoftState s = make_soft_state(pl3, 3);
+    nn::backward(cutsize_loss(s.p, edges));
+  });
+  add("overlap_fwd_bwd_k2", [&] {
+    SoftState s = make_soft_state(pl2, 2);
+    nn::backward(overlap_loss(design, s.x, s.y, s.z, pl2.outline, 8, 8, 0.8));
+  });
+  add("overlap_fwd_bwd_k3", [&] {
+    SoftState s = make_soft_state(pl3, 3);
+    nn::backward(overlap_loss(design, s.x, s.y, s.p, pl3.outline, 8, 8, 0.8));
+  });
+  add("thermal_fwd_bwd_k3", [&] {
+    SoftState s = make_soft_state(pl3, 3);
+    nn::backward(
+        thermal_density_loss(design, s.x, s.y, s.p, power, pl3.outline, 8, 8));
+  });
+  add("global_route_k2", [&] { global_route(design, pl2, grid); });
+  add("global_route_k3", [&] { global_route(design, pl3, grid3); });
+  add("sta", [&] { run_sta(design, pl2, tcfg); });
+  add("fm_partition_k2", [&] {
+    std::vector<int> tiers = seed_tiers_checkerboard(design, pl2, 16, 2);
+    fm_refine(design, tiers, FmConfig{}, 2);
+  });
+  add("fm_partition_k4", [&] {
+    std::vector<int> tiers = seed_tiers_checkerboard(design, pl2, 16, 4);
+    fm_refine(design, tiers, FmConfig{}, 4);
+  });
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_report: cannot open %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\"schema\":\"dco3d-bench-kernels-v1\",\"design\":\"%s\","
+               "\"cells\":%zu,\"nets\":%zu,\"scale\":%g,\"reps\":%d,"
+               "\"threads\":%d,\"kernels\":[",
+               spec.name.c_str(), design.num_cells(), design.num_nets(), scale,
+               reps, util::num_threads());
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    std::fprintf(f, "%s{\"name\":\"%s\",\"p50_ms\":%.4f}", i ? "," : "",
+                 entries[i].name.c_str(), entries[i].p50_ms);
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu kernels)\n", out.c_str(), entries.size());
+  return 0;
+}
+
+int run_flow(int argc, char** argv) {
+  const std::string out = arg_str(argc, argv, "-o", "BENCH_flow.json");
+  const double scale = arg_num(argc, argv, "--scale", 0.02);
+  const int grid_n = static_cast<int>(arg_num(argc, argv, "--grid", 16));
+
+  DesignSpec spec = spec_for(DesignKind::kDma, scale);
+  const Netlist design = generate_design(spec);
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_report: cannot open %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\"schema\":\"dco3d-bench-flow-v1\",\"design\":\"%s\","
+               "\"cells\":%zu,\"nets\":%zu,\"scale\":%g,\"grid\":%d,"
+               "\"threads\":%d,\"runs\":[",
+               spec.name.c_str(), design.num_cells(), design.num_nets(), scale,
+               grid_n, util::num_threads());
+
+  const int tier_counts[] = {2, 3};
+  for (std::size_t ti = 0; ti < 2; ++ti) {
+    const int tiers = tier_counts[ti];
+    FlowConfig cfg;
+    cfg.grid_nx = cfg.grid_ny = grid_n;
+    cfg.num_tiers = tiers;
+    cfg.timing.clock_period_ps = spec.clock_period_ps;
+    {
+      const Placement3D ref =
+          place_pseudo3d(design, cfg.place_params, cfg.seed, true, tiers);
+      cfg.router = calibrated_router(design, ref, grid_n, 0.70);
+    }
+    FlowContext ctx = make_flow_context(design, cfg);
+    ctx.design_name = spec.name;
+    std::vector<StageTraceEntry> trace;
+    PipelineOptions po;
+    po.trace = &trace;
+    const auto t0 = std::chrono::steady_clock::now();
+    const FlowResult r = pin3d_pipeline().run(ctx, po);
+    const double total_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+    std::printf("tiers=%d: %.1f ms, signoff overflow %.0f, WL %.1f um\n",
+                tiers, total_ms, r.signoff.overflow, r.signoff.wirelength_um);
+    std::fprintf(f,
+                 "%s{\"tiers\":%d,\"total_ms\":%.3f,"
+                 "\"signoff_overflow\":%.4f,\"signoff_wl_um\":%.4f,"
+                 "\"stages\":[",
+                 ti ? "," : "", tiers, total_ms, r.signoff.overflow,
+                 r.signoff.wirelength_um);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+      std::fprintf(f, "%s{\"stage\":\"%s\",\"wall_ms\":%.3f}", i ? "," : "",
+                   trace[i].stage.c_str(), trace[i].wall_ms);
+    std::fprintf(f, "]}");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_report <kernels|flow> [-o file] "
+                         "[--scale S] [--reps N] [--grid N]\n");
+    return 2;
+  }
+  if (std::strcmp(argv[1], "kernels") == 0) return run_kernels(argc, argv);
+  if (std::strcmp(argv[1], "flow") == 0) return run_flow(argc, argv);
+  std::fprintf(stderr, "bench_report: unknown mode '%s'\n", argv[1]);
+  return 2;
+}

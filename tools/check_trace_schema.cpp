@@ -259,6 +259,30 @@ std::string check_entry(const JsonValue& v) {
     return "'metrics' must be an object";
   for (const auto& [k, mv] : metrics->object)
     if (!mv.is_number()) return "'metrics." + k + "' must be a number";
+
+  // Per-tier metric family: an uncached route stage publishes 'tiers' plus
+  // one 'ovf_tier<t>' per die and 'vias_b<b>'/'cut_b<b>' per tier boundary.
+  if (stage->str == "route" && !cached->boolean) {
+    const JsonValue* tiers = metrics->find("tiers");
+    if (!tiers || !tiers->is_number() || tiers->number < 2 ||
+        tiers->number != static_cast<double>(static_cast<int>(tiers->number)))
+      return "'metrics.tiers' must be an integer >= 2 on route entries";
+    const int k = static_cast<int>(tiers->number);
+    for (int t = 0; t < k; ++t) {
+      const std::string key = "ovf_tier" + std::to_string(t);
+      const JsonValue* f = metrics->find(key);
+      if (!f || !f->is_number() || f->number < 0)
+        return "'metrics." + key + "' must be a number >= 0";
+    }
+    for (int b = 0; b + 1 < k; ++b) {
+      for (const char* prefix : {"vias_b", "cut_b"}) {
+        const std::string key = prefix + std::to_string(b);
+        const JsonValue* f = metrics->find(key);
+        if (!f || !f->is_number() || f->number < 0)
+          return "'metrics." + key + "' must be a number >= 0";
+      }
+    }
+  }
   return "";
 }
 

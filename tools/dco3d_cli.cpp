@@ -3,21 +3,22 @@
 // Subcommands:
 //   generate <design> [--scale S] [-o file]        synthesize a benchmark
 //   check <design-file>                            lint structural invariants
-//   place <design-file> [-o file] [--seed N] [--congestion-focused]
+//   place <design-file> [-o file] [--seed N] [--tiers N] [--congestion-focused]
 //   route <design-file> <placement-file> [--grid N] [--pctile P]
 //   sta <design-file> <placement-file> [--clock PS] [--paths K] [--hold]
 //   train <design-file> [-o ckpt] [--layouts N] [--epochs N] [--grid N]
+//        [--tiers N]
 //   refine <design-file> <placement-file> [-o file] [--passes N]
 //   optimize <design-file> <placement-file> <ckpt> [-o file] [--grid N]
-//   flow <design-file> [--dco ckpt] [--clock PS] [--grid N]
+//   flow <design-file> [--dco ckpt] [--clock PS] [--grid N] [--tiers N]
 //        [--trace file] [--cache-dir dir] [--resume-from stage] [--stop-after stage]
-//   batch [kinds...] [--scale S] [--clock PS] [--grid N] [--seed N]
+//   batch [kinds...] [--scale S] [--clock PS] [--grid N] [--tiers N] [--seed N]
 //        [--trace file] [--stop-after stage] [--cache-dir dir]
 //   serve [--port N] [--workers N] [--queue N] [--deadline S]
 //        [--cache-dir dir] [--cache-budget MB]      resident job server
-//   submit <kind> [--port N] [--scale S] [--grid N] [--clock PS] [--seed N]
-//        [--stop-after stage] [--deadline S] [--priority N] [--wait]
-//        [--no-cache]                               enqueue a job
+//   submit <kind> [--port N] [--scale S] [--grid N] [--tiers N] [--clock PS]
+//        [--seed N] [--stop-after stage] [--deadline S] [--priority N]
+//        [--wait] [--no-cache]                      enqueue a job
 //   status [--port N] [job]                         server / job status
 //   cancel <job> [--port N]                         cancel a queued/running job
 //   drain [--port N]                                graceful server shutdown
@@ -188,9 +189,24 @@ DesignKind parse_kind(const std::string& k) {
   if (k == "ldpc") return DesignKind::kLdpc;
   if (k == "vga") return DesignKind::kVga;
   if (k == "rocket") return DesignKind::kRocket;
+  if (k == "memlogic") return DesignKind::kMemLogic;
+  if (k == "macroheavy") return DesignKind::kMacroHeavy;
   throw StatusError(Status::invalid_argument(
       "unknown design kind '" + k +
-      "' (valid kinds: dma, aes, ecg, ldpc, vga, rocket)"));
+      "' (valid kinds: dma, aes, ecg, ldpc, vga, rocket, memlogic, "
+      "macroheavy)"));
+}
+
+/// --tiers N: number of stacked dies. Anything that is not a plain integer
+/// >= 2 is rejected with kInvalidArgument (exit code 2, docs/cli.md).
+int parse_tiers(const Args& a) {
+  const std::string s = a.get("--tiers", "2");
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v < 2)
+    throw StatusError(Status::invalid_argument(
+        "--tiers must be an integer >= 2 (got '" + s + "')"));
+  return static_cast<int>(v);
 }
 
 // ---------------------------------------------------------------------------
@@ -257,6 +273,7 @@ int cmd_place(const Args& a) {
   if (a.flag("--congestion-focused"))
     cfg.place_params = PlacementParams::congestion_focused();
   cfg.seed = static_cast<std::uint64_t>(a.num("--seed", 42));
+  cfg.num_tiers = parse_tiers(a);
   FlowContext ctx = make_flow_context(load_design(a), cfg);
   // Global placement + row legalization == place_pseudo3d(legalized=true).
   run_stages(ctx, {"place3d", "legalize"});
@@ -285,9 +302,11 @@ int cmd_route(const Args& a) {
   std::printf("overflow: total %.0f (H %.0f, V %.0f), %.2f%% of GCells\n",
               r.total_overflow, r.h_overflow, r.v_overflow, r.ovf_gcell_pct);
   std::printf("wirelength: %.1f um, 3D vias: %zu\n", r.wirelength, r.num_3d_vias);
-  for (int die = 0; die < 2; ++die) {
-    std::printf("\ncongestion map, %s die:\n%s", die ? "top" : "bottom",
-                ascii_heatmap(r.congestion[die],
+  for (int die = 0; die < r.num_tiers; ++die) {
+    std::printf("\ncongestion map, die %d%s:\n%s", die,
+                die == 0 ? " (bottom)"
+                         : (die == r.num_tiers - 1 ? " (top)" : ""),
+                ascii_heatmap(r.congestion[static_cast<std::size_t>(die)],
                               static_cast<std::size_t>(cfg.grid_nx),
                               static_cast<std::size_t>(cfg.grid_ny))
                     .c_str());
@@ -327,9 +346,12 @@ int cmd_train(const Args& a) {
   const Netlist design = load_design(a);
   const int grid_n = static_cast<int>(a.num("--grid", 48));
 
+  const int num_tiers = parse_tiers(a);
   PlacementParams params;
-  const Placement3D ref = place_pseudo3d(design, params, 42);
+  const Placement3D ref =
+      place_pseudo3d(design, params, 42, /*legalized=*/true, num_tiers);
   DatasetConfig dcfg;
+  dcfg.num_tiers = num_tiers;
   dcfg.layouts = static_cast<int>(a.num("--layouts", 10));
   dcfg.grid_nx = dcfg.grid_ny = grid_n;
   dcfg.net_h = dcfg.net_w = grid_n;
@@ -419,8 +441,10 @@ int cmd_flow(const Args& a) {
   FlowConfig cfg;
   cfg.timing.clock_period_ps = a.num("--clock", 300.0);
   cfg.grid_nx = cfg.grid_ny = static_cast<int>(a.num("--grid", 48));
+  cfg.num_tiers = parse_tiers(a);
   {
-    const Placement3D ref = place_pseudo3d(design, cfg.place_params, cfg.seed);
+    const Placement3D ref = place_pseudo3d(design, cfg.place_params, cfg.seed,
+                                           /*legalized=*/true, cfg.num_tiers);
     cfg.router =
         calibrated_router(design, ref, cfg.grid_nx, a.num("--pctile", 0.70));
   }
@@ -483,6 +507,7 @@ int cmd_batch(const Args& a) {
   FlowConfig base;
   base.timing.clock_period_ps = a.num("--clock", 300.0);
   base.grid_nx = base.grid_ny = static_cast<int>(a.num("--grid", 48));
+  base.num_tiers = parse_tiers(a);
   const auto seed = static_cast<std::uint64_t>(a.num("--seed", 1));
   const double scale = a.num("--scale", 0.04);
 
@@ -602,6 +627,7 @@ int cmd_submit(const Args& a) {
       .field("kind", a.positional[0])
       .field("scale", a.num("--scale", 0.02))
       .field("grid", static_cast<int>(a.num("--grid", 16)))
+      .field("tiers", parse_tiers(a))
       .field("clock_ps", a.num("--clock", 250.0))
       .field("seed", static_cast<std::int64_t>(a.num("--seed", 1)));
   if (a.flag("--stop-after")) w.field("stop_after", a.get("--stop-after", ""));

@@ -31,3 +31,29 @@ execute_process(
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "trace schema validation failed (${rc})")
 endif()
+
+# N-tier pass: a 3-tier flow on a stacking-scenario workload must emit the
+# per-tier metric family (tiers / ovf_tier<t> / vias_b<b> / cut_b<b>) and
+# still conform to the schema.
+execute_process(
+  COMMAND "${DCO3D_CLI}" generate memlogic --scale 0.005
+          -o "${WORK_DIR}/memlogic.design"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dco3d generate memlogic failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${DCO3D_CLI}" flow "${WORK_DIR}/memlogic.design" --grid 16
+          --clock 280 --tiers 3 --trace "${WORK_DIR}/trace3.jsonl"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dco3d flow --tiers 3 --trace failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${CHECKER}" "${WORK_DIR}/trace3.jsonl"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "3-tier trace schema validation failed (${rc})")
+endif()
