@@ -72,6 +72,22 @@ if [[ "$SAN" == *address* ]]; then
   export ASAN_OPTIONS="detect_leaks=1:halt_on_error=1"
   export DCO3D_ARENA=0
   ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+  unset DCO3D_ARENA
 fi
+
+# SIMD parity pass: rerun the cross-backend bit-equality tests with the
+# scalar backend forced, so the dispatch override path (and the scalar
+# kernels themselves) execute under the sanitizer. The tests internally
+# switch through every compiled-in backend, so on an AVX2/NEON host this
+# covers the vector kernels' loads/stores (incl. masked tails) too.
+echo "== SIMD backend parity under $SAN (DCO3D_SIMD=scalar start)"
+DCO3D_SIMD=scalar ctest --test-dir "$BUILD" --output-on-failure -R "Simd" \
+  -j "$JOBS"
+
+# Bench smoke: one pass of the perf-gate comparator against the committed
+# baseline at the sanitize threshold (50%, set by CMake when DCO3D_SANITIZE
+# is on) — proves the gate tooling itself is sanitizer-clean.
+echo "== bench_regression smoke under $SAN"
+ctest --test-dir "$BUILD" --output-on-failure -R "bench_regression"
 
 echo "== sanitize check passed"

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "nn/simd/simd.hpp"
 #include "util/parallel.hpp"
 
 namespace dco3d {
@@ -16,10 +17,11 @@ namespace {
 constexpr std::int64_t kScatterChunks = 8;
 
 void add_maps(FeatureMaps& into, const FeatureMaps& from) {
+  const auto acc = nn::simd::active().acc;
   for (std::size_t die = 0; die < into.die.size(); ++die) {
     auto dst = into.die[die].data();
     auto src = from.die[die].data();
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+    acc(static_cast<std::int64_t>(dst.size()), src.data(), dst.data());
   }
 }
 
@@ -31,33 +33,48 @@ double rudy_factor(const Rect& bbox, const GCellGrid& grid) {
   return 1.0 / w + 1.0 / h;
 }
 
-void add_net_rudy(std::span<float> map, const GCellGrid& grid, const Rect& bbox,
-                  double w) {
-  if (w == 0.0) return;
-  const double k = rudy_factor(bbox, grid) * w / grid.tile_area();
+void add_net_rudy_multi(const GCellGrid& grid, const Rect& bbox, int nmaps,
+                        const double* ws, const std::span<float>* maps) {
+  // Zero-weight channels contribute exactly nothing; dropping them here
+  // matches the single-channel early return.
+  assert(nmaps <= kMaxRudyFan);
+  double kfs[kMaxRudyFan];
+  std::span<float> live[kMaxRudyFan];
+  int nlive = 0;
+  const double rf = rudy_factor(bbox, grid);
+  for (int r = 0; r < nmaps; ++r) {
+    if (ws[r] == 0.0) continue;
+    kfs[nlive] = rf * ws[r] / grid.tile_area();
+    live[nlive] = maps[r];
+    ++nlive;
+  }
+  if (nlive == 0) return;
   const int m0 = grid.col_of(bbox.xlo);
   const int m1 = grid.col_of(bbox.xhi);
   const int n0 = grid.row_of(bbox.ylo);
   const int n1 = grid.row_of(bbox.yhi);
+  // Row-segment sweep through the SIMD layer: the y overlap is constant along
+  // a grid row, so each row is one vectorizable pass over [m0, m1] with the
+  // tile geometry computed once and fanned into every live channel. The
+  // kernel reproduces the degenerate-bbox handling (zero-width/height boxes
+  // spread their clipped 1-D extent times one tile dimension; point nets land
+  // in exactly one tile) and masks missed tiles to exact +0.
+  const auto rudy_row = nn::simd::active().rudy_row_scaled;
+  const double txlo0 = grid.tile_rect(m0, n0).xlo;
   for (int n = n0; n <= n1; ++n) {
-    for (int m = m0; m <= m1; ++m) {
-      const double ov = grid.tile_rect(m, n).overlap_area(bbox);
-      // Degenerate (zero-width or zero-height) boxes still occupy their tile
-      // row/column; approximate their overlap by the clipped 1D extent times
-      // one tile dimension so single-point nets land in exactly one tile.
-      double area = ov;
-      if (area <= 0.0) {
-        const Rect t = grid.tile_rect(m, n);
-        const double wx = std::min(t.xhi, bbox.xhi) - std::max(t.xlo, bbox.xlo);
-        const double wy = std::min(t.yhi, bbox.yhi) - std::max(t.ylo, bbox.ylo);
-        if (wx < 0 || wy < 0) continue;
-        area = std::max(wx, 0.0) * grid.tile_height() +
-               std::max(wy, 0.0) * grid.tile_width();
-        if (area == 0.0) area = grid.tile_area();  // true point net
-      }
-      map[static_cast<std::size_t>(grid.index(m, n))] += static_cast<float>(k * area);
-    }
+    const Rect t = grid.tile_rect(m0, n);
+    const double wy = std::min(t.yhi, bbox.yhi) - std::max(t.ylo, bbox.ylo);
+    float* rows[kMaxRudyFan];
+    for (int r = 0; r < nlive; ++r)
+      rows[r] = live[r].data() + grid.index(m0, n);
+    rudy_row(m1 - m0 + 1, txlo0, grid.tile_width(), grid.tile_height(),
+             grid.tile_area(), bbox.xlo, bbox.xhi, wy, nlive, kfs, rows);
   }
+}
+
+void add_net_rudy(std::span<float> map, const GCellGrid& grid, const Rect& bbox,
+                  double w) {
+  add_net_rudy_multi(grid, bbox, 1, &w, &map);
 }
 
 FeatureMaps compute_feature_maps(const Netlist& netlist,
@@ -77,7 +94,11 @@ FeatureMaps compute_feature_maps(const Netlist& netlist,
 
   const double tile_area = grid.tile_area();
 
-  // Cell density + macro blockage: area overlap per tile.
+  // Cell density + macro blockage: area overlap per tile, rasterized one
+  // grid row at a time through the SIMD layer (tiles the cell misses get an
+  // exact +0, a bitwise no-op on the accumulator).
+  const auto overlap_row = nn::simd::active().overlap_row_scaled;
+  const double one = 1.0;
   const auto n_cells = static_cast<std::int64_t>(netlist.num_cells());
   FeatureMaps fm = util::parallel_reduce(
       0, n_cells, util::grain_for_chunks(n_cells, kScatterChunks), zero,
@@ -96,13 +117,14 @@ FeatureMaps compute_feature_maps(const Netlist& netlist,
           const int m1 = grid.col_of(cell_rect.xhi);
           const int n0 = grid.row_of(cell_rect.ylo);
           const int n1 = grid.row_of(cell_rect.yhi);
+          const double txlo0 = grid.tile_rect(m0, n0).xlo;
           for (int n = n0; n <= n1; ++n) {
-            for (int m = m0; m <= m1; ++m) {
-              const double ov = grid.tile_rect(m, n).overlap_area(cell_rect);
-              if (ov > 0.0)
-                dst[static_cast<std::size_t>(grid.index(m, n))] +=
-                    static_cast<float>(ov / tile_area);
-            }
+            const Rect tr = grid.tile_rect(m0, n);
+            const double oy =
+                std::min(tr.yhi, cell_rect.yhi) - std::max(tr.ylo, cell_rect.ylo);
+            float* row = dst.data() + grid.index(m0, n);
+            overlap_row(m1 - m0 + 1, txlo0, grid.tile_width(), cell_rect.xlo,
+                        cell_rect.xhi, oy, tile_area, 1, &one, &row);
           }
         }
       },
@@ -135,8 +157,15 @@ FeatureMaps compute_feature_maps(const Netlist& netlist,
             widen(net.driver.cell);
             for (const PinRef& s : net.sinks) widen(s.cell);
             const double w3d = 1.0 / static_cast<double>(hi - lo + 1);
-            for (int t = lo; t <= hi; ++t)
-              add_net_rudy(channel(acc, t, kRudy3D), grid, bbox, w3d);
+            double ws[kMaxRudyFan];
+            std::span<float> maps[kMaxRudyFan];
+            int nm = 0;
+            for (int t = lo; t <= hi; ++t) {
+              ws[nm] = w3d;
+              maps[nm] = channel(acc, t, kRudy3D);
+              ++nm;
+            }
+            add_net_rudy_multi(grid, bbox, nm, ws, maps);
           } else {
             const int die = std::clamp(
                 placement.tier[static_cast<std::size_t>(net.driver.cell)], 0,

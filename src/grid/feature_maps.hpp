@@ -59,6 +59,18 @@ double rudy_factor(const Rect& bbox, const GCellGrid& grid);
 void add_net_rudy(std::span<float> map, const GCellGrid& grid, const Rect& bbox,
                   double w);
 
+/// Maximum channel fan-out of one add_net_rudy_multi sweep (soft maps use
+/// 2K channels per net; hard maps up to the tier count).
+inline constexpr int kMaxRudyFan = 32;
+
+/// Scatter one net's RUDY into `nmaps` channel maps sharing the same bbox,
+/// map r weighted by ws[r]. One geometry sweep over the bbox tiles; each
+/// map receives bit-identical values to a separate add_net_rudy call
+/// (zero-weight channels are skipped, like the single-channel early
+/// return).
+void add_net_rudy_multi(const GCellGrid& grid, const Rect& bbox, int nmaps,
+                        const double* ws, const std::span<float>* maps);
+
 /// Nearest-neighbor resize of a [C, H, W] or [N, C, H, W] tensor to
 /// (new_h, new_w), preserving pixel magnitudes in both directions (§III-B3).
 nn::Tensor resize_nearest(const nn::Tensor& t, std::int64_t new_h, std::int64_t new_w);

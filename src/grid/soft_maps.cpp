@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "nn/simd/simd.hpp"
 #include "util/parallel.hpp"
 
 namespace dco3d {
@@ -80,7 +81,8 @@ NetGeom net_geometry(const std::vector<PinPos>& pins, const GCellGrid& grid) {
 void add_tensor(nn::Tensor& into, const nn::Tensor& from) {
   auto dst = into.data();
   auto src = from.data();
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+  nn::simd::active().acc(static_cast<std::int64_t>(dst.size()), src.data(),
+                         dst.data());
 }
 
 }  // namespace
@@ -107,6 +109,10 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
   const nn::Tensor zero({1, 2 * kNumFeatureChannels, H, W});
 
   // --- cell density & macro blockage ---
+  // Each cell splits its area overlap across the two dies by its soft tier
+  // probability; rows rasterize through the SIMD layer with per-die weights
+  // {1 - z, z} (missed tiles contribute exact +0).
+  const auto overlap_row = nn::simd::active().overlap_row_scaled;
   nn::Tensor out = util::parallel_reduce(
       0, static_cast<std::int64_t>(N),
       util::grain_for_chunks(static_cast<std::int64_t>(N), kScatterChunks), zero,
@@ -124,14 +130,16 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
           auto top = channel(acc, 1, ch);
           const int m0 = grid.col_of(r.xlo), m1 = grid.col_of(r.xhi);
           const int n0 = grid.row_of(r.ylo), n1 = grid.row_of(r.yhi);
-          for (int n = n0; n <= n1; ++n)
-            for (int m = m0; m <= m1; ++m) {
-              const double ov = grid.tile_rect(m, n).overlap_area(r);
-              if (ov <= 0.0) continue;
-              const auto ti = static_cast<std::size_t>(grid.index(m, n));
-              bot[ti] += static_cast<float>((1.0 - zc) * ov / A);
-              top[ti] += static_cast<float>(zc * ov / A);
-            }
+          const double weights[2] = {1.0 - zc, zc};
+          const double txlo0 = grid.tile_rect(m0, n0).xlo;
+          for (int n = n0; n <= n1; ++n) {
+            const Rect tr = grid.tile_rect(m0, n);
+            const double oy = std::min(tr.yhi, r.yhi) - std::max(tr.ylo, r.ylo);
+            float* rows[2] = {bot.data() + grid.index(m0, n),
+                              top.data() + grid.index(m0, n)};
+            overlap_row(m1 - m0 + 1, txlo0, grid.tile_width(), r.xlo, r.xhi,
+                        oy, A, 2, weights, rows);
+          }
         }
       },
       add_tensor);
@@ -150,11 +158,12 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
           const NetGeom g = net_geometry(pins, grid);
           const double w3d = std::max(1.0 - g.prod_top - g.prod_bot, 0.0);
 
-          // RUDY channels.
-          add_net_rudy(channel(acc, 0, kRudy2D), grid, g.bbox, g.prod_bot);
-          add_net_rudy(channel(acc, 1, kRudy2D), grid, g.bbox, g.prod_top);
-          add_net_rudy(channel(acc, 0, kRudy3D), grid, g.bbox, 0.5 * w3d);
-          add_net_rudy(channel(acc, 1, kRudy3D), grid, g.bbox, 0.5 * w3d);
+          // RUDY channels: one fused geometry sweep over the bbox tiles.
+          const double ws[4] = {g.prod_bot, g.prod_top, 0.5 * w3d, 0.5 * w3d};
+          const std::span<float> rmaps[4] = {
+              channel(acc, 0, kRudy2D), channel(acc, 1, kRudy2D),
+              channel(acc, 0, kRudy3D), channel(acc, 1, kRudy3D)};
+          add_net_rudy_multi(grid, g.bbox, 4, ws, rmaps);
 
           // Pin channels.
           for (const PinPos& p : pins) {
@@ -248,46 +257,52 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
             const double w = bb.width(), h = bb.height();
 
             // Accumulate per-class tile-weighted grads for the RUDY channels,
-            // plus the position gradient of the extreme pins (Eq. 6).
-            double a_top2 = 0.0, a_bot2 = 0.0, a_3d = 0.0;
-            double gxh = 0.0, gxl = 0.0, gyh = 0.0, gyl = 0.0;
+            // plus the position gradient of the extreme pins (Eq. 6). Each
+            // grid row is one SIMD sweep (tile j of the row folds into lane
+            // j % 8); the per-net 8-lane accumulators merge once with the
+            // fixed combine8 tree. Masked tiles (no overlap, or zero
+            // upstream weight for the position terms — the delta_ih /
+            // delta_il edge indicators of Eq. 6 included) contribute exact
+            // +-0, a bitwise no-op.
             const bool want_pos = (px.requires_grad || py.requires_grad);
+            const auto bwd_row = nn::simd::active().soft_bwd_row;
+            nn::simd::SoftBwdAcc lanes;
+            nn::simd::SoftBwdRowArgs row;
+            row.mcount = m1 - m0 + 1;
+            row.txlo0 = grid.tile_rect(m0, n0).xlo;
+            row.tw = grid.tile_width();
+            row.A = A;
+            row.k = g.k;
+            row.bxlo = bb.xlo;
+            row.bxhi = bb.xhi;
+            row.w = w;
+            row.h = h;
+            row.prod_top = g.prod_top;
+            row.prod_bot = g.prod_bot;
+            row.w3d = w3d;
+            row.clamped_x = g.clamped_x;
+            row.clamped_y = g.clamped_y;
+            row.want_pos = want_pos;
             for (int n = n0; n <= n1; ++n) {
-              for (int m = m0; m <= m1; ++m) {
-                const Rect tr = grid.tile_rect(m, n);
-                const double ov = tr.overlap_area(bb);
-                if (ov <= 0.0) continue;
-                const auto ti = static_cast<std::size_t>(grid.index(m, n));
-                const double c = g.k * ov / A;
-                a_top2 += gt2[ti] * c;
-                a_bot2 += gb2[ti] * c;
-                a_3d += (gt3[ti] + gb3[ti]) * 0.5 * c;
-                if (!want_pos) continue;
-                // Total upstream weight on this tile's RUDY value for this net.
-                const double t_w = gt2[ti] * g.prod_top + gb2[ti] * g.prod_bot +
-                                   (gt3[ti] + gb3[ti]) * 0.5 * w3d;
-                if (t_w == 0.0) continue;
-                const double wx = std::min(tr.xhi, bb.xhi) - std::max(tr.xlo, bb.xlo);
-                const double hy = std::min(tr.yhi, bb.yhi) - std::max(tr.ylo, bb.ylo);
-                if (!g.clamped_x) {
-                  // d(1/w)/dx_h = -1/w^2; edge term when the bbox's right/left
-                  // edge lies inside this tile (delta_ih / delta_il of Eq. 6).
-                  const double dk = -ov / (w * w * A);
-                  gxh += t_w * dk;
-                  gxl -= t_w * dk;
-                  if (bb.xhi >= tr.xlo && bb.xhi < tr.xhi) gxh += t_w * g.k * hy / A;
-                  if (bb.xlo > tr.xlo && bb.xlo <= tr.xhi) gxl -= t_w * g.k * hy / A;
-                }
-                if (!g.clamped_y) {
-                  const double dk = -ov / (h * h * A);
-                  gyh += t_w * dk;
-                  gyl -= t_w * dk;
-                  if (bb.yhi >= tr.ylo && bb.yhi < tr.yhi) gyh += t_w * g.k * wx / A;
-                  if (bb.ylo > tr.ylo && bb.ylo <= tr.yhi) gyl -= t_w * g.k * wx / A;
-                }
-              }
+              const Rect tr = grid.tile_rect(m0, n);
+              row.oy = std::min(tr.yhi, bb.yhi) - std::max(tr.ylo, bb.ylo);
+              row.y_edge_hi = (bb.yhi >= tr.ylo && bb.yhi < tr.yhi) ? 1.0 : 0.0;
+              row.y_edge_lo = (bb.ylo > tr.ylo && bb.ylo <= tr.yhi) ? 1.0 : 0.0;
+              const auto off = static_cast<std::size_t>(grid.index(m0, n));
+              row.gt2 = gt2.data() + off;
+              row.gb2 = gb2.data() + off;
+              row.gt3 = gt3.data() + off;
+              row.gb3 = gb3.data() + off;
+              bwd_row(row, lanes);
             }
+            const double a_top2 = lanes.combined(nn::simd::kQATop2);
+            const double a_bot2 = lanes.combined(nn::simd::kQABot2);
+            const double a_3d = lanes.combined(nn::simd::kQA3d);
             if (want_pos) {
+              const double gxh = lanes.combined(nn::simd::kQGxh);
+              const double gxl = lanes.combined(nn::simd::kQGxl);
+              const double gyh = lanes.combined(nn::simd::kQGyh);
+              const double gyl = lanes.combined(nn::simd::kQGyl);
               acc.gx[static_cast<std::size_t>(pins[g.argmax_x].cell)] += gxh;
               acc.gx[static_cast<std::size_t>(pins[g.argmin_x].cell)] += gxl;
               acc.gy[static_cast<std::size_t>(pins[g.argmax_y].cell)] += gyh;
@@ -368,7 +383,7 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
   const int K = static_cast<int>(p.size());
   const auto N = static_cast<std::size_t>(netlist.num_cells());
   assert(x->value.numel() == static_cast<std::int64_t>(N));
-  for (const nn::Var& pt : p)
+  for ([[maybe_unused]] const nn::Var& pt : p)
     assert(pt->value.numel() == static_cast<std::int64_t>(N));
   const std::int64_t H = grid.ny(), W = grid.nx();
   const double A = grid.tile_area();
@@ -444,11 +459,19 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
           }
           const double w3d = std::max(1.0 - sum_prod, 0.0);
 
+          // One fused geometry sweep for all 2K RUDY channels of this net.
+          double ws[kMaxRudyFan];
+          std::span<float> rmaps[kMaxRudyFan];
+          int nm = 0;
           for (int t = 0; t < K; ++t) {
-            add_net_rudy(channel(acc, t, kRudy2D), grid, g.bbox,
-                         prod[static_cast<std::size_t>(t)]);
-            add_net_rudy(channel(acc, t, kRudy3D), grid, g.bbox, invK * w3d);
+            ws[nm] = prod[static_cast<std::size_t>(t)];
+            rmaps[nm] = channel(acc, t, kRudy2D);
+            ++nm;
+            ws[nm] = invK * w3d;
+            rmaps[nm] = channel(acc, t, kRudy3D);
+            ++nm;
           }
+          add_net_rudy_multi(grid, g.bbox, nm, ws, rmaps);
 
           for (const PinPos& pin : pins) {
             const auto ci = static_cast<std::size_t>(pin.cell);
@@ -495,6 +518,17 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
     std::vector<double> gx(n_cells, 0.0), gy(n_cells, 0.0);
     std::vector<std::vector<double>> gp(
         static_cast<std::size_t>(K), std::vector<double>(n_cells, 0.0));
+
+    // Upstream RUDY row bases, hoisted out of the per-net sweeps.
+    const float* g2base[nn::simd::kMaxSoftTiers] = {};
+    const float* g3base[nn::simd::kMaxSoftTiers] = {};
+    const bool lane_sweep = K <= nn::simd::kMaxSoftTiers;
+    if (lane_sweep) {
+      for (int t = 0; t < K; ++t) {
+        g2base[t] = gch(t, kRudy2D).data();
+        g3base[t] = gch(t, kRudy3D).data();
+      }
+    }
 
     // Cell density: each tier's map weights that tier's probability directly.
     if (any_p_grad) {
@@ -564,40 +598,95 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
             double a_3d = 0.0;
             double gxh = 0.0, gxl = 0.0, gyh = 0.0, gyl = 0.0;
             const bool want_pos = (px.requires_grad || py.requires_grad);
-            for (int n = n0; n <= n1; ++n) {
-              for (int m = m0; m <= m1; ++m) {
-                const Rect tr = grid.tile_rect(m, n);
-                const double ov = tr.overlap_area(bb);
-                if (ov <= 0.0) continue;
-                const auto ti = static_cast<std::size_t>(grid.index(m, n));
-                const double c = g.k * ov / A;
-                double g3_sum = 0.0;
-                double t_w = 0.0;
+            if (lane_sweep) {
+              // Same fixed-lane row sweep as the K = 2 path, with one
+              // RUDY2D accumulator per tier.
+              const auto bwd_row_k = nn::simd::active().soft_bwd_row_k;
+              nn::simd::SoftBwdAccK lanes;
+              nn::simd::SoftBwdRowKArgs row;
+              row.mcount = m1 - m0 + 1;
+              row.txlo0 = grid.tile_rect(m0, n0).xlo;
+              row.tw = grid.tile_width();
+              row.A = A;
+              row.k = g.k;
+              row.bxlo = bb.xlo;
+              row.bxhi = bb.xhi;
+              row.w = w;
+              row.h = h;
+              row.w3d = w3d;
+              row.invK = invK;
+              row.clamped_x = g.clamped_x;
+              row.clamped_y = g.clamped_y;
+              row.want_pos = want_pos;
+              row.K = K;
+              for (int t = 0; t < K; ++t)
+                row.prod[t] = prod[static_cast<std::size_t>(t)];
+              for (int n = n0; n <= n1; ++n) {
+                const Rect tr = grid.tile_rect(m0, n);
+                row.oy = std::min(tr.yhi, bb.yhi) - std::max(tr.ylo, bb.ylo);
+                row.y_edge_hi =
+                    (bb.yhi >= tr.ylo && bb.yhi < tr.yhi) ? 1.0 : 0.0;
+                row.y_edge_lo =
+                    (bb.ylo > tr.ylo && bb.ylo <= tr.yhi) ? 1.0 : 0.0;
+                const auto off = static_cast<std::size_t>(grid.index(m0, n));
                 for (int t = 0; t < K; ++t) {
-                  const double g2 = gch(t, kRudy2D)[ti];
-                  a2[static_cast<std::size_t>(t)] += g2 * c;
-                  t_w += g2 * prod[static_cast<std::size_t>(t)];
-                  g3_sum += gch(t, kRudy3D)[ti];
+                  row.g2[t] = g2base[t] + off;
+                  row.g3[t] = g3base[t] + off;
                 }
-                a_3d += g3_sum * invK * c;
-                if (!want_pos) continue;
-                t_w += g3_sum * invK * w3d;
-                if (t_w == 0.0) continue;
-                const double wx = std::min(tr.xhi, bb.xhi) - std::max(tr.xlo, bb.xlo);
-                const double hy = std::min(tr.yhi, bb.yhi) - std::max(tr.ylo, bb.ylo);
-                if (!g.clamped_x) {
-                  const double dk = -ov / (w * w * A);
-                  gxh += t_w * dk;
-                  gxl -= t_w * dk;
-                  if (bb.xhi >= tr.xlo && bb.xhi < tr.xhi) gxh += t_w * g.k * hy / A;
-                  if (bb.xlo > tr.xlo && bb.xlo <= tr.xhi) gxl -= t_w * g.k * hy / A;
-                }
-                if (!g.clamped_y) {
-                  const double dk = -ov / (h * h * A);
-                  gyh += t_w * dk;
-                  gyl -= t_w * dk;
-                  if (bb.yhi >= tr.ylo && bb.yhi < tr.yhi) gyh += t_w * g.k * wx / A;
-                  if (bb.ylo > tr.ylo && bb.ylo <= tr.yhi) gyl -= t_w * g.k * wx / A;
+                bwd_row_k(row, lanes);
+              }
+              for (int t = 0; t < K; ++t)
+                a2[static_cast<std::size_t>(t)] =
+                    nn::simd::combine8(lanes.a2[t]);
+              a_3d = nn::simd::combine8(lanes.a3d);
+              if (want_pos) {
+                gxh = nn::simd::combine8(lanes.gxh);
+                gxl = nn::simd::combine8(lanes.gxl);
+                gyh = nn::simd::combine8(lanes.gyh);
+                gyl = nn::simd::combine8(lanes.gyl);
+              }
+            } else {
+              for (int n = n0; n <= n1; ++n) {
+                for (int m = m0; m <= m1; ++m) {
+                  const Rect tr = grid.tile_rect(m, n);
+                  const double ov = tr.overlap_area(bb);
+                  if (ov <= 0.0) continue;
+                  const auto ti = static_cast<std::size_t>(grid.index(m, n));
+                  const double c = g.k * ov / A;
+                  double g3_sum = 0.0;
+                  double t_w = 0.0;
+                  for (int t = 0; t < K; ++t) {
+                    const double g2 = gch(t, kRudy2D)[ti];
+                    a2[static_cast<std::size_t>(t)] += g2 * c;
+                    t_w += g2 * prod[static_cast<std::size_t>(t)];
+                    g3_sum += gch(t, kRudy3D)[ti];
+                  }
+                  a_3d += g3_sum * invK * c;
+                  if (!want_pos) continue;
+                  t_w += g3_sum * invK * w3d;
+                  if (t_w == 0.0) continue;
+                  const double wx =
+                      std::min(tr.xhi, bb.xhi) - std::max(tr.xlo, bb.xlo);
+                  const double hy =
+                      std::min(tr.yhi, bb.yhi) - std::max(tr.ylo, bb.ylo);
+                  if (!g.clamped_x) {
+                    const double dk = -ov / (w * w * A);
+                    gxh += t_w * dk;
+                    gxl -= t_w * dk;
+                    if (bb.xhi >= tr.xlo && bb.xhi < tr.xhi)
+                      gxh += t_w * g.k * hy / A;
+                    if (bb.xlo > tr.xlo && bb.xlo <= tr.xhi)
+                      gxl -= t_w * g.k * hy / A;
+                  }
+                  if (!g.clamped_y) {
+                    const double dk = -ov / (h * h * A);
+                    gyh += t_w * dk;
+                    gyl -= t_w * dk;
+                    if (bb.yhi >= tr.ylo && bb.yhi < tr.yhi)
+                      gyh += t_w * g.k * wx / A;
+                    if (bb.ylo > tr.ylo && bb.ylo <= tr.yhi)
+                      gyl -= t_w * g.k * wx / A;
+                  }
                 }
               }
             }

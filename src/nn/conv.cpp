@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "nn/kernels.hpp"
+#include "nn/simd/simd.hpp"
 #include "util/arena.hpp"
 #include "util/parallel.hpp"
 
@@ -31,23 +32,20 @@ void accumulate(Var& p, const Tensor& g) {
   }
   auto dst = p->grad.data();
   auto src = g.data();
+  const auto acc = simd::active().acc;
   util::parallel_for(0, static_cast<std::int64_t>(dst.size()), 8192,
                      [&](std::int64_t b, std::int64_t e) {
-                       for (std::int64_t i = b; i < e; ++i)
-                         dst[static_cast<std::size_t>(i)] +=
-                             src[static_cast<std::size_t>(i)];
+                       acc(e - b, src.data() + b, dst.data() + b);
                      });
 }
 
-/// Per-channel sum of a (C, P) gradient block into gb[C].
+/// Per-channel sum of a (C, P) gradient block into gb[C], each row reduced
+/// through the SIMD layer's 8-wide lane layout (double accumulation).
 void bias_grad(const float* g, std::int64_t c, std::int64_t p, float* gb) {
+  const auto sum = simd::active().reduce_sum;
   util::parallel_for(0, c, 1, [&](std::int64_t c0, std::int64_t c1) {
-    for (std::int64_t ci = c0; ci < c1; ++ci) {
-      const float* row = g + ci * p;
-      float acc = 0.0f;
-      for (std::int64_t i = 0; i < p; ++i) acc += row[i];
-      gb[ci] += acc;
-    }
+    for (std::int64_t ci = c0; ci < c1; ++ci)
+      gb[ci] += static_cast<float>(sum(p, g + ci * p));
   });
 }
 

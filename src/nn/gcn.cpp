@@ -7,6 +7,7 @@
 #include <span>
 
 #include "nn/ops.hpp"
+#include "nn/simd/simd.hpp"
 #include "util/parallel.hpp"
 
 namespace dco3d::nn {
@@ -47,7 +48,9 @@ Tensor Csr::multiply(const Tensor& x) const {
   std::span<const float> xv = x.data();
   auto ov = out.data();
   // SpMM parallelized over output rows: each row accumulates its own slice in
-  // CSR order, so the result is identical for any thread count.
+  // CSR order (one axpy per nonzero), so the result is identical for any
+  // thread count.
+  const auto axpy = simd::active().axpy;
   util::parallel_for(0, rows, 64, [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t i = r0; i < r1; ++i) {
       float* orow = ov.data() + i * f;
@@ -55,8 +58,7 @@ Tensor Csr::multiply(const Tensor& x) const {
            k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
         const std::int64_t j = col_idx[static_cast<std::size_t>(k)];
         const float a = values[static_cast<std::size_t>(k)];
-        const float* xrow = xv.data() + j * f;
-        for (std::int64_t ff = 0; ff < f; ++ff) orow[ff] += a * xrow[ff];
+        axpy(f, a, xv.data() + j * f, orow);
       }
     }
   });
@@ -108,11 +110,10 @@ Var spmm(const std::shared_ptr<const Csr>& a, const Var& x) {
     n.parents[0]->ensure_grad();
     auto dst = n.parents[0]->grad.data();
     auto src = g.data();
+    const auto acc = simd::active().acc;
     util::parallel_for(0, static_cast<std::int64_t>(dst.size()), 8192,
                        [&](std::int64_t b, std::int64_t e) {
-                         for (std::int64_t i = b; i < e; ++i)
-                           dst[static_cast<std::size_t>(i)] +=
-                               src[static_cast<std::size_t>(i)];
+                         acc(e - b, src.data() + b, dst.data() + b);
                        });
   });
 }

@@ -3,66 +3,39 @@
 #include <algorithm>
 #include <cstring>
 
+#include "nn/simd/simd.hpp"
 #include "util/parallel.hpp"
 
 namespace dco3d::nn::detail {
 
 namespace {
-// One chunk = one C row: a row is already K*N flops of work, and row-granular
-// chunks keep the per-element k-accumulation order fixed for any thread count.
-constexpr std::int64_t kRowGrain = 1;
-// k-tile for cache blocking; tiles are walked in ascending k so the
-// accumulation order per output element is unchanged.
-constexpr std::int64_t kKBlock = 128;
+// Chunks of this many C rows per pool task: a multiple of the microkernel's
+// 4-row register tile (simd::kernels_impl) so whole chunks run the tiled
+// path, and results are row-independent so any chunking is bit-identical.
+constexpr std::int64_t kRowGrain = 8;
 }  // namespace
 
 void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
              const float* b, float* c) {
+  const auto& kern = simd::active();
   util::parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (std::int64_t kb = 0; kb < k; kb += kKBlock) {
-        const std::int64_t ke = std::min(k, kb + kKBlock);
-        for (std::int64_t kk = kb; kk < ke; ++kk) {
-          const float av = arow[kk];
-          if (av == 0.0f) continue;
-          const float* brow = b + kk * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
+    kern.gemm_nn_rows(i0, i1, n, k, a, b, c);
   });
 }
 
 void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
              const float* b, float* c) {
+  const auto& kern = simd::active();
   util::parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      float* crow = c + i * n;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float av = a[kk * m + i];
-        if (av == 0.0f) continue;
-        const float* brow = b + kk * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+    kern.gemm_tn_rows(i0, i1, m, n, k, a, b, c);
   });
 }
 
 void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
              const float* b, float* c) {
+  const auto& kern = simd::active();
   util::parallel_for(0, m, kRowGrain, [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float acc = 0.0f;
-        for (std::int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        crow[j] += acc;
-      }
-    }
+    kern.gemm_nt_rows(i0, i1, n, k, a, b, c);
   });
 }
 
@@ -84,6 +57,22 @@ void im2col(const float* im, std::int64_t c, std::int64_t h, std::int64_t w,
           continue;
         }
         const float* srow = src + hi * w;
+        if (stride == 1) {
+          // Unit stride: the row is a contiguous window [j - pad, j - pad +
+          // ow) of the source row; copy the in-bounds span, zero the edges.
+          const std::int64_t off = j - pad;
+          const std::int64_t x0 = std::clamp<std::int64_t>(-off, 0, ow);
+          const std::int64_t x1 = std::clamp(w - off, std::int64_t{0}, ow);
+          if (x0 > 0)
+            std::memset(row, 0, static_cast<std::size_t>(x0) * sizeof(float));
+          if (x1 > x0)
+            std::memcpy(row + x0, srow + off + x0,
+                        static_cast<std::size_t>(x1 - x0) * sizeof(float));
+          if (ow > x1)
+            std::memset(row + x1, 0,
+                        static_cast<std::size_t>(ow - x1) * sizeof(float));
+          continue;
+        }
         for (std::int64_t x = 0; x < ow; ++x) {
           const std::int64_t wi = x * stride + j - pad;
           row[x] = (wi < 0 || wi >= w) ? 0.0f : srow[wi];
@@ -97,6 +86,7 @@ void col2im(const float* cols, std::int64_t c, std::int64_t h, std::int64_t w,
             std::int64_t kh, std::int64_t kw, std::int64_t stride,
             std::int64_t pad, std::int64_t oh, std::int64_t ow, float* im) {
   const std::int64_t p = oh * ow;
+  const auto& kern = simd::active();
   // Rows (c, i, j) with the same channel c scatter into the same image plane,
   // so channels are the finest safe (and deterministic) parallel unit.
   util::parallel_for(0, c, 1, [&](std::int64_t c0, std::int64_t c1) {
@@ -110,6 +100,15 @@ void col2im(const float* cols, std::int64_t c, std::int64_t h, std::int64_t w,
           if (hi < 0 || hi >= h) continue;
           const float* srow = src + y * ow;
           float* drow = dst + hi * w;
+          if (stride == 1) {
+            // Unit stride: the adjoint of the im2col fast path — accumulate
+            // the in-bounds span as one vector add.
+            const std::int64_t off = j - pad;
+            const std::int64_t x0 = std::clamp<std::int64_t>(-off, 0, ow);
+            const std::int64_t x1 = std::clamp(w - off, std::int64_t{0}, ow);
+            if (x1 > x0) kern.acc(x1 - x0, srow + x0, drow + off + x0);
+            continue;
+          }
           for (std::int64_t x = 0; x < ow; ++x) {
             const std::int64_t wi = x * stride + j - pad;
             if (wi >= 0 && wi < w) drow[wi] += srow[x];

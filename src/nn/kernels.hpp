@@ -2,8 +2,15 @@
 // Shared dense kernels underneath the nn ops: blocked GEMM primitives and the
 // im2col/col2im lowering used by conv2d/conv_transpose2d. Everything here
 // dispatches through util::parallel_for with thread-count-independent
-// chunking, and each GEMM accumulates along k in ascending order per output
-// element, so results are bit-identical for any thread count.
+// chunking onto the SIMD microkernel layer (nn/simd/simd.hpp), whose
+// backends are bit-identical to each other by construction — so results are
+// bit-identical for any thread count AND any backend/ISA.
+//
+// Per-element accumulation order (fixed, part of the numeric contract):
+// gemm_nn/gemm_nt fold k ascending into a register accumulator and add it to
+// C once; gemm_tn does the same per 256-wide k-block (blocks ascending),
+// packing the strided A panel on the stack. gemm_nt reduces each dot product
+// through the 8-wide virtual lane layout of the SIMD layer.
 //
 // All GEMMs accumulate into C (callers zero-fill or bias-fill first).
 //

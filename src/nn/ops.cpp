@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "nn/kernels.hpp"
+#include "nn/simd/simd.hpp"
 #include "util/parallel.hpp"
 
 namespace dco3d::nn {
@@ -19,7 +20,67 @@ constexpr float kEps = 1e-12f;
 // reduction's combine tree — is identical on any machine.
 constexpr std::int64_t kEwGrain = 8192;
 
-/// out[i] = f(a[i]) — the single map kernel every unary op routes through.
+// Elementwise ops run through the SIMD dispatch table (nn/simd/simd.hpp):
+// each helper chunks the flat range and hands contiguous spans to the active
+// backend's kernel. Backends are bit-identical, so these stay deterministic
+// across thread counts and ISAs. Transcendentals (exp, tanh) are the
+// exception — they stay scalar std:: calls via map_tensor below, because no
+// vector approximation matches libm bit for bit.
+
+using Map1 = void (*)(std::int64_t, const float*, float*);
+using Zip2 = void (*)(std::int64_t, const float*, const float*, float*);
+using MapS = void (*)(std::int64_t, float, const float*, float*);
+using ZipS = void (*)(std::int64_t, float, const float*, const float*, float*);
+
+Tensor map_k(const Tensor& a, Map1 simd::Kernels::*op) {
+  Tensor out(a.shape());
+  const auto src = a.data();
+  auto dst = out.data();
+  const Map1 f = simd::active().*op;
+  util::parallel_for(0, a.numel(), kEwGrain, [&](std::int64_t b, std::int64_t e) {
+    f(e - b, src.data() + b, dst.data() + b);
+  });
+  return out;
+}
+
+Tensor zip_k(const Tensor& a, const Tensor& b, Zip2 simd::Kernels::*op) {
+  assert(a.numel() == b.numel());
+  Tensor out(a.shape());
+  const auto sa = a.data();
+  const auto sb = b.data();
+  auto dst = out.data();
+  const Zip2 f = simd::active().*op;
+  util::parallel_for(0, a.numel(), kEwGrain, [&](std::int64_t b0, std::int64_t e) {
+    f(e - b0, sa.data() + b0, sb.data() + b0, dst.data() + b0);
+  });
+  return out;
+}
+
+Tensor map_s(const Tensor& a, float s, MapS simd::Kernels::*op) {
+  Tensor out(a.shape());
+  const auto src = a.data();
+  auto dst = out.data();
+  const MapS f = simd::active().*op;
+  util::parallel_for(0, a.numel(), kEwGrain, [&](std::int64_t b, std::int64_t e) {
+    f(e - b, s, src.data() + b, dst.data() + b);
+  });
+  return out;
+}
+
+Tensor zip_s(const Tensor& a, const Tensor& b, float s, ZipS simd::Kernels::*op) {
+  assert(a.numel() == b.numel());
+  Tensor out(a.shape());
+  const auto sa = a.data();
+  const auto sb = b.data();
+  auto dst = out.data();
+  const ZipS f = simd::active().*op;
+  util::parallel_for(0, a.numel(), kEwGrain, [&](std::int64_t b0, std::int64_t e) {
+    f(e - b0, s, sa.data() + b0, sb.data() + b0, dst.data() + b0);
+  });
+  return out;
+}
+
+/// out[i] = f(a[i]) — scalar map for ops with no table kernel (libm calls).
 template <typename F>
 Tensor map_tensor(const Tensor& a, F f) {
   Tensor out(a.shape());
@@ -32,29 +93,15 @@ Tensor map_tensor(const Tensor& a, F f) {
   return out;
 }
 
-/// out[i] = f(a[i], b[i]) — the single zip kernel every binary op routes
-/// through (both value and gradient sides).
-template <typename F>
-Tensor zip_tensor(const Tensor& a, const Tensor& b, F f) {
-  assert(a.numel() == b.numel());
-  Tensor out(a.shape());
-  const auto sa = a.data();
-  const auto sb = b.data();
-  auto dst = out.data();
-  util::parallel_for(0, a.numel(), kEwGrain, [&](std::int64_t b0, std::int64_t e) {
-    for (std::int64_t i = b0; i < e; ++i)
-      dst[static_cast<std::size_t>(i)] =
-          f(sa[static_cast<std::size_t>(i)], sb[static_cast<std::size_t>(i)]);
-  });
-  return out;
-}
-
-/// Deterministic chunked sum (double accumulators, ordered tree combine).
+/// Deterministic chunked sum: each fixed chunk reduces through the 8-wide
+/// virtual lane layout of the SIMD layer, chunk partials combine in
+/// parallel_reduce's ordered tree.
 double sum_span(std::span<const float> v) {
+  const auto f = simd::active().reduce_sum;
   return util::parallel_reduce(
       0, static_cast<std::int64_t>(v.size()), kEwGrain, 0.0,
       [&](std::int64_t b, std::int64_t e, double& acc) {
-        for (std::int64_t i = b; i < e; ++i) acc += v[static_cast<std::size_t>(i)];
+        acc += f(e - b, v.data() + b);
       },
       [](double& into, const double& from) { into += from; });
 }
@@ -70,18 +117,17 @@ void accumulate(Var& p, const Tensor& g) {
   }
   auto dst = p->grad.data();
   auto src = g.data();
+  const auto f = simd::active().acc;
   util::parallel_for(0, static_cast<std::int64_t>(dst.size()), kEwGrain,
                      [&](std::int64_t b, std::int64_t e) {
-                       for (std::int64_t i = b; i < e; ++i)
-                         dst[static_cast<std::size_t>(i)] +=
-                             src[static_cast<std::size_t>(i)];
+                       f(e - b, src.data() + b, dst.data() + b);
                      });
 }
 }  // namespace
 
 Var add(const Var& a, const Var& b) {
   assert(a->value.same_shape(b->value));
-  Tensor out = zip_tensor(a->value, b->value, [](float x, float y) { return x + y; });
+  Tensor out = zip_k(a->value, b->value, &simd::Kernels::add);
   return make_node(std::move(out), {a, b}, [](Node& n) {
     accumulate(n.parents[0], n.grad);
     accumulate(n.parents[1], n.grad);
@@ -90,82 +136,71 @@ Var add(const Var& a, const Var& b) {
 
 Var sub(const Var& a, const Var& b) {
   assert(a->value.same_shape(b->value));
-  Tensor out = zip_tensor(a->value, b->value, [](float x, float y) { return x - y; });
+  Tensor out = zip_k(a->value, b->value, &simd::Kernels::sub);
   return make_node(std::move(out), {a, b}, [](Node& n) {
     accumulate(n.parents[0], n.grad);
     if (n.parents[1]->requires_grad)
-      accumulate(n.parents[1], map_tensor(n.grad, [](float g) { return -g; }));
+      accumulate(n.parents[1], map_s(n.grad, -1.0f, &simd::Kernels::scale));
   });
 }
 
 Var mul(const Var& a, const Var& b) {
   assert(a->value.same_shape(b->value));
-  Tensor out = zip_tensor(a->value, b->value, [](float x, float y) { return x * y; });
+  Tensor out = zip_k(a->value, b->value, &simd::Kernels::mul);
   return make_node(std::move(out), {a, b}, [](Node& n) {
     if (n.parents[0]->requires_grad)
-      accumulate(n.parents[0], zip_tensor(n.grad, n.parents[1]->value,
-                                          [](float g, float v) { return g * v; }));
+      accumulate(n.parents[0],
+                 zip_k(n.grad, n.parents[1]->value, &simd::Kernels::mul));
     if (n.parents[1]->requires_grad)
-      accumulate(n.parents[1], zip_tensor(n.grad, n.parents[0]->value,
-                                          [](float g, float v) { return g * v; }));
+      accumulate(n.parents[1],
+                 zip_k(n.grad, n.parents[0]->value, &simd::Kernels::mul));
   });
 }
 
 Var div(const Var& a, const Var& b) {
   assert(a->value.same_shape(b->value));
-  Tensor out = zip_tensor(a->value, b->value, [](float x, float y) {
-    return x / (y + (y >= 0 ? kEps : -kEps));
-  });
+  Tensor out = zip_s(a->value, b->value, kEps, &simd::Kernels::div_eps);
   return make_node(std::move(out), {a, b}, [](Node& n) {
     if (n.parents[0]->requires_grad)
       accumulate(n.parents[0],
-                 zip_tensor(n.grad, n.parents[1]->value, [](float g, float bv) {
-                   return g / (bv + (bv >= 0 ? kEps : -kEps));
-                 }));
+                 zip_s(n.grad, n.parents[1]->value, kEps, &simd::Kernels::div_eps));
     if (n.parents[1]->requires_grad) {
-      Tensor g = zip_tensor(n.parents[0]->value, n.parents[1]->value,
-                            [](float av, float bv) {
-                              const float d = bv + (bv >= 0 ? kEps : -kEps);
-                              return -av / (d * d);
-                            });
-      accumulate(n.parents[1],
-                 zip_tensor(n.grad, g, [](float gv, float dv) { return gv * dv; }));
+      Tensor g = zip_s(n.parents[0]->value, n.parents[1]->value, kEps,
+                       &simd::Kernels::div_eps_bwd);
+      accumulate(n.parents[1], zip_k(n.grad, g, &simd::Kernels::mul));
     }
   });
 }
 
 Var add_scalar(const Var& a, float s) {
-  Tensor out = map_tensor(a->value, [s](float v) { return v + s; });
+  Tensor out = map_s(a->value, s, &simd::Kernels::adds);
   return make_node(std::move(out), {a},
                    [](Node& n) { accumulate(n.parents[0], n.grad); });
 }
 
 Var mul_scalar(const Var& a, float s) {
-  Tensor out = map_tensor(a->value, [s](float v) { return v * s; });
+  Tensor out = map_s(a->value, s, &simd::Kernels::scale);
   return make_node(std::move(out), {a}, [s](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    accumulate(n.parents[0], map_tensor(n.grad, [s](float g) { return g * s; }));
+    accumulate(n.parents[0], map_s(n.grad, s, &simd::Kernels::scale));
   });
 }
 
 Var relu(const Var& a) {
-  Tensor out = map_tensor(a->value, [](float v) { return v > 0 ? v : 0.0f; });
+  Tensor out = map_k(a->value, &simd::Kernels::relu);
   return make_node(std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    accumulate(n.parents[0], zip_tensor(n.grad, n.parents[0]->value,
-                                        [](float g, float v) { return v > 0 ? g : 0.0f; }));
+    accumulate(n.parents[0],
+               zip_k(n.grad, n.parents[0]->value, &simd::Kernels::relu_bwd));
   });
 }
 
 Var leaky_relu(const Var& a, float slope) {
-  Tensor out =
-      map_tensor(a->value, [slope](float v) { return v > 0 ? v : slope * v; });
+  Tensor out = map_s(a->value, slope, &simd::Kernels::lrelu);
   return make_node(std::move(out), {a}, [slope](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    accumulate(n.parents[0],
-               zip_tensor(n.grad, n.parents[0]->value, [slope](float g, float v) {
-                 return v > 0 ? g : slope * g;
-               }));
+    accumulate(n.parents[0], zip_s(n.grad, n.parents[0]->value, slope,
+                                   &simd::Kernels::lrelu_bwd));
   });
 }
 
@@ -174,9 +209,7 @@ Var sigmoid(const Var& a) {
       map_tensor(a->value, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
   return make_node(std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    accumulate(n.parents[0], zip_tensor(n.grad, n.value, [](float g, float s) {
-                 return g * s * (1.0f - s);
-               }));
+    accumulate(n.parents[0], zip_k(n.grad, n.value, &simd::Kernels::sig_bwd));
   });
 }
 
@@ -184,49 +217,42 @@ Var tanh_op(const Var& a) {
   Tensor out = map_tensor(a->value, [](float v) { return std::tanh(v); });
   return make_node(std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    accumulate(n.parents[0], zip_tensor(n.grad, n.value, [](float g, float t) {
-                 return g * (1.0f - t * t);
-               }));
+    accumulate(n.parents[0], zip_k(n.grad, n.value, &simd::Kernels::tanh_bwd));
   });
 }
 
 Var square(const Var& a) {
-  Tensor out = map_tensor(a->value, [](float v) { return v * v; });
+  Tensor out = zip_k(a->value, a->value, &simd::Kernels::mul);
   return make_node(std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    accumulate(n.parents[0], zip_tensor(n.grad, n.parents[0]->value,
-                                        [](float g, float v) { return 2.0f * g * v; }));
+    accumulate(n.parents[0], zip_s(n.grad, n.parents[0]->value, 2.0f,
+                                   &simd::Kernels::scale_mul));
   });
 }
 
 Var sqrt_op(const Var& a) {
-  Tensor out =
-      map_tensor(a->value, [](float v) { return std::sqrt(std::max(v, 0.0f)); });
+  Tensor out = map_k(a->value, &simd::Kernels::sqrt_nn);
   return make_node(std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    accumulate(n.parents[0], zip_tensor(n.grad, n.value, [](float g, float s) {
-                 return g * 0.5f / std::max(s, 1e-6f);
-               }));
+    accumulate(n.parents[0], zip_k(n.grad, n.value, &simd::Kernels::sqrt_bwd));
   });
 }
 
 Var abs_op(const Var& a) {
-  Tensor out = map_tensor(a->value, [](float v) { return std::abs(v); });
+  Tensor out = map_k(a->value, &simd::Kernels::abs_f);
   return make_node(std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
-    accumulate(n.parents[0], zip_tensor(n.grad, n.parents[0]->value,
-                                        [](float g, float v) { return v >= 0 ? g : -g; }));
+    accumulate(n.parents[0],
+               zip_k(n.grad, n.parents[0]->value, &simd::Kernels::abs_bwd));
   });
 }
 
 Var clamp01_op(const Var& a) {
-  Tensor out = map_tensor(a->value, [](float v) { return std::clamp(v, 0.0f, 1.0f); });
+  Tensor out = map_k(a->value, &simd::Kernels::clamp01_f);
   return make_node(std::move(out), {a}, [](Node& n) {
     if (!n.parents[0]->requires_grad) return;
     accumulate(n.parents[0],
-               zip_tensor(n.grad, n.parents[0]->value, [](float g, float v) {
-                 return (v > 0.0f && v < 1.0f) ? g : 0.0f;
-               }));
+               zip_k(n.grad, n.parents[0]->value, &simd::Kernels::clamp01_bwd));
   });
 }
 
@@ -265,11 +291,10 @@ Var add_rowwise(const Var& m, const Var& bias) {
   std::span<const float> mv = std::as_const(m->value).data();
   std::span<const float> bv = std::as_const(bias->value).data();
   auto ov = out.data();
+  const auto add_row = simd::active().add;
   util::parallel_for(0, M, 64, [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t i = r0; i < r1; ++i)
-      for (std::int64_t j = 0; j < N; ++j)
-        ov[static_cast<std::size_t>(i * N + j)] =
-            mv[static_cast<std::size_t>(i * N + j)] + bv[static_cast<std::size_t>(j)];
+      add_row(N, mv.data() + i * N, bv.data(), ov.data() + i * N);
   });
   return make_node(std::move(out), {m, bias}, [M, N](Node& n) {
     accumulate(n.parents[0], n.grad);
@@ -277,11 +302,12 @@ Var add_rowwise(const Var& m, const Var& bias) {
       Tensor g(n.parents[1]->value.shape());
       std::span<const float> gv = std::as_const(n.grad).data();
       auto gd = g.data();
-      // Columns are independent; each sums its rows in ascending order.
-      util::parallel_for(0, N, 1, [&](std::int64_t c0, std::int64_t c1) {
-        for (std::int64_t j = c0; j < c1; ++j)
-          for (std::int64_t i = 0; i < M; ++i)
-            gd[static_cast<std::size_t>(j)] += gv[static_cast<std::size_t>(i * N + j)];
+      // Column blocks are independent; each column sums its rows in
+      // ascending order (one vector add per row slice).
+      const auto acc_row = simd::active().acc;
+      util::parallel_for(0, N, 64, [&](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t i = 0; i < M; ++i)
+          acc_row(c1 - c0, gv.data() + i * N + c0, gd.data() + c0);
       });
       accumulate(n.parents[1], g);
     }

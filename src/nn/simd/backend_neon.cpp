@@ -1,0 +1,24 @@
+// NEON backend (aarch64): the generic kernels with the 8-wide lane groups
+// split by the auto-vectorizer into two 4-lane q-register vectors. aarch64
+// compilers enable NEON by default, so no extra ISA flags are needed — but
+// GCC also contracts mul+add into fma by default there, which the global
+// -ffp-contract=off disables to keep results bit-identical to the scalar
+// and AVX2 backends.
+//
+// Only compiled on aarch64 (see src/nn/CMakeLists.txt).
+
+#if !defined(__aarch64__) && !defined(__ARM_NEON)
+#error "backend_neon.cpp should only be compiled for NEON-capable targets"
+#endif
+
+#define DCO3D_SIMD_NS neon_impl
+#include "nn/simd/kernels_impl.hpp"
+
+namespace dco3d::nn::simd {
+
+const Kernels& neon_kernels() {
+  static const Kernels table = neon_impl::make_table("neon");
+  return table;
+}
+
+}  // namespace dco3d::nn::simd

@@ -1,0 +1,15 @@
+// Scalar baseline backend: the generic lane-array kernels compiled with the
+// project's default flags. Always built — the portability floor and the
+// parity reference for every vector backend.
+
+#define DCO3D_SIMD_NS scalar_impl
+#include "nn/simd/kernels_impl.hpp"
+
+namespace dco3d::nn::simd {
+
+const Kernels& scalar_kernels() {
+  static const Kernels table = scalar_impl::make_table("scalar");
+  return table;
+}
+
+}  // namespace dco3d::nn::simd

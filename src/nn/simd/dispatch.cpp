@@ -1,0 +1,111 @@
+// Runtime backend selection for the SIMD microkernel layer. Resolution order
+// (first use, cached): DCO3D_SIMD env var > best backend the host supports >
+// scalar. All compiled-in backends produce bit-identical results, so the
+// choice only affects speed — which is why a plain cached pointer (benign
+// race: every racer computes the same value) is enough.
+
+#include "nn/simd/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dco3d::nn::simd {
+
+const Kernels& scalar_kernels();
+#ifdef DCO3D_SIMD_HAVE_AVX2
+const Kernels& avx2_kernels();
+#endif
+#ifdef DCO3D_SIMD_HAVE_NEON
+const Kernels& neon_kernels();
+#endif
+
+namespace {
+
+bool host_runs_avx2() {
+#if defined(DCO3D_SIMD_HAVE_AVX2) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+/// Best backend the host can execute, ignoring env overrides.
+const Kernels* best_backend() {
+#ifdef DCO3D_SIMD_HAVE_AVX2
+  if (host_runs_avx2()) return &avx2_kernels();
+#endif
+#ifdef DCO3D_SIMD_HAVE_NEON
+  return &neon_kernels();  // NEON is baseline on every aarch64 host
+#endif
+  return &scalar_kernels();
+}
+
+/// Backend by name if compiled in and runnable on this host, else null.
+const Kernels* backend_by_name(std::string_view name) {
+  if (name == "scalar") return &scalar_kernels();
+#ifdef DCO3D_SIMD_HAVE_AVX2
+  if (name == "avx2" && host_runs_avx2()) return &avx2_kernels();
+#endif
+#ifdef DCO3D_SIMD_HAVE_NEON
+  if (name == "neon") return &neon_kernels();
+#endif
+  return nullptr;
+}
+
+const Kernels* resolve_default() {
+  if (const char* env = std::getenv("DCO3D_SIMD")) {
+    if (*env != '\0' && std::strcmp(env, "auto") != 0) {
+      if (const Kernels* k = backend_by_name(env)) return k;
+      std::fprintf(stderr,
+                   "dco3d: DCO3D_SIMD=%s not available on this build/host, "
+                   "using %s\n",
+                   env, best_backend()->name);
+    }
+  }
+  return best_backend();
+}
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+}  // namespace
+
+const Kernels& active() {
+  const Kernels* k = g_active.load(std::memory_order_acquire);
+  if (!k) {
+    k = resolve_default();
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+const char* backend_name() { return active().name; }
+
+bool select(std::string_view name) {
+  if (name == "auto") {
+    g_active.store(resolve_default(), std::memory_order_release);
+    return true;
+  }
+  const Kernels* k = backend_by_name(name);
+  if (!k) return false;
+  g_active.store(k, std::memory_order_release);
+  return true;
+}
+
+void reset() { g_active.store(resolve_default(), std::memory_order_release); }
+
+std::vector<const Kernels*> backends() {
+  std::vector<const Kernels*> out{&scalar_kernels()};
+#ifdef DCO3D_SIMD_HAVE_AVX2
+  if (host_runs_avx2()) out.push_back(&avx2_kernels());
+#endif
+#ifdef DCO3D_SIMD_HAVE_NEON
+  out.push_back(&neon_kernels());
+#endif
+  return out;
+}
+
+const char* host_isa() { return best_backend()->name; }
+
+}  // namespace dco3d::nn::simd

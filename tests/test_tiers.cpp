@@ -128,24 +128,26 @@ TEST(TiersGolden, TwoTierDcoBitIdenticalToSeedAcrossThreads) {
   dcfg.seed = 17;
   const TimingConfig tc;
 
-  // iter -> {total, disp, ovlp, cut, cong}, captured from the seed build.
+  // iter -> {total, disp, ovlp, cut, cong}. Captured from the SIMD-layer
+  // build (the fixed 8-wide lane accumulation order shifts a few last ULPs
+  // vs the pre-SIMD seed; regeneration policy in docs/performance.md).
   const double golden[4][5] = {
       {0x1.011cb8p+10, 0x1.a7e2f2p-11, 0x1.65d4c2p-1, 0x1.cdeccp-1,
        0x1.9ab2ap+6},
       {0x1.e7c8d2p+9, 0x1.2c19bcp-10, 0x1.6a1076p-1, 0x1.cac978p-1,
        0x1.858c2cp+6},
-      {0x1.e2deaap+9, 0x1.c21a8p-10, 0x1.716adp-1, 0x1.ca212ap-1,
+      {0x1.e2deaap+9, 0x1.c21a7ep-10, 0x1.716acep-1, 0x1.ca212ap-1,
        0x1.819dp+6},
-      {0x1.d81a0cp+9, 0x1.48421ep-9, 0x1.7f9c7p-1, 0x1.cafcc8p-1,
-       0x1.78fddep+6}};
+      {0x1.d81a0ep+9, 0x1.48421cp-9, 0x1.7f9c72p-1, 0x1.cafcc8p-1,
+       0x1.78fdep+6}};
 
   for (int threads : {1, 2, 8}) {
     SCOPED_TRACE(::testing::Message() << "threads=" << threads);
     util::set_num_threads(threads);
     const DcoResult r = run_dco(netlist, initial, pred, tc, dcfg);
 
-    EXPECT_EQ(placement_hash(r.placement), 0x18b948ddbd2a9d8dull);
-    EXPECT_EQ(r.best_loss, 0x1.9ca89a70652b4p+6);
+    EXPECT_EQ(placement_hash(r.placement), 0xdcec0e8b34982aa3ull);
+    EXPECT_EQ(r.best_loss, 0x1.9ca89a56df292p+6);
     EXPECT_EQ(r.initial_score, 0x1.b650520bb2ee8p+6);
     EXPECT_EQ(r.cells_moved_tier, 0u);
     ASSERT_EQ(r.trace.size(), 4u);

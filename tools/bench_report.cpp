@@ -1,18 +1,30 @@
-// bench_report — emit the committed engineering benchmark JSON files:
+// bench_report — emit and gate the committed engineering benchmark JSONs:
 //
 //   bench_report kernels [-o BENCH_kernels.json] [--scale S] [--reps N]
 //   bench_report flow    [-o BENCH_flow.json]    [--scale S] [--grid N]
+//   bench_report compare --baseline FILE [--threshold T] [--scale S]
+//                        [--reps N] [--grid N]
 //
 // `kernels` times the hot kernels of the DCO loop (hard/soft feature maps,
 // the differentiable losses with their analytic backwards, global routing,
-// STA, K-way FM partitioning) at two and three tiers, so the committed
-// numbers document the cost of the N-tier generalization next to the classic
-// two-die path. `flow` runs the staged Pin-3D pipeline end to end at two and
-// three tiers and records per-stage wall time from the StageTrace.
+// STA, K-way FM partitioning) at two and three tiers, plus the GEMM-bound
+// nn primitives underneath the predictor (dense GEMM variants, a conv
+// forward+backward block, elementwise and reduction sweeps), so the
+// committed numbers track both the flow-level and microkernel-level cost.
+// `flow` runs the staged Pin-3D pipeline end to end at two and three tiers
+// and records per-stage wall time from the StageTrace.
+//
+// `compare` closes the perf-trajectory loop: it re-measures the suite named
+// by the baseline file's schema and fails (exit 1) if any kernel's fresh p50
+// regresses more than --threshold (default 0.15 = 15%) over the committed
+// number, or if a committed kernel no longer exists (renames must regenerate
+// the baseline). Wired as the `bench_regression` ctest.
 //
 // Timings are medians over --reps runs after one warm-up; they are
 // machine-dependent engineering numbers (like BENCH_serve.json), committed
-// to track relative regressions, not absolute performance.
+// to track relative regressions, not absolute performance. The JSON header
+// records the SIMD backend, host ISA, git revision, and worker-pool size so
+// a diff across machines or backends is recognizable as such.
 
 #include <algorithm>
 #include <chrono>
@@ -27,11 +39,21 @@
 #include "flow/stage.hpp"
 #include "grid/soft_maps.hpp"
 #include "netlist/generators.hpp"
+#include "nn/conv.hpp"
+#include "nn/init.hpp"
+#include "nn/kernels.hpp"
+#include "nn/ops.hpp"
+#include "nn/simd/simd.hpp"
 #include "place/fm_partitioner.hpp"
 #include "place/placer3d.hpp"
 #include "route/router.hpp"
 #include "timing/sta.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+#ifndef DCO3D_GIT_DESCRIBE
+#define DCO3D_GIT_DESCRIBE "unknown"
+#endif
 
 using namespace dco3d;
 
@@ -68,6 +90,20 @@ struct Entry {
   double p50_ms = 0.0;
 };
 
+/// Shared JSON header: design/workload identity plus the measurement context
+/// (SIMD backend actually dispatched, best ISA the host supports, git
+/// revision, actual worker-pool size).
+void write_context(std::FILE* f, const char* schema, const std::string& design,
+                   std::size_t cells, std::size_t nets, double scale) {
+  std::fprintf(f,
+               "{\"schema\":\"%s\",\"design\":\"%s\",\"cells\":%zu,"
+               "\"nets\":%zu,\"scale\":%g,\"simd\":\"%s\",\"host_isa\":\"%s\","
+               "\"git\":\"%s\",\"threads\":%d",
+               schema, design.c_str(), cells, nets, scale,
+               nn::simd::backend_name(), nn::simd::host_isa(),
+               DCO3D_GIT_DESCRIBE, util::num_threads());
+}
+
 /// Per-cell position/tier leaves for the differentiable kernels. K = 2 uses
 /// the legacy scalar-z relaxation, K > 2 one probability vector per tier.
 struct SoftState {
@@ -102,11 +138,13 @@ SoftState make_soft_state(const Placement3D& pl, int num_tiers) {
   return s;
 }
 
-int run_kernels(int argc, char** argv) {
-  const std::string out = arg_str(argc, argv, "-o", "BENCH_kernels.json");
-  const double scale = arg_num(argc, argv, "--scale", 0.02);
-  const int reps = static_cast<int>(arg_num(argc, argv, "--reps", 5));
+struct KernelSuite {
+  std::string design;
+  std::size_t cells = 0, nets = 0;
+  std::vector<Entry> entries;
+};
 
+KernelSuite measure_kernels(double scale, int reps) {
   DesignSpec spec = spec_for(DesignKind::kDma, scale);
   const Netlist design = generate_design(spec);
   const PlacementParams params;
@@ -121,12 +159,43 @@ int run_kernels(int argc, char** argv) {
   tcfg.clock_period_ps = spec.clock_period_ps;
   const nn::Tensor power({static_cast<std::int64_t>(design.num_cells())});
 
-  std::vector<Entry> entries;
+  KernelSuite suite;
+  suite.design = spec.name;
+  suite.cells = design.num_cells();
+  suite.nets = design.num_nets();
   const auto add = [&](const char* name, const std::function<void()>& fn) {
-    entries.push_back({name, median_ms(fn, reps)});
-    std::printf("  %-28s %9.3f ms\n", name, entries.back().p50_ms);
+    suite.entries.push_back({name, median_ms(fn, reps)});
+    std::printf("  %-28s %9.3f ms\n", name, suite.entries.back().p50_ms);
   };
 
+  // --- GEMM-bound nn primitives (fixed shapes, design-independent) ---
+  Rng rng(5);
+  const std::int64_t gm = 256, gn = 256, gk = 256;
+  nn::Tensor ga = nn::xavier_uniform({gm, gk}, gk, gm, rng);
+  nn::Tensor gb = nn::xavier_uniform({gk, gn}, gn, gk, rng);
+  nn::Tensor gat = nn::xavier_uniform({gk, gm}, gk, gm, rng);
+  nn::Tensor gbt = nn::xavier_uniform({gn, gk}, gn, gk, rng);
+  nn::Tensor gc({gm, gn});
+  const float* gad = ga.data().data();
+  const float* gbd = gb.data().data();
+  const float* gatd = gat.data().data();
+  const float* gbtd = gbt.data().data();
+  float* gcd = gc.data().data();
+  add("gemm_nn_256", [&] { nn::detail::gemm_nn(gm, gn, gk, gad, gbd, gcd); });
+  add("gemm_tn_256", [&] { nn::detail::gemm_tn(gm, gn, gk, gatd, gbd, gcd); });
+  add("gemm_nt_256", [&] { nn::detail::gemm_nt(gm, gn, gk, gad, gbtd, gcd); });
+  nn::Var cin = nn::make_leaf(nn::xavier_uniform({2, 8, 48, 48}, 8, 16, rng), true);
+  nn::Var cw = nn::make_leaf(nn::xavier_uniform({16, 8, 3, 3}, 72, 144, rng), true);
+  nn::Var cbias = nn::make_leaf(nn::Tensor({16}, 0.1f), true);
+  add("conv_fwd_bwd", [&] {
+    nn::backward(nn::sum(nn::conv2d(cin, cw, cbias, 1, 1)));
+  });
+  nn::Var vx = nn::make_leaf(nn::xavier_uniform({1, 1048576}, 1, 1, rng));
+  nn::Var vy = nn::make_leaf(nn::xavier_uniform({1, 1048576}, 1, 1, rng));
+  add("ew_mul_1m", [&] { nn::Var o = nn::mul(vx, vy); });
+  add("reduce_sum_1m", [&] { nn::Var o = nn::sum(vx); });
+
+  // --- flow-level kernels ---
   add("feature_maps_k2",
       [&] { compute_feature_maps(design, pl2, grid); });
   add("feature_maps_k3",
@@ -171,46 +240,47 @@ int run_kernels(int argc, char** argv) {
     std::vector<int> tiers = seed_tiers_checkerboard(design, pl2, 16, 4);
     fm_refine(design, tiers, FmConfig{}, 4);
   });
+  return suite;
+}
+
+int run_kernels(int argc, char** argv) {
+  const std::string out = arg_str(argc, argv, "-o", "BENCH_kernels.json");
+  const double scale = arg_num(argc, argv, "--scale", 0.02);
+  const int reps = static_cast<int>(arg_num(argc, argv, "--reps", 5));
+
+  const KernelSuite suite = measure_kernels(scale, reps);
 
   std::FILE* f = std::fopen(out.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "bench_report: cannot open %s\n", out.c_str());
     return 1;
   }
-  std::fprintf(f,
-               "{\"schema\":\"dco3d-bench-kernels-v1\",\"design\":\"%s\","
-               "\"cells\":%zu,\"nets\":%zu,\"scale\":%g,\"reps\":%d,"
-               "\"threads\":%d,\"kernels\":[",
-               spec.name.c_str(), design.num_cells(), design.num_nets(), scale,
-               reps, util::num_threads());
-  for (std::size_t i = 0; i < entries.size(); ++i)
+  write_context(f, "dco3d-bench-kernels-v2", suite.design, suite.cells,
+                suite.nets, scale);
+  std::fprintf(f, ",\"reps\":%d,\"kernels\":[", reps);
+  for (std::size_t i = 0; i < suite.entries.size(); ++i)
     std::fprintf(f, "%s{\"name\":\"%s\",\"p50_ms\":%.4f}", i ? "," : "",
-                 entries[i].name.c_str(), entries[i].p50_ms);
+                 suite.entries[i].name.c_str(), suite.entries[i].p50_ms);
   std::fprintf(f, "]}\n");
   std::fclose(f);
-  std::printf("wrote %s (%zu kernels)\n", out.c_str(), entries.size());
+  std::printf("wrote %s (%zu kernels)\n", out.c_str(), suite.entries.size());
   return 0;
 }
 
-int run_flow(int argc, char** argv) {
-  const std::string out = arg_str(argc, argv, "-o", "BENCH_flow.json");
-  const double scale = arg_num(argc, argv, "--scale", 0.02);
-  const int grid_n = static_cast<int>(arg_num(argc, argv, "--grid", 16));
+struct FlowSuite {
+  std::string design;
+  std::size_t cells = 0, nets = 0;
+  std::vector<Entry> totals;  // name = "tiers2"/"tiers3"
+  std::string runs_json;      // pre-rendered "runs" array body
+};
 
+FlowSuite measure_flow(double scale, int grid_n) {
   DesignSpec spec = spec_for(DesignKind::kDma, scale);
   const Netlist design = generate_design(spec);
-
-  std::FILE* f = std::fopen(out.c_str(), "w");
-  if (!f) {
-    std::fprintf(stderr, "bench_report: cannot open %s\n", out.c_str());
-    return 1;
-  }
-  std::fprintf(f,
-               "{\"schema\":\"dco3d-bench-flow-v1\",\"design\":\"%s\","
-               "\"cells\":%zu,\"nets\":%zu,\"scale\":%g,\"grid\":%d,"
-               "\"threads\":%d,\"runs\":[",
-               spec.name.c_str(), design.num_cells(), design.num_nets(), scale,
-               grid_n, util::num_threads());
+  FlowSuite suite;
+  suite.design = spec.name;
+  suite.cells = design.num_cells();
+  suite.nets = design.num_nets();
 
   const int tier_counts[] = {2, 3};
   for (std::size_t ti = 0; ti < 2; ++ti) {
@@ -236,20 +306,163 @@ int run_flow(int argc, char** argv) {
                                 .count();
     std::printf("tiers=%d: %.1f ms, signoff overflow %.0f, WL %.1f um\n",
                 tiers, total_ms, r.signoff.overflow, r.signoff.wirelength_um);
-    std::fprintf(f,
-                 "%s{\"tiers\":%d,\"total_ms\":%.3f,"
-                 "\"signoff_overflow\":%.4f,\"signoff_wl_um\":%.4f,"
-                 "\"stages\":[",
-                 ti ? "," : "", tiers, total_ms, r.signoff.overflow,
-                 r.signoff.wirelength_um);
-    for (std::size_t i = 0; i < trace.size(); ++i)
-      std::fprintf(f, "%s{\"stage\":\"%s\",\"wall_ms\":%.3f}", i ? "," : "",
-                   trace[i].stage.c_str(), trace[i].wall_ms);
-    std::fprintf(f, "]}");
+    suite.totals.push_back({"flow_tiers" + std::to_string(tiers), total_ms});
+
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"tiers\":%d,\"total_ms\":%.3f,"
+                  "\"signoff_overflow\":%.4f,\"signoff_wl_um\":%.4f,"
+                  "\"stages\":[",
+                  ti ? "," : "", tiers, total_ms, r.signoff.overflow,
+                  r.signoff.wirelength_um);
+    suite.runs_json += buf;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s{\"stage\":\"%s\",\"wall_ms\":%.3f}",
+                    i ? "," : "", trace[i].stage.c_str(), trace[i].wall_ms);
+      suite.runs_json += buf;
+    }
+    suite.runs_json += "]}";
   }
-  std::fprintf(f, "]}\n");
+  return suite;
+}
+
+int run_flow(int argc, char** argv) {
+  const std::string out = arg_str(argc, argv, "-o", "BENCH_flow.json");
+  const double scale = arg_num(argc, argv, "--scale", 0.02);
+  const int grid_n = static_cast<int>(arg_num(argc, argv, "--grid", 16));
+
+  const FlowSuite suite = measure_flow(scale, grid_n);
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_report: cannot open %s\n", out.c_str());
+    return 1;
+  }
+  write_context(f, "dco3d-bench-flow-v2", suite.design, suite.cells,
+                suite.nets, scale);
+  std::fprintf(f, ",\"grid\":%d,\"runs\":[%s]}\n", grid_n,
+               suite.runs_json.c_str());
   std::fclose(f);
   std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+// --- compare mode -----------------------------------------------------------
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return {};
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+/// Scan `"<skey>":"NAME"` ... `"<vkey>":NUM` pairs from flat benchmark JSON
+/// (the committed files are single-line flat objects; a full parser is not
+/// needed and util/jsonl only handles flat objects anyway).
+std::vector<Entry> scan_entries(const std::string& text, const char* skey,
+                                const char* vkey) {
+  std::vector<Entry> out;
+  const std::string sk = std::string{"\""} + skey + "\":";
+  const std::string vk = std::string{"\""} + vkey + "\":";
+  std::size_t pos = 0;
+  while ((pos = text.find(sk, pos)) != std::string::npos) {
+    pos += sk.size();
+    std::string name;
+    if (pos < text.size() && text[pos] == '"') {
+      const std::size_t endq = text.find('"', pos + 1);
+      if (endq == std::string::npos) break;
+      name = text.substr(pos + 1, endq - pos - 1);
+      pos = endq + 1;
+    } else {  // numeric key (flow "tiers":N)
+      name = text.substr(pos, text.find_first_of(",}", pos) - pos);
+    }
+    const std::size_t vpos = text.find(vk, pos);
+    if (vpos == std::string::npos) break;
+    out.push_back({name, std::atof(text.c_str() + vpos + vk.size())});
+    pos = vpos + vk.size();
+  }
+  return out;
+}
+
+std::string scan_string(const std::string& text, const char* key) {
+  const std::string k = std::string{"\""} + key + "\":\"";
+  const std::size_t pos = text.find(k);
+  if (pos == std::string::npos) return {};
+  const std::size_t start = pos + k.size();
+  return text.substr(start, text.find('"', start) - start);
+}
+
+int run_compare(int argc, char** argv) {
+  const char* baseline_path = arg_str(argc, argv, "--baseline", nullptr);
+  if (!baseline_path) {
+    std::fprintf(stderr, "bench_report compare: --baseline FILE required\n");
+    return 2;
+  }
+  const double threshold = arg_num(argc, argv, "--threshold", 0.15);
+  const double scale = arg_num(argc, argv, "--scale", 0.02);
+  const int reps = static_cast<int>(arg_num(argc, argv, "--reps", 5));
+  const int grid_n = static_cast<int>(arg_num(argc, argv, "--grid", 16));
+
+  const std::string base = read_file(baseline_path);
+  if (base.empty()) {
+    std::fprintf(stderr, "bench_report compare: cannot read %s\n",
+                 baseline_path);
+    return 2;
+  }
+  const std::string schema = scan_string(base, "schema");
+  std::vector<Entry> committed, fresh;
+  if (schema == "dco3d-bench-kernels-v2") {
+    committed = scan_entries(base, "name", "p50_ms");
+    fresh = measure_kernels(scale, reps).entries;
+  } else if (schema == "dco3d-bench-flow-v2") {
+    committed = scan_entries(base, "tiers", "total_ms");
+    const FlowSuite s = measure_flow(scale, grid_n);
+    for (const Entry& e : s.totals)
+      fresh.push_back({e.name.substr(std::strlen("flow_tiers")), e.p50_ms});
+  } else {
+    std::fprintf(stderr,
+                 "bench_report compare: unsupported schema '%s' in %s "
+                 "(regenerate with this binary)\n",
+                 schema.c_str(), baseline_path);
+    return 2;
+  }
+  const std::string base_simd = scan_string(base, "simd");
+  if (!base_simd.empty() && base_simd != nn::simd::backend_name())
+    std::printf("note: baseline simd=%s, current simd=%s — timings may not "
+                "be comparable\n",
+                base_simd.c_str(), nn::simd::backend_name());
+
+  int regressions = 0;
+  std::printf("%-28s %10s %10s %8s\n", "kernel", "base_ms", "fresh_ms",
+              "ratio");
+  for (const Entry& b : committed) {
+    const Entry* match = nullptr;
+    for (const Entry& f : fresh)
+      if (f.name == b.name) { match = &f; break; }
+    if (!match) {
+      std::printf("%-28s %10.4f %10s %8s  MISSING\n", b.name.c_str(), b.p50_ms,
+                  "-", "-");
+      ++regressions;
+      continue;
+    }
+    const double ratio = b.p50_ms > 0.0 ? match->p50_ms / b.p50_ms : 1.0;
+    const bool bad = ratio > 1.0 + threshold;
+    std::printf("%-28s %10.4f %10.4f %8.3f%s\n", b.name.c_str(), b.p50_ms,
+                match->p50_ms, ratio, bad ? "  REGRESSION" : "");
+    if (bad) ++regressions;
+  }
+  if (regressions) {
+    std::fprintf(stderr,
+                 "bench_report compare: %d kernel(s) regressed >%.0f%% vs %s\n",
+                 regressions, threshold * 100.0, baseline_path);
+    return 1;
+  }
+  std::printf("compare: all kernels within %.0f%% of %s\n", threshold * 100.0,
+              baseline_path);
   return 0;
 }
 
@@ -257,12 +470,15 @@ int run_flow(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: bench_report <kernels|flow> [-o file] "
-                         "[--scale S] [--reps N] [--grid N]\n");
+    std::fprintf(stderr,
+                 "usage: bench_report <kernels|flow|compare> [-o file] "
+                 "[--scale S] [--reps N] [--grid N] "
+                 "[--baseline FILE] [--threshold T]\n");
     return 2;
   }
   if (std::strcmp(argv[1], "kernels") == 0) return run_kernels(argc, argv);
   if (std::strcmp(argv[1], "flow") == 0) return run_flow(argc, argv);
+  if (std::strcmp(argv[1], "compare") == 0) return run_compare(argc, argv);
   std::fprintf(stderr, "bench_report: unknown mode '%s'\n", argv[1]);
   return 2;
 }

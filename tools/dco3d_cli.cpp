@@ -76,6 +76,7 @@
 #include "io/model_io.hpp"
 #include "netlist/generators.hpp"
 #include "netlist/validate.hpp"
+#include "nn/simd/simd.hpp"
 #include "place/detailed.hpp"
 #include "place/legalize.hpp"
 #include "timing/hold.hpp"
@@ -87,6 +88,10 @@
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/status.hpp"
+
+#ifndef DCO3D_GIT_DESCRIBE
+#define DCO3D_GIT_DESCRIBE "unknown"
+#endif
 
 using namespace dco3d;
 
@@ -155,8 +160,8 @@ Args parse_args(int argc, char** argv, int first) {
 int usage() {
   std::fprintf(stderr,
                "usage: dco3d <generate|check|place|route|sta|train|refine|"
-               "optimize|flow|batch|serve|submit|status|cancel|drain> "
-               "...\n  (see the header of tools/dco3d_cli.cpp)\n");
+               "optimize|flow|batch|serve|submit|status|cancel|drain|"
+               "--version> ...\n  (see the header of tools/dco3d_cli.cpp)\n");
   return status_exit_code(StatusCode::kInvalidArgument);
 }
 
@@ -699,6 +704,11 @@ int main(int argc, char** argv) {
   // Guardrail events (NaN recovery, deadline hits) narrate to stderr.
   log_level() = LogLevel::kWarn;
   const std::string cmd = argv[1];
+  if (cmd == "--version" || cmd == "version") {
+    std::printf("dco3d %s (simd=%s, host_isa=%s)\n", DCO3D_GIT_DESCRIBE,
+                nn::simd::backend_name(), nn::simd::host_isa());
+    return 0;
+  }
   const Args args = parse_args(argc, argv, 2);
   if (args.flag("--threads"))
     util::set_num_threads(static_cast<int>(args.num("--threads", 0)));
