@@ -65,6 +65,15 @@ if [[ "$SAN" == *thread* ]]; then
   # slower service times (8 jobs' worth of excess must overflow the queue).
   echo "== serve smoke under TSan (load_serve overload sweep)"
   "$BUILD/tools/load_serve" --jobs 8 --queue 2 -o "$BUILD/BENCH_serve_tsan.json"
+
+  # Search smoke: the multi-fidelity searcher overlaps a parallel GP scoring
+  # sweep with batched concurrent flow evaluations (B=2 here) against a
+  # shared artifact cache — the one place all three concurrency surfaces
+  # (kernel pool, batch lanes, cache) compose, so it gets its own TSan pass.
+  echo "== search smoke under TSan (batch 2, cheap screening)"
+  rm -rf "$BUILD/tsan-search-cache"
+  "$BUILD/tools/dco3d" search dma --scale 0.01 --grid 8 --rounds 2 --batch 2 \
+    --init 3 --candidates 32 --cache-dir "$BUILD/tsan-search-cache"
 fi
 
 if [[ "$SAN" == *address* ]]; then

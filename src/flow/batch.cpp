@@ -41,8 +41,8 @@ std::vector<BatchJob> make_generator_jobs(const std::vector<DesignKind>& kinds,
   return jobs;
 }
 
-std::vector<BatchEntry> run_many(const std::vector<BatchJob>& jobs,
-                                 const BatchOptions& opts) {
+std::vector<BatchEntry> run_pipeline_jobs(
+    const std::vector<PipelineJob>& jobs) {
   std::vector<BatchEntry> entries(jobs.size());
   // One pool chunk per job: flows nest their own parallel kernels inline on
   // the worker lane, so jobs are the unit of concurrency. Entries are
@@ -51,24 +51,17 @@ std::vector<BatchEntry> run_many(const std::vector<BatchJob>& jobs,
       0, static_cast<std::int64_t>(jobs.size()), 1,
       [&](std::int64_t b, std::int64_t e) {
         for (std::int64_t j = b; j < e; ++j) {
-          const BatchJob& job = jobs[static_cast<std::size_t>(j)];
+          const PipelineJob& job = jobs[static_cast<std::size_t>(j)];
           BatchEntry& entry = entries[static_cast<std::size_t>(j)];
           entry.name = job.name;
-          entry.cells = job.design.num_cells();
-          entry.nets = job.design.num_nets();
           const auto t0 = std::chrono::steady_clock::now();
           try {
-            FlowContext ctx =
-                make_flow_context(job.design, job.cfg, job.optimizer);
-            ctx.design_name = job.name;
-            ctx.optimizer_tag = job.optimizer_tag;
-            PipelineOptions po;
-            po.stop_after = opts.stop_after;
-            if (opts.collect_trace) po.trace = &entry.trace;
-            if (opts.cache) {
-              po.cache = opts.cache;
-              po.auto_resume = true;
-            }
+            FlowContext ctx = job.make_context();
+            entry.cells = ctx.netlist.num_cells();
+            entry.nets = ctx.netlist.num_nets();
+            PipelineOptions po = job.opts;
+            po.trace = job.collect_trace ? &entry.trace : nullptr;
+            po.info = &entry.info;
             entry.result = pin3d_pipeline().run(ctx, po);
           } catch (const StatusError& err) {
             entry.status = err.status();
@@ -81,6 +74,30 @@ std::vector<BatchEntry> run_many(const std::vector<BatchJob>& jobs,
         }
       });
   return entries;
+}
+
+std::vector<BatchEntry> run_many(const std::vector<BatchJob>& jobs,
+                                 const BatchOptions& opts) {
+  std::vector<PipelineJob> pjobs;
+  pjobs.reserve(jobs.size());
+  for (const BatchJob& job : jobs) {
+    PipelineJob pj;
+    pj.name = job.name;
+    pj.make_context = [&job]() {
+      FlowContext ctx = make_flow_context(job.design, job.cfg, job.optimizer);
+      ctx.design_name = job.name;
+      ctx.optimizer_tag = job.optimizer_tag;
+      return ctx;
+    };
+    pj.opts.stop_after = opts.stop_after;
+    if (opts.cache) {
+      pj.opts.cache = opts.cache;
+      pj.opts.auto_resume = true;
+    }
+    pj.collect_trace = opts.collect_trace;
+    pjobs.push_back(std::move(pj));
+  }
+  return run_pipeline_jobs(pjobs);
 }
 
 std::string batch_summary_table(const std::vector<BatchEntry>& entries) {

@@ -33,6 +33,7 @@ struct BatchEntry {
   double wall_ms = 0.0;
   std::size_t cells = 0, nets = 0;
   std::vector<StageTraceEntry> trace;  // per-stage trace of this job
+  PipelineRunInfo info;          // what the pipeline actually did
 };
 
 struct BatchOptions {
@@ -50,6 +51,23 @@ struct BatchOptions {
 /// order regardless of completion order.
 std::vector<BatchEntry> run_many(const std::vector<BatchJob>& jobs,
                                  const BatchOptions& opts = {});
+
+/// Fully-general concurrent pipeline job: the caller supplies the context
+/// factory and the complete PipelineOptions. run_many is a thin wrapper over
+/// this; the multi-fidelity searcher (src/search) is the other customer —
+/// its candidate evaluations run through here, one pool lane per candidate.
+struct PipelineJob {
+  std::string name;                          // labels the entry and traces
+  std::function<FlowContext()> make_context;  // fresh context per run
+  PipelineOptions opts;  // trace/info pointers are overridden per entry
+  bool collect_trace = false;
+};
+
+/// Run caller-assembled pipeline jobs concurrently on the shared pool, one
+/// lane per job, with the same isolation and ordering guarantees as
+/// run_many. Each entry's trace/info fields are populated regardless of the
+/// pointers in job.opts (which are redirected to the entry).
+std::vector<BatchEntry> run_pipeline_jobs(const std::vector<PipelineJob>& jobs);
 
 /// Deterministic per-design seed for job `index` under a batch base seed:
 /// splitmix64 of (base, index), so adding/removing designs never shifts the

@@ -121,6 +121,11 @@ void ArtifactCache::on_loaded(const std::string& rel) {
   lru_.splice(lru_.end(), lru_, it->second.pos);  // move to MRU
 }
 
+void ArtifactCache::on_miss() {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_.misses++;
+}
+
 ArtifactCacheStats ArtifactCache::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   ArtifactCacheStats s = counters_;

@@ -28,6 +28,7 @@ struct ArtifactCacheStats {
   std::uint64_t evicted_bytes = 0;
   std::uint64_t tmp_swept = 0;     // stale *.tmp paths removed at startup
   std::uint64_t loads = 0;         // artifacts re-used (cache hits)
+  std::uint64_t misses = 0;        // probes that found no usable artifact
   std::uint64_t saves = 0;         // artifacts written
 };
 
@@ -47,6 +48,11 @@ class ArtifactCache {
 
   /// Mark `<key>/<stage>` recently used (a resume/auto-resume hit).
   void on_loaded(const std::string& rel);
+
+  /// Record a probe that found no usable artifact (a cache miss). Together
+  /// with `loads` this makes cache effectiveness visible in StageTrace
+  /// footers and search traces, not just the serve status endpoint.
+  void on_miss();
 
   ArtifactCacheStats stats() const;
 

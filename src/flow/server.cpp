@@ -20,6 +20,14 @@ namespace {
 using util::JsonObject;
 using util::JsonWriter;
 
+double now_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
 DesignKind parse_serve_kind(const std::string& k, Status& err) {
   if (k == "dma") return DesignKind::kDma;
   if (k == "aes") return DesignKind::kAes;
@@ -35,14 +43,6 @@ DesignKind parse_serve_kind(const std::string& k, Status& err) {
       "macroheavy)");
   return DesignKind::kDma;
 }
-
-double now_ms(std::chrono::steady_clock::time_point since) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - since)
-      .count();
-}
-
-}  // namespace
 
 const char* job_state_name(JobState s) {
   switch (s) {
@@ -75,6 +75,7 @@ struct Server::Job {
   std::uint64_t num = 0;
   std::string id;
   ServeJobSpec spec;
+  util::JsonObject request;  // raw submit request (custom-runner knobs)
 
   std::atomic<JobState> state{JobState::kQueued};
   std::atomic<bool> cancel{false};
@@ -90,6 +91,7 @@ struct Server::Job {
   double retry_after_ms = 0.0;
   PipelineRunInfo info;
   double overflow = -1.0, wns_ps = 0.0, wirelength_um = 0.0;
+  ServeRunOutcome outcome;  // custom-runner result (search jobs)
 };
 
 // ---------------------------------------------------------------------------
@@ -234,6 +236,59 @@ void Server::run_job(Job& job) {
   JobState final_state = JobState::kDone;
   Status final_status;
   try {
+    // Custom job types (e.g. "search") dispatch to their registered runner;
+    // it shares the job's deadline/cancel guards, the artifact cache, and
+    // the event stream, and reports its outcome through ServeRunOutcome.
+    if (job.spec.type != "flow") {
+      const auto rit = cfg_.runners.find(job.spec.type);
+      if (rit == cfg_.runners.end())
+        throw StatusError(Status::invalid_argument(
+            "no runner registered for job type '" + job.spec.type + "'"));
+      const double budget = job.spec.deadline_ms > 0.0
+                                ? job.spec.deadline_ms
+                                : cfg_.default_deadline_ms;
+      const Deadline deadline(budget);
+      ServeRunContext rc{job.spec, job.request,
+                         (cache_ && job.spec.use_cache) ? cache_.get()
+                                                        : nullptr,
+                         &deadline, &job.cancel,
+                         [&job](const std::string& kind,
+                                const std::string& inner) {
+                           std::string line = JsonWriter()
+                                                  .field("event", kind)
+                                                  .field("job", job.id)
+                                                  .raw("trace", inner)
+                                                  .done();
+                           {
+                             std::lock_guard<std::mutex> lock(job.mu);
+                             job.events.push_back(std::move(line));
+                           }
+                           job.cv.notify_all();
+                         }};
+      ServeRunOutcome outcome;
+      const Status st = rit->second(rc, outcome);
+      if (!st.ok()) throw StatusError(st);
+      {
+        std::lock_guard<std::mutex> lock(job.mu);
+        job.outcome = outcome;
+      }
+      if (outcome.cancelled) {
+        final_state = JobState::kCancelled;
+        final_status = Status::cancelled(
+            "cancelled while running — partial results committed");
+      } else if (outcome.deadline_hit) {
+        final_state = JobState::kEarlyCommit;
+        final_status = Status::deadline_exceeded(
+            "job deadline hit — partial results committed");
+      }
+      {
+        std::lock_guard<std::mutex> lock(job.mu);
+        job.wall_ms = now_ms(t0);
+      }
+      finish_job(job, final_state, final_status);
+      return;
+    }
+
     Status kind_err;
     const DesignKind kind = parse_serve_kind(job.spec.kind, kind_err);
     if (!kind_err.ok()) throw StatusError(kind_err);
@@ -387,6 +442,8 @@ JobSnapshot Server::snapshot(const Job& job) const {
   s.overflow = job.overflow;
   s.wns_ps = job.wns_ps;
   s.wirelength_um = job.wirelength_um;
+  s.type = job.spec.type;
+  s.outcome = job.outcome;
   return s;
 }
 
@@ -425,6 +482,13 @@ void snapshot_fields(JsonWriter& w, const JobSnapshot& s) {
         .field("wns_ps", s.wns_ps)
         .field("wirelength_um", s.wirelength_um);
   }
+  if (s.type != "flow") w.field("type", s.type);
+  if (s.outcome.has_objective) {
+    w.field("objective", s.outcome.objective)
+        .field("rounds", s.outcome.rounds)
+        .field("cheap_evals", s.outcome.cheap_evals)
+        .field("full_evals", s.outcome.full_evals);
+  }
 }
 
 }  // namespace
@@ -434,6 +498,7 @@ void snapshot_fields(JsonWriter& w, const JobSnapshot& s) {
 
 std::string Server::handle_submit(const JsonObject& req, int fd) {
   ServeJobSpec spec;
+  spec.type = util::json_str(req, "type", spec.type);
   spec.kind = util::json_str(req, "kind", spec.kind);
   spec.scale = util::json_num(req, "scale", spec.scale);
   spec.grid = static_cast<int>(util::json_num(req, "grid", spec.grid));
@@ -450,6 +515,16 @@ std::string Server::handle_submit(const JsonObject& req, int fd) {
   // plain invalid_argument rejections, not shed/failed jobs.
   Status kind_err;
   parse_serve_kind(spec.kind, kind_err);
+  if (spec.type != "flow" &&
+      cfg_.runners.find(spec.type) == cfg_.runners.end())
+    kind_err = Status::invalid_argument(
+        "unknown job type '" + spec.type + "' (this server accepts: flow" +
+        [this] {
+          std::string s;
+          for (const auto& [name, _] : cfg_.runners) s += ", " + name;
+          return s;
+        }() +
+        ")");
   if (spec.grid < 4) kind_err = Status::invalid_argument("grid must be >= 4");
   if (spec.tiers < 2)
     kind_err = Status::invalid_argument("tiers must be >= 2");
@@ -466,6 +541,7 @@ std::string Server::handle_submit(const JsonObject& req, int fd) {
 
   std::shared_ptr<Job> job = std::make_shared<Job>();
   job->spec = std::move(spec);
+  job->request = req;  // custom runners read their extra knobs from it
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     job->num = next_job_++;
@@ -569,6 +645,7 @@ std::string Server::handle_status(const JsonObject& req) const {
         .field("cache_budget_bytes", cs.budget_bytes)
         .field("cache_evictions", cs.evictions)
         .field("cache_loads", cs.loads)
+        .field("cache_misses", cs.misses)
         .field("cache_saves", cs.saves)
         .field("cache_tmp_swept", cs.tmp_swept);
   }

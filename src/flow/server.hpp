@@ -35,6 +35,7 @@
 #include "flow/cache.hpp"
 #include "flow/jobqueue.hpp"
 #include "flow/stage.hpp"
+#include "netlist/generators.hpp"
 #include "util/jsonl.hpp"
 #include "util/socket.hpp"
 #include "util/status.hpp"
@@ -62,7 +63,8 @@ bool job_state_retriable(JobState s);
 
 /// What a client submits (all fields have protocol defaults; docs/serve.md).
 struct ServeJobSpec {
-  std::string kind = "dma";  // generator design kind
+  std::string type = "flow";  // "flow" (built in) or a registered job type
+  std::string kind = "dma";   // generator design kind
   double scale = 0.02;
   int grid = 16;
   int tiers = 2;             // stacked dies; 2 = classic two-die flow
@@ -73,6 +75,44 @@ struct ServeJobSpec {
   int priority = 0;          // higher runs first
   bool use_cache = true;     // share the artifact cache
 };
+
+/// What a custom job runner (a non-"flow" job type) reports back; surfaced
+/// through JobSnapshot and the status/done protocol events. The search job
+/// type fills the objective/eval fields.
+struct ServeRunOutcome {
+  bool has_objective = false;
+  double objective = 0.0;   // best objective found
+  int rounds = 0;           // search rounds completed
+  int cheap_evals = 0;
+  int full_evals = 0;
+  bool deadline_hit = false;  // runner early-committed on the job deadline
+  bool cancelled = false;     // runner observed the cancel flag
+};
+
+/// Execution context handed to a custom job runner: the parsed spec, the raw
+/// submit request (for type-specific knobs), the shared artifact cache, the
+/// per-job guards, and an event sink streaming progress lines to waiting
+/// clients (`kind` becomes the protocol "event" field, `inner_json` is
+/// spliced as the "trace" payload — the StageTrace streaming convention).
+struct ServeRunContext {
+  const ServeJobSpec& spec;
+  const util::JsonObject& request;
+  ArtifactCache* cache = nullptr;
+  const Deadline* deadline = nullptr;
+  const std::atomic<bool>* cancel = nullptr;
+  std::function<void(const std::string& kind, const std::string& inner_json)>
+      emit;
+};
+
+/// A custom job type's implementation. Runs synchronously on a worker lane
+/// (InlineLane — same bit-identity contract as flow jobs). A non-OK return
+/// marks the job failed; cancellation/deadline are reported via the outcome.
+using ServeJobRunner =
+    std::function<Status(const ServeRunContext&, ServeRunOutcome&)>;
+
+/// Parse a generator design kind ("dma", "aes", ...); on failure fills `err`
+/// with kInvalidArgument (listing the valid kinds) and returns kDma.
+DesignKind parse_serve_kind(const std::string& k, Status& err);
 
 /// Immutable view of a job record (returned by Server::job / the status
 /// command).
@@ -89,6 +129,9 @@ struct JobSnapshot {
   double retry_after_ms = 0.0;  // backoff hint for retriable states
   // Headline metrics of the deepest measured stage (when available).
   double overflow = -1.0, wns_ps = 0.0, wirelength_um = 0.0;
+  // Custom-runner outcome (search jobs: best objective + eval counts).
+  std::string type = "flow";
+  ServeRunOutcome outcome;
 };
 
 struct ServerConfig {
@@ -100,6 +143,10 @@ struct ServerConfig {
   std::uint64_t cache_budget_bytes = 1ull << 30;  // generous default (1 GiB)
   int idle_timeout_ms = 30000;  // recv timeout on idle client connections
   std::size_t history = 256;    // finished job records kept for status
+  // Custom job types beyond the built-in "flow" — e.g. the CLI installs
+  // {"search", make_search_job_runner()} (src/search/serve_search.hpp).
+  // Submissions with an unregistered type are rejected as invalid_argument.
+  std::map<std::string, ServeJobRunner> runners;
 };
 
 struct ServerCounters {

@@ -60,6 +60,80 @@ void publish_metrics(FlowContext& c, const StageMetrics& m) {
   c.publish("wirelength_um", m.wirelength_um);
 }
 
+// ---------------------------------------------------------------------------
+// Cache-key serialization. One helper per configuration group; flow_cache_key
+// concatenates all of them (byte-identical to the pre-refactor single-stream
+// format), and the stage key domains reuse them so a knob can never be
+// serialized two different ways.
+
+std::ostringstream key_stream() {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  return os;
+}
+
+std::string params_key(const FlowContext& c) {
+  auto os = key_stream();
+  os << "|params";
+  for (double v : c.cfg.place_params.encode()) os << ' ' << v;
+  return os.str();
+}
+
+std::string timing_key(const FlowContext& c) {
+  const TimingConfig& t = c.cfg.timing;
+  auto os = key_stream();
+  os << "|timing " << t.clock_period_ps << ' ' << t.wire_cap_per_um << ' '
+     << t.wire_res_per_um << ' ' << t.via_delay_ps << ' ' << t.via_cap_ff
+     << ' ' << t.setup_ps << ' ' << t.clk_to_q_ps << ' ' << t.base_slew_ps
+     << ' ' << t.slew_impact << ' ' << t.activity << ' ' << t.vdd;
+  return os.str();
+}
+
+std::string router_key(const FlowContext& c) {
+  const RouterConfig& r = c.cfg.router;
+  auto os = key_stream();
+  os << "|router " << r.h_capacity << ' ' << r.v_capacity << ' '
+     << r.macro_capacity_factor << ' ' << r.rrr_rounds << ' '
+     << r.history_increment << ' ' << r.present_penalty << ' '
+     << r.maze_margin;
+  return os.str();
+}
+
+std::string cts_key(const FlowContext& c) {
+  const CtsConfig& ct = c.cfg.cts;
+  auto os = key_stream();
+  os << "|cts " << ct.max_sinks_per_leaf << ' ' << ct.buffer_delay_ps << ' '
+     << ct.wire_delay_per_um << ' ' << ct.buffer_drive;
+  return os.str();
+}
+
+std::string signoff_key(const FlowContext& c) {
+  const SignoffConfig& so = c.cfg.signoff;
+  auto os = key_stream();
+  os << "|signoff " << so.max_iterations << ' ' << so.upsize_slack_threshold_ps
+     << ' ' << so.downsize_slack_margin_ps << ' '
+     << so.enable_low_power_recovery << ' ' << so.enable_useful_skew << ' '
+     << so.useful_skew_budget_ps << ' ' << so.detour_overflow_penalty;
+  return os.str();
+}
+
+std::string grid_key(const FlowContext& c) {
+  auto os = key_stream();
+  os << "|grid " << c.cfg.grid_nx << ' ' << c.cfg.grid_ny;
+  return os.str();
+}
+
+std::string opt_key(const FlowContext& c) {
+  return "|opt " + c.optimizer_tag;
+}
+
+/// Fallback domain for stages without a declared one: the full configuration
+/// surface. Correct for any stage body; forfeits prefix sharing.
+std::string full_config_key(const FlowContext& c) {
+  return params_key(c) + timing_key(c) + router_key(c) + cts_key(c) +
+         signoff_key(c) + grid_key(c) + opt_key(c);
+}
+
 std::vector<Stage> make_pin3d_stages() {
   std::vector<Stage> s;
 
@@ -70,14 +144,14 @@ std::vector<Stage> make_pin3d_stages() {
     c.publish("cells", static_cast<double>(c.netlist.num_cells()));
     c.publish("nets", static_cast<double>(c.netlist.num_nets()));
     c.publish("tiers", static_cast<double>(c.placement.num_tiers));
-  });
+  }, params_key);
 
   s.emplace_back("dco", [](FlowContext& c) {
     if (c.optimizer) c.optimizer(c.netlist, c.placement);
     ensure_grid(c);
     c.res.global_placement = c.placement;
     c.publish("hook_present", c.optimizer ? 1.0 : 0.0);
-  });
+  }, [](const FlowContext& c) { return opt_key(c) + grid_key(c); });
 
   s.emplace_back("after-place-metrics", [](FlowContext& c) {
     // "after 3D placement optimization" view: legalize a copy and evaluate;
@@ -88,6 +162,8 @@ std::vector<Stage> make_pin3d_stages() {
     c.res.after_place = measure_stage(c.netlist, legal, c.res.grid,
                                       c.cfg.timing, c.cfg.router);
     publish_metrics(c, c.res.after_place);
+  }, [](const FlowContext& c) {
+    return params_key(c) + timing_key(c) + router_key(c) + grid_key(c);
   });
 
   s.emplace_back("cts", [](FlowContext& c) {
@@ -98,11 +174,11 @@ std::vector<Stage> make_pin3d_stages() {
               static_cast<double>(c.res.cts.buffers_inserted));
     c.publish("levels", static_cast<double>(c.res.cts.levels));
     c.publish("max_skew_ps", c.res.cts.max_skew_ps);
-  });
+  }, cts_key);
 
   s.emplace_back("legalize", [](FlowContext& c) {
     legalize_all(c.netlist, c.placement, c.cfg.place_params);
-  });
+  }, params_key);
 
   s.emplace_back("route", [](FlowContext& c) {
     ensure_grid(c);
@@ -133,7 +209,7 @@ std::vector<Stage> make_pin3d_stages() {
       c.publish("cut_b" + std::to_string(b),
                 bi < cuts.size() ? static_cast<double>(cuts[bi]) : 0.0);
     }
-  });
+  }, [](const FlowContext& c) { return router_key(c) + grid_key(c); });
 
   s.emplace_back("signoff", [](FlowContext& c) {
     if (!c.route_valid)
@@ -152,6 +228,10 @@ std::vector<Stage> make_pin3d_stages() {
     c.publish("skewed", static_cast<double>(c.res.signoff_detail.skewed));
     c.publish("wns_ps", c.res.signoff_detail.timing.wns_ps);
     c.publish("tns_ps", c.res.signoff_detail.timing.tns_ps);
+  }, [](const FlowContext& c) {
+    // place_params matters here too: the enable_ccd / low_power_placement
+    // flags fold into the effective SignoffConfig above.
+    return signoff_key(c) + timing_key(c) + params_key(c);
   });
 
   s.emplace_back("final-metrics", [](FlowContext& c) {
@@ -163,6 +243,8 @@ std::vector<Stage> make_pin3d_stages() {
                                   &c.res.final_route);
     c.res.placement = c.placement;
     publish_metrics(c, c.res.signoff);
+  }, [](const FlowContext& c) {
+    return timing_key(c) + router_key(c) + grid_key(c);
   });
 
   return s;
@@ -211,8 +293,14 @@ FlowResult Pipeline::run(FlowContext& ctx, const PipelineOptions& opts) const {
   if (!opts.stop_after.empty()) stop = require_stage(opts.stop_after);
   if (!opts.start_at.empty()) start = require_stage(opts.start_at);
 
-  const std::string key =
-      cache_dir.empty() ? std::string() : flow_cache_key(ctx);
+  // Per-stage rolling prefix keys: stage i's artifact is addressed by the
+  // configuration surface stages 0..i actually read, so evaluations that
+  // share a flow prefix (same placement knobs, different CTS/route knobs)
+  // replay the shared stages from the cache. Computed once, up front — the
+  // keys must reflect the pristine design, not a netlist some stage mutated.
+  const std::vector<std::string> keys =
+      cache_dir.empty() ? std::vector<std::string>()
+                        : flow_stage_keys(ctx, *this);
   if (!opts.resume_from.empty()) {
     start = require_stage(opts.resume_from);
     if (start > 0) {
@@ -220,7 +308,8 @@ FlowResult Pipeline::run(FlowContext& ctx, const PipelineOptions& opts) const {
         throw StatusError(Status::invalid_argument(
             "resume_from requires an artifact cache directory"));
       const std::string prev = stages_[static_cast<std::size_t>(start - 1)].name();
-      const std::string rel = key + "/" + prev;
+      const std::string rel =
+          keys[static_cast<std::size_t>(start - 1)] + "/" + prev;
       if (!load_flow_artifact(cache_dir + "/" + rel, ctx))
         throw StatusError(Status::not_found(
             "no cached artifact for stage '" + prev + "' at " + cache_dir +
@@ -241,8 +330,8 @@ FlowResult Pipeline::run(FlowContext& ctx, const PipelineOptions& opts) const {
   if (opts.auto_resume && !cache_dir.empty() && opts.resume_from.empty() &&
       opts.start_at.empty()) {
     for (int i = stop; i >= 0; --i) {
-      const std::string rel =
-          key + "/" + stages_[static_cast<std::size_t>(i)].name();
+      const std::string rel = keys[static_cast<std::size_t>(i)] + "/" +
+                              stages_[static_cast<std::size_t>(i)].name();
       bool loaded = false;
       try {
         loaded = load_flow_artifact(cache_dir + "/" + rel, ctx);
@@ -347,9 +436,15 @@ FlowResult Pipeline::run(FlowContext& ctx, const PipelineOptions& opts) const {
     }
 
     if (!cache_dir.empty()) {
-      const std::string rel = key + "/" + stage.name();
+      const std::string rel =
+          keys[static_cast<std::size_t>(i)] + "/" + stage.name();
       save_flow_artifact(cache_dir + "/" + rel, ctx);
-      if (opts.cache) opts.cache->on_saved(rel);
+      if (opts.cache) {
+        // The stage body ran with caching active, i.e. its artifact was not
+        // available — a cache miss, the counterpart of on_loaded above.
+        opts.cache->on_miss();
+        opts.cache->on_saved(rel);
+      }
     }
   }
   return ctx.res;
@@ -382,36 +477,40 @@ std::string flow_cache_key(const FlowContext& ctx) {
   std::ostringstream os;
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
   write_design(os, ctx.netlist);
-
-  const FlowConfig& c = ctx.cfg;
-  os << "|params";
-  for (double v : c.place_params.encode()) os << ' ' << v;
-  const TimingConfig& t = c.timing;
-  os << "|timing " << t.clock_period_ps << ' ' << t.wire_cap_per_um << ' '
-     << t.wire_res_per_um << ' ' << t.via_delay_ps << ' ' << t.via_cap_ff
-     << ' ' << t.setup_ps << ' ' << t.clk_to_q_ps << ' ' << t.base_slew_ps
-     << ' ' << t.slew_impact << ' ' << t.activity << ' ' << t.vdd;
-  const RouterConfig& r = c.router;
-  os << "|router " << r.h_capacity << ' ' << r.v_capacity << ' '
-     << r.macro_capacity_factor << ' ' << r.rrr_rounds << ' '
-     << r.history_increment << ' ' << r.present_penalty << ' '
-     << r.maze_margin;
-  const CtsConfig& ct = c.cts;
-  os << "|cts " << ct.max_sinks_per_leaf << ' ' << ct.buffer_delay_ps << ' '
-     << ct.wire_delay_per_um << ' ' << ct.buffer_drive;
-  const SignoffConfig& so = c.signoff;
-  os << "|signoff " << so.max_iterations << ' ' << so.upsize_slack_threshold_ps
-     << ' ' << so.downsize_slack_margin_ps << ' '
-     << so.enable_low_power_recovery << ' ' << so.enable_useful_skew << ' '
-     << so.useful_skew_budget_ps << ' ' << so.detour_overflow_penalty;
-  os << "|grid " << c.grid_nx << ' ' << c.grid_ny << "|tiers " << c.num_tiers
-     << "|seed " << c.seed;
-  os << "|opt " << ctx.optimizer_tag;
+  os << params_key(ctx) << timing_key(ctx) << router_key(ctx) << cts_key(ctx)
+     << signoff_key(ctx) << grid_key(ctx) << "|tiers " << ctx.cfg.num_tiers
+     << "|seed " << ctx.cfg.seed << opt_key(ctx);
 
   char buf[17];
   std::snprintf(buf, sizeof buf, "%016llx",
                 static_cast<unsigned long long>(fnv1a64(os.str())));
   return buf;
+}
+
+std::vector<std::string> flow_stage_keys(const FlowContext& ctx,
+                                         const Pipeline& pipeline) {
+  // Base: everything every stage implicitly depends on — the design itself,
+  // the placement seed and the stack height. Stage key domains then fold in
+  // the configuration surface each stage newly reads, forming a rolling
+  // hash chain: keys[i] = H(stage_i domain, keys[i-1]).
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  write_design(os, ctx.netlist);
+  os << "|tiers " << ctx.cfg.num_tiers << "|seed " << ctx.cfg.seed;
+  std::uint64_t h = fnv1a64(os.str());
+
+  std::vector<std::string> keys;
+  keys.reserve(pipeline.stages().size());
+  for (const Stage& s : pipeline.stages()) {
+    const std::string domain =
+        s.key_domain() ? s.key_domain()(ctx) : full_config_key(ctx);
+    h = fnv1a64(s.name() + domain, h);
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    keys.emplace_back(buf);
+  }
+  return keys;
 }
 
 RouterConfig calibrated_router(const Netlist& design, const Placement3D& ref,

@@ -63,17 +63,32 @@ struct FlowContext {
 
 /// A named flow step. Bodies must be deterministic functions of the context
 /// (the determinism/bit-identity contract of the whole engine rests on it).
+///
+/// The optional key domain declares which slice of the configuration the
+/// stage body newly reads (serialized as a string). flow_stage_keys folds the
+/// domains into rolling per-stage cache keys, so two contexts that agree on
+/// everything a prefix of stages reads share that prefix's artifacts even
+/// when downstream knobs differ (the fidelity-aware cache of docs/search.md).
+/// A stage without a declared domain is keyed on the full configuration —
+/// always correct, never prefix-shareable.
 class Stage {
  public:
-  Stage(std::string name, std::function<void(FlowContext&)> body)
-      : name_(std::move(name)), body_(std::move(body)) {}
+  using KeyDomain = std::function<std::string(const FlowContext&)>;
+
+  Stage(std::string name, std::function<void(FlowContext&)> body,
+        KeyDomain key_domain = nullptr)
+      : name_(std::move(name)),
+        body_(std::move(body)),
+        key_domain_(std::move(key_domain)) {}
 
   const std::string& name() const { return name_; }
   void run(FlowContext& ctx) const { body_(ctx); }
+  const KeyDomain& key_domain() const { return key_domain_; }
 
  private:
   std::string name_;
   std::function<void(FlowContext&)> body_;
+  KeyDomain key_domain_;
 };
 
 /// What actually happened during a Pipeline::run — which stages were served
@@ -163,7 +178,19 @@ FlowContext make_flow_context(const Netlist& design, const FlowConfig& cfg,
 
 /// Content-addressed cache key: 64-bit FNV-1a over the serialized design,
 /// every FlowConfig field, and the optimizer tag; formatted as 16 hex chars.
+/// This is the whole-flow identity (serve job keys, status reporting); the
+/// artifact store itself is addressed by the per-stage keys below.
 std::string flow_cache_key(const FlowContext& ctx);
+
+/// Per-stage rolling prefix keys, one per pipeline stage, each 16 hex chars.
+/// keys[i] hashes the serialized design, seed and tier count plus the key
+/// domains of stages 0..i — i.e. exactly the configuration surface the flow
+/// has consumed up to and including stage i. Two contexts share keys[i]
+/// (and therefore stage i's cached artifact) iff they agree on everything
+/// stages 0..i read, regardless of downstream knobs. Must be computed from
+/// the pristine pre-run context (stage bodies mutate the working netlist).
+std::vector<std::string> flow_stage_keys(const FlowContext& ctx,
+                                         const Pipeline& pipeline);
 
 /// Shared router-calibration glue (used by the CLI subcommands and batch
 /// jobs): grid over the reference placement's outline, capacities at the

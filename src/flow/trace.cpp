@@ -6,6 +6,7 @@
 #include <limits>
 #include <sstream>
 
+#include "flow/cache.hpp"
 #include "util/status.hpp"
 
 namespace dco3d {
@@ -82,6 +83,23 @@ std::string StageTraceEntry::to_json() const {
   }
   j += "}}";
   return j;
+}
+
+StageTraceEntry cache_footer_entry(const std::string& design, int index,
+                                   const ArtifactCacheStats& stats) {
+  StageTraceEntry e;
+  e.design = design;
+  e.stage = "cache-footer";
+  e.index = index;
+  e.threads = util::num_threads();
+  e.metrics.emplace_back("cache_hits", static_cast<double>(stats.loads));
+  e.metrics.emplace_back("cache_misses", static_cast<double>(stats.misses));
+  e.metrics.emplace_back("cache_saves", static_cast<double>(stats.saves));
+  e.metrics.emplace_back("cache_evictions",
+                         static_cast<double>(stats.evictions));
+  e.metrics.emplace_back("cache_entries", static_cast<double>(stats.entries));
+  e.metrics.emplace_back("cache_bytes", static_cast<double>(stats.bytes));
+  return e;
 }
 
 void append_trace_file(const std::string& path,

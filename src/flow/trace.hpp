@@ -47,4 +47,14 @@ struct StageTraceEntry {
 void append_trace_file(const std::string& path,
                        const std::vector<StageTraceEntry>& entries);
 
+struct ArtifactCacheStats;
+
+/// Synthetic trailing entry (stage "cache-footer", index = one past the
+/// last pipeline stage) summarizing ArtifactCache effectiveness for a flow
+/// or batch run: hits/misses/saves/evictions/entries/bytes as metrics. It
+/// satisfies the ordinary stage-trace schema, so existing consumers just see
+/// one more entry; docs/flow.md documents the metric keys.
+StageTraceEntry cache_footer_entry(const std::string& design, int index,
+                                   const ArtifactCacheStats& stats);
+
 }  // namespace dco3d

@@ -34,6 +34,11 @@ struct BoResult {
 
 /// Minimize `objective` (e.g. routing overflow after placement) over the
 /// placement-parameter space. Deterministic given rng state.
+///
+/// Defined in src/search/searcher.cpp: this is the B=1 / full-fidelity
+/// special case of multi_fidelity_search, bit-identical to the original
+/// sequential implementation (tests/test_search.cpp goldens the
+/// equivalence). Link dco3d_search (or the dco3d umbrella) to use it.
 BoResult bayes_optimize(const std::function<double(const PlacementParams&)>& objective,
                         const BoConfig& cfg, Rng& rng);
 

@@ -1,0 +1,20 @@
+#pragma once
+// The "search" serve job type: runs the multi-fidelity knob search inside a
+// resident `dco3d serve` worker lane — the searcher as a service. Clients
+// submit {"cmd":"submit","type":"search",...} with the usual design fields
+// (kind/scale/grid/tiers/clock_ps/seed) plus search knobs (rounds, batch,
+// init, candidates, promote, cheap, xi); per-round search trace records
+// stream to waiting clients as "eval"/"round" events, and the final
+// objective + eval counts land in the job snapshot. See docs/search.md.
+//
+// Lives in src/search (not src/flow) so the flow library stays independent
+// of the searcher; the CLI installs the runner into ServerConfig::runners.
+
+#include "flow/server.hpp"
+
+namespace dco3d {
+
+/// Build the runner for ServerConfig::runners["search"].
+ServeJobRunner make_search_job_runner();
+
+}  // namespace dco3d

@@ -1,0 +1,492 @@
+// Multi-fidelity search tests (docs/search.md): exact B=1 equivalence with
+// the legacy sequential bayes_optimize, bit-identical trajectories across
+// thread counts, cheap-fidelity screening/promotion logic, shared-prefix
+// artifact-cache replay for promoted candidates, the serve-mode "search" job
+// round-trip (streaming + cancel mid-round), and the headline acceptance
+// property: batched cheap-screened search matches the sequential baseline's
+// objective in at most half the full-flow evaluations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "flow/cache.hpp"
+#include "flow/server.hpp"
+#include "flow/stage.hpp"
+#include "place/placer3d.hpp"
+#include "opt/bayesopt.hpp"
+#include "search/evaluator.hpp"
+#include "search/searcher.hpp"
+#include "search/serve_search.hpp"
+#include "test_helpers.hpp"
+#include "util/jsonl.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/socket.hpp"
+
+namespace dco3d {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Quadratic bowl over two encoded knobs (same shape as the test_opt
+/// synthetic objective): optimum at target_routing_density = 0.3,
+/// max_density = 0.7.
+double bowl(const PlacementParams& p) {
+  const double a = p.target_routing_density - 0.3;
+  const double b = p.max_density - 0.7;
+  return a * a + b * b;
+}
+
+// ---------------------------------------------------------------------------
+// B=1 equivalence: bayes_optimize (now a thin wrapper over the searcher)
+// must reproduce the original sequential implementation bit for bit. The
+// reference below is a verbatim transcription of the pre-refactor algorithm;
+// any divergence in rng consumption order, candidate generation, EI
+// tie-breaking, or best-update strictness shows up as a trace mismatch.
+
+BoResult reference_bayes_optimize(
+    const std::function<double(const PlacementParams&)>& objective,
+    const BoConfig& cfg, Rng& rng) {
+  BoResult res;
+  res.best_objective = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+
+  auto evaluate = [&](const PlacementParams& p) {
+    const double y = objective(p);
+    const auto enc = p.encode();
+    xs.emplace_back(enc.begin(), enc.end());
+    ys.push_back(y);
+    res.trace.push_back({p, y});
+    if (y < res.best_objective) {
+      res.best_objective = y;
+      res.best_params = p;
+    }
+  };
+
+  evaluate(PlacementParams{});
+  for (int i = 1; i < cfg.init_samples; ++i)
+    evaluate(PlacementParams::sample(rng));
+
+  for (int it = 0; it < cfg.iterations; ++it) {
+    GaussianProcess gp;
+    gp.fit(xs, ys);
+    double best_ei = -1.0;
+    PlacementParams best_cand;
+    for (int c = 0; c < cfg.candidates; ++c) {
+      PlacementParams cand;
+      if (rng.bernoulli(0.5)) {
+        cand = PlacementParams::sample(rng);
+      } else {
+        auto enc = res.best_params.encode();
+        for (double& v : enc)
+          v = std::clamp(v + rng.normal(0.0, 0.15), 0.0, 1.0);
+        cand = PlacementParams::decode(enc);
+      }
+      const auto enc = cand.encode();
+      const auto pred = gp.predict({enc.begin(), enc.end()});
+      const double ei = expected_improvement(pred, res.best_objective, cfg.xi);
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_cand = cand;
+      }
+    }
+    evaluate(best_cand);
+  }
+  return res;
+}
+
+TEST(Search, BOneMatchesLegacySequentialReference) {
+  BoConfig cfg;
+  cfg.init_samples = 5;
+  cfg.iterations = 8;
+  cfg.candidates = 64;
+  Rng r_ref(17), r_new(17);
+  const BoResult ref = reference_bayes_optimize(bowl, cfg, r_ref);
+  const BoResult now = bayes_optimize(bowl, cfg, r_new);
+
+  ASSERT_EQ(ref.trace.size(), now.trace.size());
+  for (std::size_t i = 0; i < ref.trace.size(); ++i) {
+    EXPECT_EQ(ref.trace[i].params.encode(), now.trace[i].params.encode())
+        << "trace point " << i;
+    EXPECT_DOUBLE_EQ(ref.trace[i].objective, now.trace[i].objective)
+        << "trace point " << i;
+  }
+  EXPECT_DOUBLE_EQ(ref.best_objective, now.best_objective);
+  EXPECT_EQ(ref.best_params.encode(), now.best_params.encode());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the GP scoring of the EI candidate pool runs on
+// util::parallel_for, and it is the only parallel step in the proposal path
+// — the whole search trajectory must be bit-identical at any thread count.
+
+struct Trajectory {
+  std::vector<std::array<double, 16>> encodes;
+  std::vector<double> objectives;
+  double best = 0.0;
+};
+
+Trajectory run_batched_search(int threads) {
+  util::set_num_threads(threads);
+  FunctionEvaluator eval(bowl, bowl);
+  SearchConfig sc;
+  sc.init_samples = 5;
+  sc.rounds = 4;
+  sc.batch = 4;
+  sc.candidates = 128;
+  sc.promote_fraction = 0.5;
+  sc.cheap_screen = true;
+  Rng rng(23);
+  const SearchResult res = multi_fidelity_search(eval, sc, rng);
+  Trajectory t;
+  t.best = res.best_objective;
+  for (const SearchRoundRecord& r : res.trace)
+    for (const SearchEvalRecord& e : r.evals) {
+      t.encodes.push_back(e.params.encode());
+      t.objectives.push_back(e.objective);
+    }
+  return t;
+}
+
+TEST(Search, BitIdenticalTrajectoriesAcrossThreadCounts) {
+  const Trajectory base = run_batched_search(1);
+  for (const int threads : {2, 8}) {
+    const Trajectory t = run_batched_search(threads);
+    ASSERT_EQ(base.encodes.size(), t.encodes.size()) << threads << " threads";
+    for (std::size_t i = 0; i < base.encodes.size(); ++i) {
+      EXPECT_EQ(base.encodes[i], t.encodes[i])
+          << "eval " << i << " at " << threads << " threads";
+      EXPECT_DOUBLE_EQ(base.objectives[i], t.objectives[i])
+          << "eval " << i << " at " << threads << " threads";
+    }
+    EXPECT_DOUBLE_EQ(base.best, t.best) << threads << " threads";
+  }
+  util::set_num_threads(0);  // restore the ambient pool size
+}
+
+// ---------------------------------------------------------------------------
+// Cheap-fidelity screening: every proposal is evaluated cheap first; the top
+// promote_fraction (by cheap objective, at least one) re-runs at full
+// fidelity, flagged in the per-eval records.
+
+TEST(Search, CheapScreeningPromotesTopFraction) {
+  FunctionEvaluator eval(bowl, bowl);  // cheap is a perfect proxy here
+  SearchConfig sc;
+  sc.init_samples = 4;
+  sc.rounds = 3;
+  sc.batch = 4;
+  sc.candidates = 64;
+  sc.promote_fraction = 0.5;
+  sc.cheap_screen = true;
+  Rng rng(31);
+  const SearchResult res = multi_fidelity_search(eval, sc, rng);
+
+  ASSERT_EQ(res.trace.size(), static_cast<std::size_t>(sc.rounds) + 1);
+  for (const SearchRoundRecord& r : res.trace) {
+    if (r.round == 0) continue;  // warm-up has its own eval split
+    EXPECT_EQ(r.cheap_evals, sc.batch);
+    EXPECT_EQ(r.promoted, 2);  // ceil(0.5 * 4)
+    EXPECT_EQ(r.full_evals, 2);
+
+    // The promoted points are exactly the 2 best cheap objectives.
+    std::vector<double> cheap, promoted_cheap;
+    for (const SearchEvalRecord& e : r.evals)
+      if (e.fidelity == Fidelity::kCheap) {
+        cheap.push_back(e.objective);
+        if (e.promoted) promoted_cheap.push_back(e.objective);
+      }
+    ASSERT_EQ(cheap.size(), 4u);
+    ASSERT_EQ(promoted_cheap.size(), 2u);
+    std::sort(cheap.begin(), cheap.end());
+    std::sort(promoted_cheap.begin(), promoted_cheap.end());
+    EXPECT_DOUBLE_EQ(promoted_cheap[0], cheap[0]);
+    EXPECT_DOUBLE_EQ(promoted_cheap[1], cheap[1]);
+  }
+  EXPECT_GT(res.cheap_evals, res.full_evals);
+}
+
+// ---------------------------------------------------------------------------
+// Shared-prefix cache keys: stages only re-key on configuration they
+// actually read, so contexts differing in a downstream knob share every
+// upstream artifact; and a cheap evaluation promoted to full replays its
+// cheap stages from the cache instead of re-running them.
+
+TEST(Search, StageKeysShareUpstreamPrefixAcrossDownstreamKnobs) {
+  const Netlist design = testing::tiny_design(150);
+  FlowConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 8;
+  FlowContext a = make_flow_context(design, cfg);
+  cfg.cts.buffer_delay_ps = 11.0;  // read by cts and later stages only
+  FlowContext b = make_flow_context(design, cfg);
+
+  const Pipeline& pipe = pin3d_pipeline();
+  const std::vector<std::string> ka = flow_stage_keys(a, pipe);
+  const std::vector<std::string> kb = flow_stage_keys(b, pipe);
+  ASSERT_EQ(ka.size(), kb.size());
+  const int cts = pipe.index_of("cts");
+  ASSERT_GT(cts, 0);
+  for (int i = 0; i < static_cast<int>(ka.size()); ++i) {
+    if (i < cts)
+      EXPECT_EQ(ka[i], kb[i]) << pipe.stages()[i].name();
+    else
+      EXPECT_NE(ka[i], kb[i]) << pipe.stages()[i].name();
+  }
+}
+
+TEST(Search, PromotedCandidateReplaysCheapStagesFromCache) {
+  const Netlist design = testing::tiny_design(150);
+  FlowConfig base;
+  base.grid_nx = base.grid_ny = 8;
+  {
+    const Placement3D ref = place_pseudo3d(design, base.place_params,
+                                           base.seed, true, base.num_tiers);
+    base.router = calibrated_router(design, ref, base.grid_nx, 0.70);
+  }
+  ArtifactCache cache(fresh_dir("dco3d_search_promote_cache"), 1ull << 30);
+  FlowEvaluatorConfig ec;
+  ec.cache = &cache;
+  FlowEvaluator eval("tiny", design, base, ec);
+
+  SearchConfig sc;
+  sc.init_samples = 3;
+  sc.rounds = 1;
+  sc.batch = 2;
+  sc.candidates = 16;
+  sc.promote_fraction = 0.5;
+  sc.cheap_screen = true;
+  sc.cache = &cache;
+  Rng rng(3);
+  const SearchResult res = multi_fidelity_search(eval, sc, rng);
+
+  // Every promoted full evaluation resumed past its cached cheap prefix:
+  // fewer stage bodies ran than the full 8-stage pipeline, the difference
+  // coming from the cache.
+  int promoted_fulls = 0;
+  std::uint64_t hits = 0;
+  for (const SearchRoundRecord& r : res.trace) {
+    hits += r.cache_hits;
+    for (const SearchEvalRecord& e : r.evals)
+      if (e.fidelity == Fidelity::kFull && e.promoted) {
+        ++promoted_fulls;
+        EXPECT_GE(e.stages_cached, 3) << "round " << r.round;
+        EXPECT_LT(e.stages_run, 8) << "round " << r.round;
+      }
+  }
+  EXPECT_GE(promoted_fulls, 2);  // warm-up + round promotions
+  EXPECT_GE(hits, 1u);
+  EXPECT_TRUE(std::isfinite(res.best_objective));
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: batch=4 with cheap screening must reach an objective at least
+// as good as the sequential full-fidelity baseline using at most half the
+// full-flow evaluations. Fully deterministic (fixed seeds, real flows).
+
+TEST(Search, BatchedCheapSearchMatchesBaselineAtHalfTheFullEvals) {
+  const Netlist design = testing::tiny_design(240, 5);
+  FlowConfig base;
+  base.grid_nx = base.grid_ny = 8;
+  {
+    const Placement3D ref = place_pseudo3d(design, base.place_params,
+                                           base.seed, true, base.num_tiers);
+    base.router = calibrated_router(design, ref, base.grid_nx, 0.70);
+  }
+  FlowEvaluator eval("tiny", design, base);
+
+  // Sequential baseline: the legacy BO loop, every evaluation a full flow.
+  BoConfig bo;
+  bo.init_samples = 6;
+  bo.iterations = 10;
+  bo.candidates = 64;
+  int baseline_fulls = 0;
+  auto full_objective = [&](const PlacementParams& p) {
+    ++baseline_fulls;
+    return eval.evaluate(p, Fidelity::kFull).objective;
+  };
+  Rng r_base(3);
+  const BoResult baseline = bayes_optimize(full_objective, bo, r_base);
+  ASSERT_EQ(baseline_fulls, bo.init_samples + bo.iterations);
+
+  // Batched multi-fidelity search under half that full-flow budget.
+  SearchConfig sc;
+  sc.init_samples = 6;
+  sc.rounds = 4;
+  sc.batch = 4;
+  sc.candidates = 64;
+  sc.promote_fraction = 0.25;
+  sc.cheap_screen = true;
+  Rng r_search(3);
+  const SearchResult res = multi_fidelity_search(eval, sc, r_search);
+
+  EXPECT_LE(res.full_evals * 2, baseline_fulls)
+      << "search used more than half the baseline's full flows";
+  EXPECT_LE(res.best_objective, baseline.best_objective)
+      << "search failed to match the sequential baseline's objective";
+}
+
+// ---------------------------------------------------------------------------
+// Serve integration: the "search" job type end-to-end over the real
+// protocol — streamed round events, final objective in the done event, type
+// validation, and cancel mid-round committing the partial best.
+
+class ServeSearchTest : public ::testing::Test {
+ protected:
+  ServerConfig search_cfg(const std::string& cache_name) {
+    ServerConfig cfg;
+    cfg.port = 0;  // ephemeral
+    cfg.workers = 1;
+    cfg.queue_depth = 4;
+    cfg.cache_dir = cache_name.empty() ? "" : fresh_dir(cache_name);
+    cfg.runners["search"] = make_search_job_runner();
+    return cfg;
+  }
+
+  util::JsonObject rpc(int port, const std::string& req) {
+    util::Fd conn = util::connect_local(port);
+    EXPECT_TRUE(util::send_line(conn.get(), req));
+    util::LineReader reader(conn.get());
+    std::string line;
+    EXPECT_TRUE(reader.read_line(line)) << "no response to: " << req;
+    util::JsonObject obj;
+    EXPECT_TRUE(util::parse_json_object(line, obj).ok()) << line;
+    return obj;
+  }
+};
+
+TEST_F(ServeSearchTest, SearchJobStreamsRoundsAndReportsObjective) {
+  Server server(search_cfg("dco3d_serve_search_cache"));
+  server.start();
+
+  util::Fd conn = util::connect_local(server.port());
+  const std::string req =
+      R"({"cmd":"submit","type":"search","kind":"dma","scale":0.01,"grid":8,)"
+      R"("rounds":2,"batch":2,"init":3,"candidates":16,"wait":true})";
+  ASSERT_TRUE(util::send_line(conn.get(), req));
+
+  util::LineReader reader(conn.get());
+  std::string line;
+  int round_events = 0, eval_events = 0;
+  util::JsonObject done;
+  bool saw_done = false;
+  while (reader.read_line(line)) {
+    // eval/round events carry a nested trace payload the flat parser
+    // deliberately rejects; count them by substring like the stage events.
+    if (line.find("\"event\":\"round\"") != std::string::npos) {
+      ++round_events;
+      continue;
+    }
+    if (line.find("\"event\":\"eval\"") != std::string::npos) {
+      ++eval_events;
+      continue;
+    }
+    util::JsonObject obj;
+    ASSERT_TRUE(util::parse_json_object(line, obj).ok()) << line;
+    if (util::json_str(obj, "event", "") == "done") {
+      done = obj;
+      saw_done = true;
+      break;
+    }
+    ASSERT_TRUE(util::json_bool(obj, "ok", false)) << line;
+  }
+  ASSERT_TRUE(saw_done);
+  EXPECT_EQ(round_events, 3);  // warm-up + 2 search rounds
+  EXPECT_GT(eval_events, 0);
+  EXPECT_EQ(util::json_str(done, "state", ""), "done");
+  EXPECT_EQ(util::json_str(done, "type", ""), "search");
+  EXPECT_EQ(util::json_num(done, "rounds", -1.0), 2.0);
+  EXPECT_TRUE(util::json_has(done, "objective")) << "no objective in done";
+  EXPECT_GT(util::json_num(done, "cheap_evals", 0.0), 0.0);
+  EXPECT_GT(util::json_num(done, "full_evals", 0.0), 0.0);
+
+  server.request_drain();
+  server.wait();
+}
+
+TEST_F(ServeSearchTest, UnknownJobTypeIsRejectedAsInvalid) {
+  Server server(search_cfg(""));
+  server.start();
+  const util::JsonObject resp = rpc(
+      server.port(),
+      R"({"cmd":"submit","type":"bogus","kind":"dma","scale":0.01,"grid":8})");
+  EXPECT_FALSE(util::json_bool(resp, "ok", true));
+  EXPECT_EQ(util::json_str(resp, "status", ""), "invalid_argument");
+  server.request_drain();
+  server.wait();
+}
+
+TEST_F(ServeSearchTest, CancelMidRoundCommitsPartialBest) {
+  Server server(search_cfg(""));
+  server.start();
+
+  // A deliberately long search; cancel once the first round has streamed.
+  util::Fd conn = util::connect_local(server.port());
+  const std::string req =
+      R"({"cmd":"submit","type":"search","kind":"dma","scale":0.01,"grid":8,)"
+      R"("rounds":200,"batch":2,"init":3,"candidates":16,"wait":true})";
+  ASSERT_TRUE(util::send_line(conn.get(), req));
+
+  util::LineReader reader(conn.get());
+  std::string line, job_id;
+  bool cancelled_sent = false;
+  util::JsonObject done;
+  bool saw_done = false;
+  while (reader.read_line(line)) {
+    if (job_id.empty()) {
+      util::JsonObject ack;
+      ASSERT_TRUE(util::parse_json_object(line, ack).ok()) << line;
+      ASSERT_TRUE(util::json_bool(ack, "ok", false)) << line;
+      job_id = util::json_str(ack, "job", "");
+      ASSERT_FALSE(job_id.empty());
+      continue;
+    }
+    if (!cancelled_sent &&
+        line.find("\"event\":\"round\"") != std::string::npos) {
+      const util::JsonObject resp = rpc(
+          server.port(), R"({"cmd":"cancel","job":")" + job_id + R"("})");
+      EXPECT_TRUE(util::json_bool(resp, "ok", false));
+      cancelled_sent = true;
+      continue;
+    }
+    if (line.find("\"event\":\"round\"") != std::string::npos ||
+        line.find("\"event\":\"eval\"") != std::string::npos)
+      continue;
+    util::JsonObject obj;
+    ASSERT_TRUE(util::parse_json_object(line, obj).ok()) << line;
+    if (util::json_str(obj, "event", "") == "done") {
+      done = obj;
+      saw_done = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(cancelled_sent);
+  ASSERT_TRUE(saw_done);
+  EXPECT_EQ(util::json_str(done, "state", ""), "cancelled");
+
+  const JobSnapshot snap = server.job(job_id);
+  EXPECT_EQ(snap.state, JobState::kCancelled);
+  EXPECT_TRUE(snap.outcome.cancelled);
+  // The warm-up completed before the cancel, so a finite best was committed.
+  EXPECT_TRUE(snap.outcome.has_objective);
+  EXPECT_LT(snap.outcome.rounds, 200);
+
+  server.request_drain();
+  server.wait();
+}
+
+}  // namespace
+}  // namespace dco3d

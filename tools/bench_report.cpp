@@ -2,6 +2,7 @@
 //
 //   bench_report kernels [-o BENCH_kernels.json] [--scale S] [--reps N]
 //   bench_report flow    [-o BENCH_flow.json]    [--scale S] [--grid N]
+//   bench_report search  [-o BENCH_search.json]  [--scale S] [--grid N]
 //   bench_report compare --baseline FILE [--threshold T] [--scale S]
 //                        [--reps N] [--grid N]
 //
@@ -13,6 +14,10 @@
 // committed numbers track both the flow-level and microkernel-level cost.
 // `flow` runs the staged Pin-3D pipeline end to end at two and three tiers
 // and records per-stage wall time from the StageTrace.
+// `search` runs a small multi-fidelity knob search (cheap screening +
+// promotion through a fresh artifact cache) and records total/per-round
+// wall time plus rounds/sec, the cache hit rate, and the cheap-vs-full
+// evaluation split (docs/search.md).
 //
 // `compare` closes the perf-trajectory loop: it re-measures the suite named
 // by the baseline file's schema and fails (exit 1) if any kernel's fresh p50
@@ -31,12 +36,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "core/losses.hpp"
+#include "flow/cache.hpp"
 #include "flow/stage.hpp"
+#include "search/evaluator.hpp"
+#include "search/searcher.hpp"
 #include "grid/soft_maps.hpp"
 #include "netlist/generators.hpp"
 #include "nn/conv.hpp"
@@ -347,6 +356,114 @@ int run_flow(int argc, char** argv) {
   return 0;
 }
 
+// --- search mode ------------------------------------------------------------
+
+struct SearchSuite {
+  std::string design;
+  std::size_t cells = 0, nets = 0;
+  std::vector<Entry> totals;  // "search_total" / "search_round"
+  int rounds = 0, cheap_evals = 0, full_evals = 0;
+  double rounds_per_sec = 0.0, cache_hit_rate = 0.0, best_objective = 0.0;
+};
+
+/// One fixed small search: 3 rounds x batch 4 with cheap screening through a
+/// fresh artifact cache (wiped up front so reruns don't replay the previous
+/// run's artifacts and report an empty search).
+SearchSuite measure_search(double scale, int grid_n) {
+  DesignSpec spec = spec_for(DesignKind::kDma, scale);
+  const Netlist design = generate_design(spec);
+  SearchSuite suite;
+  suite.design = spec.name;
+  suite.cells = design.num_cells();
+  suite.nets = design.num_nets();
+
+  FlowConfig base;
+  base.grid_nx = base.grid_ny = grid_n;
+  {
+    const Placement3D ref =
+        place_pseudo3d(design, base.place_params, base.seed, true, base.num_tiers);
+    base.router = calibrated_router(design, ref, grid_n, 0.70);
+  }
+
+  const std::string cache_dir = "bench_search_cache";
+  std::filesystem::remove_all(cache_dir);
+  ArtifactCache cache(cache_dir, 1ull << 30);
+
+  FlowEvaluatorConfig ec;
+  ec.cache = &cache;
+  FlowEvaluator evaluator(spec.name, design, base, ec);
+  SearchConfig sc;
+  sc.rounds = 3;
+  sc.batch = 4;
+  sc.init_samples = 4;
+  sc.candidates = 64;
+  sc.promote_fraction = 0.25;
+  sc.cheap_screen = true;
+  sc.cache = &cache;
+
+  Rng rng(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  const SearchResult res = multi_fidelity_search(evaluator, sc, rng);
+  const double total_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+  suite.rounds = res.rounds_completed;
+  suite.cheap_evals = res.cheap_evals;
+  suite.full_evals = res.full_evals;
+  suite.best_objective = res.best_objective;
+  suite.rounds_per_sec =
+      total_ms > 0.0 ? res.rounds_completed / (total_ms / 1000.0) : 0.0;
+  const ArtifactCacheStats cs = cache.stats();
+  suite.cache_hit_rate = (cs.loads + cs.misses) > 0
+                             ? static_cast<double>(cs.loads) /
+                                   static_cast<double>(cs.loads + cs.misses)
+                             : 0.0;
+  double round_ms_sum = 0.0;
+  for (const SearchRoundRecord& r : res.trace)
+    if (r.round > 0) round_ms_sum += r.wall_ms;
+  suite.totals.push_back({"search_total", total_ms});
+  suite.totals.push_back(
+      {"search_round", res.rounds_completed > 0
+                           ? round_ms_sum / res.rounds_completed
+                           : 0.0});
+  std::printf("search: %.1f ms total (%.2f rounds/sec), best %.4f, "
+              "%d cheap + %d full evals, cache hit rate %.2f\n",
+              total_ms, suite.rounds_per_sec, res.best_objective,
+              res.cheap_evals, res.full_evals, suite.cache_hit_rate);
+  return suite;
+}
+
+int run_search(int argc, char** argv) {
+  const std::string out = arg_str(argc, argv, "-o", "BENCH_search.json");
+  const double scale = arg_num(argc, argv, "--scale", 0.02);
+  const int grid_n = static_cast<int>(arg_num(argc, argv, "--grid", 16));
+
+  const SearchSuite suite = measure_search(scale, grid_n);
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_report: cannot open %s\n", out.c_str());
+    return 1;
+  }
+  write_context(f, "dco3d-bench-search-v2", suite.design, suite.cells,
+                suite.nets, scale);
+  std::fprintf(f,
+               ",\"grid\":%d,\"rounds\":%d,\"rounds_per_sec\":%.4f,"
+               "\"cache_hit_rate\":%.4f,\"cheap_evals\":%d,\"full_evals\":%d,"
+               "\"best_objective\":%.4f,\"kernels\":[",
+               grid_n, suite.rounds, suite.rounds_per_sec,
+               suite.cache_hit_rate, suite.cheap_evals, suite.full_evals,
+               suite.best_objective);
+  for (std::size_t i = 0; i < suite.totals.size(); ++i)
+    std::fprintf(f, "%s{\"name\":\"%s\",\"p50_ms\":%.4f}", i ? "," : "",
+                 suite.totals[i].name.c_str(), suite.totals[i].p50_ms);
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
 // --- compare mode -----------------------------------------------------------
 
 std::string read_file(const std::string& path) {
@@ -423,6 +540,9 @@ int run_compare(int argc, char** argv) {
     const FlowSuite s = measure_flow(scale, grid_n);
     for (const Entry& e : s.totals)
       fresh.push_back({e.name.substr(std::strlen("flow_tiers")), e.p50_ms});
+  } else if (schema == "dco3d-bench-search-v2") {
+    committed = scan_entries(base, "name", "p50_ms");
+    fresh = measure_search(scale, grid_n).totals;
   } else {
     std::fprintf(stderr,
                  "bench_report compare: unsupported schema '%s' in %s "
@@ -471,13 +591,14 @@ int run_compare(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: bench_report <kernels|flow|compare> [-o file] "
+                 "usage: bench_report <kernels|flow|search|compare> [-o file] "
                  "[--scale S] [--reps N] [--grid N] "
                  "[--baseline FILE] [--threshold T]\n");
     return 2;
   }
   if (std::strcmp(argv[1], "kernels") == 0) return run_kernels(argc, argv);
   if (std::strcmp(argv[1], "flow") == 0) return run_flow(argc, argv);
+  if (std::strcmp(argv[1], "search") == 0) return run_search(argc, argv);
   if (std::strcmp(argv[1], "compare") == 0) return run_compare(argc, argv);
   std::fprintf(stderr, "bench_report: unknown mode '%s'\n", argv[1]);
   return 2;

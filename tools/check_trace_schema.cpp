@@ -1,11 +1,13 @@
-// check_trace_schema — validate a StageTrace JSON-lines file against the
-// dco3d-stage-trace-v1 schema (docs/flow.md).
+// check_trace_schema — validate a trace JSON-lines file against the repo's
+// trace schemas: dco3d-stage-trace-v1 (docs/flow.md) and
+// dco3d-search-trace-v1 (docs/search.md). Each line declares its schema in
+// the "schema" field; files may mix records of both.
 //
 //   check_trace_schema <trace.jsonl>
 //
 // Exit 0 when every line conforms; exit 1 with the offending line number and
 // reason otherwise. The parser is a small self-contained JSON reader — the
-// repo has no JSON dependency, and the trace emitter is hand-rolled too, so
+// repo has no JSON dependency, and the trace emitters are hand-rolled too, so
 // this doubles as an independent check that the emitted JSON actually parses.
 
 #include <cctype>
@@ -207,12 +209,6 @@ class JsonParser {
 // Schema checks for dco3d-stage-trace-v1.
 
 std::string check_entry(const JsonValue& v) {
-  if (!v.is_object()) return "top-level value is not an object";
-
-  const JsonValue* schema = v.find("schema");
-  if (!schema || !schema->is_string() || schema->str != "dco3d-stage-trace-v1")
-    return "missing or wrong 'schema' (want \"dco3d-stage-trace-v1\")";
-
   const JsonValue* stage = v.find("stage");
   if (!stage || !stage->is_string() || stage->str.empty())
     return "'stage' must be a non-empty string";
@@ -286,6 +282,79 @@ std::string check_entry(const JsonValue& v) {
   return "";
 }
 
+// ---------------------------------------------------------------------------
+// Schema checks for dco3d-search-trace-v1 (docs/search.md): per-evaluation
+// records (event "eval") interleaved with per-round summaries (event
+// "round"), appended in evaluation order by the multi-fidelity searcher.
+
+std::string check_nonneg(const JsonValue& v, const char* key,
+                         bool integer = true) {
+  const JsonValue* f = v.find(key);
+  if (!f || !f->is_number() || f->number < 0)
+    return std::string("'") + key + "' must be a number >= 0";
+  if (integer &&
+      f->number != static_cast<double>(static_cast<long long>(f->number)))
+    return std::string("'") + key + "' must be an integer";
+  return "";
+}
+
+std::string check_search_entry(const JsonValue& v) {
+  const JsonValue* event = v.find("event");
+  if (!event || !event->is_string() ||
+      (event->str != "eval" && event->str != "round"))
+    return "'event' must be \"eval\" or \"round\"";
+  if (const JsonValue* design = v.find("design"); design && !design->is_string())
+    return "'design' must be a string when present";
+  if (std::string e = check_nonneg(v, "round"); !e.empty()) return e;
+
+  if (event->str == "eval") {
+    if (std::string e = check_nonneg(v, "candidate"); !e.empty()) return e;
+    const JsonValue* fid = v.find("fidelity");
+    if (!fid || !fid->is_string() ||
+        (fid->str != "cheap" && fid->str != "full"))
+      return "'fidelity' must be \"cheap\" or \"full\"";
+    const JsonValue* obj = v.find("objective");
+    if (!obj || !obj->is_number()) return "'objective' must be a number";
+    for (const char* key : {"usable", "promoted"}) {
+      const JsonValue* f = v.find(key);
+      if (!f || !f->is_bool())
+        return std::string("'") + key + "' must be a boolean";
+    }
+    for (const char* key : {"stages_run", "stages_cached"})
+      if (std::string e = check_nonneg(v, key); !e.empty()) return e;
+    return "";
+  }
+
+  // event == "round": the per-round summary closing each round's records.
+  for (const char* key : {"candidates", "cheap_evals", "full_evals",
+                          "promoted", "cache_hits", "cache_misses"})
+    if (std::string e = check_nonneg(v, key); !e.empty()) return e;
+  for (const char* key : {"round_best", "best_objective"}) {
+    const JsonValue* f = v.find(key);
+    if (!f || !f->is_number())
+      return std::string("'") + key + "' must be a number";
+  }
+  if (std::string e = check_nonneg(v, "wall_ms", /*integer=*/false); !e.empty())
+    return e;
+  const JsonValue* threads = v.find("threads");
+  if (!threads || !threads->is_number() || threads->number < 1)
+    return "'threads' must be a number >= 1";
+  return "";
+}
+
+/// Dispatch on the declared schema; unknown schemas fail (a typo'd schema
+/// string must not validate as success).
+std::string check_line(const JsonValue& v) {
+  if (!v.is_object()) return "top-level value is not an object";
+  const JsonValue* schema = v.find("schema");
+  if (!schema || !schema->is_string())
+    return "missing 'schema' string";
+  if (schema->str == "dco3d-stage-trace-v1") return check_entry(v);
+  if (schema->str == "dco3d-search-trace-v1") return check_search_entry(v);
+  return "unknown 'schema' \"" + schema->str +
+         "\" (want \"dco3d-stage-trace-v1\" or \"dco3d-search-trace-v1\")";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -306,7 +375,7 @@ int main(int argc, char** argv) {
     std::string err;
     try {
       const JsonValue v = JsonParser(line).parse();
-      err = check_entry(v);
+      err = check_line(v);
     } catch (const std::exception& e) {
       err = e.what();
     }
@@ -320,7 +389,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: no trace entries\n", argv[1]);
     return 1;
   }
-  std::printf("%s: %zu entries conform to dco3d-stage-trace-v1\n", argv[1],
-              entries);
+  std::printf("%s: %zu trace entries conform\n", argv[1], entries);
   return 0;
 }

@@ -14,11 +14,17 @@
 //        [--trace file] [--cache-dir dir] [--resume-from stage] [--stop-after stage]
 //   batch [kinds...] [--scale S] [--clock PS] [--grid N] [--tiers N] [--seed N]
 //        [--trace file] [--stop-after stage] [--cache-dir dir]
+//   search <kind> [--scale S] [--grid N] [--tiers N] [--clock PS] [--seed N]
+//        [--rounds N] [--batch B] [--init N] [--candidates N] [--promote F]
+//        [--xi X] [--no-cheap] [--search-seed N] [--cache-dir dir]
+//        [--trace file] [--deadline S]              multi-fidelity knob search
 //   serve [--port N] [--workers N] [--queue N] [--deadline S]
 //        [--cache-dir dir] [--cache-budget MB]      resident job server
 //   submit <kind> [--port N] [--scale S] [--grid N] [--tiers N] [--clock PS]
 //        [--seed N] [--stop-after stage] [--deadline S] [--priority N]
-//        [--wait] [--no-cache]                      enqueue a job
+//        [--wait] [--no-cache] [--retries N]        enqueue a job
+//        [--type search] [--rounds N] [--batch B] [--init N] [--candidates N]
+//        [--promote F] [--no-cheap] [--search-seed N]   search-job knobs
 //   status [--port N] [job]                         server / job status
 //   cancel <job> [--port N]                         cancel a queued/running job
 //   drain [--port N]                                graceful server shutdown
@@ -55,6 +61,9 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -79,6 +88,9 @@
 #include "nn/simd/simd.hpp"
 #include "place/detailed.hpp"
 #include "place/legalize.hpp"
+#include "search/evaluator.hpp"
+#include "search/searcher.hpp"
+#include "search/serve_search.hpp"
 #include "timing/hold.hpp"
 #include "timing/report.hpp"
 #include "util/jsonl.hpp"
@@ -116,7 +128,8 @@ struct Args {
 /// the positional.
 const std::set<std::string>& bool_flags() {
   static const std::set<std::string> kFlags = {
-      "--strict", "--hold", "--congestion-focused", "--wait", "--no-cache"};
+      "--strict", "--hold", "--congestion-focused", "--wait", "--no-cache",
+      "--no-cheap"};
   return kFlags;
 }
 
@@ -160,7 +173,7 @@ Args parse_args(int argc, char** argv, int first) {
 int usage() {
   std::fprintf(stderr,
                "usage: dco3d <generate|check|place|route|sta|train|refine|"
-               "optimize|flow|batch|serve|submit|status|cancel|drain|"
+               "optimize|flow|batch|search|serve|submit|status|cancel|drain|"
                "--version> ...\n  (see the header of tools/dco3d_cli.cpp)\n");
   return status_exit_code(StatusCode::kInvalidArgument);
 }
@@ -487,7 +500,13 @@ int cmd_flow(const Args& a) {
   if (a.flag("--trace")) popts.trace = &trace;
 
   const FlowResult r = pin3d_pipeline().run(ctx, popts);
-  if (a.flag("--trace")) append_trace_file(a.get("--trace", ""), trace);
+  if (a.flag("--trace")) {
+    if (popts.cache)
+      trace.push_back(cache_footer_entry(ctx.design_name,
+                                         static_cast<int>(trace.size()),
+                                         popts.cache->stats()));
+    append_trace_file(a.get("--trace", ""), trace);
+  }
 
   std::printf("%-16s %9s %8s %8s %8s %10s %12s %10s %12s\n", "stage",
               "overflow", "ovf%", "H ovf", "V ovf", "wns(ps)", "tns(ps)",
@@ -536,12 +555,103 @@ int cmd_batch(const Args& a) {
     std::vector<StageTraceEntry> merged;
     for (const BatchEntry& e : entries)
       merged.insert(merged.end(), e.trace.begin(), e.trace.end());
+    if (opts.cache)
+      merged.push_back(cache_footer_entry("batch",
+                                          static_cast<int>(merged.size()),
+                                          opts.cache->stats()));
     append_trace_file(a.get("--trace", ""), merged);
   }
 
   std::printf("%s", batch_summary_table(entries).c_str());
   for (const BatchEntry& e : entries)
     if (!e.status.ok()) return status_exit_code(e.status.code());
+  return 0;
+}
+
+/// Multi-fidelity knob search (docs/search.md): q-EI batched proposals over
+/// the Table-I parameter space, screened at cheap fidelity (flow through
+/// after-place-metrics) with the top fraction promoted to full signoff
+/// flows. Mirrors the serve-mode search job's design construction exactly so
+/// CLI and serve searches of the same parameters share cache keys.
+int cmd_search(const Args& a) {
+  if (a.positional.empty()) return usage();
+  DesignSpec spec = spec_for(parse_kind(a.positional[0]), a.num("--scale", 0.02));
+  spec.seed = static_cast<std::uint64_t>(a.num("--seed", 1));
+  if (spec.seed == 0) spec.seed = 1;
+  spec.clock_period_ps = a.num("--clock", 250.0);
+  const Netlist design = generate_design(spec);
+
+  FlowConfig base;
+  base.grid_nx = base.grid_ny = static_cast<int>(a.num("--grid", 16));
+  base.num_tiers = parse_tiers(a);
+  base.seed = spec.seed;
+  {
+    const Placement3D ref = place_pseudo3d(design, base.place_params, base.seed,
+                                           /*legalized=*/true, base.num_tiers);
+    base.router =
+        calibrated_router(design, ref, base.grid_nx, a.num("--pctile", 0.70));
+  }
+
+  FlowEvaluatorConfig ec;
+  std::unique_ptr<ArtifactCache> cache;
+  const std::string cache_dir = a.get("--cache-dir", "");
+  if (!cache_dir.empty()) {
+    cache = std::make_unique<ArtifactCache>(cache_dir, cache_budget_bytes(a));
+    ec.cache = cache.get();
+  }
+  const Deadline deadline(a.num("--deadline", 0.0) * 1000.0);
+  if (!deadline.unlimited()) ec.deadline = &deadline;
+  FlowEvaluator evaluator(spec.name, design, base, ec);
+
+  SearchConfig sc;
+  sc.rounds = static_cast<int>(a.num("--rounds", 4));
+  sc.batch = static_cast<int>(a.num("--batch", 4));
+  sc.init_samples = static_cast<int>(a.num("--init", 6));
+  sc.candidates = static_cast<int>(a.num("--candidates", 256));
+  sc.promote_fraction = a.num("--promote", 0.25);
+  sc.xi = a.num("--xi", 0.01);
+  sc.cheap_screen = !a.flag("--no-cheap");
+  sc.cache = ec.cache;
+  if (!deadline.unlimited()) sc.deadline = &deadline;
+  if (sc.rounds < 0 || sc.init_samples < 1 || sc.batch < 1 ||
+      sc.candidates < 1 || sc.promote_fraction <= 0.0 ||
+      sc.promote_fraction > 1.0)
+    throw StatusError(Status::invalid_argument(
+        "search: need rounds >= 0, init >= 1, batch >= 1, candidates >= 1, "
+        "0 < promote <= 1"));
+  sc.on_round = [](const SearchRoundRecord& r) {
+    std::printf("round %2d: %d cheap + %d full evals, best %.4f "
+                "(round best %.4f), cache %llu hit / %llu miss, %.0f ms\n",
+                r.round, r.cheap_evals, r.full_evals, r.best_objective,
+                r.round_best, static_cast<unsigned long long>(r.cache_hits),
+                static_cast<unsigned long long>(r.cache_misses), r.wall_ms);
+    std::fflush(stdout);
+  };
+
+  std::printf("search %s: %d rounds x batch %d (init %d, pool %d, promote "
+              "%.2f, cheap screening %s) on %d threads\n",
+              spec.name.c_str(), sc.rounds, sc.batch, sc.init_samples,
+              sc.candidates, sc.promote_fraction,
+              sc.cheap_screen ? "on" : "off", util::num_threads());
+
+  Rng rng(static_cast<std::uint64_t>(a.num("--search-seed", 1)));
+  const SearchResult res = multi_fidelity_search(evaluator, sc, rng);
+
+  if (a.flag("--trace"))
+    append_search_trace_file(a.get("--trace", ""), spec.name, res.trace);
+
+  if (res.deadline_hit)
+    std::printf("search: deadline hit — committed best-so-far\n");
+  if (!std::isfinite(res.best_objective)) {
+    std::fprintf(stderr, "search: no usable evaluation completed\n");
+    return status_exit_code(res.deadline_hit ? StatusCode::kDeadlineExceeded
+                                             : StatusCode::kInternal);
+  }
+  std::printf("best objective %.4f after %d cheap + %d full evaluations "
+              "(%d search rounds)\n",
+              res.best_objective, res.cheap_evals, res.full_evals,
+              res.rounds_completed);
+  std::printf("best params: %s\n", res.best_params.summary().c_str());
   return 0;
 }
 
@@ -581,6 +691,9 @@ int cmd_serve(const Args& a) {
   cfg.cache_dir = a.get("--cache-dir", ".dco3d-serve-cache");
   if (a.flag("--no-cache")) cfg.cache_dir.clear();
   cfg.cache_budget_bytes = cache_budget_bytes(a);
+  // Beyond the built-in "flow" jobs: the multi-fidelity knob search
+  // (docs/search.md) runs as a first-class job type.
+  cfg.runners["search"] = make_search_job_runner();
 
   Server server(cfg);
   server.start();
@@ -635,6 +748,22 @@ int cmd_submit(const Args& a) {
       .field("tiers", parse_tiers(a))
       .field("clock_ps", a.num("--clock", 250.0))
       .field("seed", static_cast<std::int64_t>(a.num("--seed", 1)));
+  const std::string type = a.get("--type", "flow");
+  if (type != "flow") w.field("type", type);
+  // Search-job knobs (type "search"; server-side defaults when omitted).
+  if (a.flag("--rounds"))
+    w.field("rounds", static_cast<int>(a.num("--rounds", 4)));
+  if (a.flag("--batch"))
+    w.field("batch", static_cast<int>(a.num("--batch", 4)));
+  if (a.flag("--init"))
+    w.field("init", static_cast<int>(a.num("--init", 6)));
+  if (a.flag("--candidates"))
+    w.field("candidates", static_cast<int>(a.num("--candidates", 256)));
+  if (a.flag("--promote")) w.field("promote", a.num("--promote", 0.25));
+  if (a.flag("--xi")) w.field("xi", a.num("--xi", 0.01));
+  if (a.flag("--no-cheap")) w.field("cheap", false);
+  if (a.flag("--search-seed"))
+    w.field("search_seed", static_cast<std::int64_t>(a.num("--search-seed", 1)));
   if (a.flag("--stop-after")) w.field("stop_after", a.get("--stop-after", ""));
   if (a.flag("--deadline"))
     w.field("deadline_ms", a.num("--deadline", 0.0) * 1000.0);
@@ -642,26 +771,45 @@ int cmd_submit(const Args& a) {
     w.field("priority", static_cast<int>(a.num("--priority", 0)));
   if (a.flag("--no-cache")) w.field("cache", false);
   if (wait) w.field("wait", true);
+  const std::string request = w.done();
 
-  util::Fd conn =
-      util::connect_local(static_cast<int>(a.num("--port", kDefaultServePort)));
-  if (!util::send_line(conn.get(), w.done()))
-    return status_exit_code(StatusCode::kIoError);
-  util::LineReader reader(conn.get());
-  std::string line;
-  int code = status_exit_code(StatusCode::kIoError);  // no response at all
-  while (reader.read_line(line)) {
-    std::printf("%s\n", line.c_str());
-    std::fflush(stdout);
-    util::JsonObject o;
-    if (!util::parse_json_object(line, o).ok()) continue;
-    if (util::json_str(o, "event", "") == "stage") continue;  // progress
-    code = serve_exit_code(o);
-    const bool terminal = util::json_str(o, "event", "") == "done" ||
-                          !util::json_bool(o, "ok", false);
-    if (!wait || terminal) break;
+  // A shed response means the queue was full right now — an explicitly
+  // retriable condition. Honor the server's retry_after_ms backoff hint
+  // (bounded to keep the client snappy) up to --retries resubmissions; each
+  // attempt uses a fresh connection. Exhausted retries exit 9 (retriable).
+  const int retries = std::max(0, static_cast<int>(a.num("--retries", 3)));
+  const int port = static_cast<int>(a.num("--port", kDefaultServePort));
+  for (int attempt = 0;; ++attempt) {
+    util::Fd conn = util::connect_local(port);
+    if (!util::send_line(conn.get(), request))
+      return status_exit_code(StatusCode::kIoError);
+    util::LineReader reader(conn.get());
+    std::string line;
+    int code = status_exit_code(StatusCode::kIoError);  // no response at all
+    bool shed = false;
+    double retry_after_ms = 0.0;
+    while (reader.read_line(line)) {
+      std::printf("%s\n", line.c_str());
+      std::fflush(stdout);
+      util::JsonObject o;
+      if (!util::parse_json_object(line, o).ok()) continue;
+      const std::string event = util::json_str(o, "event", "");
+      if (event == "stage" || event == "eval" || event == "round")
+        continue;  // progress stream
+      code = serve_exit_code(o);
+      shed = util::json_str(o, "state", "") == "shed";
+      retry_after_ms = util::json_num(o, "retry_after_ms", 0.0);
+      const bool terminal =
+          event == "done" || !util::json_bool(o, "ok", false);
+      if (!wait || terminal) break;
+    }
+    if (!shed || attempt >= retries) return code;
+    const double sleep_ms = std::min(std::max(retry_after_ms, 50.0), 2000.0);
+    std::fprintf(stderr, "dco3d submit: shed — retrying (%d/%d) in %.0f ms\n",
+                 attempt + 1, retries, sleep_ms);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
   }
-  return code;
 }
 
 /// One-shot request/response client shared by status/cancel/drain.
@@ -723,6 +871,7 @@ int main(int argc, char** argv) {
     if (cmd == "optimize") return cmd_optimize(args);
     if (cmd == "flow") return cmd_flow(args);
     if (cmd == "batch") return cmd_batch(args);
+    if (cmd == "search") return cmd_search(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "submit") return cmd_submit(args);
     if (cmd == "status") return cmd_status(args);

@@ -57,3 +57,22 @@ execute_process(
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "3-tier trace schema validation failed (${rc})")
 endif()
+
+# Search pass: a small multi-fidelity knob search must emit
+# dco3d-search-trace-v1 eval/round records that conform (docs/search.md).
+execute_process(
+  COMMAND "${DCO3D_CLI}" search dma --scale 0.01 --grid 8 --rounds 2
+          --batch 2 --init 3 --candidates 32
+          --cache-dir "${WORK_DIR}/search-cache"
+          --trace "${WORK_DIR}/search.jsonl"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dco3d search --trace failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${CHECKER}" "${WORK_DIR}/search.jsonl"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "search trace schema validation failed (${rc})")
+endif()
