@@ -67,8 +67,9 @@ void BM_RudyScatter(benchmark::State& st) {
   State& s = state1k();
   std::vector<float> map(static_cast<std::size_t>(s.grid.num_tiles()), 0.0f);
   for (auto _ : st) {
-    for (const Net& net : s.design.nets())
-      add_net_rudy(map, s.grid, net_bbox(net, s.placement), 1.0);
+    for (std::size_t ni = 0; ni < s.design.num_nets(); ++ni)
+      add_net_rudy(map, s.grid,
+                   net_bbox(s.design, static_cast<NetId>(ni), s.placement), 1.0);
     benchmark::DoNotOptimize(map.data());
   }
   st.SetItemsProcessed(static_cast<std::int64_t>(st.iterations()) *

@@ -1,0 +1,69 @@
+// counter8: an 8-bit ripple-enable counter in the structural subset that
+// `dco3d import` accepts (docs/formats.md). Exercises non-ANSI ports, bus
+// declarations with bit-blasting, named connections, constant pins, an
+// explicitly unconnected pin, and masters resolved by all three rules
+// (exact name, function substring, pin count).
+module counter8(clk, rst_n, en, q);
+  input clk;
+  input rst_n;
+  input en;
+  output [7:0] q;
+
+  wire [7:0] d;      // next-state
+  wire [7:0] carry;  // ripple chain
+  wire en_g;
+  wire unused_probe;  // declared but never used: dropped with a count
+
+  /* Gate the enable. AN2D1 is not a library name; it maps to AND2 by
+     function substring. */
+  AN2D1 u_en (.A1(en), .A2(rst_n), .Y(en_g));
+
+  // Bit 0 toggles when enabled: d[0] = q[0] XOR en_g.
+  XOR2_X1 u_t0 (.A(q[0]), .B(en_g), .Y(d[0]));
+  BUF_X2 u_c0 (.A(q[0]), .Y(carry[0]));
+
+  // Bits 1..7: d[i] = q[i] XOR (carry[i-1] AND en_g).
+  wire [6:0] tog;
+  AND2_X1 u_a1 (.A(carry[0]), .B(en_g), .Y(tog[0]));
+  XOR2_X1 u_t1 (.A(q[1]), .B(tog[0]), .Y(d[1]));
+  AND2_X1 u_c1 (.A(carry[0]), .B(q[1]), .Y(carry[1]));
+
+  AND2_X1 u_a2 (.A(carry[1]), .B(en_g), .Y(tog[1]));
+  XOR2_X1 u_t2 (.A(q[2]), .B(tog[1]), .Y(d[2]));
+  AND2_X1 u_c2 (.A(carry[1]), .B(q[2]), .Y(carry[2]));
+
+  AND2_X1 u_a3 (.A(carry[2]), .B(en_g), .Y(tog[2]));
+  XOR2_X1 u_t3 (.A(q[3]), .B(tog[2]), .Y(d[3]));
+  AND2_X1 u_c3 (.A(carry[2]), .B(q[3]), .Y(carry[3]));
+
+  AND2_X1 u_a4 (.A(carry[3]), .B(en_g), .Y(tog[3]));
+  XOR2_X1 u_t4 (.A(q[4]), .B(tog[3]), .Y(d[4]));
+  AND2_X1 u_c4 (.A(carry[3]), .B(q[4]), .Y(carry[4]));
+
+  AND2_X1 u_a5 (.A(carry[4]), .B(en_g), .Y(tog[4]));
+  XOR2_X1 u_t5 (.A(q[5]), .B(tog[4]), .Y(d[5]));
+  AND2_X1 u_c5 (.A(carry[4]), .B(q[5]), .Y(carry[5]));
+
+  AND2_X1 u_a6 (.A(carry[5]), .B(en_g), .Y(tog[5]));
+  XOR2_X1 u_t6 (.A(q[6]), .B(tog[5]), .Y(d[6]));
+  AND2_X1 u_c6 (.A(carry[5]), .B(q[6]), .Y(carry[6]));
+
+  AND2_X1 u_a7 (.A(carry[6]), .B(en_g), .Y(tog[6]));
+  XOR2_X1 u_t7 (.A(q[7]), .B(tog[6]), .Y(d[7]));
+
+  // State registers. DFFRQ is mapped to DFF by substring; the reset pin is
+  // tied to a constant (dropped + counted), u_q7's second output stays
+  // unconnected (dropped + counted).
+  DFF_X1 u_q0 (.D(d[0]), .CK(clk), .Q(q[0]));
+  DFF_X1 u_q1 (.D(d[1]), .CK(clk), .Q(q[1]));
+  DFF_X1 u_q2 (.D(d[2]), .CK(clk), .Q(q[2]));
+  DFF_X1 u_q3 (.D(d[3]), .CK(clk), .Q(q[3]));
+  DFFRQ u_q4 (.D(d[4]), .CK(clk), .RN(1'b1), .Q(q[4]));
+  DFFRQ u_q5 (.D(d[5]), .CK(clk), .RN(1'b1), .Q(q[5]));
+  DFF_X1 u_q6 (.D(d[6]), .CK(clk), .Q(q[6]));
+  DFF_X2 u_q7 (.D(d[7]), .CK(clk), .Q(q[7]), .QN());
+
+  // A master no rule recognizes: mapped by pin count (3 pins -> NAND2).
+  // Its output is explicitly unconnected.
+  MYSTERY3 u_m (.A(q[0]), .B(q[7]), .Y());
+endmodule

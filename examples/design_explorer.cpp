@@ -39,9 +39,10 @@ DesignStats analyze(const Netlist& nl) {
   }
 
   double fan_sum = 0.0;
-  for (const Net& net : nl.nets()) {
-    fan_sum += static_cast<double>(net.sinks.size());
-    s.max_fanout = std::max(s.max_fanout, net.sinks.size());
+  for (std::size_t ni = 0; ni < nl.num_nets(); ++ni) {
+    const std::size_t sinks = nl.net_pins(static_cast<NetId>(ni)).size() - 1;
+    fan_sum += static_cast<double>(sinks);
+    s.max_fanout = std::max(s.max_fanout, sinks);
   }
   s.avg_fanout = fan_sum / static_cast<double>(std::max<std::size_t>(s.nets, 1));
 
@@ -52,10 +53,12 @@ DesignStats analyze(const Netlist& nl) {
   auto is_launch = [&](CellId c) {
     return nl.is_sequential(c) || nl.is_io(c) || nl.is_macro(c);
   };
-  for (const Net& net : nl.nets()) {
-    if (net.is_clock) continue;
-    for (const PinRef& p : net.sinks)
-      if (!is_launch(p.cell)) ++indeg[static_cast<std::size_t>(p.cell)];
+  for (std::size_t ni = 0; ni < nl.num_nets(); ++ni) {
+    const auto id = static_cast<NetId>(ni);
+    if (nl.net_is_clock(id)) continue;
+    for (const Pin& p : nl.net_pins(id))
+      if (p.dir == PinDir::kSink && !is_launch(p.cell))
+        ++indeg[static_cast<std::size_t>(p.cell)];
   }
   std::queue<CellId> ready;
   for (std::size_t i = 0; i < nl.num_cells(); ++i) {
@@ -66,8 +69,8 @@ DesignStats analyze(const Netlist& nl) {
   // Driving-net lookup.
   std::vector<NetId> out_net(nl.num_cells(), -1);
   for (std::size_t ni = 0; ni < nl.num_nets(); ++ni)
-    out_net[static_cast<std::size_t>(nl.net(static_cast<NetId>(ni)).driver.cell)] =
-        static_cast<NetId>(ni);
+    out_net[static_cast<std::size_t>(
+        nl.net_driver(static_cast<NetId>(ni)).cell)] = static_cast<NetId>(ni);
   while (!ready.empty()) {
     const CellId c = ready.front();
     ready.pop();
@@ -77,9 +80,9 @@ DesignStats analyze(const Netlist& nl) {
     s.comb_depth = std::max<std::size_t>(s.comb_depth,
                                          static_cast<std::size_t>(level[ci]));
     if (out_net[ci] < 0) continue;
-    const Net& net = nl.net(out_net[ci]);
-    if (net.is_clock) continue;
-    for (const PinRef& p : net.sinks) {
+    if (nl.net_is_clock(out_net[ci])) continue;
+    for (const Pin& p : nl.net_pins(out_net[ci])) {
+      if (p.dir != PinDir::kSink) continue;
       const auto pi = static_cast<std::size_t>(p.cell);
       if (is_launch(p.cell) || done[pi]) continue;
       level[pi] = std::max(level[pi], level[ci] + 1);
@@ -89,7 +92,7 @@ DesignStats analyze(const Netlist& nl) {
 
   // Locality proxy: cells are created cluster-by-cluster, so the id distance
   // of an edge approximates structural distance; normalize by design size.
-  const auto edges = nl.cell_graph_edges();
+  const auto& edges = nl.cell_graph_edges();
   double dist_sum = 0.0;
   for (auto [u, v] : edges) dist_sum += std::abs(static_cast<double>(u - v));
   s.graph_locality =

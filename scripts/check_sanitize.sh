@@ -93,6 +93,18 @@ echo "== SIMD backend parity under $SAN (DCO3D_SIMD=scalar start)"
 DCO3D_SIMD=scalar ctest --test-dir "$BUILD" --output-on-failure -R "Simd" \
   -j "$JOBS"
 
+# Import smoke: both open-format readers (structural Verilog and Bookshelf)
+# parse the checked-in examples, lint, freeze, and write the design artifact
+# under the sanitizer — the lexer/parser string handling and the freeze-time
+# CSR construction are exactly the code an adversarial input would hit.
+echo "== import smoke under $SAN (counter8.v + tiny.aux)"
+"$BUILD/tools/dco3d" import "$REPO_ROOT/examples/counter8.v" \
+  -o "$BUILD/counter8.design"
+"$BUILD/tools/dco3d" import "$REPO_ROOT/examples/tiny.aux" \
+  -o "$BUILD/tiny.design"
+"$BUILD/tools/dco3d" check "$BUILD/counter8.design"
+"$BUILD/tools/dco3d" check "$BUILD/tiny.design"
+
 # Bench smoke: one pass of the perf-gate comparator against the committed
 # baseline at the sanitize threshold (50%, set by CMake when DCO3D_SANITIZE
 # is on) — proves the gate tooling itself is sanitizer-clean.

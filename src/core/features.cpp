@@ -13,7 +13,7 @@ nn::Tensor build_gnn_features(const Netlist& netlist, const Placement3D& placeme
   std::vector<NetId> out_net(netlist.num_cells(), -1);
   for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni)
     out_net[static_cast<std::size_t>(
-        netlist.net(static_cast<NetId>(ni)).driver.cell)] = static_cast<NetId>(ni);
+        netlist.net_driver(static_cast<NetId>(ni)).cell)] = static_cast<NetId>(ni);
 
   nn::Tensor f({n, kGnnFeatureDim});
   for (std::int64_t i = 0; i < n; ++i) {

@@ -111,7 +111,9 @@ CtsResult run_cts(Netlist& netlist, Placement3D& placement, const CtsConfig& cfg
   };
 
   build(std::move(sinks), /*cut_x=*/true, 0, 0.0);
-  netlist.invalidate_cache();
+  // Rebuild the cell-side CSR views over the buffers and clock nets just
+  // added (add_cell/add_net cleared the frozen state).
+  netlist.freeze();
   return res;
 }
 

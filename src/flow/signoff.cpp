@@ -13,8 +13,7 @@ std::vector<double> detour_factors(const Netlist& netlist,
   std::vector<double> scale(netlist.num_nets(), 1.0);
   if (route.net_routed_wl.empty()) return scale;
   for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
-    const Net& net = netlist.net(static_cast<NetId>(ni));
-    const double hpwl = net_hpwl(net, placement);
+    const double hpwl = net_hpwl(netlist, static_cast<NetId>(ni), placement);
     double s = 1.0;
     if (hpwl > 1e-9 && ni < route.net_routed_wl.size())
       s = std::max(route.net_routed_wl[ni] / hpwl, 1.0);

@@ -131,16 +131,16 @@ FeatureMaps compute_feature_maps(const Netlist& netlist,
       add_maps);
 
   // Net-based maps.
-  const auto& nets = netlist.nets();
+  const auto n_nets = static_cast<std::int64_t>(netlist.num_nets());
   FeatureMaps net_maps = util::parallel_reduce(
-      0, static_cast<std::int64_t>(nets.size()),
-      util::grain_for_chunks(static_cast<std::int64_t>(nets.size()), kScatterChunks),
-      zero,
+      0, n_nets, util::grain_for_chunks(n_nets, kScatterChunks), zero,
       [&](std::int64_t b, std::int64_t e, FeatureMaps& acc) {
         for (std::int64_t i = b; i < e; ++i) {
-          const Net& net = nets[static_cast<std::size_t>(i)];
-          const Rect bbox = net_bbox(net, placement);
-          const bool is3d = is_3d_net(net, placement);
+          const auto ni = static_cast<NetId>(i);
+          const auto pins = netlist.net_pins(ni);
+          if (pins.empty()) continue;
+          const Rect bbox = net_bbox(netlist, ni, placement);
+          const bool is3d = is_3d_net(netlist, ni, placement);
           const double kf = rudy_factor(bbox, grid);
 
           if (is3d) {
@@ -148,14 +148,12 @@ FeatureMaps compute_feature_maps(const Netlist& netlist,
             // span (1/T each) -- the legacy 0.5-per-die split at two tiers,
             // generalized to taller stacks (the z-weighted 3D RUDY of IV-A).
             int lo = num_tiers - 1, hi = 0;
-            auto widen = [&](CellId c) {
+            for (const Pin& p : pins) {
               const int t = std::clamp(
-                  placement.tier[static_cast<std::size_t>(c)], 0, num_tiers - 1);
+                  placement.tier[static_cast<std::size_t>(p.cell)], 0, num_tiers - 1);
               lo = std::min(lo, t);
               hi = std::max(hi, t);
-            };
-            widen(net.driver.cell);
-            for (const PinRef& s : net.sinks) widen(s.cell);
+            }
             const double w3d = 1.0 / static_cast<double>(hi - lo + 1);
             double ws[kMaxRudyFan];
             std::span<float> maps[kMaxRudyFan];
@@ -167,14 +165,17 @@ FeatureMaps compute_feature_maps(const Netlist& netlist,
             }
             add_net_rudy_multi(grid, bbox, nm, ws, maps);
           } else {
+            // 2D net: every pin sits on one tier, so the first pin's tier is
+            // the net's tier (the legacy code read the driver's).
             const int die = std::clamp(
-                placement.tier[static_cast<std::size_t>(net.driver.cell)], 0,
+                placement.tier[static_cast<std::size_t>(pins[0].cell)], 0,
                 num_tiers - 1);
             add_net_rudy(channel(acc, die, kRudy2D), grid, bbox, 1.0);
           }
 
-          // Pin-based maps: PinRUDY (Eq. 3) and raw pin density.
-          auto add_pin = [&](const PinRef& pin) {
+          // Pin-based maps: PinRUDY (Eq. 3) and raw pin density. Stored pin
+          // order is driver-first, the legacy accumulation order.
+          for (const Pin& pin : pins) {
             const Point pos = placement.pin_position(pin);
             const std::size_t tile = static_cast<std::size_t>(grid.tile_of(pos));
             const int die = std::clamp(
@@ -183,9 +184,7 @@ FeatureMaps compute_feature_maps(const Netlist& netlist,
             channel(acc, die, kPinDensity)[tile] += static_cast<float>(1.0 / tile_area);
             channel(acc, die, is3d ? kPinRudy3D : kPinRudy2D)[tile] +=
                 static_cast<float>(kf);
-          };
-          add_pin(net.driver);
-          for (const PinRef& s : net.sinks) add_pin(s);
+          }
         }
       },
       add_maps);

@@ -35,17 +35,17 @@ struct PinPos {
   double z;       // soft top-die probability of the owning cell
 };
 
-/// Gather pins of a net with positions/z from the coordinate vectors.
-void collect_pins(const Net& net, std::span<const float> x, std::span<const float> y,
-                  std::span<const float> z, std::vector<PinPos>& pins) {
+/// Gather pins of a net with positions/z from the coordinate vectors. Stored
+/// pin order is driver-first, preserving the legacy argmin/argmax indices.
+void collect_pins(const Netlist& nl, NetId ni, std::span<const float> x,
+                  std::span<const float> y, std::span<const float> z,
+                  std::vector<PinPos>& pins) {
   pins.clear();
-  auto add = [&](const PinRef& p) {
+  for (const Pin& p : nl.net_pins(ni)) {
     const auto c = static_cast<std::size_t>(p.cell);
     pins.push_back({p.cell, x[c] + p.offset.x, y[c] + p.offset.y,
                     std::clamp(static_cast<double>(z[c]), 0.0, 1.0)});
-  };
-  add(net.driver);
-  for (const PinRef& s : net.sinks) add(s);
+  }
 }
 
 NetGeom net_geometry(const std::vector<PinPos>& pins, const GCellGrid& grid) {
@@ -145,16 +145,15 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
       add_tensor);
 
   // --- net-driven maps ---
-  const auto& nets = netlist.nets();
+  const auto n_nets = static_cast<std::int64_t>(netlist.num_nets());
   nn::Tensor net_maps = util::parallel_reduce(
-      0, static_cast<std::int64_t>(nets.size()),
-      util::grain_for_chunks(static_cast<std::int64_t>(nets.size()), kScatterChunks),
+      0, n_nets, util::grain_for_chunks(n_nets, kScatterChunks),
       zero,
       [&](std::int64_t b, std::int64_t e, nn::Tensor& acc) {
         std::vector<PinPos> pins;
         for (std::int64_t i = b; i < e; ++i) {
-          const Net& net = nets[static_cast<std::size_t>(i)];
-          collect_pins(net, xs, ys, zs, pins);
+          collect_pins(netlist, static_cast<NetId>(i), xs, ys, zs, pins);
+          if (pins.empty()) continue;
           const NetGeom g = net_geometry(pins, grid);
           const double w3d = std::max(1.0 - g.prod_top - g.prod_bot, 0.0);
 
@@ -236,19 +235,17 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
     struct PosGrads {
       std::vector<double> gx, gy, gz;
     };
-    const auto& nets = nlp->nets();
+    const auto bw_nets = static_cast<std::int64_t>(nlp->num_nets());
     PosGrads net_grads = util::parallel_reduce(
-        0, static_cast<std::int64_t>(nets.size()),
-        util::grain_for_chunks(static_cast<std::int64_t>(nets.size()),
-                               kScatterChunks),
+        0, bw_nets, util::grain_for_chunks(bw_nets, kScatterChunks),
         PosGrads{std::vector<double>(n_cells, 0.0),
                  std::vector<double>(n_cells, 0.0),
                  std::vector<double>(n_cells, 0.0)},
         [&](std::int64_t nb, std::int64_t ne, PosGrads& acc) {
           std::vector<PinPos> pins;
           for (std::int64_t nn_i = nb; nn_i < ne; ++nn_i) {
-            const Net& net = nets[static_cast<std::size_t>(nn_i)];
-            collect_pins(net, xs, ys, zs, pins);
+            collect_pins(*nlp, static_cast<NetId>(nn_i), xs, ys, zs, pins);
+            if (pins.empty()) continue;
             const NetGeom g = net_geometry(pins, grid);
             const double w3d = std::max(1.0 - g.prod_top - g.prod_bot, 0.0);
             const Rect& bb = g.bbox;
@@ -436,18 +433,17 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
       add_tensor);
 
   // --- net-driven maps ---
-  const auto& nets = netlist.nets();
+  const auto n_nets = static_cast<std::int64_t>(netlist.num_nets());
   nn::Tensor net_maps = util::parallel_reduce(
-      0, static_cast<std::int64_t>(nets.size()),
-      util::grain_for_chunks(static_cast<std::int64_t>(nets.size()), kScatterChunks),
+      0, n_nets, util::grain_for_chunks(n_nets, kScatterChunks),
       zero,
       [&](std::int64_t b, std::int64_t e, nn::Tensor& acc) {
         std::vector<PinPos> pins;
         std::vector<double> prod(static_cast<std::size_t>(K));
         for (std::int64_t i = b; i < e; ++i) {
-          const Net& net = nets[static_cast<std::size_t>(i)];
           // z spans are unused here; collect positions with z = 0.
-          collect_pins(net, xs, ys, ps[0], pins);
+          collect_pins(netlist, static_cast<NetId>(i), xs, ys, ps[0], pins);
+          if (pins.empty()) continue;
           const NetGeom g = net_geometry(pins, grid);
           double sum_prod = 0.0;
           for (int t = 0; t < K; ++t) {
@@ -560,11 +556,9 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
       std::vector<double> gx, gy;
       std::vector<std::vector<double>> gp;
     };
-    const auto& nets = nlp->nets();
+    const auto bw_nets = static_cast<std::int64_t>(nlp->num_nets());
     PosGradsK net_grads = util::parallel_reduce(
-        0, static_cast<std::int64_t>(nets.size()),
-        util::grain_for_chunks(static_cast<std::int64_t>(nets.size()),
-                               kScatterChunks),
+        0, bw_nets, util::grain_for_chunks(bw_nets, kScatterChunks),
         PosGradsK{std::vector<double>(n_cells, 0.0),
                   std::vector<double>(n_cells, 0.0),
                   std::vector<std::vector<double>>(
@@ -577,8 +571,8 @@ SoftMaps soft_feature_maps(const Netlist& netlist, const GCellGrid& grid,
           std::vector<double> s2(static_cast<std::size_t>(K));
           std::vector<double> excl(static_cast<std::size_t>(K));
           for (std::int64_t nn_i = nb; nn_i < ne; ++nn_i) {
-            const Net& net = nets[static_cast<std::size_t>(nn_i)];
-            collect_pins(net, xs, ys, ps[0], pins);
+            collect_pins(*nlp, static_cast<NetId>(nn_i), xs, ys, ps[0], pins);
+            if (pins.empty()) continue;
             const NetGeom g = net_geometry(pins, grid);
             double sum_prod = 0.0;
             for (int t = 0; t < K; ++t) {

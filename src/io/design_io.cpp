@@ -66,16 +66,23 @@ void write_design(std::ostream& os, const Netlist& netlist) {
        << '\n';
   }
   for (std::size_t c = 0; c < netlist.num_cells(); ++c) {
-    const Cell& cell = netlist.cell(static_cast<CellId>(c));
-    os << "cell " << cell.name << ' '
-       << lib.type(cell.type).name << ' ' << (cell.fixed ? 1 : 0) << '\n';
+    const auto id = static_cast<CellId>(c);
+    os << "cell " << netlist.cell_name(id) << ' '
+       << lib.type(netlist.cell(id).type).name << ' '
+       << (netlist.cell(id).fixed ? 1 : 0) << '\n';
   }
-  for (const Net& net : netlist.nets()) {
-    os << "net " << net.name << ' ' << net.weight << ' '
-       << (net.is_clock ? 1 : 0) << ' ' << net.driver.cell << ' '
-       << net.driver.offset.x << ' ' << net.driver.offset.y;
-    for (const PinRef& s : net.sinks)
-      os << ' ' << s.cell << ' ' << s.offset.x << ' ' << s.offset.y;
+  for (std::size_t n = 0; n < netlist.num_nets(); ++n) {
+    const auto ni = static_cast<NetId>(n);
+    // Driver first, then sinks in stored order: the on-disk pin order is the
+    // add_net order, so write → read round-trips pin-for-pin.
+    const Pin& d = netlist.net_driver(ni);
+    os << "net " << netlist.net_name(ni) << ' ' << netlist.net_weight(ni) << ' '
+       << (netlist.net_is_clock(ni) ? 1 : 0) << ' ' << d.cell << ' '
+       << d.offset.x << ' ' << d.offset.y;
+    for (const Pin& p : netlist.net_pins(ni)) {
+      if (p.dir != PinDir::kSink) continue;
+      os << ' ' << p.cell << ' ' << p.offset.x << ' ' << p.offset.y;
+    }
     os << '\n';
   }
   if (!os) throw StatusError(Status::io_error("design_io: write failed"));
@@ -166,6 +173,7 @@ Netlist read_design(std::istream& is) {
     if (net.sinks.empty()) fail(ln, "net without sinks");
     netlist.add_net(std::move(net));
   }
+  netlist.freeze();
   return netlist;
 }
 

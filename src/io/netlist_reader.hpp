@@ -1,0 +1,73 @@
+#pragma once
+// Open-format design ingestion: a structural-Verilog subset and the classic
+// Bookshelf (.nodes/.nets/.pl) placement format, both mapped onto the
+// synthetic N3-class library so imported designs flow through place / route /
+// timing / flow unchanged. The exact supported subset, the master-mapping
+// policy, and the constant/unconnected/undriven-pin policies are documented
+// in docs/formats.md; every mapping decision the reader makes is recorded in
+// an ImportReport so nothing happens silently.
+//
+// Both readers return a frozen netlist (cell-side CSR views built); `dco3d
+// import` lints it and writes the standard design artifact (design_io.hpp).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace dco3d {
+
+/// One master-mapping decision: every instance of `master` became the
+/// library cell `mapped_to` via `rule` (exact | function | pin-count |
+/// dimensions).
+struct ImportMapping {
+  std::string master;
+  std::string mapped_to;
+  std::string rule;
+  std::size_t instances = 0;
+};
+
+/// What the reader did with the input (counts + mapping table). See
+/// docs/formats.md for the policies behind each counter.
+struct ImportReport {
+  std::string source;                 // "verilog" or "bookshelf"
+  std::string top;                    // module name / nets-file stem
+  std::size_t cells = 0;
+  std::size_t nets = 0;
+  std::size_t pins = 0;
+  std::size_t ios = 0;                // IO pads synthesized from ports/terminals
+  std::size_t bus_bits = 0;           // wire bits created by bus bit-blasting
+  std::size_t constant_pins = 0;      // pins tied to a literal (dropped)
+  std::size_t unconnected_pins = 0;   // explicitly empty connections (dropped)
+  std::size_t unused_wires = 0;       // declared wires with no pins (dropped)
+  std::size_t undriven_nets = 0;      // nets that got a synthesized tie driver
+  std::vector<ImportMapping> mappings;
+
+  std::string to_string() const;
+};
+
+/// Parse the structural-Verilog subset (module / input / output / wire with
+/// bus ranges, instances with named connections). Throws StatusError
+/// (kInvalidArgument with a line number, or kDataLoss for truncation) on
+/// anything outside the subset. The returned netlist is frozen.
+Netlist read_verilog(std::istream& is, ImportReport* report = nullptr);
+Netlist read_verilog_file(const std::string& path, ImportReport* report = nullptr);
+
+/// Parse a Bookshelf design. `path` may be the .aux file, or any of the
+/// .nodes/.nets/.pl siblings (the rest are derived by extension). The .pl
+/// file is optional; when present and `placement_out` is non-null, the fixed
+/// placement is returned through it (tier 0, outline = bounding box).
+Netlist read_bookshelf(const std::string& path, ImportReport* report = nullptr,
+                       Placement3D* placement_out = nullptr);
+
+/// Export any netlist as structural Verilog in the supported subset (one
+/// wire per net, one instance per cell, pin names Y*/A* encoding direction).
+/// read_verilog() round-trips the result; used by the ingest bench to
+/// produce paper-scale inputs. Requires a frozen netlist.
+void write_verilog(std::ostream& os, const Netlist& netlist,
+                   const std::string& top = "top");
+void write_verilog_file(const std::string& path, const Netlist& netlist,
+                        const std::string& top = "top");
+
+}  // namespace dco3d

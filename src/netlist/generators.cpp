@@ -393,6 +393,7 @@ Netlist generate_design(const DesignSpec& spec) {
     nl.add_net(std::move(net));
   }
 
+  nl.freeze();
   return nl;
 }
 

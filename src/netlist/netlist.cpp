@@ -1,7 +1,6 @@
 #include "netlist/netlist.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <unordered_set>
 
 namespace dco3d {
@@ -22,88 +21,138 @@ std::size_t Netlist::num_ios() const {
   return n;
 }
 
-const std::vector<std::vector<NetId>>& Netlist::cell_nets() const {
-  if (cell_nets_.empty() && !cells_.empty()) {
-    cell_nets_.assign(cells_.size(), {});
-    for (std::size_t ni = 0; ni < nets_.size(); ++ni) {
-      const Net& net = nets_[ni];
-      auto touch = [&](CellId c) {
-        auto& v = cell_nets_[static_cast<std::size_t>(c)];
-        if (v.empty() || v.back() != static_cast<NetId>(ni))
-          v.push_back(static_cast<NetId>(ni));
-      };
-      touch(net.driver.cell);
-      for (const PinRef& s : net.sinks) touch(s.cell);
+void Netlist::freeze() {
+  if (frozen_) return;
+  const std::size_t nc = cells_.size();
+  const std::size_t np = pins_.size();
+
+  // Cell → pin CSR: counting sort by cell, filled in global pin order so a
+  // cell's pins come out net-major (the order every former driver/sink loop
+  // visited them in).
+  cell_pin_off_.assign(nc + 1, 0);
+  for (const Pin& p : pins_)
+    ++cell_pin_off_[static_cast<std::size_t>(p.cell) + 1];
+  for (std::size_t i = 0; i < nc; ++i) cell_pin_off_[i + 1] += cell_pin_off_[i];
+  cell_pin_.resize(np);
+  {
+    std::vector<PinId> cursor(cell_pin_off_.begin(), cell_pin_off_.end() - 1);
+    for (std::size_t pi = 0; pi < np; ++pi) {
+      const auto c = static_cast<std::size_t>(pins_[pi].cell);
+      cell_pin_[static_cast<std::size_t>(cursor[c]++)] = static_cast<PinId>(pi);
     }
   }
-  return cell_nets_;
-}
 
-std::vector<std::pair<std::int64_t, std::int64_t>> Netlist::cell_graph_edges() const {
+  // Cell → net CSR with the legacy consecutive-dedupe rule: a net is
+  // appended to a cell's list unless it was the one most recently appended
+  // there. Reproduces the exact per-cell sequences of the old lazy
+  // cell_nets() cache, so FM gain/move orders (and their tie-breaks) are
+  // unchanged.
+  std::vector<NetId> last(nc, -1);
+  cell_net_off_.assign(nc + 1, 0);
+  for (const Pin& p : pins_) {
+    auto& l = last[static_cast<std::size_t>(p.cell)];
+    if (l != p.net) {
+      l = p.net;
+      ++cell_net_off_[static_cast<std::size_t>(p.cell) + 1];
+    }
+  }
+  for (std::size_t i = 0; i < nc; ++i) cell_net_off_[i + 1] += cell_net_off_[i];
+  cell_net_.resize(static_cast<std::size_t>(cell_net_off_[nc]));
+  last.assign(nc, -1);
+  {
+    std::vector<std::int32_t> cursor(cell_net_off_.begin(), cell_net_off_.end() - 1);
+    for (const Pin& p : pins_) {
+      const auto c = static_cast<std::size_t>(p.cell);
+      if (last[c] != p.net) {
+        last[c] = p.net;
+        cell_net_[static_cast<std::size_t>(cursor[c]++)] = p.net;
+      }
+    }
+  }
+
+  // Cell-graph edges (star model, driver to each sink, deduped in
+  // first-seen order — the same hash-set walk the legacy on-demand builder
+  // used, so the edge list content AND order are identical and every
+  // edge-chunked parallel reduction downstream keeps its accumulation
+  // order).
+  graph_edges_.clear();
   std::unordered_set<std::uint64_t> seen;
-  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
-  for (const Net& net : nets_) {
-    const CellId d = net.driver.cell;
-    for (const PinRef& s : net.sinks) {
-      if (s.cell == d) continue;
-      const auto a = static_cast<std::uint64_t>(std::min(d, s.cell));
-      const auto b = static_cast<std::uint64_t>(std::max(d, s.cell));
+  for (std::size_t ni = 0; ni < net_meta_.size(); ++ni) {
+    const auto pins = net_pins(static_cast<NetId>(ni));
+    CellId d = -1;
+    for (const Pin& p : pins)
+      if (p.dir == PinDir::kDriver) {
+        d = p.cell;
+        break;
+      }
+    if (d < 0) continue;  // driverless raw net: no star edges
+    for (const Pin& p : pins) {
+      if (p.dir != PinDir::kSink || p.cell == d) continue;
+      const auto a = static_cast<std::uint64_t>(std::min(d, p.cell));
+      const auto b = static_cast<std::uint64_t>(std::max(d, p.cell));
       const std::uint64_t key = (a << 32) | b;
       if (seen.insert(key).second)
-        edges.emplace_back(static_cast<std::int64_t>(a), static_cast<std::int64_t>(b));
+        graph_edges_.emplace_back(static_cast<std::int64_t>(a),
+                                  static_cast<std::int64_t>(b));
     }
   }
-  return edges;
+
+  frozen_ = true;
 }
 
-bool is_3d_net(const Net& net, const Placement3D& placement) {
-  const int t0 = placement.tier[static_cast<std::size_t>(net.driver.cell)];
-  for (const PinRef& s : net.sinks)
-    if (placement.tier[static_cast<std::size_t>(s.cell)] != t0) return true;
+bool is_3d_net(const Netlist& netlist, NetId net, const Placement3D& placement) {
+  const auto pins = netlist.net_pins(net);
+  if (pins.empty()) return false;
+  const int t0 = placement.tier[static_cast<std::size_t>(pins[0].cell)];
+  for (std::size_t i = 1; i < pins.size(); ++i)
+    if (placement.tier[static_cast<std::size_t>(pins[i].cell)] != t0) return true;
   return false;
 }
 
-int net_tier_span(const Net& net, const Placement3D& placement) {
-  int lo = placement.tier[static_cast<std::size_t>(net.driver.cell)];
+int net_tier_span(const Netlist& netlist, NetId net, const Placement3D& placement) {
+  const auto pins = netlist.net_pins(net);
+  if (pins.empty()) return 0;
+  int lo = placement.tier[static_cast<std::size_t>(pins[0].cell)];
   int hi = lo;
-  for (const PinRef& s : net.sinks) {
-    const int t = placement.tier[static_cast<std::size_t>(s.cell)];
+  for (std::size_t i = 1; i < pins.size(); ++i) {
+    const int t = placement.tier[static_cast<std::size_t>(pins[i].cell)];
     lo = std::min(lo, t);
     hi = std::max(hi, t);
   }
   return hi - lo;
 }
 
-Rect net_bbox(const Net& net, const Placement3D& placement) {
+Rect net_bbox(const Netlist& netlist, NetId net, const Placement3D& placement) {
   BBox box;
-  box.add(placement.pin_position(net.driver));
-  for (const PinRef& s : net.sinks) box.add(placement.pin_position(s));
+  for (const Pin& p : netlist.net_pins(net)) box.add(placement.pin_position(p));
   return box.rect;
 }
 
-double net_hpwl(const Net& net, const Placement3D& placement, double via_penalty) {
-  const Rect box = net_bbox(net, placement);
+double net_hpwl(const Netlist& netlist, NetId net, const Placement3D& placement,
+                double via_penalty) {
+  const Rect box = net_bbox(netlist, net, placement);
   double wl = box.half_perimeter();
   // One penalty per tier boundary crossed; at two tiers the span of a 3D
   // net is exactly 1 so this reduces to the legacy flat penalty.
   if (via_penalty > 0.0) {
-    const int span = net_tier_span(net, placement);
+    const int span = net_tier_span(netlist, net, placement);
     if (span > 0) wl += via_penalty * static_cast<double>(span);
   }
-  return wl * net.weight;
+  return wl * netlist.net_weight(net);
 }
 
 double total_hpwl(const Netlist& netlist, const Placement3D& placement,
                   double via_penalty) {
   double wl = 0.0;
-  for (const Net& net : netlist.nets()) wl += net_hpwl(net, placement, via_penalty);
+  for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni)
+    wl += net_hpwl(netlist, static_cast<NetId>(ni), placement, via_penalty);
   return wl;
 }
 
 std::size_t count_cut_nets(const Netlist& netlist, const Placement3D& placement) {
   std::size_t n = 0;
-  for (const Net& net : netlist.nets())
-    if (is_3d_net(net, placement)) ++n;
+  for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni)
+    if (is_3d_net(netlist, static_cast<NetId>(ni), placement)) ++n;
   return n;
 }
 
@@ -111,11 +160,13 @@ std::vector<std::size_t> count_tier_pair_cuts(const Netlist& netlist,
                                               const Placement3D& placement) {
   const int boundaries = std::max(placement.num_tiers - 1, 0);
   std::vector<std::size_t> cuts(static_cast<std::size_t>(boundaries), 0);
-  for (const Net& net : netlist.nets()) {
-    int lo = placement.tier[static_cast<std::size_t>(net.driver.cell)];
+  for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
+    const auto pins = netlist.net_pins(static_cast<NetId>(ni));
+    if (pins.empty()) continue;
+    int lo = placement.tier[static_cast<std::size_t>(pins[0].cell)];
     int hi = lo;
-    for (const PinRef& s : net.sinks) {
-      const int t = placement.tier[static_cast<std::size_t>(s.cell)];
+    for (std::size_t i = 1; i < pins.size(); ++i) {
+      const int t = placement.tier[static_cast<std::size_t>(pins[i].cell)];
       lo = std::min(lo, t);
       hi = std::max(hi, t);
     }

@@ -1,32 +1,68 @@
 #pragma once
-// Gate-level netlist data model: cells, nets (driver + sinks with pin
-// offsets), and the 3D placement state (x, y, tier) that every downstream
-// stage (feature maps, router, STA, DCO) operates on.
+// Gate-level netlist data model on flat CSR storage.
+//
+// The authoritative connectivity store is one contiguous pin array: every pin
+// records its cell, its net, its geometric offset from the cell origin, and
+// its direction. Pins are appended net-major at add_net() time (driver first,
+// then sinks in declaration order), so net-side views — net_pins(), the
+// driver, pin counts — are available immediately during construction. The
+// cell-side views (cell→pin, cell→net incidence, and the deduped cell-graph
+// edge list used by the GCN adjacency and the FM partitioner) are offset
+// tables built exactly once by freeze(); after that every accessor is a
+// read-only span lookup, safe to share across threads with no lazy
+// mutable-cache race.
+//
+// Cell and net names are interned into a NamePool (one byte buffer + offset
+// table) so names cost ~len bytes instead of a std::string header each at
+// paper-scale cell counts.
+//
+// Construction goes through NetlistBuilder (generators.hpp), the design/
+// netlist readers (src/io), or direct add_cell/add_net for tests; the Net
+// struct survives as the builder-side input type so those call sites stay
+// source-compatible.
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "netlist/library.hpp"
 #include "util/geometry.hpp"
+#include "util/status.hpp"
 
 namespace dco3d {
 
 using CellId = std::int32_t;
 using NetId = std::int32_t;
+using PinId = std::int32_t;
 
 struct Cell {
-  std::string name;
   CellTypeId type = 0;
   bool fixed = false;  // IO pads and macros after floorplanning
 };
 
-/// A pin: a cell plus the pin's offset from the cell's lower-left corner.
+/// Builder-side pin: a cell plus the pin's offset from the cell's lower-left
+/// corner. Used by the Net builder struct and by Placement3D::pin_position.
 struct PinRef {
   CellId cell = -1;
   Point offset;  // um, relative to cell origin
 };
 
+enum class PinDir : std::uint8_t { kDriver = 0, kSink = 1 };
+
+/// Flat-storage pin record: one entry of the contiguous pin array.
+struct Pin {
+  CellId cell = -1;
+  NetId net = -1;
+  Point offset;  // um, relative to cell origin
+  PinDir dir = PinDir::kSink;
+};
+
+/// Builder input for add_net(): kept source-compatible with the legacy AoS
+/// model so generators and tests construct nets the same way. Storage inside
+/// Netlist is the flat pin array, not this struct.
 struct Net {
   std::string name;
   PinRef driver;
@@ -39,8 +75,29 @@ struct Net {
   std::size_t num_pins() const { return 1 + sinks.size(); }
 };
 
-/// The netlist: owns the library, cells, and nets. Construction goes through
-/// NetlistBuilder (generators.hpp) or direct mutation for tests.
+/// Interned string table: one byte buffer plus an offset table. Ids are
+/// dense and assigned in insertion order; no deduplication (netlist names
+/// are unique by construction, enforced by lint for imported designs).
+class NamePool {
+ public:
+  std::uint32_t add(std::string_view s) {
+    buf_.append(s);
+    off_.push_back(static_cast<std::uint32_t>(buf_.size()));
+    return static_cast<std::uint32_t>(off_.size() - 2);
+  }
+  std::string_view get(std::uint32_t id) const {
+    const std::uint32_t b = off_[id];
+    return {buf_.data() + b, off_[id + 1] - b};
+  }
+  std::size_t size() const { return off_.size() - 1; }
+  std::size_t bytes() const { return buf_.size() + off_.size() * sizeof(std::uint32_t); }
+
+ private:
+  std::string buf_;
+  std::vector<std::uint32_t> off_ = {0};
+};
+
+/// The netlist: owns the library, cells, nets, and the flat pin array.
 class Netlist {
  public:
   /// Empty netlist with an empty library — the "not yet loaded" state of a
@@ -51,26 +108,67 @@ class Netlist {
   const Library& library() const { return lib_; }
   Library& library() { return lib_; }
 
-  CellId add_cell(std::string name, CellTypeId type, bool fixed = false) {
-    cells_.push_back({std::move(name), type, fixed});
+  // ----- construction ------------------------------------------------------
+
+  CellId add_cell(std::string_view name, CellTypeId type, bool fixed = false) {
+    frozen_ = false;
+    cell_name_.push_back(names_.add(name));
+    cells_.push_back({type, fixed});
     return static_cast<CellId>(cells_.size() - 1);
   }
 
-  NetId add_net(Net net) {
-    nets_.push_back(std::move(net));
-    return static_cast<NetId>(nets_.size() - 1);
+  /// Builder-style net: pins are appended driver-first, then sinks in order
+  /// (the iteration order every consumer relied on pre-CSR, preserved so
+  /// floating-point accumulation orders — and therefore golden results —
+  /// stay bit-identical).
+  NetId add_net(const Net& net) {
+    frozen_ = false;
+    const auto ni = static_cast<NetId>(net_meta_.size());
+    net_meta_.push_back({names_.add(net.name), net.weight, net.is_clock});
+    pins_.push_back({net.driver.cell, ni, net.driver.offset, PinDir::kDriver});
+    for (const PinRef& s : net.sinks)
+      pins_.push_back({s.cell, ni, s.offset, PinDir::kSink});
+    net_pin_off_.push_back(static_cast<PinId>(pins_.size()));
+    return ni;
   }
 
+  /// Low-level ingest entry: pins in arbitrary order with explicit
+  /// directions (possibly zero or several drivers — lint_netlist detects
+  /// those; hot paths require exactly one). The pin `net` field is assigned
+  /// here; callers leave it unset.
+  NetId add_net_pins(std::string_view name, std::vector<Pin> pins,
+                     double weight = 1.0, bool is_clock = false) {
+    frozen_ = false;
+    const auto ni = static_cast<NetId>(net_meta_.size());
+    net_meta_.push_back({names_.add(name), weight, is_clock});
+    for (Pin& p : pins) {
+      p.net = ni;
+      pins_.push_back(p);
+    }
+    net_pin_off_.push_back(static_cast<PinId>(pins_.size()));
+    return ni;
+  }
+
+  /// Build the cell-side CSR views (cell→pin, cell→net, cell-graph edges).
+  /// Idempotent; must be called after the last structural edit and before
+  /// any cell-side accessor. add_cell/add_net clear the frozen state.
+  void freeze();
+  bool frozen() const { return frozen_; }
+
+  // ----- sizes -------------------------------------------------------------
+
   std::size_t num_cells() const { return cells_.size(); }
-  std::size_t num_nets() const { return nets_.size(); }
+  std::size_t num_nets() const { return net_meta_.size(); }
+  std::size_t num_pins() const { return pins_.size(); }
+
+  // ----- cell metadata -----------------------------------------------------
 
   const Cell& cell(CellId id) const { return cells_[static_cast<std::size_t>(id)]; }
   Cell& cell(CellId id) { return cells_[static_cast<std::size_t>(id)]; }
-  const Net& net(NetId id) const { return nets_[static_cast<std::size_t>(id)]; }
-  Net& net(NetId id) { return nets_[static_cast<std::size_t>(id)]; }
-
   const std::vector<Cell>& cells() const { return cells_; }
-  const std::vector<Net>& nets() const { return nets_; }
+  std::string_view cell_name(CellId id) const {
+    return names_.get(cell_name_[static_cast<std::size_t>(id)]);
+  }
 
   const CellType& cell_type(CellId id) const { return lib_.type(cell(id).type); }
   double cell_area(CellId id) const { return cell_type(id).area(); }
@@ -88,20 +186,110 @@ class Netlist {
   /// Count of IO pads.
   std::size_t num_ios() const;
 
-  /// Per-cell list of incident nets (computed on demand, cached).
-  const std::vector<std::vector<NetId>>& cell_nets() const;
-  /// Invalidate the cached incidence (call after structural edits).
-  void invalidate_cache() { cell_nets_.clear(); }
+  // ----- net-side views (valid during construction, no freeze needed) ------
 
-  /// Cell-to-cell undirected edges (star model: driver to each sink, deduped).
-  /// Used for the GCN adjacency (§IV-A) and the FM tier partitioner.
-  std::vector<std::pair<std::int64_t, std::int64_t>> cell_graph_edges() const;
+  std::string_view net_name(NetId id) const {
+    return names_.get(net_meta_[static_cast<std::size_t>(id)].name);
+  }
+  double net_weight(NetId id) const {
+    return net_meta_[static_cast<std::size_t>(id)].weight;
+  }
+  bool net_is_clock(NetId id) const {
+    return net_meta_[static_cast<std::size_t>(id)].is_clock;
+  }
+  void set_net_is_clock(NetId id, bool v) {
+    net_meta_[static_cast<std::size_t>(id)].is_clock = v;
+  }
+  void set_net_weight(NetId id, double w) {
+    net_meta_[static_cast<std::size_t>(id)].weight = w;
+  }
+
+  std::size_t net_num_pins(NetId id) const {
+    const auto i = static_cast<std::size_t>(id);
+    return static_cast<std::size_t>(net_pin_off_[i + 1] - net_pin_off_[i]);
+  }
+
+  /// All pins of a net in stored order (driver first for builder-built nets).
+  std::span<const Pin> net_pins(NetId id) const {
+    const auto i = static_cast<std::size_t>(id);
+    return {pins_.data() + net_pin_off_[i],
+            static_cast<std::size_t>(net_pin_off_[i + 1] - net_pin_off_[i])};
+  }
+
+  /// The net's driver pin. Builder-built nets store it first; raw
+  /// add_net_pins nets are scanned (lint rejects driverless / multi-driver
+  /// nets before any hot path sees them).
+  const Pin& net_driver(NetId id) const {
+    for (const Pin& p : net_pins(id))
+      if (p.dir == PinDir::kDriver) return p;
+    throw StatusError(Status::internal("net '" + std::string(net_name(id)) +
+                                       "' has no driver pin"));
+  }
+
+  const Pin& pin(PinId id) const { return pins_[static_cast<std::size_t>(id)]; }
+  const std::vector<Pin>& pins() const { return pins_; }
+
+  // ----- cell-side CSR views (require freeze()) ----------------------------
+
+  /// Ids of the pins on a cell, in global (net-major) pin order.
+  std::span<const PinId> cell_pin_ids(CellId id) const {
+    check_frozen();
+    const auto i = static_cast<std::size_t>(id);
+    return {cell_pin_.data() + cell_pin_off_[i],
+            static_cast<std::size_t>(cell_pin_off_[i + 1] - cell_pin_off_[i])};
+  }
+
+  /// Nets incident to a cell, in net order, consecutive duplicates removed
+  /// (a net touching the cell through several pins in a row appears once —
+  /// the exact sequence the legacy lazy cache produced).
+  std::span<const NetId> cell_nets(CellId id) const {
+    check_frozen();
+    const auto i = static_cast<std::size_t>(id);
+    return {cell_net_.data() + cell_net_off_[i],
+            static_cast<std::size_t>(cell_net_off_[i + 1] - cell_net_off_[i])};
+  }
+
+  /// Cell-to-cell undirected edges (star model: driver to each sink,
+  /// deduped, first-seen order). Used for the GCN adjacency (§IV-A) and the
+  /// FM tier partitioner.
+  const std::vector<std::pair<std::int64_t, std::int64_t>>& cell_graph_edges() const {
+    check_frozen();
+    return graph_edges_;
+  }
+
+  /// Bytes in the interned name pool (telemetry for the ingest bench).
+  std::size_t name_pool_bytes() const { return names_.bytes(); }
 
  private:
+  struct NetMeta {
+    std::uint32_t name = 0;
+    double weight = 1.0;
+    bool is_clock = false;
+  };
+
+  void check_frozen() const {
+    // NDEBUG builds strip assert(); a thrown status keeps the contract
+    // enforced in release at the cost of one predictable branch.
+    if (!frozen_)
+      throw StatusError(Status::internal(
+          "Netlist cell-side accessor before freeze(); call freeze() after "
+          "the last structural edit"));
+  }
+
   Library lib_;
+  NamePool names_;
   std::vector<Cell> cells_;
-  std::vector<Net> nets_;
-  mutable std::vector<std::vector<NetId>> cell_nets_;
+  std::vector<std::uint32_t> cell_name_;
+  std::vector<NetMeta> net_meta_;
+  std::vector<Pin> pins_;                    // net-major, driver first
+  std::vector<PinId> net_pin_off_ = {0};     // num_nets + 1
+  // Frozen cell-side CSR state.
+  bool frozen_ = false;
+  std::vector<PinId> cell_pin_off_;          // num_cells + 1
+  std::vector<PinId> cell_pin_;              // pin ids grouped by cell
+  std::vector<std::int32_t> cell_net_off_;   // num_cells + 1
+  std::vector<NetId> cell_net_;              // incident nets grouped by cell
+  std::vector<std::pair<std::int64_t, std::int64_t>> graph_edges_;
 };
 
 /// 3D placement state: per-cell (x, y) in um plus a tier id in
@@ -128,21 +316,24 @@ struct Placement3D {
   Point pin_position(const PinRef& pin) const {
     return xy[static_cast<std::size_t>(pin.cell)] + pin.offset;
   }
+  Point pin_position(const Pin& pin) const {
+    return xy[static_cast<std::size_t>(pin.cell)] + pin.offset;
+  }
 };
 
 /// Classify a net: 2D if every pin sits on one tier, 3D otherwise (§III-B1).
-bool is_3d_net(const Net& net, const Placement3D& placement);
+bool is_3d_net(const Netlist& netlist, NetId net, const Placement3D& placement);
 
 /// Number of tier boundaries the net crosses: max pin tier minus min pin
 /// tier (0 for a 2D net; equals the via-stack height the router must build).
-int net_tier_span(const Net& net, const Placement3D& placement);
+int net_tier_span(const Netlist& netlist, NetId net, const Placement3D& placement);
 
 /// Bounding box over all pins of the net (all tiers).
-Rect net_bbox(const Net& net, const Placement3D& placement);
+Rect net_bbox(const Netlist& netlist, NetId net, const Placement3D& placement);
 
 /// Half-perimeter wirelength of one net; 3D nets get `via_penalty` um added
 /// per tier boundary crossed (one hop for the two-die stack).
-double net_hpwl(const Net& net, const Placement3D& placement,
+double net_hpwl(const Netlist& netlist, NetId net, const Placement3D& placement,
                 double via_penalty = 0.0);
 
 /// Total HPWL over the design.

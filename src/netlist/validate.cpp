@@ -1,7 +1,9 @@
 #include "netlist/validate.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <sstream>
+#include <unordered_map>
 
 namespace dco3d {
 
@@ -28,49 +30,131 @@ class UnionFind {
 
 }  // namespace
 
+const char* lint_check_name(LintCheck check) {
+  switch (check) {
+    case LintCheck::kPinRefRange: return "pin_ref_range";
+    case LintCheck::kZeroPinNet: return "zero_pin_net";
+    case LintCheck::kSinglePinNet: return "single_pin_net";
+    case LintCheck::kNoDriver: return "no_driver";
+    case LintCheck::kMultiDriverNet: return "multi_driver_net";
+    case LintCheck::kNegativeWeight: return "negative_weight";
+    case LintCheck::kDuplicateCellName: return "duplicate_cell_name";
+    case LintCheck::kSelfLoop: return "self_loop";
+    case LintCheck::kMultiDriverCell: return "multi_driver_cell";
+    case LintCheck::kDanglingCell: return "dangling_cell";
+    case LintCheck::kFragmented: return "fragmented";
+  }
+  return "unknown";
+}
+
 LintReport lint_netlist(const Netlist& netlist) {
   LintReport rep;
   const auto n_cells = static_cast<std::int64_t>(netlist.num_cells());
 
-  auto error = [&](const std::string& w) {
-    rep.issues.push_back({LintSeverity::kError, w});
+  auto error = [&](LintCheck c, const std::string& w) {
+    rep.issues.push_back({LintSeverity::kError, c, w});
   };
-  auto warn = [&](const std::string& w) {
-    rep.issues.push_back({LintSeverity::kWarning, w});
+  auto warn = [&](LintCheck c, const std::string& w) {
+    rep.issues.push_back({LintSeverity::kWarning, c, w});
   };
+  auto name = [&](NetId ni) { return std::string(netlist.net_name(ni)); };
 
   std::vector<int> drives(netlist.num_cells(), 0);
   std::vector<bool> touched(netlist.num_cells(), false);
   UnionFind uf(netlist.num_cells());
 
-  for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
-    const Net& net = netlist.net(static_cast<NetId>(ni));
-    if (net.driver.cell < 0 || net.driver.cell >= n_cells) {
-      error("net '" + net.name + "': driver cell out of range");
+  for (std::size_t i = 0; i < netlist.num_nets(); ++i) {
+    const auto ni = static_cast<NetId>(i);
+    const auto pins = netlist.net_pins(ni);
+
+    if (pins.empty()) {
+      ++rep.empty_nets;
+      error(LintCheck::kZeroPinNet, "net '" + name(ni) + "' has no pins");
       continue;
     }
-    ++drives[static_cast<std::size_t>(net.driver.cell)];
-    touched[static_cast<std::size_t>(net.driver.cell)] = true;
-    if (net.sinks.empty()) {
-      ++rep.empty_nets;
-      error("net '" + net.name + "' has no sinks");
-    }
-    if (net.weight < 0.0)
-      error("net '" + net.name + "' has negative weight");
-    bool self_loop = false;
-    for (const PinRef& s : net.sinks) {
-      if (s.cell < 0 || s.cell >= n_cells) {
-        error("net '" + net.name + "': sink cell out of range");
+
+    // Range-check every pin up front; out-of-range pins are excluded from
+    // the structural checks below so one bad reference reports once.
+    bool in_range = true;
+    int drivers = 0;
+    for (const Pin& p : pins) {
+      if (p.cell < 0 || p.cell >= n_cells) {
+        error(LintCheck::kPinRefRange,
+              "net '" + name(ni) + "': pin references cell " +
+                  std::to_string(p.cell) + " outside [0, " +
+                  std::to_string(n_cells) + ")");
+        in_range = false;
         continue;
       }
-      touched[static_cast<std::size_t>(s.cell)] = true;
-      uf.unite(static_cast<std::size_t>(net.driver.cell),
-               static_cast<std::size_t>(s.cell));
-      self_loop |= s.cell == net.driver.cell;
+      touched[static_cast<std::size_t>(p.cell)] = true;
+      if (p.dir == PinDir::kDriver) {
+        ++drivers;
+        ++drives[static_cast<std::size_t>(p.cell)];
+      }
+    }
+
+    if (pins.size() == 1) {
+      ++rep.empty_nets;
+      error(LintCheck::kSinglePinNet,
+            "net '" + name(ni) + "' has a single pin (drives nothing)");
+    }
+    if (drivers == 0 && in_range) {
+      error(LintCheck::kNoDriver, "net '" + name(ni) + "' has no driver pin");
+    } else if (drivers > 1) {
+      ++rep.multi_driver_nets;
+      error(LintCheck::kMultiDriverNet,
+            "net '" + name(ni) + "' has " + std::to_string(drivers) +
+                " driver pins");
+    }
+    if (netlist.net_weight(ni) < 0.0)
+      error(LintCheck::kNegativeWeight,
+            "net '" + name(ni) + "' has negative weight");
+
+    // Connectivity + self loop, relative to the first in-range driver (or
+    // the first in-range pin for driverless raw nets).
+    CellId anchor = -1;
+    for (const Pin& p : pins)
+      if (p.dir == PinDir::kDriver && p.cell >= 0 && p.cell < n_cells) {
+        anchor = p.cell;
+        break;
+      }
+    if (anchor < 0)
+      for (const Pin& p : pins)
+        if (p.cell >= 0 && p.cell < n_cells) {
+          anchor = p.cell;
+          break;
+        }
+    bool self_loop = false;
+    if (anchor >= 0) {
+      for (const Pin& p : pins) {
+        if (p.cell < 0 || p.cell >= n_cells) continue;
+        uf.unite(static_cast<std::size_t>(anchor),
+                 static_cast<std::size_t>(p.cell));
+        self_loop |= p.dir == PinDir::kSink && p.cell == anchor;
+      }
     }
     if (self_loop) {
       ++rep.self_loop_nets;
-      warn("net '" + net.name + "' drives its own driver (self loop)");
+      warn(LintCheck::kSelfLoop,
+           "net '" + name(ni) + "' drives its own driver (self loop)");
+    }
+  }
+
+  // Duplicate cell names (imported designs key cells by name; a collision
+  // silently merges two instances in any by-name lookup).
+  {
+    std::unordered_map<std::string_view, CellId> by_name;
+    by_name.reserve(netlist.num_cells());
+    for (std::size_t ci = 0; ci < netlist.num_cells(); ++ci) {
+      const auto id = static_cast<CellId>(ci);
+      auto [it, inserted] = by_name.emplace(netlist.cell_name(id), id);
+      if (!inserted) {
+        ++rep.duplicate_names;
+        error(LintCheck::kDuplicateCellName,
+              "duplicate cell name '" + std::string(netlist.cell_name(id)) +
+                  "' (cells " + std::to_string(it->second) + " and " +
+                  std::to_string(id) + ")");
+      }
     }
   }
 
@@ -78,13 +162,16 @@ LintReport lint_netlist(const Netlist& netlist) {
     const auto id = static_cast<CellId>(ci);
     if (drives[ci] > 1) {
       ++rep.multi_driver_cells;
-      warn("cell '" + netlist.cell(id).name + "' drives " +
-           std::to_string(drives[ci]) +
-           " nets (timing model assumes one output net per cell)");
+      warn(LintCheck::kMultiDriverCell,
+           "cell '" + std::string(netlist.cell_name(id)) + "' drives " +
+               std::to_string(drives[ci]) +
+               " nets (timing model assumes one output net per cell)");
     }
     if (!touched[ci] && netlist.is_movable(id)) {
       ++rep.dangling_cells;
-      warn("movable cell '" + netlist.cell(id).name + "' is on no net");
+      warn(LintCheck::kDanglingCell,
+           "movable cell '" + std::string(netlist.cell_name(id)) +
+               "' is on no net");
     }
   }
 
@@ -112,12 +199,21 @@ LintReport lint_netlist(const Netlist& netlist) {
     const double stray =
         1.0 - static_cast<double>(largest) / static_cast<double>(std::max<std::size_t>(total, 1));
     if (stray > 0.05)
-      warn("connectivity is fragmented: " + std::to_string(rep.components) +
-           " components, " + std::to_string(static_cast<int>(stray * 100)) +
-           "% of cells outside the main component");
+      warn(LintCheck::kFragmented,
+           "connectivity is fragmented: " + std::to_string(rep.components) +
+               " components, " + std::to_string(static_cast<int>(stray * 100)) +
+               "% of cells outside the main component");
   }
 
   return rep;
+}
+
+Status lint_status(const LintReport& report) {
+  for (const LintIssue& i : report.issues)
+    if (i.severity == LintSeverity::kError)
+      return Status::invalid_argument(std::string(lint_check_name(i.check)) +
+                                      ": " + i.what);
+  return {};
 }
 
 std::string format_report(const LintReport& report) {
@@ -127,7 +223,7 @@ std::string format_report(const LintReport& report) {
      << " connected component(s)\n";
   for (const LintIssue& i : report.issues)
     ss << (i.severity == LintSeverity::kError ? "  error: " : "  warning: ")
-       << i.what << '\n';
+       << '[' << lint_check_name(i.check) << "] " << i.what << '\n';
   return ss.str();
 }
 

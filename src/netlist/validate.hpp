@@ -1,19 +1,41 @@
 #pragma once
 // Netlist validation / linting: structural invariants a well-formed design
-// must satisfy before entering the flow. Used by the CLI `check` command and
-// recommended after reading external design files.
+// must satisfy before entering the flow. Used by the CLI `check` and `import`
+// commands and run on every externally-read design file.
 
 #include <string>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/status.hpp"
 
 namespace dco3d {
 
 enum class LintSeverity { kError, kWarning };
 
+/// Which invariant an issue comes from. Stable names (lint_check_name) are
+/// part of the CLI/report surface so scripts can distinguish failure classes
+/// without parsing prose.
+enum class LintCheck {
+  kPinRefRange,        // pin references a cell id outside [0, num_cells)
+  kZeroPinNet,         // net with no pins at all
+  kSinglePinNet,       // net with exactly one pin (drives nothing)
+  kNoDriver,           // net with pins but no driver pin
+  kMultiDriverNet,     // net with more than one driver pin
+  kNegativeWeight,     // net weight < 0
+  kDuplicateCellName,  // two cells share a name
+  kSelfLoop,           // driver also appears as a sink (warning)
+  kMultiDriverCell,    // cell drives several nets (warning)
+  kDanglingCell,       // movable cell on no net (warning)
+  kFragmented,         // connectivity split into stray components (warning)
+};
+
+/// Stable lowercase name ("multi_driver_net", "zero_pin_net", ...).
+const char* lint_check_name(LintCheck check);
+
 struct LintIssue {
   LintSeverity severity = LintSeverity::kError;
+  LintCheck check = LintCheck::kPinRefRange;
   std::string what;
 };
 
@@ -22,8 +44,10 @@ struct LintReport {
   // Summary statistics gathered during the walk.
   std::size_t dangling_cells = 0;      // movable cells on no net
   std::size_t multi_driver_cells = 0;  // cells driving more than one net
+  std::size_t multi_driver_nets = 0;   // nets with more than one driver pin
   std::size_t self_loop_nets = 0;      // driver also appears as sink
-  std::size_t empty_nets = 0;          // nets with no sinks
+  std::size_t empty_nets = 0;          // nets with fewer than two pins
+  std::size_t duplicate_names = 0;     // duplicate cell names
   std::size_t components = 0;          // connected components of the graph
 
   bool ok() const {
@@ -38,16 +62,29 @@ struct LintReport {
     return n;
   }
   std::size_t warnings() const { return issues.size() - errors(); }
+
+  /// True if any issue of the given check was recorded.
+  bool has(LintCheck check) const {
+    for (const LintIssue& i : issues)
+      if (i.check == check) return true;
+    return false;
+  }
 };
 
 /// Validate structural invariants:
-///   errors:   out-of-range pin references, nets without sinks,
-///             negative net weights;
+///   errors:   out-of-range pin references, zero-pin / single-pin nets,
+///             driverless and multi-driver nets, negative net weights,
+///             duplicate cell names;
 ///   warnings: dangling movable cells, cells driving multiple nets
 ///             (our timing model assumes one output net per cell),
 ///             self-loop nets, heavily fragmented connectivity
 ///             (more than ~5% of cells in secondary components).
 LintReport lint_netlist(const Netlist& netlist);
+
+/// kOk when the report has no errors; otherwise kInvalidArgument with a
+/// message leading with the distinct check name of the first error (e.g.
+/// "multi_driver_net: net 'x' has 2 driver pins").
+Status lint_status(const LintReport& report);
 
 /// One-line-per-issue rendering.
 std::string format_report(const LintReport& report);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <span>
 #include <vector>
 
 namespace dco3d {
@@ -12,13 +13,12 @@ namespace {
 /// HPWL of all nets incident to one or two cells, given hypothetical x
 /// overrides. Only x matters for the moves in this pass (rows fix y).
 double incident_hpwl(const Netlist& nl, const Placement3D& pl,
-                     const std::vector<NetId>& nets, CellId a, double ax,
+                     std::span<const NetId> nets, CellId a, double ax,
                      CellId b = -1, double bx = 0.0) {
   double total = 0.0;
   for (NetId ni : nets) {
-    const Net& net = nl.net(ni);
     double xlo = 1e300, xhi = -1e300, ylo = 1e300, yhi = -1e300;
-    auto visit = [&](const PinRef& p) {
+    for (const Pin& p : nl.net_pins(ni)) {
       double px = pl.xy[static_cast<std::size_t>(p.cell)].x;
       if (p.cell == a) px = ax;
       if (p.cell == b) px = bx;
@@ -28,19 +28,18 @@ double incident_hpwl(const Netlist& nl, const Placement3D& pl,
       xhi = std::max(xhi, px);
       ylo = std::min(ylo, py);
       yhi = std::max(yhi, py);
-    };
-    visit(net.driver);
-    for (const PinRef& s : net.sinks) visit(s);
-    total += ((xhi - xlo) + (yhi - ylo)) * net.weight;
+    }
+    total += ((xhi - xlo) + (yhi - ylo)) * nl.net_weight(ni);
   }
   return total;
 }
 
 /// Merged, deduplicated incident-net list of one or two cells.
 std::vector<NetId> merged_nets(const Netlist& nl, CellId a, CellId b = -1) {
-  std::vector<NetId> nets = nl.cell_nets()[static_cast<std::size_t>(a)];
+  const auto na = nl.cell_nets(a);
+  std::vector<NetId> nets(na.begin(), na.end());
   if (b >= 0) {
-    const auto& nb = nl.cell_nets()[static_cast<std::size_t>(b)];
+    const auto nb = nl.cell_nets(b);
     nets.insert(nets.end(), nb.begin(), nb.end());
   }
   std::sort(nets.begin(), nets.end());
@@ -55,14 +54,11 @@ std::vector<NetId> merged_nets(const Netlist& nl, CellId a, CellId b = -1) {
 /// typical fanouts).
 double desired_x(const Netlist& nl, const Placement3D& pl, CellId c) {
   std::vector<double> xs;
-  for (NetId ni : nl.cell_nets()[static_cast<std::size_t>(c)]) {
-    const Net& net = nl.net(ni);
-    auto visit = [&](const PinRef& p) {
-      if (p.cell == c) return;
+  for (NetId ni : nl.cell_nets(c)) {
+    for (const Pin& p : nl.net_pins(ni)) {
+      if (p.cell == c) continue;
       xs.push_back(pl.xy[static_cast<std::size_t>(p.cell)].x + p.offset.x);
-    };
-    visit(net.driver);
-    for (const PinRef& s : net.sinks) visit(s);
+    }
   }
   if (xs.empty()) return pl.xy[static_cast<std::size_t>(c)].x;
   std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(xs.size() / 2),
@@ -76,7 +72,6 @@ DetailedStats detailed_place(const Netlist& netlist, Placement3D& placement,
                              const DetailedConfig& cfg) {
   DetailedStats stats;
   stats.hpwl_before = total_hpwl(netlist, placement);
-  netlist.cell_nets();  // build cache
 
   // Bucket movable cells into rows per (tier, y).
   std::map<std::pair<int, long long>, std::vector<CellId>> rows;
@@ -117,7 +112,7 @@ DetailedStats detailed_place(const Netlist& netlist, Placement3D& placement,
         if (hi < lo) continue;  // no slack
         const double target = std::clamp(desired_x(netlist, placement, c), lo, hi);
         if (std::abs(target - placement.xy[ci].x) < 1e-9) continue;
-        const auto nets = netlist.cell_nets()[ci];
+        const auto nets = netlist.cell_nets(c);
         const double before =
             incident_hpwl(netlist, placement, nets, c, placement.xy[ci].x);
         const double after = incident_hpwl(netlist, placement, nets, c, target);

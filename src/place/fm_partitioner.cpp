@@ -9,10 +9,12 @@ namespace dco3d {
 
 std::size_t cut_size(const Netlist& netlist, const std::vector<int>& tiers) {
   std::size_t cut = 0;
-  for (const Net& net : netlist.nets()) {
-    const int t0 = tiers[static_cast<std::size_t>(net.driver.cell)];
-    for (const PinRef& s : net.sinks) {
-      if (tiers[static_cast<std::size_t>(s.cell)] != t0) {
+  for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
+    const auto pins = netlist.net_pins(static_cast<NetId>(ni));
+    if (pins.empty()) continue;
+    const int t0 = tiers[static_cast<std::size_t>(pins[0].cell)];
+    for (std::size_t i = 1; i < pins.size(); ++i) {
+      if (tiers[static_cast<std::size_t>(pins[i].cell)] != t0) {
         ++cut;
         break;
       }
@@ -79,13 +81,9 @@ struct FmState {
     locked.assign(nl.num_cells(), false);
     area.assign(static_cast<std::size_t>(k), 0.0);
     for (std::size_t ni = 0; ni < nl.num_nets(); ++ni) {
-      const Net& net = nl.net(static_cast<NetId>(ni));
-      auto count = [&](CellId c) {
+      for (const Pin& p : nl.net_pins(static_cast<NetId>(ni)))
         ++pins_in[static_cast<std::size_t>(
-            tiers[static_cast<std::size_t>(c)])][ni];
-      };
-      count(net.driver.cell);
-      for (const PinRef& s : net.sinks) count(s.cell);
+            tiers[static_cast<std::size_t>(p.cell)])][ni];
     }
     for (std::size_t ci = 0; ci < nl.num_cells(); ++ci) {
       const auto id = static_cast<CellId>(ci);
@@ -96,11 +94,10 @@ struct FmState {
     }
   }
 
-  int pins_of_self(const Net& net, CellId id) const {
+  int pins_of_self(NetId ni, CellId id) const {
     int my_pins = 0;
-    if (net.driver.cell == id) ++my_pins;
-    for (const PinRef& s : net.sinks)
-      if (s.cell == id) ++my_pins;
+    for (const Pin& p : nl.net_pins(ni))
+      if (p.cell == id) ++my_pins;
     return my_pins;
   }
 
@@ -111,9 +108,8 @@ struct FmState {
   int gain(CellId id, int to) const {
     const int from = tiers[static_cast<std::size_t>(id)];
     int g = 0;
-    for (NetId ni : nl.cell_nets()[static_cast<std::size_t>(id)]) {
-      const Net& net = nl.net(ni);
-      const int my_pins = pins_of_self(net, id);
+    for (NetId ni : nl.cell_nets(id)) {
+      const int my_pins = pins_of_self(ni, id);
       const auto nidx = static_cast<std::size_t>(ni);
       int occupied_before = 0, occupied_after = 0;
       for (int t = 0; t < num_tiers; ++t) {
@@ -148,9 +144,8 @@ struct FmState {
   void move(CellId id, int to) {
     const auto ci = static_cast<std::size_t>(id);
     const int from = tiers[ci];
-    for (NetId ni : nl.cell_nets()[ci]) {
-      const Net& net = nl.net(ni);
-      const int my_pins = pins_of_self(net, id);
+    for (NetId ni : nl.cell_nets(id)) {
+      const int my_pins = pins_of_self(ni, id);
       pins_in[static_cast<std::size_t>(from)][static_cast<std::size_t>(ni)] -=
           my_pins;
       pins_in[static_cast<std::size_t>(to)][static_cast<std::size_t>(ni)] +=
@@ -181,7 +176,6 @@ struct FmState {
 
 std::size_t fm_refine(const Netlist& netlist, std::vector<int>& tiers,
                       const FmConfig& cfg, int num_tiers) {
-  netlist.cell_nets();  // build incidence cache
   for (int pass = 0; pass < cfg.max_passes; ++pass) {
     FmState st(netlist, tiers, num_tiers);
 
@@ -224,21 +218,20 @@ std::size_t fm_refine(const Netlist& netlist, std::vector<int>& tiers,
       st.locked[ci] = true;
       moved.push_back({id, from});
       gain_seq.push_back(g);
-      // Refresh gains of neighbors on touched nets.
-      for (NetId ni : netlist.cell_nets()[ci]) {
-        const Net& net = netlist.net(ni);
-        auto refresh = [&](CellId c) {
+      // Refresh gains of neighbors on touched nets (stored pin order is the
+      // legacy driver-then-sinks visit order).
+      for (NetId ni : netlist.cell_nets(id)) {
+        for (const Pin& p : netlist.net_pins(ni)) {
+          const CellId c = p.cell;
           const auto cj = static_cast<std::size_t>(c);
-          if (st.locked[cj] || !netlist.is_movable(c)) return;
+          if (st.locked[cj] || !netlist.is_movable(c)) continue;
           const auto [ng, nto] = st.best_gain(c);
           if (ng != cached_gain[cj] || nto != cached_to[cj]) {
             cached_gain[cj] = ng;
             cached_to[cj] = nto;
             heap.push({ng, c, nto});
           }
-        };
-        refresh(net.driver.cell);
-        for (const PinRef& s : net.sinks) refresh(s.cell);
+        }
       }
     }
 

@@ -105,10 +105,11 @@ std::vector<double> make_net_weights(const Netlist& netlist,
   const double lp = (params.low_power_placement ? 0.3 : 0.0) +
                     0.1 * params.enhanced_low_power_effort;
   for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
-    const Net& net = netlist.net(static_cast<NetId>(ni));
-    w[ni] = net.weight;
+    const auto id = static_cast<NetId>(ni);
+    w[ni] = netlist.net_weight(id);
     if (lp > 0.0)
-      w[ni] *= 1.0 + lp * std::log2(1.0 + static_cast<double>(net.sinks.size()));
+      w[ni] *= 1.0 + lp * std::log2(1.0 + static_cast<double>(
+                                              netlist.net_num_pins(id) - 1));
   }
   return w;
 }
@@ -172,10 +173,10 @@ void apply_timing_weights(const Netlist& netlist, const Placement3D& pl,
   }
   if (hi - lo < 1e-9) return;
   for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
-    const Net& net = netlist.net(static_cast<NetId>(ni));
-    if (net.is_clock) continue;
+    const auto id = static_cast<NetId>(ni);
+    if (netlist.net_is_clock(id)) continue;
     const double slack =
-        t.cell_slack[static_cast<std::size_t>(net.driver.cell)];
+        t.cell_slack[static_cast<std::size_t>(netlist.net_driver(id).cell)];
     const double crit = (hi - slack) / (hi - lo);  // 1 = most critical
     weights[ni] *= 1.0 + strength * crit * crit;
   }

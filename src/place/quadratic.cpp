@@ -104,18 +104,17 @@ SpdSystem build_b2b_system(const Netlist& netlist, const Placement3D& placement,
       0.002 * (placement.outline.width() + placement.outline.height());
 
   for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
-    const Net& net = netlist.net(static_cast<NetId>(ni));
-    const double wnet = net_weights.empty() ? net.weight : net_weights[ni];
-    if (wnet <= 0.0 || net.num_pins() < 2) continue;
+    const auto id = static_cast<NetId>(ni);
+    const double wnet = net_weights.empty() ? netlist.net_weight(id) : net_weights[ni];
+    if (wnet <= 0.0 || netlist.net_num_pins(id) < 2) continue;
 
     pins.clear();
-    auto add = [&](const PinRef& p) {
+    // Stored pin order is driver-first, matching the legacy driver/sink walk.
+    for (const Pin& p : netlist.net_pins(id)) {
       const Point pos = placement.pin_position(p);
       const double c = (axis == Axis::kX) ? pos.x : pos.y;
       pins.push_back({index.cell_to_idx[static_cast<std::size_t>(p.cell)], c});
-    };
-    add(net.driver);
-    for (const PinRef& s : net.sinks) add(s);
+    }
 
     // Identify boundary pins on this axis.
     std::size_t lo = 0, hi = 0;

@@ -225,13 +225,15 @@ struct NetPlan {
   int span() const { return tier_hi - tier_lo; }
 };
 
-NetPlan plan_net(const Net& net, const Placement3D& placement,
+NetPlan plan_net(const Netlist& netlist, NetId net, const Placement3D& placement,
                  const GCellGrid& grid, int num_tiers) {
   NetPlan plan;
   plan.pts.assign(static_cast<std::size_t>(num_tiers), {});
   std::vector<Point> all;
   int lo = num_tiers, hi = -1;
-  auto add = [&](const PinRef& p) {
+  // Stored pin order is driver-first — the legacy terminal order, which the
+  // MST construction below is sensitive to.
+  for (const Pin& p : netlist.net_pins(net)) {
     const Point pos = placement.pin_position(p);
     const int die = std::clamp(
         placement.tier[static_cast<std::size_t>(p.cell)], 0, num_tiers - 1);
@@ -240,9 +242,7 @@ NetPlan plan_net(const Net& net, const Placement3D& placement,
     lo = std::min(lo, die);
     hi = std::max(hi, die);
     all.push_back(pos);
-  };
-  add(net.driver);
-  for (const PinRef& s : net.sinks) add(s);
+  }
   plan.tier_lo = lo;
   plan.tier_hi = hi;
   plan.is3d = hi > lo;
@@ -305,7 +305,7 @@ RouteResult global_route(const Netlist& netlist, const Placement3D& placement,
       static_cast<std::size_t>(std::max(num_tiers - 1, 0)), 0);
   for (std::size_t ni = 0; ni < n_nets; ++ni) {
     plans[ni] =
-        plan_net(netlist.net(static_cast<NetId>(ni)), placement, grid, num_tiers);
+        plan_net(netlist, static_cast<NetId>(ni), placement, grid, num_tiers);
     if (plans[ni].is3d) {
       vias += static_cast<std::size_t>(plans[ni].span());
       for (int b = plans[ni].tier_lo; b < plans[ni].tier_hi; ++b)
@@ -460,7 +460,7 @@ RouterConfig calibrate_capacity(const Netlist& netlist,
   Ctx ctx{probe, rg};
   for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
     NetPlan plan =
-        plan_net(netlist.net(static_cast<NetId>(ni)), placement, grid, num_tiers);
+        plan_net(netlist, static_cast<NetId>(ni), placement, grid, num_tiers);
     NetRoute route;
     route_net(ctx, plan, route, /*maze=*/false);
   }

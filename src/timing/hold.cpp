@@ -30,17 +30,17 @@ HoldResult run_hold_check(const Netlist& netlist, const Placement3D& placement,
   // cell delay, not the topology).
   std::vector<NetId> out_net(n_cells, -1);
   for (std::size_t ni = 0; ni < n_nets; ++ni)
-    out_net[static_cast<std::size_t>(netlist.net(static_cast<NetId>(ni)).driver.cell)] =
+    out_net[static_cast<std::size_t>(netlist.net_driver(static_cast<NetId>(ni)).cell)] =
         static_cast<NetId>(ni);
   std::vector<double> net_load(n_nets, 0.0);
   for (std::size_t ni = 0; ni < n_nets; ++ni)
     net_load[ni] = net_load_ff(netlist, placement, static_cast<NetId>(ni), cfg);
 
-  auto wire_delay = [&](const Net& net, const PinRef& sink) {
-    const double len = manhattan(placement.pin_position(net.driver),
+  auto wire_delay = [&](const Pin& driver, const Pin& sink) {
+    const double len = manhattan(placement.pin_position(driver),
                                  placement.pin_position(sink));
     double d = 0.5 * (cfg.wire_res_per_um * len) * (cfg.wire_cap_per_um * len) * 1e-3;
-    const int dt = std::abs(placement.tier[static_cast<std::size_t>(net.driver.cell)] -
+    const int dt = std::abs(placement.tier[static_cast<std::size_t>(driver.cell)] -
                             placement.tier[static_cast<std::size_t>(sink.cell)]);
     if (dt > 0) d += cfg.via_delay_ps * static_cast<double>(dt);
     return d * hold_cfg.min_cell_factor;
@@ -50,10 +50,11 @@ HoldResult run_hold_check(const Netlist& netlist, const Placement3D& placement,
   std::vector<double> arrival(n_cells, kInf);
   std::vector<int> indeg(n_cells, 0);
   for (std::size_t ni = 0; ni < n_nets; ++ni) {
-    const Net& net = netlist.net(static_cast<NetId>(ni));
-    if (net.is_clock) continue;
-    for (const PinRef& s : net.sinks)
-      if (!is_launch(s.cell)) ++indeg[static_cast<std::size_t>(s.cell)];
+    const auto id = static_cast<NetId>(ni);
+    if (netlist.net_is_clock(id)) continue;
+    for (const Pin& p : netlist.net_pins(id))
+      if (p.dir == PinDir::kSink && !is_launch(p.cell))
+        ++indeg[static_cast<std::size_t>(p.cell)];
   }
   std::queue<CellId> ready;
   for (std::size_t ci = 0; ci < n_cells; ++ci) {
@@ -82,11 +83,12 @@ HoldResult run_hold_check(const Netlist& netlist, const Placement3D& placement,
       arrival[ci] += (t.intrinsic_delay + t.drive_res * load) *
                      hold_cfg.min_cell_factor;
     if (on < 0) return;
-    const Net& net = netlist.net(on);
-    if (net.is_clock) return;
-    for (const PinRef& s : net.sinks) {
+    if (netlist.net_is_clock(on)) return;
+    const Pin& driver = netlist.net_driver(on);
+    for (const Pin& s : netlist.net_pins(on)) {
+      if (s.dir != PinDir::kSink) continue;
       const auto si = static_cast<std::size_t>(s.cell);
-      const double at = arrival[ci] + wire_delay(net, s);
+      const double at = arrival[ci] + wire_delay(driver, s);
       if (is_launch(s.cell)) {
         endpoint_arrival[si] = std::min(endpoint_arrival[si], at);
       } else {

@@ -31,12 +31,12 @@ std::vector<TimingPath> worst_paths(
     return std::max((*net_length_scale)[ni], 1.0);
   };
   // Must mirror the wire-delay model in sta.cpp.
-  auto wire_delay = [&](const Net& net, const PinRef& sink, std::size_t ni) {
-    const Point a = placement.pin_position(net.driver);
+  auto wire_delay = [&](const Pin& driver, const Pin& sink, std::size_t ni) {
+    const Point a = placement.pin_position(driver);
     const Point b = placement.pin_position(sink);
     const double len = manhattan(a, b) * scale_of(ni);
     double d = 0.5 * (cfg.wire_res_per_um * len) * (cfg.wire_cap_per_um * len) * 1e-3;
-    const int dt = std::abs(placement.tier[static_cast<std::size_t>(net.driver.cell)] -
+    const int dt = std::abs(placement.tier[static_cast<std::size_t>(driver.cell)] -
                             placement.tier[static_cast<std::size_t>(sink.cell)]);
     if (dt > 0) d += cfg.via_delay_ps * static_cast<double>(dt);
     return d;
@@ -56,17 +56,19 @@ std::vector<TimingPath> worst_paths(
   };
   std::vector<EndpointState> ep(n_cells);
   for (std::size_t ni = 0; ni < netlist.num_nets(); ++ni) {
-    const Net& net = netlist.net(static_cast<NetId>(ni));
-    if (net.is_clock) continue;
-    for (const PinRef& s : net.sinks) {
+    const auto id = static_cast<NetId>(ni);
+    if (netlist.net_is_clock(id)) continue;
+    const Pin& driver = netlist.net_driver(id);
+    for (const Pin& s : netlist.net_pins(id)) {
+      if (s.dir != PinDir::kSink) continue;
       const auto si = static_cast<std::size_t>(s.cell);
-      fanin[si].push_back({static_cast<NetId>(ni), net.driver.cell});
+      fanin[si].push_back({id, driver.cell});
       if (is_launch(netlist, s.cell)) {
         const double at =
-            timing.cell_arrival[static_cast<std::size_t>(net.driver.cell)] +
-            wire_delay(net, s, ni);
+            timing.cell_arrival[static_cast<std::size_t>(driver.cell)] +
+            wire_delay(driver, s, ni);
         if (at > ep[si].arrival) {
-          ep[si] = {at, net.driver.cell, static_cast<NetId>(ni)};
+          ep[si] = {at, driver.cell, id};
         }
       }
     }
@@ -116,13 +118,13 @@ std::vector<TimingPath> worst_paths(
       CellId best = -1;
       double best_at = -1e18;
       for (const Fanin& f : fanin[static_cast<std::size_t>(cur)]) {
-        const Net& net = netlist.net(f.net);
+        const Pin& driver = netlist.net_driver(f.net);
         // Locate cur's sink pin on this net for the wire delay.
-        for (const PinRef& s : net.sinks) {
-          if (s.cell != cur) continue;
+        for (const Pin& s : netlist.net_pins(f.net)) {
+          if (s.dir != PinDir::kSink || s.cell != cur) continue;
           const double at =
               timing.cell_arrival[static_cast<std::size_t>(f.driver)] +
-              wire_delay(net, s, static_cast<std::size_t>(f.net));
+              wire_delay(driver, s, static_cast<std::size_t>(f.net));
           if (at > best_at) {
             best_at = at;
             best = f.driver;
@@ -142,11 +144,11 @@ std::vector<TimingPath> worst_paths(
 
 std::string format_path(const Netlist& netlist, const TimingPath& path) {
   std::ostringstream ss;
-  ss << "endpoint " << netlist.cell(path.endpoint).name << "  slack "
+  ss << "endpoint " << netlist.cell_name(path.endpoint) << "  slack "
      << path.slack_ps << " ps  (arrival " << path.arrival_ps << ", required "
      << path.required_ps << ")\n";
   for (const PathPoint& p : path.points) {
-    ss << "  " << netlist.cell(p.cell).name << " ("
+    ss << "  " << netlist.cell_name(p.cell) << " ("
        << netlist.cell_type(p.cell).name << ")  arrival " << p.arrival_ps
        << "  incr " << p.incr_ps << "\n";
   }

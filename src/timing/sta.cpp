@@ -10,14 +10,14 @@ namespace dco3d {
 
 double net_load_ff(const Netlist& netlist, const Placement3D& placement,
                    NetId net_id, const TimingConfig& cfg, double length_scale) {
-  const Net& net = netlist.net(net_id);
   double load = 0.0;
-  for (const PinRef& s : net.sinks) {
-    const CellType& t = netlist.cell_type(s.cell);
+  for (const Pin& p : netlist.net_pins(net_id)) {
+    if (p.dir != PinDir::kSink) continue;
+    const CellType& t = netlist.cell_type(p.cell);
     load += t.input_cap;
   }
-  load += net_hpwl(net, placement) * length_scale * cfg.wire_cap_per_um;
-  if (is_3d_net(net, placement)) load += cfg.via_cap_ff;
+  load += net_hpwl(netlist, net_id, placement) * length_scale * cfg.wire_cap_per_um;
+  if (is_3d_net(netlist, net_id, placement)) load += cfg.via_cap_ff;
   return load;
 }
 
@@ -57,7 +57,7 @@ TimingResult run_sta(const Netlist& netlist, const Placement3D& placement,
   // Map: driving net of each cell (at most one output net in our model).
   std::vector<NetId> out_net(n_cells, -1);
   for (std::size_t ni = 0; ni < n_nets; ++ni)
-    out_net[static_cast<std::size_t>(netlist.net(static_cast<NetId>(ni)).driver.cell)] =
+    out_net[static_cast<std::size_t>(netlist.net_driver(static_cast<NetId>(ni)).cell)] =
         static_cast<NetId>(ni);
 
   // Precompute per-net load, per-sink wire delay, and driver delay pieces.
@@ -80,10 +80,11 @@ TimingResult run_sta(const Netlist& netlist, const Placement3D& placement,
   // every net sink; sinks that are launch points terminate propagation.
   std::vector<int> indeg(n_cells, 0);
   for (std::size_t ni = 0; ni < n_nets; ++ni) {
-    const Net& net = netlist.net(static_cast<NetId>(ni));
-    if (net.is_clock) continue;
-    for (const PinRef& s : net.sinks) {
-      if (!is_launch(s.cell)) ++indeg[static_cast<std::size_t>(s.cell)];
+    const auto id = static_cast<NetId>(ni);
+    if (netlist.net_is_clock(id)) continue;
+    for (const Pin& p : netlist.net_pins(id)) {
+      if (p.dir != PinDir::kSink) continue;
+      if (!is_launch(p.cell)) ++indeg[static_cast<std::size_t>(p.cell)];
     }
   }
 
@@ -110,14 +111,14 @@ TimingResult run_sta(const Netlist& netlist, const Placement3D& placement,
 
   // Process a cell: finalize its output arrival/slew from its inputs, then
   // push arrivals to its sinks.
-  auto wire_delay = [&](const Net& net, const PinRef& sink, std::size_t ni) {
-    const Point a = placement.pin_position(net.driver);
+  auto wire_delay = [&](const Pin& driver, const Pin& sink, std::size_t ni) {
+    const Point a = placement.pin_position(driver);
     const Point b = placement.pin_position(sink);
     const double len = manhattan(a, b) * scale_of(ni);
     const double elmore =
         0.5 * (cfg.wire_res_per_um * len) * (cfg.wire_cap_per_um * len) * 1e-3;
     double d = elmore;
-    const int dt = std::abs(placement.tier[static_cast<std::size_t>(net.driver.cell)] -
+    const int dt = std::abs(placement.tier[static_cast<std::size_t>(driver.cell)] -
                             placement.tier[static_cast<std::size_t>(sink.cell)]);
     if (dt > 0) d += cfg.via_delay_ps * static_cast<double>(dt);
     return d;
@@ -147,13 +148,14 @@ TimingResult run_sta(const Netlist& netlist, const Placement3D& placement,
     res.cell_out_slew[ci] = nd.out_slew;
     res.cell_in_slew[ci] = nd.in_slew;
     if (on < 0) return;
-    const Net& net = netlist.net(on);
-    if (net.is_clock) return;  // clock arcs are handled via CTS skew
-    for (const PinRef& s : net.sinks) {
+    if (netlist.net_is_clock(on)) return;  // clock arcs are handled via CTS skew
+    const Pin& driver = netlist.net_driver(on);
+    for (const Pin& s : netlist.net_pins(on)) {
+      if (s.dir != PinDir::kSink) continue;
       const auto si = static_cast<std::size_t>(s.cell);
-      const double at = nd.arrival + wire_delay(net, s, static_cast<std::size_t>(on));
+      const double at = nd.arrival + wire_delay(driver, s, static_cast<std::size_t>(on));
       const double slew_in = nd.out_slew + 0.01 * manhattan(
-          placement.pin_position(net.driver), placement.pin_position(s));
+          placement.pin_position(driver), placement.pin_position(s));
       NodeState& sn = node[si];
       if (!sn.is_source) {
         sn.arrival = std::max(sn.arrival, at);
@@ -188,17 +190,19 @@ TimingResult run_sta(const Netlist& netlist, const Placement3D& placement,
   // Endpoint sweep: recompute arrivals at capture pins now that all drivers
   // are final.
   for (std::size_t ni = 0; ni < n_nets; ++ni) {
-    const Net& net = netlist.net(static_cast<NetId>(ni));
-    if (net.is_clock) continue;
-    const NodeState& dn = node[static_cast<std::size_t>(net.driver.cell)];
-    for (const PinRef& s : net.sinks) {
+    const auto id = static_cast<NetId>(ni);
+    if (netlist.net_is_clock(id)) continue;
+    const Pin& driver = netlist.net_driver(id);
+    const NodeState& dn = node[static_cast<std::size_t>(driver.cell)];
+    for (const Pin& s : netlist.net_pins(id)) {
+      if (s.dir != PinDir::kSink) continue;
       const auto si = static_cast<std::size_t>(s.cell);
       if (!node[si].is_source) continue;  // combinational sink, not endpoint
-      const double at = dn.arrival + wire_delay(net, s, ni);
+      const double at = dn.arrival + wire_delay(driver, s, ni);
       endpoint_arrival[si] = std::max(endpoint_arrival[si], at);
       endpoint_slew[si] = std::max(
           endpoint_slew[si],
-          dn.out_slew + 0.01 * manhattan(placement.pin_position(net.driver),
+          dn.out_slew + 0.01 * manhattan(placement.pin_position(driver),
                                          placement.pin_position(s)));
     }
   }
@@ -234,9 +238,11 @@ TimingResult run_sta(const Netlist& netlist, const Placement3D& placement,
   std::vector<double> req(n_cells, cfg.clock_period_ps * 4.0);
   // Seed endpoints.
   for (std::size_t ni = 0; ni < n_nets; ++ni) {
-    const Net& net = netlist.net(static_cast<NetId>(ni));
-    if (net.is_clock) continue;
-    for (const PinRef& s : net.sinks) {
+    const auto nid = static_cast<NetId>(ni);
+    if (netlist.net_is_clock(nid)) continue;
+    const Pin& driver = netlist.net_driver(nid);
+    for (const Pin& s : netlist.net_pins(nid)) {
+      if (s.dir != PinDir::kSink) continue;
       const auto si = static_cast<std::size_t>(s.cell);
       if (!node[si].is_source) continue;
       const auto id = static_cast<CellId>(si);
@@ -247,8 +253,8 @@ TimingResult run_sta(const Netlist& netlist, const Placement3D& placement,
         ep_req = cfg.clock_period_ps;
       else
         continue;
-      const auto di = static_cast<std::size_t>(net.driver.cell);
-      req[di] = std::min(req[di], ep_req - wire_delay(net, s, ni));
+      const auto di = static_cast<std::size_t>(driver.cell);
+      req[di] = std::min(req[di], ep_req - wire_delay(driver, s, ni));
     }
   }
   // Relax in reverse topological order (the reverse of the forward
@@ -260,17 +266,18 @@ TimingResult run_sta(const Netlist& netlist, const Placement3D& placement,
       if (node[si].is_source) continue;
       const NetId on = out_net[si];
       if (on < 0) continue;
-      const Net& net = netlist.net(on);
-      if (net.is_clock) continue;
+      if (netlist.net_is_clock(on)) continue;
+      const Pin& driver = netlist.net_driver(on);
       // req(si) = min over fanout sinks of (req(sink) - sink delay - wire);
       // visiting cells in reverse forward order guarantees every
       // combinational sink's req is final before its driver is relaxed.
-      for (const PinRef& s : net.sinks) {
+      for (const Pin& s : netlist.net_pins(on)) {
+        if (s.dir != PinDir::kSink) continue;
         const auto sj = static_cast<std::size_t>(s.cell);
         if (node[sj].is_source) continue;
         const double cand =
             req[sj] - node[sj].delay -
-            wire_delay(net, s, static_cast<std::size_t>(on));
+            wire_delay(driver, s, static_cast<std::size_t>(on));
         if (cand < req[si] - 1e-9) {
           req[si] = cand;
           changed = true;
@@ -296,7 +303,7 @@ TimingResult run_sta(const Netlist& netlist, const Placement3D& placement,
   const double f_ghz = 1000.0 / cfg.clock_period_ps;
   for (std::size_t ni = 0; ni < n_nets; ++ni) {
     const double act =
-        netlist.net(static_cast<NetId>(ni)).is_clock ? 1.0 : cfg.activity;
+        netlist.net_is_clock(static_cast<NetId>(ni)) ? 1.0 : cfg.activity;
     const double p_uw = act * net_load[ni] * cfg.vdd * cfg.vdd * f_ghz * 0.5;
     res.net_switch_mw[ni] = p_uw * 1e-3;
     res.switching_mw += res.net_switch_mw[ni];

@@ -76,6 +76,7 @@ TEST(Detailed, SlidesIsolatedCellToMedian) {
   n2.driver = {mid, {}};
   n2.sinks = {{right, {}}};
   nl.add_net(std::move(n2));
+  nl.freeze();
 
   Placement3D pl = Placement3D::make(3, Rect{0, 0, 10, 0.15});
   pl.xy = {{2, 0.075}, {9.5, 0.0}, {8, 0.075}};
@@ -109,6 +110,7 @@ TEST(Detailed, SwapsCrossedNeighbors) {
   n2.driver = {pl_left, {}};
   n2.sinks = {{b, {}}};
   nl.add_net(std::move(n2));
+  nl.freeze();
 
   Placement3D pl = Placement3D::make(4, Rect{0, 0, 10, 0.15});
   pl.xy = {{0, 0.075}, {10, 0.075}, {4.9, 0.0}, {5.0, 0.0}};  // a left of b

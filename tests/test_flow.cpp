@@ -27,7 +27,7 @@ TEST(Cts, InsertsBuffersAndClockNets) {
   EXPECT_EQ(r.skew_ps.size(), nl.num_cells());
   // Every added net is a clock net driven by a CTS buffer.
   for (std::size_t ni = nets_before; ni < nl.num_nets(); ++ni)
-    EXPECT_TRUE(nl.net(static_cast<NetId>(ni)).is_clock);
+    EXPECT_TRUE(nl.net_is_clock(static_cast<NetId>(ni)));
 }
 
 TEST(Cts, EveryRegisterReached) {
@@ -38,7 +38,7 @@ TEST(Cts, EveryRegisterReached) {
   for (std::size_t ci = 0; ci < nl.num_cells(); ++ci) {
     const auto id = static_cast<CellId>(ci);
     if (nl.is_sequential(id))
-      EXPECT_GT(r.skew_ps[ci], 0.0) << "register " << nl.cell(id).name
+      EXPECT_GT(r.skew_ps[ci], 0.0) << "register " << nl.cell_name(id)
                                     << " not reached by the clock tree";
   }
   EXPECT_GE(r.levels, 2u);

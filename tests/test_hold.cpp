@@ -33,6 +33,7 @@ struct HoldFixture {
     n.driver = {prev, {}};
     n.sinks = {{ff_out, {}}};
     nl.add_net(std::move(n));
+    nl.freeze();
     pl = Placement3D::make(nl.num_cells(), Rect{0, 0, spacing * (chain_len + 3), 10});
     for (std::size_t i = 0; i < pl.size(); ++i)
       pl.xy[i] = {spacing * static_cast<double>(i), 5.0};
@@ -120,6 +121,7 @@ TEST(Hold, NoEndpointsIsClean) {
   n.driver = {a, {}};
   n.sinks = {{b, {}}};
   nl.add_net(std::move(n));
+  nl.freeze();
   Placement3D pl = Placement3D::make(2, Rect{0, 0, 10, 10});
   TimingConfig cfg;
   const HoldResult r = run_hold_check(nl, pl, cfg);

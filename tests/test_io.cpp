@@ -25,20 +25,24 @@ TEST(DesignIo, RoundTripPreservesStructure) {
   ASSERT_EQ(loaded.library().size(), original.library().size());
   for (std::size_t i = 0; i < original.num_cells(); ++i) {
     const auto id = static_cast<CellId>(i);
-    EXPECT_EQ(loaded.cell(id).name, original.cell(id).name);
+    EXPECT_EQ(loaded.cell_name(id), original.cell_name(id));
     EXPECT_EQ(loaded.cell(id).fixed, original.cell(id).fixed);
     EXPECT_EQ(loaded.cell_type(id).name, original.cell_type(id).name);
     EXPECT_DOUBLE_EQ(loaded.cell_area(id), original.cell_area(id));
   }
+  ASSERT_EQ(loaded.num_pins(), original.num_pins());
   for (std::size_t ni = 0; ni < original.num_nets(); ++ni) {
-    const Net& a = original.net(static_cast<NetId>(ni));
-    const Net& b = loaded.net(static_cast<NetId>(ni));
-    EXPECT_EQ(b.driver.cell, a.driver.cell);
-    ASSERT_EQ(b.sinks.size(), a.sinks.size());
-    EXPECT_EQ(b.is_clock, a.is_clock);
-    for (std::size_t s = 0; s < a.sinks.size(); ++s) {
-      EXPECT_EQ(b.sinks[s].cell, a.sinks[s].cell);
-      EXPECT_DOUBLE_EQ(b.sinks[s].offset.x, a.sinks[s].offset.x);
+    const auto id = static_cast<NetId>(ni);
+    const auto pa = original.net_pins(id);
+    const auto pb = loaded.net_pins(id);
+    EXPECT_EQ(loaded.net_name(id), original.net_name(id));
+    EXPECT_EQ(loaded.net_is_clock(id), original.net_is_clock(id));
+    ASSERT_EQ(pb.size(), pa.size());
+    for (std::size_t s = 0; s < pa.size(); ++s) {
+      EXPECT_EQ(pb[s].cell, pa[s].cell);
+      EXPECT_EQ(pb[s].dir, pa[s].dir);
+      EXPECT_DOUBLE_EQ(pb[s].offset.x, pa[s].offset.x);
+      EXPECT_DOUBLE_EQ(pb[s].offset.y, pa[s].offset.y);
     }
   }
 }

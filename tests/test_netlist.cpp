@@ -72,13 +72,13 @@ TEST(Netlist, HpwlAndBBox) {
   net.driver = {a, {0, 0}};
   net.sinks.push_back({b, {0, 0}});
   nl.add_net(std::move(net));
+  nl.freeze();
 
   Placement3D pl = Placement3D::make(2, Rect{0, 0, 10, 10});
   pl.xy[0] = {1, 1};
   pl.xy[1] = {4, 5};
-  const Net& n0 = nl.net(0);
-  EXPECT_DOUBLE_EQ(net_hpwl(n0, pl), 7.0);
-  const Rect box = net_bbox(n0, pl);
+  EXPECT_DOUBLE_EQ(net_hpwl(nl, 0, pl), 7.0);
+  const Rect box = net_bbox(nl, 0, pl);
   EXPECT_DOUBLE_EQ(box.xlo, 1.0);
   EXPECT_DOUBLE_EQ(box.yhi, 5.0);
 }
@@ -92,34 +92,79 @@ TEST(Netlist, Is3dNetAndCut) {
   net.driver = {a, {}};
   net.sinks.push_back({b, {}});
   nl.add_net(std::move(net));
+  nl.freeze();
 
   Placement3D pl = Placement3D::make(2, Rect{0, 0, 1, 1});
-  EXPECT_FALSE(is_3d_net(nl.net(0), pl));
+  EXPECT_FALSE(is_3d_net(nl, 0, pl));
   EXPECT_EQ(count_cut_nets(nl, pl), 0u);
   pl.tier[1] = 1;
-  EXPECT_TRUE(is_3d_net(nl.net(0), pl));
+  EXPECT_TRUE(is_3d_net(nl, 0, pl));
   EXPECT_EQ(count_cut_nets(nl, pl), 1u);
   // Via penalty applies only to 3D nets.
-  EXPECT_GT(net_hpwl(nl.net(0), pl, 3.0), net_hpwl(nl.net(0), pl, 0.0));
+  EXPECT_GT(net_hpwl(nl, 0, pl, 3.0), net_hpwl(nl, 0, pl, 0.0));
 }
 
 TEST(Netlist, CellNetsIncidence) {
   const Netlist nl = testing::tiny_design();
-  const auto& incidence = nl.cell_nets();
-  ASSERT_EQ(incidence.size(), nl.num_cells());
-  // Verify against a brute-force recount for a few cells.
+  ASSERT_TRUE(nl.frozen());
+  // Verify the cell-side CSR against a brute-force recount for a few cells.
   for (CellId c : {CellId{0}, CellId{5}, CellId{20}}) {
     std::set<NetId> expect;
     for (std::size_t ni = 0; ni < nl.num_nets(); ++ni) {
-      const Net& net = nl.net(static_cast<NetId>(ni));
-      bool touches = net.driver.cell == c;
-      for (const PinRef& s : net.sinks) touches |= s.cell == c;
+      bool touches = false;
+      for (const Pin& p : nl.net_pins(static_cast<NetId>(ni)))
+        touches |= p.cell == c;
       if (touches) expect.insert(static_cast<NetId>(ni));
     }
-    std::set<NetId> got(incidence[static_cast<std::size_t>(c)].begin(),
-                        incidence[static_cast<std::size_t>(c)].end());
+    const auto span = nl.cell_nets(c);
+    std::set<NetId> got(span.begin(), span.end());
     EXPECT_EQ(got, expect) << "cell " << c;
   }
+}
+
+TEST(Netlist, CellNetsThrowsBeforeFreeze) {
+  Netlist nl(Library::make_default());
+  const CellTypeId inv = nl.library().smallest(CellFunction::kInv);
+  const CellId a = nl.add_cell("a", inv);
+  const CellId b = nl.add_cell("b", inv);
+  Net net;
+  net.driver = {a, {}};
+  net.sinks.push_back({b, {}});
+  nl.add_net(std::move(net));
+  EXPECT_THROW((void)nl.cell_nets(a), StatusError);
+  EXPECT_THROW((void)nl.cell_pin_ids(a), StatusError);
+  EXPECT_THROW((void)nl.cell_graph_edges(), StatusError);
+  nl.freeze();
+  EXPECT_EQ(nl.cell_nets(a).size(), 1u);
+  EXPECT_EQ(nl.cell_pin_ids(a).size(), 1u);
+  // Mutation invalidates the frozen views again.
+  nl.add_cell("c", inv);
+  EXPECT_FALSE(nl.frozen());
+  EXPECT_THROW((void)nl.cell_nets(a), StatusError);
+}
+
+TEST(Netlist, PinStorageDriverFirst) {
+  const Netlist nl = testing::tiny_design();
+  for (std::size_t ni = 0; ni < nl.num_nets(); ++ni) {
+    const auto pins = nl.net_pins(static_cast<NetId>(ni));
+    ASSERT_FALSE(pins.empty());
+    EXPECT_EQ(pins[0].dir, PinDir::kDriver);
+    for (std::size_t k = 1; k < pins.size(); ++k)
+      EXPECT_EQ(pins[k].dir, PinDir::kSink);
+    EXPECT_EQ(&nl.net_driver(static_cast<NetId>(ni)), &pins[0]);
+  }
+}
+
+TEST(Netlist, CellPinCsrCoversAllPins) {
+  const Netlist nl = testing::tiny_design();
+  std::size_t total = 0;
+  for (std::size_t ci = 0; ci < nl.num_cells(); ++ci) {
+    for (PinId pid : nl.cell_pin_ids(static_cast<CellId>(ci))) {
+      EXPECT_EQ(nl.pin(pid).cell, static_cast<CellId>(ci));
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, nl.num_pins());
 }
 
 TEST(Netlist, CellGraphEdgesUndirectedUnique) {
@@ -157,11 +202,13 @@ TEST_P(GeneratorTest, Deterministic) {
   const Netlist b = generate_design(spec);
   ASSERT_EQ(a.num_cells(), b.num_cells());
   ASSERT_EQ(a.num_nets(), b.num_nets());
-  for (std::size_t ni = 0; ni < a.num_nets(); ++ni) {
-    const Net& na = a.net(static_cast<NetId>(ni));
-    const Net& nb = b.net(static_cast<NetId>(ni));
-    ASSERT_EQ(na.driver.cell, nb.driver.cell);
-    ASSERT_EQ(na.sinks.size(), nb.sinks.size());
+  ASSERT_EQ(a.num_pins(), b.num_pins());
+  for (std::size_t pi = 0; pi < a.num_pins(); ++pi) {
+    const Pin& pa = a.pin(static_cast<PinId>(pi));
+    const Pin& pb = b.pin(static_cast<PinId>(pi));
+    ASSERT_EQ(pa.cell, pb.cell);
+    ASSERT_EQ(pa.net, pb.net);
+    ASSERT_EQ(pa.dir, pb.dir);
   }
 }
 
@@ -169,27 +216,23 @@ TEST_P(GeneratorTest, EveryMovableCellConnected) {
   const DesignSpec spec = spec_for(GetParam(), 0.01);
   const Netlist nl = generate_design(spec);
   std::vector<bool> touched(nl.num_cells(), false);
-  for (const Net& net : nl.nets()) {
-    touched[static_cast<std::size_t>(net.driver.cell)] = true;
-    for (const PinRef& s : net.sinks)
-      touched[static_cast<std::size_t>(s.cell)] = true;
-  }
+  for (const Pin& p : nl.pins())
+    touched[static_cast<std::size_t>(p.cell)] = true;
   for (std::size_t i = 0; i < nl.num_cells(); ++i) {
     if (nl.is_movable(static_cast<CellId>(i)))
-      EXPECT_TRUE(touched[i]) << nl.cell(static_cast<CellId>(i)).name;
+      EXPECT_TRUE(touched[i]) << nl.cell_name(static_cast<CellId>(i));
   }
 }
 
 TEST_P(GeneratorTest, ValidPinReferences) {
   const DesignSpec spec = spec_for(GetParam(), 0.01);
   const Netlist nl = generate_design(spec);
-  for (const Net& net : nl.nets()) {
-    ASSERT_GE(net.driver.cell, 0);
-    ASSERT_LT(static_cast<std::size_t>(net.driver.cell), nl.num_cells());
-    ASSERT_FALSE(net.sinks.empty());
-    for (const PinRef& s : net.sinks) {
-      ASSERT_GE(s.cell, 0);
-      ASSERT_LT(static_cast<std::size_t>(s.cell), nl.num_cells());
+  for (std::size_t ni = 0; ni < nl.num_nets(); ++ni) {
+    const auto pins = nl.net_pins(static_cast<NetId>(ni));
+    ASSERT_GE(pins.size(), 2u);
+    for (const Pin& p : pins) {
+      ASSERT_GE(p.cell, 0);
+      ASSERT_LT(static_cast<std::size_t>(p.cell), nl.num_cells());
     }
   }
 }
@@ -219,9 +262,8 @@ TEST(Generators, LdpcIsLessLocalThanVga) {
   const Netlist ldpc = generate_design(spec_for(DesignKind::kLdpc, 0.02));
   const Netlist vga = generate_design(spec_for(DesignKind::kVga, 0.02));
   auto avg_pins = [](const Netlist& nl) {
-    double s = 0.0;
-    for (const Net& n : nl.nets()) s += static_cast<double>(n.num_pins());
-    return s / static_cast<double>(nl.num_nets());
+    return static_cast<double>(nl.num_pins()) /
+           static_cast<double>(nl.num_nets());
   };
   // Both are valid netlists; the structural knob we rely on for congestion
   // is connectivity spread, which correlates with pins-per-net here.

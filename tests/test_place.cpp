@@ -167,6 +167,7 @@ TEST(Fm, CutSizeCountsSpanningNets) {
   n1.driver = {2, {}};
   n1.sinks = {{3, {}}};
   nl.add_net(std::move(n1));
+  nl.freeze();
   EXPECT_EQ(cut_size(nl, {0, 0, 1, 1}), 0u);
   EXPECT_EQ(cut_size(nl, {0, 1, 0, 1}), 2u);
 }
@@ -245,7 +246,7 @@ TEST(Legalize, AvoidsMacros) {
       const CellType& t = nl.cell_type(id);
       const Rect r{pl.xy[i].x, pl.xy[i].y, pl.xy[i].x + t.width,
                    pl.xy[i].y + t.height};
-      EXPECT_LE(mr.overlap_area(r), 1e-9) << nl.cell(id).name;
+      EXPECT_LE(mr.overlap_area(r), 1e-9) << nl.cell_name(id);
     }
   }
 }

@@ -28,6 +28,7 @@ struct PathFixture {
       n.sinks = {{chain[i + 1], {}}};
       nl.add_net(std::move(n));
     }
+    nl.freeze();
     pl = Placement3D::make(4, Rect{0, 0, 40, 10});
     for (int i = 0; i < 4; ++i) pl.xy[static_cast<std::size_t>(i)] = {10.0 * i, 5.0};
   }
@@ -107,7 +108,7 @@ TEST(Report, PathsEndAtLaunchPoints) {
     for (std::size_t i = 1; i + 1 < p.points.size(); ++i) {
       const CellId mid = p.points[i].cell;
       EXPECT_FALSE(nl.is_sequential(mid) || nl.is_io(mid) || nl.is_macro(mid))
-          << "interior point " << nl.cell(mid).name << " is a launch point";
+          << "interior point " << nl.cell_name(mid) << " is a launch point";
     }
   }
 }
@@ -136,6 +137,7 @@ TEST(Report, EmptyWhenNoEndpoints) {
   n.driver = {a, {}};
   n.sinks = {{b, {}}};
   nl.add_net(std::move(n));
+  nl.freeze();
   Placement3D pl = Placement3D::make(2, Rect{0, 0, 10, 10});
   TimingConfig cfg;
   const TimingResult t = run_sta(nl, pl, cfg);

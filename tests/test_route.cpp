@@ -23,6 +23,7 @@ struct TwoCellFixture {
     n.driver = {0, {}};
     n.sinks = {{1, {}}};
     nl.add_net(std::move(n));
+    nl.freeze();
     pl = Placement3D::make(2, Rect{0, 0, 16, 16});
     pl.xy = {a, b};
     pl.tier = {tier_a, tier_b};
@@ -77,6 +78,7 @@ TEST(Router, OverflowWhenCapacityExceeded) {
     n.sinks = {{b, {}}};
     nl.add_net(std::move(n));
   }
+  nl.freeze();
   Placement3D pl = Placement3D::make(2 * kNets, Rect{0, 0, 16, 16});
   for (int i = 0; i < kNets; ++i) {
     // All nets from left column to right column through the same row.
@@ -105,6 +107,7 @@ TEST(Router, RipUpReroutesReducesOverflow) {
     n.sinks = {{b, {}}};
     nl.add_net(std::move(n));
   }
+  nl.freeze();
   Placement3D pl = Placement3D::make(2 * kNets, Rect{0, 0, 16, 16});
   for (int i = 0; i < kNets; ++i) {
     pl.xy[static_cast<std::size_t>(2 * i)] = {1.0, 8.5};
@@ -138,6 +141,7 @@ TEST(Router, MacroBlockageReducesCapacity) {
   n.driver = {a, {}};
   n.sinks = {{b, {}}};
   nl.add_net(std::move(n));
+  nl.freeze();
   Placement3D pl = Placement3D::make(3, Rect{0, 0, 16, 16});
   pl.xy = {{4, 4}, {1, 8}, {15, 8}};  // macro center-left, net crossing it
   const GCellGrid grid(pl.outline, 8, 8);
@@ -193,6 +197,7 @@ TEST(Router, MultiPinNetSpansAllPins) {
   n.driver = {a, {}};
   n.sinks = {{b, {}}, {c, {}}};
   nl.add_net(std::move(n));
+  nl.freeze();
   Placement3D pl = Placement3D::make(3, Rect{0, 0, 16, 16});
   pl.xy = {{1, 1}, {15, 1}, {1, 15}};
   const GCellGrid grid(pl.outline, 8, 8);

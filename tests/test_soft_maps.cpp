@@ -25,6 +25,7 @@ Netlist two_net_design() {
   n1.driver = {2, {}};
   n1.sinks = {{3, {}}};
   nl.add_net(std::move(n1));
+  nl.freeze();
   return nl;
 }
 
@@ -164,6 +165,7 @@ TEST(SoftMaps, PositionGradientPushesExtremePins) {
   n.driver = {0, {}};
   n.sinks = {{1, {}}};
   nl.add_net(std::move(n));
+  nl.freeze();
   const GCellGrid grid(Rect{0, 0, 16, 16}, 8, 8);
 
   auto loss_at = [&](double xb) {
@@ -219,6 +221,7 @@ TEST(SoftMaps, ClampedBBoxSkipsPositionGradient) {
   n.driver = {0, {}};
   n.sinks = {{1, {}}};
   nl.add_net(std::move(n));
+  nl.freeze();
   const GCellGrid grid(Rect{0, 0, 16, 16}, 8, 8);
   Coords c = make_coords({5.0, 5.0}, {5.0, 5.0}, {0.0, 0.0});
   const SoftMaps maps = soft_feature_maps(nl, grid, c.x, c.y, c.z);

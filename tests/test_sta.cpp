@@ -34,6 +34,7 @@ struct ChainFixture {
       nl.add_net(std::move(n));
       prev = next;
     }
+    nl.freeze();
     const auto n_cells = nl.num_cells();
     pl = Placement3D::make(n_cells, Rect{0, 0, spacing * (length + 2), 10});
     for (std::size_t i = 0; i < n_cells; ++i)
@@ -165,6 +166,7 @@ TEST(Sta, ClockNetsExcludedFromDataArcs) {
   clk.sinks = {{ff, {}}};
   clk.is_clock = true;
   nl.add_net(std::move(clk));
+  nl.freeze();
   Placement3D pl = Placement3D::make(2, Rect{0, 0, 10, 10});
   pl.xy = {{1, 1}, {9, 9}};
   TimingConfig cfg;
@@ -184,11 +186,12 @@ TEST(Sta, ClockNetsBurnSwitchingPower) {
   data.driver = {cb, {}};
   data.sinks = {{s, {}}};
   nl.add_net(std::move(data));
+  nl.freeze();
   Placement3D pl = Placement3D::make(2, Rect{0, 0, 10, 10});
   pl.xy = {{1, 1}, {9, 9}};
   TimingConfig cfg;
   const TimingResult as_data = run_sta(nl, pl, cfg);
-  nl.net(0).is_clock = true;
+  nl.set_net_is_clock(0, true);
   const TimingResult as_clock = run_sta(nl, pl, cfg);
   // Clock activity 1.0 vs data activity 0.15.
   EXPECT_GT(as_clock.net_switch_mw[0], as_data.net_switch_mw[0] * 5.0);
@@ -203,6 +206,7 @@ TEST(Sta, NetLoadIncludesPinsWireAndVia) {
   n.driver = {a, {}};
   n.sinks = {{b, {}}};
   nl.add_net(std::move(n));
+  nl.freeze();
   Placement3D pl = Placement3D::make(2, Rect{0, 0, 100, 100});
   pl.xy = {{0, 0}, {30, 40}};
   TimingConfig cfg;

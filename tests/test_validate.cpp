@@ -112,5 +112,77 @@ TEST(Lint, FormatMentionsCounts) {
   EXPECT_NE(s.find("component"), std::string::npos);
 }
 
+TEST(Lint, DetectsZeroPinNet) {
+  Netlist nl(Library::make_default());
+  nl.add_cell("a", nl.library().smallest(CellFunction::kInv));
+  nl.add_net_pins("hollow", {});
+  const LintReport rep = lint_netlist(nl);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(rep.has(LintCheck::kZeroPinNet));
+  const Status st = lint_status(rep);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("zero_pin_net"), std::string::npos);
+}
+
+TEST(Lint, DetectsMultiDriverNet) {
+  Netlist nl(Library::make_default());
+  const CellTypeId inv = nl.library().smallest(CellFunction::kInv);
+  const CellId a = nl.add_cell("a", inv);
+  const CellId b = nl.add_cell("b", inv);
+  const CellId c = nl.add_cell("c", inv);
+  nl.add_net_pins("contested", {{a, -1, {}, PinDir::kDriver},
+                                {b, -1, {}, PinDir::kDriver},
+                                {c, -1, {}, PinDir::kSink}});
+  const LintReport rep = lint_netlist(nl);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.multi_driver_nets, 1u);
+  EXPECT_TRUE(rep.has(LintCheck::kMultiDriverNet));
+}
+
+TEST(Lint, DetectsNoDriverNet) {
+  Netlist nl(Library::make_default());
+  const CellTypeId inv = nl.library().smallest(CellFunction::kInv);
+  const CellId a = nl.add_cell("a", inv);
+  const CellId b = nl.add_cell("b", inv);
+  nl.add_net_pins("undriven", {{a, -1, {}, PinDir::kSink},
+                               {b, -1, {}, PinDir::kSink}});
+  const LintReport rep = lint_netlist(nl);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(rep.has(LintCheck::kNoDriver));
+}
+
+TEST(Lint, DetectsDanglingPinReference) {
+  Netlist nl(Library::make_default());
+  const CellTypeId inv = nl.library().smallest(CellFunction::kInv);
+  const CellId a = nl.add_cell("a", inv);
+  nl.add_net_pins("wild", {{a, -1, {}, PinDir::kDriver},
+                           {99, -1, {}, PinDir::kSink}});
+  const LintReport rep = lint_netlist(nl);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(rep.has(LintCheck::kPinRefRange));
+  const Status st = lint_status(rep);
+  EXPECT_NE(st.message().find("pin_ref_range"), std::string::npos);
+}
+
+TEST(Lint, DetectsDuplicateCellNames) {
+  Netlist nl(Library::make_default());
+  const CellTypeId inv = nl.library().smallest(CellFunction::kInv);
+  const CellId a = nl.add_cell("u0", inv);
+  const CellId b = nl.add_cell("u0", inv);
+  Net n;
+  n.driver = {a, {}};
+  n.sinks = {{b, {}}};
+  nl.add_net(std::move(n));
+  const LintReport rep = lint_netlist(nl);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.duplicate_names, 1u);
+  EXPECT_TRUE(rep.has(LintCheck::kDuplicateCellName));
+}
+
+TEST(Lint, CleanNetlistHasOkStatus) {
+  const Netlist nl = testing::tiny_design(150);
+  EXPECT_TRUE(lint_status(lint_netlist(nl)).ok());
+}
+
 }  // namespace
 }  // namespace dco3d

@@ -3,6 +3,7 @@
 //   bench_report kernels [-o BENCH_kernels.json] [--scale S] [--reps N]
 //   bench_report flow    [-o BENCH_flow.json]    [--scale S] [--grid N]
 //   bench_report search  [-o BENCH_search.json]  [--scale S] [--grid N]
+//   bench_report ingest  [-o BENCH_ingest.json]  [--scale S] [--grid N]
 //   bench_report compare --baseline FILE [--threshold T] [--scale S]
 //                        [--reps N] [--grid N]
 //
@@ -18,6 +19,10 @@
 // promotion through a fresh artifact cache) and records total/per-round
 // wall time plus rounds/sec, the cache hit rate, and the cheap-vs-full
 // evaluation split (docs/search.md).
+// `ingest` times open-format ingestion at paper scale: a generated design is
+// exported as structural Verilog and re-imported (parse + master mapping +
+// freeze) then run through one cheap-fidelity flow, at 1x/4x/10x of the
+// default benchmark scale (docs/formats.md).
 //
 // `compare` closes the perf-trajectory loop: it re-measures the suite named
 // by the baseline file's schema and fails (exit 1) if any kernel's fresh p50
@@ -38,12 +43,15 @@
 #include <cstring>
 #include <filesystem>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/losses.hpp"
 #include "flow/cache.hpp"
+#include "flow/pin3d.hpp"
 #include "flow/stage.hpp"
+#include "io/netlist_reader.hpp"
 #include "search/evaluator.hpp"
 #include "search/searcher.hpp"
 #include "grid/soft_maps.hpp"
@@ -464,6 +472,89 @@ int run_search(int argc, char** argv) {
   return 0;
 }
 
+// --- ingest mode ------------------------------------------------------------
+
+struct IngestSuite {
+  std::string design;
+  std::size_t cells = 0, nets = 0;  // at the largest multiplier
+  std::vector<Entry> entries;       // ingest_{parse,flow}_{1,4,10}x
+  std::string scales_json;
+};
+
+/// Open-format ingestion cost at paper scale: each multiplier of the default
+/// benchmark scale (0.04) is exported as structural Verilog, re-imported
+/// (lex + parse + master mapping + freeze, all inside read_verilog), and
+/// pushed through one cheap-fidelity flow (grid 8). One-shot wall times,
+/// like the flow suite — ingestion is dominated by a single cold pass.
+IngestSuite measure_ingest(double base_scale, int grid_n) {
+  IngestSuite suite;
+  const int mults[] = {1, 4, 10};
+  for (std::size_t mi = 0; mi < 3; ++mi) {
+    const int mult = mults[mi];
+    DesignSpec spec = spec_for(DesignKind::kDma, base_scale * mult);
+    const Netlist generated = generate_design(spec);
+    std::stringstream verilog;
+    write_verilog(verilog, generated, spec.name);
+    const std::string tag = std::to_string(mult) + "x";
+
+    const auto t0 = std::chrono::steady_clock::now();
+    ImportReport rep;
+    const Netlist imported = read_verilog(verilog, &rep);
+    const double parse_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+
+    FlowConfig cfg;
+    cfg.grid_nx = cfg.grid_ny = grid_n;
+    const auto t1 = std::chrono::steady_clock::now();
+    const FlowResult r = run_pin3d_flow(imported, cfg);
+    const double flow_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t1)
+                               .count();
+
+    suite.design = spec.name;
+    suite.cells = imported.num_cells();
+    suite.nets = imported.num_nets();
+    suite.entries.push_back({"ingest_parse_" + tag, parse_ms});
+    suite.entries.push_back({"ingest_flow_" + tag, flow_ms});
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s{\"mult\":%d,\"cells\":%zu,\"nets\":%zu}",
+                  mi ? "," : "", mult, imported.num_cells(),
+                  imported.num_nets());
+    suite.scales_json += buf;
+    std::printf("ingest %dx: %zu cells, parse %.1f ms, flow %.1f ms "
+                "(signoff WL %.1f um)\n",
+                mult, imported.num_cells(), parse_ms, flow_ms,
+                r.signoff.wirelength_um);
+  }
+  return suite;
+}
+
+int run_ingest(int argc, char** argv) {
+  const std::string out = arg_str(argc, argv, "-o", "BENCH_ingest.json");
+  const double scale = arg_num(argc, argv, "--scale", 0.04);
+  const int grid_n = static_cast<int>(arg_num(argc, argv, "--grid", 8));
+
+  const IngestSuite suite = measure_ingest(scale, grid_n);
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_report: cannot open %s\n", out.c_str());
+    return 1;
+  }
+  write_context(f, "dco3d-bench-ingest-v1", suite.design, suite.cells,
+                suite.nets, scale);
+  std::fprintf(f, ",\"grid\":%d,\"scales\":[%s],\"kernels\":[", grid_n,
+               suite.scales_json.c_str());
+  for (std::size_t i = 0; i < suite.entries.size(); ++i)
+    std::fprintf(f, "%s{\"name\":\"%s\",\"p50_ms\":%.4f}", i ? "," : "",
+                 suite.entries[i].name.c_str(), suite.entries[i].p50_ms);
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
 // --- compare mode -----------------------------------------------------------
 
 std::string read_file(const std::string& path) {
@@ -543,6 +634,9 @@ int run_compare(int argc, char** argv) {
   } else if (schema == "dco3d-bench-search-v2") {
     committed = scan_entries(base, "name", "p50_ms");
     fresh = measure_search(scale, grid_n).totals;
+  } else if (schema == "dco3d-bench-ingest-v1") {
+    committed = scan_entries(base, "name", "p50_ms");
+    fresh = measure_ingest(scale, grid_n).entries;
   } else {
     std::fprintf(stderr,
                  "bench_report compare: unsupported schema '%s' in %s "
@@ -591,7 +685,7 @@ int run_compare(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: bench_report <kernels|flow|search|compare> [-o file] "
+                 "usage: bench_report <kernels|flow|search|ingest|compare> [-o file] "
                  "[--scale S] [--reps N] [--grid N] "
                  "[--baseline FILE] [--threshold T]\n");
     return 2;
@@ -599,6 +693,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "kernels") == 0) return run_kernels(argc, argv);
   if (std::strcmp(argv[1], "flow") == 0) return run_flow(argc, argv);
   if (std::strcmp(argv[1], "search") == 0) return run_search(argc, argv);
+  if (std::strcmp(argv[1], "ingest") == 0) return run_ingest(argc, argv);
   if (std::strcmp(argv[1], "compare") == 0) return run_compare(argc, argv);
   std::fprintf(stderr, "bench_report: unknown mode '%s'\n", argv[1]);
   return 2;

@@ -3,6 +3,10 @@
 // Subcommands:
 //   generate <design> [--scale S] [-o file]        synthesize a benchmark
 //   check <design-file>                            lint structural invariants
+//   import <file.v|.aux|.nodes> [-o file] [--force]  ingest an open-format
+//        design (structural Verilog subset or Bookshelf; docs/formats.md),
+//        lint it, and write the standard design artifact; a Bookshelf .pl
+//        sidecar is converted to <out>.place
 //   place <design-file> [-o file] [--seed N] [--tiers N] [--congestion-focused]
 //   route <design-file> <placement-file> [--grid N] [--pctile P]
 //   sta <design-file> <placement-file> [--clock PS] [--paths K] [--hold]
@@ -83,6 +87,7 @@
 #include "flow/stage.hpp"
 #include "io/design_io.hpp"
 #include "io/model_io.hpp"
+#include "io/netlist_reader.hpp"
 #include "netlist/generators.hpp"
 #include "netlist/validate.hpp"
 #include "nn/simd/simd.hpp"
@@ -172,7 +177,7 @@ Args parse_args(int argc, char** argv, int first) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dco3d <generate|check|place|route|sta|train|refine|"
+               "usage: dco3d <generate|check|import|place|route|sta|train|refine|"
                "optimize|flow|batch|search|serve|submit|status|cancel|drain|"
                "--version> ...\n  (see the header of tools/dco3d_cli.cpp)\n");
   return status_exit_code(StatusCode::kInvalidArgument);
@@ -283,6 +288,44 @@ int cmd_check(const Args& a) {
   const LintReport rep = lint_netlist(design);
   std::printf("%s", format_report(rep).c_str());
   return rep.ok() ? 0 : 1;
+}
+
+/// import <file> [-o out.design] [--force]: parse an open-format design
+/// (extension picks the reader), print the mapping report, lint, freeze, and
+/// write the standard artifact. Lint errors abort unless --force is given.
+int cmd_import(const Args& a) {
+  if (a.positional.empty()) return usage();
+  const std::string& in = a.positional[0];
+  const bool verilog =
+      in.size() >= 2 && in.compare(in.size() - 2, 2, ".v") == 0;
+
+  ImportReport irep;
+  Placement3D imported_pl;
+  const Netlist design = verilog
+                             ? read_verilog_file(in, &irep)
+                             : read_bookshelf(in, &irep, &imported_pl);
+  std::printf("%s", irep.to_string().c_str());
+
+  const LintReport lint = lint_netlist(design);
+  if (!lint.ok()) {
+    std::printf("%s", format_report(lint).c_str());
+    if (!a.flag("--force")) lint_status(lint).throw_if_error();
+    std::printf("continuing despite lint errors (--force)\n");
+  }
+
+  std::string stem = in;
+  const std::size_t dot = stem.find_last_of('.');
+  if (dot != std::string::npos) stem = stem.substr(0, dot);
+  const std::string out = a.get("-o", stem + ".design");
+  write_design_file(out, design);
+  std::printf("wrote %s: %zu cells, %zu nets, %zu IOs\n", out.c_str(),
+              design.num_cells(), design.num_nets(), design.num_ios());
+  if (imported_pl.size() == design.num_cells()) {
+    const std::string pl_out = out + ".place";
+    write_placement_file(pl_out, imported_pl);
+    std::printf("wrote %s (fixed placement from .pl)\n", pl_out.c_str());
+  }
+  return 0;
 }
 
 int cmd_place(const Args& a) {
@@ -863,6 +906,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "check") return cmd_check(args);
+    if (cmd == "import") return cmd_import(args);
     if (cmd == "place") return cmd_place(args);
     if (cmd == "route") return cmd_route(args);
     if (cmd == "sta") return cmd_sta(args);
